@@ -1,0 +1,86 @@
+// Ablation: device portability. The flow targets all three of the paper's
+// evaluation boards (VC707, VCU118, VCU128). The same SoC moves across
+// classes as the device grows — the static fraction kappa shrinks while
+// gamma is device-independent — which shifts the size-driven strategy and
+// the value of parallel compilation.
+#include <cstdio>
+
+#include "core/flow.hpp"
+#include "core/reference_designs.hpp"
+#include "floorplan/visualize.hpp"
+#include "bench_util.hpp"
+
+using namespace presp;
+
+int main() {
+  bench::header("Ablation: the flow across VC707 / VCU118 / VCU128",
+                "Section IV (floorplanning targets all three boards)");
+
+  const auto lib = core::characterization_library();
+  const struct {
+    const char* name;
+    fabric::Device device;
+  } boards[] = {
+      {"vc707", fabric::Device::vc707()},
+      {"vcu118", fabric::Device::vcu118()},
+      {"vcu128", fabric::Device::vcu128()},
+  };
+
+  TextTable table({"board", "LUTs", "kappa %", "gamma", "class", "strategy",
+                   "PR-ESP min", "standard min", "saving %"});
+  for (const auto& board : boards) {
+    core::FlowOptions opt;
+    opt.run_physical = false;
+    const core::PrEspFlow flow(board.device, lib, opt);
+    auto config = core::characterization_soc(2);
+    config.device = board.name;
+    const auto result = flow.run(config);
+    const auto standard = flow.run_standard(config);
+    table.add_row(
+        {board.name, TextTable::integer(board.device.total().luts),
+         TextTable::num(result.metrics.kappa * 100, 1),
+         TextTable::num(result.metrics.gamma, 2),
+         core::to_string(result.decision.design_class),
+         core::to_string(result.decision.strategy),
+         TextTable::num(result.total_minutes, 0),
+         TextTable::num(standard.total_minutes, 0),
+         TextTable::num(100.0 *
+                            (standard.total_minutes - result.total_minutes) /
+                            standard.total_minutes,
+                        1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "The same SoC_2 occupies 27%% of the VC707 but only ~7%% of the\n"
+      "UltraScale+ parts: congestion pressure disappears, every run gets\n"
+      "cheaper, and the absolute value of parallel compilation shrinks\n"
+      "with it. gamma (and therefore the class structure) is a property\n"
+      "of the design, not the board.\n\n");
+
+  // Floorplan footprint on the small vs large board.
+  for (const char* name : {"vc707", "vcu118"}) {
+    const fabric::Device device = std::string(name) == "vc707"
+                                      ? fabric::Device::vc707()
+                                      : fabric::Device::vcu118();
+    const floorplan::Floorplanner planner(device);
+    const auto rtl =
+        netlist::elaborate(core::characterization_soc(2), lib);
+    std::vector<floorplan::PartitionRequest> reqs;
+    std::vector<std::string> names;
+    for (int p = 0; p < static_cast<int>(rtl.partitions().size()); ++p) {
+      reqs.push_back(
+          {rtl.partitions()[p].name, rtl.partition_demand(lib, p)});
+      names.push_back(rtl.partitions()[p].name +
+                      "(" + rtl.partitions()[p].modules.front() + ")");
+    }
+    floorplan::FloorplanOptions fopt;
+    fopt.refine_iterations = 60;
+    const auto plan = planner.plan(reqs, rtl.static_resources(lib), fopt);
+    std::printf("SOC_2 floorplan on %s (waste %.1f kLUT-eq):\n%s\n",
+                device.name().c_str(), plan.waste / 1000.0,
+                floorplan::visualize(device, plan.pblocks, names,
+                                     {3, true})
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces paper Table II: post-synthesis LUT utilization of the
+// characterization accelerators, the CPU tile and the static part, on the
+// VC707 device model.
+#include <cstdio>
+
+#include "core/reference_designs.hpp"
+#include "hls/estimator.hpp"
+#include "hls/library.hpp"
+#include "netlist/rtl.hpp"
+#include "bench_util.hpp"
+
+using namespace presp;
+
+int main() {
+  bench::header("Table II: resource utilization of the accelerators",
+                "PR-ESP (DATE'23) Table II");
+
+  const auto lib = core::characterization_library();
+
+  TextTable table({"block", "LUTs (measured)", "LUTs (paper)", "delta %"});
+  const struct {
+    const char* name;
+    double paper;
+  } blocks[] = {
+      {"mac", 2'450},       {"conv2d", 36'741}, {"gemm", 30'617},
+      {"fft", 33'690},      {"sort", 20'468},
+  };
+  for (const auto& b : blocks) {
+    const double measured =
+        static_cast<double>(lib.get(b.name).resources.luts);
+    table.add_row({b.name, TextTable::num(measured, 0),
+                   TextTable::num(b.paper, 0),
+                   TextTable::num(100.0 * (measured - b.paper) / b.paper, 2)});
+  }
+
+  // CPU tile and static parts, from the elaborated SOC_2.
+  const auto rtl = netlist::elaborate(core::characterization_soc(2), lib);
+  const double cpu_tile =
+      static_cast<double>(
+          lib.get(netlist::ComponentLibrary::kLeon3).resources.luts +
+          lib.get(netlist::ComponentLibrary::kTileSocket).resources.luts);
+  const double static_luts =
+      static_cast<double>(rtl.static_resources(lib).luts);
+  const double static_wo_cpu = static_luts - cpu_tile;
+  const struct {
+    const char* name;
+    double measured;
+    double paper;
+  } aggregates[] = {
+      {"CPU (Leon3 tile)", cpu_tile, 43'013},
+      {"Static", static_luts, 82'267},
+      {"Static (w/o CPU)", static_wo_cpu, 39'254},
+  };
+  for (const auto& a : aggregates)
+    table.add_row({a.name, TextTable::num(a.measured, 0),
+                   TextTable::num(a.paper, 0),
+                   TextTable::num(100.0 * (a.measured - a.paper) / a.paper,
+                                  2)});
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

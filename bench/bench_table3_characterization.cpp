@@ -1,0 +1,96 @@
+// Reproduces paper Table III: the Vivado characterization — compilation
+// time of SOC_1..SOC_4 under different levels of P&R parallelism (tau).
+// Wall-clock minutes come from the calibrated runtime model, composed per
+// schedule exactly as the flow does; the *winner per class* is the
+// reproduction target (boldface cells of the paper's table).
+#include <cstdio>
+
+#include "core/flow.hpp"
+#include "core/reference_designs.hpp"
+#include "bench_util.hpp"
+
+using namespace presp;
+
+namespace {
+
+struct PaperRow {
+  int soc;
+  double alpha, kappa, gamma;
+  // Paper T_tot per tau (0 = not reported).
+  std::map<int, double> paper_total;
+  int paper_best_tau;
+};
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Table III: Vivado characterization under different parallelism",
+      "PR-ESP (DATE'23) Table III");
+
+  const auto device = fabric::Device::vc707();
+  const auto lib = core::characterization_library();
+  core::FlowOptions opt;
+  opt.run_physical = false;
+  const core::PrEspFlow flow(device, lib, opt);
+
+  const PaperRow rows[] = {
+      {1, 0.8, 27.0, 0.48,
+       {{1, 89}, {2, 110}, {3, 105}, {4, 97}, {5, 94}, {16, 93}}, 1},
+      {2, 10.1, 27.2, 1.47, {{1, 181}, {2, 173}, {3, 166}, {4, 152}}, 4},
+      {3, 9.6, 27.1, 1.07, {{1, 158}, {2, 134}, {3, 137}}, 2},
+      {4, 10.8, 11.5, 4.1,
+       {{1, 163}, {2, 130}, {3, 105}, {4, 100}, {5, 94}}, 5},
+  };
+
+  for (const PaperRow& row : rows) {
+    const auto config = core::characterization_soc(row.soc);
+    const auto result = flow.run(config);
+    const auto rtl = netlist::elaborate(config, lib);
+    std::vector<long long> mods;
+    for (const auto& p : rtl.partitions())
+      for (const auto& m : p.modules)
+        mods.push_back(netlist::SocRtl::module_resources(lib, m).luts);
+
+    std::printf(
+        "SOC_%d: alpha_av=%.1f%% (paper %.1f)  kappa=%.1f%% (paper %.1f)  "
+        "gamma=%.2f (paper %.2f)  class=%s\n",
+        row.soc, result.metrics.alpha_av * 100, row.alpha,
+        result.metrics.kappa * 100, row.kappa, result.metrics.gamma,
+        row.gamma, core::to_string(result.decision.design_class));
+
+    TextTable table({"tau", "t_static", "omega", "T_tot (paper)"});
+    double best = 1e18;
+    int best_tau = 0;
+    for (const auto& [tau, paper_total] : row.paper_total) {
+      if (tau > static_cast<int>(mods.size())) continue;
+      const core::Strategy strategy =
+          tau == 1 ? core::Strategy::kSerial
+                   : (tau == static_cast<int>(mods.size())
+                          ? core::Strategy::kFullyParallel
+                          : core::Strategy::kSemiParallel);
+      const auto eval = core::evaluate_schedule(
+          flow.model(), result.metrics.static_luts,
+          result.plan.static_capacity.luts, mods, strategy, tau);
+      if (eval.total < best) {
+        best = eval.total;
+        best_tau = tau;
+      }
+      table.add_row({TextTable::integer(tau),
+                     TextTable::num(eval.t_static, 0),
+                     TextTable::num(eval.omega, 0),
+                     bench::vs_paper(eval.total, paper_total)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "  measured best: tau=%d | paper best: tau=%d | PR-ESP chooses: %s "
+        "(tau=%d)\n\n",
+        best_tau, row.paper_best_tau,
+        core::to_string(result.decision.strategy), result.decision.tau);
+  }
+  std::printf(
+      "Shape check: serial wins Class 1.1, fully-parallel wins Classes 1.2\n"
+      "and 2.1. Class 1.3 is a near-tie in the paper (134 vs 137 min) and\n"
+      "in this model (within ~7%%); see EXPERIMENTS.md.\n");
+  return 0;
+}

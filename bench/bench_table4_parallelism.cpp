@@ -1,0 +1,83 @@
+// Reproduces paper Table IV: P&R parallelism evaluation on the WAMI SoCs
+// (SoC_A..SoC_D). For each SoC the three strategies are evaluated and the
+// one chosen by PR-ESP's size-driven algorithm is marked; the paper's
+// boldface (chosen = fastest) is the reproduction target.
+#include <cstdio>
+#include <map>
+
+#include "core/flow.hpp"
+#include "wami/accelerators.hpp"
+#include "bench_util.hpp"
+
+using namespace presp;
+
+int main() {
+  bench::header("Table IV: P&R parallelism on the WAMI SoCs",
+                "PR-ESP (DATE'23) Table IV");
+
+  const auto device = fabric::Device::vc707();
+  const auto lib = wami::wami_library();
+  core::FlowOptions opt;
+  opt.run_physical = false;
+  const core::PrEspFlow flow(device, lib, opt);
+
+  struct PaperRow {
+    char soc;
+    const char* accs;
+    const char* cls;
+    double alpha, kappa, gamma;
+    double paper_fully, paper_semi, paper_serial;
+    const char* paper_choice;
+  };
+  const PaperRow rows[] = {
+      {'A', "{4,8,10,9}", "1.2", 9.2, 29.1, 1.26, 150, 186, 192,
+       "fully-parallel"},
+      {'B', "{2,3,11,1}", "1.1", 4.5, 28.3, 0.60, 143, 156, 135, "serial"},
+      {'C', "{7,11,8,2}", "1.3", 5.5, 28.2, 0.97, 159, 152, 167,
+       "semi-parallel"},
+      {'D', "{4,5,9,2}+CPU", "2.1", 23.5, 12.2, 2.40, 119, 131, 142,
+       "fully-parallel"},
+  };
+
+  for (const PaperRow& row : rows) {
+    const auto config = wami::table4_soc(row.soc);
+    const auto result = flow.run(config);
+    const auto rtl = netlist::elaborate(config, lib);
+    std::vector<long long> mods;
+    for (const auto& p : rtl.partitions())
+      for (const auto& m : p.modules)
+        mods.push_back(netlist::SocRtl::module_resources(lib, m).luts);
+    const long long region = result.plan.static_capacity.luts;
+
+    std::printf(
+        "SoC_%c %s (paper class %s): kappa=%.1f%% (paper %.1f) "
+        "gamma=%.2f (paper %.2f)\n",
+        row.soc, row.accs, row.cls, result.metrics.kappa * 100, row.kappa,
+        result.metrics.gamma, row.gamma);
+
+    const auto eval = [&](core::Strategy s, int tau) {
+      return core::evaluate_schedule(flow.model(),
+                                     result.metrics.static_luts, region,
+                                     mods, s, tau);
+    };
+    const auto fully =
+        eval(core::Strategy::kFullyParallel, static_cast<int>(mods.size()));
+    const auto semi = eval(core::Strategy::kSemiParallel, 2);
+    const auto serial = eval(core::Strategy::kSerial, 1);
+
+    TextTable table({"strategy", "t_static", "omega", "T_P&R (paper)"});
+    table.add_row({"fully-par", TextTable::num(fully.t_static, 0),
+                   TextTable::num(fully.omega, 0),
+                   bench::vs_paper(fully.total, row.paper_fully)});
+    table.add_row({"semi-par (tau=2)", TextTable::num(semi.t_static, 0),
+                   TextTable::num(semi.omega, 0),
+                   bench::vs_paper(semi.total, row.paper_semi)});
+    table.add_row({"serial", TextTable::num(serial.t_static, 0),
+                   TextTable::num(0.0, 0),
+                   bench::vs_paper(serial.total, row.paper_serial)});
+    std::printf("%s", table.render().c_str());
+    std::printf("  PR-ESP chooses: %s (paper: %s)\n\n",
+                core::to_string(result.decision.strategy), row.paper_choice);
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Shared helpers for the reproduction benches. Every bench prints the
+// paper's published values next to the measured ones so the output can be
+// diffed against the publication table by eye; EXPERIMENTS.md records the
+// same numbers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace presp::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  presp::set_log_level(presp::LogLevel::kWarn);
+  std::printf("=====================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("=====================================================\n");
+}
+
+/// "measured (paper P)" cell formatting.
+inline std::string vs_paper(double measured, double paper, int precision = 0) {
+  return presp::TextTable::num(measured, precision) + " (" +
+         presp::TextTable::num(paper, precision) + ")";
+}
+
+}  // namespace presp::bench

@@ -1,0 +1,154 @@
+// Adaptive system demo: the runtime reconfiguration manager servicing a
+// dynamic mix of accelerator requests from multiple software threads —
+// the scenario DPR was designed for. Threads race for two reconfigurable
+// tiles with different working sets; the manager schedules
+// reconfigurations on the single DFX controller, locks devices, and swaps
+// drivers. Compares against the bare-metal polling driver on the same
+// request trace.
+//
+// Build and run:  ./build/examples/adaptive_system
+#include <cstdio>
+#include <vector>
+
+#include "runtime/api.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "wami/accelerators.hpp"
+
+using namespace presp;
+
+namespace {
+
+struct Request {
+  int tile;
+  std::string module;
+  long long items;
+};
+
+std::vector<Request> make_trace(
+    const std::vector<std::pair<int, std::vector<std::string>>>& tiles,
+    int count, std::uint64_t seed) {
+  // A skewed working set per tile: the first two members are "hot".
+  Rng rng(seed);
+  std::vector<Request> trace;
+  for (int i = 0; i < count; ++i) {
+    const auto& [tile, members] =
+        tiles[static_cast<std::size_t>(rng.next_below(tiles.size()))];
+    const std::size_t pick =
+        rng.next_bool(0.7)
+            ? rng.next_below(std::min<std::size_t>(2, members.size()))
+            : rng.next_below(members.size());
+    trace.push_back({tile, members[pick],
+                     4'096 + static_cast<long long>(rng.next_below(8'192))});
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  std::printf(
+      "Adaptive system: 3 software threads, 2 reconfigurable tiles, a\n"
+      "skewed 24-request trace over 8 WAMI kernels.\n\n");
+
+  const auto registry =
+      wami::wami_accelerator_registry(wami::WamiWorkload{64, 64});
+
+  const auto config = netlist::SocConfig::parse(R"(
+[soc]
+name = adaptive
+device = vc707
+rows = 2
+cols = 3
+
+[tiles]
+r0c0 = cpu
+r0c1 = mem
+r0c2 = aux
+r1c0 = reconf:debayer,grayscale,gradient,warp,change_detection
+r1c1 = reconf:steepest_descent,hessian,sd_update,warp,change_detection
+r1c2 = empty
+)");
+
+  TextTable table({"driver", "makespan ms", "reconfigs", "avoided",
+                   "prc wait ms", "lock wait ms"});
+  for (const bool baremetal : {false, true}) {
+    soc::Soc soc(config, registry);
+    runtime::BitstreamStore store(soc.memory());
+    runtime::ReconfigurationManager manager(soc, store);
+    runtime::BareMetalDriver driver(soc, store);
+
+    // Publish partial bitstreams for every (tile, member).
+    for (const auto& tile : soc.reconf_tiles())
+      for (const auto& acc :
+           config.tiles[static_cast<std::size_t>(tile->index())]
+               .accelerators)
+        store.add(tile->index(), acc,
+                  static_cast<std::size_t>(registry.get(acc).luts) * 11);
+
+    const auto buf = soc.memory().allocate("buf", 8u << 20);
+    std::vector<std::pair<int, std::vector<std::string>>> tile_members;
+    for (const auto& tile : soc.reconf_tiles())
+      tile_members.emplace_back(
+          tile->index(),
+          config.tiles[static_cast<std::size_t>(tile->index())]
+              .accelerators);
+    const auto trace = make_trace(tile_members, 24, 42);
+
+    // Linux path: three application threads round-robin over the trace.
+    // Bare-metal path: no locking, so a single thread walks the whole
+    // trace sequentially.
+    auto worker = [&](int id, int stride) -> sim::Process {
+      for (std::size_t i = static_cast<std::size_t>(id); i < trace.size();
+           i += static_cast<std::size_t>(stride)) {
+        const Request& req = trace[i];
+        soc::AccelTask task;
+        task.src = buf;
+        task.dst = buf + (4u << 20);
+        task.items = req.items;
+        sim::SimEvent done(soc.kernel());
+        if (baremetal) {
+          driver.run(req.tile, req.module, task, done);
+        } else {
+          manager.run(req.tile, req.module, task, done);
+        }
+        co_await done.wait();
+      }
+    };
+    if (baremetal) {
+      worker(0, 1);
+    } else {
+      for (int id = 0; id < 3; ++id) worker(id, 3);
+    }
+    soc.kernel().run();
+
+    const double ms = static_cast<double>(soc.kernel().now()) / 78e3;
+    if (baremetal) {
+      table.add_row({"bare-metal (1 thread, poll)", TextTable::num(ms, 2),
+                     TextTable::integer(static_cast<long long>(
+                         driver.stats().reconfigurations)),
+                     "-", "-", "-"});
+    } else {
+      const auto& stats = manager.stats();
+      table.add_row(
+          {"Linux manager (3 threads, IRQ)", TextTable::num(ms, 2),
+           TextTable::integer(
+               static_cast<long long>(stats.reconfigurations)),
+           TextTable::integer(
+               static_cast<long long>(stats.reconfigurations_avoided)),
+           TextTable::num(static_cast<double>(stats.prc_wait_cycles) / 78e3,
+                          2),
+           TextTable::num(static_cast<double>(stats.lock_wait_cycles) / 78e3,
+                          2)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "The manager extracts concurrency across tiles (threads overlap\n"
+      "execution with reconfiguration on the other tile) while the PRC\n"
+      "workqueue serializes ICAP access; hot kernels staying resident\n"
+      "show up as avoided reconfigurations.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "bitstream/artifact_io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace presp::bitstream {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'B', 'S', '1'};
+
+template <typename T>
+void put(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw InvalidArgument("truncated bitstream file");
+  return value;
+}
+
+void put_string(std::ofstream& out, const std::string& text) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(text.size()));
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+}
+
+std::string get_string(std::ifstream& in) {
+  const auto len = get<std::uint32_t>(in);
+  if (len > (1u << 20)) throw InvalidArgument("implausible string length");
+  std::string text(len, '\0');
+  in.read(text.data(), len);
+  if (!in) throw InvalidArgument("truncated bitstream file");
+  return text;
+}
+
+}  // namespace
+
+std::string pbs_filename(const std::string& design,
+                         const std::string& partition,
+                         const std::string& module) {
+  return design + "_" + partition + "_" + module + ".pbs";
+}
+
+void write_bitstream(const Bitstream& bitstream, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out)
+    throw InvalidArgument("cannot write bitstream to '" + path + "'");
+  out.write(kMagic, sizeof(kMagic));
+  put<std::uint32_t>(out, bitstream.partial ? 1u : 0u);
+  put_string(out, bitstream.design);
+  put_string(out, bitstream.module);
+  put<std::int32_t>(out, bitstream.pblock.col_lo);
+  put<std::int32_t>(out, bitstream.pblock.col_hi);
+  put<std::int32_t>(out, bitstream.pblock.row_lo);
+  put<std::int32_t>(out, bitstream.pblock.row_hi);
+  put<std::uint32_t>(out, bitstream.crc);
+  const auto compressed = rle_compress(bitstream.words);
+  put<std::uint64_t>(out, bitstream.words.size());
+  put<std::uint64_t>(out, compressed.size());
+  out.write(reinterpret_cast<const char*>(compressed.data()),
+            static_cast<std::streamsize>(compressed.size() * 4));
+  if (!out) throw InvalidArgument("write to '" + path + "' failed");
+}
+
+Bitstream read_bitstream(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw InvalidArgument("cannot read bitstream from '" + path + "'");
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw InvalidArgument("'" + path + "' is not a PBS1 bitstream file");
+
+  Bitstream bs;
+  bs.partial = (get<std::uint32_t>(in) & 1u) != 0;
+  bs.design = get_string(in);
+  bs.module = get_string(in);
+  bs.pblock.col_lo = get<std::int32_t>(in);
+  bs.pblock.col_hi = get<std::int32_t>(in);
+  bs.pblock.row_lo = get<std::int32_t>(in);
+  bs.pblock.row_hi = get<std::int32_t>(in);
+  bs.crc = get<std::uint32_t>(in);
+  const auto word_count = get<std::uint64_t>(in);
+  const auto compressed_count = get<std::uint64_t>(in);
+  std::vector<std::uint32_t> compressed(compressed_count);
+  in.read(reinterpret_cast<char*>(compressed.data()),
+          static_cast<std::streamsize>(compressed_count * 4));
+  if (!in) throw InvalidArgument("truncated bitstream payload");
+  bs.words = rle_decompress(compressed);
+  if (bs.words.size() != word_count)
+    throw InvalidArgument("bitstream payload length mismatch");
+  if (crc32(bs.words) != bs.crc)
+    throw Error("bitstream CRC mismatch in '" + path + "'");
+  return bs;
+}
+
+}  // namespace presp::bitstream

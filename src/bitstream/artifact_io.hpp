@@ -1,0 +1,32 @@
+// Bitstream artifact files: what the flow drops on disk next to its
+// report, and what the runtime's user-space loader mmaps at boot.
+//
+// Binary format (little-endian):
+//   magic "PBS1" | u32 flags (bit0 = partial)
+//   u32 design_len | design bytes | u32 module_len | module bytes
+//   i32 col_lo, col_hi, row_lo, row_hi
+//   u32 crc | u64 word_count | u64 compressed_count
+//   compressed words (RLE stream; see bitstream.hpp)
+#pragma once
+
+#include <string>
+
+#include "bitstream/bitstream.hpp"
+
+namespace presp::bitstream {
+
+/// Writes the bitstream (compressed payload) to `path`. Throws
+/// InvalidArgument on I/O errors.
+void write_bitstream(const Bitstream& bitstream, const std::string& path);
+
+/// Reads a bitstream file back: decompresses the payload, restores the
+/// metadata and verifies the CRC. Throws InvalidArgument on malformed
+/// files and Error on CRC mismatch.
+Bitstream read_bitstream(const std::string& path);
+
+/// Canonical artifact file name for a partial bitstream.
+std::string pbs_filename(const std::string& design,
+                         const std::string& partition,
+                         const std::string& module);
+
+}  // namespace presp::bitstream

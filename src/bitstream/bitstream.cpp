@@ -1,0 +1,194 @@
+#include "bitstream/bitstream.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace presp::bitstream {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::vector<std::uint32_t>& words) {
+  static const auto table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint32_t w : words) {
+    for (int byte = 0; byte < 4; ++byte) {
+      const std::uint8_t b = static_cast<std::uint8_t>(w >> (8 * byte));
+      crc = table[(crc ^ b) & 0xFF] ^ (crc >> 8);
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint32_t> rle_compress(
+    const std::vector<std::uint32_t>& words) {
+  std::vector<std::uint32_t> out;
+  out.reserve(words.size() / 4);
+  std::size_t i = 0;
+  while (i < words.size()) {
+    if (words[i] == 0) {
+      std::uint32_t run = 0;
+      while (i < words.size() && words[i] == 0 && run < 0xFFFFFFFFu) {
+        ++run;
+        ++i;
+      }
+      out.push_back(0);
+      out.push_back(run);
+    } else {
+      out.push_back(words[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> rle_decompress(
+    const std::vector<std::uint32_t>& compressed) {
+  std::vector<std::uint32_t> out;
+  std::size_t i = 0;
+  while (i < compressed.size()) {
+    if (compressed[i] == 0) {
+      PRESP_REQUIRE(i + 1 < compressed.size(),
+                    "truncated RLE stream: zero marker without run length");
+      const std::uint32_t run = compressed[i + 1];
+      out.insert(out.end(), run, 0u);
+      i += 2;
+    } else {
+      out.push_back(compressed[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::size_t Bitstream::compressed_bytes() const {
+  return rle_compress(words).size() * 4 + kHeaderBytes;
+}
+
+std::vector<std::uint32_t> BitstreamGenerator::frame_words(
+    const fabric::Pblock& region, const netlist::Netlist& nl,
+    const pnr::Placement* placement) const {
+  PRESP_REQUIRE(region.valid(), "invalid bitstream region");
+
+  // LUT usage per (col,row) cell inside the region.
+  const auto rows = static_cast<std::size_t>(device_.region_rows());
+  std::vector<std::int64_t> usage(
+      static_cast<std::size_t>(device_.num_columns()) * rows, 0);
+  if (placement != nullptr) {
+    for (netlist::CellId c = 0; c < nl.num_cells(); ++c) {
+      const auto& cell = nl.cell(c);
+      if (cell.kind != netlist::CellKind::kLogic) continue;
+      const pnr::GridLoc& loc = placement->at(c);
+      if (!loc.valid() || !region.contains(loc.col, loc.row)) continue;
+      usage[static_cast<std::size_t>(loc.col) * rows +
+            static_cast<std::size_t>(loc.row)] += cell.resources.luts;
+    }
+  }
+
+  const int words_per_frame = device_.frames().frame_bytes / 4;
+  std::vector<std::uint32_t> words;
+  words.reserve(static_cast<std::size_t>(
+                    fabric::pblock_frames(device_, region)) *
+                static_cast<std::size_t>(words_per_frame));
+
+  for (int col = region.col_lo; col <= region.col_hi; ++col) {
+    const fabric::ColumnType type = device_.column_type(col);
+    const int frames = device_.frames().frames_for(type);
+    const std::int64_t capacity =
+        std::max<std::int64_t>(1, device_.cell_resources(col).luts);
+    for (int row = region.row_lo; row <= region.row_hi; ++row) {
+      const std::int64_t used =
+          usage[static_cast<std::size_t>(col) * rows +
+                static_cast<std::size_t>(row)];
+      const double fill =
+          std::min(1.0, static_cast<double>(used) /
+                            static_cast<double>(capacity));
+      // Configuration density: even fully used logic leaves most LUT
+      // truth-table/interconnect bits at their defaults; ~28% of words go
+      // non-zero at full utilization (plus a small floor of frame ECC /
+      // clock-enable words), and used bits cluster into bursts — a
+      // configured LUT's truth table and its switchbox entries are
+      // adjacent words in the frame. Burstiness is what makes Vivado's
+      // compression effective; the resulting compressed partial
+      // bitstreams land in the paper's Table VI range (see tests).
+      const double density =
+          placement == nullptr ? 0.0 : 0.28 * fill + 0.02;
+      constexpr int kBurst = 8;
+      // Deterministic per-cell content.
+      presp::Rng rng(0x9E3779B9ull * static_cast<std::uint64_t>(col + 1) +
+                     1000003ull * static_cast<std::uint64_t>(row + 1));
+      int burst_left = 0;
+      for (int f = 0; f < frames; ++f) {
+        for (int w = 0; w < words_per_frame; ++w) {
+          if (burst_left == 0 && rng.next_double() < density / kBurst)
+            burst_left = kBurst;
+          if (burst_left > 0) {
+            --burst_left;
+            words.push_back(static_cast<std::uint32_t>(rng.next_u64() | 1u));
+          } else {
+            words.push_back(0u);
+          }
+        }
+      }
+    }
+  }
+  return words;
+}
+
+Bitstream BitstreamGenerator::full(const std::string& design,
+                                   const netlist::Netlist& nl,
+                                   const pnr::Placement& placement) const {
+  Bitstream bs;
+  bs.design = design;
+  bs.partial = false;
+  bs.pblock = fabric::Pblock{0, device_.num_columns() - 1, 0,
+                             device_.region_rows() - 1};
+  bs.words = frame_words(bs.pblock, nl, &placement);
+  bs.crc = crc32(bs.words);
+  return bs;
+}
+
+Bitstream BitstreamGenerator::partial(const std::string& design,
+                                      const std::string& module,
+                                      const fabric::Pblock& pblock,
+                                      const netlist::Netlist& nl,
+                                      const pnr::Placement& placement) const {
+  Bitstream bs;
+  bs.design = design;
+  bs.module = module;
+  bs.partial = true;
+  bs.pblock = pblock;
+  bs.words = frame_words(pblock, nl, &placement);
+  bs.crc = crc32(bs.words);
+  return bs;
+}
+
+Bitstream BitstreamGenerator::blank(const std::string& design,
+                                    const fabric::Pblock& pblock) const {
+  Bitstream bs;
+  bs.design = design;
+  bs.module = "<blank>";
+  bs.partial = true;
+  bs.pblock = pblock;
+  netlist::Netlist empty("blank");
+  bs.words = frame_words(pblock, empty, nullptr);
+  bs.crc = crc32(bs.words);
+  return bs;
+}
+
+}  // namespace presp::bitstream

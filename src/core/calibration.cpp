@@ -1,0 +1,141 @@
+#include "core/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/error.hpp"
+
+namespace presp::core {
+
+double predict_observation(const fabric::Device& device,
+                           const RuntimeModelConstants& constants,
+                           const Observation& observation) {
+  const RuntimeModel model(device, constants);
+  if (observation.serial) {
+    PRESP_REQUIRE(observation.groups.size() == 1,
+                  "serial observation must have exactly one group");
+    return model.predict_serial(observation.static_luts,
+                                observation.static_region_luts,
+                                observation.groups.front());
+  }
+  return model.predict_parallel(observation.static_luts,
+                                observation.static_region_luts,
+                                observation.groups);
+}
+
+double calibration_error(const fabric::Device& device,
+                         const RuntimeModelConstants& constants,
+                         const std::vector<Observation>& observations) {
+  PRESP_REQUIRE(!observations.empty(), "no observations");
+  double acc = 0.0;
+  for (const Observation& obs : observations) {
+    PRESP_REQUIRE(obs.measured_minutes > 0.0,
+                  "observation with non-positive measurement");
+    const double predicted = predict_observation(device, constants, obs);
+    acc += std::abs(predicted - obs.measured_minutes) /
+           obs.measured_minutes;
+  }
+  return acc / static_cast<double>(observations.size());
+}
+
+namespace {
+
+/// Golden-section minimization of f over [lo, hi].
+double golden_min(const std::function<double(double)>& f, double lo,
+                  double hi, double tolerance, int* evaluations) {
+  constexpr double kPhi = 0.6180339887498949;
+  double a = lo;
+  double b = hi;
+  double x1 = b - kPhi * (b - a);
+  double x2 = a + kPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  *evaluations += 2;
+  while (b - a > tolerance * (std::abs(a) + std::abs(b) + 1e-12)) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kPhi * (b - a);
+      f2 = f(x2);
+    }
+    ++*evaluations;
+  }
+  return f1 < f2 ? x1 : x2;
+}
+
+}  // namespace
+
+CalibrationResult fit_constants(const fabric::Device& device,
+                                const std::vector<Observation>& observations,
+                                RuntimeModelConstants seed,
+                                const CalibrationOptions& options) {
+  PRESP_REQUIRE(observations.size() >= 4,
+                "calibration needs at least 4 observations");
+  PRESP_REQUIRE(options.search_span > 1.0, "search span must exceed 1");
+
+  CalibrationResult result;
+  result.constants = seed;
+  result.initial_mape = calibration_error(device, seed, observations);
+
+  // The knobs: pointers into the working constant set. Scale constants are
+  // searched multiplicatively; exponents additively in a narrow band.
+  RuntimeModelConstants& c = result.constants;
+  struct Knob {
+    double* value;
+    bool multiplicative;
+  };
+  std::vector<Knob> knobs{{&c.ts0, true},  {&c.ts1, true},
+                          {&c.r1, true},   {&c.ctx1, true},
+                          {&c.m1, true},   {&c.cong, true},
+                          {&c.contention, true}};
+  if (options.fit_exponents) {
+    knobs.push_back({&c.ts_exp, false});
+    knobs.push_back({&c.r_exp, false});
+    knobs.push_back({&c.m_exp, false});
+  }
+
+  int evaluations = 0;
+  for (int sweep = 0; sweep < options.sweeps; ++sweep) {
+    double improved = 0.0;
+    for (const Knob& knob : knobs) {
+      const double before =
+          calibration_error(device, c, observations);
+      const double original = *knob.value;
+      const auto objective = [&](double x) {
+        *knob.value = x;
+        const double err = calibration_error(device, c, observations);
+        *knob.value = original;
+        return err;
+      };
+      double best;
+      if (knob.multiplicative) {
+        const double lo = original / options.search_span;
+        const double hi = std::max(original * options.search_span, 1e-6);
+        best = golden_min(objective, lo, hi, options.tolerance,
+                          &evaluations);
+      } else {
+        best = golden_min(objective, std::max(0.8, original - 0.3),
+                          original + 0.3, options.tolerance, &evaluations);
+      }
+      *knob.value = best;
+      const double after = calibration_error(device, c, observations);
+      if (after > before) *knob.value = original;  // reject regressions
+      improved += std::max(0.0, before - after);
+    }
+    if (improved < 1e-6) break;
+  }
+
+  result.final_mape = calibration_error(device, c, observations);
+  result.evaluations = evaluations;
+  return result;
+}
+
+}  // namespace presp::core

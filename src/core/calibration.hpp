@@ -1,0 +1,68 @@
+// Runtime-model calibration: the paper's characterization methodology as
+// a reusable tool.
+//
+// "We performed an exhaustive characterization of the Vivado tool. We
+// built an empirical model that correlates the size of a DPR design
+// against the total compilation time for P&R under different parallelism
+// configurations."
+//
+// Given observations — (design sizes, parallelism schedule, measured
+// minutes) triples from any CAD tool — fit_constants() recovers the
+// RuntimeModelConstants that minimize squared relative error, via cyclic
+// coordinate descent with golden-section line search on each constant.
+// This is how a user retargets PR-ESP's strategy algorithm to their own
+// tool/machine: run a handful of designs, feed the measurements in, and
+// the strategy table re-tunes itself.
+#pragma once
+
+#include <vector>
+
+#include "core/runtime_model.hpp"
+
+namespace presp::core {
+
+/// One measured compilation: a schedule over a design and its wall-clock.
+struct Observation {
+  long long static_luts = 0;
+  long long static_region_luts = 0;
+  /// Module LUTs per parallel instance; one group = serial run.
+  std::vector<std::vector<long long>> groups;
+  bool serial = false;  // single joint run (tau = 1)
+  double measured_minutes = 0.0;
+};
+
+struct CalibrationOptions {
+  int sweeps = 60;               // coordinate-descent passes
+  double search_span = 4.0;      // multiplicative bracket per constant
+  double tolerance = 1e-4;       // golden-section termination
+  /// Constants to fit; the rest stay at their seed values. Order matters
+  /// only for reporting.
+  bool fit_exponents = false;    // also fit ts_exp/r_exp/m_exp
+};
+
+struct CalibrationResult {
+  RuntimeModelConstants constants;
+  /// Mean absolute percentage error over the observations, before/after.
+  double initial_mape = 0.0;
+  double final_mape = 0.0;
+  int evaluations = 0;
+};
+
+/// Model prediction for one observation under given constants.
+double predict_observation(const fabric::Device& device,
+                           const RuntimeModelConstants& constants,
+                           const Observation& observation);
+
+/// MAPE of a constant set over a sample.
+double calibration_error(const fabric::Device& device,
+                         const RuntimeModelConstants& constants,
+                         const std::vector<Observation>& observations);
+
+/// Fits the scale constants (and optionally exponents) to the sample,
+/// starting from `seed`. Requires at least 4 observations.
+CalibrationResult fit_constants(const fabric::Device& device,
+                                const std::vector<Observation>& observations,
+                                RuntimeModelConstants seed = {},
+                                const CalibrationOptions& options = {});
+
+}  // namespace presp::core

@@ -1,0 +1,251 @@
+#include "core/flow.hpp"
+
+#include "bitstream/artifact_io.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace presp::core {
+
+const ModuleImplementation& FlowResult::module(
+    const std::string& partition, const std::string& module_name) const {
+  for (const ModuleImplementation& m : modules)
+    if (m.partition == partition && m.module == module_name) return m;
+  throw InvalidArgument("module '" + module_name + "' in partition '" +
+                        partition + "' was not implemented by this flow run");
+}
+
+PrEspFlow::PrEspFlow(const fabric::Device& device,
+                     const netlist::ComponentLibrary& lib,
+                     FlowOptions options)
+    : device_(device),
+      lib_(lib),
+      options_(std::move(options)),
+      model_(device, options_.model) {}
+
+FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
+  FlowResult result;
+  result.design = config.name;
+
+  // 1. Parse + elaborate: separates reconfigurable tiles from the static
+  // part.
+  const netlist::SocRtl rtl = netlist::elaborate(config, lib_);
+  result.metrics = compute_metrics(rtl, lib_, device_);
+
+  // 2. Parallel out-of-context synthesis. One run for the static netlist,
+  // one per (partition, member); wall-clock is the slowest run.
+  const synth::Synthesizer synthesizer(lib_, options_.synth);
+  const synth::Checkpoint static_ckpt = synthesizer.synthesize_static(rtl);
+
+  struct MemberJob {
+    int partition_index;
+    std::string module;
+    long long luts;
+  };
+  std::vector<MemberJob> jobs;
+  for (int p = 0; p < static_cast<int>(rtl.partitions().size()); ++p)
+    for (const std::string& module : rtl.partitions()[p].modules)
+      jobs.push_back(
+          {p, module, netlist::SocRtl::module_resources(lib_, module).luts});
+
+  const double static_synth =
+      model_.synthesis(static_ckpt.utilization.luts);
+  result.synth_makespan_minutes = static_synth;
+  for (const MemberJob& job : jobs)
+    result.synth_makespan_minutes =
+        std::max(result.synth_makespan_minutes, model_.synthesis(job.luts));
+
+  // 3. DPR floorplanning.
+  std::vector<floorplan::PartitionRequest> requests;
+  for (int p = 0; p < static_cast<int>(rtl.partitions().size()); ++p)
+    requests.push_back(
+        {rtl.partitions()[p].name, rtl.partition_demand(lib_, p)});
+  const floorplan::Floorplanner planner(device_);
+  result.plan = planner.plan(requests, static_ckpt.utilization,
+                             options_.floorplan);
+  for (std::size_t p = 0; p < requests.size(); ++p)
+    result.pblocks[requests[p].name] = result.plan.pblocks[p];
+  const long long static_region_luts = result.plan.static_capacity.luts;
+
+  // 4. Strategy selection (Table I + runtime model), unless forced.
+  std::vector<long long> module_luts;
+  for (const MemberJob& job : jobs) module_luts.push_back(job.luts);
+  if (options_.force_strategy) {
+    const Strategy strategy = *options_.force_strategy;
+    const int n = static_cast<int>(jobs.size());
+    int tau = 1;
+    if (strategy == Strategy::kSemiParallel)
+      tau = std::min(options_.force_tau.value_or(options_.semi_tau), n);
+    else if (strategy == Strategy::kFullyParallel)
+      tau = options_.force_tau.value_or(n);
+    StrategyDecision d;
+    d.strategy = strategy;
+    d.tau = tau;
+    d.design_class = classify(result.metrics);
+    if (strategy == Strategy::kSerial) {
+      d.groups.emplace_back();
+      for (std::size_t i = 0; i < jobs.size(); ++i)
+        d.groups.front().push_back(i);
+    } else {
+      d.groups = balanced_groups(module_luts, tau);
+    }
+    result.decision = d;
+  } else {
+    StrategyInputs inputs;
+    inputs.metrics = result.metrics;
+    inputs.module_luts = module_luts;
+    inputs.static_region_luts = static_region_luts;
+    result.decision =
+        choose_strategy(inputs, model_, options_.semi_tau);
+  }
+
+  // 5. P&R. Physical engines run once; CPU minutes come from the model
+  // composed per the chosen schedule.
+  const ScheduleEval eval = evaluate_schedule(
+      model_, result.metrics.static_luts, static_region_luts, module_luts,
+      result.decision.strategy, result.decision.tau);
+  result.t_static_minutes = eval.t_static;
+  result.omega_minutes = eval.omega;
+  result.pnr_total_minutes = eval.total;
+  result.decision.predicted_minutes = eval.total;
+  result.total_minutes = result.synth_makespan_minutes + eval.total;
+
+  pnr::PnrEngine engine(device_, options_.pnr);
+  pnr::RoutingState static_state = engine.make_state();
+  bool physical_ok = true;
+  const bitstream::BitstreamGenerator bitgen(device_);
+
+  double fmax = 1e9;
+  std::optional<pnr::PnrRun> static_run;
+  if (options_.run_physical) {
+    static_run =
+        engine.run_static(static_ckpt, result.pblocks, static_state);
+    physical_ok = static_run->success();
+    fmax = std::min(fmax, static_run->route.achieved_fmax_mhz);
+    result.full_bitstream_bytes =
+        bitgen
+            .full(config.name, static_ckpt.netlist,
+                  static_run->place.placement)
+            .raw_bytes();
+  }
+
+  for (const MemberJob& job : jobs) {
+    ModuleImplementation impl;
+    impl.partition = rtl.partitions()[static_cast<std::size_t>(
+                                          job.partition_index)]
+                         .name;
+    impl.module = job.module;
+    impl.synth_minutes = model_.synthesis(job.luts);
+    impl.pnr_minutes = result.decision.strategy == Strategy::kSerial
+                           ? model_.serial_marginal(job.luts)
+                           : model_.in_context_module(
+                                 job.luts, result.metrics.static_luts,
+                                 result.decision.tau);
+    if (options_.run_physical) {
+      const synth::Checkpoint ooc =
+          synthesizer.synthesize_module_ooc(job.module);
+      impl.utilization = ooc.utilization;
+      const fabric::Pblock& pblock =
+          result.plan.pblocks[static_cast<std::size_t>(job.partition_index)];
+      const pnr::PnrRun run =
+          engine.run_partition(ooc, pblock, static_state);
+      impl.routed = run.success();
+      physical_ok = physical_ok && impl.routed;
+      fmax = std::min(fmax, run.route.achieved_fmax_mhz);
+      const bitstream::Bitstream pbs =
+          bitgen.partial(config.name, job.module, pblock, ooc.netlist,
+                         run.place.placement);
+      impl.pbs_raw_bytes = pbs.raw_bytes();
+      impl.pbs_compressed_bytes = pbs.compressed_bytes();
+      if (!options_.artifacts_dir.empty())
+        bitstream::write_bitstream(
+            pbs, options_.artifacts_dir + "/" +
+                     bitstream::pbs_filename(config.name, impl.partition,
+                                             job.module));
+    }
+    result.modules.push_back(std::move(impl));
+  }
+  result.physical_ok = options_.run_physical && physical_ok;
+  if (options_.run_physical) {
+    result.achieved_fmax_mhz = fmax;
+    result.timing_met = fmax >= config.clock_mhz;
+  }
+
+  PRESP_INFO("flow") << config.name << ": class "
+                     << to_string(result.decision.design_class)
+                     << ", strategy "
+                     << to_string(result.decision.strategy) << " (tau="
+                     << result.decision.tau << "), P&R "
+                     << result.pnr_total_minutes << " min, total "
+                     << result.total_minutes << " min";
+  return result;
+}
+
+StandardFlowResult PrEspFlow::run_standard(
+    const netlist::SocConfig& config) const {
+  const netlist::SocRtl rtl = netlist::elaborate(config, lib_);
+  const SizeMetrics metrics = compute_metrics(rtl, lib_, device_);
+
+  std::vector<long long> module_luts;
+  long long member_total = 0;
+  for (const auto& partition : rtl.partitions())
+    for (const std::string& module : partition.modules) {
+      const long long luts =
+          netlist::SocRtl::module_resources(lib_, module).luts;
+      module_luts.push_back(luts);
+      member_total += luts;
+    }
+
+  // The standard flow still floorplans (manually, in practice); pblock
+  // area matches ours, so reuse the floorplanner for the static region.
+  std::vector<floorplan::PartitionRequest> requests;
+  for (int p = 0; p < static_cast<int>(rtl.partitions().size()); ++p)
+    requests.push_back(
+        {rtl.partitions()[p].name, rtl.partition_demand(lib_, p)});
+  const floorplan::Floorplanner planner(device_);
+  const floorplan::Floorplan plan = planner.plan(
+      requests, rtl.static_resources(lib_), options_.floorplan);
+
+  StandardFlowResult result;
+  result.design = config.name;
+  // Single Vivado instance: synthesis of the whole design...
+  result.synth_minutes =
+      model_.synthesis(metrics.static_luts + member_total);
+  // ...then a joint serial DPR implementation.
+  result.pnr_minutes = model_.predict_standard(
+      metrics.static_luts, plan.static_capacity.luts, module_luts);
+  result.total_minutes = result.synth_minutes + result.pnr_minutes;
+  return result;
+}
+
+ScheduleEval evaluate_schedule(const RuntimeModel& model,
+                               long long static_luts,
+                               long long static_region_luts,
+                               const std::vector<long long>& module_luts,
+                               Strategy strategy, int tau) {
+  ScheduleEval eval;
+  eval.t_static = model.static_pnr(static_luts, static_region_luts);
+  if (strategy == Strategy::kSerial || module_luts.empty()) {
+    eval.total =
+        model.predict_serial(static_luts, static_region_luts, module_luts);
+    return eval;
+  }
+  const int n = static_cast<int>(module_luts.size());
+  const int effective_tau =
+      strategy == Strategy::kFullyParallel ? n : std::min(tau, n);
+  const auto groups = balanced_groups(module_luts, effective_tau);
+  std::vector<std::vector<long long>> group_luts;
+  for (const auto& group : groups) {
+    std::vector<long long> luts;
+    for (const std::size_t i : group) luts.push_back(module_luts[i]);
+    group_luts.push_back(std::move(luts));
+  }
+  eval.total = model.predict_parallel(static_luts, static_region_luts,
+                                      group_luts);
+  eval.omega = eval.total - eval.t_static;
+  return eval;
+}
+
+}  // namespace presp::core

@@ -1,0 +1,63 @@
+#include "core/metrics.hpp"
+
+#include "util/error.hpp"
+
+namespace presp::core {
+
+SizeMetrics compute_metrics(const netlist::SocRtl& rtl,
+                            const netlist::ComponentLibrary& lib,
+                            const fabric::Device& device) {
+  SizeMetrics m;
+  m.num_partitions = static_cast<int>(rtl.partitions().size());
+  m.static_luts = rtl.static_resources(lib).luts;
+  m.reconf_luts = rtl.total_reconfigurable(lib).luts;
+  const auto device_luts = static_cast<double>(device.total().luts);
+  PRESP_REQUIRE(device_luts > 0, "device has no LUTs");
+  m.kappa = static_cast<double>(m.static_luts) / device_luts;
+  if (m.num_partitions > 0) {
+    m.alpha_av = static_cast<double>(m.reconf_luts) /
+                 (static_cast<double>(m.num_partitions) * device_luts);
+    PRESP_REQUIRE(m.static_luts > 0, "design has no static part");
+    m.gamma = static_cast<double>(m.reconf_luts) /
+              static_cast<double>(m.static_luts);
+  }
+  return m;
+}
+
+const char* to_string(DesignClass cls) {
+  switch (cls) {
+    case DesignClass::kClass11: return "1.1";
+    case DesignClass::kClass12: return "1.2";
+    case DesignClass::kClass13: return "1.3";
+    case DesignClass::kClass21: return "2.1";
+    case DesignClass::kClass22: return "2.2";
+  }
+  return "?";
+}
+
+DesignClass classify(const SizeMetrics& metrics,
+                     const ClassificationBands& bands) {
+  PRESP_REQUIRE(metrics.num_partitions > 0,
+                "classification requires at least one partition");
+  const bool group1 = metrics.kappa >= bands.dominance * metrics.alpha_av;
+  const bool gamma_one =
+      metrics.gamma >= 1.0 - bands.gamma_band &&
+      metrics.gamma <= 1.0 + bands.gamma_band;
+  if (group1) {
+    if (gamma_one) return DesignClass::kClass13;
+    return metrics.gamma < 1.0 ? DesignClass::kClass11
+                               : DesignClass::kClass12;
+  }
+  // Group 2: static comparable to or smaller than the average partition.
+  // "gamma < 1 denotes an impossible condition: if the size of a static
+  // region is smaller than the average reconfigurable part, then it is
+  // impossible for the ratio of the total reconfigurable area to the
+  // static area to be smaller than one."
+  if (metrics.gamma < 1.0 - bands.gamma_band)
+    throw InvalidArgument(
+        "impossible metric combination: Group 2 with gamma < 1");
+  if (gamma_one) return DesignClass::kClass22;  // the single-tile case
+  return DesignClass::kClass21;
+}
+
+}  // namespace presp::core

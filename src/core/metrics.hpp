@@ -1,0 +1,63 @@
+// Size metrics and design classification (paper Section IV, Eq. 1).
+//
+// For an SoC with N reconfigurable partitions on a device with LUT_tot
+// LUTs:
+//   kappa    = lut_static / LUT_tot
+//   alpha_av = (sum_i lut_i) / (N * LUT_tot)
+//   gamma    = (sum_i lut_i) / lut_static
+//
+// Designs fall into five classes:
+//   Group 1 (kappa >> alpha_av):
+//     Class 1.1: gamma < 1     Class 1.2: gamma > 1   Class 1.3: gamma ~ 1
+//   Group 2 (kappa ~ alpha_av or kappa << alpha_av):
+//     Class 2.1: gamma > 1     Class 2.2: gamma ~ 1 (single partition)
+// (gamma < 1 is impossible in Group 2: if the static region is smaller
+// than the average partition it cannot exceed their sum.)
+#pragma once
+
+#include <string>
+
+#include "fabric/device.hpp"
+#include "netlist/rtl.hpp"
+
+namespace presp::core {
+
+struct SizeMetrics {
+  double kappa = 0.0;     // static fraction of the device
+  double alpha_av = 0.0;  // average partition fraction of the device
+  double gamma = 0.0;     // total reconfigurable over static
+  int num_partitions = 0;
+  long long static_luts = 0;
+  long long reconf_luts = 0;  // sum of per-partition representative sizes
+};
+
+/// Computes Eq. 1 from the elaborated design. Partition size is the
+/// representative (largest) member including the reconfigurable wrapper.
+SizeMetrics compute_metrics(const netlist::SocRtl& rtl,
+                            const netlist::ComponentLibrary& lib,
+                            const fabric::Device& device);
+
+enum class DesignClass {
+  kClass11,  // large static, small total reconfigurable
+  kClass12,  // large static, larger total reconfigurable
+  kClass13,  // large static ~ total reconfigurable
+  kClass21,  // small static, reconfigurable dominates
+  kClass22,  // small static, single partition
+};
+
+const char* to_string(DesignClass cls);
+
+struct ClassificationBands {
+  /// kappa >> alpha_av when kappa >= dominance * alpha_av.
+  double dominance = 2.2;
+  /// gamma ~ 1 band half-width: |gamma - 1| <= gamma_band.
+  double gamma_band = 0.15;
+};
+
+/// Maps metrics to the class grid. Throws InvalidArgument for metric
+/// combinations the paper proves impossible (Group 2 with gamma < 1 and
+/// more than one partition).
+DesignClass classify(const SizeMetrics& metrics,
+                     const ClassificationBands& bands = {});
+
+}  // namespace presp::core

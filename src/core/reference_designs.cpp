@@ -1,0 +1,89 @@
+#include "core/reference_designs.hpp"
+
+#include "hls/library.hpp"
+#include "util/error.hpp"
+
+namespace presp::core {
+
+namespace {
+
+netlist::SocConfig base_3x3(const std::string& name) {
+  netlist::SocConfig soc;
+  soc.name = name;
+  soc.device = "vc707";
+  soc.rows = 3;
+  soc.cols = 3;
+  soc.tiles.assign(9, netlist::TileSpec{});
+  soc.tile(0, 0).type = netlist::TileType::kCpu;
+  soc.tile(0, 1).type = netlist::TileType::kMem;
+  soc.tile(0, 2).type = netlist::TileType::kAux;
+  return soc;
+}
+
+void set_reconf(netlist::SocConfig& soc, int row, int col,
+                const std::string& acc) {
+  soc.tile(row, col).type = netlist::TileType::kReconf;
+  soc.tile(row, col).accelerators = {acc};
+}
+
+}  // namespace
+
+netlist::SocConfig characterization_soc(int index) {
+  switch (index) {
+    case 1: {
+      // 4x5, 16 MAC tiles + CPU/MEM/AUX + 1 empty.
+      netlist::SocConfig soc;
+      soc.name = "soc_1";
+      soc.device = "vc707";
+      soc.rows = 4;
+      soc.cols = 5;
+      soc.tiles.assign(20, netlist::TileSpec{});
+      soc.tile(0, 0).type = netlist::TileType::kCpu;
+      soc.tile(0, 1).type = netlist::TileType::kMem;
+      soc.tile(0, 2).type = netlist::TileType::kAux;
+      int placed = 0;
+      for (int r = 0; r < 4 && placed < 16; ++r)
+        for (int c = 0; c < 5 && placed < 16; ++c) {
+          if (r == 0 && c <= 3) continue;  // CPU/MEM/AUX + one empty tile
+          set_reconf(soc, r, c, "mac");
+          ++placed;
+        }
+      soc.validate();
+      return soc;
+    }
+    case 2: {
+      auto soc = base_3x3("soc_2");
+      set_reconf(soc, 1, 0, "conv2d");
+      set_reconf(soc, 1, 1, "gemm");
+      set_reconf(soc, 1, 2, "fft");
+      set_reconf(soc, 2, 0, "sort");
+      soc.validate();
+      return soc;
+    }
+    case 3: {
+      auto soc = base_3x3("soc_3");
+      set_reconf(soc, 1, 0, "conv2d");
+      set_reconf(soc, 1, 1, "gemm");
+      set_reconf(soc, 1, 2, "sort");
+      soc.validate();
+      return soc;
+    }
+    case 4: {
+      auto soc = characterization_soc(2);
+      soc.name = "soc_4";
+      soc.tile(0, 0).cpu_in_reconfigurable_partition = true;
+      soc.validate();
+      return soc;
+    }
+    default:
+      throw InvalidArgument("characterization SoC index must be 1..4");
+  }
+}
+
+netlist::ComponentLibrary characterization_library() {
+  auto lib = netlist::ComponentLibrary::with_builtins();
+  hls::register_characterization_kernels(lib);
+  return lib;
+}
+
+}  // namespace presp::core

@@ -1,0 +1,24 @@
+// The four characterization SoCs of paper Section IV, one per design
+// class, all targeting the VC707:
+//
+//   SOC_1 (Class 1.1): 4x5 grid, 16 reconfigurable MAC tiles
+//   SOC_2 (Class 1.2): 3x3 grid, conv2d / gemm / fft / sort tiles
+//   SOC_3 (Class 1.3): SOC_2 variant with conv2d / gemm / sort only
+//   SOC_4 (Class 2.1): SOC_2 with the CPU tile moved into the
+//                      reconfigurable part to shrink the static region
+//
+// The static part of all four is a single MEM, AUX and Leon3 CPU tile.
+#pragma once
+
+#include "netlist/components.hpp"
+#include "netlist/soc_config.hpp"
+
+namespace presp::core {
+
+netlist::SocConfig characterization_soc(int index);  // 1..4
+
+/// Component library with the five characterization accelerators
+/// registered (builtins + HLS kernels).
+netlist::ComponentLibrary characterization_library();
+
+}  // namespace presp::core

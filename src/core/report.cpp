@@ -1,0 +1,80 @@
+#include "core/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace presp::core {
+
+std::string flow_report(const FlowResult& result,
+                        const fabric::Device& device) {
+  std::ostringstream os;
+  os << "PR-ESP implementation report\n";
+  os << "============================\n";
+  os << "design:   " << result.design << "\n";
+  os << "device:   " << device.name() << "\n";
+  os << "metrics:  kappa " << TextTable::num(result.metrics.kappa * 100, 1)
+     << "%  alpha_av " << TextTable::num(result.metrics.alpha_av * 100, 1)
+     << "%  gamma " << TextTable::num(result.metrics.gamma, 2) << "  ("
+     << result.metrics.num_partitions << " partitions)\n";
+  os << "class:    " << to_string(result.decision.design_class) << "\n";
+  os << "strategy: " << to_string(result.decision.strategy)
+     << " (tau=" << result.decision.tau << ")\n\n";
+
+  os << "compile time (minutes)\n";
+  os << "  synthesis (parallel OoC makespan): "
+     << TextTable::num(result.synth_makespan_minutes, 1) << "\n";
+  os << "  static pre-route:                  "
+     << TextTable::num(result.t_static_minutes, 1) << "\n";
+  os << "  max parallel instance (omega):     "
+     << TextTable::num(result.omega_minutes, 1) << "\n";
+  os << "  P&R total:                         "
+     << TextTable::num(result.pnr_total_minutes, 1) << "\n";
+  os << "  flow total:                        "
+     << TextTable::num(result.total_minutes, 1) << "\n\n";
+
+  if (result.full_bitstream_bytes > 0) {
+    os << "physical implementation\n";
+    os << "  routed: " << (result.physical_ok ? "yes" : "NO") << "\n";
+    os << "  fmax:   " << TextTable::num(result.achieved_fmax_mhz, 1)
+       << " MHz (" << (result.timing_met ? "timing met" : "TIMING MISSED")
+       << ")\n";
+    os << "  full bitstream: "
+       << TextTable::num(
+              static_cast<double>(result.full_bitstream_bytes) / 1e6, 1)
+       << " MB\n\n";
+  }
+
+  if (!result.modules.empty()) {
+    TextTable table({"partition", "module", "pblock", "synth min",
+                     "pnr min", "pbs KB"});
+    for (const auto& m : result.modules) {
+      const auto it = result.pblocks.find(m.partition);
+      table.add_row(
+          {m.partition, m.module,
+           it != result.pblocks.end() ? it->second.to_string() : "-",
+           TextTable::num(m.synth_minutes, 1),
+           TextTable::num(m.pnr_minutes, 1),
+           m.pbs_compressed_bytes > 0
+               ? TextTable::num(
+                     static_cast<double>(m.pbs_compressed_bytes) / 1024, 0)
+               : "-"});
+    }
+    os << table.render();
+  }
+  return os.str();
+}
+
+void write_flow_report(const FlowResult& result,
+                       const fabric::Device& device,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw InvalidArgument("cannot write report to '" + path + "'");
+  out << flow_report(result, device);
+  if (!out) throw InvalidArgument("write to '" + path + "' failed");
+}
+
+}  // namespace presp::core

@@ -1,0 +1,23 @@
+// Human-readable implementation report for a flow run — what the real
+// flow prints at the end of its make target and drops next to the
+// bitstreams.
+#pragma once
+
+#include <string>
+
+#include "core/flow.hpp"
+
+namespace presp::core {
+
+/// Renders the full report: design identity, metrics/class/strategy,
+/// per-stage compile times, physical results (fmax, bitstreams) and the
+/// per-module implementation table.
+std::string flow_report(const FlowResult& result,
+                        const fabric::Device& device);
+
+/// Writes flow_report() to a file; throws InvalidArgument on I/O errors.
+void write_flow_report(const FlowResult& result,
+                       const fabric::Device& device,
+                       const std::string& path);
+
+}  // namespace presp::core

@@ -1,0 +1,108 @@
+#include "core/runtime_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace presp::core {
+
+double RuntimeModel::congestion(double utilization) const {
+  PRESP_REQUIRE(utilization >= 0.0, "negative utilization");
+  return 1.0 + c_.cong * utilization * utilization;
+}
+
+double RuntimeModel::static_pnr(long long static_luts,
+                                long long static_region_luts) const {
+  PRESP_REQUIRE(static_region_luts > 0, "empty static region");
+  const double us = static_cast<double>(static_luts) /
+                    static_cast<double>(static_region_luts);
+  return c_.ts0 +
+         c_.ts1 *
+             std::pow(static_cast<double>(static_luts) / 1000.0, c_.ts_exp) *
+             congestion(us);
+}
+
+double RuntimeModel::in_context_module(long long module_luts,
+                                       long long static_luts,
+                                       int tau) const {
+  const double u =
+      (static_cast<double>(static_luts) + static_cast<double>(module_luts)) /
+      device_luts_;
+  const double machine =
+      1.0 + c_.contention *
+                std::max(0, tau - c_.contention_free_tau);
+  return c_.r1 *
+         std::pow(static_cast<double>(module_luts) / 1000.0, c_.r_exp) *
+         congestion(u) * machine;
+}
+
+double RuntimeModel::context_overhead(long long static_luts) const {
+  return c_.ctx1 * static_cast<double>(static_luts) / 1000.0;
+}
+
+double RuntimeModel::serial_marginal(long long module_luts) const {
+  return c_.m1 *
+         std::pow(static_cast<double>(module_luts) / 1000.0, c_.m_exp);
+}
+
+double RuntimeModel::synthesis(long long luts) const {
+  return c_.syn0 + c_.syn1 * static_cast<double>(luts) / 1000.0;
+}
+
+double RuntimeModel::predict_serial(
+    long long static_luts, long long static_region_luts,
+    const std::vector<long long>& module_luts) const {
+  double total = static_pnr(static_luts, static_region_luts);
+  for (const long long luts : module_luts) total += serial_marginal(luts);
+  return total;
+}
+
+double RuntimeModel::predict_parallel(
+    long long static_luts, long long static_region_luts,
+    const std::vector<std::vector<long long>>& groups) const {
+  PRESP_REQUIRE(!groups.empty(), "parallel prediction needs groups");
+  const int tau = static_cast<int>(groups.size());
+  double omega = 0.0;
+  for (const auto& group : groups) {
+    double t = context_overhead(static_luts);
+    for (const long long luts : group)
+      t += in_context_module(luts, static_luts, tau);
+    omega = std::max(omega, t);
+  }
+  return static_pnr(static_luts, static_region_luts) + omega;
+}
+
+double RuntimeModel::predict_standard(
+    long long static_luts, long long static_region_luts,
+    const std::vector<long long>& module_luts) const {
+  return c_.mono_factor *
+         predict_serial(static_luts, static_region_luts, module_luts);
+}
+
+std::vector<std::vector<std::size_t>> balanced_groups(
+    const std::vector<long long>& module_luts, int tau) {
+  PRESP_REQUIRE(tau >= 1, "tau must be >= 1");
+  const int groups_n =
+      std::min<int>(tau, std::max<int>(1, static_cast<int>(
+                                              module_luts.size())));
+  std::vector<std::size_t> order(module_luts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (module_luts[a] != module_luts[b])
+      return module_luts[a] > module_luts[b];
+    return a < b;
+  });
+  std::vector<std::vector<std::size_t>> groups(
+      static_cast<std::size_t>(groups_n));
+  std::vector<long long> load(static_cast<std::size_t>(groups_n), 0);
+  for (const std::size_t i : order) {
+    const std::size_t g = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    groups[g].push_back(i);
+    load[g] += module_luts[i];
+  }
+  return groups;
+}
+
+}  // namespace presp::core

@@ -1,0 +1,111 @@
+#include "core/strategy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace presp::core {
+
+const char* to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kSerial: return "serial";
+    case Strategy::kSemiParallel: return "semi-parallel";
+    case Strategy::kFullyParallel: return "fully-parallel";
+  }
+  return "?";
+}
+
+namespace {
+
+StrategyDecision make_decision(Strategy strategy, int tau,
+                               DesignClass cls,
+                               const StrategyInputs& in,
+                               const RuntimeModel& model) {
+  StrategyDecision d;
+  d.strategy = strategy;
+  d.design_class = cls;
+  if (strategy == Strategy::kSerial) {
+    d.tau = 1;
+    d.groups.emplace_back();
+    for (std::size_t i = 0; i < in.module_luts.size(); ++i)
+      d.groups.front().push_back(i);
+    d.predicted_minutes = model.predict_serial(
+        in.metrics.static_luts, in.static_region_luts, in.module_luts);
+    return d;
+  }
+  d.tau = tau;
+  d.groups = balanced_groups(in.module_luts, tau);
+  std::vector<std::vector<long long>> group_luts;
+  group_luts.reserve(d.groups.size());
+  for (const auto& group : d.groups) {
+    std::vector<long long> luts;
+    for (const std::size_t i : group) luts.push_back(in.module_luts[i]);
+    group_luts.push_back(std::move(luts));
+  }
+  d.predicted_minutes = model.predict_parallel(
+      in.metrics.static_luts, in.static_region_luts, group_luts);
+  return d;
+}
+
+}  // namespace
+
+StrategyDecision choose_strategy_oracle(const StrategyInputs& inputs,
+                                        const RuntimeModel& model,
+                                        const ClassificationBands& bands) {
+  PRESP_REQUIRE(!inputs.module_luts.empty(),
+                "strategy choice needs at least one reconfigurable module");
+  const DesignClass cls = classify(inputs.metrics, bands);
+  const int n = static_cast<int>(inputs.module_luts.size());
+  StrategyDecision best =
+      make_decision(Strategy::kSerial, 1, cls, inputs, model);
+  for (int tau = 2; tau <= n; ++tau) {
+    const Strategy strategy = tau == n ? Strategy::kFullyParallel
+                                       : Strategy::kSemiParallel;
+    const auto candidate = make_decision(strategy, tau, cls, inputs, model);
+    if (candidate.predicted_minutes < best.predicted_minutes)
+      best = candidate;
+  }
+  return best;
+}
+
+StrategyDecision choose_strategy(const StrategyInputs& inputs,
+                                 const RuntimeModel& model,
+                                 int default_semi_tau,
+                                 const ClassificationBands& bands) {
+  PRESP_REQUIRE(!inputs.module_luts.empty(),
+                "strategy choice needs at least one reconfigurable module");
+  PRESP_REQUIRE(default_semi_tau >= 2, "semi-parallel needs tau >= 2");
+  const DesignClass cls = classify(inputs.metrics, bands);
+  const int n = static_cast<int>(inputs.module_luts.size());
+
+  switch (cls) {
+    case DesignClass::kClass11:
+    case DesignClass::kClass22:
+      return make_decision(Strategy::kSerial, 1, cls, inputs, model);
+    case DesignClass::kClass13:
+      // kappa ~ alpha with gamma ~ 1 would be serial (Table I row 1), but
+      // Class 1.3 implies kappa >> alpha: semi-parallel.
+      if (n < 2)
+        return make_decision(Strategy::kSerial, 1, cls, inputs, model);
+      return make_decision(Strategy::kSemiParallel,
+                           std::min(default_semi_tau, n), cls, inputs,
+                           model);
+    case DesignClass::kClass21:
+      return make_decision(Strategy::kFullyParallel, n, cls, inputs, model);
+    case DesignClass::kClass12: {
+      // "semi/fully-parallel": consult the model.
+      if (n < 2)
+        return make_decision(Strategy::kSerial, 1, cls, inputs, model);
+      const auto semi = make_decision(Strategy::kSemiParallel,
+                                      std::min(default_semi_tau, n), cls,
+                                      inputs, model);
+      const auto fully =
+          make_decision(Strategy::kFullyParallel, n, cls, inputs, model);
+      return fully.predicted_minutes <= semi.predicted_minutes ? fully
+                                                               : semi;
+    }
+  }
+  throw LogicError("unreachable strategy class");
+}
+
+}  // namespace presp::core

@@ -1,0 +1,62 @@
+// The size-driven P&R parallelism strategy algorithm (paper Table I).
+//
+//                     gamma < 1    gamma ~ 1       gamma > 1
+//   kappa ~ alpha_av      -          serial        fully-parallel
+//   kappa >> alpha_av   serial    semi-parallel    semi/fully-parallel
+//   kappa << alpha_av     -          serial        fully-parallel
+//
+// The two empty cells are impossible conditions. The (Group 1, gamma > 1)
+// cell lists both semi- and fully-parallel; there the algorithm consults
+// the runtime model to pick the cheaper of tau = 2 and tau = N — the
+// "further understanding of the behavior of the CAD tool" the paper builds
+// its characterization for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/runtime_model.hpp"
+
+namespace presp::core {
+
+enum class Strategy { kSerial, kSemiParallel, kFullyParallel };
+
+const char* to_string(Strategy strategy);
+
+struct StrategyDecision {
+  Strategy strategy = Strategy::kSerial;
+  /// Number of parallel P&R instances (1 for serial, N for fully-parallel).
+  int tau = 1;
+  DesignClass design_class = DesignClass::kClass11;
+  /// Module indices per parallel instance (single group when serial).
+  std::vector<std::vector<std::size_t>> groups;
+  /// Model-predicted P&R makespan in minutes.
+  double predicted_minutes = 0.0;
+};
+
+struct StrategyInputs {
+  SizeMetrics metrics;
+  /// LUTs of every module to implement (across all partitions).
+  std::vector<long long> module_luts;
+  /// LUT capacity left to the static part after floorplanning.
+  long long static_region_luts = 0;
+};
+
+/// Runs the Table I algorithm. `default_semi_tau` is the tau used for
+/// semi-parallel cells (the paper's evaluation fixes tau = 2).
+StrategyDecision choose_strategy(const StrategyInputs& inputs,
+                                 const RuntimeModel& model,
+                                 int default_semi_tau = 2,
+                                 const ClassificationBands& bands = {});
+
+/// Extension beyond the paper's fixed tau: exhaustively evaluates every
+/// (strategy, tau) schedule with the runtime model and returns the
+/// cheapest. The class label is still computed (for reporting), but the
+/// Table I mapping is bypassed — this is the model-oracle upper bound the
+/// ablation benches compare the classifier against.
+StrategyDecision choose_strategy_oracle(const StrategyInputs& inputs,
+                                        const RuntimeModel& model,
+                                        const ClassificationBands& bands = {});
+
+}  // namespace presp::core

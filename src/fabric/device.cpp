@@ -1,0 +1,176 @@
+#include "fabric/device.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace presp::fabric {
+
+const char* to_string(ColumnType type) {
+  switch (type) {
+    case ColumnType::kClb: return "CLB";
+    case ColumnType::kBram: return "BRAM";
+    case ColumnType::kDsp: return "DSP";
+    case ColumnType::kIo: return "IO";
+    case ColumnType::kClock: return "CLK";
+  }
+  return "?";
+}
+
+int FrameProfile::frames_for(ColumnType type) const {
+  switch (type) {
+    case ColumnType::kClb: return clb_frames;
+    case ColumnType::kBram: return bram_frames + bram_content_frames;
+    case ColumnType::kDsp: return dsp_frames;
+    case ColumnType::kIo: return io_frames;
+    case ColumnType::kClock: return clock_frames;
+  }
+  return 0;
+}
+
+Device::Device(std::string name, int region_rows,
+               std::vector<ColumnType> columns, ResourceVec clb_cell,
+               int bram36_per_cell, int dsp_per_cell, FrameProfile frames)
+    : name_(std::move(name)),
+      region_rows_(region_rows),
+      columns_(std::move(columns)),
+      clb_cell_(clb_cell),
+      bram36_per_cell_(bram36_per_cell),
+      dsp_per_cell_(dsp_per_cell),
+      frames_(frames) {
+  PRESP_REQUIRE(region_rows_ > 0, "device needs at least one region row");
+  PRESP_REQUIRE(!columns_.empty(), "device needs at least one column");
+  for (int col = 0; col < num_columns(); ++col)
+    total_ += cell_resources(col) * region_rows_;
+}
+
+ColumnType Device::column_type(int col) const {
+  PRESP_REQUIRE(col >= 0 && col < num_columns(), "column index out of range");
+  return columns_[static_cast<std::size_t>(col)];
+}
+
+ResourceVec Device::cell_resources(ColumnType type) const {
+  switch (type) {
+    case ColumnType::kClb: return clb_cell_;
+    case ColumnType::kBram: return ResourceVec{0, 0, bram36_per_cell_, 0};
+    case ColumnType::kDsp: return ResourceVec{0, 0, 0, dsp_per_cell_};
+    case ColumnType::kIo:
+    case ColumnType::kClock: return ResourceVec{};
+  }
+  return ResourceVec{};
+}
+
+namespace {
+
+/// Builds a realistic column sequence: IO at both edges, one clocking spine
+/// in the middle, BRAM/DSP columns distributed evenly among the CLB columns
+/// (Xilinx fabrics interleave memory/DSP columns through the logic).
+std::vector<ColumnType> make_columns(int clb_cols, int bram_cols,
+                                     int dsp_cols) {
+  const int special = bram_cols + dsp_cols;
+  std::vector<ColumnType> cols;
+  cols.push_back(ColumnType::kIo);
+  // Positions of BRAM/DSP columns among (clb + special) inner columns,
+  // alternating BRAM and DSP as they appear on real parts.
+  const int inner = clb_cols + special;
+  int placed_bram = 0;
+  int placed_dsp = 0;
+  int placed_special = 0;
+  for (int i = 0; i < inner; ++i) {
+    // Even spacing: a special column belongs at position i when the running
+    // quota crosses an integer boundary.
+    const bool special_here =
+        special > 0 &&
+        (i + 1) * special / inner > placed_special;
+    if (special_here) {
+      // Alternate, preferring whichever type is behind its own quota.
+      const bool pick_bram =
+          placed_dsp * bram_cols >= placed_bram * dsp_cols
+              ? placed_bram < bram_cols
+              : placed_dsp >= dsp_cols;
+      if (pick_bram) {
+        cols.push_back(ColumnType::kBram);
+        ++placed_bram;
+      } else {
+        cols.push_back(ColumnType::kDsp);
+        ++placed_dsp;
+      }
+      ++placed_special;
+    } else {
+      cols.push_back(ColumnType::kClb);
+    }
+  }
+  // Clocking spine in the middle of the die.
+  cols.insert(cols.begin() + static_cast<long>(cols.size() / 2),
+              ColumnType::kClock);
+  cols.push_back(ColumnType::kIo);
+  return cols;
+}
+
+}  // namespace
+
+Device Device::vc707() {
+  // XC7VX485T: 303,600 LUT / 607,200 FF / 1,030 RAMB36 / 2,800 DSP48,
+  // modeled as 7 clock-region rows. Cell granularity: 400 LUT per CLB
+  // column cell, 10 RAMB36 per BRAM cell, 20 DSP per DSP cell.
+  // 108 CLB + 15 BRAM + 20 DSP columns => totals within 2% of the part.
+  return Device("xc7vx485t (VC707)", 7, make_columns(108, 15, 20),
+                ResourceVec{400, 800, 0, 0}, 10, 20, FrameProfile{});
+}
+
+Device Device::vcu118() {
+  // XCVU9P: 1,182,240 LUT / 2,364,480 FF / 2,160 RAMB36 / 6,840 DSP48.
+  FrameProfile us{.clb_frames = 32,
+                  .bram_frames = 26,
+                  .bram_content_frames = 256,
+                  .dsp_frames = 26,
+                  .io_frames = 48,
+                  .clock_frames = 28,
+                  .frame_bytes = 372};
+  return Device("xcvu9p (VCU118)", 15, make_columns(164, 12, 19),
+                ResourceVec{480, 960, 0, 0}, 12, 24, us);
+}
+
+Device Device::vcu128() {
+  // XCVU37P: 1,303,680 LUT / 2,607,360 FF / 2,016 RAMB36 / 9,024 DSP48.
+  FrameProfile us{.clb_frames = 32,
+                  .bram_frames = 26,
+                  .bram_content_frames = 256,
+                  .dsp_frames = 26,
+                  .io_frames = 48,
+                  .clock_frames = 28,
+                  .frame_bytes = 372};
+  return Device("xcvu37p (VCU128)", 15, make_columns(181, 11, 25),
+                ResourceVec{480, 960, 0, 0}, 12, 24, us);
+}
+
+std::string Pblock::to_string() const {
+  return "pblock[cols " + std::to_string(col_lo) + ".." +
+         std::to_string(col_hi) + ", rows " + std::to_string(row_lo) + ".." +
+         std::to_string(row_hi) + "]";
+}
+
+ResourceVec pblock_resources(const Device& device, const Pblock& pblock) {
+  PRESP_REQUIRE(pblock.valid(), "invalid pblock rectangle");
+  PRESP_REQUIRE(pblock.col_lo >= 0 && pblock.col_hi < device.num_columns() &&
+                    pblock.row_lo >= 0 && pblock.row_hi < device.region_rows(),
+                "pblock out of device bounds");
+  ResourceVec total;
+  for (int col = pblock.col_lo; col <= pblock.col_hi; ++col) {
+    if (!Device::reconfigurable_column(device.column_type(col))) continue;
+    total += device.cell_resources(col) * pblock.height();
+  }
+  return total;
+}
+
+long long pblock_frames(const Device& device, const Pblock& pblock) {
+  PRESP_REQUIRE(pblock.valid(), "invalid pblock rectangle");
+  long long frames = 0;
+  for (int col = pblock.col_lo; col <= pblock.col_hi; ++col)
+    frames += static_cast<long long>(
+                  device.frames().frames_for(device.column_type(col))) *
+              pblock.height();
+  return frames;
+}
+
+}  // namespace presp::fabric

@@ -1,0 +1,135 @@
+// Columnar FPGA device model.
+//
+// Xilinx fabrics are organized as columns of homogeneous sites crossed by
+// horizontal clock-region boundaries. Configuration is frame-based: the
+// atomic reconfiguration unit is one column within one clock-region row.
+// This is exactly the abstraction DPR floorplanning legality and partial
+// bitstream sizing depend on, so the model keeps:
+//   - a row of clock regions (row height = one region),
+//   - an ordered sequence of columns, each of a resource type,
+//   - per-type site capacity and configuration-frame counts per
+//     column/region cell.
+//
+// Devices for the paper's three evaluation boards are provided. Counts are
+// derived from the public Xilinx data sheets, rounded to a uniform columnar
+// grid; totals match the real parts to within ~1% (see tests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/resources.hpp"
+
+namespace presp::fabric {
+
+enum class ColumnType : std::uint8_t {
+  kClb,    // logic: LUTs + FFs
+  kBram,   // block RAM (RAMB36)
+  kDsp,    // DSP48 slices
+  kIo,     // I/O banks: not allocatable to reconfigurable partitions
+  kClock,  // clocking spine: not allocatable to reconfigurable partitions
+};
+
+const char* to_string(ColumnType type);
+
+/// Number of configuration frames occupied by one (column x region) cell.
+/// Values follow the 7-series/UltraScale frame organization (logic frames
+/// for CLB/DSP columns; BRAM columns add content frames).
+struct FrameProfile {
+  int clb_frames = 36;
+  int bram_frames = 28;
+  int bram_content_frames = 128;
+  int dsp_frames = 28;
+  int io_frames = 42;
+  int clock_frames = 30;
+  /// Bytes per configuration frame (101 words x 32 bit, 7-series).
+  int frame_bytes = 404;
+
+  int frames_for(ColumnType type) const;
+};
+
+class Device {
+ public:
+  /// `columns` lists the column type sequence left-to-right; the same
+  /// sequence repeats in each of `region_rows` clock-region rows.
+  Device(std::string name, int region_rows, std::vector<ColumnType> columns,
+         ResourceVec clb_cell, int bram36_per_cell, int dsp_per_cell,
+         FrameProfile frames);
+
+  const std::string& name() const { return name_; }
+  int region_rows() const { return region_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  ColumnType column_type(int col) const;
+
+  /// Resources contributed by one (column, region-row) cell.
+  ResourceVec cell_resources(ColumnType type) const;
+  ResourceVec cell_resources(int col) const {
+    return cell_resources(column_type(col));
+  }
+
+  /// Whole-device capacity.
+  const ResourceVec& total() const { return total_; }
+
+  const FrameProfile& frames() const { return frames_; }
+
+  /// Columns whose type may be included in a reconfigurable partition.
+  static bool reconfigurable_column(ColumnType type) {
+    return type == ColumnType::kClb || type == ColumnType::kBram ||
+           type == ColumnType::kDsp;
+  }
+
+  // Factory functions for the paper's evaluation boards.
+  static Device vc707();    // Virtex-7 XC7VX485T
+  static Device vcu118();   // Virtex UltraScale+ XCVU9P
+  static Device vcu128();   // Virtex UltraScale+ XCVU37P
+
+ private:
+  std::string name_;
+  int region_rows_;
+  std::vector<ColumnType> columns_;
+  ResourceVec clb_cell_;
+  int bram36_per_cell_;
+  int dsp_per_cell_;
+  FrameProfile frames_;
+  ResourceVec total_;
+};
+
+/// Axis-aligned rectangle of (column, region-row) cells: the physical
+/// placement constraint for one reconfigurable partition ("pblock" in
+/// Vivado terminology). Both bounds are inclusive.
+struct Pblock {
+  int col_lo = 0;
+  int col_hi = -1;
+  int row_lo = 0;
+  int row_hi = -1;
+
+  bool valid() const { return col_lo <= col_hi && row_lo <= row_hi; }
+  int width() const { return col_hi - col_lo + 1; }
+  int height() const { return row_hi - row_lo + 1; }
+  long long cells() const {
+    return static_cast<long long>(width()) * height();
+  }
+
+  bool contains(int col, int row) const {
+    return col >= col_lo && col <= col_hi && row >= row_lo && row <= row_hi;
+  }
+  bool overlaps(const Pblock& other) const {
+    return col_lo <= other.col_hi && other.col_lo <= col_hi &&
+           row_lo <= other.row_hi && other.row_lo <= row_hi;
+  }
+
+  std::string to_string() const;
+};
+
+/// Total resources enclosed by a pblock on a device. Non-reconfigurable
+/// columns (IO, clocking) contribute nothing.
+ResourceVec pblock_resources(const Device& device, const Pblock& pblock);
+
+/// Number of configuration frames a pblock spans (determines partial
+/// bitstream size before compression). Includes non-reconfigurable columns
+/// crossed by the rectangle since their frames are still part of the
+/// addressed configuration rows.
+long long pblock_frames(const Device& device, const Pblock& pblock);
+
+}  // namespace presp::fabric

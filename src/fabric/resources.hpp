@@ -1,0 +1,80 @@
+// FPGA resource accounting. All sizing decisions in the PR-ESP flow
+// (floorplanning legality, the kappa/alpha/gamma metrics of Section IV,
+// the runtime model) are made over these vectors, mirroring how the paper
+// reasons in post-synthesis LUT/FF/BRAM/DSP counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace presp::fabric {
+
+struct ResourceVec {
+  std::int64_t luts = 0;
+  std::int64_t ffs = 0;
+  std::int64_t bram36 = 0;
+  std::int64_t dsp = 0;
+
+  constexpr ResourceVec& operator+=(const ResourceVec& o) {
+    luts += o.luts;
+    ffs += o.ffs;
+    bram36 += o.bram36;
+    dsp += o.dsp;
+    return *this;
+  }
+  constexpr ResourceVec& operator-=(const ResourceVec& o) {
+    luts -= o.luts;
+    ffs -= o.ffs;
+    bram36 -= o.bram36;
+    dsp -= o.dsp;
+    return *this;
+  }
+  friend constexpr ResourceVec operator+(ResourceVec a, const ResourceVec& b) {
+    return a += b;
+  }
+  friend constexpr ResourceVec operator-(ResourceVec a, const ResourceVec& b) {
+    return a -= b;
+  }
+  friend constexpr ResourceVec operator*(ResourceVec a, std::int64_t k) {
+    a.luts *= k;
+    a.ffs *= k;
+    a.bram36 *= k;
+    a.dsp *= k;
+    return a;
+  }
+  friend constexpr bool operator==(const ResourceVec&,
+                                   const ResourceVec&) = default;
+
+  /// True when every component of `demand` fits within this vector.
+  constexpr bool covers(const ResourceVec& demand) const {
+    return luts >= demand.luts && ffs >= demand.ffs &&
+           bram36 >= demand.bram36 && dsp >= demand.dsp;
+  }
+
+  constexpr bool is_zero() const {
+    return luts == 0 && ffs == 0 && bram36 == 0 && dsp == 0;
+  }
+
+  /// Component-wise non-negative check (sanity for subtraction results).
+  constexpr bool non_negative() const {
+    return luts >= 0 && ffs >= 0 && bram36 >= 0 && dsp >= 0;
+  }
+
+  std::string to_string() const {
+    return "{LUT:" + std::to_string(luts) + " FF:" + std::to_string(ffs) +
+           " BRAM:" + std::to_string(bram36) + " DSP:" + std::to_string(dsp) +
+           "}";
+  }
+};
+
+/// LUT utilization of `demand` against `capacity` in [0,1]; the paper's
+/// size metrics are defined over LUTs only (Eq. 1).
+constexpr double lut_fraction(const ResourceVec& demand,
+                              const ResourceVec& capacity) {
+  return capacity.luts == 0
+             ? 0.0
+             : static_cast<double>(demand.luts) /
+                   static_cast<double>(capacity.luts);
+}
+
+}  // namespace presp::fabric

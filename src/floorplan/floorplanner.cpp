@@ -1,0 +1,186 @@
+#include "floorplan/floorplanner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace presp::floorplan {
+
+namespace {
+
+fabric::ResourceVec inflate(const fabric::ResourceVec& demand,
+                            double margin) {
+  auto scale = [margin](std::int64_t v) {
+    return static_cast<std::int64_t>(std::ceil(static_cast<double>(v) *
+                                               margin));
+  };
+  return {scale(demand.luts), scale(demand.ffs), scale(demand.bram36),
+          scale(demand.dsp)};
+}
+
+}  // namespace
+
+double lut_equivalent(const fabric::ResourceVec& r) {
+  // FF capacity tracks LUT capacity 2:1 on the modeled fabrics, so FFs are
+  // not counted separately; BRAM/DSP weights approximate their die area
+  // relative to a LUT.
+  return static_cast<double>(r.luts) + 150.0 * static_cast<double>(r.bram36) +
+         50.0 * static_cast<double>(r.dsp);
+}
+
+bool Floorplanner::legal(const fabric::Pblock& pblock,
+                         const fabric::ResourceVec& demand) const {
+  if (!pblock.valid() || pblock.col_lo < 0 ||
+      pblock.col_hi >= device_.num_columns() || pblock.row_lo < 0 ||
+      pblock.row_hi >= device_.region_rows())
+    return false;
+  for (int col = pblock.col_lo; col <= pblock.col_hi; ++col)
+    if (!fabric::Device::reconfigurable_column(device_.column_type(col)))
+      return false;
+  return fabric::pblock_resources(device_, pblock).covers(demand);
+}
+
+std::vector<fabric::Pblock> Floorplanner::candidates(
+    const fabric::ResourceVec& demand) const {
+  std::vector<fabric::Pblock> result;
+  const int rows = device_.region_rows();
+  const int cols = device_.num_columns();
+
+  for (int height = 1; height <= rows; ++height) {
+    for (int row_lo = 0; row_lo + height - 1 < rows; ++row_lo) {
+      const int row_hi = row_lo + height - 1;
+      for (int col_lo = 0; col_lo < cols; ++col_lo) {
+        if (!fabric::Device::reconfigurable_column(
+                device_.column_type(col_lo)))
+          continue;
+        // Extend right to the minimal covering width (first fit).
+        fabric::ResourceVec acc;
+        bool found = false;
+        for (int col_hi = col_lo; col_hi < cols; ++col_hi) {
+          if (!fabric::Device::reconfigurable_column(
+                  device_.column_type(col_hi)))
+            break;  // cannot cross IO / clocking columns
+          acc += device_.cell_resources(col_hi) * height;
+          if (acc.covers(demand)) {
+            result.push_back(fabric::Pblock{col_lo, col_hi, row_lo, row_hi});
+            found = true;
+            break;
+          }
+        }
+        if (!found) continue;
+      }
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [this, &demand](const fabric::Pblock& a, const fabric::Pblock& b) {
+              const double wa =
+                  lut_equivalent(fabric::pblock_resources(device_, a) - demand);
+              const double wb =
+                  lut_equivalent(fabric::pblock_resources(device_, b) - demand);
+              if (wa != wb) return wa < wb;
+              if (a.row_lo != b.row_lo) return a.row_lo < b.row_lo;
+              return a.col_lo < b.col_lo;
+            });
+  return result;
+}
+
+Floorplan Floorplanner::plan(const std::vector<PartitionRequest>& requests,
+                             const fabric::ResourceVec& static_demand,
+                             const FloorplanOptions& options) const {
+  PRESP_REQUIRE(options.utilization_margin >= 1.0,
+                "utilization margin must be >= 1");
+
+  // Inflated demands, processed largest-first (classic floorplanning
+  // order), but results reported in request order.
+  std::vector<fabric::ResourceVec> demands;
+  demands.reserve(requests.size());
+  for (const PartitionRequest& req : requests) {
+    PRESP_REQUIRE(req.demand.non_negative(), "negative partition demand");
+    demands.push_back(inflate(req.demand, options.utilization_margin));
+  }
+  std::vector<std::size_t> order(requests.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return lut_equivalent(demands[a]) > lut_equivalent(demands[b]);
+  });
+
+  std::vector<fabric::Pblock> placed(requests.size());
+  std::vector<bool> done(requests.size(), false);
+
+  auto overlaps_any = [&](const fabric::Pblock& pb, std::size_t self) {
+    for (std::size_t j = 0; j < placed.size(); ++j)
+      if (j != self && done[j] && pb.overlaps(placed[j])) return true;
+    return false;
+  };
+
+  for (const std::size_t i : order) {
+    const auto cands = candidates(demands[i]);
+    bool found = false;
+    for (const fabric::Pblock& cand : cands) {
+      if (overlaps_any(cand, i)) continue;
+      placed[i] = cand;
+      done[i] = true;
+      found = true;
+      break;
+    }
+    if (!found)
+      throw InfeasibleDesign("no legal pblock for partition '" +
+                             requests[i].name + "' (demand " +
+                             demands[i].to_string() + ")");
+  }
+
+  auto total_waste = [&] {
+    double w = 0.0;
+    for (std::size_t i = 0; i < placed.size(); ++i)
+      w += lut_equivalent(fabric::pblock_resources(device_, placed[i]) -
+                          demands[i]);
+    return w;
+  };
+
+  // Stochastic refinement: try relocating one pblock at a time to a less
+  // wasteful legal rectangle, accepting strict improvements (the greedy
+  // order can strand early pblocks in oversized rectangles). Candidate
+  // lists are demand-dependent only, so they are enumerated once per
+  // partition and reused across iterations.
+  if (options.refine && !requests.empty()) {
+    presp::Rng rng(options.seed);
+    std::vector<std::vector<fabric::Pblock>> cached(requests.size());
+    double best = total_waste();
+    for (int iter = 0; iter < options.refine_iterations; ++iter) {
+      const std::size_t i =
+          static_cast<std::size_t>(rng.next_below(placed.size()));
+      if (cached[i].empty()) cached[i] = candidates(demands[i]);
+      const auto& cands = cached[i];
+      if (cands.empty()) continue;
+      // Probe a random prefix position: earlier candidates waste less.
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.next_below(std::min<std::size_t>(cands.size(), 16)));
+      const fabric::Pblock old = placed[i];
+      if (overlaps_any(cands[pick], i)) continue;
+      placed[i] = cands[pick];
+      const double now = total_waste();
+      if (now < best) {
+        best = now;
+      } else {
+        placed[i] = old;
+      }
+    }
+  }
+
+  Floorplan plan;
+  plan.pblocks = placed;
+  plan.static_capacity = device_.total();
+  for (std::size_t i = 0; i < placed.size(); ++i)
+    plan.static_capacity -= fabric::pblock_resources(device_, placed[i]);
+  plan.waste = total_waste();
+
+  if (!plan.static_capacity.covers(static_demand))
+    throw InfeasibleDesign(
+        "static part no longer fits after floorplanning: need " +
+        static_demand.to_string() + ", have " +
+        plan.static_capacity.to_string());
+  return plan;
+}
+
+}  // namespace presp::floorplan

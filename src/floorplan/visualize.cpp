@@ -1,0 +1,53 @@
+#include "floorplan/visualize.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace presp::floorplan {
+
+std::string visualize(const fabric::Device& device,
+                      const std::vector<fabric::Pblock>& pblocks,
+                      const std::vector<std::string>& names,
+                      const VisualizeOptions& options) {
+  PRESP_REQUIRE(options.cols_per_char >= 1, "cols_per_char must be >= 1");
+  PRESP_REQUIRE(pblocks.size() <= 26, "too many pblocks to letter");
+
+  std::ostringstream os;
+  const int cols = device.num_columns();
+  for (int row = 0; row < device.region_rows(); ++row) {
+    os << 'Y' << row << ' ';
+    for (int col = 0; col < cols; col += options.cols_per_char) {
+      // A pblock wins the character if it covers any folded column.
+      char ch = 0;
+      for (std::size_t p = 0; p < pblocks.size() && ch == 0; ++p)
+        for (int c = col;
+             c < std::min(cols, col + options.cols_per_char) && ch == 0; ++c)
+          if (pblocks[p].contains(c, row))
+            ch = static_cast<char>('A' + p);
+      if (ch == 0) {
+        switch (device.column_type(col)) {
+          case fabric::ColumnType::kClb: ch = '.'; break;
+          case fabric::ColumnType::kBram: ch = 'b'; break;
+          case fabric::ColumnType::kDsp: ch = 'd'; break;
+          case fabric::ColumnType::kClock: ch = '|'; break;
+          case fabric::ColumnType::kIo: ch = 'i'; break;
+        }
+      }
+      os << ch;
+    }
+    os << '\n';
+  }
+  if (options.show_legend) {
+    os << "legend: . CLB  b BRAM  d DSP  | clock spine  i I/O";
+    for (std::size_t p = 0; p < pblocks.size(); ++p) {
+      os << "  " << static_cast<char>('A' + p) << '=';
+      os << (p < names.size() ? names[p] : "RT_" + std::to_string(p + 1));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace presp::floorplan

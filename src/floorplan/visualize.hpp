@@ -1,0 +1,28 @@
+// ASCII rendering of a device floorplan: clock-region rows of column
+// cells, with partition pblocks overlaid. Intended for flow reports and
+// examples — one glance shows where the reconfigurable partitions sit and
+// what is left to the static part.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/device.hpp"
+
+namespace presp::floorplan {
+
+struct VisualizeOptions {
+  /// Fabric columns folded into one output character.
+  int cols_per_char = 2;
+  bool show_legend = true;
+};
+
+/// Renders the device: '.' static CLB fabric, 'b' BRAM, 'd' DSP, '|' the
+/// clocking spine, 'i' I/O columns; pblocks print as 'A', 'B', ... in
+/// request order.
+std::string visualize(const fabric::Device& device,
+                      const std::vector<fabric::Pblock>& pblocks,
+                      const std::vector<std::string>& names = {},
+                      const VisualizeOptions& options = {});
+
+}  // namespace presp::floorplan

@@ -1,0 +1,82 @@
+#include "hls/estimator.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace presp::hls {
+
+long long LatencyModel::compute_cycles(long long items) const {
+  PRESP_REQUIRE(items >= 0, "negative item count");
+  if (items == 0) return startup_cycles;
+  const long long beats =
+      (items + items_per_beat - 1) / items_per_beat;
+  return startup_cycles + beats * ii + drain_cycles;
+}
+
+SynthesizedKernel estimate(const KernelSpec& spec) {
+  PRESP_REQUIRE(!spec.name.empty(), "kernel needs a name");
+  PRESP_REQUIRE(spec.num_pes >= 1, "kernel needs at least one PE");
+  PRESP_REQUIRE(spec.pipeline_ii >= 1, "initiation interval must be >= 1");
+
+  fabric::ResourceVec r;
+
+  // Datapath: PE array.
+  int pe_luts = 0;
+  int pe_ffs = 0;
+  int pe_dsp = 0;
+  for (const OpCount& op : spec.pe_ops) {
+    PRESP_REQUIRE(op.count >= 1, "operator count must be positive");
+    const OpCost cost = op_cost(op.kind);
+    pe_luts += cost.luts * op.count;
+    pe_ffs += cost.ffs * op.count;
+    pe_dsp += cost.dsp * op.count;
+  }
+  r.luts += static_cast<std::int64_t>(pe_luts) * spec.num_pes;
+  r.ffs += static_cast<std::int64_t>(pe_ffs) * spec.num_pes;
+  r.dsp += static_cast<std::int64_t>(pe_dsp) * spec.num_pes;
+
+  // Distribution/collection muxing grows with the PE count.
+  r.luts += 24LL * spec.num_pes;
+  r.ffs += 16LL * spec.num_pes;
+
+  // Address generators (burst counters + strides).
+  r.luts += 450LL * spec.address_generators;
+  r.ffs += 380LL * spec.address_generators;
+
+  // Controller: base + per-state decode.
+  r.luts += 300 + 60LL * spec.fsm_states;
+  r.ffs += 200 + 24LL * spec.fsm_states;
+
+  // ESP load/store + config-register interface logic.
+  r.luts += 550;
+  r.ffs += 700;
+
+  // Buffering glue and scratchpad.
+  r.luts += spec.buffer_luts;
+  r.bram36 += (spec.scratchpad_bytes + 4095) / 4096;
+
+  LatencyModel lat;
+  lat.startup_cycles = 20 + 4LL * spec.fsm_states;
+  lat.items_per_beat = spec.num_pes;
+  lat.ii = spec.pipeline_ii;
+  lat.drain_cycles = spec.pipeline_depth;
+  lat.words_in_per_item = spec.words_in_per_item;
+  lat.words_out_per_item = spec.words_out_per_item;
+
+  return SynthesizedKernel{spec.name, r, lat};
+}
+
+SynthesizedKernel register_kernel(netlist::ComponentLibrary& lib,
+                                  const KernelSpec& spec) {
+  SynthesizedKernel kernel = estimate(spec);
+  netlist::BlockModel block;
+  block.name = kernel.name;
+  block.resources = kernel.resources;
+  block.reconfigurable = true;
+  block.interface_bits = 96;
+  lib.register_block(std::move(block));
+  return kernel;
+}
+
+}  // namespace presp::hls

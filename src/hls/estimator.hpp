@@ -1,0 +1,48 @@
+// HLS synthesis estimator: turns a KernelSpec into (a) a post-synthesis
+// resource footprint compatible with the component library, and (b) a
+// cycle-level latency/throughput model used by the SoC simulator's
+// accelerator datapaths.
+#pragma once
+
+#include <string>
+
+#include "fabric/resources.hpp"
+#include "hls/kernel_spec.hpp"
+#include "netlist/components.hpp"
+
+namespace presp::hls {
+
+/// Throughput/latency model of a synthesized accelerator.
+struct LatencyModel {
+  /// Configuration + FSM startup cycles per invocation.
+  long long startup_cycles = 0;
+  /// Items accepted per `ii` cycles across the whole PE array.
+  int items_per_beat = 1;
+  int ii = 1;
+  /// Pipeline drain at the end of an invocation.
+  long long drain_cycles = 0;
+  /// DMA words (64-bit) moved per item.
+  double words_in_per_item = 1.0;
+  double words_out_per_item = 1.0;
+
+  /// Pure compute cycles to process `items` (excludes DMA, which the SoC
+  /// model accounts for separately on the NoC).
+  long long compute_cycles(long long items) const;
+};
+
+struct SynthesizedKernel {
+  std::string name;
+  fabric::ResourceVec resources;
+  LatencyModel latency;
+};
+
+/// Runs the estimator. Deterministic: identical specs yield identical
+/// results (the flow relies on this to reuse checkpoints).
+SynthesizedKernel estimate(const KernelSpec& spec);
+
+/// Convenience: estimate + register the kernel as a reconfigurable block
+/// in a component library. Returns the synthesized record.
+SynthesizedKernel register_kernel(netlist::ComponentLibrary& lib,
+                                  const KernelSpec& spec);
+
+}  // namespace presp::hls

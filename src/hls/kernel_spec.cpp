@@ -1,0 +1,49 @@
+#include "hls/kernel_spec.hpp"
+
+namespace presp::hls {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAdd16: return "add16";
+    case OpKind::kAdd32: return "add32";
+    case OpKind::kMul16: return "mul16";
+    case OpKind::kMul32: return "mul32";
+    case OpKind::kMac16: return "mac16";
+    case OpKind::kMac32: return "mac32";
+    case OpKind::kDiv32: return "div32";
+    case OpKind::kSqrt32: return "sqrt32";
+    case OpKind::kCmp: return "cmp";
+    case OpKind::kShift: return "shift";
+    case OpKind::kFAdd: return "fadd";
+    case OpKind::kFMul: return "fmul";
+    case OpKind::kFMac: return "fmac";
+    case OpKind::kFDiv: return "fdiv";
+    case OpKind::kFSqrt: return "fsqrt";
+    case OpKind::kLutFunc: return "lut_func";
+  }
+  return "?";
+}
+
+OpCost op_cost(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAdd16: return {16, 16, 0};
+    case OpKind::kAdd32: return {32, 32, 0};
+    case OpKind::kMul16: return {20, 34, 1};
+    case OpKind::kMul32: return {60, 70, 2};
+    case OpKind::kMac16: return {36, 50, 1};
+    case OpKind::kMac32: return {80, 96, 1};
+    case OpKind::kDiv32: return {1'050, 1'100, 0};
+    case OpKind::kSqrt32: return {850, 900, 0};
+    case OpKind::kCmp: return {20, 8, 0};
+    case OpKind::kShift: return {8, 32, 0};
+    case OpKind::kFAdd: return {380, 420, 2};
+    case OpKind::kFMul: return {130, 150, 2};
+    case OpKind::kFMac: return {500, 560, 2};
+    case OpKind::kFDiv: return {2'200, 1'700, 0};
+    case OpKind::kFSqrt: return {1'800, 1'500, 0};
+    case OpKind::kLutFunc: return {1'400, 600, 0};
+  }
+  return {};
+}
+
+}  // namespace presp::hls

@@ -1,0 +1,82 @@
+// Kernel dataflow specifications consumed by the HLS estimator.
+//
+// The paper's accelerators come from two HLS flows (ESP's Vivado HLS flow
+// for the MAC; Cadence Stratus for Conv2d/GEMM/FFT/Sort) plus the WAMI
+// pipeline. We model an accelerator as an array of identical processing
+// elements (PEs), each built from a mix of arithmetic operators, fed by
+// address generators and on-chip buffers under an FSM controller — the
+// standard loosely-coupled ESP accelerator shape (load / compute / store).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace presp::hls {
+
+enum class OpKind : std::uint8_t {
+  kAdd16,
+  kAdd32,
+  kMul16,
+  kMul32,
+  kMac16,
+  kMac32,
+  kDiv32,
+  kSqrt32,
+  kCmp,
+  kShift,
+  kFAdd,   // float32 add/sub
+  kFMul,   // float32 multiply
+  kFMac,   // fused float32 multiply-add
+  kFDiv,
+  kFSqrt,
+  kLutFunc,  // table-based transcendental (exp/log) evaluator
+};
+
+const char* to_string(OpKind kind);
+
+/// Post-synthesis footprint of one operator instance. Values follow common
+/// Xilinx 7-series mapping results (DSP48-based multipliers, LUT-based
+/// dividers, fabric-based float add).
+struct OpCost {
+  int luts = 0;
+  int ffs = 0;
+  int dsp = 0;
+};
+OpCost op_cost(OpKind kind);
+
+struct OpCount {
+  OpKind kind;
+  int count = 1;
+};
+
+enum class HlsFlow : std::uint8_t { kVivadoHls, kStratusHls };
+
+struct KernelSpec {
+  std::string name;
+  HlsFlow flow = HlsFlow::kStratusHls;
+
+  /// Operator mix of one processing element.
+  std::vector<OpCount> pe_ops;
+  /// Number of parallel PEs (the HLS unroll factor).
+  int num_pes = 1;
+
+  int address_generators = 1;
+  int fsm_states = 8;
+  /// Extra datapath glue (line buffers, window shifters) in LUTs.
+  int buffer_luts = 0;
+  /// Private scratchpad, in bytes (maps to BRAM36).
+  long long scratchpad_bytes = 0;
+
+  /// Pipeline initiation interval of the PE array (items accepted per
+  /// `pipeline_ii` cycles across all PEs).
+  int pipeline_ii = 1;
+  /// Pipeline fill/flush depth in cycles.
+  int pipeline_depth = 8;
+
+  /// DMA traffic per processed item, in 64-bit words (reads, writes).
+  double words_in_per_item = 1.0;
+  double words_out_per_item = 1.0;
+};
+
+}  // namespace presp::hls

@@ -1,0 +1,93 @@
+#include "hls/library.hpp"
+
+#include "hls/estimator.hpp"
+
+namespace presp::hls {
+
+KernelSpec mac_kernel() {
+  KernelSpec spec;
+  spec.name = "mac";
+  spec.flow = HlsFlow::kVivadoHls;
+  spec.pe_ops = {{OpKind::kMac16, 1}};
+  spec.num_pes = 12;
+  spec.address_generators = 1;
+  spec.fsm_states = 6;
+  spec.scratchpad_bytes = 8 * 1024;
+  spec.pipeline_depth = 4;
+  spec.words_in_per_item = 0.5;   // two 16-bit operands per item
+  spec.words_out_per_item = 1.0 / 64.0;  // one accumulated result per burst
+  return spec;
+}
+
+KernelSpec conv2d_kernel() {
+  KernelSpec spec;
+  spec.name = "conv2d";
+  spec.pe_ops = {{OpKind::kFMul, 1}, {OpKind::kFAdd, 1}};
+  spec.num_pes = 54;  // 6 parallel 3x3 windows
+  spec.address_generators = 8;
+  spec.fsm_states = 24;
+  spec.buffer_luts = 2'000;  // line buffers + window shifter
+  spec.scratchpad_bytes = 64 * 1024;
+  spec.pipeline_depth = 12;
+  spec.words_in_per_item = 0.5;
+  spec.words_out_per_item = 0.5;
+  return spec;
+}
+
+KernelSpec gemm_kernel() {
+  KernelSpec spec;
+  spec.name = "gemm";
+  spec.pe_ops = {{OpKind::kMac32, 1}};
+  spec.num_pes = 256;  // 16x16 systolic array
+  spec.address_generators = 6;
+  spec.fsm_states = 12;
+  spec.scratchpad_bytes = 128 * 1024;
+  spec.pipeline_depth = 32;
+  spec.words_in_per_item = 1.0;
+  spec.words_out_per_item = 0.5;
+  return spec;
+}
+
+KernelSpec fft_kernel() {
+  KernelSpec spec;
+  spec.name = "fft";
+  // Radix-2 butterfly: 4 multiplies + 6 add/subs in float.
+  spec.pe_ops = {{OpKind::kFMul, 4}, {OpKind::kFAdd, 6}};
+  spec.num_pes = 10;
+  spec.address_generators = 4;
+  spec.fsm_states = 18;
+  spec.buffer_luts = 1'500;  // twiddle ROM addressing + stage swap
+  spec.scratchpad_bytes = 64 * 1024;
+  spec.pipeline_depth = 16;
+  spec.words_in_per_item = 1.0;
+  spec.words_out_per_item = 1.0;
+  return spec;
+}
+
+KernelSpec sort_kernel() {
+  KernelSpec spec;
+  spec.name = "sort";
+  // Bitonic compare-exchange network.
+  spec.pe_ops = {{OpKind::kCmp, 1}};
+  spec.num_pes = 400;
+  spec.address_generators = 2;
+  spec.fsm_states = 10;
+  spec.buffer_luts = 500;
+  spec.scratchpad_bytes = 32 * 1024;
+  spec.pipeline_depth = 20;
+  spec.words_in_per_item = 0.5;
+  spec.words_out_per_item = 0.5;
+  return spec;
+}
+
+std::vector<KernelSpec> characterization_kernels() {
+  return {mac_kernel(), conv2d_kernel(), gemm_kernel(), fft_kernel(),
+          sort_kernel()};
+}
+
+void register_characterization_kernels(netlist::ComponentLibrary& lib) {
+  for (const KernelSpec& spec : characterization_kernels())
+    register_kernel(lib, spec);
+}
+
+}  // namespace presp::hls

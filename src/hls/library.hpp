@@ -1,0 +1,27 @@
+// Built-in kernel specifications for the accelerators the paper uses in
+// its Vivado characterization (Section IV): the Vivado-HLS MAC and the
+// Stratus-HLS Conv2d / GEMM / FFT / Sort. PE counts and operator mixes are
+// calibrated so the estimator reproduces Table II's LUT figures to within
+// ~3% (asserted in tests/hls_test).
+#pragma once
+
+#include <vector>
+
+#include "hls/kernel_spec.hpp"
+#include "netlist/components.hpp"
+
+namespace presp::hls {
+
+KernelSpec mac_kernel();       // Table II: 2,450 LUTs
+KernelSpec conv2d_kernel();    // Table II: 36,741 LUTs
+KernelSpec gemm_kernel();      // Table II: 30,617 LUTs
+KernelSpec fft_kernel();       // Table II: 33,690 LUTs
+KernelSpec sort_kernel();      // Table II: 20,468 LUTs
+
+/// All five characterization kernels.
+std::vector<KernelSpec> characterization_kernels();
+
+/// Registers the five characterization kernels into a component library.
+void register_characterization_kernels(netlist::ComponentLibrary& lib);
+
+}  // namespace presp::hls

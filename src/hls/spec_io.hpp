@@ -1,0 +1,44 @@
+// KernelSpec <-> configuration text. Lets users define custom
+// accelerators next to their SoC description and push them through the
+// whole flow without writing C++:
+//
+//   [accelerator my_filter]
+//   flow = vivado_hls
+//   ops = mac16:4, add32:2
+//   pes = 16
+//   address_generators = 2
+//   fsm_states = 10
+//   buffer_luts = 500
+//   scratchpad_kb = 16
+//   words_in_per_item = 1.0
+//   words_out_per_item = 0.5
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/kernel_spec.hpp"
+#include "netlist/components.hpp"
+#include "util/config.hpp"
+
+namespace presp::hls {
+
+/// Parses one operator token ("mac16:4" or bare "fadd" = count 1).
+OpCount parse_op(const std::string& token);
+OpKind op_kind_from_string(const std::string& name);
+
+/// Reads the `[accelerator <name>]` section `section_name` from `cfg`.
+/// Throws ConfigError on unknown keys/operators or missing fields.
+KernelSpec kernel_spec_from_config(const Config& cfg,
+                                   const std::string& section_name);
+
+/// Finds every `[accelerator ...]` section, synthesizes each spec with
+/// the estimator and registers it in `lib`. Returns the parsed specs.
+std::vector<KernelSpec> register_kernels_from_config(
+    const Config& cfg, netlist::ComponentLibrary& lib);
+
+/// Serializes a spec back to a section (inverse of
+/// kernel_spec_from_config).
+void kernel_spec_to_config(const KernelSpec& spec, Config& cfg);
+
+}  // namespace presp::hls

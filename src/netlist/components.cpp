@@ -1,0 +1,59 @@
+#include "netlist/components.hpp"
+
+#include "util/error.hpp"
+
+namespace presp::netlist {
+
+ComponentLibrary ComponentLibrary::with_builtins() {
+  ComponentLibrary lib;
+  // CPU cores. Leon3 LUT count calibrated against Table II (the CPU tile
+  // including its socket lands at ~43.3k vs the paper's 43.0k). The CVA6
+  // figure follows the published core area ratio (~1.6x Leon3).
+  lib.register_block({kLeon3, {42'500, 33'000, 40, 4}, 128, true});
+  lib.register_block({kCva6, {68'000, 51'000, 72, 27}, 128, true});
+  // Memory tile: DDR controller + LLC slice + NoC proxies.
+  lib.register_block({kMemTileLogic, {21'500, 19'800, 96, 0}, 128, false});
+  // Auxiliary tile: peripherals (UART/ETH/timer), interrupt controller,
+  // plus the PR-ESP additions: DFX controller, ICAP wrapper, AXI adapters.
+  lib.register_block({kAuxTileLogic, {9'727, 8'400, 28, 0}, 64, false});
+  lib.register_block({kDfxController, {1'100, 950, 2, 0}, 64, false});
+  lib.register_block({kIcapWrapper, {350, 420, 0, 0}, 32, false});
+  // Shared-local-memory tile logic (SRAM macros dominate the BRAM budget).
+  lib.register_block({kSlmTileLogic, {3'200, 2'100, 64, 0}, 64, false});
+  // Per-tile socket: multi-plane NoC routers + queues + proxies.
+  lib.register_block({kTileSocket, {800, 1'150, 0, 0}, 96, false});
+  // Static-side reconfiguration support in a reconfigurable tile.
+  lib.register_block({kDecoupler, {250, 310, 0, 0}, 96, false});
+  // Reconfigurable wrapper: the common load/store + config-register +
+  // interrupt interface every partition-hosted accelerator plugs into.
+  // Lives inside the partition, so counted with the reconfigurable module.
+  lib.register_block({kReconfWrapper, {420, 640, 0, 0}, 96, true});
+  return lib;
+}
+
+void ComponentLibrary::register_block(BlockModel block) {
+  PRESP_REQUIRE(!block.name.empty(), "block needs a name");
+  PRESP_REQUIRE(block.resources.non_negative(),
+                "block resources must be non-negative");
+  blocks_[block.name] = std::move(block);
+}
+
+bool ComponentLibrary::has(const std::string& name) const {
+  return blocks_.find(name) != blocks_.end();
+}
+
+const BlockModel& ComponentLibrary::get(const std::string& name) const {
+  const auto it = blocks_.find(name);
+  if (it == blocks_.end())
+    throw InvalidArgument("unknown component '" + name + "'");
+  return it->second;
+}
+
+std::vector<std::string> ComponentLibrary::block_names() const {
+  std::vector<std::string> names;
+  names.reserve(blocks_.size());
+  for (const auto& [name, block] : blocks_) names.push_back(name);
+  return names;
+}
+
+}  // namespace presp::netlist

@@ -1,0 +1,64 @@
+// Component library: post-synthesis resource models of every RTL block the
+// SoC generator instantiates (CPU cores, tile infrastructure, NoC sockets,
+// the DPR support logic) plus accelerators registered by the HLS flows.
+//
+// Built-in values are calibrated so that the paper's reference designs
+// reproduce Table II on the VC707 model:
+//   - CPU tile (Leon3 + socket)      ~43,300 LUTs   (paper: 43,013)
+//   - static part of a 3x3 SoC       ~83,377 LUTs   (paper: 82,267)
+//   - static part without the CPU    ~40,077 LUTs   (paper: 39,254)
+// and the derived kappa/gamma metrics of SOC_1..SOC_4 land in the same
+// design classes as the paper's Table III (see tests/core_metrics_test).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fabric/resources.hpp"
+#include "netlist/soc_config.hpp"
+
+namespace presp::netlist {
+
+struct BlockModel {
+  std::string name;
+  fabric::ResourceVec resources;
+  /// Interface width in bits (drives port-net widths in generated
+  /// netlists; ESP sockets use 64-bit data paths + control).
+  int interface_bits = 96;
+  /// True for blocks that may be hosted inside a reconfigurable partition.
+  bool reconfigurable = false;
+};
+
+class ComponentLibrary {
+ public:
+  /// Library pre-populated with the ESP infrastructure blocks listed below.
+  static ComponentLibrary with_builtins();
+
+  /// Registers (or replaces) a block; the HLS flows use this to publish
+  /// synthesized accelerators.
+  void register_block(BlockModel block);
+
+  bool has(const std::string& name) const;
+  /// Throws InvalidArgument when the block is unknown.
+  const BlockModel& get(const std::string& name) const;
+
+  std::vector<std::string> block_names() const;
+
+  // Names of the built-in infrastructure blocks.
+  static constexpr const char* kLeon3 = "leon3";
+  static constexpr const char* kCva6 = "cva6";
+  static constexpr const char* kMemTileLogic = "mem_tile_logic";
+  static constexpr const char* kAuxTileLogic = "aux_tile_logic";
+  static constexpr const char* kSlmTileLogic = "slm_tile_logic";
+  static constexpr const char* kTileSocket = "tile_socket";
+  static constexpr const char* kDecoupler = "pr_decoupler";
+  static constexpr const char* kDfxController = "dfx_controller";
+  static constexpr const char* kIcapWrapper = "icap_wrapper";
+  static constexpr const char* kReconfWrapper = "reconf_wrapper";
+
+ private:
+  std::map<std::string, BlockModel> blocks_;
+};
+
+}  // namespace presp::netlist

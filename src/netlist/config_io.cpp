@@ -1,0 +1,28 @@
+#include "netlist/config_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace presp::netlist {
+
+SocConfig load_soc_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw InvalidArgument("cannot read SoC configuration '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return SocConfig::parse(text.str());
+}
+
+void save_soc_config(const SocConfig& config, const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw InvalidArgument("cannot write SoC configuration '" + path + "'");
+  out << config.to_config_text();
+  if (!out)
+    throw InvalidArgument("write to '" + path + "' failed");
+}
+
+}  // namespace presp::netlist

@@ -1,0 +1,21 @@
+// File I/O for SoC configurations: the on-disk `.esp_config`-style format
+// accepted by SocConfig::parse. Kept out of soc_config.hpp so the parsing
+// core stays filesystem-free (usable in sandboxed tests).
+#pragma once
+
+#include <string>
+
+#include "netlist/soc_config.hpp"
+
+namespace presp::netlist {
+
+/// Loads and validates a SoC configuration from an INI file.
+/// Throws ConfigError on syntax/semantic errors and InvalidArgument when
+/// the file cannot be read.
+SocConfig load_soc_config(const std::string& path);
+
+/// Writes a configuration in the format load_soc_config() accepts.
+/// Throws InvalidArgument when the file cannot be written.
+void save_soc_config(const SocConfig& config, const std::string& path);
+
+}  // namespace presp::netlist

@@ -1,0 +1,52 @@
+#include "netlist/netlist.hpp"
+
+namespace presp::netlist {
+
+CellId Netlist::add_cell(Cell cell) {
+  PRESP_REQUIRE(!cell.name.empty(), "cell needs a name");
+  if (cell.kind != CellKind::kLogic)
+    PRESP_REQUIRE(cell.resources.is_zero(),
+                  "only logic cells carry resources");
+  cells_.push_back(std::move(cell));
+  return static_cast<CellId>(cells_.size() - 1);
+}
+
+NetId Netlist::add_net(Net net) {
+  PRESP_REQUIRE(net.driver < cells_.size(), "net driver out of range");
+  PRESP_REQUIRE(net.width >= 1, "net width must be positive");
+  for (const CellId sink : net.sinks)
+    PRESP_REQUIRE(sink < cells_.size(), "net sink out of range");
+  nets_.push_back(std::move(net));
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+fabric::ResourceVec Netlist::total_resources() const {
+  fabric::ResourceVec total;
+  for (const Cell& cell : cells_)
+    if (cell.kind == CellKind::kLogic) total += cell.resources;
+  return total;
+}
+
+std::vector<CellId> Netlist::cells_of_kind(CellKind kind) const {
+  std::vector<CellId> out;
+  for (CellId id = 0; id < cells_.size(); ++id)
+    if (cells_[id].kind == kind) out.push_back(id);
+  return out;
+}
+
+void Netlist::validate() const {
+  for (const Net& net : nets_) {
+    PRESP_ASSERT_MSG(net.driver < cells_.size(),
+                     "net '" + net.name + "' has dangling driver");
+    PRESP_ASSERT_MSG(!net.sinks.empty(),
+                     "net '" + net.name + "' has no sinks");
+    for (const CellId sink : net.sinks) {
+      PRESP_ASSERT_MSG(sink < cells_.size(),
+                       "net '" + net.name + "' has dangling sink");
+      PRESP_ASSERT_MSG(sink != net.driver,
+                       "net '" + net.name + "' drives its own driver");
+    }
+  }
+}
+
+}  // namespace presp::netlist

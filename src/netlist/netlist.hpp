@@ -1,0 +1,88 @@
+// Post-synthesis netlist graph.
+//
+// The P&R simulator does not need bit-level gates: Vivado's own placer
+// operates on packed sites, and the PR-ESP flow reasons in aggregate
+// resources. Cells here are therefore *clusters* — small groups of LUTs/
+// FFs/BRAM/DSP produced by the synthesis simulator at a configurable
+// granularity — plus black-box cells standing in for reconfigurable
+// partitions and port cells anchoring I/O.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/resources.hpp"
+#include "util/error.hpp"
+
+namespace presp::netlist {
+
+using CellId = std::uint32_t;
+using NetId = std::uint32_t;
+inline constexpr CellId kInvalidCell = ~CellId{0};
+
+enum class CellKind : std::uint8_t {
+  kLogic,     // cluster of mapped logic, carries a resource vector
+  kBlackBox,  // reconfigurable-partition placeholder (static netlist only)
+  kPort,      // top-level I/O anchor; fixed at the die edge during P&R
+};
+
+struct Cell {
+  std::string name;
+  CellKind kind = CellKind::kLogic;
+  fabric::ResourceVec resources;
+  /// For black boxes: name of the reconfigurable partition they stand for.
+  std::string partition;
+};
+
+struct Net {
+  std::string name;
+  CellId driver = kInvalidCell;
+  std::vector<CellId> sinks;
+  /// Bus width in bits; weights wirelength and routing demand.
+  int width = 1;
+};
+
+class Netlist {
+ public:
+  /// Empty netlist placeholder; real netlists are built with a name.
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  CellId add_cell(Cell cell);
+  NetId add_net(Net net);
+
+  std::size_t num_cells() const { return cells_.size(); }
+  std::size_t num_nets() const { return nets_.size(); }
+
+  const Cell& cell(CellId id) const {
+    PRESP_ASSERT(id < cells_.size());
+    return cells_[id];
+  }
+  const Net& net(NetId id) const {
+    PRESP_ASSERT(id < nets_.size());
+    return nets_[id];
+  }
+  const std::vector<Cell>& cells() const { return cells_; }
+  const std::vector<Net>& nets() const { return nets_; }
+
+  /// Sum of resource vectors over logic cells (black boxes and ports are
+  /// zero-sized in the static netlist; their content is counted in their
+  /// own out-of-context netlists).
+  fabric::ResourceVec total_resources() const;
+
+  std::vector<CellId> cells_of_kind(CellKind kind) const;
+
+  /// Checks structural sanity: every net has a live driver, sink ids are in
+  /// range, no self-loop single-pin nets. Throws LogicError on violation.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+};
+
+}  // namespace presp::netlist

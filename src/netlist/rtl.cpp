@@ -1,0 +1,127 @@
+#include "netlist/rtl.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace presp::netlist {
+
+fabric::ResourceVec SocRtl::static_resources(
+    const ComponentLibrary& lib) const {
+  fabric::ResourceVec total;
+  for (const TileRtl& tile : tiles_)
+    for (const std::string& block : tile.static_blocks)
+      total += lib.get(block).resources;
+  return total;
+}
+
+fabric::ResourceVec SocRtl::module_resources(const ComponentLibrary& lib,
+                                             const std::string& module) {
+  return lib.get(module).resources +
+         lib.get(ComponentLibrary::kReconfWrapper).resources;
+}
+
+fabric::ResourceVec SocRtl::partition_demand(const ComponentLibrary& lib,
+                                             int partition_index) const {
+  PRESP_REQUIRE(partition_index >= 0 &&
+                    partition_index < static_cast<int>(partitions_.size()),
+                "partition index out of range");
+  const auto& partition =
+      partitions_[static_cast<std::size_t>(partition_index)];
+  fabric::ResourceVec demand;
+  for (const std::string& module : partition.modules) {
+    const fabric::ResourceVec r = module_resources(lib, module);
+    demand.luts = std::max(demand.luts, r.luts);
+    demand.ffs = std::max(demand.ffs, r.ffs);
+    demand.bram36 = std::max(demand.bram36, r.bram36);
+    demand.dsp = std::max(demand.dsp, r.dsp);
+  }
+  return demand;
+}
+
+fabric::ResourceVec SocRtl::total_reconfigurable(
+    const ComponentLibrary& lib) const {
+  fabric::ResourceVec total;
+  for (int i = 0; i < static_cast<int>(partitions_.size()); ++i)
+    total += partition_demand(lib, i);
+  return total;
+}
+
+SocRtl elaborate(const SocConfig& config, const ComponentLibrary& lib) {
+  config.validate();
+
+  std::vector<TileRtl> tiles;
+  std::vector<ReconfigurablePartition> partitions;
+  tiles.reserve(config.tiles.size());
+
+  for (int index = 0; index < static_cast<int>(config.tiles.size());
+       ++index) {
+    const TileSpec& spec = config.tiles[static_cast<std::size_t>(index)];
+    TileRtl tile;
+    tile.index = index;
+    tile.type = spec.type;
+    // Every tile carries its socket in the static part.
+    tile.static_blocks.push_back(ComponentLibrary::kTileSocket);
+
+    auto open_partition =
+        [&](std::vector<std::string> modules) {
+          ReconfigurablePartition rp;
+          rp.name = "RT_" + std::to_string(partitions.size() + 1);
+          rp.tile_index = index;
+          rp.modules = std::move(modules);
+          for (const std::string& module : rp.modules)
+            if (!lib.has(module))
+              throw InvalidArgument("tile " + std::to_string(index) +
+                                    " references unknown accelerator '" +
+                                    module + "'");
+          tile.static_blocks.push_back(ComponentLibrary::kDecoupler);
+          tile.partition = static_cast<int>(partitions.size());
+          partitions.push_back(std::move(rp));
+        };
+
+    switch (spec.type) {
+      case TileType::kCpu: {
+        const char* core = spec.cpu_core == CpuCore::kLeon3
+                               ? ComponentLibrary::kLeon3
+                               : ComponentLibrary::kCva6;
+        if (spec.cpu_in_reconfigurable_partition) {
+          // Section IV / SOC_4: the core is placed inside a partition purely
+          // to shrink the static region; it is never actually swapped.
+          open_partition({core});
+        } else {
+          tile.static_blocks.push_back(core);
+        }
+        break;
+      }
+      case TileType::kMem:
+        tile.static_blocks.push_back(ComponentLibrary::kMemTileLogic);
+        break;
+      case TileType::kAux:
+        tile.static_blocks.push_back(ComponentLibrary::kAuxTileLogic);
+        tile.static_blocks.push_back(ComponentLibrary::kDfxController);
+        tile.static_blocks.push_back(ComponentLibrary::kIcapWrapper);
+        break;
+      case TileType::kSlm:
+        tile.static_blocks.push_back(ComponentLibrary::kSlmTileLogic);
+        break;
+      case TileType::kAccel:
+        // Monolithic accelerator: its logic is static.
+        if (!lib.has(spec.accelerators.front()))
+          throw InvalidArgument("tile " + std::to_string(index) +
+                                " references unknown accelerator '" +
+                                spec.accelerators.front() + "'");
+        tile.static_blocks.push_back(spec.accelerators.front());
+        break;
+      case TileType::kReconf:
+        open_partition(spec.accelerators);
+        break;
+      case TileType::kEmpty:
+        break;
+    }
+    tiles.push_back(std::move(tile));
+  }
+
+  return SocRtl(config, std::move(tiles), std::move(partitions));
+}
+
+}  // namespace presp::netlist

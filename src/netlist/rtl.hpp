@@ -1,0 +1,85 @@
+// RTL elaboration: the "parsing" step at the head of the PR-ESP flow
+// (Fig. 1). Expands a SocConfig into the tile-level hierarchy, separating
+// the sources of the reconfigurable tiles from the static part:
+//
+//   - every tile contributes its socket (NoC routers, proxies) to the
+//     static part;
+//   - CPU/MEM/AUX/SLM tile logic is static (unless a CPU tile is flagged
+//     into the reconfigurable part to shrink the static region);
+//   - each reconfigurable tile defines one reconfigurable partition (RP)
+//     whose members are the accelerators that will time-share it, each
+//     wrapped in the common reconfigurable wrapper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/resources.hpp"
+#include "netlist/components.hpp"
+#include "netlist/soc_config.hpp"
+
+namespace presp::netlist {
+
+struct ReconfigurablePartition {
+  /// Partition name, "RT_1", "RT_2", ... in grid order.
+  std::string name;
+  /// Row-major grid index of the hosting tile.
+  int tile_index = -1;
+  /// Block names of the modules that can be loaded into this partition.
+  /// Each is implemented once per partition (one partial bitstream each).
+  std::vector<std::string> modules;
+};
+
+struct TileRtl {
+  int index = -1;
+  TileType type = TileType::kEmpty;
+  /// Blocks belonging to the static part of this tile.
+  std::vector<std::string> static_blocks;
+  /// Index into SocRtl::partitions, or -1 for non-reconfigurable tiles.
+  int partition = -1;
+};
+
+class SocRtl {
+ public:
+  SocRtl(SocConfig config, std::vector<TileRtl> tiles,
+         std::vector<ReconfigurablePartition> partitions)
+      : config_(std::move(config)),
+        tiles_(std::move(tiles)),
+        partitions_(std::move(partitions)) {}
+
+  const SocConfig& config() const { return config_; }
+  const std::vector<TileRtl>& tiles() const { return tiles_; }
+  const std::vector<ReconfigurablePartition>& partitions() const {
+    return partitions_;
+  }
+
+  /// Post-elaboration resource estimate of the static part (sum over all
+  /// tiles' static blocks).
+  fabric::ResourceVec static_resources(const ComponentLibrary& lib) const;
+
+  /// Resources of one reconfigurable module including its wrapper.
+  static fabric::ResourceVec module_resources(const ComponentLibrary& lib,
+                                              const std::string& module);
+
+  /// Sizing demand of a partition: component-wise maximum over its member
+  /// modules (the pblock must fit the largest member).
+  fabric::ResourceVec partition_demand(const ComponentLibrary& lib,
+                                       int partition_index) const;
+
+  /// Sum over partitions of the single *representative* module that is
+  /// placed and routed per partition run. Following the paper's metrics
+  /// (Eq. 1), the representative is the largest member.
+  fabric::ResourceVec total_reconfigurable(const ComponentLibrary& lib) const;
+
+ private:
+  SocConfig config_;
+  std::vector<TileRtl> tiles_;
+  std::vector<ReconfigurablePartition> partitions_;
+};
+
+/// Elaborates a validated SocConfig against the component library. Throws
+/// InvalidArgument when a referenced accelerator is not registered, and
+/// ConfigError when the configuration is structurally invalid.
+SocRtl elaborate(const SocConfig& config, const ComponentLibrary& lib);
+
+}  // namespace presp::netlist

@@ -1,0 +1,200 @@
+// INI schema accepted by SocConfig::parse:
+//
+//   [soc]
+//   name   = soc_2
+//   device = vc707
+//   rows   = 3
+//   cols   = 3
+//   clock_mhz = 78
+//
+//   [tiles]
+//   # key = r<row>c<col>, value = type[:payload]
+//   r0c0 = cpu
+//   r0c1 = mem
+//   r0c2 = aux
+//   r1c0 = reconf:conv2d,gemm        # partition hosting two accelerators
+//   r1c1 = accel:fft                 # monolithic accelerator tile
+//   r1c2 = slm
+//   r2c0 = cpu_reconf                # CPU moved into the reconfigurable part
+//   r2c1 = empty
+//   r2c2 = reconf:sort
+#include "netlist/soc_config.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/string_utils.hpp"
+
+namespace presp::netlist {
+
+const char* to_string(TileType type) {
+  switch (type) {
+    case TileType::kEmpty: return "empty";
+    case TileType::kCpu: return "cpu";
+    case TileType::kMem: return "mem";
+    case TileType::kAux: return "aux";
+    case TileType::kSlm: return "slm";
+    case TileType::kAccel: return "accel";
+    case TileType::kReconf: return "reconf";
+  }
+  return "?";
+}
+
+TileType tile_type_from_string(const std::string& text) {
+  const std::string t = to_lower(text);
+  if (t == "empty") return TileType::kEmpty;
+  if (t == "cpu") return TileType::kCpu;
+  if (t == "mem") return TileType::kMem;
+  if (t == "aux") return TileType::kAux;
+  if (t == "slm") return TileType::kSlm;
+  if (t == "accel") return TileType::kAccel;
+  if (t == "reconf") return TileType::kReconf;
+  throw ConfigError("unknown tile type '" + text + "'");
+}
+
+TileSpec& SocConfig::tile(int row, int col) {
+  PRESP_REQUIRE(row >= 0 && row < rows && col >= 0 && col < cols,
+                "tile coordinate out of grid");
+  return tiles[static_cast<std::size_t>(row * cols + col)];
+}
+
+const TileSpec& SocConfig::tile(int row, int col) const {
+  PRESP_REQUIRE(row >= 0 && row < rows && col >= 0 && col < cols,
+                "tile coordinate out of grid");
+  return tiles[static_cast<std::size_t>(row * cols + col)];
+}
+
+int SocConfig::count(TileType type) const {
+  return static_cast<int>(
+      std::count_if(tiles.begin(), tiles.end(),
+                    [type](const TileSpec& t) { return t.type == type; }));
+}
+
+std::vector<int> SocConfig::tiles_of(TileType type) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < tiles.size(); ++i)
+    if (tiles[i].type == type) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+int SocConfig::num_reconfigurable_partitions() const {
+  int n = count(TileType::kReconf);
+  for (const TileSpec& t : tiles)
+    if (t.type == TileType::kCpu && t.cpu_in_reconfigurable_partition) ++n;
+  return n;
+}
+
+void SocConfig::validate() const {
+  if (rows <= 0 || cols <= 0)
+    throw ConfigError("SoC grid dimensions must be positive");
+  if (tiles.size() != static_cast<std::size_t>(rows) * cols)
+    throw ConfigError("tile list does not match grid dimensions");
+  if (count(TileType::kAux) != 1)
+    throw ConfigError(
+        "exactly one AUX tile required (hosts the reconfiguration "
+        "controller)");
+  if (count(TileType::kMem) < 1)
+    throw ConfigError("at least one MEM tile required");
+  if (count(TileType::kCpu) < 1)
+    throw ConfigError("at least one CPU tile required");
+  for (const TileSpec& t : tiles) {
+    if (t.type == TileType::kReconf && t.accelerators.empty())
+      throw ConfigError("reconfigurable tile lists no accelerators");
+    if (t.type == TileType::kAccel && t.accelerators.size() != 1)
+      throw ConfigError("accelerator tile must name exactly one accelerator");
+    if (t.cpu_in_reconfigurable_partition && t.type != TileType::kCpu)
+      throw ConfigError("cpu_in_reconfigurable_partition on a non-CPU tile");
+  }
+}
+
+SocConfig SocConfig::from_config(const Config& cfg) {
+  SocConfig soc;
+  soc.name = cfg.get_or("soc", "name", "soc");
+  soc.device = cfg.get_or("soc", "device", "vc707");
+  soc.rows = static_cast<int>(cfg.get_int("soc", "rows"));
+  soc.cols = static_cast<int>(cfg.get_int("soc", "cols"));
+  if (cfg.has("soc", "clock_mhz"))
+    soc.clock_mhz = cfg.get_double("soc", "clock_mhz");
+  if (soc.rows <= 0 || soc.cols <= 0)
+    throw ConfigError("SoC grid dimensions must be positive");
+  soc.tiles.assign(static_cast<std::size_t>(soc.rows) * soc.cols,
+                   TileSpec{});
+
+  for (const std::string& key : cfg.keys("tiles")) {
+    if (key.size() < 4 || key[0] != 'r')
+      throw ConfigError("malformed tile key '" + key + "' (want r<R>c<C>)");
+    const std::size_t cpos = key.find('c', 1);
+    if (cpos == std::string::npos)
+      throw ConfigError("malformed tile key '" + key + "' (want r<R>c<C>)");
+    const int row = static_cast<int>(parse_int(key.substr(1, cpos - 1)));
+    const int col = static_cast<int>(parse_int(key.substr(cpos + 1)));
+    if (row < 0 || row >= soc.rows || col < 0 || col >= soc.cols)
+      throw ConfigError("tile key '" + key + "' outside the grid");
+
+    const std::string value = cfg.get("tiles", key);
+    const std::size_t colon = value.find(':');
+    std::string type_text = value.substr(0, colon);
+    std::string payload =
+        colon == std::string::npos ? "" : value.substr(colon + 1);
+
+    TileSpec spec;
+    if (to_lower(std::string(trim(type_text))) == "cpu_reconf") {
+      spec.type = TileType::kCpu;
+      spec.cpu_in_reconfigurable_partition = true;
+    } else {
+      spec.type = tile_type_from_string(std::string(trim(type_text)));
+    }
+    if (!payload.empty()) {
+      if (spec.type == TileType::kCpu) {
+        const std::string core = to_lower(std::string(trim(payload)));
+        if (core == "leon3") {
+          spec.cpu_core = CpuCore::kLeon3;
+        } else if (core == "cva6" || core == "ariane") {
+          spec.cpu_core = CpuCore::kCva6;
+        } else {
+          throw ConfigError("unknown CPU core '" + payload + "'");
+        }
+      } else {
+        for (const std::string& acc : split(payload, ',')) {
+          const std::string name{trim(acc)};
+          if (!name.empty()) spec.accelerators.push_back(name);
+        }
+      }
+    }
+    soc.tile(row, col) = std::move(spec);
+  }
+  soc.validate();
+  return soc;
+}
+
+SocConfig SocConfig::parse(const std::string& text) {
+  return from_config(Config::parse(text));
+}
+
+std::string SocConfig::to_config_text() const {
+  Config cfg;
+  cfg.set("soc", "name", name);
+  cfg.set("soc", "device", device);
+  cfg.set("soc", "rows", std::to_string(rows));
+  cfg.set("soc", "cols", std::to_string(cols));
+  cfg.set("soc", "clock_mhz", std::to_string(clock_mhz));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const TileSpec& spec = tile(r, c);
+      std::string value;
+      if (spec.type == TileType::kCpu &&
+          spec.cpu_in_reconfigurable_partition) {
+        value = "cpu_reconf";
+      } else {
+        value = to_string(spec.type);
+      }
+      if (!spec.accelerators.empty())
+        value += ":" + join(spec.accelerators, ",");
+      cfg.set("tiles", "r" + std::to_string(r) + "c" + std::to_string(c),
+              value);
+    }
+  }
+  return cfg.to_string();
+}
+
+}  // namespace presp::netlist

@@ -1,0 +1,81 @@
+// SoC configuration: the tile-grid description that drives the whole
+// PR-ESP flow (Section IV: "The flow starts by parsing the input SoC
+// configuration to generate the RTL hierarchy of the full SoC").
+//
+// A configuration names the target device, the grid dimensions, and the
+// type of each tile. Reconfigurable tiles name the *set* of accelerators
+// that will time-share the tile; the flow sizes the tile's reconfigurable
+// partition for the largest member and generates one partial bitstream per
+// member.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/config.hpp"
+
+namespace presp::netlist {
+
+enum class TileType : std::uint8_t {
+  kEmpty,
+  kCpu,
+  kMem,
+  kAux,
+  kSlm,
+  kAccel,   // monolithic (non-reconfigurable) accelerator tile
+  kReconf,  // reconfigurable tile (hosts a reconfigurable partition)
+};
+
+const char* to_string(TileType type);
+TileType tile_type_from_string(const std::string& text);
+
+enum class CpuCore : std::uint8_t { kLeon3, kCva6 };
+
+struct TileSpec {
+  TileType type = TileType::kEmpty;
+  /// kAccel: the single accelerator; kReconf: every accelerator that can be
+  /// loaded into this tile's partition. kCpu: optional core selection.
+  std::vector<std::string> accelerators;
+  CpuCore cpu_core = CpuCore::kLeon3;
+  /// Paper Section IV, SOC_4 / SoC_D: a CPU tile may itself be moved into
+  /// the reconfigurable part purely to shrink the static region.
+  bool cpu_in_reconfigurable_partition = false;
+};
+
+struct SocConfig {
+  std::string name = "soc";
+  std::string device = "vc707";
+  int rows = 0;
+  int cols = 0;
+  /// Main SoC clock (the paper's VC707 system runs at 78 MHz).
+  double clock_mhz = 78.0;
+  /// Row-major tile grid, rows*cols entries.
+  std::vector<TileSpec> tiles;
+
+  TileSpec& tile(int row, int col);
+  const TileSpec& tile(int row, int col) const;
+
+  int count(TileType type) const;
+  /// Grid indices (row-major) of all tiles of one type.
+  std::vector<int> tiles_of(TileType type) const;
+
+  /// Number of reconfigurable partitions in the design: every kReconf tile
+  /// plus every CPU tile flagged into the reconfigurable part.
+  int num_reconfigurable_partitions() const;
+
+  /// Structural validation: grid populated, exactly one AUX (it hosts the
+  /// single reconfiguration controller), at least one MEM, at least one CPU
+  /// reachable, every reconfigurable tile non-empty. Throws ConfigError.
+  void validate() const;
+
+  /// Parses the `.esp_config`-style INI text (see soc_config.cpp header
+  /// comment for the schema) into a validated SocConfig.
+  static SocConfig from_config(const Config& cfg);
+  static SocConfig parse(const std::string& text);
+
+  /// Serializes back to the INI schema accepted by parse().
+  std::string to_config_text() const;
+};
+
+}  // namespace presp::netlist

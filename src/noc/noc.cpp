@@ -1,0 +1,110 @@
+#include "noc/noc.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace presp::noc {
+
+const char* to_string(Plane plane) {
+  switch (plane) {
+    case Plane::kCoherenceReq: return "coh-req";
+    case Plane::kCoherenceRsp: return "coh-rsp";
+    case Plane::kDmaReq: return "dma-req";
+    case Plane::kDmaRsp: return "dma-rsp";
+    case Plane::kInterrupt: return "irq";
+    case Plane::kConfig: return "config";
+  }
+  return "?";
+}
+
+Noc::Noc(sim::Kernel& kernel, int rows, int cols, NocOptions options)
+    : kernel_(kernel), rows_(rows), cols_(cols), options_(options) {
+  PRESP_REQUIRE(rows_ > 0 && cols_ > 0, "NoC grid must be non-empty");
+  PRESP_REQUIRE(options_.router_delay >= 1 && options_.cycles_per_flit >= 1,
+                "NoC timing parameters must be positive");
+  // 4 outgoing directions per tile per plane (indexes for N/E/S/W), dense.
+  links_.resize(static_cast<std::size_t>(kNumPlanes) * num_tiles() * 4);
+  mailboxes_.reserve(static_cast<std::size_t>(kNumPlanes) * num_tiles());
+  for (int i = 0; i < kNumPlanes * num_tiles(); ++i)
+    mailboxes_.push_back(std::make_unique<sim::Mailbox<Packet>>(kernel_));
+}
+
+sim::Mailbox<Packet>& Noc::rx(int tile, Plane plane) {
+  PRESP_REQUIRE(tile >= 0 && tile < num_tiles(), "tile index out of range");
+  return *mailboxes_[static_cast<std::size_t>(plane) *
+                         static_cast<std::size_t>(num_tiles()) +
+                     static_cast<std::size_t>(tile)];
+}
+
+std::size_t Noc::link_index(Plane plane, int from, int to) const {
+  const int fr = from / cols_;
+  const int fc = from % cols_;
+  const int tr = to / cols_;
+  const int tc = to % cols_;
+  int dir = -1;
+  if (tr == fr - 1 && tc == fc) dir = 0;       // north
+  else if (tr == fr && tc == fc + 1) dir = 1;  // east
+  else if (tr == fr + 1 && tc == fc) dir = 2;  // south
+  else if (tr == fr && tc == fc - 1) dir = 3;  // west
+  PRESP_ASSERT_MSG(dir >= 0, "link between non-adjacent tiles");
+  return (static_cast<std::size_t>(plane) *
+              static_cast<std::size_t>(num_tiles()) +
+          static_cast<std::size_t>(from)) *
+             4 +
+         static_cast<std::size_t>(dir);
+}
+
+std::vector<int> Noc::route(int src, int dst) const {
+  PRESP_REQUIRE(src >= 0 && src < num_tiles() && dst >= 0 &&
+                    dst < num_tiles(),
+                "route endpoints out of range");
+  std::vector<int> path{src};
+  int cur = src;
+  // X first (columns), then Y (rows): ESP's dimension-ordered routing.
+  while (cur % cols_ != dst % cols_) {
+    cur += (dst % cols_ > cur % cols_) ? 1 : -1;
+    path.push_back(cur);
+  }
+  while (cur / cols_ != dst / cols_) {
+    cur += (dst / cols_ > cur / cols_) ? cols_ : -cols_;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+sim::Time Noc::zero_load_latency(int hops, int flits) const {
+  return static_cast<sim::Time>(hops) * options_.router_delay +
+         static_cast<sim::Time>(flits) * options_.cycles_per_flit;
+}
+
+void Noc::send(const Packet& packet) {
+  PRESP_REQUIRE(packet.flits >= 1, "packet needs at least one flit");
+  const auto path = route(packet.src, packet.dst);
+  const sim::Time serialization =
+      static_cast<sim::Time>(packet.flits) * options_.cycles_per_flit;
+
+  sim::Time head = kernel_.now();
+  for (std::size_t hop = 0; hop + 1 < path.size(); ++hop) {
+    Link& link = links_[link_index(packet.plane, path[hop], path[hop + 1])];
+    // Head flit: router pipeline, then wait for the link to free.
+    head = std::max(head + options_.router_delay, link.busy_until);
+    // Wormhole: the link is held until the tail flit has crossed.
+    link.busy_until = head + serialization;
+  }
+  const sim::Time deliver = head + serialization;
+
+  auto& stats = stats_[static_cast<std::size_t>(packet.plane)];
+  ++stats.packets;
+  stats.flits += static_cast<std::uint64_t>(packet.flits);
+  const std::uint64_t latency = deliver - kernel_.now();
+  stats.total_latency += latency;
+  stats.max_latency = std::max(stats.max_latency, latency);
+
+  auto& box = rx(packet.dst, packet.plane);
+  kernel_.schedule(deliver - kernel_.now(),
+                   [&box, packet] { box.send(packet); });
+}
+
+}  // namespace presp::noc

@@ -1,0 +1,106 @@
+#include "pnr/engine.hpp"
+
+#include "pnr/verify.hpp"
+#include "util/error.hpp"
+
+namespace presp::pnr {
+
+PlacementConstraints PnrEngine::port_anchors(
+    const netlist::Netlist& nl) const {
+  // Port cells anchor to the die edges (I/O columns), spread over rows.
+  PlacementConstraints constraints;
+  const auto ports = nl.cells_of_kind(netlist::CellKind::kPort);
+  int i = 0;
+  for (const netlist::CellId port : ports) {
+    const int row = (i / 2) % device_.region_rows();
+    const int col = (i % 2 == 0) ? 0 : device_.num_columns() - 1;
+    constraints.fixed.emplace_back(port, GridLoc{col, row});
+    ++i;
+  }
+  return constraints;
+}
+
+PnrRun PnrEngine::run_static(
+    const synth::Checkpoint& ckpt,
+    const std::map<std::string, fabric::Pblock>& pblocks,
+    RoutingState& state) const {
+  PlacementConstraints constraints = port_anchors(ckpt.netlist);
+  // Keep static logic out of every partition pblock.
+  for (const auto& [name, pblock] : pblocks)
+    constraints.keepouts.push_back(pblock);
+  // Anchor each black box at its pblock center: the placeholder hard-macro
+  // of an empty partition ("prepared offline", Section IV) that lets the
+  // static part close timing against the partition pins.
+  for (const auto id :
+       ckpt.netlist.cells_of_kind(netlist::CellKind::kBlackBox)) {
+    const auto& cell = ckpt.netlist.cell(id);
+    const auto it = pblocks.find(cell.partition);
+    if (it == pblocks.end())
+      throw InvalidArgument("no pblock provided for partition '" +
+                            cell.partition + "'");
+    const fabric::Pblock& pb = it->second;
+    constraints.fixed.emplace_back(
+        id, GridLoc{(pb.col_lo + pb.col_hi) / 2, (pb.row_lo + pb.row_hi) / 2});
+  }
+
+  PnrRun run;
+  run.name = ckpt.name;
+  run.utilization = ckpt.utilization;
+  run.place = Placer(device_, options_.placer).place(ckpt.netlist, constraints);
+  check_placement(ckpt.netlist, run.place.placement, constraints);
+  run.route = Router(device_, options_.router)
+                  .route(ckpt.netlist, run.place.placement, state);
+  return run;
+}
+
+PnrRun PnrEngine::run_partition(const synth::Checkpoint& ooc_ckpt,
+                                const fabric::Pblock& pblock,
+                                const RoutingState& static_state) const {
+  PRESP_REQUIRE(ooc_ckpt.out_of_context,
+                "partition runs take out-of-context checkpoints");
+  PlacementConstraints constraints;
+  constraints.region = pblock;
+  // Partition pins sit on the pblock boundary facing the static socket.
+  for (const auto id :
+       ooc_ckpt.netlist.cells_of_kind(netlist::CellKind::kPort))
+    constraints.fixed.emplace_back(id, GridLoc{pblock.col_lo, pblock.row_lo});
+
+  PnrRun run;
+  run.name = ooc_ckpt.name;
+  run.utilization = ooc_ckpt.utilization;
+  run.place =
+      Placer(device_, options_.placer).place(ooc_ckpt.netlist, constraints);
+  check_placement(ooc_ckpt.netlist, run.place.placement, constraints);
+  RoutingState state = static_state;  // negotiate against locked routes
+  run.route = Router(device_, options_.router)
+                  .route(ooc_ckpt.netlist, run.place.placement, state);
+  return run;
+}
+
+PnrRun PnrEngine::run_flat(const synth::Checkpoint& ckpt) const {
+  const PlacementConstraints constraints = port_anchors(ckpt.netlist);
+  PnrRun run;
+  run.name = ckpt.name;
+  run.utilization = ckpt.utilization;
+  run.place = Placer(device_, options_.placer).place(ckpt.netlist, constraints);
+  check_placement(ckpt.netlist, run.place.placement, constraints);
+  RoutingState state = make_state();
+  run.route = Router(device_, options_.router)
+                  .route(ckpt.netlist, run.place.placement, state);
+  return run;
+}
+
+void PnrEngine::check_placement(const netlist::Netlist& nl,
+                                const Placement& placement,
+                                const PlacementConstraints& constraints) const {
+  if (!options_.verify) return;
+  const auto violations =
+      verify_placement(device_, nl, placement, constraints);
+  if (!violations.empty())
+    throw LogicError("placer produced an illegal placement: " +
+                     std::string(to_string(violations.front().kind)) + " (" +
+                     violations.front().detail + ") and " +
+                     std::to_string(violations.size() - 1) + " more");
+}
+
+}  // namespace presp::pnr

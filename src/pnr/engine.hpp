@@ -1,0 +1,81 @@
+// P&R engine: one object call per "Vivado instance invocation" in the
+// PR-ESP flow. Three run types mirror the flow's needs:
+//
+//   - run_static(): places and routes the static checkpoint with black-box
+//     placeholder macros anchored inside their partition pblocks and all
+//     pblock interiors kept out of static placement. Returns the routing
+//     state so partition runs can negotiate with locked static routes.
+//   - run_partition(): places one out-of-context partition checkpoint
+//     inside its pblock, in context of the static routing state.
+//   - run_flat(): places and routes a monolithic checkpoint with no
+//     partition constraints (the baseline standard-flow implementation).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "pnr/placer.hpp"
+#include "pnr/router.hpp"
+#include "synth/synthesis.hpp"
+
+namespace presp::pnr {
+
+struct PnrOptions {
+  PlacerOptions placer;
+  RouterOptions router;
+  int h_capacity = 1'500;
+  int v_capacity = 2'500;
+  /// Run the independent placement verifier after every placement and
+  /// throw LogicError on violations (cheap; on by default).
+  bool verify = true;
+};
+
+struct PnrRun {
+  std::string name;
+  PlaceResult place;
+  RouteResult route;
+  fabric::ResourceVec utilization;
+
+  /// Legal placement and fully routed.
+  bool success() const { return place.overflow == 0.0 && route.success; }
+};
+
+class PnrEngine {
+ public:
+  PnrEngine(const fabric::Device& device, PnrOptions options = {})
+      : device_(device), options_(options) {}
+
+  /// Static run. `pblocks` maps partition name -> pblock. `state` must be
+  /// a fresh RoutingState; it accumulates the static routes.
+  PnrRun run_static(const synth::Checkpoint& ckpt,
+                    const std::map<std::string, fabric::Pblock>& pblocks,
+                    RoutingState& state) const;
+
+  /// In-context partition run inside `pblock`, negotiating with the usage
+  /// already recorded in `state` (copied internally; the caller's static
+  /// state is not modified).
+  PnrRun run_partition(const synth::Checkpoint& ooc_ckpt,
+                       const fabric::Pblock& pblock,
+                       const RoutingState& static_state) const;
+
+  /// Flat monolithic run (no partitions).
+  PnrRun run_flat(const synth::Checkpoint& ckpt) const;
+
+  RoutingState make_state() const {
+    return RoutingState(device_, options_.h_capacity, options_.v_capacity);
+  }
+
+ private:
+  PlacementConstraints port_anchors(const netlist::Netlist& nl) const;
+  /// Throws LogicError when options_.verify is set and the placement is
+  /// illegal (see pnr/verify.hpp).
+  void check_placement(const netlist::Netlist& nl,
+                       const Placement& placement,
+                       const PlacementConstraints& constraints) const;
+
+  const fabric::Device& device_;
+  PnrOptions options_;
+};
+
+}  // namespace presp::pnr

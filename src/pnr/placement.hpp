@@ -1,0 +1,54 @@
+// Placement types shared by the placer, router and flow engine.
+//
+// The placement grid is the device's (column x clock-region-row) cell
+// matrix. Capacity accounting is LUT-centric: clusters are predominantly
+// logic, and BRAM/DSP feasibility is already guaranteed coarsely by
+// floorplanning (pblock coverage) and elaboration (device totals); the
+// placer additionally keeps clusters containing BRAM/DSP near matching
+// columns via a soft affinity cost.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fabric/device.hpp"
+#include "netlist/netlist.hpp"
+
+namespace presp::pnr {
+
+struct GridLoc {
+  int col = -1;
+  int row = -1;
+  bool valid() const { return col >= 0 && row >= 0; }
+  friend bool operator==(const GridLoc&, const GridLoc&) = default;
+};
+
+/// Region restriction + pre-assignments for one P&R run.
+struct PlacementConstraints {
+  /// If set, every movable cell must land inside this rectangle (used for
+  /// in-context runs on a reconfigurable partition).
+  std::optional<fabric::Pblock> region;
+  /// Rectangles no movable cell may enter (the pblocks of reconfigurable
+  /// partitions during a static-part run).
+  std::vector<fabric::Pblock> keepouts;
+  /// Pre-placed cells (ports at the die edge, black-box placeholder
+  /// macros at pblock anchors, ...). Fixed cells never move.
+  std::vector<std::pair<netlist::CellId, GridLoc>> fixed;
+};
+
+struct Placement {
+  /// Location per netlist cell (index = CellId).
+  std::vector<GridLoc> locations;
+
+  const GridLoc& at(netlist::CellId id) const { return locations[id]; }
+};
+
+/// Half-perimeter wirelength of one net under a placement, weighted by the
+/// net's bit width.
+double net_hpwl(const netlist::Netlist& nl, const Placement& placement,
+                netlist::NetId net);
+
+/// Total weighted HPWL over all nets.
+double total_hpwl(const netlist::Netlist& nl, const Placement& placement);
+
+}  // namespace presp::pnr

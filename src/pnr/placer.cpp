@@ -1,0 +1,273 @@
+#include "pnr/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace presp::pnr {
+
+double net_hpwl(const netlist::Netlist& nl, const Placement& placement,
+                netlist::NetId net_id) {
+  const netlist::Net& net = nl.net(net_id);
+  const GridLoc& d = placement.at(net.driver);
+  int min_c = d.col;
+  int max_c = d.col;
+  int min_r = d.row;
+  int max_r = d.row;
+  for (const netlist::CellId sink : net.sinks) {
+    const GridLoc& s = placement.at(sink);
+    min_c = std::min(min_c, s.col);
+    max_c = std::max(max_c, s.col);
+    min_r = std::min(min_r, s.row);
+    max_r = std::max(max_r, s.row);
+  }
+  // Rows are clock regions (tall); weight vertical span accordingly so a
+  // row step costs as much as ~20 column steps, matching fabric aspect.
+  return static_cast<double>(net.width) *
+         (static_cast<double>(max_c - min_c) +
+          20.0 * static_cast<double>(max_r - min_r));
+}
+
+double total_hpwl(const netlist::Netlist& nl, const Placement& placement) {
+  double total = 0.0;
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n)
+    total += net_hpwl(nl, placement, n);
+  return total;
+}
+
+namespace {
+
+class PlacerState {
+ public:
+  PlacerState(const fabric::Device& device, const netlist::Netlist& nl,
+              const PlacementConstraints& constraints)
+      : device_(device), nl_(nl) {
+    // Enumerate allowed grid cells.
+    auto allowed = [&](int col, int row) {
+      if (!fabric::Device::reconfigurable_column(device.column_type(col)) &&
+          device.column_type(col) != fabric::ColumnType::kIo)
+        return false;  // clocking spine hosts no user logic
+      if (constraints.region && !constraints.region->contains(col, row))
+        return false;
+      for (const fabric::Pblock& keep : constraints.keepouts)
+        if (keep.contains(col, row)) return false;
+      return true;
+    };
+    for (int col = 0; col < device.num_columns(); ++col)
+      for (int row = 0; row < device.region_rows(); ++row)
+        if (allowed(col, row)) sites_.push_back(GridLoc{col, row});
+    PRESP_REQUIRE(!sites_.empty(), "no allowed placement sites");
+
+    lut_capacity_.assign(
+        static_cast<std::size_t>(device.num_columns()) *
+            static_cast<std::size_t>(device.region_rows()),
+        0);
+    lut_usage_.assign(lut_capacity_.size(), 0);
+    for (const GridLoc& site : sites_) {
+      // IO columns host only port anchors; give them token capacity.
+      const auto cap =
+          device.column_type(site.col) == fabric::ColumnType::kIo
+              ? 64
+              : device.cell_resources(site.col).luts;
+      lut_capacity_[index(site)] = cap;
+    }
+
+    placement_.locations.assign(nl.num_cells(), GridLoc{});
+    movable_.assign(nl.num_cells(), true);
+    for (const auto& [cell, loc] : constraints.fixed) {
+      PRESP_ASSERT(cell < nl.num_cells());
+      placement_.locations[cell] = loc;
+      movable_[cell] = false;
+      if (index_in_bounds(loc)) lut_usage_[index(loc)] += cell_luts(cell);
+    }
+
+    // Feasibility: total movable LUTs vs capacity of allowed sites.
+    std::int64_t demand = 0;
+    for (netlist::CellId c = 0; c < nl.num_cells(); ++c)
+      if (movable_[c]) demand += cell_luts(c);
+    std::int64_t capacity = 0;
+    for (const GridLoc& site : sites_) capacity += lut_capacity_[index(site)];
+    if (demand > capacity)
+      throw InfeasibleDesign(
+          "placement region lacks LUT capacity: demand " +
+          std::to_string(demand) + " > capacity " + std::to_string(capacity));
+
+    // Nets incident to each cell, for incremental cost updates.
+    nets_of_cell_.assign(nl.num_cells(), {});
+    for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+      const netlist::Net& net = nl.net(n);
+      nets_of_cell_[net.driver].push_back(n);
+      for (const netlist::CellId s : net.sinks) nets_of_cell_[s].push_back(n);
+    }
+  }
+
+  std::size_t index(const GridLoc& loc) const {
+    return static_cast<std::size_t>(loc.col) *
+               static_cast<std::size_t>(device_.region_rows()) +
+           static_cast<std::size_t>(loc.row);
+  }
+  bool index_in_bounds(const GridLoc& loc) const {
+    return loc.col >= 0 && loc.col < device_.num_columns() && loc.row >= 0 &&
+           loc.row < device_.region_rows();
+  }
+
+  std::int64_t cell_luts(netlist::CellId c) const {
+    const auto& cell = nl_.cell(c);
+    // Black boxes and ports occupy no logic; clusters with BRAM/DSP but no
+    // LUTs still need a nominal footprint so they spread out.
+    if (cell.kind != netlist::CellKind::kLogic) return 0;
+    return std::max<std::int64_t>(cell.resources.luts, 8);
+  }
+
+  /// Deterministic constructive seed: movable cells in id order across
+  /// sites in snake order, moving on when a site fills up.
+  void seed() {
+    std::size_t site = 0;
+    for (netlist::CellId c = 0; c < nl_.num_cells(); ++c) {
+      if (!movable_[c]) continue;
+      const std::int64_t need = cell_luts(c);
+      std::size_t tried = 0;
+      while (tried < sites_.size()) {
+        const GridLoc& loc = sites_[site];
+        if (lut_usage_[index(loc)] + need <=
+            lut_capacity_[index(loc)]) {
+          placement_.locations[c] = loc;
+          lut_usage_[index(loc)] += need;
+          break;
+        }
+        site = (site + 1) % sites_.size();
+        ++tried;
+      }
+      if (tried == sites_.size()) {
+        // Everything nominally full (fragmentation): drop on the least
+        // loaded site; annealing's overflow penalty will spread it.
+        std::size_t best = 0;
+        for (std::size_t s = 1; s < sites_.size(); ++s)
+          if (lut_usage_[index(sites_[s])] - lut_capacity_[index(sites_[s])] <
+              lut_usage_[index(sites_[best])] -
+                  lut_capacity_[index(sites_[best])])
+            best = s;
+        placement_.locations[c] = sites_[best];
+        lut_usage_[index(sites_[best])] += need;
+      }
+    }
+  }
+
+  double overflow() const {
+    double total = 0.0;
+    for (std::size_t i = 0; i < lut_usage_.size(); ++i)
+      if (lut_usage_[i] > lut_capacity_[i])
+        total += static_cast<double>(lut_usage_[i] - lut_capacity_[i]);
+    return total;
+  }
+
+  double site_overflow_delta(const GridLoc& loc, std::int64_t delta) const {
+    const std::size_t i = index(loc);
+    const auto before =
+        std::max<std::int64_t>(0, lut_usage_[i] - lut_capacity_[i]);
+    const auto after = std::max<std::int64_t>(
+        0, lut_usage_[i] + delta - lut_capacity_[i]);
+    return static_cast<double>(after - before);
+  }
+
+  /// Cost delta of moving cell c to `to` (possibly swapping with cells is
+  /// handled by two applications).
+  double move_cost_delta(netlist::CellId c, const GridLoc& to,
+                         double overflow_weight) {
+    const GridLoc from = placement_.locations[c];
+    double delta = 0.0;
+    for (const netlist::NetId n : nets_of_cell_[c])
+      delta -= net_hpwl(nl_, placement_, n);
+    placement_.locations[c] = to;
+    for (const netlist::NetId n : nets_of_cell_[c])
+      delta += net_hpwl(nl_, placement_, n);
+    placement_.locations[c] = from;
+
+    const std::int64_t luts = cell_luts(c);
+    delta += overflow_weight * (site_overflow_delta(from, -luts) +
+                                site_overflow_delta(to, luts));
+    return delta;
+  }
+
+  void apply_move(netlist::CellId c, const GridLoc& to) {
+    const GridLoc from = placement_.locations[c];
+    const std::int64_t luts = cell_luts(c);
+    lut_usage_[index(from)] -= luts;
+    lut_usage_[index(to)] += luts;
+    placement_.locations[c] = to;
+  }
+
+  const std::vector<GridLoc>& sites() const { return sites_; }
+  Placement& placement() { return placement_; }
+  bool movable(netlist::CellId c) const { return movable_[c]; }
+
+ private:
+  const fabric::Device& device_;
+  const netlist::Netlist& nl_;
+  std::vector<GridLoc> sites_;
+  std::vector<std::int64_t> lut_capacity_;
+  std::vector<std::int64_t> lut_usage_;
+  Placement placement_;
+  std::vector<bool> movable_;
+  std::vector<std::vector<netlist::NetId>> nets_of_cell_;
+};
+
+}  // namespace
+
+PlaceResult Placer::place(const netlist::Netlist& nl,
+                          const PlacementConstraints& constraints) const {
+  PlacerState state(device_, nl, constraints);
+  state.seed();
+
+  std::vector<netlist::CellId> movable;
+  for (netlist::CellId c = 0; c < nl.num_cells(); ++c)
+    if (state.movable(c)) movable.push_back(c);
+
+  PlaceResult result;
+  if (movable.empty()) {
+    result.placement = state.placement();
+    result.final_hpwl = total_hpwl(nl, state.placement());
+    result.overflow = state.overflow();
+    result.final_cost = result.final_hpwl;
+    return result;
+  }
+
+  presp::Rng rng(options_.seed);
+  const double initial_hpwl = std::max(1.0, total_hpwl(nl, state.placement()));
+  double temperature =
+      options_.initial_temperature_factor * initial_hpwl /
+      static_cast<double>(movable.size());
+  const double overflow_weight =
+      initial_hpwl / static_cast<double>(movable.size());
+
+  for (int step = 0; step < options_.temperature_steps; ++step) {
+    const long long moves =
+        static_cast<long long>(options_.moves_per_cell) *
+        static_cast<long long>(movable.size());
+    for (long long m = 0; m < moves; ++m) {
+      const netlist::CellId c =
+          movable[static_cast<std::size_t>(rng.next_below(movable.size()))];
+      const GridLoc to = state.sites()[static_cast<std::size_t>(
+          rng.next_below(state.sites().size()))];
+      if (to == state.placement().locations[c]) continue;
+      const double delta = state.move_cost_delta(c, to, overflow_weight);
+      ++result.moves_tried;
+      if (delta <= 0.0 ||
+          rng.next_double() < std::exp(-delta / std::max(1e-9, temperature))) {
+        state.apply_move(c, to);
+        ++result.moves_accepted;
+      }
+    }
+    temperature *= options_.cooling;
+  }
+
+  result.placement = state.placement();
+  result.final_hpwl = total_hpwl(nl, state.placement());
+  result.overflow = state.overflow();
+  result.final_cost =
+      result.final_hpwl + overflow_weight * result.overflow;
+  return result;
+}
+
+}  // namespace presp::pnr

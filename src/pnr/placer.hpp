@@ -1,0 +1,49 @@
+// Simulated-annealing placer.
+//
+// Classic two-phase recipe: a deterministic constructive seed (cells
+// strewn across the allowed cells in netlist order, respecting LUT
+// capacity), then annealing with single-cell moves and pairwise swaps
+// under a cost of weighted HPWL plus soft penalties for LUT-capacity
+// overflow and BRAM/DSP column affinity.
+#pragma once
+
+#include "pnr/placement.hpp"
+#include "util/rng.hpp"
+
+namespace presp::pnr {
+
+struct PlacerOptions {
+  /// Moves per cell per temperature step.
+  int moves_per_cell = 4;
+  int temperature_steps = 40;
+  double initial_temperature_factor = 0.05;
+  double cooling = 0.85;
+  std::uint64_t seed = 1;
+};
+
+struct PlaceResult {
+  Placement placement;
+  double final_cost = 0.0;
+  double final_hpwl = 0.0;
+  /// LUT overflow summed over grid cells (0 = legal placement).
+  double overflow = 0.0;
+  long long moves_tried = 0;
+  long long moves_accepted = 0;
+};
+
+class Placer {
+ public:
+  Placer(const fabric::Device& device, PlacerOptions options = {})
+      : device_(device), options_(options) {}
+
+  /// Places `nl` under the constraints. Throws InfeasibleDesign when the
+  /// allowed region lacks LUT capacity for the netlist.
+  PlaceResult place(const netlist::Netlist& nl,
+                    const PlacementConstraints& constraints) const;
+
+ private:
+  const fabric::Device& device_;
+  PlacerOptions options_;
+};
+
+}  // namespace presp::pnr

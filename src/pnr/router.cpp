@@ -1,0 +1,233 @@
+#include "pnr/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace presp::pnr {
+
+namespace {
+// Delay model: one column hop vs one region-row hop, plus cluster logic.
+constexpr double kHorizontalHopNs = 0.08;
+constexpr double kVerticalHopNs = 0.38;
+constexpr double kLogicDelayNs = 1.2;
+}  // namespace
+
+RoutingState::RoutingState(const fabric::Device& device, int h_capacity,
+                           int v_capacity)
+    : cols_(device.num_columns()), rows_(device.region_rows()) {
+  PRESP_REQUIRE(h_capacity > 0 && v_capacity > 0,
+                "edge capacities must be positive");
+  const std::size_t h_edges =
+      static_cast<std::size_t>(cols_ - 1) * static_cast<std::size_t>(rows_);
+  const std::size_t v_edges =
+      static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_ - 1);
+  usage_.assign(h_edges + v_edges, 0);
+  capacity_.resize(h_edges + v_edges);
+  std::fill(capacity_.begin(),
+            capacity_.begin() + static_cast<long>(h_edges), h_capacity);
+  std::fill(capacity_.begin() + static_cast<long>(h_edges), capacity_.end(),
+            v_capacity);
+}
+
+std::size_t RoutingState::h_edge(int col, int row) const {
+  PRESP_ASSERT(col >= 0 && col + 1 < cols_ && row >= 0 && row < rows_);
+  return static_cast<std::size_t>(row) * (cols_ - 1) + col;
+}
+
+std::size_t RoutingState::v_edge(int col, int row) const {
+  PRESP_ASSERT(col >= 0 && col < cols_ && row >= 0 && row + 1 < rows_);
+  const std::size_t h_edges =
+      static_cast<std::size_t>(cols_ - 1) * static_cast<std::size_t>(rows_);
+  return h_edges + static_cast<std::size_t>(row) * cols_ + col;
+}
+
+long long RoutingState::total_usage() const {
+  long long total = 0;
+  for (const int u : usage_) total += u;
+  return total;
+}
+
+long long RoutingState::overflow() const {
+  long long total = 0;
+  for (std::size_t i = 0; i < usage_.size(); ++i)
+    if (usage_[i] > capacity_[i]) total += usage_[i] - capacity_[i];
+  return total;
+}
+
+namespace {
+
+struct NodeCost {
+  double cost;
+  int col;
+  int row;
+  bool operator>(const NodeCost& o) const { return cost > o.cost; }
+};
+
+/// One A* search from `from` to `to` on the grid. Returns the edge list of
+/// the path (empty only when from == to).
+std::vector<std::size_t> astar(const RoutingState& state,
+                               const std::vector<double>& history,
+                               double congestion_penalty, int width,
+                               GridLoc from, GridLoc to) {
+  const int cols = state.num_cols();
+  const int rows = state.num_rows();
+  const auto node = [cols](int c, int r) {
+    return static_cast<std::size_t>(r) * cols + c;
+  };
+  std::vector<double> dist(static_cast<std::size_t>(cols) * rows,
+                           std::numeric_limits<double>::infinity());
+  // Parent edge + direction to reconstruct the path.
+  std::vector<std::int32_t> parent(dist.size(), -1);
+
+  auto heuristic = [&](int c, int r) {
+    return kHorizontalHopNs * std::abs(c - to.col) +
+           kVerticalHopNs * std::abs(r - to.row);
+  };
+  auto edge_cost = [&](std::size_t edge, double base) {
+    const int over =
+        state.usage(edge) + width - state.capacity(edge);
+    double cost = base + history[edge];
+    if (over > 0)
+      cost += congestion_penalty * base * static_cast<double>(over) /
+              static_cast<double>(state.capacity(edge));
+    return cost;
+  };
+
+  std::priority_queue<NodeCost, std::vector<NodeCost>, std::greater<>> open;
+  dist[node(from.col, from.row)] = 0.0;
+  open.push({heuristic(from.col, from.row), from.col, from.row});
+
+  while (!open.empty()) {
+    const NodeCost top = open.top();
+    open.pop();
+    const std::size_t n = node(top.col, top.row);
+    if (top.col == to.col && top.row == to.row) break;
+    const double g = dist[n];
+    if (top.cost - heuristic(top.col, top.row) > g + 1e-12) continue;
+
+    struct Step {
+      int dc, dr;
+    };
+    static constexpr Step steps[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+    for (const Step& s : steps) {
+      const int nc = top.col + s.dc;
+      const int nr = top.row + s.dr;
+      if (nc < 0 || nc >= cols || nr < 0 || nr >= rows) continue;
+      std::size_t edge;
+      double base;
+      if (s.dr == 0) {
+        edge = state.h_edge(std::min(top.col, nc), top.row);
+        base = kHorizontalHopNs;
+      } else {
+        edge = state.v_edge(top.col, std::min(top.row, nr));
+        base = kVerticalHopNs;
+      }
+      const double ng = g + edge_cost(edge, base);
+      const std::size_t nn = node(nc, nr);
+      if (ng < dist[nn] - 1e-12) {
+        dist[nn] = ng;
+        parent[nn] = static_cast<std::int32_t>(n);
+        open.push({ng + heuristic(nc, nr), nc, nr});
+      }
+    }
+  }
+
+  // Reconstruct.
+  std::vector<std::size_t> path;
+  std::size_t cur = node(to.col, to.row);
+  const std::size_t start = node(from.col, from.row);
+  PRESP_ASSERT_MSG(cur == start || parent[cur] >= 0,
+                   "router: sink unreachable");
+  while (cur != start) {
+    const std::size_t prev = static_cast<std::size_t>(parent[cur]);
+    const int cc = static_cast<int>(cur) % cols;
+    const int cr = static_cast<int>(cur) / cols;
+    const int pc = static_cast<int>(prev) % cols;
+    const int pr = static_cast<int>(prev) / cols;
+    if (cr == pr) {
+      path.push_back(state.h_edge(std::min(cc, pc), cr));
+    } else {
+      path.push_back(state.v_edge(cc, std::min(cr, pr)));
+    }
+    cur = prev;
+  }
+  return path;
+}
+
+}  // namespace
+
+RouteResult Router::route(const netlist::Netlist& nl,
+                          const Placement& placement,
+                          RoutingState& state) const {
+  RouteResult result;
+  std::vector<double> history(state.num_edges(), 0.0);
+  // Edges claimed by each net in the current iteration (so we can rip up).
+  std::vector<std::vector<std::pair<std::size_t, int>>> claimed(
+      nl.num_nets());
+  std::vector<double> net_delay(nl.num_nets(), 0.0);
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+      // Rip up the previous route of this net.
+      for (const auto& [edge, bits] : claimed[n]) state.add_usage(edge, -bits);
+      claimed[n].clear();
+
+      const netlist::Net& net = nl.net(n);
+      const GridLoc from = placement.at(net.driver);
+      PRESP_REQUIRE(from.valid(), "unplaced driver on net '" + net.name + "'");
+      double delay = kLogicDelayNs;
+      // Star topology: route to each sink, sharing claimed edges (an edge
+      // claimed twice by the same net only counts once).
+      for (const netlist::CellId sink : net.sinks) {
+        const GridLoc to = placement.at(sink);
+        PRESP_REQUIRE(to.valid(), "unplaced sink on net '" + net.name + "'");
+        const auto path = astar(state, history,
+                                options_.congestion_penalty, net.width,
+                                from, to);
+        double sink_delay = kLogicDelayNs;
+        for (const std::size_t edge : path) {
+          const bool already =
+              std::any_of(claimed[n].begin(), claimed[n].end(),
+                          [edge](const auto& e) { return e.first == edge; });
+          sink_delay += edge < static_cast<std::size_t>(
+                                   (state.num_cols() - 1) * state.num_rows())
+                            ? kHorizontalHopNs
+                            : kVerticalHopNs;
+          if (!already) {
+            state.add_usage(edge, net.width);
+            claimed[n].emplace_back(edge, net.width);
+          }
+        }
+        delay = std::max(delay, sink_delay);
+      }
+      net_delay[n] = delay;
+    }
+
+    if (state.overflow() == 0) break;
+    // Update history on overflowed edges for the next iteration.
+    for (std::size_t e = 0; e < state.num_edges(); ++e)
+      if (state.usage(e) > state.capacity(e))
+        history[e] += options_.history_increment *
+                      (kHorizontalHopNs + kVerticalHopNs) / 2.0;
+  }
+
+  for (const auto& per_net : claimed)
+    for (const auto& [edge, bits] : per_net) {
+      (void)edge;
+      result.wirelength += bits;
+    }
+  result.overflow = state.overflow();
+  result.success = result.overflow == 0;
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n)
+    result.max_net_delay_ns = std::max(result.max_net_delay_ns, net_delay[n]);
+  if (result.max_net_delay_ns > 0.0)
+    result.achieved_fmax_mhz = 1'000.0 / result.max_net_delay_ns;
+  return result;
+}
+
+}  // namespace presp::pnr

@@ -1,0 +1,84 @@
+// Global router over the device's (column x region-row) grid graph.
+//
+// Negotiated-congestion routing in the PathFinder tradition: every net is
+// routed driver->sink with A* under a cost that combines base wire cost,
+// present congestion and accumulated history; oversubscribed edges get
+// progressively more expensive across iterations until usage fits edge
+// capacity (or the iteration budget is spent, leaving reported overflow).
+//
+// The same RoutingState can be pre-loaded with the static part's usage to
+// model *in-context* partition runs, where the partition's nets must
+// negotiate with locked static routes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pnr/placement.hpp"
+
+namespace presp::pnr {
+
+/// Edge-usage bookkeeping for the routing grid. Edges are indexed
+/// horizontal-first: h-edge (col -> col+1, row) then v-edge (col, row ->
+/// row+1).
+class RoutingState {
+ public:
+  RoutingState(const fabric::Device& device, int h_capacity = 1'500,
+               int v_capacity = 2'500);
+
+  int num_cols() const { return cols_; }
+  int num_rows() const { return rows_; }
+
+  std::size_t h_edge(int col, int row) const;  // (col,row)->(col+1,row)
+  std::size_t v_edge(int col, int row) const;  // (col,row)->(col,row+1)
+  std::size_t num_edges() const { return usage_.size(); }
+
+  int usage(std::size_t edge) const { return usage_[edge]; }
+  int capacity(std::size_t edge) const { return capacity_[edge]; }
+  void add_usage(std::size_t edge, int bits) { usage_[edge] += bits; }
+
+  /// Total bit-hops currently recorded.
+  long long total_usage() const;
+  /// Sum of usage beyond capacity over all edges.
+  long long overflow() const;
+
+ private:
+  int cols_;
+  int rows_;
+  std::vector<int> usage_;
+  std::vector<int> capacity_;
+};
+
+struct RouterOptions {
+  int max_iterations = 3;
+  /// Cost multiplier applied to an edge's present over-capacity.
+  double congestion_penalty = 2.0;
+  /// History increment per overflowed edge per iteration.
+  double history_increment = 0.8;
+};
+
+struct RouteResult {
+  bool success = false;          // no overflow after the final iteration
+  long long wirelength = 0;      // bit-hops added by this netlist
+  long long overflow = 0;        // remaining over-capacity (bit-hops)
+  double max_net_delay_ns = 0.0; // slowest routed net
+  double achieved_fmax_mhz = 0.0;
+  int iterations = 0;
+};
+
+class Router {
+ public:
+  Router(const fabric::Device& device, RouterOptions options = {})
+      : device_(device), options_(options) {}
+
+  /// Routes all nets of `nl` under `placement`, accumulating usage into
+  /// `state` (which may carry pre-existing static usage).
+  RouteResult route(const netlist::Netlist& nl, const Placement& placement,
+                    RoutingState& state) const;
+
+ private:
+  const fabric::Device& device_;
+  RouterOptions options_;
+};
+
+}  // namespace presp::pnr

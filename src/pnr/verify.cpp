@@ -1,0 +1,93 @@
+#include "pnr/verify.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace presp::pnr {
+
+const char* to_string(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kOutOfBounds: return "out-of-bounds";
+    case Violation::Kind::kIllegalColumn: return "illegal-column";
+    case Violation::Kind::kOutsideRegion: return "outside-region";
+    case Violation::Kind::kInsideKeepout: return "inside-keepout";
+    case Violation::Kind::kCapacityOverflow: return "capacity-overflow";
+    case Violation::Kind::kUnplacedCell: return "unplaced-cell";
+  }
+  return "?";
+}
+
+std::vector<Violation> verify_placement(
+    const fabric::Device& device, const netlist::Netlist& nl,
+    const Placement& placement, const PlacementConstraints& constraints) {
+  std::vector<Violation> violations;
+  const auto report = [&](Violation::Kind kind, netlist::CellId cell,
+                          std::string detail) {
+    violations.push_back({kind, cell, std::move(detail)});
+  };
+
+  std::map<std::pair<int, int>, std::int64_t> usage;
+
+  for (netlist::CellId c = 0; c < nl.num_cells(); ++c) {
+    const auto& cell = nl.cell(c);
+    const GridLoc& loc =
+        c < placement.locations.size() ? placement.locations[c] : GridLoc{};
+    if (!loc.valid()) {
+      report(Violation::Kind::kUnplacedCell, c, cell.name);
+      continue;
+    }
+    if (loc.col < 0 || loc.col >= device.num_columns() || loc.row < 0 ||
+        loc.row >= device.region_rows()) {
+      report(Violation::Kind::kOutOfBounds, c,
+             cell.name + " at (" + std::to_string(loc.col) + "," +
+                 std::to_string(loc.row) + ")");
+      continue;
+    }
+    const auto type = device.column_type(loc.col);
+    if (cell.kind == netlist::CellKind::kLogic) {
+      if (type == fabric::ColumnType::kClock) {
+        report(Violation::Kind::kIllegalColumn, c,
+               cell.name + " on the clocking spine");
+      }
+      usage[{loc.col, loc.row}] += cell.resources.luts;
+    }
+    // Constraint checks apply to movable cells; fixed cells are exempt
+    // (ports sit on I/O columns, black-box anchors sit in keepouts).
+    const bool fixed =
+        std::any_of(constraints.fixed.begin(), constraints.fixed.end(),
+                    [c](const auto& f) { return f.first == c; });
+    if (fixed) continue;
+    if (constraints.region &&
+        !constraints.region->contains(loc.col, loc.row))
+      report(Violation::Kind::kOutsideRegion, c, cell.name);
+    for (const auto& keepout : constraints.keepouts)
+      if (keepout.contains(loc.col, loc.row)) {
+        report(Violation::Kind::kInsideKeepout, c, cell.name);
+        break;
+      }
+  }
+
+  for (const auto& [cell_loc, luts] : usage) {
+    // I/O columns carry the same token capacity the placer models (edge
+    // flops next to the pads).
+    const auto capacity =
+        device.column_type(cell_loc.first) == fabric::ColumnType::kIo
+            ? 64
+            : device.cell_resources(cell_loc.first).luts;
+    if (luts > capacity)
+      report(Violation::Kind::kCapacityOverflow, netlist::kInvalidCell,
+             "cell (" + std::to_string(cell_loc.first) + "," +
+                 std::to_string(cell_loc.second) + "): " +
+                 std::to_string(luts) + " LUTs > " +
+                 std::to_string(capacity));
+  }
+  return violations;
+}
+
+bool placement_legal(const fabric::Device& device,
+                     const netlist::Netlist& nl, const Placement& placement,
+                     const PlacementConstraints& constraints) {
+  return verify_placement(device, nl, placement, constraints).empty();
+}
+
+}  // namespace presp::pnr

@@ -1,0 +1,45 @@
+// Independent physical-implementation verifier.
+//
+// The placer and router optimize; this module *checks*, with no shared
+// code paths: placement legality (bounds, column types, region/keepout
+// constraints, per-cell LUT capacity) and, at the flow level, DPR rules
+// (black boxes anchored inside their pblocks, no static logic inside any
+// partition rectangle). Tests and the flow's assertions use it so an
+// optimizer bug cannot silently vouch for itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pnr/placer.hpp"
+
+namespace presp::pnr {
+
+struct Violation {
+  enum class Kind {
+    kOutOfBounds,
+    kIllegalColumn,
+    kOutsideRegion,
+    kInsideKeepout,
+    kCapacityOverflow,
+    kUnplacedCell,
+  };
+  Kind kind;
+  netlist::CellId cell = netlist::kInvalidCell;
+  std::string detail;
+};
+
+const char* to_string(Violation::Kind kind);
+
+/// Checks `placement` of `nl` against the device and constraints.
+/// Returns every violation found (empty = legal).
+std::vector<Violation> verify_placement(
+    const fabric::Device& device, const netlist::Netlist& nl,
+    const Placement& placement, const PlacementConstraints& constraints = {});
+
+/// Convenience: true when verify_placement() returns no violations.
+bool placement_legal(const fabric::Device& device,
+                     const netlist::Netlist& nl, const Placement& placement,
+                     const PlacementConstraints& constraints = {});
+
+}  // namespace presp::pnr

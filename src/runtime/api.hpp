@@ -1,0 +1,79 @@
+// User-space DPR API and the bare-metal driver variant (paper Section V:
+// "Linux and bare-metal drivers ... a user-space API to expose DPR
+// services to applications").
+//
+// DprApi is the Linux path: applications mmap their partial bitstreams,
+// hand them to the API (which copies them into kernel memory via the
+// BitstreamStore), then invoke accelerators by (tile, module); the kernel
+// manager handles locking, reconfiguration scheduling and driver swaps.
+//
+// BareMetalDriver is the no-OS path: it programs the decoupler and DFX
+// controller directly and busy-polls status registers instead of taking
+// interrupts.
+#pragma once
+
+#include "runtime/manager.hpp"
+
+namespace presp::runtime {
+
+class DprApi {
+ public:
+  DprApi(soc::Soc& soc, ReconfigurationManager& manager,
+         BitstreamStore& store)
+      : soc_(soc), manager_(manager), store_(store) {}
+
+  /// Registers a user-space (mmapped) partial bitstream with the kernel.
+  void load_bitstream(int tile, const std::string& module,
+                      std::size_t bytes,
+                      std::span<const std::uint8_t> payload = {},
+                      std::uint32_t crc = 0) {
+    store_.add(tile, module, bytes, payload, crc);
+  }
+
+  /// Synchronous accelerator invocation from a software thread: ensures
+  /// the module is resident, runs the task, signals `done`.
+  sim::Process invoke(int tile, const std::string& module,
+                      const soc::AccelTask& task, sim::SimEvent& done) {
+    return manager_.run(tile, module, task, done);
+  }
+
+  /// Prefetch-style reconfiguration without running a task.
+  sim::Process prepare(int tile, const std::string& module,
+                       sim::SimEvent& done) {
+    return manager_.ensure_module(tile, module, done);
+  }
+
+ private:
+  soc::Soc& soc_;
+  ReconfigurationManager& manager_;
+  BitstreamStore& store_;
+};
+
+struct BareMetalStats {
+  std::uint64_t polls = 0;
+  std::uint64_t reconfigurations = 0;
+  std::uint64_t runs = 0;
+};
+
+class BareMetalDriver {
+ public:
+  BareMetalDriver(soc::Soc& soc, BitstreamStore& store,
+                  long long poll_interval_cycles = 256)
+      : soc_(soc), store_(store), poll_interval_(poll_interval_cycles) {}
+
+  /// Loads `module` (if needed) and runs the task, polling for
+  /// completion. Single-threaded semantics: no locking, one call at a
+  /// time. By-value parameters: coroutine.
+  sim::Process run(int tile, std::string module, soc::AccelTask task,
+                   sim::SimEvent& done);
+
+  const BareMetalStats& stats() const { return stats_; }
+
+ private:
+  soc::Soc& soc_;
+  BitstreamStore& store_;
+  long long poll_interval_;
+  BareMetalStats stats_;
+};
+
+}  // namespace presp::runtime

@@ -1,0 +1,59 @@
+// Partial-bitstream store (paper Section V).
+//
+// "Before the start of application execution, partial bitstreams, which
+// are mmapped in the user-space in the DDR, are copied into the kernel
+// memory. This enables the runtime manager to create a reference between
+// the bitstreams, their physical addresses, the tiles they will be loaded
+// into, and their respective drivers."
+//
+// The store allocates a DRAM region per (tile, module) image, registers
+// the identity blob the DFX controller resolves at trigger time, and
+// hands out the physical address/size pairs the manager programs into the
+// controller.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "soc/memory.hpp"
+
+namespace presp::runtime {
+
+struct BitstreamImage {
+  std::string module;
+  int tile = -1;
+  std::uint64_t address = 0;
+  std::size_t bytes = 0;
+  std::uint32_t crc = 0;
+};
+
+class BitstreamStore {
+ public:
+  explicit BitstreamStore(soc::MainMemory& memory) : memory_(memory) {}
+
+  /// Copies a partial bitstream for `module` targeting `tile` into kernel
+  /// memory. `payload` may be empty (timing-only experiments); its size is
+  /// then taken from `bytes`.
+  const BitstreamImage& add(int tile, const std::string& module,
+                            std::size_t bytes,
+                            std::span<const std::uint8_t> payload = {},
+                            std::uint32_t crc = 0);
+
+  /// Registers the blanking ("greybox") bitstream for a tile's partition:
+  /// module name is empty; loading it leaves the partition empty.
+  const BitstreamImage& add_blank(int tile, std::size_t bytes);
+
+  bool has(int tile, const std::string& module) const;
+  const BitstreamImage& get(int tile, const std::string& module) const;
+
+  std::vector<BitstreamImage> images() const;
+  std::size_t total_bytes() const;
+
+ private:
+  soc::MainMemory& memory_;
+  std::map<std::pair<int, std::string>, BitstreamImage> images_;
+};
+
+}  // namespace presp::runtime

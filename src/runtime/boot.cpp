@@ -1,0 +1,44 @@
+#include "runtime/boot.hpp"
+
+#include "util/error.hpp"
+
+namespace presp::runtime {
+
+sim::Process boot_system(
+    soc::Soc& soc, ReconfigurationManager& manager,
+    std::size_t full_bitstream_bytes,
+    std::vector<std::pair<int, std::string>> initial_modules,
+    BootReport* report, sim::SimEvent& done, BootOptions options) {
+  PRESP_REQUIRE(full_bitstream_bytes > 0, "empty full bitstream");
+  PRESP_REQUIRE(options.config_bytes_per_cycle > 0,
+                "configuration bandwidth must be positive");
+  auto& kernel = soc.kernel();
+  const double hz = soc.config().clock_mhz * 1e6;
+
+  // 1. Full-device configuration (static part + blank partitions).
+  const auto config_cycles = static_cast<sim::Time>(
+      static_cast<double>(full_bitstream_bytes) /
+      options.config_bytes_per_cycle);
+  co_await sim::Delay(kernel, config_cycles);
+  if (report != nullptr)
+    report->full_config_seconds =
+        static_cast<double>(config_cycles) / hz;
+
+  // 2. Preload the initial module of every reconfigurable tile. The
+  // requests all queue on the PRC; issue them concurrently and join.
+  const sim::Time preload_start = kernel.now();
+  std::vector<std::unique_ptr<sim::SimEvent>> loaded;
+  for (const auto& [tile, module] : initial_modules) {
+    loaded.push_back(std::make_unique<sim::SimEvent>(kernel));
+    manager.ensure_module(tile, module, *loaded.back());
+  }
+  for (const auto& event : loaded) co_await event->wait();
+  if (report != nullptr) {
+    report->preload_seconds =
+        static_cast<double>(kernel.now() - preload_start) / hz;
+    report->preloaded_modules = static_cast<int>(initial_modules.size());
+  }
+  done.trigger();
+}
+
+}  // namespace presp::runtime

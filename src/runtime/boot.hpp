@@ -1,0 +1,40 @@
+// System bring-up: full-bitstream configuration followed by preloading
+// each reconfigurable tile's initial module.
+//
+// The flow's full bitstream configures the static part with *blank*
+// partitions (the placeholder hard-macros); software then brings each
+// partition to its initial module through the normal reconfiguration
+// path — exactly the boot sequence of the real platform, where the
+// runtime manager owns every partial reconfiguration after power-up.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/manager.hpp"
+
+namespace presp::runtime {
+
+struct BootOptions {
+  /// Full-device configuration port bandwidth (SelectMAP-class), bytes
+  /// per SoC cycle.
+  double config_bytes_per_cycle = 16.0;
+};
+
+struct BootReport {
+  double full_config_seconds = 0.0;
+  double preload_seconds = 0.0;
+  int preloaded_modules = 0;
+};
+
+/// Configures the device (timed against `full_bitstream_bytes`), then
+/// loads `initial_modules` — (tile, module) pairs — through the manager.
+/// Fills `report` and signals `done`.
+sim::Process boot_system(
+    soc::Soc& soc, ReconfigurationManager& manager,
+    std::size_t full_bitstream_bytes,
+    std::vector<std::pair<int, std::string>> initial_modules,
+    BootReport* report, sim::SimEvent& done, BootOptions options = {});
+
+}  // namespace presp::runtime

@@ -1,0 +1,202 @@
+#include "runtime/manager.hpp"
+
+#include <algorithm>
+
+#include "soc/tiles.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace presp::runtime {
+
+ReconfigurationManager::ReconfigurationManager(soc::Soc& soc,
+                                               BitstreamStore& store,
+                                               ManagerOptions options)
+    : soc_(soc), store_(store), options_(options),
+      prc_lock_(soc.kernel(), 1) {}
+
+sim::Semaphore& ReconfigurationManager::tile_lock(int tile) {
+  auto it = tile_locks_.find(tile);
+  if (it == tile_locks_.end()) {
+    it = tile_locks_
+             .emplace(tile,
+                      std::make_unique<sim::Semaphore>(soc_.kernel(), 1))
+             .first;
+  }
+  return *it->second;
+}
+
+const std::string& ReconfigurationManager::driver(int tile) const {
+  const auto it = drivers_.find(tile);
+  return it == drivers_.end() ? no_driver_ : it->second;
+}
+
+sim::Process ReconfigurationManager::reconfigure_locked(
+    int tile, std::string module, sim::SimEvent& done) {
+  auto& kernel = soc_.kernel();
+  const sim::Time requested = kernel.now();
+
+  // Queue on the single PRC ("reconfiguration requests are queued up and
+  // executed as soon as the PRC is ready").
+  ++queue_depth_;
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth_);
+  co_await prc_lock_.acquire();
+  stats_.prc_wait_cycles +=
+      static_cast<long long>(kernel.now() - requested);
+  const sim::Time start = kernel.now();
+
+  co_await sim::Delay(kernel,
+                      static_cast<sim::Time>(
+                          options_.request_overhead_cycles));
+
+  auto& cpu = soc_.cpu();
+  const BitstreamImage& image = store_.get(tile, module);
+
+  // 1. Decouple the tile's wrapper from its socket.
+  co_await cpu.write_reg(tile, soc::kRegDecouple, 1);
+
+  // 2. Program and trigger the DFX controller in the auxiliary tile.
+  const int aux = soc_.aux_tile_index();
+  co_await cpu.write_reg(aux, soc::kRegDfxcBsAddr, image.address);
+  co_await cpu.write_reg(aux, soc::kRegDfxcBsBytes, image.bytes);
+  co_await cpu.write_reg(aux, soc::kRegDfxcTarget,
+                         static_cast<std::uint64_t>(tile));
+  co_await cpu.write_reg(aux, soc::kRegDfxcTrigger, 1);
+
+  // 3. Wait for the controller's completion interrupt; on a CRC error
+  // re-trigger the transfer (the image is re-fetched from DRAM).
+  int attempts = 1;
+  while (true) {
+    const std::uint64_t payload = co_await cpu.irq_from(aux).receive();
+    // The PRC lock guarantees this is ours, but verify the target anyway.
+    PRESP_ASSERT_MSG(static_cast<int>(payload >> 8) == tile,
+                     "unexpected DFXC interrupt target");
+    if ((payload & 0xFF) == soc::kIrqReconfDone) break;
+    PRESP_ASSERT_MSG((payload & 0xFF) == soc::kIrqReconfError,
+                     "unexpected DFXC interrupt code");
+    ++stats_.crc_retries;
+    if (++attempts > options_.max_attempts)
+      throw Error("reconfiguration of tile " + std::to_string(tile) +
+                  " failed after " + std::to_string(options_.max_attempts) +
+                  " CRC errors");
+    co_await cpu.write_reg(aux, soc::kRegDfxcTrigger, 1);
+  }
+
+  // 4. Re-enable the decoupler (resets the wrapper + NoC queues).
+  co_await cpu.write_reg(tile, soc::kRegDecouple, 0);
+
+  // 5. Swap the accelerator driver (nothing to load for a blanking image).
+  co_await sim::Delay(kernel,
+                      static_cast<sim::Time>(options_.driver_swap_cycles));
+  if (module.empty()) {
+    drivers_.erase(tile);
+  } else {
+    drivers_[tile] = module;
+    ++stats_.driver_swaps;
+  }
+
+  ++stats_.reconfigurations;
+  stats_.reconfiguration_cycles +=
+      static_cast<long long>(kernel.now() - start);
+  --queue_depth_;
+  prc_lock_.release();
+  done.trigger();
+}
+
+sim::Process ReconfigurationManager::ensure_module(int tile,
+                                                   std::string module,
+                                                   sim::SimEvent& done) {
+  auto& kernel = soc_.kernel();
+  const sim::Time t0 = kernel.now();
+  co_await tile_lock(tile).acquire();
+  stats_.lock_wait_cycles += static_cast<long long>(kernel.now() - t0);
+
+  if (soc_.reconf_tile(tile).module() == module &&
+      driver(tile) == module) {
+    ++stats_.reconfigurations_avoided;
+  } else {
+    sim::SimEvent reconfigured(kernel);
+    reconfigure_locked(tile, module, reconfigured);
+    co_await reconfigured.wait();
+  }
+  tile_lock(tile).release();
+  done.trigger();
+}
+
+sim::Process ReconfigurationManager::clear_partition(int tile,
+                                                     sim::SimEvent& done) {
+  auto& kernel = soc_.kernel();
+  co_await tile_lock(tile).acquire();
+  if (!soc_.reconf_tile(tile).module().empty() || !driver(tile).empty()) {
+    sim::SimEvent reconfigured(kernel);
+    reconfigure_locked(tile, "", reconfigured);
+    co_await reconfigured.wait();
+  }
+  tile_lock(tile).release();
+  done.trigger();
+}
+
+sim::Process ReconfigurationManager::verify_partition(int tile,
+                                                      std::string module,
+                                                      bool* ok,
+                                                      sim::SimEvent& done) {
+  auto& kernel = soc_.kernel();
+  co_await tile_lock(tile).acquire();
+  co_await prc_lock_.acquire();
+  auto& cpu = soc_.cpu();
+  const BitstreamImage& image = store_.get(tile, module);
+  const int aux = soc_.aux_tile_index();
+  co_await cpu.write_reg(aux, soc::kRegDfxcBsAddr, image.address);
+  co_await cpu.write_reg(aux, soc::kRegDfxcTarget,
+                         static_cast<std::uint64_t>(tile));
+  co_await cpu.write_reg(aux, soc::kRegDfxcReadback, 1);
+  const std::uint64_t payload = co_await cpu.irq_from(aux).receive();
+  PRESP_ASSERT_MSG((payload & 0xFF) == soc::kIrqReadbackDone,
+                   "unexpected interrupt during readback");
+  const std::uint64_t verdict =
+      co_await cpu.read_reg(aux, soc::kRegDfxcVerify);
+  *ok = verdict == 1;
+  ++stats_.readbacks;
+  (void)kernel;
+  prc_lock_.release();
+  tile_lock(tile).release();
+  done.trigger();
+}
+
+sim::Process ReconfigurationManager::run(int tile, std::string module,
+                                         soc::AccelTask task,
+                                         sim::SimEvent& done) {
+  auto& kernel = soc_.kernel();
+  const sim::Time t0 = kernel.now();
+  // "During reconfiguration, it locks access to the device so that other
+  // threads trying to access it must wait."
+  co_await tile_lock(tile).acquire();
+  stats_.lock_wait_cycles += static_cast<long long>(kernel.now() - t0);
+
+  if (soc_.reconf_tile(tile).module() != module || driver(tile) != module) {
+    sim::SimEvent reconfigured(kernel);
+    reconfigure_locked(tile, module, reconfigured);
+    co_await reconfigured.wait();
+  } else {
+    ++stats_.reconfigurations_avoided;
+  }
+
+  // Program the task and start the accelerator.
+  auto& cpu = soc_.cpu();
+  co_await cpu.write_reg(tile, soc::kRegSrc, task.src);
+  co_await cpu.write_reg(tile, soc::kRegDst, task.dst);
+  co_await cpu.write_reg(tile, soc::kRegItems,
+                         static_cast<std::uint64_t>(task.items));
+  co_await cpu.write_reg(tile, soc::kRegAuxArg, task.aux);
+  co_await cpu.write_reg(tile, soc::kRegCmd, 1);
+
+  // Wait for the done interrupt from the tile.
+  const std::uint64_t payload = co_await cpu.irq_from(tile).receive();
+  PRESP_ASSERT_MSG(payload == soc::kIrqAccelDone,
+                   "unexpected interrupt while waiting for completion");
+  ++stats_.runs;
+
+  tile_lock(tile).release();
+  done.trigger();
+}
+
+}  // namespace presp::runtime

@@ -1,0 +1,105 @@
+// The DPR runtime reconfiguration manager (paper Section V).
+//
+// Kernel-level services, modeled as coroutines over the simulated CPU:
+//   - per-device (tile) locking: while a reconfiguration or an accelerator
+//     run is in flight, other software threads targeting the tile block;
+//   - a reconfiguration workqueue: requests are serialized on the single
+//     DFX controller / ICAP pair and executed "as soon as the PRC is
+//     ready";
+//   - before queueing, the calling thread waits for the accelerator in the
+//     tile to finish (the per-tile lock enforces this);
+//   - decoupler control around the reconfiguration, driver swap after it.
+//
+// The driver registry mirrors ESP's driver (un)registration: each tile has
+// at most one loaded driver; swapping costs a modeled latency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "runtime/bitstream_store.hpp"
+#include "soc/soc.hpp"
+
+namespace presp::runtime {
+
+struct ManagerOptions {
+  /// Cycles to unregister + register an accelerator driver (Linux module
+  /// swap cost; ~0.5 ms at 78 MHz).
+  long long driver_swap_cycles = 39'000;
+  /// Extra kernel-entry overhead per reconfiguration request.
+  long long request_overhead_cycles = 2'000;
+  /// Attempts per reconfiguration before giving up on CRC errors.
+  int max_attempts = 3;
+};
+
+struct ManagerStats {
+  std::uint64_t reconfigurations = 0;
+  std::uint64_t reconfigurations_avoided = 0;  // module already loaded
+  std::uint64_t runs = 0;
+  std::uint64_t driver_swaps = 0;
+  /// CRC failures detected by the DFX controller and retried.
+  std::uint64_t crc_retries = 0;
+  std::uint64_t readbacks = 0;
+  /// Cycles software threads spent blocked on tile locks.
+  long long lock_wait_cycles = 0;
+  /// Cycles reconfiguration requests waited for the PRC.
+  long long prc_wait_cycles = 0;
+  /// Cycles spent actually reconfiguring (decouple -> driver loaded).
+  long long reconfiguration_cycles = 0;
+  int max_queue_depth = 0;
+};
+
+class ReconfigurationManager {
+ public:
+  ReconfigurationManager(soc::Soc& soc, BitstreamStore& store,
+                         ManagerOptions options = {});
+
+  /// Ensures `module` is loaded in `tile`, reconfiguring if needed, then
+  /// programs and runs the task, waiting for the done interrupt. Signals
+  /// `done` at completion. Call from a software Process; one call at a
+  /// time per SimEvent. Parameters are taken by value: these are
+  /// coroutines, and reference parameters would dangle across
+  /// suspensions (`done` must outlive the call — it is the completion
+  /// channel).
+  sim::Process run(int tile, std::string module, soc::AccelTask task,
+                   sim::SimEvent& done);
+
+  /// Reconfiguration only (no task): loads `module` into `tile`.
+  sim::Process ensure_module(int tile, std::string module,
+                             sim::SimEvent& done);
+
+  /// Blanks the tile's partition (loads the greybox bitstream registered
+  /// with BitstreamStore::add_blank) and unregisters its driver.
+  sim::Process clear_partition(int tile, sim::SimEvent& done);
+
+  /// Readback verification: streams the partition's configuration back
+  /// through the ICAP and compares it with the golden image of `module`.
+  /// Writes the outcome to *ok and signals `done`.
+  sim::Process verify_partition(int tile, std::string module, bool* ok,
+                                sim::SimEvent& done);
+
+  const ManagerStats& stats() const { return stats_; }
+  /// Currently loaded driver for a tile ("" if none).
+  const std::string& driver(int tile) const;
+
+ private:
+  /// Core reconfiguration sequence; caller must hold the tile lock.
+  sim::Process reconfigure_locked(int tile, std::string module,
+                                  sim::SimEvent& done);
+  sim::Semaphore& tile_lock(int tile);
+
+  soc::Soc& soc_;
+  BitstreamStore& store_;
+  ManagerOptions options_;
+  ManagerStats stats_;
+  /// The single PRC/ICAP: the reconfiguration workqueue's serialization.
+  sim::Semaphore prc_lock_;
+  std::map<int, std::unique_ptr<sim::Semaphore>> tile_locks_;
+  std::map<int, std::string> drivers_;
+  int queue_depth_ = 0;
+  std::string no_driver_;
+};
+
+}  // namespace presp::runtime

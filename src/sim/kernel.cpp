@@ -1,0 +1,80 @@
+#include "sim/kernel.hpp"
+
+namespace presp::sim {
+
+Kernel::~Kernel() = default;
+
+std::uint64_t Kernel::schedule(Time delay, std::function<void()> fn) {
+  pool_.push_back(Event{now_ + delay, seq_++, next_id_++, std::move(fn)});
+  queue_.push(&pool_.back());
+  ++live_events_;
+  return pool_.back().id;
+}
+
+bool Kernel::cancel(std::uint64_t event_id) {
+  // Events are pooled in a deque in id order starting at 1; the pool is
+  // only compacted between runs, so a linear scan from the back finds live
+  // events quickly (cancellations target recently scheduled timeouts).
+  for (auto it = pool_.rbegin(); it != pool_.rend(); ++it) {
+    if (it->id == event_id) {
+      if (it->cancelled || !it->fn) return false;
+      it->cancelled = true;
+      --live_events_;
+      return true;
+    }
+    if (it->id < event_id) break;
+  }
+  return false;
+}
+
+void Kernel::pop_and_run() {
+  Event* ev = queue_.top();
+  queue_.pop();
+  now_ = ev->at;
+  if (!ev->cancelled) {
+    --live_events_;
+    ++executed_;
+    auto fn = std::move(ev->fn);
+    ev->fn = nullptr;
+    fn();
+  } else {
+    ev->fn = nullptr;
+  }
+  // Compact the pool when the queue fully drains to bound memory across
+  // long simulations.
+  if (queue_.empty()) pool_.clear();
+}
+
+Time Kernel::run() {
+  while (!queue_.empty()) pop_and_run();
+  return now_;
+}
+
+Time Kernel::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top()->at <= deadline) pop_and_run();
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+void SimEvent::trigger() {
+  if (triggered_) return;
+  triggered_ = true;
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (const auto handle : waiters) {
+    kernel_->schedule(0, [handle] { handle.resume(); });
+  }
+}
+
+void Semaphore::release() {
+  if (!waiters_.empty()) {
+    const auto handle = waiters_.front();
+    waiters_.pop_front();
+    // The token passes directly to the waiter; count_ stays unchanged.
+    kernel_->schedule(0, [handle] { handle.resume(); });
+  } else {
+    ++count_;
+  }
+}
+
+}  // namespace presp::sim

@@ -1,0 +1,243 @@
+// Discrete-event simulation kernel.
+//
+// Components of the SoC model (NoC routers, DMA engines, the ICAP, the
+// reconfiguration manager's workqueue thread, accelerator datapaths) are
+// written as C++20 coroutines ("processes") that co_await simulated delays
+// and synchronization primitives. The kernel advances a virtual clock,
+// measured in cycles of the SoC main clock (78 MHz on the paper's VC707
+// configuration), and executes events in deterministic order: (time,
+// insertion sequence).
+//
+// Ownership: coroutine frames are self-owning fire-and-forget processes.
+// A process must not outlive its kernel; Kernel's destructor drains all
+// pending events without executing them and any still-suspended process
+// frames are released by the primitives holding them.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace presp::sim {
+
+/// Virtual time in clock cycles.
+using Time = std::uint64_t;
+
+class Kernel {
+ public:
+  Kernel() = default;
+  ~Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules a callback at now()+delay. Returns an id usable with cancel().
+  std::uint64_t schedule(Time delay, std::function<void()> fn);
+
+  /// Cancels a pending event; returns false if it already fired or was
+  /// cancelled.
+  bool cancel(std::uint64_t event_id);
+
+  /// Runs until the event queue drains. Returns the final time.
+  Time run();
+
+  /// Runs events with time <= deadline; clock lands on deadline if the queue
+  /// drains earlier.
+  Time run_until(Time deadline);
+
+  /// Number of events executed since construction (for tests/metrics).
+  std::uint64_t events_executed() const { return executed_; }
+  bool empty() const { return live_events_ == 0; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+  struct Order {
+    bool operator()(const Event* a, const Event* b) const {
+      if (a->at != b->at) return a->at > b->at;
+      return a->seq > b->seq;
+    }
+  };
+
+  void pop_and_run();
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::uint64_t live_events_ = 0;
+  std::deque<Event> pool_;
+  std::priority_queue<Event*, std::vector<Event*>, Order> queue_;
+};
+
+// ---------------------------------------------------------------------------
+// Coroutine process type
+
+/// Fire-and-forget simulation process. The coroutine starts running
+/// immediately upon call (eager start) and its frame self-destructs when it
+/// finishes. The returned Process object is an optional observer handle.
+class Process {
+ public:
+  struct promise_type {
+    Process get_return_object() {
+      return Process{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { throw; }
+  };
+
+  Process() = default;
+
+ private:
+  explicit Process(std::coroutine_handle<promise_type>) {}
+};
+
+/// Awaitable that suspends the current process for `delay` cycles.
+class Delay {
+ public:
+  Delay(Kernel& kernel, Time delay) : kernel_(kernel), delay_(delay) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle) {
+    kernel_.schedule(delay_, [handle] { handle.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Kernel& kernel_;
+  Time delay_;
+};
+
+/// One-shot broadcast event: processes co_await wait(); trigger() resumes
+/// all current and future waiters (future waiters resume immediately).
+class SimEvent {
+ public:
+  explicit SimEvent(Kernel& kernel) : kernel_(&kernel) {}
+  SimEvent(const SimEvent&) = delete;
+  SimEvent& operator=(const SimEvent&) = delete;
+
+  bool triggered() const { return triggered_; }
+
+  void trigger();
+
+  /// Resets to the non-triggered state (waiters must be empty).
+  void reset() {
+    PRESP_ASSERT_MSG(waiters_.empty(), "reset with pending waiters");
+    triggered_ = false;
+  }
+
+  auto wait() {
+    struct Awaiter {
+      SimEvent& event;
+      bool await_ready() const noexcept { return event.triggered_; }
+      void await_suspend(std::coroutine_handle<> handle) {
+        event.waiters_.push_back(handle);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Kernel* kernel_;
+  bool triggered_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore for modeling exclusive/limited resources (e.g. the
+/// single ICAP port, a memory-controller channel).
+class Semaphore {
+ public:
+  Semaphore(Kernel& kernel, std::uint32_t initial)
+      : kernel_(&kernel), count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  std::uint32_t available() const { return count_; }
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& sem;
+      bool await_ready() {
+        if (sem.count_ > 0) {
+          --sem.count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> handle) {
+        sem.waiters_.push_back(handle);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void release();
+
+ private:
+  Kernel* kernel_;
+  std::uint32_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded FIFO channel between processes. Receivers block when empty.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Kernel& kernel) : kernel_(&kernel) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  void send(T item) {
+    items_.push_back(std::move(item));
+    if (!waiters_.empty()) {
+      const auto handle = waiters_.front();
+      waiters_.pop_front();
+      // Resume through the kernel so the receiver runs after the sender's
+      // current event completes (deterministic, avoids reentrancy).
+      kernel_->schedule(0, [handle] { handle.resume(); });
+    }
+  }
+
+  auto receive() {
+    struct Awaiter {
+      Mailbox& box;
+      bool await_ready() const noexcept { return !box.items_.empty(); }
+      void await_suspend(std::coroutine_handle<> handle) {
+        box.waiters_.push_back(handle);
+      }
+      T await_resume() {
+        PRESP_ASSERT_MSG(!box.items_.empty(),
+                         "mailbox resumed without an item");
+        T item = std::move(box.items_.front());
+        box.items_.pop_front();
+        return item;
+      }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Kernel* kernel_;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace presp::sim

@@ -1,0 +1,59 @@
+// Accelerator behavioral models hosted by (reconfigurable) tiles.
+//
+// A spec combines the HLS latency/throughput model (timing), the LUT
+// footprint (power), and an optional *functional* model that transforms
+// the task's memory buffers when the invocation completes — so end-to-end
+// SoC simulations produce bit-exact outputs against the software golden
+// pipeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "hls/estimator.hpp"
+#include "soc/memory.hpp"
+
+namespace presp::soc {
+
+/// Task written into the tile's memory-mapped registers by the driver.
+struct AccelTask {
+  std::uint64_t src = 0;    // input buffer address
+  std::uint64_t dst = 0;    // output buffer address
+  long long items = 0;      // work items (pixels, rows, ...)
+  std::uint64_t aux = 0;    // kernel-specific extra argument
+};
+
+struct AcceleratorSpec {
+  std::string name;
+  hls::LatencyModel latency;
+  long long luts = 0;
+  /// Functional model, applied to memory when the run completes. May be
+  /// empty for timing-only experiments.
+  std::function<void(MainMemory&, const AccelTask&)> compute;
+};
+
+/// Registry mapping module names (as used in SoC configurations and
+/// partial bitstreams) to behavioral models.
+class AcceleratorRegistry {
+ public:
+  void add(AcceleratorSpec spec) {
+    PRESP_REQUIRE(!spec.name.empty(), "accelerator needs a name");
+    specs_[spec.name] = std::move(spec);
+  }
+  bool has(const std::string& name) const {
+    return specs_.find(name) != specs_.end();
+  }
+  const AcceleratorSpec& get(const std::string& name) const {
+    const auto it = specs_.find(name);
+    PRESP_REQUIRE(it != specs_.end(),
+                  "unknown accelerator model '" + name + "'");
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, AcceleratorSpec> specs_;
+};
+
+}  // namespace presp::soc

@@ -1,0 +1,88 @@
+// SoC power/energy accounting for the Fig. 4 experiment.
+//
+// Components (all per-cycle, integrated over simulated time):
+//   - device baseline: leakage + always-on clocking of the static part;
+//   - configured-region clock load: reconfigurable partitions are clocked
+//     whenever a (non-blank) module is configured, whether or not it runs
+//     (the PR-ESP decoupler detaches interfaces but does not gate the
+//     partition clock);
+//   - accelerator switching power while a module actively computes;
+//   - ICAP power while reconfiguration frames stream;
+//   - NoC per-flit transport energy;
+//   - CPU + DDR activity.
+//
+// Constants are calibrated so the three WAMI SoCs reproduce the paper's
+// Fig. 4 ordering and ratios (SoC_X best J/frame, worst latency; SoC_Z the
+// reverse); absolute watts are representative of a Virtex-7 embedded
+// design, not measured silicon.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/kernel.hpp"
+
+namespace presp::soc {
+
+struct PowerConstants {
+  double clock_mhz = 78.0;
+  double device_baseline_w = 0.25;
+  /// Per configured partition LUT (clock tree + idle switching).
+  double configured_w_per_lut = 90e-6;
+  /// Additional per LUT while a module actively computes.
+  double active_w_per_lut = 30e-6;
+  double icap_w = 0.45;
+  double noc_j_per_flit = 0.9e-9;
+  double cpu_active_w = 0.3;
+  double dram_active_w_per_word_per_cycle = 1.1e-3;
+};
+
+class EnergyMeter {
+ public:
+  EnergyMeter(sim::Kernel& kernel, PowerConstants constants = {})
+      : kernel_(&kernel), c_(constants) {}
+
+  const PowerConstants& constants() const { return c_; }
+
+  /// Partition configured-LUT load changes (module loaded/cleared).
+  void on_configured_change(long long delta_luts);
+  /// An accelerator computed for `cycles` with `luts` active.
+  void on_active(long long luts, long long cycles);
+  void on_icap(long long cycles);
+  void on_noc_flits(std::uint64_t flits);
+  void on_dram_words(long long words);
+  void on_cpu_busy(long long cycles);
+
+  /// Total energy in joules up to the kernel's current time.
+  double total_joules() const;
+
+  struct Breakdown {
+    double baseline = 0.0;
+    double configured = 0.0;
+    double active = 0.0;
+    double icap = 0.0;
+    double noc = 0.0;
+    double dram = 0.0;
+    double cpu = 0.0;
+  };
+  Breakdown breakdown() const;
+
+ private:
+  double seconds(double cycles) const {
+    return cycles / (c_.clock_mhz * 1e6);
+  }
+  /// Folds the configured-power integral up to now.
+  void settle();
+
+  sim::Kernel* kernel_;
+  PowerConstants c_;
+  long long configured_luts_ = 0;
+  sim::Time last_settle_ = 0;
+  double configured_j_ = 0.0;
+  double active_j_ = 0.0;
+  double icap_j_ = 0.0;
+  double noc_j_ = 0.0;
+  double dram_j_ = 0.0;
+  double cpu_j_ = 0.0;
+};
+
+}  // namespace presp::soc

@@ -1,0 +1,79 @@
+#include "soc/soc.hpp"
+
+#include "util/error.hpp"
+
+namespace presp::soc {
+
+Soc::Soc(const netlist::SocConfig& config,
+         const AcceleratorRegistry& registry, SocOptions options)
+    : config_(config), options_(options) {
+  config_.validate();
+  noc_ = std::make_unique<noc::Noc>(kernel_, config_.rows, config_.cols,
+                                    options_.noc);
+  memory_ = std::make_unique<MainMemory>(options_.memory);
+  options_.power.clock_mhz = config_.clock_mhz;
+  energy_ = std::make_unique<EnergyMeter>(kernel_, options_.power);
+
+  const int cpu_index = config_.tiles_of(netlist::TileType::kCpu).front();
+  aux_index_ = config_.tiles_of(netlist::TileType::kAux).front();
+
+  services_ = std::make_unique<SocServices>(SocServices{
+      kernel_, *noc_, *memory_, *energy_, options_, registry, cpu_index,
+      config_.tiles_of(netlist::TileType::kMem)});
+
+  cpu_ = std::make_unique<CpuTile>(*services_, cpu_index);
+  aux_ = std::make_unique<AuxTile>(*services_, *this, aux_index_);
+  for (const int idx : config_.tiles_of(netlist::TileType::kMem))
+    mem_tiles_.push_back(std::make_unique<MemTile>(*services_, idx));
+
+  int partition = 1;
+  for (int idx = 0; idx < static_cast<int>(config_.tiles.size()); ++idx) {
+    const auto& spec = config_.tiles[static_cast<std::size_t>(idx)];
+    const bool reconf =
+        spec.type == netlist::TileType::kReconf ||
+        (spec.type == netlist::TileType::kCpu &&
+         spec.cpu_in_reconfigurable_partition);
+    if (!reconf) continue;
+    // Validate that every member has a behavioral model.
+    for (const std::string& acc : spec.accelerators)
+      PRESP_REQUIRE(registry.has(acc),
+                    "no accelerator model registered for '" + acc + "'");
+    reconf_tiles_.push_back(std::make_unique<ReconfTile>(
+        *services_, idx, "RT_" + std::to_string(partition++)));
+  }
+}
+
+Soc::~Soc() = default;
+
+ReconfTile& Soc::reconf_tile(int tile) {
+  for (const auto& rt : reconf_tiles_)
+    if (rt->index() == tile) return *rt;
+  throw InvalidArgument("tile " + std::to_string(tile) +
+                        " is not a reconfigurable tile");
+}
+
+void Soc::load_module(int tile, const std::string& module) {
+  reconf_tile(tile).load_module(module);
+}
+
+double Soc::seconds() const {
+  return static_cast<double>(kernel_.now()) / (config_.clock_mhz * 1e6);
+}
+
+double Soc::total_joules() {
+  (void)energy_breakdown();  // fold pending NoC flits into the meter
+  return energy_->total_joules();
+}
+
+EnergyMeter::Breakdown Soc::energy_breakdown() {
+  std::uint64_t flits = 0;
+  for (int p = 0; p < noc::kNumPlanes; ++p)
+    flits += noc_->stats(static_cast<noc::Plane>(p)).flits;
+  if (flits > accounted_noc_flits_) {
+    energy_->on_noc_flits(flits - accounted_noc_flits_);
+    accounted_noc_flits_ = flits;
+  }
+  return energy_->breakdown();
+}
+
+}  // namespace presp::soc

@@ -1,0 +1,72 @@
+// SoC assembly: instantiates the kernel, NoC, memory, energy meter and all
+// tiles from a SocConfig, and exposes the handles the software stack
+// (runtime module) programs against.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netlist/soc_config.hpp"
+#include "soc/tiles.hpp"
+
+namespace presp::soc {
+
+class Soc {
+ public:
+  /// `registry` must outlive the Soc and contain a model for every
+  /// accelerator named in the configuration.
+  Soc(const netlist::SocConfig& config, const AcceleratorRegistry& registry,
+      SocOptions options = {});
+  ~Soc();
+  Soc(const Soc&) = delete;
+  Soc& operator=(const Soc&) = delete;
+
+  const netlist::SocConfig& config() const { return config_; }
+  sim::Kernel& kernel() { return kernel_; }
+  noc::Noc& noc() { return *noc_; }
+  MainMemory& memory() { return *memory_; }
+  EnergyMeter& energy() { return *energy_; }
+  const SocOptions& options() const { return options_; }
+
+  CpuTile& cpu() { return *cpu_; }
+  AuxTile& aux() { return *aux_; }
+  int aux_tile_index() const { return aux_index_; }
+
+  /// Reconfigurable tile living at grid index `tile`.
+  ReconfTile& reconf_tile(int tile);
+  const std::vector<std::unique_ptr<MemTile>>& mem_tiles() const {
+    return mem_tiles_;
+  }
+  const std::vector<std::unique_ptr<ReconfTile>>& reconf_tiles() const {
+    return reconf_tiles_;
+  }
+
+  /// Fabric-side module swap (invoked by the DFX controller model).
+  void load_module(int tile, const std::string& module);
+
+  /// Simulated seconds elapsed at the kernel's current time.
+  double seconds() const;
+
+  /// Energy including NoC transport (folds the routers' flit counters
+  /// into the meter before reading it).
+  double total_joules();
+  EnergyMeter::Breakdown energy_breakdown();
+
+ private:
+  netlist::SocConfig config_;
+  SocOptions options_;
+  sim::Kernel kernel_;
+  std::unique_ptr<noc::Noc> noc_;
+  std::unique_ptr<MainMemory> memory_;
+  std::unique_ptr<EnergyMeter> energy_;
+  std::unique_ptr<SocServices> services_;
+  std::unique_ptr<CpuTile> cpu_;
+  std::unique_ptr<AuxTile> aux_;
+  std::vector<std::unique_ptr<MemTile>> mem_tiles_;
+  std::vector<std::unique_ptr<ReconfTile>> reconf_tiles_;
+  int aux_index_ = -1;
+  std::uint64_t accounted_noc_flits_ = 0;
+};
+
+}  // namespace presp::soc

@@ -1,0 +1,421 @@
+#include "soc/tiles.hpp"
+
+#include <algorithm>
+
+#include "soc/soc.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace presp::soc {
+
+namespace {
+
+// Config-plane tag encoding: op(8) | reg(16) | txn(32).
+constexpr std::uint64_t kOpWrite = 1;
+constexpr std::uint64_t kOpRead = 2;
+constexpr std::uint64_t kOpAck = 3;
+constexpr std::uint64_t kOpReadRsp = 4;
+
+std::uint64_t make_tag(std::uint64_t op, std::uint32_t reg,
+                       std::uint64_t txn) {
+  return (op << 56) | (static_cast<std::uint64_t>(reg) << 32) |
+         (txn & 0xFFFFFFFFu);
+}
+std::uint64_t tag_op(std::uint64_t tag) { return tag >> 56; }
+std::uint32_t tag_reg(std::uint64_t tag) {
+  return static_cast<std::uint32_t>((tag >> 32) & 0xFFFFFFu);
+}
+std::uint64_t tag_txn(std::uint64_t tag) { return tag & 0xFFFFFFFFu; }
+
+// DMA tag encoding: op(8) | last(8) | txn(32); payload: addr(40) | words(24).
+constexpr std::uint64_t kDmaRead = 1;
+constexpr std::uint64_t kDmaWriteChunk = 2;
+
+std::uint64_t dma_tag(std::uint64_t op, bool last, std::uint64_t txn) {
+  return (op << 56) | (static_cast<std::uint64_t>(last ? 1 : 0) << 48) |
+         (txn & 0xFFFFFFFFu);
+}
+std::uint64_t dma_payload(std::uint64_t addr, long long words) {
+  PRESP_ASSERT(words >= 0 && words < (1 << 24));
+  return (addr << 24) | static_cast<std::uint64_t>(words);
+}
+long long payload_words(std::uint64_t payload) {
+  return static_cast<long long>(payload & 0xFFFFFFu);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ DMA
+
+sim::Process DmaPort::read(std::uint64_t addr, long long words,
+                           sim::SimEvent& done) {
+  PRESP_REQUIRE(words > 0, "DMA read of zero words");
+  const std::uint64_t txn = next_txn_++;
+  services_.noc.send({noc::Plane::kDmaReq, tile_, services_.mem_for(addr),
+                      1, dma_tag(kDmaRead, true, txn),
+                      dma_payload(addr, words)});
+  long long received = 0;
+  auto& box = services_.noc.rx(tile_, noc::Plane::kDmaRsp);
+  while (received < words) {
+    const noc::Packet pkt = co_await box.receive();
+    received += pkt.flits;
+  }
+  services_.energy.on_dram_words(words);
+  done.trigger();
+}
+
+sim::Process DmaPort::write(std::uint64_t addr, long long words,
+                            sim::SimEvent& done) {
+  PRESP_REQUIRE(words > 0, "DMA write of zero words");
+  const std::uint64_t txn = next_txn_++;
+  const int burst = services_.options.dma_burst_flits;
+  long long sent = 0;
+  while (sent < words) {
+    const long long chunk = std::min<long long>(burst, words - sent);
+    const bool last = sent + chunk >= words;
+    const std::uint64_t chunk_addr =
+        addr + static_cast<std::uint64_t>(sent) * 8;
+    services_.noc.send({noc::Plane::kDmaReq, tile_,
+                        services_.mem_for(addr),
+                        static_cast<int>(chunk) + 1,
+                        dma_tag(kDmaWriteChunk, last, txn),
+                        dma_payload(chunk_addr, chunk)});
+    sent += chunk;
+  }
+  auto& box = services_.noc.rx(tile_, noc::Plane::kDmaRsp);
+  (void)co_await box.receive();  // single ack for the whole transaction
+  services_.energy.on_dram_words(words);
+  done.trigger();
+}
+
+// ------------------------------------------------------------------ CPU
+
+CpuTile::CpuTile(SocServices& services, int index)
+    : services_(services), index_(index) {
+  response_server();
+  irq_server();
+}
+
+void CpuTile::RegAccess::await_suspend(std::coroutine_handle<> handle) {
+  const std::uint64_t txn = cpu.next_txn_++;
+  cpu.pending_[txn] = Pending{handle, &result};
+  ++cpu.reg_ops_;
+  cpu.services_.energy.on_cpu_busy(40);  // driver-side cost per MMIO access
+  cpu.services_.noc.send(
+      {noc::Plane::kConfig, cpu.index_, tile, 2,
+       make_tag(is_write ? kOpWrite : kOpRead, reg, txn), value});
+}
+
+sim::Process CpuTile::response_server() {
+  auto& box = services_.noc.rx(index_, noc::Plane::kConfig);
+  while (true) {
+    const noc::Packet pkt = co_await box.receive();
+    const std::uint64_t op = tag_op(pkt.tag);
+    if (op != kOpAck && op != kOpReadRsp) continue;  // not a response
+    const auto it = pending_.find(tag_txn(pkt.tag));
+    PRESP_ASSERT_MSG(it != pending_.end(), "response for unknown txn");
+    *it->second.result = pkt.payload;
+    const auto handle = it->second.handle;
+    pending_.erase(it);
+    services_.kernel.schedule(0, [handle] { handle.resume(); });
+  }
+}
+
+sim::Process CpuTile::irq_server() {
+  auto& box = services_.noc.rx(index_, noc::Plane::kInterrupt);
+  while (true) {
+    const noc::Packet pkt = co_await box.receive();
+    irq_from(static_cast<int>(pkt.tag)).send(pkt.payload);
+  }
+}
+
+sim::Mailbox<std::uint64_t>& CpuTile::irq_from(int source_tile) {
+  auto it = irqs_.find(source_tile);
+  if (it == irqs_.end()) {
+    it = irqs_
+             .emplace(source_tile, std::make_unique<sim::Mailbox<
+                                       std::uint64_t>>(services_.kernel))
+             .first;
+  }
+  return *it->second;
+}
+
+// ------------------------------------------------------------------ MEM
+
+MemTile::MemTile(SocServices& services, int index)
+    : services_(services), index_(index) {
+  dma_server();
+  config_server();
+}
+
+sim::Process MemTile::dma_server() {
+  auto& box = services_.noc.rx(index_, noc::Plane::kDmaReq);
+  while (true) {
+    const noc::Packet pkt = co_await box.receive();
+    const std::uint64_t op = tag_op(pkt.tag);
+    const long long words = payload_words(pkt.payload);
+    ++requests_;
+    if (op == kDmaRead) {
+      co_await sim::Delay(services_.kernel,
+                          static_cast<sim::Time>(
+                              services_.memory.options().access_latency));
+      long long sent = 0;
+      const int burst = services_.options.dma_burst_flits;
+      while (sent < words) {
+        const long long chunk = std::min<long long>(burst, words - sent);
+        co_await sim::Delay(
+            services_.kernel,
+            static_cast<sim::Time>(
+                chunk / services_.memory.options().words_per_cycle + 1));
+        services_.noc.send({noc::Plane::kDmaRsp, index_, pkt.src,
+                            static_cast<int>(chunk), pkt.tag, 0});
+        sent += chunk;
+      }
+    } else if (op == kDmaWriteChunk) {
+      co_await sim::Delay(
+          services_.kernel,
+          static_cast<sim::Time>(
+              services_.memory.options().access_latency / 4 +
+              words / services_.memory.options().words_per_cycle + 1));
+      const bool last = ((pkt.tag >> 48) & 0xFF) != 0;
+      if (last)
+        services_.noc.send(
+            {noc::Plane::kDmaRsp, index_, pkt.src, 1, pkt.tag, 0});
+    }
+  }
+}
+
+sim::Process MemTile::config_server() {
+  auto& box = services_.noc.rx(index_, noc::Plane::kConfig);
+  while (true) {
+    const noc::Packet pkt = co_await box.receive();
+    // The MEM tile exposes no software-visible registers beyond an
+    // identification word; acknowledge everything.
+    const std::uint64_t op = tag_op(pkt.tag);
+    services_.noc.send({noc::Plane::kConfig, index_, pkt.src, 1,
+                        make_tag(op == kOpRead ? kOpReadRsp : kOpAck,
+                                 tag_reg(pkt.tag), tag_txn(pkt.tag)),
+                        0xE5BEEF});
+  }
+}
+
+// ------------------------------------------------------------------ AUX
+
+AuxTile::AuxTile(SocServices& services, Soc& soc, int index)
+    : services_(services), soc_(soc), index_(index), dma_(services, index) {
+  config_server();
+}
+
+sim::Process AuxTile::config_server() {
+  auto& box = services_.noc.rx(index_, noc::Plane::kConfig);
+  while (true) {
+    const noc::Packet pkt = co_await box.receive();
+    const std::uint64_t op = tag_op(pkt.tag);
+    const std::uint32_t reg = tag_reg(pkt.tag);
+    std::uint64_t read_value = 0;
+    if (reg < regs_.size()) {
+      if (op == kOpWrite) {
+        regs_[reg] = pkt.payload;
+        if (reg == kRegDfxcTrigger && regs_[kRegDfxcStatus] != 1) {
+          regs_[kRegDfxcStatus] = 1;
+          reconfigure(regs_[kRegDfxcBsAddr], regs_[kRegDfxcBsBytes],
+                      static_cast<int>(regs_[kRegDfxcTarget]));
+        } else if (reg == kRegDfxcReadback &&
+                   regs_[kRegDfxcStatus] != 1) {
+          regs_[kRegDfxcStatus] = 1;
+          readback(regs_[kRegDfxcBsAddr],
+                   static_cast<int>(regs_[kRegDfxcTarget]));
+        }
+      } else {
+        read_value = regs_[reg];
+      }
+    }
+    services_.noc.send({noc::Plane::kConfig, index_, pkt.src, 1,
+                        make_tag(op == kOpRead ? kOpReadRsp : kOpAck, reg,
+                                 tag_txn(pkt.tag)),
+                        read_value});
+  }
+}
+
+sim::Process AuxTile::reconfigure(std::uint64_t bs_addr,
+                                  std::uint64_t bs_bytes, int target) {
+  const BitstreamBlob& blob = services_.memory.blob_at(bs_addr);
+  PRESP_ASSERT_MSG(blob.bytes == bs_bytes,
+                   "DFXC: BS_BYTES does not match the registered blob");
+
+  // Fetch the partial bitstream from DRAM through the NoC...
+  const long long words =
+      static_cast<long long>((bs_bytes + 7) / 8);
+  sim::SimEvent fetched(services_.kernel);
+  dma_.read(bs_addr, words, fetched);
+  co_await fetched.wait();
+
+  // CRC check before anything touches the fabric: a corrupted transfer
+  // must never partially configure the partition.
+  if (services_.memory.consume_corruption(bs_addr)) {
+    ++crc_errors_;
+    regs_[kRegDfxcStatus] = 2;  // error
+    services_.noc.send({noc::Plane::kInterrupt, index_, services_.cpu_tile,
+                        1, static_cast<std::uint64_t>(index_),
+                        kIrqReconfError |
+                            (static_cast<std::uint64_t>(target) << 8)});
+    co_return;
+  }
+
+  // ...and stream it into the ICAP.
+  const auto icap_cycles = static_cast<sim::Time>(
+      static_cast<double>(bs_bytes) /
+      services_.options.icap_bytes_per_cycle);
+  co_await sim::Delay(services_.kernel, icap_cycles);
+  services_.energy.on_icap(static_cast<long long>(icap_cycles));
+
+  // The fabric now holds the new module (empty name = blanking image).
+  soc_.load_module(target, blob.module);
+  ++reconfigurations_;
+  icap_bytes_ += bs_bytes;
+  regs_[kRegDfxcStatus] = 0;
+
+  // Interrupt the processor: software re-enables the decoupler and starts
+  // the new accelerator.
+  services_.noc.send({noc::Plane::kInterrupt, index_, services_.cpu_tile, 1,
+                      static_cast<std::uint64_t>(index_),
+                      kIrqReconfDone |
+                          (static_cast<std::uint64_t>(target) << 8)});
+}
+
+sim::Process AuxTile::readback(std::uint64_t bs_addr, int target) {
+  const BitstreamBlob& blob = services_.memory.blob_at(bs_addr);
+  // Stream the partition frames back out of the ICAP (same bandwidth as
+  // configuration) and compare word-by-word against the golden image.
+  const auto icap_cycles = static_cast<sim::Time>(
+      static_cast<double>(blob.bytes) /
+      services_.options.icap_bytes_per_cycle);
+  co_await sim::Delay(services_.kernel, icap_cycles);
+  services_.energy.on_icap(static_cast<long long>(icap_cycles));
+
+  const bool match = soc_.reconf_tile(target).module() == blob.module;
+  regs_[kRegDfxcVerify] = match ? 1 : 2;
+  regs_[kRegDfxcStatus] = 0;
+  services_.noc.send({noc::Plane::kInterrupt, index_, services_.cpu_tile, 1,
+                      static_cast<std::uint64_t>(index_),
+                      kIrqReadbackDone |
+                          (static_cast<std::uint64_t>(target) << 8)});
+}
+
+// --------------------------------------------------------------- Reconf
+
+ReconfTile::ReconfTile(SocServices& services, int index,
+                       std::string partition)
+    : services_(services),
+      index_(index),
+      partition_(std::move(partition)),
+      dma_(services, index) {
+  config_server();
+}
+
+void ReconfTile::load_module(const std::string& name) {
+  PRESP_ASSERT_MSG(regs_[kRegDecouple] != 0,
+                   "module swap while the tile is not decoupled");
+  if (spec_ != nullptr)
+    services_.energy.on_configured_change(-spec_->luts);
+  module_ = name;
+  spec_ = name.empty() ? nullptr : &services_.accelerators.get(name);
+  if (spec_ != nullptr)
+    services_.energy.on_configured_change(spec_->luts);
+  regs_[kRegStatus] = kStatusIdle;
+  regs_[kRegModuleId] = spec_ == nullptr ? 0 : 1;
+}
+
+sim::Process ReconfTile::config_server() {
+  auto& box = services_.noc.rx(index_, noc::Plane::kConfig);
+  while (true) {
+    const noc::Packet pkt = co_await box.receive();
+    const std::uint64_t op = tag_op(pkt.tag);
+    const std::uint32_t reg = tag_reg(pkt.tag);
+    std::uint64_t read_value = 0;
+    if (reg < regs_.size()) {
+      if (op == kOpWrite) {
+        if (reg == kRegDecouple && pkt.payload != 0 &&
+            regs_[kRegStatus] == kStatusRunning) {
+          ++unsafe_decouples_;
+        }
+        if (reg == kRegCmd) {
+          if (pkt.payload == 1 && spec_ != nullptr && !decoupled() &&
+              regs_[kRegStatus] != kStatusRunning) {
+            regs_[kRegStatus] = kStatusRunning;
+            run_accelerator();
+          } else {
+            ++rejected_commands_;
+          }
+        } else {
+          regs_[reg] = pkt.payload;
+        }
+      } else {
+        read_value = regs_[reg];
+      }
+    }
+    services_.noc.send({noc::Plane::kConfig, index_, pkt.src, 1,
+                        make_tag(op == kOpRead ? kOpReadRsp : kOpAck, reg,
+                                 tag_txn(pkt.tag)),
+                        read_value});
+  }
+}
+
+sim::Process ReconfTile::run_accelerator() {
+  const AcceleratorSpec& spec = *spec_;
+  const AccelTask task{regs_[kRegSrc], regs_[kRegDst],
+                       static_cast<long long>(regs_[kRegItems]),
+                       regs_[kRegAuxArg]};
+  const sim::Time start = services_.kernel.now();
+
+  const long long total_in = static_cast<long long>(
+      static_cast<double>(task.items) * spec.latency.words_in_per_item);
+  const long long total_out = static_cast<long long>(
+      static_cast<double>(task.items) * spec.latency.words_out_per_item);
+  const long long total_compute = spec.latency.compute_cycles(task.items);
+
+  // Burst pipeline: stream input, compute, stream output per slice.
+  constexpr long long kBurstItems = 4096;
+  long long done_items = 0;
+  sim::SimEvent dma_done(services_.kernel);
+  while (done_items < task.items) {
+    const long long slice =
+        std::min<long long>(kBurstItems, task.items - done_items);
+    const double frac = static_cast<double>(slice) /
+                        static_cast<double>(task.items);
+    const long long in_words = std::max<long long>(
+        1, static_cast<long long>(frac * static_cast<double>(total_in)));
+    const long long out_words = static_cast<long long>(
+        frac * static_cast<double>(total_out));
+
+    dma_done.reset();
+    dma_.read(task.src + static_cast<std::uint64_t>(done_items) * 8,
+              in_words, dma_done);
+    co_await dma_done.wait();
+
+    co_await sim::Delay(
+        services_.kernel,
+        static_cast<sim::Time>(
+            frac * static_cast<double>(total_compute)));
+
+    if (out_words > 0) {
+      dma_done.reset();
+      dma_.write(task.dst + static_cast<std::uint64_t>(done_items) * 8,
+                 out_words, dma_done);
+      co_await dma_done.wait();
+    }
+    done_items += slice;
+  }
+
+  // Functional model: transform the actual buffers.
+  if (spec.compute) spec.compute(services_.memory, task);
+
+  services_.energy.on_active(spec.luts, total_compute);
+  busy_cycles_ += static_cast<long long>(services_.kernel.now() - start);
+  ++invocations_;
+  regs_[kRegStatus] = kStatusDone;
+  services_.noc.send({noc::Plane::kInterrupt, index_, services_.cpu_tile, 1,
+                      static_cast<std::uint64_t>(index_), kIrqAccelDone});
+}
+
+}  // namespace presp::soc

@@ -1,0 +1,247 @@
+#include "synth/synthesis.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace presp::synth {
+
+namespace {
+
+std::uint64_t name_seed(std::uint64_t base, const std::string& name) {
+  // FNV-1a folded with the option seed: stable across runs and platforms.
+  std::uint64_t h = 1469598103934665603ULL ^ base;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Emits the clustered logic cells of one block and wires them with a
+/// local chain plus random extra edges. Returns the ids of the emitted
+/// cells.
+std::vector<netlist::CellId> emit_block(netlist::Netlist& nl,
+                                        const std::string& prefix,
+                                        const fabric::ResourceVec& block,
+                                        const SynthOptions& options,
+                                        presp::Rng& rng) {
+  const int clusters = std::max<int>(
+      1, static_cast<int>((block.luts + options.cluster_luts - 1) /
+                          options.cluster_luts));
+  std::vector<netlist::CellId> ids;
+  ids.reserve(static_cast<std::size_t>(clusters));
+
+  fabric::ResourceVec remaining = block;
+  for (int i = 0; i < clusters; ++i) {
+    const int left = clusters - i;
+    fabric::ResourceVec share{remaining.luts / left, remaining.ffs / left,
+                              remaining.bram36 / left, remaining.dsp / left};
+    if (i == clusters - 1) share = remaining;
+    remaining -= share;
+    netlist::Cell cell;
+    cell.name = prefix + "/c" + std::to_string(i);
+    cell.kind = netlist::CellKind::kLogic;
+    cell.resources = share;
+    ids.push_back(nl.add_cell(std::move(cell)));
+  }
+
+  // Local chain: cluster i drives cluster i+1 (datapath locality).
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+    netlist::Net net;
+    net.name = prefix + "/chain" + std::to_string(i);
+    net.driver = ids[i];
+    net.sinks = {ids[i + 1]};
+    net.width = 64;
+    nl.add_net(std::move(net));
+  }
+  // Rent's-rule-like extra edges within the block.
+  if (ids.size() > 2) {
+    const auto extra = static_cast<int>(
+        options.rent_edges_per_cell * static_cast<double>(ids.size()));
+    for (int e = 0; e < extra; ++e) {
+      const auto a = static_cast<std::size_t>(rng.next_below(ids.size()));
+      auto b = static_cast<std::size_t>(rng.next_below(ids.size()));
+      if (a == b) b = (b + 1) % ids.size();
+      netlist::Net net;
+      net.name = prefix + "/rent" + std::to_string(e);
+      net.driver = ids[a];
+      net.sinks = {ids[b]};
+      net.width = 16;
+      nl.add_net(std::move(net));
+    }
+  }
+  return ids;
+}
+
+/// Connects representative cells of two groups with a bus net.
+void connect_groups(netlist::Netlist& nl, const std::string& name,
+                    const std::vector<netlist::CellId>& from,
+                    const std::vector<netlist::CellId>& to, int width) {
+  if (from.empty() || to.empty()) return;
+  if (from.front() == to.front()) return;  // degenerate self-connection
+  netlist::Net net;
+  net.name = name;
+  net.driver = from.front();
+  net.sinks = {to.front()};
+  if (to.size() > 1 && to.back() != from.front())
+    net.sinks.push_back(to.back());
+  net.width = width;
+  nl.add_net(std::move(net));
+}
+
+struct TileCells {
+  std::vector<netlist::CellId> socket;  // socket clusters (always present)
+  std::vector<netlist::CellId> logic;   // remaining static clusters
+};
+
+}  // namespace
+
+Checkpoint Synthesizer::synthesize_static(const netlist::SocRtl& rtl) const {
+  return synthesize_static_impl(rtl, /*monolithic=*/false);
+}
+
+Checkpoint Synthesizer::synthesize_monolithic(
+    const netlist::SocRtl& rtl) const {
+  return synthesize_static_impl(rtl, /*monolithic=*/true);
+}
+
+Checkpoint Synthesizer::synthesize_static_impl(const netlist::SocRtl& rtl,
+                                               bool monolithic) const {
+  const auto& config = rtl.config();
+  const std::string kind = monolithic ? "monolithic" : "static";
+  netlist::Netlist nl(config.name + "." + kind);
+  presp::Rng rng(name_seed(options_.seed, nl.name()));
+
+  std::vector<TileCells> tiles(rtl.tiles().size());
+
+  for (const netlist::TileRtl& tile : rtl.tiles()) {
+    const std::string tprefix = "tile" + std::to_string(tile.index);
+    auto& out = tiles[static_cast<std::size_t>(tile.index)];
+    for (const std::string& block : tile.static_blocks) {
+      auto ids = emit_block(nl, tprefix + "/" + block,
+                            lib_.get(block).resources, options_, rng);
+      if (block == netlist::ComponentLibrary::kTileSocket) {
+        out.socket = std::move(ids);
+      } else {
+        connect_groups(nl, tprefix + "/" + block + "_to_socket", ids,
+                       out.socket.empty() ? ids : out.socket, 96);
+        out.logic.insert(out.logic.end(), ids.begin(), ids.end());
+      }
+    }
+    if (tile.partition >= 0) {
+      const auto& partition =
+          rtl.partitions()[static_cast<std::size_t>(tile.partition)];
+      if (monolithic) {
+        // Standard-flow netlist: instantiate the partition's largest
+        // member (the sizing-representative module) in place.
+        const std::string* largest = nullptr;
+        std::int64_t best = -1;
+        for (const std::string& module : partition.modules) {
+          const std::int64_t module_luts =
+              netlist::SocRtl::module_resources(lib_, module).luts;
+          if (module_luts > best) {
+            best = module_luts;
+            largest = &module;
+          }
+        }
+        PRESP_ASSERT(largest != nullptr);
+        auto ids = emit_block(
+            nl, tprefix + "/" + partition.name + "/" + *largest,
+            netlist::SocRtl::module_resources(lib_, *largest), options_, rng);
+        connect_groups(nl, tprefix + "/" + partition.name + "_to_socket",
+                       ids, out.socket, 96);
+        out.logic.insert(out.logic.end(), ids.begin(), ids.end());
+      } else {
+        netlist::Cell bb;
+        bb.name = tprefix + "/" + partition.name;
+        bb.kind = netlist::CellKind::kBlackBox;
+        bb.partition = partition.name;
+        const netlist::CellId id = nl.add_cell(std::move(bb));
+        connect_groups(nl, tprefix + "/" + partition.name + "_decouple",
+                       out.socket, {id}, 96);
+      }
+    }
+  }
+
+  // Inter-tile mesh links between sockets (the NoC topology).
+  for (int r = 0; r < config.rows; ++r) {
+    for (int c = 0; c < config.cols; ++c) {
+      const auto here =
+          tiles[static_cast<std::size_t>(r * config.cols + c)].socket;
+      if (c + 1 < config.cols) {
+        const auto& right =
+            tiles[static_cast<std::size_t>(r * config.cols + c + 1)].socket;
+        connect_groups(nl,
+                       "mesh_r" + std::to_string(r) + "c" + std::to_string(c) +
+                           "_east",
+                       here, right, 128);
+      }
+      if (r + 1 < config.rows) {
+        const auto& down =
+            tiles[static_cast<std::size_t>((r + 1) * config.cols + c)].socket;
+        connect_groups(nl,
+                       "mesh_r" + std::to_string(r) + "c" + std::to_string(c) +
+                           "_south",
+                       here, down, 128);
+      }
+    }
+  }
+
+  // Top-level I/O anchors on the memory and auxiliary tiles (DDR + UART/
+  // ETH pins). Ports are fixed at the die edge during placement.
+  int port_index = 0;
+  for (const netlist::TileRtl& tile : rtl.tiles()) {
+    if (tile.type != netlist::TileType::kMem &&
+        tile.type != netlist::TileType::kAux)
+      continue;
+    const std::string pad_name = "pad" + std::to_string(port_index++);
+    netlist::Cell port;
+    port.name = pad_name;
+    port.kind = netlist::CellKind::kPort;
+    const netlist::CellId id = nl.add_cell(std::move(port));
+    connect_groups(nl, pad_name + "_net", {id},
+                   tiles[static_cast<std::size_t>(tile.index)].socket, 64);
+  }
+
+  nl.validate();
+  Checkpoint ckpt;
+  ckpt.name = nl.name();
+  ckpt.utilization = nl.total_resources();
+  ckpt.netlist = std::move(nl);
+  return ckpt;
+}
+
+Checkpoint Synthesizer::synthesize_module_ooc(
+    const std::string& module_name) const {
+  netlist::Netlist nl(module_name + ".ooc");
+  presp::Rng rng(name_seed(options_.seed, nl.name()));
+
+  // The module body plus its reconfigurable wrapper.
+  auto wrapper_ids =
+      emit_block(nl, "wrapper",
+                 lib_.get(netlist::ComponentLibrary::kReconfWrapper).resources,
+                 options_, rng);
+  auto body_ids = emit_block(nl, module_name,
+                             lib_.get(module_name).resources, options_, rng);
+  connect_groups(nl, "body_to_wrapper", body_ids, wrapper_ids, 96);
+
+  // OoC boundary: interface anchors standing for the partition pins.
+  netlist::Cell pin;
+  pin.name = "partition_pins";
+  pin.kind = netlist::CellKind::kPort;
+  const netlist::CellId pin_id = nl.add_cell(std::move(pin));
+  connect_groups(nl, "pins_net", {pin_id}, wrapper_ids, 96);
+
+  nl.validate();
+  Checkpoint ckpt;
+  ckpt.name = nl.name();
+  ckpt.utilization = nl.total_resources();
+  ckpt.out_of_context = true;
+  ckpt.netlist = std::move(nl);
+  return ckpt;
+}
+
+}  // namespace presp::synth

@@ -1,0 +1,68 @@
+// Synthesis simulator.
+//
+// Stands in for Vivado's synthesis step in the PR-ESP flow (Fig. 1):
+//   - the *static* netlist flattens every tile's static blocks into
+//     clustered logic cells and replaces each reconfigurable partition
+//     with an auto-generated black-box wrapper cell;
+//   - each partition member is synthesized *out of context* (OoC) into its
+//     own checkpoint, so all syntheses can run in parallel;
+//   - the *monolithic-equivalent* netlist (used by the baseline standard
+//     DPR flow) contains everything in one netlist, with partitions
+//     instantiated rather than black-boxed.
+//
+// Cells are clusters of `cluster_luts` LUTs; connectivity is generated
+// deterministically (seeded by design/module names) with local chains plus
+// Rent's-rule-like random edges, and a 2D-mesh of inter-tile socket links
+// mirroring the ESP NoC topology.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "netlist/rtl.hpp"
+
+namespace presp::synth {
+
+struct SynthOptions {
+  /// Cluster granularity: LUTs per generated logic cell.
+  int cluster_luts = 200;
+  /// Extra random edges per cell beyond the local chain.
+  double rent_edges_per_cell = 0.6;
+  std::uint64_t seed = 1;
+};
+
+/// A synthesized checkpoint (the flow's unit of hand-off between stages).
+struct Checkpoint {
+  std::string name;
+  netlist::Netlist netlist;
+  fabric::ResourceVec utilization;
+  bool out_of_context = false;
+};
+
+class Synthesizer {
+ public:
+  Synthesizer(const netlist::ComponentLibrary& lib, SynthOptions options)
+      : lib_(lib), options_(options) {}
+
+  /// Static part: all tiles' static blocks + one black-box cell per
+  /// reconfigurable partition (named after the partition).
+  Checkpoint synthesize_static(const netlist::SocRtl& rtl) const;
+
+  /// One partition member, out of context. The checkpoint is independent
+  /// of the hosting tile (ESP's common reconfigurable wrapper interface).
+  Checkpoint synthesize_module_ooc(const std::string& module_name) const;
+
+  /// Monolithic-equivalent design: static part plus, for each partition,
+  /// its largest member instantiated in place of the black box (what the
+  /// standard single-instance DPR flow synthesizes up front).
+  Checkpoint synthesize_monolithic(const netlist::SocRtl& rtl) const;
+
+ private:
+  Checkpoint synthesize_static_impl(const netlist::SocRtl& rtl,
+                                    bool monolithic) const;
+
+  const netlist::ComponentLibrary& lib_;
+  SynthOptions options_;
+};
+
+}  // namespace presp::synth

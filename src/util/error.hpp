@@ -1,0 +1,69 @@
+// Error types and invariant-checking macros shared across all PR-ESP
+// libraries. All recoverable failures are reported via exceptions derived
+// from presp::Error; programming-logic violations use PRESP_ASSERT, which
+// throws LogicError so tests can observe them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace presp {
+
+/// Base class of every exception thrown by PR-ESP libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Input that violates a documented precondition of a public API.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant violation (a bug in PR-ESP itself).
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+/// A design that cannot be implemented on the selected device
+/// (over-utilization, infeasible floorplan, unroutable net, ...).
+class InfeasibleDesign : public Error {
+ public:
+  explicit InfeasibleDesign(const std::string& what) : Error(what) {}
+};
+
+/// Malformed configuration input (SoC grid description, kernel spec, ...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  throw LogicError(std::string("assertion failed: ") + expr + " at " + file +
+                   ":" + std::to_string(line) + (msg.empty() ? "" : ": ") +
+                   msg);
+}
+}  // namespace detail
+
+}  // namespace presp
+
+#define PRESP_ASSERT(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::presp::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define PRESP_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::presp::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+#define PRESP_REQUIRE(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) throw ::presp::InvalidArgument(msg);                   \
+  } while (0)

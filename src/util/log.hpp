@@ -1,0 +1,53 @@
+// Minimal leveled logger. Thread-safe; level settable globally. Benches and
+// examples default to Info; tests silence to Warn so gtest output stays
+// readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace presp {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line ("[level] tag: message") to stderr.
+/// Thread-safe (single atomic write per line).
+void log_line(LogLevel level, const std::string& tag,
+              const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string tag)
+      : level_(level), tag_(std::move(tag)) {}
+  ~LogStream() { log_line(level_, tag_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace presp
+
+#define PRESP_LOG(level, tag)                       \
+  if (::presp::log_level() <= (level))              \
+  ::presp::detail::LogStream((level), (tag))
+
+#define PRESP_DEBUG(tag) PRESP_LOG(::presp::LogLevel::kDebug, (tag))
+#define PRESP_INFO(tag) PRESP_LOG(::presp::LogLevel::kInfo, (tag))
+#define PRESP_WARN(tag) PRESP_LOG(::presp::LogLevel::kWarn, (tag))
+#define PRESP_ERROR(tag) PRESP_LOG(::presp::LogLevel::kError, (tag))

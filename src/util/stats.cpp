@@ -1,0 +1,95 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace presp {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double p) {
+  PRESP_REQUIRE(!values.empty(), "percentile of empty sample");
+  PRESP_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  PRESP_REQUIRE(xs.size() == ys.size(), "fit_linear: size mismatch");
+  PRESP_REQUIRE(xs.size() >= 2, "fit_linear: need at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  fit.slope = sxx > 0.0 ? sxy / sxx : 0.0;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double r = ys[i] - (fit.intercept + fit.slope * xs[i]);
+      ss_res += r * r;
+    }
+    fit.r_squared = 1.0 - ss_res / syy;
+  } else {
+    fit.r_squared = 1.0;
+  }
+  return fit;
+}
+
+double mape(const std::vector<double>& reference,
+            const std::vector<double>& model) {
+  PRESP_REQUIRE(reference.size() == model.size(), "mape: size mismatch");
+  PRESP_REQUIRE(!reference.empty(), "mape: empty sample");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    PRESP_REQUIRE(reference[i] != 0.0, "mape: zero reference value");
+    acc += std::abs((model[i] - reference[i]) / reference[i]);
+  }
+  return acc / static_cast<double>(reference.size());
+}
+
+}  // namespace presp

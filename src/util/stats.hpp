@@ -1,0 +1,51 @@
+// Small statistics helpers used by benches and the CAD runtime-model
+// calibration: running moments, percentiles, and least-squares fitting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace presp {
+
+/// Accumulates count/mean/variance/min/max in a single pass (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile with linear interpolation; p in [0,100]. Input need not be
+/// sorted (a sorted copy is made). Throws InvalidArgument on empty input.
+double percentile(std::vector<double> values, double p);
+
+/// Ordinary least squares y = a + b*x. Returns {a, b}. Requires >= 2 points.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination of the fit.
+  double r_squared = 0.0;
+};
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Mean absolute percentage error between model and reference values.
+double mape(const std::vector<double>& reference,
+            const std::vector<double>& model);
+
+}  // namespace presp

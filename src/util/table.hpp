@@ -1,0 +1,36 @@
+// ASCII table rendering for the benchmark harness. Every bench binary
+// reproduces one of the paper's tables/figures; TextTable renders the rows
+// in the same layout the paper uses so the output can be compared side by
+// side with the publication.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace presp {
+
+class TextTable {
+ public:
+  /// Column headers define the table width; every later row must have the
+  /// same number of cells.
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision, passing through
+  /// strings untouched. "-" marks an empty cell (paper convention).
+  static std::string num(double value, int precision = 1);
+  static std::string integer(long long value);
+
+  /// Renders with a header rule and column alignment (first column left,
+  /// remaining columns right — the layout used by the paper's tables).
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace presp

@@ -1,0 +1,303 @@
+#include "wami/accelerators.hpp"
+
+#include <algorithm>
+
+#include "hls/estimator.hpp"
+#include "util/error.hpp"
+
+namespace presp::wami {
+
+namespace {
+
+const std::array<std::string, kNumKernels> kKernelNames = {
+    "debayer",          // 1
+    "grayscale",        // 2
+    "gradient",         // 3
+    "warp",             // 4
+    "subtract",         // 5
+    "steepest_descent", // 6
+    "hessian",          // 7
+    "matrix_invert",    // 8
+    "sd_update",        // 9
+    "delta_p",          // 10
+    "param_update",     // 11
+    "change_detection", // 12
+};
+
+}  // namespace
+
+const std::string& kernel_name(int index) {
+  PRESP_REQUIRE(index >= 1 && index <= kNumKernels,
+                "kernel index out of range");
+  return kKernelNames[static_cast<std::size_t>(index - 1)];
+}
+
+int kernel_index(const std::string& name) {
+  for (int i = 0; i < kNumKernels; ++i)
+    if (kKernelNames[static_cast<std::size_t>(i)] == name) return i + 1;
+  throw InvalidArgument("unknown WAMI kernel '" + name + "'");
+}
+
+hls::KernelSpec wami_kernel_spec(int index) {
+  using hls::OpKind;
+  hls::KernelSpec s;
+  s.name = kernel_name(index);
+  switch (index) {
+    case 1:  // debayer: 5 multiplies + 8 adds per output (bilinear masks)
+      s.pe_ops = {{OpKind::kMul16, 5}, {OpKind::kAdd16, 8}};
+      s.num_pes = 8;
+      s.address_generators = 4;
+      s.fsm_states = 12;
+      s.buffer_luts = 700;  // two Bayer line buffers
+      s.scratchpad_bytes = 16 * 1024;
+      s.words_in_per_item = 0.25;  // u16 mosaic in
+      s.words_out_per_item = 1.5;  // three f32 planes out
+      break;
+    case 2:  // grayscale: 3 multiplies + 2 adds
+      s.pe_ops = {{OpKind::kMul16, 3}, {OpKind::kAdd16, 2}};
+      s.num_pes = 2;
+      s.address_generators = 1;
+      s.fsm_states = 2;
+      s.words_in_per_item = 1.5;
+      s.words_out_per_item = 0.5;
+      break;
+    case 3:  // gradient: central differences, two planes
+      s.pe_ops = {{OpKind::kFAdd, 2}, {OpKind::kFMul, 1}};
+      s.num_pes = 12;
+      s.address_generators = 3;
+      s.fsm_states = 8;
+      s.buffer_luts = 500;
+      s.scratchpad_bytes = 8 * 1024;
+      s.words_in_per_item = 0.5;
+      s.words_out_per_item = 1.0;
+      break;
+    case 4:  // warp: bilinear sample = 4 mul + 3 add (plus coordinates)
+      s.pe_ops = {{OpKind::kFMul, 4}, {OpKind::kFAdd, 3}};
+      s.num_pes = 13;
+      s.address_generators = 6;
+      s.fsm_states = 16;
+      s.buffer_luts = 800;
+      s.scratchpad_bytes = 32 * 1024;
+      s.words_in_per_item = 2.0;  // gather reads
+      s.words_out_per_item = 0.5;
+      break;
+    case 5:  // subtract
+      s.pe_ops = {{OpKind::kFAdd, 1}};
+      s.num_pes = 2;
+      s.address_generators = 2;
+      s.fsm_states = 4;
+      s.words_in_per_item = 1.0;
+      s.words_out_per_item = 0.5;
+      break;
+    case 6:  // steepest descent: 6 planes from 2 gradients
+      s.pe_ops = {{OpKind::kFMul, 2}, {OpKind::kFAdd, 1}};
+      s.num_pes = 22;
+      s.address_generators = 3;
+      s.fsm_states = 10;
+      s.words_in_per_item = 1.0;
+      s.words_out_per_item = 3.0;
+      break;
+    case 7:  // hessian: 21 unique dot products
+      s.pe_ops = {{OpKind::kFMac, 2}};
+      s.num_pes = 22;
+      s.address_generators = 4;
+      s.fsm_states = 10;
+      s.words_in_per_item = 3.0;
+      s.words_out_per_item = 36.0 / 16384.0;
+      break;
+    case 8:  // 6x6 Gauss-Jordan inversion (deep sequential datapath)
+      s.pe_ops = {{OpKind::kFDiv, 8}, {OpKind::kFAdd, 12},
+                  {OpKind::kFMul, 6}};
+      s.num_pes = 1;
+      s.address_generators = 3;
+      s.fsm_states = 30;
+      s.pipeline_ii = 12;
+      s.pipeline_depth = 40;
+      s.words_in_per_item = 1.0;
+      s.words_out_per_item = 1.0;
+      break;
+    case 9:  // sd-update: 6 dot products against the error image
+      s.pe_ops = {{OpKind::kFMac, 1}};
+      s.num_pes = 42;
+      s.address_generators = 4;
+      s.fsm_states = 12;
+      s.words_in_per_item = 3.5;
+      s.words_out_per_item = 6.0 / 16384.0;
+      break;
+    case 10:  // delta-p: solve application (matrix-vector + bookkeeping)
+      s.pe_ops = {{OpKind::kFMac, 1}};
+      s.num_pes = 45;
+      s.address_generators = 5;
+      s.fsm_states = 10;
+      s.words_in_per_item = 1.0;
+      s.words_out_per_item = 1.0;
+      break;
+    case 11:  // parameter update / flow accumulate (warp-like datapath)
+      s.pe_ops = {{OpKind::kFMul, 4}, {OpKind::kFAdd, 3}};
+      s.num_pes = 13;
+      s.address_generators = 6;
+      s.fsm_states = 16;
+      s.buffer_luts = 1'000;
+      s.scratchpad_bytes = 32 * 1024;
+      s.words_in_per_item = 1.0;
+      s.words_out_per_item = 0.5;
+      break;
+    case 12:  // GMM change detection
+      s.pe_ops = {{OpKind::kFMul, 4}, {OpKind::kFAdd, 4},
+                  {OpKind::kFDiv, 1}, {OpKind::kCmp, 4},
+                  {OpKind::kLutFunc, 1}};
+      s.num_pes = 4;
+      s.address_generators = 4;
+      s.fsm_states = 20;
+      s.buffer_luts = 2'500;
+      s.scratchpad_bytes = 64 * 1024;
+      s.words_in_per_item = 5.0;  // pixel + model state in
+      s.words_out_per_item = 4.7; // mask + model state back
+      break;
+    default:
+      throw InvalidArgument("kernel index out of range");
+  }
+  return s;
+}
+
+void register_wami_kernels(netlist::ComponentLibrary& lib) {
+  for (int i = 1; i <= kNumKernels; ++i)
+    hls::register_kernel(lib, wami_kernel_spec(i));
+}
+
+netlist::ComponentLibrary wami_library() {
+  auto lib = netlist::ComponentLibrary::with_builtins();
+  register_wami_kernels(lib);
+  return lib;
+}
+
+// -------------------------------------------------------------- SoCs
+
+std::array<int, 4> table4_kernels(char which) {
+  switch (which) {
+    case 'A': return {4, 8, 10, 9};   // Class 1.2
+    case 'B': return {2, 3, 11, 1};   // Class 1.1
+    case 'C': return {7, 11, 8, 2};   // Class 1.3
+    case 'D': return {4, 5, 9, 2};    // Class 2.1 (CPU also reconfigurable)
+    default: throw InvalidArgument("Table IV SoC must be 'A'..'D'");
+  }
+}
+
+netlist::SocConfig table4_soc(char which) {
+  const auto kernels = table4_kernels(which);
+  netlist::SocConfig soc;
+  soc.name = std::string("soc_") + static_cast<char>(which + 32);
+  soc.device = "vc707";
+  soc.rows = 3;
+  soc.cols = 3;
+  soc.tiles.assign(9, netlist::TileSpec{});
+  soc.tile(0, 0).type = netlist::TileType::kCpu;
+  soc.tile(0, 0).cpu_in_reconfigurable_partition = which == 'D';
+  soc.tile(0, 1).type = netlist::TileType::kMem;
+  soc.tile(0, 2).type = netlist::TileType::kAux;
+  const int slots[4][2] = {{1, 0}, {1, 1}, {1, 2}, {2, 0}};
+  for (int i = 0; i < 4; ++i) {
+    auto& tile = soc.tile(slots[i][0], slots[i][1]);
+    tile.type = netlist::TileType::kReconf;
+    tile.accelerators = {kernel_name(kernels[static_cast<std::size_t>(i)])};
+  }
+  soc.validate();
+  return soc;
+}
+
+std::vector<std::vector<int>> table6_partitions(char which) {
+  switch (which) {
+    case 'X':
+      return {{1, 4, 9, 10, 8}, {2, 3, 6, 7, 11}};
+    case 'Y':
+      return {{1, 3, 7, 12}, {2, 6, 8}, {4, 9, 10}};
+    case 'Z':
+      return {{1, 6, 12}, {2, 5, 11}, {4, 10, 7}, {3, 8, 9}};
+    default:
+      throw InvalidArgument("Table VI SoC must be 'X'..'Z'");
+  }
+}
+
+netlist::SocConfig table6_soc(char which) {
+  const auto partitions = table6_partitions(which);
+  netlist::SocConfig soc;
+  soc.name = std::string("soc_") + static_cast<char>(which + 32);
+  soc.device = "vc707";
+  // CPU + MEM + AUX + N reconfigurable tiles, smallest grid that fits.
+  const int tiles_needed = 3 + static_cast<int>(partitions.size());
+  soc.rows = tiles_needed <= 6 ? 2 : 3;
+  soc.cols = 3;
+  soc.tiles.assign(static_cast<std::size_t>(soc.rows) * soc.cols,
+                   netlist::TileSpec{});
+  soc.tile(0, 0).type = netlist::TileType::kCpu;
+  soc.tile(0, 1).type = netlist::TileType::kMem;
+  soc.tile(0, 2).type = netlist::TileType::kAux;
+  int slot = 3;
+  for (const auto& members : partitions) {
+    auto& tile = soc.tiles[static_cast<std::size_t>(slot++)];
+    tile.type = netlist::TileType::kReconf;
+    for (const int k : members) tile.accelerators.push_back(kernel_name(k));
+  }
+  soc.validate();
+  return soc;
+}
+
+// ---------------------------------------------------------- registry
+
+long long kernel_items(int index, const WamiWorkload& workload) {
+  const long long pixels =
+      static_cast<long long>(workload.width) * workload.height;
+  switch (index) {
+    case 8: return 36;        // one 6x6 matrix
+    case 10: return 42;       // 6x6 * 6 + update bookkeeping
+    case 11: return 64;       // parameter block update
+    default: return pixels;   // full-frame kernels
+  }
+}
+
+long long kernel_cycles_per_item(int index) {
+  // Profiled per-item datapath costs at the 78 MHz SoC clock (the Fig. 3
+  // exec-time annotations, re-derived by profiling our kernels on a 2x2
+  // SoC — bench_fig3_profiles). The deep floating-point kernels dominate.
+  switch (index) {
+    case 1: return 10;   // debayer
+    case 2: return 4;    // grayscale
+    case 3: return 8;    // gradient
+    case 4: return 26;   // warp (gather + bilinear)
+    case 5: return 3;    // subtract
+    case 6: return 12;   // steepest descent
+    case 7: return 34;   // hessian (21 dot products)
+    case 8: return 600;  // 6x6 Gauss-Jordan, deep divider chains
+    case 9: return 14;   // sd-update
+    case 10: return 60;  // delta-p solve application
+    case 11: return 20;  // parameter update
+    case 12: return 48;  // GMM update + classification
+    default: throw InvalidArgument("kernel index out of range");
+  }
+}
+
+soc::AcceleratorRegistry wami_accelerator_registry(
+    const WamiWorkload& workload, bool functional) {
+  // Functional models are wired by the application layer (app.cpp), which
+  // owns the memory layout; the registry built here carries timing and
+  // resource data. When `functional` is set, the caller is expected to
+  // attach compute callbacks via wami::WamiApp.
+  (void)functional;
+  (void)workload;
+  soc::AcceleratorRegistry registry;
+  for (int i = 1; i <= kNumKernels; ++i) {
+    const auto kernel = hls::estimate(wami_kernel_spec(i));
+    soc::AcceleratorSpec spec;
+    spec.name = kernel.name;
+    spec.latency = kernel.latency;
+    // The HLS throughput bound is never reached at the 78 MHz SoC clock;
+    // use the profiled per-item cost instead (memory-fed datapaths).
+    spec.latency.items_per_beat = 1;
+    spec.latency.ii = static_cast<int>(kernel_cycles_per_item(i));
+    spec.luts = kernel.resources.luts;
+    registry.add(std::move(spec));
+  }
+  return registry;
+}
+
+}  // namespace presp::wami

@@ -1,0 +1,78 @@
+// WAMI accelerator definitions: HLS kernel specifications for the twelve
+// Fig. 3 nodes, behavioral models for the SoC simulator, and the SoC
+// configurations of the paper's evaluation (Tables IV and VI).
+//
+// Kernel indices follow Fig. 3 (see kernels.hpp). PE counts are calibrated
+// so the Table IV SoCs land in the paper's design classes:
+//   SoC_A {4,8,10,9}  gamma ~ 1.30 (paper 1.26)  Class 1.2
+//   SoC_B {2,3,11,1}  gamma ~ 0.61 (paper 0.60)  Class 1.1
+//   SoC_C {7,11,8,2}  gamma ~ 1.00 (paper 0.97)  Class 1.3
+//   SoC_D {4,5,9,2}+CPU gamma ~ 2.5 (paper 2.4)  Class 2.1
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "hls/kernel_spec.hpp"
+#include "netlist/components.hpp"
+#include "netlist/soc_config.hpp"
+#include "soc/accelerator.hpp"
+
+namespace presp::wami {
+
+inline constexpr int kNumKernels = 12;
+
+/// Canonical module name of Fig. 3 node `index` (1-based).
+const std::string& kernel_name(int index);
+/// Inverse of kernel_name. Throws InvalidArgument for unknown names.
+int kernel_index(const std::string& name);
+
+/// HLS specification of one kernel (index 1..12).
+hls::KernelSpec wami_kernel_spec(int index);
+
+/// Registers all twelve kernels into a component library (for the flow).
+void register_wami_kernels(netlist::ComponentLibrary& lib);
+
+/// Component library with builtins + all WAMI kernels.
+netlist::ComponentLibrary wami_library();
+
+// ---------------------------------------------------------------- SoCs
+
+/// Table IV evaluation SoCs: 3x3 grids, four single-kernel reconfigurable
+/// tiles each; SoC_D has its CPU tile in the reconfigurable part.
+/// `which` is 'A'..'D'.
+netlist::SocConfig table4_soc(char which);
+/// The paper's accelerator sets per SoC (Fig. 3 indices).
+std::array<int, 4> table4_kernels(char which);
+
+/// Table VI embedded SoCs: SoC_X (2 reconfigurable tiles), SoC_Y (3),
+/// SoC_Z (4), hosting the Table VI member sets. `which` is 'X'..'Z'.
+netlist::SocConfig table6_soc(char which);
+/// Member kernels per reconfigurable tile (Fig. 3 indices).
+std::vector<std::vector<int>> table6_partitions(char which);
+
+// ------------------------------------------------ behavioral models
+
+struct WamiWorkload {
+  int width = 128;
+  int height = 128;
+};
+
+/// Builds the accelerator registry for SoC simulation: per-kernel latency
+/// models (from the HLS estimator) + functional models operating on the
+/// simulated DRAM. Functional models use the layout of WamiAppMemory (see
+/// app.hpp); timing-only simulations may pass empty compute functions via
+/// `functional = false`.
+soc::AcceleratorRegistry wami_accelerator_registry(
+    const WamiWorkload& workload, bool functional = false);
+
+/// Items per invocation of kernel `index` on a WxH frame (drives the
+/// latency model and the Fig. 3 profiling bench).
+long long kernel_items(int index, const WamiWorkload& workload);
+
+/// Profiled datapath cycles per item at the SoC clock (Fig. 3 exec-time
+/// basis).
+long long kernel_cycles_per_item(int index);
+
+}  // namespace presp::wami

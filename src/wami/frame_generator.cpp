@@ -1,0 +1,105 @@
+#include "wami/frame_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace presp::wami {
+
+FrameGenerator::FrameGenerator(SceneOptions options)
+    : options_(options), rng_(options.seed) {
+  PRESP_REQUIRE(options_.width >= 16 && options_.height >= 16,
+                "scene too small");
+  // Value-noise background over a coarse grid covering the scene plus
+  // maximal drift margin.
+  grid_size_ = std::max(options_.width, options_.height) / 4 + 64;
+  grid_.resize(static_cast<std::size_t>(grid_size_) * grid_size_);
+  for (auto& g : grid_)
+    g = static_cast<float>(200.0 + 600.0 * rng_.next_double());
+
+  for (int i = 0; i < options_.num_objects; ++i) {
+    Object obj;
+    obj.x = rng_.next_double(options_.width * 0.2, options_.width * 0.8);
+    obj.y = rng_.next_double(options_.height * 0.2, options_.height * 0.8);
+    const double angle = rng_.next_double(0.0, 6.2831853);
+    obj.vx = options_.object_speed * std::cos(angle);
+    obj.vy = options_.object_speed * std::sin(angle);
+    obj.brightness = static_cast<float>(1'400.0 + 800.0 * rng_.next_double());
+    objects_.push_back(obj);
+  }
+}
+
+float FrameGenerator::background_at(double gx, double gy) const {
+  // Bilinear value noise at 1/8 pixel frequency, two octaves.
+  auto sample = [&](double x, double y, double freq, float amp) {
+    const double fx = x * freq + 1000.0;
+    const double fy = y * freq + 1000.0;
+    const int x0 = static_cast<int>(std::floor(fx)) % grid_size_;
+    const int y0 = static_cast<int>(std::floor(fy)) % grid_size_;
+    const int x1 = (x0 + 1) % grid_size_;
+    const int y1 = (y0 + 1) % grid_size_;
+    const float tx = static_cast<float>(fx - std::floor(fx));
+    const float ty = static_cast<float>(fy - std::floor(fy));
+    const auto at = [&](int xx, int yy) {
+      return grid_[static_cast<std::size_t>(yy) * grid_size_ + xx];
+    };
+    const float v = (1 - tx) * (1 - ty) * at(x0, y0) +
+                    tx * (1 - ty) * at(x1, y0) +
+                    (1 - tx) * ty * at(x0, y1) + tx * ty * at(x1, y1);
+    return amp * v;
+  };
+  return sample(gx, gy, 0.125, 0.7f) + sample(gx, gy, 0.035, 0.3f);
+}
+
+ImageU16 FrameGenerator::next_frame() {
+  if (frame_ > 0) {
+    cam_x_ += options_.drift_x;
+    cam_y_ += options_.drift_y;
+    for (Object& obj : objects_) {
+      obj.x += obj.vx;
+      obj.y += obj.vy;
+      // Bounce at the ground-window borders so movers stay visible.
+      if (obj.x < 4 || obj.x > options_.width - 4) obj.vx = -obj.vx;
+      if (obj.y < 4 || obj.y > options_.height - 4) obj.vy = -obj.vy;
+    }
+  }
+  ++frame_;
+
+  // Render intensity in camera coordinates, then mosaic.
+  const int w = options_.width;
+  const int h = options_.height;
+  ImageU16 bayer(w, h);
+  const double half = options_.object_size / 2.0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double gx = x + cam_x_;
+      const double gy = y + cam_y_;
+      float intensity = background_at(gx, gy);
+      for (const Object& obj : objects_) {
+        if (std::abs(gx - obj.x) <= half && std::abs(gy - obj.y) <= half)
+          intensity = obj.brightness;
+      }
+      intensity += static_cast<float>(options_.noise_sigma *
+                                      rng_.next_gaussian());
+      // RGGB mosaic: attenuate per color channel so demosaic has work to
+      // do (greens brighter than reds/blues on natural scenes).
+      const bool even_x = (x % 2) == 0;
+      const bool even_y = (y % 2) == 0;
+      float gain = 1.0f;
+      if (even_x && even_y) gain = 0.85f;        // R
+      else if (!even_x && !even_y) gain = 0.75f; // B
+      const float value = std::clamp(intensity * gain, 0.0f, 4095.0f);
+      bayer.at(x, y) = static_cast<std::uint16_t>(value);
+    }
+  }
+  return bayer;
+}
+
+std::vector<std::pair<double, double>> FrameGenerator::object_positions()
+    const {
+  std::vector<std::pair<double, double>> out;
+  for (const Object& obj : objects_)
+    out.emplace_back(obj.x - cam_x_, obj.y - cam_y_);
+  return out;
+}
+
+}  // namespace presp::wami

@@ -1,0 +1,79 @@
+// Image containers and DRAM marshalling for the WAMI pipeline.
+//
+// Images are dense row-major. Kernels operate on raw spans so the same
+// functions back both the software golden pipeline and the accelerator
+// functional models (which read/write the simulated DRAM).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "soc/memory.hpp"
+#include "util/error.hpp"
+
+namespace presp::wami {
+
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, T fill = T{})
+      : width_(width), height_(height),
+        data_(static_cast<std::size_t>(width) * height, fill) {
+    PRESP_REQUIRE(width > 0 && height > 0, "image dimensions must be positive");
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& at(int x, int y) {
+    PRESP_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  const T& at(int x, int y) const {
+    PRESP_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  /// Clamped access for border handling.
+  const T& at_clamped(int x, int y) const {
+    x = x < 0 ? 0 : (x >= width_ ? width_ - 1 : x);
+    y = y < 0 ? 0 : (y >= height_ ? height_ - 1 : y);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  std::span<T> pixels() { return data_; }
+  std::span<const T> pixels() const { return data_; }
+
+  friend bool operator==(const Image&, const Image&) = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> data_;
+};
+
+using ImageU16 = Image<std::uint16_t>;
+using ImageF = Image<float>;
+
+/// Copies a typed array into simulated DRAM at `addr`.
+template <typename T>
+void store_to_memory(soc::MainMemory& memory, std::uint64_t addr,
+                     std::span<const T> values) {
+  auto dst = memory.bytes(addr, values.size() * sizeof(T));
+  std::memcpy(dst.data(), values.data(), values.size() * sizeof(T));
+}
+
+/// Reads a typed array from simulated DRAM.
+template <typename T>
+std::vector<T> load_from_memory(const soc::MainMemory& memory,
+                                std::uint64_t addr, std::size_t count) {
+  const auto src = memory.bytes(addr, count * sizeof(T));
+  std::vector<T> values(count);
+  std::memcpy(values.data(), src.data(), count * sizeof(T));
+  return values;
+}
+
+}  // namespace presp::wami

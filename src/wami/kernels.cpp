@@ -1,0 +1,332 @@
+#include "wami/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace presp::wami {
+
+RgbImage debayer(const ImageU16& bayer) {
+  const int w = bayer.width();
+  const int h = bayer.height();
+  RgbImage out{ImageF(w, h), ImageF(w, h), ImageF(w, h)};
+
+  // RGGB pattern: (even,even)=R, (odd,even)=G, (even,odd)=G, (odd,odd)=B.
+  const auto raw = [&](int x, int y) {
+    return static_cast<float>(bayer.at_clamped(x, y));
+  };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const bool even_x = (x % 2) == 0;
+      const bool even_y = (y % 2) == 0;
+      float r;
+      float g;
+      float b;
+      if (even_x && even_y) {  // red site
+        r = raw(x, y);
+        g = 0.25f * (raw(x - 1, y) + raw(x + 1, y) + raw(x, y - 1) +
+                     raw(x, y + 1));
+        b = 0.25f * (raw(x - 1, y - 1) + raw(x + 1, y - 1) +
+                     raw(x - 1, y + 1) + raw(x + 1, y + 1));
+      } else if (!even_x && !even_y) {  // blue site
+        b = raw(x, y);
+        g = 0.25f * (raw(x - 1, y) + raw(x + 1, y) + raw(x, y - 1) +
+                     raw(x, y + 1));
+        r = 0.25f * (raw(x - 1, y - 1) + raw(x + 1, y - 1) +
+                     raw(x - 1, y + 1) + raw(x + 1, y + 1));
+      } else if (!even_x && even_y) {  // green on red row
+        g = raw(x, y);
+        r = 0.5f * (raw(x - 1, y) + raw(x + 1, y));
+        b = 0.5f * (raw(x, y - 1) + raw(x, y + 1));
+      } else {  // green on blue row
+        g = raw(x, y);
+        b = 0.5f * (raw(x - 1, y) + raw(x + 1, y));
+        r = 0.5f * (raw(x, y - 1) + raw(x, y + 1));
+      }
+      out.r.at(x, y) = r;
+      out.g.at(x, y) = g;
+      out.b.at(x, y) = b;
+    }
+  }
+  return out;
+}
+
+ImageF grayscale(const RgbImage& rgb) {
+  const int w = rgb.r.width();
+  const int h = rgb.r.height();
+  ImageF out(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      out.at(x, y) = 0.299f * rgb.r.at(x, y) + 0.587f * rgb.g.at(x, y) +
+                     0.114f * rgb.b.at(x, y);
+  return out;
+}
+
+Gradients gradient(const ImageF& image) {
+  const int w = image.width();
+  const int h = image.height();
+  Gradients out{ImageF(w, h), ImageF(w, h)};
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      out.ix.at(x, y) =
+          0.5f * (image.at_clamped(x + 1, y) - image.at_clamped(x - 1, y));
+      out.iy.at(x, y) =
+          0.5f * (image.at_clamped(x, y + 1) - image.at_clamped(x, y - 1));
+    }
+  }
+  return out;
+}
+
+ImageF warp_affine(const ImageF& src, const AffineParams& p) {
+  const int w = src.width();
+  const int h = src.height();
+  ImageF out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double sx = (1.0 + p[0]) * x + p[2] * y + p[4];
+      const double sy = p[1] * x + (1.0 + p[3]) * y + p[5];
+      const int x0 = static_cast<int>(std::floor(sx));
+      const int y0 = static_cast<int>(std::floor(sy));
+      const float fx = static_cast<float>(sx - x0);
+      const float fy = static_cast<float>(sy - y0);
+      const float v00 = src.at_clamped(x0, y0);
+      const float v10 = src.at_clamped(x0 + 1, y0);
+      const float v01 = src.at_clamped(x0, y0 + 1);
+      const float v11 = src.at_clamped(x0 + 1, y0 + 1);
+      out.at(x, y) = (1 - fx) * (1 - fy) * v00 + fx * (1 - fy) * v10 +
+                     (1 - fx) * fy * v01 + fx * fy * v11;
+    }
+  }
+  return out;
+}
+
+ImageF subtract(const ImageF& a, const ImageF& b) {
+  PRESP_REQUIRE(a.width() == b.width() && a.height() == b.height(),
+                "subtract: dimension mismatch");
+  ImageF out(a.width(), a.height());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.pixels()[i] = a.pixels()[i] - b.pixels()[i];
+  return out;
+}
+
+SteepestDescent steepest_descent(const Gradients& grads) {
+  const int w = grads.ix.width();
+  const int h = grads.ix.height();
+  SteepestDescent sd{ImageF(w, h), ImageF(w, h), ImageF(w, h),
+                     ImageF(w, h), ImageF(w, h), ImageF(w, h)};
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float ix = grads.ix.at(x, y);
+      const float iy = grads.iy.at(x, y);
+      // dW/dp for the affine warp: columns [x 0; 0 x; y 0; 0 y; 1 0; 0 1].
+      sd[0].at(x, y) = ix * static_cast<float>(x);
+      sd[1].at(x, y) = iy * static_cast<float>(x);
+      sd[2].at(x, y) = ix * static_cast<float>(y);
+      sd[3].at(x, y) = iy * static_cast<float>(y);
+      sd[4].at(x, y) = ix;
+      sd[5].at(x, y) = iy;
+    }
+  }
+  return sd;
+}
+
+Matrix6 hessian(const SteepestDescent& sd) {
+  Matrix6 h{};
+  const std::size_t n = sd[0].size();
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i; j < 6; ++j) {
+      double acc = 0.0;
+      const auto pi = sd[static_cast<std::size_t>(i)].pixels();
+      const auto pj = sd[static_cast<std::size_t>(j)].pixels();
+      for (std::size_t k = 0; k < n; ++k)
+        acc += static_cast<double>(pi[k]) * static_cast<double>(pj[k]);
+      h[static_cast<std::size_t>(i * 6 + j)] = acc;
+      h[static_cast<std::size_t>(j * 6 + i)] = acc;
+    }
+  }
+  return h;
+}
+
+Matrix6 invert6(const Matrix6& m) {
+  // Gauss-Jordan with partial pivoting on [M | I].
+  constexpr int n = 6;
+  std::array<double, 72> a{};
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c)
+      a[static_cast<std::size_t>(r * 12 + c)] =
+          m[static_cast<std::size_t>(r * 6 + c)];
+    a[static_cast<std::size_t>(r * 12 + 6 + r)] = 1.0;
+  }
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r)
+      if (std::abs(a[static_cast<std::size_t>(r * 12 + col)]) >
+          std::abs(a[static_cast<std::size_t>(pivot * 12 + col)]))
+        pivot = r;
+    const double pv = a[static_cast<std::size_t>(pivot * 12 + col)];
+    if (std::abs(pv) < 1e-12)
+      throw InvalidArgument("invert6: singular Hessian");
+    if (pivot != col)
+      for (int c = 0; c < 12; ++c)
+        std::swap(a[static_cast<std::size_t>(pivot * 12 + c)],
+                  a[static_cast<std::size_t>(col * 12 + c)]);
+    const double inv = 1.0 / a[static_cast<std::size_t>(col * 12 + col)];
+    for (int c = 0; c < 12; ++c)
+      a[static_cast<std::size_t>(col * 12 + c)] *= inv;
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[static_cast<std::size_t>(r * 12 + col)];
+      if (f == 0.0) continue;
+      for (int c = 0; c < 12; ++c)
+        a[static_cast<std::size_t>(r * 12 + c)] -=
+            f * a[static_cast<std::size_t>(col * 12 + c)];
+    }
+  }
+  Matrix6 out{};
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c)
+      out[static_cast<std::size_t>(r * 6 + c)] =
+          a[static_cast<std::size_t>(r * 12 + 6 + c)];
+  return out;
+}
+
+Vector6 sd_update(const SteepestDescent& sd, const ImageF& error) {
+  Vector6 b{};
+  const std::size_t n = error.size();
+  for (int k = 0; k < 6; ++k) {
+    double acc = 0.0;
+    const auto pk = sd[static_cast<std::size_t>(k)].pixels();
+    const auto pe = error.pixels();
+    for (std::size_t i = 0; i < n; ++i)
+      acc += static_cast<double>(pk[i]) * static_cast<double>(pe[i]);
+    b[static_cast<std::size_t>(k)] = acc;
+  }
+  return b;
+}
+
+Vector6 delta_p(const Matrix6& h_inv, const Vector6& b) {
+  Vector6 dp{};
+  for (int r = 0; r < 6; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < 6; ++c)
+      acc += h_inv[static_cast<std::size_t>(r * 6 + c)] *
+             b[static_cast<std::size_t>(c)];
+    dp[static_cast<std::size_t>(r)] = acc;
+  }
+  return dp;
+}
+
+void update_params(AffineParams& p, const Vector6& dp) {
+  for (int i = 0; i < 6; ++i)
+    p[static_cast<std::size_t>(i)] += dp[static_cast<std::size_t>(i)];
+}
+
+GmmState::GmmState(int w, int h)
+    : width(w),
+      height(h),
+      weight(static_cast<std::size_t>(w) * h * kModes, 0.0f),
+      mean(static_cast<std::size_t>(w) * h * kModes, 0.0f),
+      var(static_cast<std::size_t>(w) * h * kModes, 900.0f) {
+  // Initialize mode 0 as the dominant background mode.
+  for (std::size_t i = 0; i < weight.size(); i += kModes) weight[i] = 1.0f;
+}
+
+ImageU16 change_detection(const ImageF& frame, GmmState& state,
+                          float learning_rate, float mahal_threshold,
+                          float background_weight) {
+  PRESP_REQUIRE(state.width == frame.width() &&
+                    state.height == frame.height(),
+                "GMM state / frame dimension mismatch");
+  constexpr int K = GmmState::kModes;
+  ImageU16 mask(frame.width(), frame.height(), 0);
+  const auto pixels = frame.pixels();
+
+  for (std::size_t i = 0; i < pixels.size(); ++i) {
+    const float v = pixels[i];
+    float* w = &state.weight[i * K];
+    float* mu = &state.mean[i * K];
+    float* var = &state.var[i * K];
+
+    int matched = -1;
+    for (int k = 0; k < K; ++k) {
+      const float d = v - mu[k];
+      if (d * d < mahal_threshold * var[k]) {
+        matched = k;
+        break;
+      }
+    }
+    if (matched >= 0) {
+      // Update the matched mode.
+      const float rho = learning_rate;
+      mu[matched] += rho * (v - mu[matched]);
+      const float d = v - mu[matched];
+      var[matched] += rho * (d * d - var[matched]);
+      var[matched] = std::max(var[matched], 4.0f);
+      for (int k = 0; k < K; ++k)
+        w[k] = (1 - learning_rate) * w[k] +
+               (k == matched ? learning_rate : 0.0f);
+    } else {
+      // Replace the weakest mode.
+      int weakest = 0;
+      for (int k = 1; k < K; ++k)
+        if (w[k] < w[weakest]) weakest = k;
+      w[weakest] = learning_rate;
+      mu[weakest] = v;
+      var[weakest] = 900.0f;
+      matched = weakest;
+    }
+    // Normalize weights.
+    float sum = 0.0f;
+    for (int k = 0; k < K; ++k) sum += w[k];
+    for (int k = 0; k < K; ++k) w[k] /= sum;
+
+    // Foreground: the matched mode is not part of the background set
+    // (modes sorted by weight/sqrt(var) until cumulative weight reaches
+    // background_weight).
+    std::array<int, K> order{0, 1, 2};
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return w[a] / std::sqrt(var[a]) > w[b] / std::sqrt(var[b]);
+    });
+    float cumulative = 0.0f;
+    bool background = false;
+    for (const int k : order) {
+      cumulative += w[k];
+      if (k == matched) {
+        background = true;
+        break;
+      }
+      if (cumulative > background_weight) break;
+    }
+    if (!background)
+      mask.pixels()[i] = 1;
+  }
+  return mask;
+}
+
+double lucas_kanade_step(const ImageF& reference, const ImageF& frame,
+                         AffineParams& p) {
+  const ImageF warped = warp_affine(frame, p);           // (4)
+  const ImageF error = subtract(reference, warped);      // (5)
+  const Gradients grads = gradient(warped);              // (3)
+  const SteepestDescent sd = steepest_descent(grads);    // (6)
+  const Matrix6 h = hessian(sd);                         // (7)
+  const Matrix6 h_inv = invert6(h);                      // (8)
+  const Vector6 b = sd_update(sd, error);                // (9)
+  const Vector6 dp = delta_p(h_inv, b);                  // (10)
+  update_params(p, dp);                                  // (11)
+
+  double mae = 0.0;
+  for (const float e : error.pixels()) mae += std::abs(e);
+  return mae / static_cast<double>(error.size());
+}
+
+double lucas_kanade(const ImageF& reference, const ImageF& frame,
+                    AffineParams& p, int iterations) {
+  double residual = 0.0;
+  for (int i = 0; i < iterations; ++i)
+    residual = lucas_kanade_step(reference, frame, p);
+  return residual;
+}
+
+}  // namespace presp::wami

@@ -1,0 +1,102 @@
+// The WAMI-App kernels (PERFECT benchmark suite), decomposed as in the
+// paper's Fig. 3: Debayer and Grayscale front-end, the Lucas-Kanade
+// registration pipeline split into its constituent stages (the paper
+// "decomposed the Lucas-Kanade accelerator into multiple accelerators to
+// further parallelize its execution"), and GMM change detection.
+//
+// All functions are pure software ("golden") implementations over dense
+// row-major buffers; the SoC accelerator functional models call the same
+// code, so hardware/software equivalence is exact by construction and the
+// end-to-end SoC simulation can be checked bit-for-bit against the golden
+// pipeline.
+//
+// Kernel indices (Fig. 3 node numbering used by Tables IV/VI):
+//    1 debayer          5 subtract            9 sd-update
+//    2 grayscale        6 steepest-descent   10 delta-p solve/apply
+//    3 gradient         7 hessian            11 parameter update
+//    4 warp             8 matrix inversion   12 change detection (GMM)
+#pragma once
+
+#include <array>
+
+#include "wami/image.hpp"
+
+namespace presp::wami {
+
+/// Affine warp parameters [p1..p6]:
+///   x' = (1+p1)x + p3 y + p5,   y' = p2 x + (1+p4) y + p6.
+using AffineParams = std::array<double, 6>;
+
+/// (1) Bayer (RGGB) mosaic to RGB planes, bilinear demosaic.
+struct RgbImage {
+  ImageF r, g, b;
+};
+RgbImage debayer(const ImageU16& bayer);
+
+/// (2) RGB to luma (ITU-R BT.601 weights), range-preserving.
+ImageF grayscale(const RgbImage& rgb);
+
+/// (3) Central-difference spatial gradients.
+struct Gradients {
+  ImageF ix, iy;
+};
+Gradients gradient(const ImageF& image);
+
+/// (4) Inverse-warp `src` by the affine params (bilinear sampling):
+/// out(x,y) = src(W(x,y; p)).
+ImageF warp_affine(const ImageF& src, const AffineParams& p);
+
+/// (5) Element-wise difference a - b.
+ImageF subtract(const ImageF& a, const ImageF& b);
+
+/// (6) Steepest-descent images: six planes SD_k = [Ix Iy] * dW/dp_k.
+using SteepestDescent = std::array<ImageF, 6>;
+SteepestDescent steepest_descent(const Gradients& grads);
+
+/// (7) Gauss-Newton Hessian H = sum_pix SD^T SD (6x6, row-major).
+using Matrix6 = std::array<double, 36>;
+Matrix6 hessian(const SteepestDescent& sd);
+
+/// (8) 6x6 matrix inversion (Gauss-Jordan with partial pivoting).
+/// Throws InvalidArgument on a singular system.
+Matrix6 invert6(const Matrix6& m);
+
+/// (9) Right-hand side b_k = sum_pix SD_k * error.
+using Vector6 = std::array<double, 6>;
+Vector6 sd_update(const SteepestDescent& sd, const ImageF& error);
+
+/// (10) delta_p = H_inv * b.
+Vector6 delta_p(const Matrix6& h_inv, const Vector6& b);
+
+/// (11) Forwards-additive parameter update: p += dp.
+void update_params(AffineParams& p, const Vector6& dp);
+
+/// (12) GMM change detection (Stauffer-Grimson, K=3 gaussians/pixel).
+struct GmmState {
+  static constexpr int kModes = 3;
+  int width = 0;
+  int height = 0;
+  /// Per pixel per mode: weight, mean, variance (packed).
+  std::vector<float> weight, mean, var;
+
+  GmmState() = default;
+  GmmState(int w, int h);
+};
+/// Updates the model with `frame` and returns the foreground mask
+/// (1 = changed pixel).
+ImageU16 change_detection(const ImageF& frame, GmmState& state,
+                          float learning_rate = 0.05f,
+                          float mahal_threshold = 6.25f,
+                          float background_weight = 0.7f);
+
+/// One Lucas-Kanade iteration composed from kernels 3..11: refines `p` so
+/// that warp_affine(frame, p) approaches `reference`. Returns the residual
+/// mean absolute error after the update.
+double lucas_kanade_step(const ImageF& reference, const ImageF& frame,
+                         AffineParams& p);
+
+/// Full registration: iterates lucas_kanade_step up to `iterations`.
+double lucas_kanade(const ImageF& reference, const ImageF& frame,
+                    AffineParams& p, int iterations);
+
+}  // namespace presp::wami

@@ -1,0 +1,41 @@
+#include "wami/pipeline.hpp"
+
+#include "util/error.hpp"
+
+namespace presp::wami {
+
+PipelineFrameResult WamiPipeline::process(const ImageU16& bayer) {
+  PRESP_REQUIRE(options_.lk_iterations >= 1,
+                "pipeline needs at least one LK iteration");
+  const ImageF gray = grayscale(debayer(bayer));
+
+  if (!reference_) {
+    reference_ = gray;
+    gmm_.emplace(gray.width(), gray.height());
+    params_ = AffineParams{};
+  } else {
+    PRESP_REQUIRE(gray.width() == reference_->width() &&
+                      gray.height() == reference_->height(),
+                  "frame size changed mid-stream");
+  }
+
+  PipelineFrameResult result;
+  result.residual =
+      lucas_kanade(*reference_, gray, params_, options_.lk_iterations);
+  result.params = params_;
+  result.stabilized = warp_affine(gray, params_);
+  result.change_mask = change_detection(result.stabilized, *gmm_);
+  for (const auto v : result.change_mask.pixels())
+    result.changed_pixels += v;
+  ++frames_;
+  return result;
+}
+
+void WamiPipeline::reset() {
+  reference_.reset();
+  gmm_.reset();
+  params_ = AffineParams{};
+  frames_ = 0;
+}
+
+}  // namespace presp::wami

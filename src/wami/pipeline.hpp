@@ -1,0 +1,53 @@
+// The pure-software WAMI pipeline: the golden reference the paper's SoCs
+// are checked against, packaged as a reusable stateful API.
+//
+// Per frame: demosaic -> luma -> Lucas-Kanade registration against the
+// first frame (template) -> stabilized frame -> GMM change detection.
+// Users feed frames (e.g. from FrameGenerator) and get the registration
+// parameters, the stabilized image and the change mask.
+#pragma once
+
+#include <optional>
+
+#include "wami/kernels.hpp"
+
+namespace presp::wami {
+
+struct PipelineOptions {
+  int lk_iterations = 4;
+};
+
+struct PipelineFrameResult {
+  AffineParams params{};   // cumulative registration vs the template
+  double residual = 0.0;   // LK mean absolute error after refinement
+  ImageF stabilized;       // current frame warped onto the template
+  ImageU16 change_mask;    // GMM foreground
+  int changed_pixels = 0;
+};
+
+class WamiPipeline {
+ public:
+  explicit WamiPipeline(PipelineOptions options = {})
+      : options_(options) {}
+
+  /// Processes one Bayer frame; the first frame becomes the template.
+  PipelineFrameResult process(const ImageU16& bayer);
+
+  int frames_processed() const { return frames_; }
+  const AffineParams& params() const { return params_; }
+  /// The registration template (first frame's luma); empty before the
+  /// first call.
+  const std::optional<ImageF>& reference() const { return reference_; }
+
+  /// Resets to the pre-first-frame state.
+  void reset();
+
+ private:
+  PipelineOptions options_;
+  std::optional<ImageF> reference_;
+  std::optional<GmmState> gmm_;
+  AffineParams params_{};
+  int frames_ = 0;
+};
+
+}  // namespace presp::wami

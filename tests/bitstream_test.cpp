@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "bitstream/bitstream.hpp"
+#include "pnr/placer.hpp"
+#include "util/error.hpp"
+
+namespace presp::bitstream {
+namespace {
+
+TEST(Crc32Test, KnownValuesAndSensitivity) {
+  EXPECT_EQ(crc32({}), 0u);
+  const std::vector<std::uint32_t> words{1, 2, 3, 4};
+  auto tweaked = words;
+  tweaked[2] ^= 1;
+  EXPECT_NE(crc32(words), crc32(tweaked));
+  EXPECT_EQ(crc32(words), crc32(words));
+}
+
+TEST(RleTest, RoundTripMixedContent) {
+  std::vector<std::uint32_t> words;
+  presp::Rng rng(3);
+  for (int i = 0; i < 10'000; ++i)
+    words.push_back(rng.next_bool(0.2)
+                        ? static_cast<std::uint32_t>(rng.next_u64() | 1)
+                        : 0u);
+  const auto compressed = rle_compress(words);
+  EXPECT_LT(compressed.size(), words.size());
+  EXPECT_EQ(rle_decompress(compressed), words);
+}
+
+TEST(RleTest, AllZerosCompressToTwoWords) {
+  const std::vector<std::uint32_t> zeros(5'000, 0u);
+  const auto compressed = rle_compress(zeros);
+  EXPECT_EQ(compressed.size(), 2u);
+  EXPECT_EQ(rle_decompress(compressed), zeros);
+}
+
+TEST(RleTest, NoZerosPassThrough) {
+  std::vector<std::uint32_t> words{1, 2, 3, 4, 5};
+  EXPECT_EQ(rle_compress(words), words);
+}
+
+TEST(RleTest, TruncatedStreamRejected) {
+  EXPECT_THROW(rle_decompress({0u}), InvalidArgument);
+}
+
+class BitstreamFixture : public ::testing::Test {
+ protected:
+  BitstreamFixture() : device_(fabric::Device::vc707()), gen_(device_) {}
+
+  /// Builds a netlist + placement filling `pblock` to roughly `fill`.
+  std::pair<netlist::Netlist, pnr::Placement> filled(
+      const fabric::Pblock& pblock, double fill) {
+    netlist::Netlist nl("fill");
+    pnr::Placement placement;
+    for (int col = pblock.col_lo; col <= pblock.col_hi; ++col) {
+      for (int row = pblock.row_lo; row <= pblock.row_hi; ++row) {
+        const auto cap = device_.cell_resources(col).luts;
+        if (cap == 0) continue;
+        const auto luts = static_cast<std::int64_t>(fill * cap);
+        if (luts == 0) continue;
+        const auto id = nl.add_cell({"c" + std::to_string(col) + "_" +
+                                         std::to_string(row),
+                                     netlist::CellKind::kLogic,
+                                     {luts, luts, 0, 0},
+                                     ""});
+        placement.locations.resize(id + 1);
+        placement.locations[id] = pnr::GridLoc{col, row};
+      }
+    }
+    return {std::move(nl), std::move(placement)};
+  }
+
+  fabric::Device device_;
+  BitstreamGenerator gen_;
+};
+
+TEST_F(BitstreamFixture, FullDeviceBitstreamMatchesVc707Size) {
+  netlist::Netlist empty("e");
+  pnr::Placement placement;
+  const Bitstream bs = gen_.full("soc", empty, placement);
+  // Real XC7VX485T full bitstream: ~19.3 MB.
+  EXPECT_NEAR(static_cast<double>(bs.raw_bytes()), 19.3e6, 1.5e6);
+  EXPECT_FALSE(bs.partial);
+}
+
+TEST_F(BitstreamFixture, PartialSizeTracksPblockFrames) {
+  const fabric::Pblock small{2, 20, 0, 0};
+  const fabric::Pblock large{2, 40, 0, 1};
+  netlist::Netlist empty("e");
+  pnr::Placement placement;
+  const auto bs_small = gen_.partial("soc", "m", small, empty, placement);
+  const auto bs_large = gen_.partial("soc", "m", large, empty, placement);
+  EXPECT_GT(bs_large.raw_bytes(), 2 * bs_small.raw_bytes());
+  EXPECT_EQ(bs_small.raw_bytes() - Bitstream::kHeaderBytes,
+            static_cast<std::size_t>(fabric::pblock_frames(device_, small)) *
+                static_cast<std::size_t>(device_.frames().frame_bytes));
+}
+
+TEST_F(BitstreamFixture, CompressionShrinksSparseContent) {
+  const fabric::Pblock pblock{2, 60, 0, 1};
+  auto [nl, placement] = filled(pblock, 0.75);
+  const Bitstream bs = gen_.partial("soc", "m", pblock, nl, placement);
+  EXPECT_LT(bs.compressed_bytes(), bs.raw_bytes() / 2);
+  EXPECT_GT(bs.compressed_bytes(), Bitstream::kHeaderBytes);
+}
+
+TEST_F(BitstreamFixture, DenserPlacementCompressesWorse) {
+  const fabric::Pblock pblock{2, 60, 0, 1};
+  auto [nl_lo, pl_lo] = filled(pblock, 0.2);
+  auto [nl_hi, pl_hi] = filled(pblock, 0.9);
+  const auto lo = gen_.partial("s", "m", pblock, nl_lo, pl_lo);
+  const auto hi = gen_.partial("s", "m", pblock, nl_hi, pl_hi);
+  EXPECT_LT(lo.compressed_bytes(), hi.compressed_bytes());
+}
+
+TEST_F(BitstreamFixture, BlankBitstreamIsMostlyZero) {
+  const fabric::Pblock pblock{2, 40, 0, 0};
+  const Bitstream blank = gen_.blank("soc", pblock);
+  EXPECT_LT(blank.compressed_bytes(), blank.raw_bytes() / 50);
+  EXPECT_EQ(blank.module, "<blank>");
+}
+
+TEST_F(BitstreamFixture, CrcProtectsPayload) {
+  const fabric::Pblock pblock{2, 30, 0, 0};
+  auto [nl, placement] = filled(pblock, 0.5);
+  Bitstream bs = gen_.partial("soc", "m", pblock, nl, placement);
+  EXPECT_EQ(bs.crc, crc32(bs.words));
+  bs.words[10] ^= 0x1;
+  EXPECT_NE(bs.crc, crc32(bs.words));
+}
+
+TEST_F(BitstreamFixture, DeterministicContent) {
+  const fabric::Pblock pblock{2, 30, 0, 0};
+  auto [nl, placement] = filled(pblock, 0.5);
+  const auto a = gen_.partial("soc", "m", pblock, nl, placement);
+  const auto b = gen_.partial("soc", "m", pblock, nl, placement);
+  EXPECT_EQ(a.words, b.words);
+  EXPECT_EQ(a.crc, b.crc);
+}
+
+// Table VI sanity: a WAMI-sized tile (27k LUTs in a ~31k pblock) lands in
+// the paper's 245-400 KB compressed range.
+TEST_F(BitstreamFixture, WamiTileCompressedSizeInTable6Range) {
+  // Find a pblock of ~80 columns x 1 row (~32k LUTs).
+  const fabric::Pblock pblock{3, 95, 2, 2};
+  auto [nl, placement] = filled(pblock, 0.85);
+  const Bitstream bs = gen_.partial("soc", "warp", pblock, nl, placement);
+  EXPECT_GT(bs.compressed_bytes(), 150'000u);
+  EXPECT_LT(bs.compressed_bytes(), 650'000u);
+}
+
+}  // namespace
+}  // namespace presp::bitstream

@@ -1,0 +1,161 @@
+// Tests for system bring-up (boot_system) and the flow report writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/reference_designs.hpp"
+#include "core/report.hpp"
+#include "runtime/boot.hpp"
+#include "util/log.hpp"
+
+namespace presp {
+namespace {
+
+class QuietEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { set_log_level(LogLevel::kWarn); }
+};
+const auto* const kEnv =
+    ::testing::AddGlobalTestEnvironment(new QuietEnv);  // NOLINT
+
+const char* kSocText = R"(
+[soc]
+name = boot
+device = vc707
+rows = 2
+cols = 3
+
+[tiles]
+r0c0 = cpu
+r0c1 = mem
+r0c2 = aux
+r1c0 = reconf:acc_a,acc_b
+r1c1 = reconf:acc_b
+r1c2 = empty
+)";
+
+soc::AcceleratorRegistry registry() {
+  soc::AcceleratorRegistry r;
+  for (const char* name : {"acc_a", "acc_b"}) {
+    soc::AcceleratorSpec spec;
+    spec.name = name;
+    spec.luts = 11'000;
+    spec.latency.items_per_beat = 1;
+    spec.latency.ii = 2;
+    r.add(spec);
+  }
+  return r;
+}
+
+TEST(BootTest, FullConfigThenPreloadsInitialModules) {
+  auto reg = registry();
+  soc::Soc soc(netlist::SocConfig::parse(kSocText), reg);
+  runtime::BitstreamStore store(soc.memory());
+  runtime::ReconfigurationManager manager(soc, store);
+  store.add(3, "acc_a", 130'000);
+  store.add(4, "acc_b", 130'000);
+
+  runtime::BootReport report;
+  sim::SimEvent done(soc.kernel());
+  runtime::boot_system(soc, manager, 19'500'000,
+                       {{3, "acc_a"}, {4, "acc_b"}}, &report, done);
+  soc.kernel().run();
+
+  EXPECT_TRUE(done.triggered());
+  EXPECT_EQ(report.preloaded_modules, 2);
+  // Full config: 19.5 MB / 16 B per cycle at 78 MHz ~ 15.6 ms.
+  EXPECT_NEAR(report.full_config_seconds, 19.5e6 / 16.0 / 78e6, 1e-4);
+  EXPECT_GT(report.preload_seconds, 0.0);
+  EXPECT_EQ(soc.reconf_tile(3).module(), "acc_a");
+  EXPECT_EQ(soc.reconf_tile(4).module(), "acc_b");
+  EXPECT_EQ(manager.stats().reconfigurations, 2u);
+}
+
+TEST(BootTest, PreloadsSerializeOnThePrc) {
+  auto reg = registry();
+  soc::Soc soc(netlist::SocConfig::parse(kSocText), reg);
+  runtime::BitstreamStore store(soc.memory());
+  runtime::ReconfigurationManager manager(soc, store);
+  store.add(3, "acc_a", 400'000);
+  store.add(4, "acc_b", 400'000);
+
+  runtime::BootReport report;
+  sim::SimEvent done(soc.kernel());
+  runtime::boot_system(soc, manager, 1'000'000,
+                       {{3, "acc_a"}, {4, "acc_b"}}, &report, done);
+  soc.kernel().run();
+  // Two 400 KB images through one ICAP: preload takes at least the two
+  // ICAP streams back-to-back.
+  const double icap_s =
+      2.0 * 400'000.0 / soc.options().icap_bytes_per_cycle / 78e6;
+  EXPECT_GE(report.preload_seconds, icap_s);
+  EXPECT_GT(manager.stats().prc_wait_cycles, 0);
+}
+
+TEST(BootTest, RejectsBadArguments) {
+  auto reg = registry();
+  soc::Soc soc(netlist::SocConfig::parse(kSocText), reg);
+  runtime::BitstreamStore store(soc.memory());
+  runtime::ReconfigurationManager manager(soc, store);
+  sim::SimEvent done(soc.kernel());
+  EXPECT_THROW(runtime::boot_system(soc, manager, 0, {}, nullptr, done),
+               InvalidArgument);
+}
+
+// ------------------------------------------------------------- report
+
+TEST(ReportTest, ContainsAllSections) {
+  const auto device = fabric::Device::vc707();
+  const auto lib = core::characterization_library();
+  core::FlowOptions opt;
+  opt.run_physical = false;
+  const core::PrEspFlow flow(device, lib, opt);
+  const auto result = flow.run(core::characterization_soc(2));
+  const std::string report = core::flow_report(result, device);
+  EXPECT_NE(report.find("design:   soc_2"), std::string::npos);
+  EXPECT_NE(report.find("class:    1.2"), std::string::npos);
+  EXPECT_NE(report.find("fully-parallel"), std::string::npos);
+  EXPECT_NE(report.find("flow total"), std::string::npos);
+  EXPECT_NE(report.find("conv2d"), std::string::npos);
+  // Model-only run: no physical section.
+  EXPECT_EQ(report.find("fmax"), std::string::npos);
+}
+
+TEST(ReportTest, PhysicalSectionWhenRouted) {
+  const auto device = fabric::Device::vc707();
+  const auto lib = core::characterization_library();
+  core::FlowOptions opt;
+  opt.pnr.placer.temperature_steps = 5;
+  opt.pnr.placer.moves_per_cell = 1;
+  opt.floorplan.refine_iterations = 30;
+  const core::PrEspFlow flow(device, lib, opt);
+  const auto result = flow.run(core::characterization_soc(3));
+  const std::string report = core::flow_report(result, device);
+  EXPECT_NE(report.find("fmax"), std::string::npos);
+  EXPECT_NE(report.find("full bitstream"), std::string::npos);
+  EXPECT_NE(report.find("pblock[cols"), std::string::npos);
+}
+
+TEST(ReportTest, WritesToFile) {
+  const auto device = fabric::Device::vc707();
+  const auto lib = core::characterization_library();
+  core::FlowOptions opt;
+  opt.run_physical = false;
+  const core::PrEspFlow flow(device, lib, opt);
+  const auto result = flow.run(core::characterization_soc(1));
+  const std::string path = ::testing::TempDir() + "/report.txt";
+  core::write_flow_report(result, device, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "PR-ESP implementation report");
+  std::remove(path.c_str());
+  EXPECT_THROW(
+      core::write_flow_report(result, device, "/nonexistent/dir/r.txt"),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace presp

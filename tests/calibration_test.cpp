@@ -1,0 +1,190 @@
+// Calibration harness tests: recovering runtime-model constants from
+// measured compilations (the paper's characterization methodology).
+#include <gtest/gtest.h>
+
+#include "core/calibration.hpp"
+#include "core/reference_designs.hpp"
+#include "core/flow.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace presp::core {
+namespace {
+
+/// Synthetic observation set generated from known ground-truth constants:
+/// serial and parallel schedules over a spread of design sizes.
+std::vector<Observation> synthetic_observations(
+    const fabric::Device& device, const RuntimeModelConstants& truth,
+    double noise, std::uint64_t seed) {
+  presp::Rng rng(seed);
+  std::vector<Observation> observations;
+  const long long statics[] = {40'000, 80'000, 95'000};
+  const std::vector<std::vector<long long>> designs = {
+      {2'800, 2'800, 2'800, 2'800},
+      {37'000, 31'000, 34'000, 21'000},
+      {37'000, 31'000, 21'000},
+  };
+  for (const long long s : statics) {
+    for (const auto& mods : designs) {
+      // Serial.
+      Observation serial;
+      serial.static_luts = s;
+      serial.static_region_luts = 260'000 - s;
+      serial.groups = {mods};
+      serial.serial = true;
+      serial.measured_minutes =
+          predict_observation(device, truth, serial) *
+          (1.0 + noise * rng.next_gaussian());
+      observations.push_back(serial);
+      // Fully parallel.
+      Observation par;
+      par.static_luts = s;
+      par.static_region_luts = 260'000 - s;
+      for (const long long m : mods) par.groups.push_back({m});
+      par.measured_minutes = predict_observation(device, truth, par) *
+                             (1.0 + noise * rng.next_gaussian());
+      observations.push_back(par);
+    }
+  }
+  return observations;
+}
+
+TEST(CalibrationTest, RecoversConstantsFromNoiselessSamples) {
+  const auto device = fabric::Device::vc707();
+  RuntimeModelConstants truth;
+  truth.ts1 = 0.8;   // perturbed away from the defaults
+  truth.r1 = 0.4;
+  truth.m1 = 0.3;
+  const auto observations =
+      synthetic_observations(device, truth, 0.0, 5);
+
+  RuntimeModelConstants seed;  // defaults as the starting point
+  const auto result = fit_constants(device, observations, seed);
+  EXPECT_LT(result.final_mape, 0.02);
+  EXPECT_LT(result.final_mape, result.initial_mape);
+}
+
+TEST(CalibrationTest, ToleratesMeasurementNoise) {
+  const auto device = fabric::Device::vc707();
+  RuntimeModelConstants truth;
+  truth.ts1 = 0.7;
+  truth.m1 = 0.35;
+  const auto observations =
+      synthetic_observations(device, truth, 0.05, 9);
+  const auto result = fit_constants(device, observations);
+  // With 5% multiplicative noise the fit should land near the noise floor.
+  EXPECT_LT(result.final_mape, 0.08);
+}
+
+TEST(CalibrationTest, FitNeverWorseThanSeed) {
+  const auto device = fabric::Device::vc707();
+  RuntimeModelConstants truth;
+  truth.r1 = 1.1;
+  const auto observations =
+      synthetic_observations(device, truth, 0.02, 11);
+  const auto result = fit_constants(device, observations);
+  EXPECT_LE(result.final_mape, result.initial_mape + 1e-12);
+  EXPECT_GT(result.evaluations, 0);
+}
+
+TEST(CalibrationTest, RequiresEnoughObservations) {
+  const auto device = fabric::Device::vc707();
+  std::vector<Observation> few(3);
+  EXPECT_THROW(fit_constants(device, few), InvalidArgument);
+}
+
+TEST(CalibrationTest, RejectsBadObservations) {
+  const auto device = fabric::Device::vc707();
+  Observation bad;
+  bad.static_luts = 50'000;
+  bad.static_region_luts = 200'000;
+  bad.groups = {{10'000}};
+  bad.serial = true;
+  bad.measured_minutes = 0.0;  // invalid
+  std::vector<Observation> observations(5, bad);
+  EXPECT_THROW(calibration_error(device, {}, observations),
+               InvalidArgument);
+}
+
+TEST(CalibrationTest, SerialObservationNeedsSingleGroup) {
+  const auto device = fabric::Device::vc707();
+  Observation obs;
+  obs.static_luts = 50'000;
+  obs.static_region_luts = 200'000;
+  obs.groups = {{10'000}, {12'000}};
+  obs.serial = true;
+  obs.measured_minutes = 100.0;
+  EXPECT_THROW(predict_observation(device, {}, obs), InvalidArgument);
+}
+
+TEST(CalibrationTest, RefitOnPaperDataDoesNotRegressWinners) {
+  // Fit against the paper's own Table III rows (as Observation records)
+  // and confirm the refit constants keep the published strategy winners.
+  const auto device = fabric::Device::vc707();
+  const auto lib = characterization_library();
+
+  struct Sample {
+    int soc;
+    int tau;
+    double minutes;
+  };
+  const Sample samples[] = {
+      {1, 1, 89},  {1, 4, 97},  {1, 16, 93}, {2, 1, 181}, {2, 4, 152},
+      {3, 1, 158}, {3, 2, 134}, {4, 1, 163}, {4, 5, 94},
+  };
+
+  std::vector<Observation> observations;
+  for (const Sample& sample : samples) {
+    const auto rtl =
+        netlist::elaborate(characterization_soc(sample.soc), lib);
+    const auto metrics = compute_metrics(rtl, lib, device);
+    std::vector<long long> mods;
+    for (const auto& p : rtl.partitions())
+      for (const auto& m : p.modules)
+        mods.push_back(netlist::SocRtl::module_resources(lib, m).luts);
+    Observation obs;
+    obs.static_luts = metrics.static_luts;
+    obs.static_region_luts =
+        device.total().luts -
+        static_cast<long long>(1.3 * static_cast<double>(metrics.reconf_luts));
+    if (sample.tau == 1) {
+      obs.serial = true;
+      obs.groups = {mods};
+    } else {
+      for (const auto& g : balanced_groups(mods, sample.tau)) {
+        std::vector<long long> group;
+        for (const auto i : g) group.push_back(mods[i]);
+        obs.groups.push_back(group);
+      }
+    }
+    obs.measured_minutes = sample.minutes;
+    observations.push_back(std::move(obs));
+  }
+
+  CalibrationOptions opt;
+  opt.sweeps = 25;
+  const auto result = fit_constants(device, observations, {}, opt);
+  EXPECT_LT(result.final_mape, 0.12);
+
+  // Winners with the refit constants.
+  const RuntimeModel model(device, result.constants);
+  const auto rtl1 = netlist::elaborate(characterization_soc(1), lib);
+  std::vector<long long> macs;
+  for (const auto& p : rtl1.partitions())
+    macs.push_back(
+        netlist::SocRtl::module_resources(lib, p.modules.front()).luts);
+  const auto m1 = compute_metrics(rtl1, lib, device);
+  const long long region1 =
+      device.total().luts -
+      static_cast<long long>(1.3 * static_cast<double>(m1.reconf_luts));
+  const double serial =
+      model.predict_serial(m1.static_luts, region1, macs);
+  std::vector<std::vector<long long>> full_groups;
+  for (const long long m : macs) full_groups.push_back({m});
+  const double fully =
+      model.predict_parallel(m1.static_luts, region1, full_groups);
+  EXPECT_LT(serial, fully);  // Class 1.1's winner survives the refit
+}
+
+}  // namespace
+}  // namespace presp::core

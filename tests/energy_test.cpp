@@ -1,0 +1,108 @@
+// EnergyMeter unit tests: integration of configured power over simulated
+// time, per-component accumulation, and the power-constant knobs.
+#include <gtest/gtest.h>
+
+#include "soc/energy.hpp"
+
+namespace presp::soc {
+namespace {
+
+PowerConstants constants() {
+  PowerConstants c;
+  c.clock_mhz = 100.0;  // 1 cycle = 10 ns, easy arithmetic
+  c.device_baseline_w = 1.0;
+  c.configured_w_per_lut = 1e-6;
+  c.active_w_per_lut = 2e-6;
+  c.icap_w = 0.5;
+  c.noc_j_per_flit = 1e-9;
+  c.cpu_active_w = 0.25;
+  return c;
+}
+
+TEST(EnergyMeterTest, BaselineIntegratesOverTime) {
+  sim::Kernel kernel;
+  EnergyMeter meter(kernel, constants());
+  kernel.schedule(100'000'000, [] {});  // 1 simulated second at 100 MHz
+  kernel.run();
+  EXPECT_NEAR(meter.breakdown().baseline, 1.0, 1e-9);
+  EXPECT_NEAR(meter.total_joules(), 1.0, 1e-9);
+}
+
+TEST(EnergyMeterTest, ConfiguredPowerFollowsLoadChanges) {
+  sim::Kernel kernel;
+  EnergyMeter meter(kernel, constants());
+  // 100k LUTs configured for 0.5 s, then blanked for 0.5 s.
+  meter.on_configured_change(100'000);
+  kernel.schedule(50'000'000, [&] { meter.on_configured_change(-100'000); });
+  kernel.schedule(100'000'000, [] {});
+  kernel.run();
+  // 100k LUT * 1 uW/LUT = 0.1 W for 0.5 s = 0.05 J.
+  EXPECT_NEAR(meter.breakdown().configured, 0.05, 1e-9);
+}
+
+TEST(EnergyMeterTest, ActiveEnergyIsPerCycleNotPerWallclock) {
+  sim::Kernel kernel;
+  EnergyMeter meter(kernel, constants());
+  meter.on_active(50'000, 1'000'000);  // 50k LUTs active for 10 ms
+  // 50k * 2uW = 0.1 W for 0.01 s = 1 mJ.
+  EXPECT_NEAR(meter.breakdown().active, 1e-3, 1e-12);
+}
+
+TEST(EnergyMeterTest, IcapNocCpuComponents) {
+  sim::Kernel kernel;
+  EnergyMeter meter(kernel, constants());
+  meter.on_icap(1'000'000);    // 10 ms at 0.5 W = 5 mJ
+  meter.on_noc_flits(1'000);   // 1000 flits * 1 nJ = 1 uJ
+  meter.on_cpu_busy(400'000);  // 4 ms at 0.25 W = 1 mJ
+  const auto b = meter.breakdown();
+  EXPECT_NEAR(b.icap, 5e-3, 1e-12);
+  EXPECT_NEAR(b.noc, 1e-6, 1e-15);
+  EXPECT_NEAR(b.cpu, 1e-3, 1e-12);
+}
+
+TEST(EnergyMeterTest, TotalIsSumOfComponents) {
+  sim::Kernel kernel;
+  EnergyMeter meter(kernel, constants());
+  meter.on_configured_change(10'000);
+  meter.on_active(10'000, 100'000);
+  meter.on_icap(100'000);
+  kernel.schedule(1'000'000, [] {});
+  kernel.run();
+  const auto b = meter.breakdown();
+  EXPECT_NEAR(meter.total_joules(),
+              b.baseline + b.configured + b.active + b.icap + b.noc +
+                  b.dram + b.cpu,
+              1e-12);
+}
+
+TEST(EnergyMeterTest, BreakdownIsIdempotent) {
+  sim::Kernel kernel;
+  EnergyMeter meter(kernel, constants());
+  meter.on_configured_change(10'000);
+  kernel.schedule(1'000'000, [] {});
+  kernel.run();
+  const double first = meter.total_joules();
+  const double second = meter.total_joules();
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+// Power-constant sweep: energy scales linearly with each knob.
+class EnergyScalingFixture : public ::testing::TestWithParam<double> {};
+
+TEST_P(EnergyScalingFixture, ConfiguredEnergyScalesWithPerLutPower) {
+  const double scale = GetParam();
+  sim::Kernel kernel;
+  PowerConstants c = constants();
+  c.configured_w_per_lut *= scale;
+  EnergyMeter meter(kernel, c);
+  meter.on_configured_change(100'000);
+  kernel.schedule(10'000'000, [] {});
+  kernel.run();
+  EXPECT_NEAR(meter.breakdown().configured, 0.01 * scale, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, EnergyScalingFixture,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace presp::soc

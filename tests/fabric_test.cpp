@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "fabric/device.hpp"
+#include "fabric/resources.hpp"
+#include "util/error.hpp"
+
+namespace presp::fabric {
+namespace {
+
+TEST(ResourceVecTest, ArithmeticAndComparison) {
+  const ResourceVec a{100, 200, 3, 4};
+  const ResourceVec b{10, 20, 1, 2};
+  EXPECT_EQ((a + b).luts, 110);
+  EXPECT_EQ((a - b).ffs, 180);
+  EXPECT_EQ((b * 3).dsp, 6);
+  EXPECT_TRUE(a.covers(b));
+  EXPECT_FALSE(b.covers(a));
+  EXPECT_TRUE((a - b).non_negative());
+  EXPECT_FALSE((b - a).non_negative());
+}
+
+TEST(ResourceVecTest, CoversIsComponentWise) {
+  const ResourceVec cap{100, 100, 0, 0};
+  EXPECT_FALSE(cap.covers({50, 50, 1, 0}));  // BRAM shortfall
+  EXPECT_TRUE(cap.covers({100, 100, 0, 0}));
+}
+
+TEST(ResourceVecTest, LutFraction) {
+  EXPECT_DOUBLE_EQ(lut_fraction({25, 0, 0, 0}, {100, 0, 0, 0}), 0.25);
+  EXPECT_DOUBLE_EQ(lut_fraction({25, 0, 0, 0}, {}), 0.0);
+}
+
+// VC707 totals should match the real XC7VX485T within 2%.
+TEST(DeviceTest, Vc707TotalsMatchDataSheet) {
+  const Device dev = Device::vc707();
+  EXPECT_NEAR(static_cast<double>(dev.total().luts), 303'600, 303'600 * 0.02);
+  EXPECT_NEAR(static_cast<double>(dev.total().ffs), 607'200, 607'200 * 0.02);
+  EXPECT_NEAR(static_cast<double>(dev.total().bram36), 1'030, 1'030 * 0.02);
+  EXPECT_NEAR(static_cast<double>(dev.total().dsp), 2'800, 2'800 * 0.02);
+  EXPECT_EQ(dev.region_rows(), 7);
+}
+
+TEST(DeviceTest, Vcu118TotalsMatchDataSheet) {
+  const Device dev = Device::vcu118();
+  EXPECT_NEAR(static_cast<double>(dev.total().luts), 1'182'240,
+              1'182'240 * 0.02);
+  EXPECT_NEAR(static_cast<double>(dev.total().dsp), 6'840, 6'840 * 0.02);
+}
+
+TEST(DeviceTest, Vcu128TotalsMatchDataSheet) {
+  const Device dev = Device::vcu128();
+  EXPECT_NEAR(static_cast<double>(dev.total().luts), 1'303'680,
+              1'303'680 * 0.02);
+  EXPECT_NEAR(static_cast<double>(dev.total().bram36), 2'016, 2'016 * 0.03);
+}
+
+TEST(DeviceTest, ColumnSequenceHasEdgesAndSpine) {
+  const Device dev = Device::vc707();
+  EXPECT_EQ(dev.column_type(0), ColumnType::kIo);
+  EXPECT_EQ(dev.column_type(dev.num_columns() - 1), ColumnType::kIo);
+  int clock_cols = 0;
+  for (int c = 0; c < dev.num_columns(); ++c)
+    if (dev.column_type(c) == ColumnType::kClock) ++clock_cols;
+  EXPECT_EQ(clock_cols, 1);
+}
+
+TEST(DeviceTest, SpecialColumnsInterleaved) {
+  const Device dev = Device::vc707();
+  // No two special (BRAM/DSP) columns should be adjacent: real fabrics
+  // interleave them through the logic.
+  for (int c = 0; c + 1 < dev.num_columns(); ++c) {
+    const bool s0 = dev.column_type(c) == ColumnType::kBram ||
+                    dev.column_type(c) == ColumnType::kDsp;
+    const bool s1 = dev.column_type(c + 1) == ColumnType::kBram ||
+                    dev.column_type(c + 1) == ColumnType::kDsp;
+    EXPECT_FALSE(s0 && s1) << "adjacent special columns at " << c;
+  }
+}
+
+TEST(DeviceTest, CellResourcesByType) {
+  const Device dev = Device::vc707();
+  EXPECT_EQ(dev.cell_resources(ColumnType::kClb).luts, 400);
+  EXPECT_EQ(dev.cell_resources(ColumnType::kBram).bram36, 10);
+  EXPECT_EQ(dev.cell_resources(ColumnType::kDsp).dsp, 20);
+  EXPECT_TRUE(dev.cell_resources(ColumnType::kIo).is_zero());
+}
+
+TEST(PblockTest, GeometryPredicates) {
+  const Pblock p{2, 5, 1, 3};
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.width(), 4);
+  EXPECT_EQ(p.height(), 3);
+  EXPECT_EQ(p.cells(), 12);
+  EXPECT_TRUE(p.contains(2, 1));
+  EXPECT_TRUE(p.contains(5, 3));
+  EXPECT_FALSE(p.contains(6, 2));
+  EXPECT_TRUE(p.overlaps({5, 7, 3, 4}));
+  EXPECT_FALSE(p.overlaps({6, 7, 1, 3}));
+  EXPECT_FALSE(p.overlaps({2, 5, 4, 6}));
+}
+
+TEST(PblockTest, ResourcesSumOverCells) {
+  const Device dev = Device::vc707();
+  // Find a CLB column to build a known-capacity pblock.
+  int clb_col = -1;
+  for (int c = 0; c < dev.num_columns(); ++c)
+    if (dev.column_type(c) == ColumnType::kClb) {
+      clb_col = c;
+      break;
+    }
+  ASSERT_GE(clb_col, 0);
+  const Pblock p{clb_col, clb_col, 0, 1};  // one column, two region rows
+  const ResourceVec r = pblock_resources(dev, p);
+  EXPECT_EQ(r.luts, 800);
+  EXPECT_EQ(r.bram36, 0);
+}
+
+TEST(PblockTest, FullDevicePblockCoversTotals) {
+  const Device dev = Device::vc707();
+  const Pblock all{0, dev.num_columns() - 1, 0, dev.region_rows() - 1};
+  EXPECT_EQ(pblock_resources(dev, all), dev.total());
+}
+
+TEST(PblockTest, OutOfBoundsRejected) {
+  const Device dev = Device::vc707();
+  EXPECT_THROW(pblock_resources(dev, Pblock{0, dev.num_columns(), 0, 0}),
+               InvalidArgument);
+  EXPECT_THROW(pblock_resources(dev, Pblock{3, 2, 0, 0}), InvalidArgument);
+}
+
+TEST(PblockTest, FramesScaleWithHeight) {
+  const Device dev = Device::vc707();
+  const Pblock one{10, 20, 0, 0};
+  const Pblock two{10, 20, 0, 1};
+  EXPECT_EQ(pblock_frames(dev, two), 2 * pblock_frames(dev, one));
+  EXPECT_GT(pblock_frames(dev, one), 0);
+}
+
+}  // namespace
+}  // namespace presp::fabric

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "netlist/components.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/rtl.hpp"
+#include "netlist/soc_config.hpp"
+#include "util/error.hpp"
+
+namespace presp::netlist {
+namespace {
+
+// ------------------------------------------------------------ Netlist
+
+TEST(NetlistTest, AddAndQueryCellsNets) {
+  Netlist nl("t");
+  const CellId a = nl.add_cell({"a", CellKind::kLogic, {100, 50, 0, 0}, ""});
+  const CellId b = nl.add_cell({"b", CellKind::kLogic, {60, 20, 1, 2}, ""});
+  nl.add_net({"n", a, {b}, 32});
+  EXPECT_EQ(nl.num_cells(), 2u);
+  EXPECT_EQ(nl.num_nets(), 1u);
+  EXPECT_EQ(nl.total_resources(), (fabric::ResourceVec{160, 70, 1, 2}));
+  nl.validate();
+}
+
+TEST(NetlistTest, BlackBoxCarriesNoResources) {
+  Netlist nl("t");
+  EXPECT_THROW(
+      nl.add_cell({"bb", CellKind::kBlackBox, {10, 0, 0, 0}, "RT_1"}),
+      InvalidArgument);
+  const CellId bb = nl.add_cell({"bb", CellKind::kBlackBox, {}, "RT_1"});
+  EXPECT_EQ(nl.cell(bb).partition, "RT_1");
+  EXPECT_TRUE(nl.total_resources().is_zero());
+}
+
+TEST(NetlistTest, NetValidationCatchesDanglingRefs) {
+  Netlist nl("t");
+  nl.add_cell({"a", CellKind::kLogic, {10, 0, 0, 0}, ""});
+  EXPECT_THROW(nl.add_net({"n", 5, {0}, 1}), InvalidArgument);
+  EXPECT_THROW(nl.add_net({"n", 0, {9}, 1}), InvalidArgument);
+}
+
+// ---------------------------------------------------------- SocConfig
+
+const char* kSoc2Text = R"(
+[soc]
+name = soc_2
+device = vc707
+rows = 3
+cols = 3
+
+[tiles]
+r0c0 = cpu
+r0c1 = mem
+r0c2 = aux
+r1c0 = reconf:conv2d,gemm
+r1c1 = reconf:fft
+r1c2 = reconf:sort
+r2c0 = reconf:conv2d
+r2c1 = empty
+r2c2 = empty
+)";
+
+TEST(SocConfigTest, ParsesGridAndPayloads) {
+  const SocConfig soc = SocConfig::parse(kSoc2Text);
+  EXPECT_EQ(soc.name, "soc_2");
+  EXPECT_EQ(soc.rows, 3);
+  EXPECT_EQ(soc.tile(0, 0).type, TileType::kCpu);
+  EXPECT_EQ(soc.tile(1, 0).type, TileType::kReconf);
+  EXPECT_EQ(soc.tile(1, 0).accelerators,
+            (std::vector<std::string>{"conv2d", "gemm"}));
+  EXPECT_EQ(soc.count(TileType::kReconf), 4);
+  EXPECT_EQ(soc.num_reconfigurable_partitions(), 4);
+}
+
+TEST(SocConfigTest, CpuReconfFlagParsed) {
+  std::string text(kSoc2Text);
+  text.replace(text.find("r0c0 = cpu"), 10, "r0c0 = cpu_reconf");
+  const SocConfig soc = SocConfig::parse(text);
+  EXPECT_EQ(soc.tile(0, 0).type, TileType::kCpu);
+  EXPECT_TRUE(soc.tile(0, 0).cpu_in_reconfigurable_partition);
+  EXPECT_EQ(soc.num_reconfigurable_partitions(), 5);
+}
+
+TEST(SocConfigTest, ValidationRules) {
+  // No AUX.
+  std::string text(kSoc2Text);
+  text.replace(text.find("r0c2 = aux"), 10, "r0c2 = mem");
+  EXPECT_THROW(SocConfig::parse(text), ConfigError);
+
+  // Reconfigurable tile without accelerators.
+  text = kSoc2Text;
+  text.replace(text.find("r1c1 = reconf:fft"), 17, "r1c1 = reconf");
+  EXPECT_THROW(SocConfig::parse(text), ConfigError);
+
+  // Tile key outside the grid.
+  text = std::string(kSoc2Text) + "r5c5 = empty\n";
+  EXPECT_THROW(SocConfig::parse(text), ConfigError);
+}
+
+TEST(SocConfigTest, RoundTripThroughConfigText) {
+  const SocConfig soc = SocConfig::parse(kSoc2Text);
+  const SocConfig again = SocConfig::parse(soc.to_config_text());
+  EXPECT_EQ(again.rows, soc.rows);
+  EXPECT_EQ(again.tile(1, 0).accelerators, soc.tile(1, 0).accelerators);
+  EXPECT_EQ(again.tile(2, 1).type, TileType::kEmpty);
+}
+
+// --------------------------------------------------- ComponentLibrary
+
+TEST(ComponentLibraryTest, BuiltinsPresent) {
+  const auto lib = ComponentLibrary::with_builtins();
+  EXPECT_TRUE(lib.has(ComponentLibrary::kLeon3));
+  EXPECT_TRUE(lib.has(ComponentLibrary::kDfxController));
+  EXPECT_THROW(lib.get("nonexistent"), InvalidArgument);
+}
+
+TEST(ComponentLibraryTest, RegisterAndReplace) {
+  auto lib = ComponentLibrary::with_builtins();
+  lib.register_block({"acc", {1000, 800, 2, 4}, 96, true});
+  EXPECT_EQ(lib.get("acc").resources.luts, 1000);
+  lib.register_block({"acc", {2000, 800, 2, 4}, 96, true});
+  EXPECT_EQ(lib.get("acc").resources.luts, 2000);
+}
+
+// ---------------------------------------------------------- elaborate
+
+ComponentLibrary lib_with_test_accs() {
+  auto lib = ComponentLibrary::with_builtins();
+  lib.register_block({"conv2d", {36'741, 30'000, 16, 162}, 96, true});
+  lib.register_block({"gemm", {30'617, 25'000, 32, 256}, 96, true});
+  lib.register_block({"fft", {33'690, 28'000, 16, 70}, 96, true});
+  lib.register_block({"sort", {20'468, 17'000, 8, 0}, 96, true});
+  return lib;
+}
+
+TEST(ElaborateTest, PartitionsNamedInGridOrder) {
+  const auto lib = lib_with_test_accs();
+  const SocRtl rtl = elaborate(SocConfig::parse(kSoc2Text), lib);
+  ASSERT_EQ(rtl.partitions().size(), 4u);
+  EXPECT_EQ(rtl.partitions()[0].name, "RT_1");
+  EXPECT_EQ(rtl.partitions()[0].tile_index, 3);
+  EXPECT_EQ(rtl.partitions()[3].name, "RT_4");
+}
+
+TEST(ElaborateTest, StaticResourcesMatchTable2) {
+  const auto lib = lib_with_test_accs();
+  const SocRtl rtl = elaborate(SocConfig::parse(kSoc2Text), lib);
+  const auto static_r = rtl.static_resources(lib);
+  // Paper Table II: static part of the 3x3 characterization SoC = 82,267
+  // LUTs. Our component calibration should land within 3%.
+  EXPECT_NEAR(static_cast<double>(static_r.luts), 82'267, 82'267 * 0.03);
+}
+
+TEST(ElaborateTest, CpuTileMatchesTable2) {
+  const auto lib = lib_with_test_accs();
+  // CPU tile = Leon3 + socket. Paper: 41,544 (core) / 43,013 (tile).
+  const auto cpu_tile =
+      lib.get(ComponentLibrary::kLeon3).resources.luts +
+      lib.get(ComponentLibrary::kTileSocket).resources.luts;
+  EXPECT_NEAR(static_cast<double>(cpu_tile), 43'013, 43'013 * 0.03);
+}
+
+TEST(ElaborateTest, StaticWithoutCpuMatchesTable2) {
+  const auto lib = lib_with_test_accs();
+  std::string text(kSoc2Text);
+  text.replace(text.find("r0c0 = cpu"), 10, "r0c0 = cpu_reconf");
+  const SocRtl rtl = elaborate(SocConfig::parse(text), lib);
+  // Paper Table II: static w/o CPU = 39,254 LUTs. Our elaboration keeps
+  // the CPU tile's socket and adds its decoupler in the static part, so
+  // allow 5%.
+  EXPECT_NEAR(static_cast<double>(rtl.static_resources(lib).luts), 39'254,
+              39'254 * 0.05);
+}
+
+TEST(ElaborateTest, PartitionDemandIsMaxOverMembers) {
+  const auto lib = lib_with_test_accs();
+  const SocRtl rtl = elaborate(SocConfig::parse(kSoc2Text), lib);
+  // RT_1 hosts conv2d + gemm; demand must fit the larger (conv2d) plus the
+  // wrapper.
+  const auto demand = rtl.partition_demand(lib, 0);
+  const auto wrapper =
+      lib.get(ComponentLibrary::kReconfWrapper).resources;
+  EXPECT_EQ(demand.luts, 36'741 + wrapper.luts);
+  EXPECT_EQ(demand.dsp, 256 + wrapper.dsp);  // DSP max comes from gemm
+}
+
+TEST(ElaborateTest, UnknownAcceleratorRejected) {
+  const auto lib = ComponentLibrary::with_builtins();
+  EXPECT_THROW(elaborate(SocConfig::parse(kSoc2Text), lib), InvalidArgument);
+}
+
+TEST(ElaborateTest, AuxTileCarriesDfxControllerAndIcap) {
+  const auto lib = lib_with_test_accs();
+  const SocRtl rtl = elaborate(SocConfig::parse(kSoc2Text), lib);
+  const TileRtl& aux = rtl.tiles()[2];  // r0c2
+  EXPECT_EQ(aux.type, TileType::kAux);
+  const auto& blocks = aux.static_blocks;
+  EXPECT_NE(std::find(blocks.begin(), blocks.end(),
+                      ComponentLibrary::kDfxController),
+            blocks.end());
+  EXPECT_NE(std::find(blocks.begin(), blocks.end(),
+                      ComponentLibrary::kIcapWrapper),
+            blocks.end());
+}
+
+}  // namespace
+}  // namespace presp::netlist

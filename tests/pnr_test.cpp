@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "floorplan/floorplanner.hpp"
+#include "hls/library.hpp"
+#include "netlist/rtl.hpp"
+#include "pnr/engine.hpp"
+#include "synth/synthesis.hpp"
+#include "util/error.hpp"
+
+namespace presp::pnr {
+namespace {
+
+// Small synthetic netlist helpers ------------------------------------------
+
+netlist::Netlist chain_netlist(int cells, int luts_per_cell, int width) {
+  netlist::Netlist nl("chain");
+  for (int i = 0; i < cells; ++i)
+    nl.add_cell({"c" + std::to_string(i),
+                 netlist::CellKind::kLogic,
+                 {luts_per_cell, luts_per_cell, 0, 0},
+                 ""});
+  for (int i = 0; i + 1 < cells; ++i)
+    nl.add_net({"n" + std::to_string(i), static_cast<netlist::CellId>(i),
+                {static_cast<netlist::CellId>(i + 1)}, width});
+  return nl;
+}
+
+class PnrFixture : public ::testing::Test {
+ protected:
+  PnrFixture() : device_(fabric::Device::vc707()), engine_(device_, fast()) {}
+
+  static PnrOptions fast() {
+    PnrOptions o;
+    o.placer.temperature_steps = 10;
+    o.placer.moves_per_cell = 2;
+    return o;
+  }
+
+  fabric::Device device_;
+  PnrEngine engine_;
+};
+
+TEST_F(PnrFixture, PlacerKeepsCellsInAllowedSites) {
+  const auto nl = chain_netlist(40, 150, 32);
+  PlacementConstraints constraints;
+  constraints.region = fabric::Pblock{2, 40, 0, 2};
+  const auto result = Placer(device_, fast().placer).place(nl, constraints);
+  for (netlist::CellId c = 0; c < nl.num_cells(); ++c) {
+    const GridLoc& loc = result.placement.at(c);
+    EXPECT_TRUE(constraints.region->contains(loc.col, loc.row));
+    EXPECT_TRUE(
+        fabric::Device::reconfigurable_column(device_.column_type(loc.col)));
+  }
+}
+
+TEST_F(PnrFixture, PlacerRespectsKeepouts) {
+  const auto nl = chain_netlist(60, 200, 32);
+  PlacementConstraints constraints;
+  constraints.keepouts.push_back(fabric::Pblock{0, 70, 0, 3});
+  const auto result = Placer(device_, fast().placer).place(nl, constraints);
+  for (netlist::CellId c = 0; c < nl.num_cells(); ++c) {
+    const GridLoc& loc = result.placement.at(c);
+    EXPECT_FALSE(constraints.keepouts[0].contains(loc.col, loc.row));
+  }
+}
+
+TEST_F(PnrFixture, PlacerHonorsFixedCells) {
+  auto nl = chain_netlist(10, 100, 16);
+  PlacementConstraints constraints;
+  constraints.fixed.emplace_back(0, GridLoc{5, 3});
+  const auto result = Placer(device_, fast().placer).place(nl, constraints);
+  EXPECT_EQ(result.placement.at(0), (GridLoc{5, 3}));
+}
+
+TEST_F(PnrFixture, PlacementIsLegalForModestDesigns) {
+  const auto nl = chain_netlist(100, 180, 32);
+  const auto result =
+      Placer(device_, fast().placer).place(nl, PlacementConstraints{});
+  EXPECT_EQ(result.overflow, 0.0);
+}
+
+TEST_F(PnrFixture, AnnealingImprovesWirelength) {
+  // Scrambled connectivity: cell i talks to cell (i*53+17) mod n, so the
+  // id-order constructive seed is far from optimal and annealing must
+  // recover locality.
+  netlist::Netlist nl("scrambled");
+  const int n = 120;
+  for (int i = 0; i < n; ++i)
+    nl.add_cell({"c" + std::to_string(i),
+                 netlist::CellKind::kLogic,
+                 {150, 150, 0, 0},
+                 ""});
+  for (int i = 0; i < n; ++i) {
+    const int j = (i * 53 + 17) % n;
+    if (j == i) continue;
+    nl.add_net({"n" + std::to_string(i), static_cast<netlist::CellId>(i),
+                {static_cast<netlist::CellId>(j)}, 64});
+  }
+  PlacerOptions none;
+  none.temperature_steps = 0;
+  PlacerOptions anneal = fast().placer;
+  anneal.temperature_steps = 30;
+  anneal.moves_per_cell = 6;
+  const auto before = Placer(device_, none).place(nl, {});
+  const auto after = Placer(device_, anneal).place(nl, {});
+  EXPECT_LT(after.final_hpwl, before.final_hpwl);
+  EXPECT_EQ(after.overflow, 0.0);
+}
+
+TEST_F(PnrFixture, PlacerDeterministicForSeed) {
+  const auto nl = chain_netlist(50, 150, 32);
+  const auto a = Placer(device_, fast().placer).place(nl, {});
+  const auto b = Placer(device_, fast().placer).place(nl, {});
+  for (netlist::CellId c = 0; c < nl.num_cells(); ++c)
+    EXPECT_EQ(a.placement.at(c), b.placement.at(c));
+}
+
+TEST_F(PnrFixture, InfeasibleRegionThrows) {
+  const auto nl = chain_netlist(100, 200, 32);  // 20k LUTs
+  PlacementConstraints constraints;
+  constraints.region = fabric::Pblock{2, 4, 0, 0};  // tiny region
+  EXPECT_THROW(Placer(device_, fast().placer).place(nl, constraints),
+               InfeasibleDesign);
+}
+
+TEST_F(PnrFixture, RouterConnectsAllNetsWithoutOverflowWhenSparse) {
+  const auto nl = chain_netlist(30, 100, 16);
+  const auto placed = Placer(device_, fast().placer).place(nl, {});
+  RoutingState state = engine_.make_state();
+  const auto routed =
+      Router(device_).route(nl, placed.placement, state);
+  EXPECT_TRUE(routed.success);
+  EXPECT_GT(routed.wirelength, 0);
+  EXPECT_GT(routed.achieved_fmax_mhz, 78.0);
+}
+
+TEST_F(PnrFixture, RouterAccumulatesUsageIntoState) {
+  const auto nl = chain_netlist(30, 100, 16);
+  const auto placed = Placer(device_, fast().placer).place(nl, {});
+  RoutingState state = engine_.make_state();
+  EXPECT_EQ(state.total_usage(), 0);
+  Router(device_).route(nl, placed.placement, state);
+  EXPECT_GT(state.total_usage(), 0);
+}
+
+TEST_F(PnrFixture, RoutingStateEdgeIndexingDistinct) {
+  RoutingState state(device_);
+  const auto h0 = state.h_edge(0, 0);
+  const auto h1 = state.h_edge(1, 0);
+  const auto v0 = state.v_edge(0, 0);
+  EXPECT_NE(h0, h1);
+  EXPECT_GE(v0, static_cast<std::size_t>((device_.num_columns() - 1) *
+                                         device_.region_rows()));
+}
+
+// Full SoC static + partition in-context run.
+class EngineFixture : public ::testing::Test {
+ protected:
+  EngineFixture()
+      : device_(fabric::Device::vc707()),
+        lib_(netlist::ComponentLibrary::with_builtins()) {
+    hls::register_characterization_kernels(lib_);
+    const char* text = R"(
+[soc]
+name = pnr_soc
+device = vc707
+rows = 2
+cols = 2
+
+[tiles]
+r0c0 = cpu
+r0c1 = mem
+r1c0 = aux
+r1c1 = reconf:sort,mac
+)";
+    rtl_ = std::make_unique<netlist::SocRtl>(
+        netlist::elaborate(netlist::SocConfig::parse(text), lib_));
+  }
+
+  fabric::Device device_;
+  netlist::ComponentLibrary lib_;
+  std::unique_ptr<netlist::SocRtl> rtl_;
+};
+
+TEST_F(EngineFixture, StaticThenPartitionInContext) {
+  synth::Synthesizer synth(lib_, {});
+  const auto static_ckpt = synth.synthesize_static(*rtl_);
+
+  floorplan::Floorplanner planner(device_);
+  const auto plan = planner.plan(
+      {{"RT_1", rtl_->partition_demand(lib_, 0)}},
+      rtl_->static_resources(lib_));
+
+  PnrOptions fastopt;
+  fastopt.placer.temperature_steps = 8;
+  fastopt.placer.moves_per_cell = 2;
+  PnrEngine engine(device_, fastopt);
+  RoutingState state = engine.make_state();
+  const auto static_run = engine.run_static(
+      static_ckpt, {{"RT_1", plan.pblocks[0]}}, state);
+  EXPECT_TRUE(static_run.success())
+      << "place overflow=" << static_run.place.overflow
+      << " route overflow=" << static_run.route.overflow;
+
+  // Static cells must avoid the pblock.
+  for (netlist::CellId c = 0; c < static_ckpt.netlist.num_cells(); ++c) {
+    if (static_ckpt.netlist.cell(c).kind != netlist::CellKind::kLogic)
+      continue;
+    const GridLoc& loc = static_run.place.placement.at(c);
+    EXPECT_FALSE(plan.pblocks[0].contains(loc.col, loc.row));
+  }
+
+  const auto ooc = synth.synthesize_module_ooc("sort");
+  const auto rp_run = engine.run_partition(ooc, plan.pblocks[0], state);
+  EXPECT_TRUE(rp_run.success());
+  for (netlist::CellId c = 0; c < ooc.netlist.num_cells(); ++c) {
+    if (ooc.netlist.cell(c).kind != netlist::CellKind::kLogic) continue;
+    const GridLoc& loc = rp_run.place.placement.at(c);
+    EXPECT_TRUE(plan.pblocks[0].contains(loc.col, loc.row));
+  }
+}
+
+TEST_F(EngineFixture, PartitionRunRequiresOocCheckpoint) {
+  synth::Synthesizer synth(lib_, {});
+  const auto static_ckpt = synth.synthesize_static(*rtl_);
+  PnrEngine engine(device_);
+  RoutingState state = engine.make_state();
+  EXPECT_THROW(
+      engine.run_partition(static_ckpt, fabric::Pblock{2, 30, 0, 0}, state),
+      InvalidArgument);
+}
+
+TEST_F(EngineFixture, FlatRunHandlesMonolithicCheckpoint) {
+  synth::Synthesizer synth(lib_, {});
+  const auto mono = synth.synthesize_monolithic(*rtl_);
+  PnrOptions fastopt;
+  fastopt.placer.temperature_steps = 6;
+  fastopt.placer.moves_per_cell = 1;
+  PnrEngine engine(device_, fastopt);
+  const auto run = engine.run_flat(mono);
+  EXPECT_EQ(run.place.overflow, 0.0);
+}
+
+}  // namespace
+}  // namespace presp::pnr

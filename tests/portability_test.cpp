@@ -1,0 +1,184 @@
+// Cross-device portability (the paper's flow targets VC707, VCU118 and
+// VCU128), configuration file I/O, floorplan visualization, and flow
+// timing closure reporting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/flow.hpp"
+#include "core/reference_designs.hpp"
+#include "floorplan/visualize.hpp"
+#include "netlist/config_io.hpp"
+#include "util/log.hpp"
+
+namespace presp {
+namespace {
+
+class QuietEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { set_log_level(LogLevel::kWarn); }
+};
+const auto* const kEnv =
+    ::testing::AddGlobalTestEnvironment(new QuietEnv);  // NOLINT
+
+// ------------------------------------------------------- device sweep
+
+class DeviceSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DeviceSweep, FloorplanLegalOnEveryBoard) {
+  const fabric::Device device = std::string(GetParam()) == "vc707"
+                                    ? fabric::Device::vc707()
+                                    : (std::string(GetParam()) == "vcu118"
+                                           ? fabric::Device::vcu118()
+                                           : fabric::Device::vcu128());
+  const floorplan::Floorplanner planner(device);
+  std::vector<floorplan::PartitionRequest> reqs;
+  for (int i = 0; i < 4; ++i)
+    reqs.push_back({"RT_" + std::to_string(i + 1),
+                    {30'000 + 2'000 * i, 30'000, 16, 64}});
+  floorplan::FloorplanOptions opt;
+  opt.refine_iterations = 40;
+  const auto plan = planner.plan(reqs, {90'000, 90'000, 200, 100}, opt);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_TRUE(planner.legal(plan.pblocks[i], reqs[i].demand));
+    for (std::size_t j = i + 1; j < reqs.size(); ++j)
+      EXPECT_FALSE(plan.pblocks[i].overlaps(plan.pblocks[j]));
+  }
+}
+
+TEST_P(DeviceSweep, FlowRunsEndToEnd) {
+  const std::string name = GetParam();
+  const fabric::Device device =
+      name == "vc707" ? fabric::Device::vc707()
+                      : (name == "vcu118" ? fabric::Device::vcu118()
+                                          : fabric::Device::vcu128());
+  const auto lib = core::characterization_library();
+  core::FlowOptions opt;
+  opt.run_physical = false;
+  const core::PrEspFlow flow(device, lib, opt);
+  auto config = core::characterization_soc(2);
+  config.device = name;
+  const auto result = flow.run(config);
+  EXPECT_GT(result.total_minutes, 0.0);
+  EXPECT_EQ(result.plan.pblocks.size(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boards, DeviceSweep,
+                         ::testing::Values("vc707", "vcu118", "vcu128"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(DeviceSweepTest, BiggerDeviceShrinksKappaAndChangesClass) {
+  // The same SoC on a 4x bigger part: static fraction drops, gamma is
+  // unchanged, and the kappa >> alpha relation (a ratio) is also
+  // unchanged — so the class is stable but the absolute pressure drops.
+  const auto lib = core::characterization_library();
+  const auto rtl = netlist::elaborate(core::characterization_soc(2), lib);
+  const auto small = fabric::Device::vc707();
+  const auto big = fabric::Device::vcu118();
+  const auto m_small = core::compute_metrics(rtl, lib, small);
+  const auto m_big = core::compute_metrics(rtl, lib, big);
+  EXPECT_LT(m_big.kappa, m_small.kappa * 0.3);
+  EXPECT_NEAR(m_big.gamma, m_small.gamma, 1e-9);
+  EXPECT_EQ(core::classify(m_small), core::classify(m_big));
+}
+
+// ------------------------------------------------------- timing report
+
+TEST(FlowTimingTest, PhysicalRunReportsFmaxAndMeetsTarget) {
+  const auto device = fabric::Device::vc707();
+  const auto lib = core::characterization_library();
+  core::FlowOptions opt;
+  opt.pnr.placer.temperature_steps = 6;
+  opt.pnr.placer.moves_per_cell = 1;
+  opt.floorplan.refine_iterations = 40;
+  const core::PrEspFlow flow(device, lib, opt);
+  const auto result = flow.run(core::characterization_soc(3));
+  ASSERT_TRUE(result.physical_ok);
+  EXPECT_GT(result.achieved_fmax_mhz, 0.0);
+  // The paper's system runs at 78 MHz; the routed design must close it.
+  EXPECT_TRUE(result.timing_met)
+      << "fmax " << result.achieved_fmax_mhz << " MHz";
+}
+
+TEST(FlowTimingTest, ModelOnlyRunReportsNoTiming) {
+  const auto device = fabric::Device::vc707();
+  const auto lib = core::characterization_library();
+  core::FlowOptions opt;
+  opt.run_physical = false;
+  const core::PrEspFlow flow(device, lib, opt);
+  const auto result = flow.run(core::characterization_soc(3));
+  EXPECT_EQ(result.achieved_fmax_mhz, 0.0);
+  EXPECT_FALSE(result.timing_met);
+}
+
+// --------------------------------------------------------- config I/O
+
+TEST(ConfigIoTest, SaveLoadRoundTrip) {
+  const auto config = core::characterization_soc(2);
+  const std::string path = ::testing::TempDir() + "/soc2.esp_config";
+  netlist::save_soc_config(config, path);
+  const auto loaded = netlist::load_soc_config(path);
+  EXPECT_EQ(loaded.name, config.name);
+  EXPECT_EQ(loaded.rows, config.rows);
+  EXPECT_EQ(loaded.num_reconfigurable_partitions(),
+            config.num_reconfigurable_partitions());
+  for (std::size_t i = 0; i < config.tiles.size(); ++i) {
+    EXPECT_EQ(loaded.tiles[i].type, config.tiles[i].type);
+    EXPECT_EQ(loaded.tiles[i].accelerators, config.tiles[i].accelerators);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ConfigIoTest, MissingFileReported) {
+  EXPECT_THROW(netlist::load_soc_config("/nonexistent/dir/x.cfg"),
+               InvalidArgument);
+}
+
+TEST(ConfigIoTest, MalformedFileReported) {
+  const std::string path = ::testing::TempDir() + "/bad.esp_config";
+  std::ofstream(path) << "[soc\nrows=2\n";
+  EXPECT_THROW(netlist::load_soc_config(path), ConfigError);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------ visualization
+
+TEST(VisualizeTest, RendersGridWithPblockLetters) {
+  const auto device = fabric::Device::vc707();
+  const std::vector<fabric::Pblock> pblocks{{5, 30, 0, 1}, {40, 70, 2, 2}};
+  const std::string art = floorplan::visualize(
+      device, pblocks, {"RT_1", "RT_2"});
+  EXPECT_NE(art.find('A'), std::string::npos);
+  EXPECT_NE(art.find('B'), std::string::npos);
+  EXPECT_NE(art.find("A=RT_1"), std::string::npos);
+  // One line per clock-region row plus the legend.
+  EXPECT_EQ(static_cast<int>(std::count(art.begin(), art.end(), '\n')),
+            device.region_rows() + 1);
+}
+
+TEST(VisualizeTest, ColumnTypesVisibleWithoutPblocks) {
+  const auto device = fabric::Device::vc707();
+  floorplan::VisualizeOptions opt;
+  opt.cols_per_char = 1;
+  const std::string art = floorplan::visualize(device, {}, {}, opt);
+  EXPECT_NE(art.find('b'), std::string::npos);  // BRAM columns
+  EXPECT_NE(art.find('d'), std::string::npos);  // DSP columns
+  EXPECT_NE(art.find('|'), std::string::npos);  // clocking spine
+  EXPECT_NE(art.find('i'), std::string::npos);  // I/O
+}
+
+TEST(VisualizeTest, RejectsBadOptions) {
+  const auto device = fabric::Device::vc707();
+  floorplan::VisualizeOptions opt;
+  opt.cols_per_char = 0;
+  EXPECT_THROW(floorplan::visualize(device, {}, {}, opt), InvalidArgument);
+  EXPECT_THROW(floorplan::visualize(device,
+                                    std::vector<fabric::Pblock>(27)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace presp

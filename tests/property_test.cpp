@@ -1,0 +1,235 @@
+// Cross-module property sweeps: invariants that must hold over parameter
+// grids rather than single examples.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bitstream/bitstream.hpp"
+#include "core/runtime_model.hpp"
+#include "hls/estimator.hpp"
+#include "pnr/engine.hpp"
+#include "util/rng.hpp"
+#include "wami/accelerators.hpp"
+
+namespace presp {
+namespace {
+
+// ------------------------------------------------ HLS estimator sweeps
+
+class HlsKernelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HlsKernelSweep, WamiKernelsEstimateSanely) {
+  const int k = GetParam();
+  const auto spec = wami::wami_kernel_spec(k);
+  const auto kernel = hls::estimate(spec);
+  EXPECT_GT(kernel.resources.luts, 500) << spec.name;
+  EXPECT_LT(kernel.resources.luts, 60'000) << spec.name;
+  EXPECT_GE(kernel.resources.dsp, 0);
+  EXPECT_GT(kernel.latency.compute_cycles(1'000), 0);
+
+  // Resources are monotone in the unroll factor.
+  auto wider = spec;
+  wider.num_pes += 4;
+  EXPECT_GT(hls::estimate(wider).resources.luts, kernel.resources.luts);
+
+  // Throughput never decreases with more PEs (same cycles or fewer).
+  EXPECT_LE(hls::estimate(wider).latency.compute_cycles(100'000),
+            kernel.latency.compute_cycles(100'000) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, HlsKernelSweep, ::testing::Range(1, 13),
+                         [](const auto& info) {
+                           return wami::kernel_name(info.param);
+                         });
+
+// ------------------------------------------------- runtime model laws
+
+class ModelMonotonicity
+    : public ::testing::TestWithParam<std::tuple<long long, long long>> {};
+
+TEST_P(ModelMonotonicity, CostsIncreaseWithSize) {
+  const auto [static_luts, module_luts] = GetParam();
+  const auto device = fabric::Device::vc707();
+  const core::RuntimeModel model(device);
+  const long long region = 280'000;
+
+  // Larger modules cost more in every mode.
+  EXPECT_LT(model.serial_marginal(module_luts),
+            model.serial_marginal(module_luts + 5'000));
+  EXPECT_LT(model.in_context_module(module_luts, static_luts),
+            model.in_context_module(module_luts + 5'000, static_luts));
+  // A bigger static part makes in-context runs slower (congestion).
+  EXPECT_LT(model.in_context_module(module_luts, static_luts),
+            model.in_context_module(module_luts, static_luts + 40'000));
+  // Synthesis is monotone too.
+  EXPECT_LT(model.synthesis(module_luts), model.synthesis(module_luts * 2));
+  // The standard flow's joint run is cheaper than composed serial but
+  // still positive.
+  const std::vector<long long> mods{module_luts, module_luts / 2};
+  EXPECT_GT(model.predict_standard(static_luts, region, mods), 0.0);
+  EXPECT_LT(model.predict_standard(static_luts, region, mods),
+            model.predict_serial(static_luts, region, mods));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ModelMonotonicity,
+    ::testing::Combine(::testing::Values(40'000LL, 80'000LL, 120'000LL),
+                       ::testing::Values(5'000LL, 20'000LL, 35'000LL)));
+
+// --------------------------------------------- placer capacity sweeps
+
+class PlacerCapacitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlacerCapacitySweep, PlacementLegalAcrossDesignSizes) {
+  const int cells = GetParam();
+  const auto device = fabric::Device::vc707();
+  netlist::Netlist nl("sweep");
+  presp::Rng rng(static_cast<std::uint64_t>(cells));
+  for (int i = 0; i < cells; ++i)
+    nl.add_cell({"c" + std::to_string(i),
+                 netlist::CellKind::kLogic,
+                 {static_cast<std::int64_t>(100 + rng.next_below(150)),
+                  200, 0, 0},
+                 ""});
+  for (int i = 0; i + 1 < cells; ++i)
+    nl.add_net({"n" + std::to_string(i), static_cast<netlist::CellId>(i),
+                {static_cast<netlist::CellId>(i + 1)}, 32});
+  pnr::PlacerOptions opt;
+  opt.temperature_steps = 6;
+  opt.moves_per_cell = 2;
+  const auto result = pnr::Placer(device, opt).place(nl, {});
+  EXPECT_EQ(result.overflow, 0.0) << cells << " cells";
+  // Every cell placed on a reconfigurable (logic-capable) column.
+  for (netlist::CellId c = 0; c < nl.num_cells(); ++c) {
+    const auto& loc = result.placement.at(c);
+    EXPECT_TRUE(loc.valid());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PlacerCapacitySweep,
+                         ::testing::Values(20, 80, 200, 500));
+
+// ---------------------------------------------- router capacity sweeps
+
+TEST(RouterPropertyTest, OverflowReportedWhenCapacityTiny) {
+  // Squeeze wide nets through a 1-row corridor with tiny edge capacity:
+  // the router must terminate and report overflow rather than loop.
+  const auto device = fabric::Device::vc707();
+  netlist::Netlist nl("tight");
+  for (int i = 0; i < 8; ++i)
+    nl.add_cell({"c" + std::to_string(i),
+                 netlist::CellKind::kLogic,
+                 {100, 100, 0, 0},
+                 ""});
+  for (int i = 0; i < 4; ++i)
+    nl.add_net({"n" + std::to_string(i), static_cast<netlist::CellId>(i),
+                {static_cast<netlist::CellId>(i + 4)}, 200});
+  pnr::PlacementConstraints constraints;
+  constraints.region = fabric::Pblock{2, 40, 0, 0};  // single row
+  pnr::PlacerOptions popt;
+  popt.temperature_steps = 4;
+  const auto placed = pnr::Placer(device, popt).place(nl, constraints);
+  pnr::RoutingState state(device, /*h_capacity=*/64, /*v_capacity=*/64);
+  const auto result = pnr::Router(device).route(nl, placed.placement, state);
+  EXPECT_FALSE(result.success);
+  EXPECT_GT(result.overflow, 0);
+  EXPECT_LE(result.iterations, 3);
+}
+
+TEST(RouterPropertyTest, SharedStateAccumulatesAcrossNetlists) {
+  const auto device = fabric::Device::vc707();
+  const auto make = [&](const std::string& name) {
+    netlist::Netlist nl(name);
+    nl.add_cell({"a", netlist::CellKind::kLogic, {100, 0, 0, 0}, ""});
+    nl.add_cell({"b", netlist::CellKind::kLogic, {100, 0, 0, 0}, ""});
+    nl.add_net({"n", 0, {1}, 64});
+    return nl;
+  };
+  const auto nl1 = make("one");
+  const auto nl2 = make("two");
+  pnr::Placement placement;
+  placement.locations = {{10, 2}, {40, 2}};
+  pnr::RoutingState state(device);
+  pnr::Router router(device);
+  router.route(nl1, placement, state);
+  const long long usage_one = state.total_usage();
+  router.route(nl2, placement, state);
+  EXPECT_EQ(state.total_usage(), 2 * usage_one);
+}
+
+// ----------------------------------------- bitstream size monotonicity
+
+class BitstreamFillSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BitstreamFillSweep, CompressedSizeMonotoneInFill) {
+  const double fill = GetParam();
+  const auto device = fabric::Device::vc707();
+  const bitstream::BitstreamGenerator gen(device);
+  const fabric::Pblock pblock{3, 60, 1, 2};
+
+  auto build = [&](double f) {
+    netlist::Netlist nl("fill");
+    pnr::Placement placement;
+    for (int col = pblock.col_lo; col <= pblock.col_hi; ++col)
+      for (int row = pblock.row_lo; row <= pblock.row_hi; ++row) {
+        const auto cap = device.cell_resources(col).luts;
+        const auto luts = static_cast<std::int64_t>(f * cap);
+        if (luts == 0) continue;
+        const auto id = nl.add_cell(
+            {"c" + std::to_string(col) + "_" + std::to_string(row),
+             netlist::CellKind::kLogic,
+             {luts, 0, 0, 0},
+             ""});
+        placement.locations.resize(id + 1);
+        placement.locations[id] = pnr::GridLoc{col, row};
+      }
+    return gen.partial("s", "m", pblock, nl, placement).compressed_bytes();
+  };
+
+  EXPECT_LE(build(fill), build(std::min(1.0, fill + 0.3)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fills, BitstreamFillSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7));
+
+// ------------------------------------- balanced grouping is a partition
+
+class GroupingSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GroupingSweep, GroupsPartitionModulesAndBalanceLoads) {
+  const auto [n_modules, tau] = GetParam();
+  presp::Rng rng(static_cast<std::uint64_t>(n_modules * 31 + tau));
+  std::vector<long long> mods;
+  for (int i = 0; i < n_modules; ++i)
+    mods.push_back(2'000 + static_cast<long long>(rng.next_below(38'000)));
+  const auto groups = core::balanced_groups(mods, tau);
+  ASSERT_EQ(groups.size(),
+            static_cast<std::size_t>(std::min(tau, n_modules)));
+  std::set<std::size_t> seen;
+  long long max_load = 0;
+  long long total = 0;
+  for (const auto& g : groups) {
+    long long load = 0;
+    for (const auto i : g) {
+      EXPECT_TRUE(seen.insert(i).second) << "duplicate module in groups";
+      load += mods[i];
+    }
+    max_load = std::max(max_load, load);
+    total += load;
+  }
+  EXPECT_EQ(seen.size(), mods.size());
+  // LPT guarantee: makespan <= (4/3 - 1/3m) * OPT <= 4/3 * (total/m + max).
+  const long long m = static_cast<long long>(groups.size());
+  const long long opt_lower =
+      std::max(total / m, *std::max_element(mods.begin(), mods.end()));
+  EXPECT_LE(max_load, opt_lower * 4 / 3 + opt_lower / 3 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GroupingSweep,
+    ::testing::Combine(::testing::Values(2, 5, 9, 16),
+                       ::testing::Values(2, 3, 4)));
+
+}  // namespace
+}  // namespace presp

@@ -1,0 +1,209 @@
+// Failure injection and recovery: CRC errors on the ICAP path, partition
+// blanking, and the DPR sequencing rules the architecture enforces.
+#include <gtest/gtest.h>
+
+#include "runtime/api.hpp"
+#include "util/error.hpp"
+
+namespace presp::runtime {
+namespace {
+
+const char* kSocText = R"(
+[soc]
+name = resilience
+device = vc707
+rows = 2
+cols = 2
+
+[tiles]
+r0c0 = cpu
+r0c1 = mem
+r1c0 = aux
+r1c1 = reconf:acc_a,acc_b
+)";
+
+soc::AcceleratorRegistry test_registry() {
+  soc::AcceleratorRegistry registry;
+  for (const char* name : {"acc_a", "acc_b"}) {
+    soc::AcceleratorSpec spec;
+    spec.name = name;
+    spec.luts = 12'000;
+    spec.latency.items_per_beat = 1;
+    spec.latency.ii = 2;
+    spec.latency.startup_cycles = 30;
+    spec.latency.words_in_per_item = 1.0;
+    spec.latency.words_out_per_item = 0.5;
+    registry.add(spec);
+  }
+  return registry;
+}
+
+class ResilienceFixture : public ::testing::Test {
+ protected:
+  ResilienceFixture()
+      : registry_(test_registry()),
+        soc_(netlist::SocConfig::parse(kSocText), registry_),
+        store_(soc_.memory()),
+        manager_(soc_, store_) {
+    image_a_ = &store_.add(3, "acc_a", 140'000);
+    store_.add(3, "acc_b", 150'000);
+    store_.add_blank(3, 120'000);
+    buf_ = soc_.memory().allocate("buf", 1 << 16);
+  }
+
+  soc::AccelTask task() const {
+    soc::AccelTask t;
+    t.src = buf_;
+    t.dst = buf_ + 32'768;
+    t.items = 200;
+    return t;
+  }
+
+  soc::AcceleratorRegistry registry_;
+  soc::Soc soc_;
+  BitstreamStore store_;
+  ReconfigurationManager manager_;
+  const BitstreamImage* image_a_ = nullptr;
+  std::uint64_t buf_ = 0;
+};
+
+TEST_F(ResilienceFixture, CrcErrorIsRetriedTransparently) {
+  soc_.memory().corrupt_blob(image_a_->address);
+  sim::SimEvent done(soc_.kernel());
+  manager_.run(3, "acc_a", task(), done);
+  soc_.kernel().run();
+  EXPECT_TRUE(done.triggered());
+  EXPECT_EQ(manager_.stats().crc_retries, 1u);
+  EXPECT_EQ(soc_.aux().crc_errors(), 1u);
+  // The retry succeeded: exactly one effective reconfiguration.
+  EXPECT_EQ(soc_.aux().reconfigurations(), 1u);
+  EXPECT_EQ(soc_.reconf_tile(3).module(), "acc_a");
+  EXPECT_EQ(manager_.stats().runs, 1u);
+}
+
+TEST_F(ResilienceFixture, CrcErrorLeavesPartitionUntouched) {
+  // Direct DFXC interaction: a corrupted transfer must not swap the
+  // module or mark the controller done.
+  soc_.memory().corrupt_blob(image_a_->address);
+  std::uint64_t irq = 0;
+  auto proc = [&]() -> sim::Process {
+    auto& cpu = soc_.cpu();
+    co_await cpu.write_reg(3, soc::kRegDecouple, 1);
+    co_await cpu.write_reg(2, soc::kRegDfxcBsAddr, image_a_->address);
+    co_await cpu.write_reg(2, soc::kRegDfxcBsBytes, image_a_->bytes);
+    co_await cpu.write_reg(2, soc::kRegDfxcTarget, 3);
+    co_await cpu.write_reg(2, soc::kRegDfxcTrigger, 1);
+    irq = co_await cpu.irq_from(2).receive();
+  };
+  proc();
+  soc_.kernel().run();
+  EXPECT_EQ(irq & 0xFF, soc::kIrqReconfError);
+  EXPECT_TRUE(soc_.reconf_tile(3).module().empty());
+  EXPECT_EQ(soc_.aux().reconfigurations(), 0u);
+  // DFXC reports the error state until re-triggered.
+  std::uint64_t status = 0;
+  auto read_status = [&]() -> sim::Process {
+    status = co_await soc_.cpu().read_reg(2, soc::kRegDfxcStatus);
+  };
+  read_status();
+  soc_.kernel().run();
+  EXPECT_EQ(status, 2u);
+}
+
+TEST_F(ResilienceFixture, PersistentCorruptionExhaustsRetries) {
+  // Re-corrupt on every fetch by interposing: corrupt, run, corrupt again
+  // from a parallel process each time the DFXC reports an error.
+  soc_.memory().corrupt_blob(image_a_->address);
+  auto saboteur = [&]() -> sim::Process {
+    // Each time the blob's corruption is consumed, re-arm it (a stuck
+    // upstream corruption source).
+    while (true) {
+      co_await sim::Delay(soc_.kernel(), 500);
+      soc_.memory().corrupt_blob(image_a_->address);
+    }
+  };
+  saboteur();
+  sim::SimEvent done(soc_.kernel());
+  manager_.run(3, "acc_a", task(), done);
+  EXPECT_THROW(soc_.kernel().run_until(50'000'000), Error);
+  EXPECT_FALSE(done.triggered());
+  EXPECT_GE(manager_.stats().crc_retries, 2u);
+}
+
+TEST_F(ResilienceFixture, ClearPartitionBlanksAndUnloadsDriver) {
+  sim::SimEvent loaded(soc_.kernel());
+  manager_.run(3, "acc_a", task(), loaded);
+  soc_.kernel().run();
+  ASSERT_EQ(soc_.reconf_tile(3).module(), "acc_a");
+  ASSERT_EQ(manager_.driver(3), "acc_a");
+
+  sim::SimEvent cleared(soc_.kernel());
+  manager_.clear_partition(3, cleared);
+  soc_.kernel().run();
+  EXPECT_TRUE(cleared.triggered());
+  EXPECT_TRUE(soc_.reconf_tile(3).module().empty());
+  EXPECT_TRUE(manager_.driver(3).empty());
+
+  // Starting the accelerator on a blanked partition is rejected by the
+  // wrapper.
+  const auto rejected0 = soc_.reconf_tile(3).rejected_commands();
+  auto poke = [&]() -> sim::Process {
+    co_await soc_.cpu().write_reg(3, soc::kRegCmd, 1);
+  };
+  poke();
+  soc_.kernel().run();
+  EXPECT_EQ(soc_.reconf_tile(3).rejected_commands(), rejected0 + 1);
+}
+
+TEST_F(ResilienceFixture, ClearPartitionOnEmptyTileIsIdempotent) {
+  sim::SimEvent cleared(soc_.kernel());
+  manager_.clear_partition(3, cleared);
+  soc_.kernel().run();
+  EXPECT_TRUE(cleared.triggered());
+  EXPECT_EQ(soc_.aux().reconfigurations(), 0u);  // nothing to do
+}
+
+TEST_F(ResilienceFixture, BlankedPartitionDropsConfiguredPower) {
+  sim::SimEvent loaded(soc_.kernel());
+  manager_.run(3, "acc_a", task(), loaded);
+  soc_.kernel().run();
+  const double conf_before = soc_.energy().breakdown().configured;
+
+  sim::SimEvent cleared(soc_.kernel());
+  manager_.clear_partition(3, cleared);
+  soc_.kernel().run();
+
+  // Idle for a while: configured energy must stay flat once blanked.
+  const double conf_at_clear = soc_.energy().breakdown().configured;
+  auto idle = [&]() -> sim::Process {
+    co_await sim::Delay(soc_.kernel(), 10'000'000);
+  };
+  idle();
+  soc_.kernel().run();
+  const double conf_after = soc_.energy().breakdown().configured;
+  EXPECT_GT(conf_at_clear, 0.0);
+  EXPECT_GT(conf_before, 0.0);
+  EXPECT_NEAR(conf_after, conf_at_clear, 1e-9);
+}
+
+TEST_F(ResilienceFixture, DfxcBusyIgnoresSecondTrigger) {
+  // Trigger a long reconfiguration, then trigger again while busy: the
+  // second trigger must be ignored (DFXC_STATUS == 1).
+  auto proc = [&]() -> sim::Process {
+    auto& cpu = soc_.cpu();
+    co_await cpu.write_reg(3, soc::kRegDecouple, 1);
+    co_await cpu.write_reg(2, soc::kRegDfxcBsAddr, image_a_->address);
+    co_await cpu.write_reg(2, soc::kRegDfxcBsBytes, image_a_->bytes);
+    co_await cpu.write_reg(2, soc::kRegDfxcTarget, 3);
+    co_await cpu.write_reg(2, soc::kRegDfxcTrigger, 1);
+    co_await cpu.write_reg(2, soc::kRegDfxcTrigger, 1);  // while busy
+    (void)co_await cpu.irq_from(2).receive();
+    co_await cpu.write_reg(3, soc::kRegDecouple, 0);
+  };
+  proc();
+  soc_.kernel().run();
+  EXPECT_EQ(soc_.aux().reconfigurations(), 1u);
+}
+
+}  // namespace
+}  // namespace presp::runtime

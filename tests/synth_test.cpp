@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hls/library.hpp"
+#include "netlist/rtl.hpp"
+#include "synth/synthesis.hpp"
+
+namespace presp::synth {
+namespace {
+
+const char* kSocText = R"(
+[soc]
+name = soc_t
+device = vc707
+rows = 3
+cols = 3
+
+[tiles]
+r0c0 = cpu
+r0c1 = mem
+r0c2 = aux
+r1c0 = reconf:conv2d,gemm
+r1c1 = reconf:fft
+r1c2 = reconf:sort
+r2c0 = reconf:mac
+r2c1 = empty
+r2c2 = slm
+)";
+
+class SynthFixture : public ::testing::Test {
+ protected:
+  SynthFixture()
+      : lib_(netlist::ComponentLibrary::with_builtins()),
+        rtl_(make_rtl()),
+        synth_(lib_, SynthOptions{}) {}
+
+  netlist::SocRtl make_rtl() {
+    hls::register_characterization_kernels(lib_);
+    return netlist::elaborate(netlist::SocConfig::parse(kSocText), lib_);
+  }
+
+  netlist::ComponentLibrary lib_;
+  netlist::SocRtl rtl_;
+  Synthesizer synth_;
+};
+
+TEST_F(SynthFixture, StaticUtilizationMatchesElaboration) {
+  const Checkpoint ckpt = synth_.synthesize_static(rtl_);
+  EXPECT_EQ(ckpt.utilization.luts, rtl_.static_resources(lib_).luts);
+  EXPECT_FALSE(ckpt.out_of_context);
+}
+
+TEST_F(SynthFixture, StaticNetlistHasOneBlackBoxPerPartition) {
+  const Checkpoint ckpt = synth_.synthesize_static(rtl_);
+  const auto boxes =
+      ckpt.netlist.cells_of_kind(netlist::CellKind::kBlackBox);
+  ASSERT_EQ(boxes.size(), 4u);
+  std::vector<std::string> partitions;
+  for (const auto id : boxes)
+    partitions.push_back(ckpt.netlist.cell(id).partition);
+  std::sort(partitions.begin(), partitions.end());
+  EXPECT_EQ(partitions,
+            (std::vector<std::string>{"RT_1", "RT_2", "RT_3", "RT_4"}));
+}
+
+TEST_F(SynthFixture, ClusterGranularityBoundsCellSizes) {
+  SynthOptions opt;
+  opt.cluster_luts = 150;
+  const Synthesizer synth(lib_, opt);
+  const Checkpoint ckpt = synth.synthesize_static(rtl_);
+  for (const auto& cell : ckpt.netlist.cells()) {
+    if (cell.kind != netlist::CellKind::kLogic) continue;
+    EXPECT_LE(cell.resources.luts, opt.cluster_luts);
+  }
+}
+
+TEST_F(SynthFixture, DeterministicAcrossRuns) {
+  const Checkpoint a = synth_.synthesize_static(rtl_);
+  const Checkpoint b = synth_.synthesize_static(rtl_);
+  ASSERT_EQ(a.netlist.num_cells(), b.netlist.num_cells());
+  ASSERT_EQ(a.netlist.num_nets(), b.netlist.num_nets());
+  for (std::size_t i = 0; i < a.netlist.num_nets(); ++i) {
+    EXPECT_EQ(a.netlist.net(static_cast<netlist::NetId>(i)).driver,
+              b.netlist.net(static_cast<netlist::NetId>(i)).driver);
+  }
+}
+
+TEST_F(SynthFixture, OocCheckpointContainsModuleAndWrapper) {
+  const Checkpoint ckpt = synth_.synthesize_module_ooc("gemm");
+  EXPECT_TRUE(ckpt.out_of_context);
+  const auto wrapper =
+      lib_.get(netlist::ComponentLibrary::kReconfWrapper).resources;
+  EXPECT_EQ(ckpt.utilization.luts,
+            lib_.get("gemm").resources.luts + wrapper.luts);
+  // One port anchor for the partition pins.
+  EXPECT_EQ(ckpt.netlist.cells_of_kind(netlist::CellKind::kPort).size(), 1u);
+}
+
+TEST_F(SynthFixture, MonolithicInstantiatesLargestMember) {
+  const Checkpoint mono = synth_.synthesize_monolithic(rtl_);
+  EXPECT_TRUE(
+      mono.netlist.cells_of_kind(netlist::CellKind::kBlackBox).empty());
+  // Monolithic utilization = static + representative member (largest) of
+  // each partition, with wrappers.
+  const auto expected =
+      rtl_.static_resources(lib_) + rtl_.total_reconfigurable(lib_);
+  // total_reconfigurable() is the component-wise max per partition summed;
+  // the monolithic netlist instantiates the LUT-largest member, so LUTs
+  // match exactly.
+  EXPECT_EQ(mono.utilization.luts, expected.luts);
+}
+
+TEST_F(SynthFixture, StaticNetlistIsConnected) {
+  // Every logic cell should touch at least one net: the P&R stage relies
+  // on connectivity to optimize placement.
+  const Checkpoint ckpt = synth_.synthesize_static(rtl_);
+  std::vector<bool> touched(ckpt.netlist.num_cells(), false);
+  for (const auto& net : ckpt.netlist.nets()) {
+    touched[net.driver] = true;
+    for (const auto sink : net.sinks) touched[sink] = true;
+  }
+  std::size_t untouched = 0;
+  for (std::size_t i = 0; i < touched.size(); ++i)
+    if (!touched[i]) ++untouched;
+  // Allow a tiny number of isolated cells (single-cluster corner blocks).
+  EXPECT_LE(untouched, ckpt.netlist.num_cells() / 100);
+}
+
+TEST_F(SynthFixture, PortsAnchorMemAndAuxTiles) {
+  const Checkpoint ckpt = synth_.synthesize_static(rtl_);
+  EXPECT_EQ(ckpt.netlist.cells_of_kind(netlist::CellKind::kPort).size(), 2u);
+}
+
+}  // namespace
+}  // namespace presp::synth

@@ -1,0 +1,221 @@
+// Tests for the independent placement verifier and the readback
+// verification path.
+#include <gtest/gtest.h>
+
+#include "pnr/verify.hpp"
+#include "runtime/api.hpp"
+
+namespace presp {
+namespace {
+
+// ---------------------------------------------------- placement verify
+
+netlist::Netlist two_cell_netlist() {
+  netlist::Netlist nl("v");
+  nl.add_cell({"a", netlist::CellKind::kLogic, {100, 0, 0, 0}, ""});
+  nl.add_cell({"b", netlist::CellKind::kLogic, {100, 0, 0, 0}, ""});
+  nl.add_net({"n", 0, {1}, 8});
+  return nl;
+}
+
+int first_clb_column(const fabric::Device& device) {
+  for (int c = 0; c < device.num_columns(); ++c)
+    if (device.column_type(c) == fabric::ColumnType::kClb) return c;
+  return -1;
+}
+
+TEST(PlacementVerifyTest, AcceptsLegalPlacement) {
+  const auto device = fabric::Device::vc707();
+  const auto nl = two_cell_netlist();
+  const int clb = first_clb_column(device);
+  pnr::Placement placement;
+  placement.locations = {{clb, 0}, {clb, 1}};
+  EXPECT_TRUE(pnr::placement_legal(device, nl, placement));
+}
+
+TEST(PlacementVerifyTest, FlagsUnplacedAndOutOfBounds) {
+  const auto device = fabric::Device::vc707();
+  const auto nl = two_cell_netlist();
+  pnr::Placement placement;
+  placement.locations = {{-1, -1}, {device.num_columns() + 3, 0}};
+  const auto violations = pnr::verify_placement(device, nl, placement);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].kind, pnr::Violation::Kind::kUnplacedCell);
+  EXPECT_EQ(violations[1].kind, pnr::Violation::Kind::kOutOfBounds);
+}
+
+TEST(PlacementVerifyTest, FlagsClockSpineAndCapacity) {
+  const auto device = fabric::Device::vc707();
+  int clock_col = -1;
+  for (int c = 0; c < device.num_columns(); ++c)
+    if (device.column_type(c) == fabric::ColumnType::kClock) clock_col = c;
+  netlist::Netlist nl("v");
+  nl.add_cell({"spine", netlist::CellKind::kLogic, {50, 0, 0, 0}, ""});
+  nl.add_cell({"fat", netlist::CellKind::kLogic, {500, 0, 0, 0}, ""});
+  const int clb = first_clb_column(device);
+  pnr::Placement placement;
+  placement.locations = {{clock_col, 0}, {clb, 0}};
+  const auto violations = pnr::verify_placement(device, nl, placement);
+  bool spine = false;
+  bool capacity = false;
+  for (const auto& v : violations) {
+    spine |= v.kind == pnr::Violation::Kind::kIllegalColumn;
+    capacity |= v.kind == pnr::Violation::Kind::kCapacityOverflow;
+  }
+  EXPECT_TRUE(spine);
+  EXPECT_TRUE(capacity);  // 500 LUTs in a 400-LUT cell
+}
+
+TEST(PlacementVerifyTest, RegionAndKeepoutRules) {
+  const auto device = fabric::Device::vc707();
+  const auto nl = two_cell_netlist();
+  const int clb = first_clb_column(device);
+  pnr::Placement placement;
+  placement.locations = {{clb, 0}, {clb, 1}};
+  pnr::PlacementConstraints constraints;
+  constraints.region = fabric::Pblock{clb, clb, 0, 0};  // row 1 is outside
+  auto violations =
+      pnr::verify_placement(device, nl, placement, constraints);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, pnr::Violation::Kind::kOutsideRegion);
+  EXPECT_EQ(violations[0].cell, 1u);
+
+  pnr::PlacementConstraints keepouts;
+  keepouts.keepouts.push_back(fabric::Pblock{clb, clb, 1, 1});
+  violations = pnr::verify_placement(device, nl, placement, keepouts);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, pnr::Violation::Kind::kInsideKeepout);
+}
+
+TEST(PlacementVerifyTest, FixedCellsExemptFromConstraints) {
+  const auto device = fabric::Device::vc707();
+  const auto nl = two_cell_netlist();
+  const int clb = first_clb_column(device);
+  pnr::Placement placement;
+  placement.locations = {{clb, 1}, {clb, 0}};
+  pnr::PlacementConstraints constraints;
+  constraints.region = fabric::Pblock{clb, clb, 0, 0};
+  constraints.fixed.emplace_back(0, pnr::GridLoc{clb, 1});
+  const auto violations =
+      pnr::verify_placement(device, nl, placement, constraints);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(PlacementVerifyTest, PlacerOutputAlwaysVerifies) {
+  // The optimizer's results must satisfy the independent checker.
+  const auto device = fabric::Device::vc707();
+  netlist::Netlist nl("big");
+  for (int i = 0; i < 150; ++i)
+    nl.add_cell({"c" + std::to_string(i),
+                 netlist::CellKind::kLogic,
+                 {180, 100, 0, 0},
+                 ""});
+  for (int i = 0; i + 1 < 150; ++i)
+    nl.add_net({"n" + std::to_string(i), static_cast<netlist::CellId>(i),
+                {static_cast<netlist::CellId>(i + 1)}, 16});
+  pnr::PlacementConstraints constraints;
+  constraints.keepouts.push_back(fabric::Pblock{20, 60, 0, 3});
+  pnr::PlacerOptions opt;
+  opt.temperature_steps = 8;
+  const auto result = pnr::Placer(device, opt).place(nl, constraints);
+  const auto violations =
+      pnr::verify_placement(device, nl, result.placement, constraints);
+  for (const auto& v : violations)
+    ADD_FAILURE() << to_string(v.kind) << ": " << v.detail;
+}
+
+// -------------------------------------------------- readback verify
+
+const char* kSocText = R"(
+[soc]
+name = readback
+device = vc707
+rows = 2
+cols = 2
+
+[tiles]
+r0c0 = cpu
+r0c1 = mem
+r1c0 = aux
+r1c1 = reconf:acc_a,acc_b
+)";
+
+soc::AcceleratorRegistry registry() {
+  soc::AcceleratorRegistry r;
+  for (const char* name : {"acc_a", "acc_b"}) {
+    soc::AcceleratorSpec spec;
+    spec.name = name;
+    spec.luts = 9'000;
+    spec.latency.items_per_beat = 1;
+    spec.latency.ii = 2;
+    r.add(spec);
+  }
+  return r;
+}
+
+TEST(ReadbackTest, VerifyPassesForResidentModule) {
+  auto reg = registry();
+  soc::Soc soc(netlist::SocConfig::parse(kSocText), reg);
+  runtime::BitstreamStore store(soc.memory());
+  runtime::ReconfigurationManager manager(soc, store);
+  store.add(3, "acc_a", 120'000);
+  store.add(3, "acc_b", 120'000);
+
+  sim::SimEvent loaded(soc.kernel());
+  manager.ensure_module(3, "acc_a", loaded);
+  soc.kernel().run();
+
+  bool ok = false;
+  sim::SimEvent done(soc.kernel());
+  manager.verify_partition(3, "acc_a", &ok, done);
+  soc.kernel().run();
+  EXPECT_TRUE(done.triggered());
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(manager.stats().readbacks, 1u);
+}
+
+TEST(ReadbackTest, VerifyFailsForMismatchedImage) {
+  auto reg = registry();
+  soc::Soc soc(netlist::SocConfig::parse(kSocText), reg);
+  runtime::BitstreamStore store(soc.memory());
+  runtime::ReconfigurationManager manager(soc, store);
+  store.add(3, "acc_a", 120'000);
+  store.add(3, "acc_b", 120'000);
+
+  sim::SimEvent loaded(soc.kernel());
+  manager.ensure_module(3, "acc_a", loaded);
+  soc.kernel().run();
+
+  // Verify against acc_b's golden image: the fabric holds acc_a.
+  bool ok = true;
+  sim::SimEvent done(soc.kernel());
+  manager.verify_partition(3, "acc_b", &ok, done);
+  soc.kernel().run();
+  EXPECT_TRUE(done.triggered());
+  EXPECT_FALSE(ok);
+}
+
+TEST(ReadbackTest, ReadbackTakesIcapTime) {
+  auto reg = registry();
+  soc::Soc soc(netlist::SocConfig::parse(kSocText), reg);
+  runtime::BitstreamStore store(soc.memory());
+  runtime::ReconfigurationManager manager(soc, store);
+  store.add(3, "acc_a", 800'000);
+
+  sim::SimEvent loaded(soc.kernel());
+  manager.ensure_module(3, "acc_a", loaded);
+  soc.kernel().run();
+  const auto t0 = soc.kernel().now();
+
+  bool ok = false;
+  sim::SimEvent done(soc.kernel());
+  manager.verify_partition(3, "acc_a", &ok, done);
+  soc.kernel().run();
+  EXPECT_TRUE(ok);
+  const auto icap_cycles = static_cast<sim::Time>(
+      800'000.0 / soc.options().icap_bytes_per_cycle);
+  EXPECT_GE(soc.kernel().now() - t0, icap_cycles);
+}
+
+}  // namespace
+}  // namespace presp

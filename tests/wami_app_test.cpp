@@ -1,0 +1,141 @@
+// WamiApp behavioral tests beyond the integration suite: option handling,
+// timing-only mode, bitstream-size injection, workload scaling and
+// manager statistics plumbing.
+#include <gtest/gtest.h>
+
+#include "util/log.hpp"
+#include "wami/app.hpp"
+
+namespace presp::wami {
+namespace {
+
+class QuietEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { set_log_level(LogLevel::kWarn); }
+};
+const auto* const kEnv =
+    ::testing::AddGlobalTestEnvironment(new QuietEnv);  // NOLINT
+
+WamiAppOptions small() {
+  WamiAppOptions opt;
+  opt.frames = 2;
+  opt.workload = {64, 64};
+  return opt;
+}
+
+TEST(WamiAppTest, TimingOnlyModeSkipsFunctionalWork) {
+  auto opt = small();
+  opt.functional = false;
+  opt.verify = false;
+  WamiApp app('Y', opt);
+  const auto result = app.run();
+  EXPECT_GT(result.seconds_per_frame, 0.0);
+  EXPECT_GT(result.reconfigurations, 0u);
+  // No functional outputs: parameters remain identity.
+  EXPECT_DOUBLE_EQ(result.params[4], 0.0);
+}
+
+TEST(WamiAppTest, TimingIndependentOfFunctionalMode) {
+  // The functional models execute at zero simulated cost, so enabling
+  // them must not change the clock.
+  auto opt = small();
+  opt.verify = false;
+  opt.functional = true;
+  const auto functional = [&] {
+    WamiApp app('X', opt);
+    return app.run();
+  }();
+  opt.functional = false;
+  const auto timing_only = [&] {
+    WamiApp app('X', opt);
+    return app.run();
+  }();
+  EXPECT_DOUBLE_EQ(functional.seconds_per_frame,
+                   timing_only.seconds_per_frame);
+}
+
+TEST(WamiAppTest, InjectedPbsSizesChangeReconfigurationTime) {
+  auto opt = small();
+  opt.verify = false;
+  const auto baseline = [&] {
+    WamiApp app('X', opt);
+    return app.run();
+  }();
+  opt.pbs_bytes.assign(12, 1'200'000);  // every image 1.2 MB
+  const auto heavy = [&] {
+    WamiApp app('X', opt);
+    return app.run();
+  }();
+  EXPECT_GT(heavy.icap_bytes, baseline.icap_bytes);
+  EXPECT_GT(heavy.seconds_per_frame, baseline.seconds_per_frame);
+}
+
+TEST(WamiAppTest, MoreLkIterationsCostMoreTimeAndReconfig) {
+  auto opt = small();
+  opt.verify = false;
+  opt.lk_iterations = 1;
+  const auto one = [&] {
+    WamiApp app('Z', opt);
+    return app.run();
+  }();
+  opt.lk_iterations = 3;
+  const auto three = [&] {
+    WamiApp app('Z', opt);
+    return app.run();
+  }();
+  EXPECT_GT(three.seconds_per_frame, one.seconds_per_frame);
+  EXPECT_GT(three.reconfigurations, one.reconfigurations);
+}
+
+TEST(WamiAppTest, LargerFramesScaleExecutionTime) {
+  auto opt = small();
+  opt.verify = false;
+  opt.functional = false;  // keep host time low
+  const auto small_frames = [&] {
+    WamiApp app('Y', opt);
+    return app.run();
+  }();
+  opt.workload = {128, 128};
+  const auto big_frames = [&] {
+    WamiApp app('Y', opt);
+    return app.run();
+  }();
+  EXPECT_GT(big_frames.seconds_per_frame,
+            small_frames.seconds_per_frame * 1.5);
+}
+
+TEST(WamiAppTest, FrameStatsPerFrameAndAggregate) {
+  auto opt = small();
+  opt.frames = 3;
+  WamiApp app('Y', opt);
+  const auto result = app.run();
+  ASSERT_EQ(result.frames.size(), 3u);
+  for (const auto& frame : result.frames) {
+    EXPECT_GT(frame.seconds, 0.0);
+    EXPECT_GT(frame.joules, 0.0);
+    EXPECT_GT(frame.reconfigurations, 0);
+    EXPECT_TRUE(frame.verified);
+  }
+  EXPECT_GT(result.first_frame_seconds, 0.0);
+  EXPECT_GT(result.energy_breakdown.configured, 0.0);
+  EXPECT_GT(result.energy_breakdown.noc, 0.0);
+}
+
+TEST(WamiAppTest, ManagerStatsReachableThroughApp) {
+  auto opt = small();
+  WamiApp app('X', opt);
+  (void)app.run();
+  const auto& stats = app.manager().stats();
+  EXPECT_GT(stats.reconfigurations, 0u);
+  EXPECT_GT(stats.runs, 0u);
+  EXPECT_GE(stats.max_queue_depth, 1);
+}
+
+TEST(WamiAppTest, RejectsZeroFrames) {
+  auto opt = small();
+  opt.frames = 0;
+  EXPECT_THROW(WamiApp('Y', opt), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace presp::wami

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/rtl.hpp"
+#include "wami/accelerators.hpp"
+#include "wami/frame_generator.hpp"
+#include "wami/kernels.hpp"
+
+namespace presp::wami {
+namespace {
+
+// ------------------------------------------------------------- kernels
+
+TEST(KernelsTest, DebayerRecoversFlatField) {
+  // A uniform scene (modulo channel gains) must demosaic to near-uniform
+  // planes away from borders.
+  ImageU16 bayer(16, 16);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x) bayer.at(x, y) = 1000;
+  const RgbImage rgb = debayer(bayer);
+  for (int y = 2; y < 14; ++y)
+    for (int x = 2; x < 14; ++x) {
+      EXPECT_FLOAT_EQ(rgb.r.at(x, y), 1000.0f);
+      EXPECT_FLOAT_EQ(rgb.g.at(x, y), 1000.0f);
+      EXPECT_FLOAT_EQ(rgb.b.at(x, y), 1000.0f);
+    }
+}
+
+TEST(KernelsTest, GrayscaleUsesBt601Weights) {
+  RgbImage rgb{ImageF(4, 4, 100.0f), ImageF(4, 4, 200.0f),
+               ImageF(4, 4, 50.0f)};
+  const ImageF gray = grayscale(rgb);
+  EXPECT_NEAR(gray.at(1, 1), 0.299 * 100 + 0.587 * 200 + 0.114 * 50, 1e-3);
+}
+
+TEST(KernelsTest, GradientOfLinearRamp) {
+  ImageF img(8, 8);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      img.at(x, y) = 3.0f * static_cast<float>(x) +
+                     5.0f * static_cast<float>(y);
+  const Gradients g = gradient(img);
+  for (int y = 1; y < 7; ++y)
+    for (int x = 1; x < 7; ++x) {
+      EXPECT_FLOAT_EQ(g.ix.at(x, y), 3.0f);
+      EXPECT_FLOAT_EQ(g.iy.at(x, y), 5.0f);
+    }
+}
+
+TEST(KernelsTest, WarpIdentityIsNoOp) {
+  ImageF img(8, 8);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      img.at(x, y) = static_cast<float>(x * 10 + y);
+  const ImageF warped = warp_affine(img, AffineParams{});
+  EXPECT_EQ(warped, img);
+}
+
+TEST(KernelsTest, WarpPureTranslationShiftsContent) {
+  ImageF img(8, 8, 0.0f);
+  img.at(4, 4) = 100.0f;
+  AffineParams p{};
+  p[4] = 1.0;  // x' = x + 1: samples source at x+1
+  const ImageF warped = warp_affine(img, p);
+  EXPECT_FLOAT_EQ(warped.at(3, 4), 100.0f);
+  EXPECT_FLOAT_EQ(warped.at(4, 4), 0.0f);
+}
+
+TEST(KernelsTest, SubtractElementwise) {
+  ImageF a(4, 4, 5.0f);
+  ImageF b(4, 4, 2.0f);
+  const ImageF d = subtract(a, b);
+  EXPECT_FLOAT_EQ(d.at(2, 2), 3.0f);
+  ImageF c(3, 4, 0.0f);
+  EXPECT_THROW(subtract(a, c), InvalidArgument);
+}
+
+TEST(KernelsTest, SteepestDescentStructure) {
+  Gradients g{ImageF(4, 4, 2.0f), ImageF(4, 4, 3.0f)};
+  const SteepestDescent sd = steepest_descent(g);
+  EXPECT_FLOAT_EQ(sd[0].at(2, 1), 2.0f * 2);   // ix * x
+  EXPECT_FLOAT_EQ(sd[1].at(2, 1), 3.0f * 2);   // iy * x
+  EXPECT_FLOAT_EQ(sd[2].at(2, 1), 2.0f * 1);   // ix * y
+  EXPECT_FLOAT_EQ(sd[3].at(2, 1), 3.0f * 1);   // iy * y
+  EXPECT_FLOAT_EQ(sd[4].at(2, 1), 2.0f);       // ix
+  EXPECT_FLOAT_EQ(sd[5].at(2, 1), 3.0f);       // iy
+}
+
+TEST(KernelsTest, HessianIsSymmetricPsd) {
+  Rng rng(3);
+  Gradients g{ImageF(16, 16), ImageF(16, 16)};
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x) {
+      g.ix.at(x, y) = static_cast<float>(rng.next_gaussian());
+      g.iy.at(x, y) = static_cast<float>(rng.next_gaussian());
+    }
+  const Matrix6 h = hessian(steepest_descent(g));
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_GE(h[static_cast<std::size_t>(i * 6 + i)], 0.0);  // diagonal
+    for (int j = 0; j < 6; ++j)
+      EXPECT_DOUBLE_EQ(h[static_cast<std::size_t>(i * 6 + j)],
+                       h[static_cast<std::size_t>(j * 6 + i)]);
+  }
+}
+
+TEST(KernelsTest, Invert6RoundTrip) {
+  // A diagonally dominant matrix is well-conditioned.
+  Matrix6 m{};
+  Rng rng(5);
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 6; ++j)
+      m[static_cast<std::size_t>(i * 6 + j)] =
+          (i == j ? 10.0 : 0.0) + rng.next_double(-1.0, 1.0);
+  const Matrix6 inv = invert6(m);
+  // m * inv == I
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 6; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < 6; ++k)
+        acc += m[static_cast<std::size_t>(i * 6 + k)] *
+               inv[static_cast<std::size_t>(k * 6 + j)];
+      EXPECT_NEAR(acc, i == j ? 1.0 : 0.0, 1e-9);
+    }
+}
+
+TEST(KernelsTest, Invert6RejectsSingular) {
+  Matrix6 m{};  // all zeros
+  EXPECT_THROW(invert6(m), InvalidArgument);
+}
+
+TEST(KernelsTest, DeltaPMatchesManualSolve) {
+  Matrix6 identity{};
+  for (int i = 0; i < 6; ++i) identity[static_cast<std::size_t>(i * 7)] = 2.0;
+  const Vector6 b{2, 4, 6, 8, 10, 12};
+  const Vector6 dp = delta_p(identity, b);
+  for (int i = 0; i < 6; ++i)
+    EXPECT_DOUBLE_EQ(dp[static_cast<std::size_t>(i)],
+                     2.0 * b[static_cast<std::size_t>(i)]);
+}
+
+TEST(KernelsTest, LucasKanadeRecoversKnownTranslation) {
+  // Smooth synthetic scene shifted by a known sub-pixel translation.
+  FrameGenerator gen(SceneOptions{64, 64, 0.0, 0.0, 0, 6, 0.0, 0.0, 11});
+  const ImageF reference = grayscale(debayer(gen.next_frame()));
+  AffineParams truth{};
+  truth[4] = 1.4;
+  truth[5] = -0.8;
+  const ImageF moved = warp_affine(reference, truth);
+
+  // Estimate the warp that maps `reference` onto `moved`... LK refines p
+  // such that warp(frame, p) ~ reference, so the recovered p should
+  // approach the inverse translation.
+  AffineParams p{};
+  lucas_kanade(moved, reference, p, 12);
+  EXPECT_NEAR(p[4], truth[4], 0.1);
+  EXPECT_NEAR(p[5], truth[5], 0.1);
+}
+
+TEST(KernelsTest, LucasKanadeReducesResidual) {
+  FrameGenerator gen(SceneOptions{64, 64, 1.0, -0.5, 0, 6, 0.0, 0.0, 13});
+  const ImageF f0 = grayscale(debayer(gen.next_frame()));
+  const ImageF f1 = grayscale(debayer(gen.next_frame()));
+  AffineParams p{};
+  const double r1 = lucas_kanade_step(f0, f1, p);
+  double r_last = r1;
+  for (int i = 0; i < 6; ++i) r_last = lucas_kanade_step(f0, f1, p);
+  EXPECT_LT(r_last, r1 * 0.8);
+}
+
+TEST(KernelsTest, ChangeDetectionFlagsMoversNotBackground) {
+  GmmState state(32, 32);
+  ImageF background(32, 32, 500.0f);
+  // Train on the static background.
+  for (int i = 0; i < 20; ++i) change_detection(background, state);
+  // A bright object appears.
+  ImageF with_object = background;
+  for (int y = 10; y < 14; ++y)
+    for (int x = 10; x < 14; ++x) with_object.at(x, y) = 2'000.0f;
+  const ImageU16 mask = change_detection(with_object, state);
+  EXPECT_EQ(mask.at(12, 12), 1);
+  EXPECT_EQ(mask.at(2, 2), 0);
+  EXPECT_EQ(mask.at(30, 30), 0);
+}
+
+TEST(KernelsTest, ChangeDetectionAdaptsToNewBackground) {
+  GmmState state(8, 8);
+  ImageF a(8, 8, 300.0f);
+  ImageF b(8, 8, 1'500.0f);
+  for (int i = 0; i < 20; ++i) change_detection(a, state);
+  EXPECT_EQ(change_detection(b, state).at(4, 4), 1);  // sudden change
+  for (int i = 0; i < 60; ++i) change_detection(b, state);
+  EXPECT_EQ(change_detection(b, state).at(4, 4), 0);  // absorbed
+}
+
+// ----------------------------------------------------- frame generator
+
+TEST(FrameGeneratorTest, DeterministicForSeed) {
+  SceneOptions opt;
+  opt.seed = 21;
+  FrameGenerator a(opt);
+  FrameGenerator b(opt);
+  EXPECT_EQ(a.next_frame(), b.next_frame());
+  EXPECT_EQ(a.next_frame(), b.next_frame());
+}
+
+TEST(FrameGeneratorTest, CameraDriftAccumulates) {
+  SceneOptions opt;
+  opt.drift_x = 2.0;
+  opt.drift_y = -1.0;
+  FrameGenerator gen(opt);
+  gen.next_frame();
+  EXPECT_DOUBLE_EQ(gen.camera_x(), 0.0);
+  gen.next_frame();
+  gen.next_frame();
+  EXPECT_DOUBLE_EQ(gen.camera_x(), 4.0);
+  EXPECT_DOUBLE_EQ(gen.camera_y(), -2.0);
+}
+
+TEST(FrameGeneratorTest, PixelsWithinSensorRange) {
+  FrameGenerator gen(SceneOptions{});
+  const ImageU16 frame = gen.next_frame();
+  for (const auto v : frame.pixels()) EXPECT_LE(v, 4095);
+}
+
+TEST(FrameGeneratorTest, ObjectsMove) {
+  SceneOptions opt;
+  opt.num_objects = 2;
+  opt.object_speed = 3.0;
+  FrameGenerator gen(opt);
+  gen.next_frame();
+  const auto p0 = gen.object_positions();
+  gen.next_frame();
+  const auto p1 = gen.object_positions();
+  ASSERT_EQ(p0.size(), 2u);
+  const double moved = std::abs(p1[0].first - p0[0].first) +
+                       std::abs(p1[0].second - p0[0].second);
+  EXPECT_GT(moved, 1.0);
+}
+
+// -------------------------------------------------------- accelerators
+
+TEST(WamiAcceleratorsTest, KernelNamesRoundTrip) {
+  for (int i = 1; i <= kNumKernels; ++i)
+    EXPECT_EQ(kernel_index(kernel_name(i)), i);
+  EXPECT_THROW(kernel_index("nope"), InvalidArgument);
+  EXPECT_THROW(kernel_name(0), InvalidArgument);
+  EXPECT_THROW(kernel_name(13), InvalidArgument);
+}
+
+TEST(WamiAcceleratorsTest, Table4SocsLandInPaperClasses) {
+  const auto lib = wami_library();
+  const struct {
+    char soc;
+    double gamma;
+  } cases[] = {{'A', 1.26}, {'B', 0.60}, {'C', 0.97}, {'D', 2.4}};
+  for (const auto& c : cases) {
+    const auto rtl = netlist::elaborate(table4_soc(c.soc), lib);
+    const double gamma =
+        static_cast<double>(rtl.total_reconfigurable(lib).luts) /
+        static_cast<double>(rtl.static_resources(lib).luts);
+    EXPECT_NEAR(gamma, c.gamma, c.gamma * 0.12) << "SoC_" << c.soc;
+  }
+}
+
+TEST(WamiAcceleratorsTest, Table6PartitionsMatchPaper) {
+  EXPECT_EQ(table6_partitions('X').size(), 2u);
+  EXPECT_EQ(table6_partitions('Y').size(), 3u);
+  EXPECT_EQ(table6_partitions('Z').size(), 4u);
+  EXPECT_EQ(table6_partitions('X')[0], (std::vector<int>{1, 4, 9, 10, 8}));
+  EXPECT_EQ(table6_partitions('Z')[3], (std::vector<int>{3, 8, 9}));
+  // Every kernel in a SoC's mapping appears exactly once.
+  for (const char which : {'X', 'Y', 'Z'}) {
+    std::vector<int> seen;
+    for (const auto& members : table6_partitions(which))
+      for (const int k : members) {
+        EXPECT_EQ(std::count(seen.begin(), seen.end(), k), 0);
+        seen.push_back(k);
+      }
+  }
+}
+
+TEST(WamiAcceleratorsTest, SocConfigsValidate) {
+  for (const char which : {'A', 'B', 'C', 'D'})
+    EXPECT_NO_THROW(table4_soc(which).validate());
+  for (const char which : {'X', 'Y', 'Z'})
+    EXPECT_NO_THROW(table6_soc(which).validate());
+  EXPECT_THROW(table4_soc('E'), InvalidArgument);
+  EXPECT_THROW(table6_soc('W'), InvalidArgument);
+}
+
+TEST(WamiAcceleratorsTest, RegistryCoversAllKernels) {
+  const auto registry = wami_accelerator_registry(WamiWorkload{});
+  for (int i = 1; i <= kNumKernels; ++i) {
+    ASSERT_TRUE(registry.has(kernel_name(i)));
+    EXPECT_GT(registry.get(kernel_name(i)).luts, 0);
+    EXPECT_EQ(registry.get(kernel_name(i)).latency.ii,
+              kernel_cycles_per_item(i));
+  }
+}
+
+TEST(WamiAcceleratorsTest, KernelItemsScaleWithFrame) {
+  const WamiWorkload small{64, 64};
+  const WamiWorkload big{128, 128};
+  EXPECT_EQ(kernel_items(1, small), 64 * 64);
+  EXPECT_EQ(kernel_items(1, big), 128 * 128);
+  EXPECT_EQ(kernel_items(8, small), kernel_items(8, big));  // matrix op
+}
+
+}  // namespace
+}  // namespace presp::wami
