@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_model.dir/bench_ablation_model.cpp.o"
+  "CMakeFiles/bench_ablation_model.dir/bench_ablation_model.cpp.o.d"
+  "bench_ablation_model"
+  "bench_ablation_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

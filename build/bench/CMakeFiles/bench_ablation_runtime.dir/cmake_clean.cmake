@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_runtime.dir/bench_ablation_runtime.cpp.o"
+  "CMakeFiles/bench_ablation_runtime.dir/bench_ablation_runtime.cpp.o.d"
+  "bench_ablation_runtime"
+  "bench_ablation_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

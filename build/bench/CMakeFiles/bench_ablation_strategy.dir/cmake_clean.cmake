@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_strategy.dir/bench_ablation_strategy.cpp.o"
+  "CMakeFiles/bench_ablation_strategy.dir/bench_ablation_strategy.cpp.o.d"
+  "bench_ablation_strategy"
+  "bench_ablation_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_wami_socs.dir/bench_fig4_wami_socs.cpp.o"
+  "CMakeFiles/bench_fig4_wami_socs.dir/bench_fig4_wami_socs.cpp.o.d"
+  "bench_fig4_wami_socs"
+  "bench_fig4_wami_socs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_wami_socs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

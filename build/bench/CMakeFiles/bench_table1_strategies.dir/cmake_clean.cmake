@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_strategies.dir/bench_table1_strategies.cpp.o"
+  "CMakeFiles/bench_table1_strategies.dir/bench_table1_strategies.cpp.o.d"
+  "bench_table1_strategies"
+  "bench_table1_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

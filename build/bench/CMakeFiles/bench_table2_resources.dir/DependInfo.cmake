@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_resources.cpp" "bench/CMakeFiles/bench_table2_resources.dir/bench_table2_resources.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_resources.dir/bench_table2_resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/presp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/presp_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/presp_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/pnr/CMakeFiles/presp_pnr.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/presp_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/presp_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/presp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/presp_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/presp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

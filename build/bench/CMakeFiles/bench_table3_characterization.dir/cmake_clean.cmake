@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_characterization.dir/bench_table3_characterization.cpp.o"
+  "CMakeFiles/bench_table3_characterization.dir/bench_table3_characterization.cpp.o.d"
+  "bench_table3_characterization"
+  "bench_table3_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

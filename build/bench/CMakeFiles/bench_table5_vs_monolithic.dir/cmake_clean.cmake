@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_vs_monolithic.dir/bench_table5_vs_monolithic.cpp.o"
+  "CMakeFiles/bench_table5_vs_monolithic.dir/bench_table5_vs_monolithic.cpp.o.d"
+  "bench_table5_vs_monolithic"
+  "bench_table5_vs_monolithic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_vs_monolithic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

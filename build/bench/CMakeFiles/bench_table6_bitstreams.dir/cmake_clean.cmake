@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_bitstreams.dir/bench_table6_bitstreams.cpp.o"
+  "CMakeFiles/bench_table6_bitstreams.dir/bench_table6_bitstreams.cpp.o.d"
+  "bench_table6_bitstreams"
+  "bench_table6_bitstreams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_bitstreams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_system.dir/adaptive_system.cpp.o"
+  "CMakeFiles/adaptive_system.dir/adaptive_system.cpp.o.d"
+  "adaptive_system"
+  "adaptive_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

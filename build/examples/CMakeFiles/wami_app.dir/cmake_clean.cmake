@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wami_app.dir/wami_app.cpp.o"
+  "CMakeFiles/wami_app.dir/wami_app.cpp.o.d"
+  "wami_app"
+  "wami_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wami_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("fabric")
+subdirs("netlist")
+subdirs("hls")
+subdirs("synth")
+subdirs("floorplan")
+subdirs("pnr")
+subdirs("bitstream")
+subdirs("core")
+subdirs("noc")
+subdirs("soc")
+subdirs("runtime")
+subdirs("wami")

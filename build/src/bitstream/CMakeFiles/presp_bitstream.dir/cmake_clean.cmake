@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presp_bitstream.dir/artifact_io.cpp.o"
+  "CMakeFiles/presp_bitstream.dir/artifact_io.cpp.o.d"
+  "CMakeFiles/presp_bitstream.dir/bitstream.cpp.o"
+  "CMakeFiles/presp_bitstream.dir/bitstream.cpp.o.d"
+  "libpresp_bitstream.a"
+  "libpresp_bitstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presp_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

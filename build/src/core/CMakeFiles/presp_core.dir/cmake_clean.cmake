@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presp_core.dir/calibration.cpp.o"
+  "CMakeFiles/presp_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/presp_core.dir/flow.cpp.o"
+  "CMakeFiles/presp_core.dir/flow.cpp.o.d"
+  "CMakeFiles/presp_core.dir/metrics.cpp.o"
+  "CMakeFiles/presp_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/presp_core.dir/reference_designs.cpp.o"
+  "CMakeFiles/presp_core.dir/reference_designs.cpp.o.d"
+  "CMakeFiles/presp_core.dir/report.cpp.o"
+  "CMakeFiles/presp_core.dir/report.cpp.o.d"
+  "CMakeFiles/presp_core.dir/runtime_model.cpp.o"
+  "CMakeFiles/presp_core.dir/runtime_model.cpp.o.d"
+  "CMakeFiles/presp_core.dir/strategy.cpp.o"
+  "CMakeFiles/presp_core.dir/strategy.cpp.o.d"
+  "libpresp_core.a"
+  "libpresp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presp_fabric.dir/device.cpp.o"
+  "CMakeFiles/presp_fabric.dir/device.cpp.o.d"
+  "libpresp_fabric.a"
+  "libpresp_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presp_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presp_floorplan.dir/floorplanner.cpp.o"
+  "CMakeFiles/presp_floorplan.dir/floorplanner.cpp.o.d"
+  "CMakeFiles/presp_floorplan.dir/visualize.cpp.o"
+  "CMakeFiles/presp_floorplan.dir/visualize.cpp.o.d"
+  "libpresp_floorplan.a"
+  "libpresp_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presp_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

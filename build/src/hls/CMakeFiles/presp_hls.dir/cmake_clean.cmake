@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presp_hls.dir/estimator.cpp.o"
+  "CMakeFiles/presp_hls.dir/estimator.cpp.o.d"
+  "CMakeFiles/presp_hls.dir/kernel_spec.cpp.o"
+  "CMakeFiles/presp_hls.dir/kernel_spec.cpp.o.d"
+  "CMakeFiles/presp_hls.dir/library.cpp.o"
+  "CMakeFiles/presp_hls.dir/library.cpp.o.d"
+  "CMakeFiles/presp_hls.dir/spec_io.cpp.o"
+  "CMakeFiles/presp_hls.dir/spec_io.cpp.o.d"
+  "libpresp_hls.a"
+  "libpresp_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presp_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

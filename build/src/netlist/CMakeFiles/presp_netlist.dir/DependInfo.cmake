@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/components.cpp" "src/netlist/CMakeFiles/presp_netlist.dir/components.cpp.o" "gcc" "src/netlist/CMakeFiles/presp_netlist.dir/components.cpp.o.d"
+  "/root/repo/src/netlist/config_io.cpp" "src/netlist/CMakeFiles/presp_netlist.dir/config_io.cpp.o" "gcc" "src/netlist/CMakeFiles/presp_netlist.dir/config_io.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/presp_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/presp_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/rtl.cpp" "src/netlist/CMakeFiles/presp_netlist.dir/rtl.cpp.o" "gcc" "src/netlist/CMakeFiles/presp_netlist.dir/rtl.cpp.o.d"
+  "/root/repo/src/netlist/soc_config.cpp" "src/netlist/CMakeFiles/presp_netlist.dir/soc_config.cpp.o" "gcc" "src/netlist/CMakeFiles/presp_netlist.dir/soc_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/presp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/presp_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

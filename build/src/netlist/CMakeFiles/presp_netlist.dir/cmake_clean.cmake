@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presp_netlist.dir/components.cpp.o"
+  "CMakeFiles/presp_netlist.dir/components.cpp.o.d"
+  "CMakeFiles/presp_netlist.dir/config_io.cpp.o"
+  "CMakeFiles/presp_netlist.dir/config_io.cpp.o.d"
+  "CMakeFiles/presp_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/presp_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/presp_netlist.dir/rtl.cpp.o"
+  "CMakeFiles/presp_netlist.dir/rtl.cpp.o.d"
+  "CMakeFiles/presp_netlist.dir/soc_config.cpp.o"
+  "CMakeFiles/presp_netlist.dir/soc_config.cpp.o.d"
+  "libpresp_netlist.a"
+  "libpresp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

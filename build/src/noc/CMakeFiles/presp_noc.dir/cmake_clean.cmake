@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presp_noc.dir/noc.cpp.o"
+  "CMakeFiles/presp_noc.dir/noc.cpp.o.d"
+  "libpresp_noc.a"
+  "libpresp_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presp_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

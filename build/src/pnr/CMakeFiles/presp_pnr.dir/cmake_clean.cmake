@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presp_pnr.dir/engine.cpp.o"
+  "CMakeFiles/presp_pnr.dir/engine.cpp.o.d"
+  "CMakeFiles/presp_pnr.dir/placer.cpp.o"
+  "CMakeFiles/presp_pnr.dir/placer.cpp.o.d"
+  "CMakeFiles/presp_pnr.dir/router.cpp.o"
+  "CMakeFiles/presp_pnr.dir/router.cpp.o.d"
+  "CMakeFiles/presp_pnr.dir/verify.cpp.o"
+  "CMakeFiles/presp_pnr.dir/verify.cpp.o.d"
+  "libpresp_pnr.a"
+  "libpresp_pnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presp_pnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

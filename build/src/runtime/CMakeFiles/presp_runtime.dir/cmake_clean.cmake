@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presp_runtime.dir/api.cpp.o"
+  "CMakeFiles/presp_runtime.dir/api.cpp.o.d"
+  "CMakeFiles/presp_runtime.dir/bitstream_store.cpp.o"
+  "CMakeFiles/presp_runtime.dir/bitstream_store.cpp.o.d"
+  "CMakeFiles/presp_runtime.dir/boot.cpp.o"
+  "CMakeFiles/presp_runtime.dir/boot.cpp.o.d"
+  "CMakeFiles/presp_runtime.dir/manager.cpp.o"
+  "CMakeFiles/presp_runtime.dir/manager.cpp.o.d"
+  "libpresp_runtime.a"
+  "libpresp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

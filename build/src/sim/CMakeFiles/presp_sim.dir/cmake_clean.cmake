@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presp_sim.dir/kernel.cpp.o"
+  "CMakeFiles/presp_sim.dir/kernel.cpp.o.d"
+  "libpresp_sim.a"
+  "libpresp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presp_soc.dir/energy.cpp.o"
+  "CMakeFiles/presp_soc.dir/energy.cpp.o.d"
+  "CMakeFiles/presp_soc.dir/memory.cpp.o"
+  "CMakeFiles/presp_soc.dir/memory.cpp.o.d"
+  "CMakeFiles/presp_soc.dir/soc.cpp.o"
+  "CMakeFiles/presp_soc.dir/soc.cpp.o.d"
+  "CMakeFiles/presp_soc.dir/tiles.cpp.o"
+  "CMakeFiles/presp_soc.dir/tiles.cpp.o.d"
+  "libpresp_soc.a"
+  "libpresp_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presp_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

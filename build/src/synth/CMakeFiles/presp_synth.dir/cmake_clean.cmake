@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presp_synth.dir/synthesis.cpp.o"
+  "CMakeFiles/presp_synth.dir/synthesis.cpp.o.d"
+  "libpresp_synth.a"
+  "libpresp_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presp_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presp_util.dir/config.cpp.o"
+  "CMakeFiles/presp_util.dir/config.cpp.o.d"
+  "CMakeFiles/presp_util.dir/log.cpp.o"
+  "CMakeFiles/presp_util.dir/log.cpp.o.d"
+  "CMakeFiles/presp_util.dir/stats.cpp.o"
+  "CMakeFiles/presp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/presp_util.dir/string_utils.cpp.o"
+  "CMakeFiles/presp_util.dir/string_utils.cpp.o.d"
+  "CMakeFiles/presp_util.dir/table.cpp.o"
+  "CMakeFiles/presp_util.dir/table.cpp.o.d"
+  "libpresp_util.a"
+  "libpresp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presp_wami.dir/accelerators.cpp.o"
+  "CMakeFiles/presp_wami.dir/accelerators.cpp.o.d"
+  "CMakeFiles/presp_wami.dir/app.cpp.o"
+  "CMakeFiles/presp_wami.dir/app.cpp.o.d"
+  "CMakeFiles/presp_wami.dir/frame_generator.cpp.o"
+  "CMakeFiles/presp_wami.dir/frame_generator.cpp.o.d"
+  "CMakeFiles/presp_wami.dir/kernels.cpp.o"
+  "CMakeFiles/presp_wami.dir/kernels.cpp.o.d"
+  "CMakeFiles/presp_wami.dir/pipeline.cpp.o"
+  "CMakeFiles/presp_wami.dir/pipeline.cpp.o.d"
+  "libpresp_wami.a"
+  "libpresp_wami.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presp_wami.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

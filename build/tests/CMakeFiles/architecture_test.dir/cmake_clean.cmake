@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architecture_test.dir/architecture_test.cpp.o"
+  "CMakeFiles/architecture_test.dir/architecture_test.cpp.o.d"
+  "architecture_test"
+  "architecture_test.pdb"
+  "architecture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architecture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boot_report_test.dir/boot_report_test.cpp.o"
+  "CMakeFiles/boot_report_test.dir/boot_report_test.cpp.o.d"
+  "boot_report_test"
+  "boot_report_test.pdb"
+  "boot_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boot_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_test.dir/calibration_test.cpp.o"
+  "CMakeFiles/calibration_test.dir/calibration_test.cpp.o.d"
+  "calibration_test"
+  "calibration_test.pdb"
+  "calibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_artifact_test.dir/pipeline_artifact_test.cpp.o"
+  "CMakeFiles/pipeline_artifact_test.dir/pipeline_artifact_test.cpp.o.d"
+  "pipeline_artifact_test"
+  "pipeline_artifact_test.pdb"
+  "pipeline_artifact_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_artifact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

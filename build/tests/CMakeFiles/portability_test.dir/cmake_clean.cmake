@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portability_test.dir/portability_test.cpp.o"
+  "CMakeFiles/portability_test.dir/portability_test.cpp.o.d"
+  "portability_test"
+  "portability_test.pdb"
+  "portability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

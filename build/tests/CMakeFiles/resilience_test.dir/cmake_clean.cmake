@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_test.dir/resilience_test.cpp.o"
+  "CMakeFiles/resilience_test.dir/resilience_test.cpp.o.d"
+  "resilience_test"
+  "resilience_test.pdb"
+  "resilience_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

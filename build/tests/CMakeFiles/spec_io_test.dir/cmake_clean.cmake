@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_io_test.dir/spec_io_test.cpp.o"
+  "CMakeFiles/spec_io_test.dir/spec_io_test.cpp.o.d"
+  "spec_io_test"
+  "spec_io_test.pdb"
+  "spec_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

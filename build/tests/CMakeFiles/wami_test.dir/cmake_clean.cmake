@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wami_test.dir/wami_test.cpp.o"
+  "CMakeFiles/wami_test.dir/wami_test.cpp.o.d"
+  "wami_test"
+  "wami_test.pdb"
+  "wami_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wami_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presp-flow.dir/presp_flow_cli.cpp.o"
+  "CMakeFiles/presp-flow.dir/presp_flow_cli.cpp.o.d"
+  "presp-flow"
+  "presp-flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presp-flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
