@@ -26,6 +26,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/fabric/CMakeFiles/presp_fabric.dir/DependInfo.cmake"
   "/root/repo/build/src/noc/CMakeFiles/presp_noc.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/presp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/presp_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/presp_util.dir/DependInfo.cmake"
   )
 

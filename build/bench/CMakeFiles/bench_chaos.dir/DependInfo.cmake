@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_chaos.cpp" "bench/CMakeFiles/bench_chaos.dir/bench_chaos.cpp.o" "gcc" "bench/CMakeFiles/bench_chaos.dir/bench_chaos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wami/CMakeFiles/presp_wami.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/presp_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/presp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/presp_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/presp_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/presp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/presp_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/presp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/presp_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/presp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -246,22 +246,22 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/sim/kernel.hpp /usr/include/c++/12/coroutine \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/pnr/engine.hpp \
- /root/repo/src/pnr/placer.hpp /root/repo/src/pnr/router.hpp \
- /root/repo/src/synth/synthesis.hpp /root/repo/src/netlist/rtl.hpp \
- /root/repo/src/netlist/components.hpp \
+ /root/repo/src/fault/fault.hpp /root/repo/src/sim/kernel.hpp \
+ /usr/include/c++/12/coroutine /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/pnr/engine.hpp /root/repo/src/pnr/placer.hpp \
+ /root/repo/src/pnr/router.hpp /root/repo/src/synth/synthesis.hpp \
+ /root/repo/src/netlist/rtl.hpp /root/repo/src/netlist/components.hpp \
  /root/repo/src/netlist/soc_config.hpp /root/repo/src/util/config.hpp \
  /root/repo/src/runtime/api.hpp /root/repo/src/runtime/manager.hpp \
  /root/repo/src/runtime/bitstream_store.hpp /root/repo/src/soc/memory.hpp \
- /usr/include/c++/12/span /root/repo/src/soc/soc.hpp \
- /root/repo/src/soc/tiles.hpp /root/repo/src/soc/accelerator.hpp \
- /root/repo/src/hls/estimator.hpp /root/repo/src/hls/kernel_spec.hpp \
- /root/repo/src/soc/energy.hpp /root/repo/src/util/log.hpp \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/span /root/repo/src/runtime/health.hpp \
+ /root/repo/src/soc/soc.hpp /root/repo/src/soc/tiles.hpp \
+ /root/repo/src/soc/accelerator.hpp /root/repo/src/hls/estimator.hpp \
+ /root/repo/src/hls/kernel_spec.hpp /root/repo/src/soc/energy.hpp \
+ /root/repo/src/util/log.hpp /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/wami/accelerators.hpp \
  /root/repo/src/wami/frame_generator.hpp /root/repo/src/wami/kernels.hpp \

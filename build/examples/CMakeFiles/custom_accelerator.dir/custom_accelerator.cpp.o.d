@@ -240,8 +240,9 @@ examples/CMakeFiles/custom_accelerator.dir/custom_accelerator.cpp.o: \
  /root/repo/src/runtime/api.hpp /root/repo/src/runtime/manager.hpp \
  /root/repo/src/runtime/bitstream_store.hpp /root/repo/src/soc/memory.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/soc/soc.hpp \
- /root/repo/src/soc/tiles.hpp /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/cstddef /root/repo/src/runtime/health.hpp \
+ /root/repo/src/soc/soc.hpp /root/repo/src/soc/tiles.hpp \
+ /usr/include/c++/12/coroutine /root/repo/src/fault/fault.hpp \
  /root/repo/src/noc/noc.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

@@ -6,6 +6,7 @@
 # testing this directory and lists subdirectories to be tested as well.
 subdirs("util")
 subdirs("sim")
+subdirs("fault")
 subdirs("fabric")
 subdirs("netlist")
 subdirs("hls")

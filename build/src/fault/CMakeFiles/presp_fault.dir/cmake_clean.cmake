@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presp_fault.dir/fault.cpp.o"
+  "CMakeFiles/presp_fault.dir/fault.cpp.o.d"
+  "libpresp_fault.a"
+  "libpresp_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presp_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

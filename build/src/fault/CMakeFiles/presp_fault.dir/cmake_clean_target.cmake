@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpresp_fault.a"
+)

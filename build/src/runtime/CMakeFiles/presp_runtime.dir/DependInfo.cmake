@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/runtime/api.cpp" "src/runtime/CMakeFiles/presp_runtime.dir/api.cpp.o" "gcc" "src/runtime/CMakeFiles/presp_runtime.dir/api.cpp.o.d"
   "/root/repo/src/runtime/bitstream_store.cpp" "src/runtime/CMakeFiles/presp_runtime.dir/bitstream_store.cpp.o" "gcc" "src/runtime/CMakeFiles/presp_runtime.dir/bitstream_store.cpp.o.d"
   "/root/repo/src/runtime/boot.cpp" "src/runtime/CMakeFiles/presp_runtime.dir/boot.cpp.o" "gcc" "src/runtime/CMakeFiles/presp_runtime.dir/boot.cpp.o.d"
+  "/root/repo/src/runtime/health.cpp" "src/runtime/CMakeFiles/presp_runtime.dir/health.cpp.o" "gcc" "src/runtime/CMakeFiles/presp_runtime.dir/health.cpp.o.d"
   "/root/repo/src/runtime/manager.cpp" "src/runtime/CMakeFiles/presp_runtime.dir/manager.cpp.o" "gcc" "src/runtime/CMakeFiles/presp_runtime.dir/manager.cpp.o.d"
   )
 
@@ -20,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sim/CMakeFiles/presp_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/soc/CMakeFiles/presp_soc.dir/DependInfo.cmake"
   "/root/repo/build/src/noc/CMakeFiles/presp_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/presp_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/hls/CMakeFiles/presp_hls.dir/DependInfo.cmake"
   "/root/repo/build/src/netlist/CMakeFiles/presp_netlist.dir/DependInfo.cmake"
   "/root/repo/build/src/fabric/CMakeFiles/presp_fabric.dir/DependInfo.cmake"

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/presp_runtime.dir/bitstream_store.cpp.o.d"
   "CMakeFiles/presp_runtime.dir/boot.cpp.o"
   "CMakeFiles/presp_runtime.dir/boot.cpp.o.d"
+  "CMakeFiles/presp_runtime.dir/health.cpp.o"
+  "CMakeFiles/presp_runtime.dir/health.cpp.o.d"
   "CMakeFiles/presp_runtime.dir/manager.cpp.o"
   "CMakeFiles/presp_runtime.dir/manager.cpp.o.d"
   "libpresp_runtime.a"

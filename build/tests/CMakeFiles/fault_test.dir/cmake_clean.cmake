@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_test.dir/fault_test.cpp.o"
+  "CMakeFiles/fault_test.dir/fault_test.cpp.o.d"
+  "fault_test"
+  "fault_test.pdb"
+  "fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -328,8 +328,9 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /root/repo/src/wami/app.hpp /root/repo/src/runtime/api.hpp \
  /root/repo/src/runtime/manager.hpp \
  /root/repo/src/runtime/bitstream_store.hpp /root/repo/src/soc/memory.hpp \
- /usr/include/c++/12/span /root/repo/src/soc/soc.hpp \
- /root/repo/src/soc/tiles.hpp /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/span /root/repo/src/runtime/health.hpp \
+ /root/repo/src/soc/soc.hpp /root/repo/src/soc/tiles.hpp \
+ /usr/include/c++/12/coroutine /root/repo/src/fault/fault.hpp \
  /root/repo/src/noc/noc.hpp /root/repo/src/sim/kernel.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/queue \

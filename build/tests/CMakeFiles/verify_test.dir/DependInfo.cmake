@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/soc/CMakeFiles/presp_soc.dir/DependInfo.cmake"
   "/root/repo/build/src/noc/CMakeFiles/presp_noc.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/presp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/presp_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/hls/CMakeFiles/presp_hls.dir/DependInfo.cmake"
   "/root/repo/build/src/netlist/CMakeFiles/presp_netlist.dir/DependInfo.cmake"
   "/root/repo/build/src/fabric/CMakeFiles/presp_fabric.dir/DependInfo.cmake"

@@ -297,17 +297,10 @@ tests/CMakeFiles/wami_app_test.dir/wami_app_test.cpp.o: \
  /root/repo/src/runtime/api.hpp /root/repo/src/runtime/manager.hpp \
  /root/repo/src/runtime/bitstream_store.hpp /root/repo/src/soc/memory.hpp \
  /usr/include/c++/12/span /root/repo/src/util/error.hpp \
- /root/repo/src/soc/soc.hpp /root/repo/src/netlist/soc_config.hpp \
- /root/repo/src/util/config.hpp /root/repo/src/soc/tiles.hpp \
- /usr/include/c++/12/coroutine /root/repo/src/noc/noc.hpp \
- /root/repo/src/sim/kernel.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/soc/accelerator.hpp /root/repo/src/hls/estimator.hpp \
- /root/repo/src/fabric/resources.hpp /root/repo/src/hls/kernel_spec.hpp \
- /root/repo/src/netlist/components.hpp /root/repo/src/soc/energy.hpp \
- /root/repo/src/wami/accelerators.hpp \
- /root/repo/src/wami/frame_generator.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/runtime/health.hpp /root/repo/src/soc/soc.hpp \
+ /root/repo/src/netlist/soc_config.hpp /root/repo/src/util/config.hpp \
+ /root/repo/src/soc/tiles.hpp /usr/include/c++/12/coroutine \
+ /root/repo/src/fault/fault.hpp /root/repo/src/util/rng.hpp \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -329,5 +322,13 @@ tests/CMakeFiles/wami_app_test.dir/wami_app_test.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/wami/kernels.hpp \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/noc/noc.hpp \
+ /root/repo/src/sim/kernel.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/soc/accelerator.hpp /root/repo/src/hls/estimator.hpp \
+ /root/repo/src/fabric/resources.hpp /root/repo/src/hls/kernel_spec.hpp \
+ /root/repo/src/netlist/components.hpp /root/repo/src/soc/energy.hpp \
+ /root/repo/src/wami/accelerators.hpp \
+ /root/repo/src/wami/frame_generator.hpp /root/repo/src/wami/kernels.hpp \
  /root/repo/src/wami/image.hpp /usr/include/c++/12/cstring

@@ -20,6 +20,7 @@ include("/root/repo/build/tests/runtime_test[1]_include.cmake")
 include("/root/repo/build/tests/wami_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/resilience_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
 include("/root/repo/build/tests/portability_test[1]_include.cmake")
 include("/root/repo/build/tests/energy_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")

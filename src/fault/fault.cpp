@@ -1,0 +1,130 @@
+#include "fault/fault.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace presp::fault {
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kIcapStall: return "icap-stall";
+    case FaultSite::kDfxcHang: return "dfxc-hang";
+    case FaultSite::kDecouplerStuck: return "decoupler-stuck";
+    case FaultSite::kAccelHang: return "accel-hang";
+    case FaultSite::kSeuFlip: return "seu-flip";
+    case FaultSite::kNocCorrupt: return "noc-corrupt";
+  }
+  return "?";
+}
+
+void FaultInjector::arm(FaultSpec spec) {
+  PRESP_REQUIRE(spec.trigger_count >= 1, "trigger_count is 1-based");
+  armed_.push_back(Armed{spec, spec.trigger_count});
+}
+
+void FaultInjector::arm(const std::vector<FaultSpec>& specs) {
+  for (const FaultSpec& spec : specs) arm(spec);
+}
+
+bool FaultInjector::fire(FaultSite site, int tile, int plane) {
+  ++stats_.observed[static_cast<int>(site)];
+  for (std::size_t i = 0; i < armed_.size(); ++i) {
+    Armed& a = armed_[i];
+    if (a.spec.site != site) continue;
+    if (a.spec.tile >= 0 && tile >= 0 && a.spec.tile != tile) continue;
+    if (site == FaultSite::kNocCorrupt && a.spec.plane >= 0 &&
+        a.spec.plane != plane)
+      continue;
+    if (--a.remaining > 0) continue;
+    armed_.erase(armed_.begin() + static_cast<std::ptrdiff_t>(i));
+    ++stats_.injected[static_cast<int>(site)];
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::on_icap_transfer(int target_tile) {
+  return fire(FaultSite::kIcapStall, target_tile, -1);
+}
+bool FaultInjector::on_dfxc_completion(int target_tile) {
+  return fire(FaultSite::kDfxcHang, target_tile, -1);
+}
+bool FaultInjector::on_decoupler_release(int tile) {
+  return fire(FaultSite::kDecouplerStuck, tile, -1);
+}
+bool FaultInjector::on_accelerator_start(int tile) {
+  return fire(FaultSite::kAccelHang, tile, -1);
+}
+bool FaultInjector::on_seu_check(int tile) {
+  return fire(FaultSite::kSeuFlip, tile, -1);
+}
+bool FaultInjector::on_noc_packet(int plane) {
+  return fire(FaultSite::kNocCorrupt, -1, plane);
+}
+
+// ---------------------------------------------------------------------------
+
+FaultPlan::FaultPlan(const FaultPlanOptions& options) : seed_(options.seed) {
+  PRESP_REQUIRE(options.faults >= 0, "negative fault count");
+  PRESP_REQUIRE(options.max_trigger_count >= 1,
+                "max_trigger_count must be at least 1");
+
+  const std::array<double, kNumFaultSites> weights = {
+      options.mix.icap_stall,      options.mix.dfxc_hang,
+      options.mix.decoupler_stuck, options.mix.accel_hang,
+      options.mix.seu_flip,        options.mix.noc_corrupt,
+  };
+  double total_weight = 0.0;
+  for (const double w : weights) {
+    PRESP_REQUIRE(w >= 0.0, "fault mix weights must be non-negative");
+    total_weight += w;
+  }
+  PRESP_REQUIRE(total_weight > 0.0, "fault mix disables every site");
+
+  // DMA responses and interrupts: losing either is detectable and
+  // recoverable (CRC retry / watchdog). Config-plane corruption is
+  // modeled as ECC-corrected at the link and never scheduled by default.
+  std::vector<int> planes = options.planes;
+  if (planes.empty()) planes = {3 /* dma-rsp */, 4 /* interrupt */};
+
+  Rng rng(seed_);
+  specs_.reserve(static_cast<std::size_t>(options.faults));
+  for (int i = 0; i < options.faults; ++i) {
+    double pick = rng.next_double() * total_weight;
+    int site = 0;
+    for (; site < kNumFaultSites - 1; ++site) {
+      if (pick < weights[static_cast<std::size_t>(site)]) break;
+      pick -= weights[static_cast<std::size_t>(site)];
+    }
+    FaultSpec spec;
+    spec.site = static_cast<FaultSite>(site);
+    if (spec.site == FaultSite::kNocCorrupt) {
+      spec.plane = planes[static_cast<std::size_t>(
+          rng.next_below(planes.size()))];
+    } else if (!options.tiles.empty()) {
+      spec.tile = options.tiles[static_cast<std::size_t>(
+          rng.next_below(options.tiles.size()))];
+    }
+    spec.trigger_count = 1 + rng.next_below(options.max_trigger_count);
+    specs_.push_back(spec);
+  }
+}
+
+void FaultPlan::arm(FaultInjector& injector) const {
+  injector.arm(specs_);
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  out << "fault-plan seed=" << seed_ << " faults=" << specs_.size() << "\n";
+  for (const FaultSpec& spec : specs_) {
+    out << "  " << to_string(spec.site) << " tile=" << spec.tile
+        << " plane=" << spec.plane << " trigger=" << spec.trigger_count
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace presp::fault

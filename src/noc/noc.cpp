@@ -79,8 +79,14 @@ sim::Time Noc::zero_load_latency(int hops, int flits) const {
          static_cast<sim::Time>(flits) * options_.cycles_per_flit;
 }
 
-void Noc::send(const Packet& packet) {
+void Noc::send(const Packet& packet_in) {
+  Packet packet = packet_in;
   PRESP_REQUIRE(packet.flits >= 1, "packet needs at least one flit");
+  if (injector_ != nullptr &&
+      injector_->on_noc_packet(static_cast<int>(packet.plane))) {
+    packet.poisoned = true;
+    ++stats_[static_cast<std::size_t>(packet.plane)].poisoned;
+  }
   const auto path = route(packet.src, packet.dst);
   const sim::Time serialization =
       static_cast<sim::Time>(packet.flits) * options_.cycles_per_flit;

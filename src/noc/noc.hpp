@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "sim/kernel.hpp"
 
 namespace presp::noc {
@@ -43,6 +44,10 @@ struct Packet {
   std::uint64_t tag = 0;
   /// Optional payload word (register value, address, ...).
   std::uint64_t payload = 0;
+  /// Set by fault injection: the packet's payload failed its link-level
+  /// check. Receivers decide the recovery (drop + watchdog for
+  /// interrupts, CRC retry for DMA data, ECC-correct for config).
+  bool poisoned = false;
 };
 
 struct NocOptions {
@@ -57,6 +62,8 @@ struct NocStats {
   std::uint64_t flits = 0;
   std::uint64_t total_latency = 0;  // sum of send->deliver cycles
   std::uint64_t max_latency = 0;
+  /// Packets poisoned by fault injection on this plane.
+  std::uint64_t poisoned = 0;
 };
 
 class Noc {
@@ -84,6 +91,12 @@ class Noc {
     return stats_[static_cast<std::size_t>(plane)];
   }
 
+  /// Attaches a fault injector; every sent packet is offered to its
+  /// kNocCorrupt hook. Null detaches.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
  private:
   struct Link {
     sim::Time busy_until = 0;
@@ -95,6 +108,7 @@ class Noc {
   int rows_;
   int cols_;
   NocOptions options_;
+  fault::FaultInjector* injector_ = nullptr;
   std::vector<Link> links_;
   std::vector<std::unique_ptr<sim::Mailbox<Packet>>> mailboxes_;
   std::array<NocStats, kNumPlanes> stats_{};

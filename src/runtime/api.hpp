@@ -37,9 +37,21 @@ class DprApi {
     return manager_.run(tile, module, task, done);
   }
 
+  /// Status-reporting variant: `done` carries the final RequestStatus and
+  /// the tile the task actually ran on (re-routing may move it).
+  sim::Process invoke(int tile, const std::string& module,
+                      const soc::AccelTask& task, Completion& done) {
+    return manager_.run(tile, module, task, done);
+  }
+
   /// Prefetch-style reconfiguration without running a task.
   sim::Process prepare(int tile, const std::string& module,
                        sim::SimEvent& done) {
+    return manager_.ensure_module(tile, module, done);
+  }
+
+  sim::Process prepare(int tile, const std::string& module,
+                       Completion& done) {
     return manager_.ensure_module(tile, module, done);
   }
 

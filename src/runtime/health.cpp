@@ -1,0 +1,68 @@
+#include "runtime/health.hpp"
+
+namespace presp::runtime {
+
+const char* to_string(TileHealth health) {
+  switch (health) {
+    case TileHealth::kHealthy: return "healthy";
+    case TileHealth::kDegraded: return "degraded";
+    case TileHealth::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+TileHealth TileHealthRegistry::health(int tile) const {
+  const auto it = entries_.find(tile);
+  return it == entries_.end() ? TileHealth::kHealthy : it->second.health;
+}
+
+int TileHealthRegistry::consecutive_failures(int tile) const {
+  const auto it = entries_.find(tile);
+  return it == entries_.end() ? 0 : it->second.fail_streak;
+}
+
+TileHealth TileHealthRegistry::record_failure(int tile) {
+  Entry& entry = entries_[tile];
+  ++stats_.failures;
+  entry.success_streak = 0;
+  ++entry.fail_streak;
+  if (entry.health == TileHealth::kHealthy &&
+      entry.fail_streak >= options_.degrade_after) {
+    entry.health = TileHealth::kDegraded;
+  } else if (entry.health == TileHealth::kDegraded &&
+             entry.fail_streak >= options_.quarantine_after) {
+    entry.health = TileHealth::kQuarantined;
+    ++stats_.quarantines;
+  }
+  return entry.health;
+}
+
+void TileHealthRegistry::record_success(int tile) {
+  Entry& entry = entries_[tile];
+  if (entry.health == TileHealth::kQuarantined) return;
+  entry.fail_streak = 0;
+  ++entry.success_streak;
+  if (entry.health == TileHealth::kDegraded &&
+      entry.success_streak >= options_.recover_after) {
+    entry.health = TileHealth::kHealthy;
+  }
+}
+
+void TileHealthRegistry::quarantine(int tile) {
+  Entry& entry = entries_[tile];
+  if (entry.health == TileHealth::kQuarantined) return;
+  entry.health = TileHealth::kQuarantined;
+  entry.success_streak = 0;
+  ++stats_.quarantines;
+}
+
+void TileHealthRegistry::rehabilitate(int tile) {
+  Entry& entry = entries_[tile];
+  if (entry.health != TileHealth::kQuarantined) return;
+  entry.health = TileHealth::kDegraded;
+  entry.fail_streak = 0;
+  entry.success_streak = 0;
+  ++stats_.rehabilitations;
+}
+
+}  // namespace presp::runtime

@@ -1,0 +1,82 @@
+// Per-tile health tracking for the fault-tolerant runtime.
+//
+// Every reconfigurable tile carries a health state:
+//
+//   healthy ──(repeated recovered faults)──> degraded
+//   degraded ──(retry budget exhausted)────> quarantined
+//   quarantined ──(explicit rehabilitation)─> degraded
+//   degraded ──(clean successes)───────────> healthy
+//
+// The ReconfigurationManager records every recovered fault and every
+// clean completion here; when a request exhausts its retry budget the
+// tile is quarantined and the manager stops scheduling work on it
+// (rerouting to healthy tiles or reporting kQuarantined so the
+// application can fall back to software).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace presp::runtime {
+
+enum class TileHealth { kHealthy = 0, kDegraded, kQuarantined };
+
+const char* to_string(TileHealth health);
+
+struct TileHealthOptions {
+  /// Consecutive recovered faults before a healthy tile is degraded.
+  int degrade_after = 2;
+  /// Consecutive recovered faults before a degraded tile is quarantined
+  /// even without a hard failure (a tile that only ever limps along is
+  /// not worth keeping in rotation).
+  int quarantine_after = 6;
+  /// Consecutive clean completions before a degraded tile is healthy
+  /// again.
+  int recover_after = 3;
+};
+
+struct TileHealthStats {
+  std::uint64_t failures = 0;    // recovered faults recorded
+  std::uint64_t quarantines = 0;
+  std::uint64_t rehabilitations = 0;
+};
+
+class TileHealthRegistry {
+ public:
+  explicit TileHealthRegistry(TileHealthOptions options = {})
+      : options_(options) {}
+
+  TileHealth health(int tile) const;
+  /// True unless the tile is quarantined.
+  bool usable(int tile) const {
+    return health(tile) != TileHealth::kQuarantined;
+  }
+
+  /// Records a fault the runtime recovered from. Returns the (possibly
+  /// downgraded) health after the transition.
+  TileHealth record_failure(int tile);
+  /// Records a clean completion; enough of them in a row heal a degraded
+  /// tile.
+  void record_success(int tile);
+  /// Hard failure: the tile is pulled from rotation immediately.
+  void quarantine(int tile);
+  /// Re-admits a quarantined tile as degraded (it must earn healthy back
+  /// through clean completions). No-op for non-quarantined tiles.
+  void rehabilitate(int tile);
+
+  const TileHealthStats& stats() const { return stats_; }
+  int consecutive_failures(int tile) const;
+
+ private:
+  struct Entry {
+    TileHealth health = TileHealth::kHealthy;
+    int fail_streak = 0;
+    int success_streak = 0;
+  };
+
+  TileHealthOptions options_;
+  std::map<int, Entry> entries_;
+  TileHealthStats stats_;
+};
+
+}  // namespace presp::runtime

@@ -8,11 +8,32 @@
 
 namespace presp::runtime {
 
+namespace {
+
+constexpr std::uint64_t kAckRefused = 1;
+
+sim::Time backoff_cycles(const ManagerOptions& options, int attempt) {
+  const int shift = std::min(std::max(attempt - 1, 0), 16);
+  return static_cast<sim::Time>(options.backoff_base_cycles) << shift;
+}
+
+}  // namespace
+
+const char* to_string(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kCrcExhausted: return "crc_exhausted";
+    case RequestStatus::kTimeout: return "timeout";
+    case RequestStatus::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
 ReconfigurationManager::ReconfigurationManager(soc::Soc& soc,
                                                BitstreamStore& store,
                                                ManagerOptions options)
     : soc_(soc), store_(store), options_(options),
-      prc_lock_(soc.kernel(), 1) {}
+      health_(options.health), prc_lock_(soc.kernel(), 1) {}
 
 sim::Semaphore& ReconfigurationManager::tile_lock(int tile) {
   auto it = tile_locks_.find(tile);
@@ -30,8 +51,21 @@ const std::string& ReconfigurationManager::driver(int tile) const {
   return it == drivers_.end() ? no_driver_ : it->second;
 }
 
+int ReconfigurationManager::route_tile(int tile, const std::string& module) {
+  int fallback = -1;
+  for (const auto& rt : soc_.reconf_tiles()) {
+    const int idx = rt->index();
+    if (idx == tile || !health_.usable(idx)) continue;
+    // Prefer a tile already hosting the module (no reconfiguration);
+    // otherwise the first healthy tile with a registered bitstream.
+    if (rt->module() == module && driver(idx) == module) return idx;
+    if (fallback < 0 && store_.has(idx, module)) fallback = idx;
+  }
+  return fallback;
+}
+
 sim::Process ReconfigurationManager::reconfigure_locked(
-    int tile, std::string module, sim::SimEvent& done) {
+    int tile, std::string module, Completion& done) {
   auto& kernel = soc_.kernel();
   const sim::Time requested = kernel.now();
 
@@ -49,40 +83,190 @@ sim::Process ReconfigurationManager::reconfigure_locked(
                           options_.request_overhead_cycles));
 
   auto& cpu = soc_.cpu();
+  const int aux = soc_.aux_tile_index();
+  auto& aux_irq = cpu.irq_from(aux);
   const BitstreamImage& image = store_.get(tile, module);
+
+  // Watchdog deadline: generous multiple of the nominal transfer time, so
+  // a firing means the controller is wedged, not merely slow.
+  const auto watchdog = static_cast<sim::Time>(
+      options_.watchdog_reconf_base_cycles +
+      static_cast<long long>(
+          options_.watchdog_reconf_margin * static_cast<double>(image.bytes) /
+          soc_.options().icap_bytes_per_cycle));
 
   // 1. Decouple the tile's wrapper from its socket.
   co_await cpu.write_reg(tile, soc::kRegDecouple, 1);
 
-  // 2. Program and trigger the DFX controller in the auxiliary tile.
-  const int aux = soc_.aux_tile_index();
-  co_await cpu.write_reg(aux, soc::kRegDfxcBsAddr, image.address);
-  co_await cpu.write_reg(aux, soc::kRegDfxcBsBytes, image.bytes);
-  co_await cpu.write_reg(aux, soc::kRegDfxcTarget,
-                         static_cast<std::uint64_t>(tile));
-  co_await cpu.write_reg(aux, soc::kRegDfxcTrigger, 1);
+  RequestStatus status = RequestStatus::kOk;
+  sim::Time first_fire = 0;
+  int crc_attempts = 0;
+  int recoveries = 0;
+  bool configured = false;
 
-  // 3. Wait for the controller's completion interrupt; on a CRC error
-  // re-trigger the transfer (the image is re-fetched from DRAM).
-  int attempts = 1;
-  while (true) {
-    const std::uint64_t payload = co_await cpu.irq_from(aux).receive();
-    // The PRC lock guarantees this is ours, but verify the target anyway.
-    PRESP_ASSERT_MSG(static_cast<int>(payload >> 8) == tile,
-                     "unexpected DFXC interrupt target");
-    if ((payload & 0xFF) == soc::kIrqReconfDone) break;
-    PRESP_ASSERT_MSG((payload & 0xFF) == soc::kIrqReconfError,
-                     "unexpected DFXC interrupt code");
-    ++stats_.crc_retries;
-    if (++attempts > options_.max_attempts)
-      throw Error("reconfiguration of tile " + std::to_string(tile) +
-                  " failed after " + std::to_string(options_.max_attempts) +
-                  " CRC errors");
-    co_await cpu.write_reg(aux, soc::kRegDfxcTrigger, 1);
+  // 2./3. Program and trigger the DFX controller, wait for its completion
+  // interrupt under the watchdog, recover from CRC errors, lost
+  // interrupts, dropped triggers and hangs until the budgets run out.
+  while (!configured && status == RequestStatus::kOk) {
+    co_await cpu.write_reg(aux, soc::kRegDfxcBsAddr, image.address);
+    co_await cpu.write_reg(aux, soc::kRegDfxcBsBytes, image.bytes);
+    co_await cpu.write_reg(aux, soc::kRegDfxcTarget,
+                           static_cast<std::uint64_t>(tile));
+    const std::uint64_t nack =
+        co_await cpu.write_reg(aux, soc::kRegDfxcTrigger, 1);
+    if (nack == kAckRefused) {
+      // The controller was busy and dropped the trigger (a leftover from
+      // an earlier wedge): reset it, back off, retry.
+      ++stats_.dropped_trigger_retries;
+      if (first_fire == 0) first_fire = kernel.now();
+      co_await cpu.write_reg(aux, soc::kRegDfxcReset, 1);
+      if (++recoveries > options_.retry_budget) {
+        status = RequestStatus::kTimeout;
+      } else {
+        co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+      }
+      continue;
+    }
+
+    bool waiting = true;
+    while (waiting) {
+      const auto payload = co_await aux_irq.receive_for(watchdog);
+      if (payload.has_value()) {
+        const int target = static_cast<int>(*payload >> 8);
+        const std::uint64_t code = *payload & 0xFF;
+        if (target != tile || (code != soc::kIrqReconfDone &&
+                               code != soc::kIrqReconfError)) {
+          ++stats_.stray_irqs;  // late interrupt of a superseded attempt
+          continue;
+        }
+        waiting = false;
+        if (code == soc::kIrqReconfDone) {
+          configured = true;
+        } else {
+          ++stats_.crc_retries;
+          if (++crc_attempts >= options_.max_attempts)
+            status = RequestStatus::kCrcExhausted;
+        }
+        continue;
+      }
+
+      // Watchdog fired: read the controller's status register to tell a
+      // lost interrupt from a genuine wedge.
+      waiting = false;
+      ++stats_.watchdog_fires;
+      if (first_fire == 0) first_fire = kernel.now();
+      const std::uint64_t dfxc_status =
+          co_await cpu.read_reg(aux, soc::kRegDfxcStatus);
+      if (dfxc_status == 0) {
+        // Transfer completed; only its done interrupt was lost.
+        ++stats_.lost_irq_recoveries;
+        configured = true;
+      } else if (dfxc_status == 2) {
+        // CRC error whose interrupt was lost.
+        ++stats_.crc_retries;
+        if (++crc_attempts >= options_.max_attempts)
+          status = RequestStatus::kCrcExhausted;
+      } else {
+        // Genuinely wedged (ICAP stall or controller hang): abort the
+        // transfer and retry after a backoff.
+        co_await cpu.write_reg(aux, soc::kRegDfxcReset, 1);
+        if (++recoveries > options_.retry_budget) {
+          status = RequestStatus::kTimeout;
+        } else {
+          co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+        }
+      }
+      // Settle, then drain stale interrupts so a late completion of the
+      // aborted attempt is never attributed to the next one.
+      co_await sim::Delay(kernel,
+                          static_cast<sim::Time>(options_.irq_drain_cycles));
+      while (aux_irq.try_receive().has_value()) ++stats_.stray_irqs;
+    }
   }
 
-  // 4. Re-enable the decoupler (resets the wrapper + NoC queues).
-  co_await cpu.write_reg(tile, soc::kRegDecouple, 0);
+  if (!configured) {
+    // Escalate instead of throwing: quarantine the tile, blank its
+    // partition with the greybox image so the fabric is left safe, and
+    // surface the status through the completion channel.
+    ++stats_.reconfigurations_failed;
+    if (health_.health(tile) != TileHealth::kQuarantined) {
+      health_.quarantine(tile);
+      ++stats_.quarantines;
+    }
+    drivers_.erase(tile);
+    if (!module.empty() && store_.has(tile, "")) {
+      const BitstreamImage& blank = store_.get(tile, "");
+      co_await cpu.write_reg(aux, soc::kRegDfxcBsAddr, blank.address);
+      co_await cpu.write_reg(aux, soc::kRegDfxcBsBytes, blank.bytes);
+      co_await cpu.write_reg(aux, soc::kRegDfxcTarget,
+                             static_cast<std::uint64_t>(tile));
+      const std::uint64_t nack =
+          co_await cpu.write_reg(aux, soc::kRegDfxcTrigger, 1);
+      bool blanked = nack != kAckRefused;
+      while (blanked) {
+        const auto payload = co_await aux_irq.receive_for(watchdog);
+        if (!payload.has_value()) {
+          // Best effort only: reset the controller and leave the tile
+          // decoupled.
+          ++stats_.watchdog_fires;
+          co_await cpu.write_reg(aux, soc::kRegDfxcReset, 1);
+          break;
+        }
+        const int target = static_cast<int>(*payload >> 8);
+        const std::uint64_t code = *payload & 0xFF;
+        if (target != tile) {
+          ++stats_.stray_irqs;
+          continue;
+        }
+        if (code == soc::kIrqReconfDone) {
+          // Blank in place: safe to re-enable the decoupler (nack from a
+          // stuck decoupler is tolerable here — the partition is empty).
+          co_await cpu.write_reg(tile, soc::kRegDecouple, 0);
+        }
+        break;
+      }
+    }
+    if (first_fire != 0)
+      stats_.recovery_cycles +=
+          static_cast<long long>(kernel.now() - first_fire);
+    --queue_depth_;
+    prc_lock_.release();
+    done.complete(status, tile);
+    co_return;
+  }
+
+  // 4. Re-enable the decoupler (resets the wrapper + NoC queues). An
+  // injected stuck-at fault nacks the release; retry with backoff.
+  int release_tries = 0;
+  while (status == RequestStatus::kOk) {
+    const std::uint64_t nack =
+        co_await cpu.write_reg(tile, soc::kRegDecouple, 0);
+    if (nack != kAckRefused) break;
+    ++stats_.stuck_decouple_retries;
+    if (first_fire == 0) first_fire = kernel.now();
+    if (++release_tries > options_.retry_budget) {
+      status = RequestStatus::kTimeout;
+      break;
+    }
+    co_await sim::Delay(kernel, backoff_cycles(options_, release_tries));
+  }
+  if (status != RequestStatus::kOk) {
+    // The module is configured but unreachable behind a stuck decoupler:
+    // pull the tile from rotation.
+    ++stats_.reconfigurations_failed;
+    if (health_.health(tile) != TileHealth::kQuarantined) {
+      health_.quarantine(tile);
+      ++stats_.quarantines;
+    }
+    drivers_.erase(tile);
+    if (first_fire != 0)
+      stats_.recovery_cycles +=
+          static_cast<long long>(kernel.now() - first_fire);
+    --queue_depth_;
+    prc_lock_.release();
+    done.complete(status, tile);
+    co_return;
+  }
 
   // 5. Swap the accelerator driver (nothing to load for a blanking image).
   co_await sim::Delay(kernel,
@@ -97,41 +281,354 @@ sim::Process ReconfigurationManager::reconfigure_locked(
   ++stats_.reconfigurations;
   stats_.reconfiguration_cycles +=
       static_cast<long long>(kernel.now() - start);
+  if (first_fire != 0)
+    stats_.recovery_cycles +=
+        static_cast<long long>(kernel.now() - first_fire);
+  if (recoveries > 0 || crc_attempts > 0 || release_tries > 0) {
+    health_.record_failure(tile);
+  } else {
+    health_.record_success(tile);
+  }
   --queue_depth_;
   prc_lock_.release();
+  done.complete(RequestStatus::kOk, tile);
+}
+
+sim::Process ReconfigurationManager::ensure_module(int tile,
+                                                   std::string module,
+                                                   Completion& done) {
+  auto& kernel = soc_.kernel();
+  if (!health_.usable(tile)) {
+    done.complete(RequestStatus::kQuarantined, tile);
+    co_return;
+  }
+  const sim::Time t0 = kernel.now();
+  co_await tile_lock(tile).acquire();
+  stats_.lock_wait_cycles += static_cast<long long>(kernel.now() - t0);
+
+  RequestStatus status = RequestStatus::kOk;
+  if (soc_.reconf_tile(tile).module() == module &&
+      driver(tile) == module) {
+    ++stats_.reconfigurations_avoided;
+  } else {
+    Completion reconfigured(kernel);
+    reconfigure_locked(tile, module, reconfigured);
+    co_await reconfigured.wait();
+    status = reconfigured.status();
+  }
+  tile_lock(tile).release();
+  done.complete(status, tile);
+}
+
+sim::Process ReconfigurationManager::clear_partition(int tile,
+                                                     Completion& done) {
+  auto& kernel = soc_.kernel();
+  co_await tile_lock(tile).acquire();
+  RequestStatus status = RequestStatus::kOk;
+  if (!soc_.reconf_tile(tile).module().empty() || !driver(tile).empty()) {
+    Completion reconfigured(kernel);
+    reconfigure_locked(tile, "", reconfigured);
+    co_await reconfigured.wait();
+    status = reconfigured.status();
+  }
+  tile_lock(tile).release();
+  done.complete(status, tile);
+}
+
+sim::Process ReconfigurationManager::verify_partition(int tile,
+                                                      std::string module,
+                                                      bool* ok,
+                                                      Completion& done) {
+  auto& kernel = soc_.kernel();
+  co_await tile_lock(tile).acquire();
+  co_await prc_lock_.acquire();
+  auto& cpu = soc_.cpu();
+  const BitstreamImage& image = store_.get(tile, module);
+  const int aux = soc_.aux_tile_index();
+  auto& aux_irq = cpu.irq_from(aux);
+  const auto watchdog = static_cast<sim::Time>(
+      options_.watchdog_reconf_base_cycles +
+      static_cast<long long>(
+          options_.watchdog_reconf_margin * static_cast<double>(image.bytes) /
+          soc_.options().icap_bytes_per_cycle));
+
+  RequestStatus status = RequestStatus::kOk;
+  int recoveries = 0;
+  bool verified = false;
+  *ok = false;
+  while (!verified && status == RequestStatus::kOk) {
+    co_await cpu.write_reg(aux, soc::kRegDfxcBsAddr, image.address);
+    co_await cpu.write_reg(aux, soc::kRegDfxcTarget,
+                           static_cast<std::uint64_t>(tile));
+    const std::uint64_t nack =
+        co_await cpu.write_reg(aux, soc::kRegDfxcReadback, 1);
+    if (nack == kAckRefused) {
+      ++stats_.dropped_trigger_retries;
+      co_await cpu.write_reg(aux, soc::kRegDfxcReset, 1);
+      if (++recoveries > options_.retry_budget) {
+        status = RequestStatus::kTimeout;
+      } else {
+        co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+      }
+      continue;
+    }
+    bool waiting = true;
+    while (waiting) {
+      const auto payload = co_await aux_irq.receive_for(watchdog);
+      if (payload.has_value()) {
+        const int target = static_cast<int>(*payload >> 8);
+        const std::uint64_t code = *payload & 0xFF;
+        if (target == tile && code == soc::kIrqReadbackDone) {
+          verified = true;
+          waiting = false;
+        } else {
+          ++stats_.stray_irqs;
+        }
+        continue;
+      }
+      waiting = false;
+      ++stats_.watchdog_fires;
+      const std::uint64_t dfxc_status =
+          co_await cpu.read_reg(aux, soc::kRegDfxcStatus);
+      if (dfxc_status == 0) {
+        // Readback finished; its interrupt was lost.
+        ++stats_.lost_irq_recoveries;
+        verified = true;
+      } else {
+        co_await cpu.write_reg(aux, soc::kRegDfxcReset, 1);
+        if (++recoveries > options_.retry_budget) {
+          status = RequestStatus::kTimeout;
+        } else {
+          co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+        }
+      }
+      co_await sim::Delay(kernel,
+                          static_cast<sim::Time>(options_.irq_drain_cycles));
+      while (aux_irq.try_receive().has_value()) ++stats_.stray_irqs;
+    }
+  }
+  if (verified) {
+    const std::uint64_t verdict =
+        co_await cpu.read_reg(aux, soc::kRegDfxcVerify);
+    *ok = verdict == 1;
+    ++stats_.readbacks;
+  }
+  prc_lock_.release();
+  tile_lock(tile).release();
+  done.complete(status, tile);
+}
+
+sim::Process ReconfigurationManager::scrub(int tile, Completion& done) {
+  auto& kernel = soc_.kernel();
+  ++stats_.scrubs;
+  const std::string module = soc_.reconf_tile(tile).module();
+  if (module.empty() || !store_.has(tile, module)) {
+    done.complete(RequestStatus::kOk, tile);
+    co_return;
+  }
+  bool clean = false;
+  Completion sub(kernel);
+  verify_partition(tile, module, &clean, sub);
+  co_await sub.wait();
+  if (!sub.ok()) {
+    done.complete(sub.status(), tile);
+    co_return;
+  }
+  if (clean) {
+    done.complete(RequestStatus::kOk, tile);
+    co_return;
+  }
+  // Upset configuration frames: repair by rewriting the partition with
+  // the golden bitstream.
+  ++stats_.seu_repairs;
+  co_await tile_lock(tile).acquire();
+  sub.reset();
+  reconfigure_locked(tile, module, sub);
+  co_await sub.wait();
+  tile_lock(tile).release();
+  done.complete(sub.status(), tile);
+}
+
+sim::Process ReconfigurationManager::run(int tile, std::string module,
+                                         soc::AccelTask task,
+                                         Completion& done) {
+  auto& kernel = soc_.kernel();
+  auto& cpu = soc_.cpu();
+  sim::Time first_fire = 0;
+  RequestStatus status = RequestStatus::kOk;
+  int routed = tile;
+  // One pass per reconfigurable tile at most: every failed pass
+  // quarantines its tile, so the loop cannot revisit one.
+  const int max_routes =
+      std::max<int>(1, static_cast<int>(soc_.reconf_tiles().size()));
+  for (int route_attempt = 0; route_attempt < max_routes; ++route_attempt) {
+    if (!health_.usable(routed)) {
+      const int alt = route_tile(routed, module);
+      if (alt < 0) {
+        status = RequestStatus::kQuarantined;
+        break;
+      }
+      ++stats_.reroutes;
+      routed = alt;
+    }
+    status = RequestStatus::kOk;
+
+    // "During reconfiguration, it locks access to the device so that
+    // other threads trying to access it must wait."
+    const sim::Time t0 = kernel.now();
+    co_await tile_lock(routed).acquire();
+    stats_.lock_wait_cycles += static_cast<long long>(kernel.now() - t0);
+
+    if (soc_.reconf_tile(routed).module() != module ||
+        driver(routed) != module) {
+      Completion reconfigured(kernel);
+      reconfigure_locked(routed, module, reconfigured);
+      co_await reconfigured.wait();
+      status = reconfigured.status();
+    } else {
+      ++stats_.reconfigurations_avoided;
+    }
+
+    int recoveries = 0;
+    auto& irq = cpu.irq_from(routed);
+    bool finished = false;
+    while (status == RequestStatus::kOk && !finished) {
+      // Program the task and start the accelerator.
+      co_await cpu.write_reg(routed, soc::kRegSrc, task.src);
+      co_await cpu.write_reg(routed, soc::kRegDst, task.dst);
+      co_await cpu.write_reg(routed, soc::kRegItems,
+                             static_cast<std::uint64_t>(task.items));
+      co_await cpu.write_reg(routed, soc::kRegAuxArg, task.aux);
+      const std::uint64_t nack = co_await cpu.write_reg(routed,
+                                                        soc::kRegCmd, 1);
+      if (nack == kAckRefused) {
+        // The wrapper refused to start: upset configuration frames (SEU),
+        // leftover decoupling, or a wedged status. A forced partition
+        // rewrite clears all three.
+        ++stats_.cmd_retries;
+        if (first_fire == 0) first_fire = kernel.now();
+        if (++recoveries > options_.retry_budget) {
+          status = RequestStatus::kTimeout;
+          break;
+        }
+        Completion repaired(kernel);
+        reconfigure_locked(routed, module, repaired);
+        co_await repaired.wait();
+        status = repaired.status();
+        continue;
+      }
+
+      // Wait for the done interrupt from the tile under the watchdog.
+      bool waiting = true;
+      while (waiting) {
+        const auto payload = co_await irq.receive_for(
+            static_cast<sim::Time>(options_.watchdog_run_cycles));
+        if (payload.has_value()) {
+          if (*payload == soc::kIrqAccelDone) {
+            finished = true;
+            waiting = false;
+          } else {
+            ++stats_.stray_irqs;
+          }
+          continue;
+        }
+        waiting = false;
+        ++stats_.watchdog_fires;
+        if (first_fire == 0) first_fire = kernel.now();
+        const std::uint64_t status_reg =
+            co_await cpu.read_reg(routed, soc::kRegStatus);
+        if (status_reg == soc::kStatusDone) {
+          // The run finished; only its done interrupt was lost. Accepting
+          // the status register avoids re-executing a non-idempotent
+          // kernel.
+          ++stats_.lost_irq_recoveries;
+          finished = true;
+        } else if (++recoveries > options_.retry_budget) {
+          status = RequestStatus::kTimeout;
+        } else if (status_reg == soc::kStatusRunning) {
+          // Genuine hang: force a partition rewrite, which supersedes the
+          // wedged datapath (it never ran any compute), then restart.
+          ++stats_.hung_run_repairs;
+          Completion repaired(kernel);
+          reconfigure_locked(routed, module, repaired);
+          co_await repaired.wait();
+          status = repaired.status();
+          if (status == RequestStatus::kOk)
+            co_await sim::Delay(kernel,
+                                backoff_cycles(options_, recoveries));
+        } else {
+          // Idle: the run aborted without side effects; restart.
+          co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+        }
+        co_await sim::Delay(
+            kernel, static_cast<sim::Time>(options_.irq_drain_cycles));
+        while (irq.try_receive().has_value()) ++stats_.stray_irqs;
+      }
+    }
+
+    if (status == RequestStatus::kOk) {
+      ++stats_.runs;
+      if (recoveries > 0) {
+        health_.record_failure(routed);
+      } else {
+        health_.record_success(routed);
+      }
+      tile_lock(routed).release();
+      break;
+    }
+
+    // The pass failed: pull the tile from rotation and leave its
+    // partition blank, then let the next pass re-route.
+    if (health_.health(routed) != TileHealth::kQuarantined) {
+      health_.quarantine(routed);
+      ++stats_.quarantines;
+    }
+    if (store_.has(routed, "") &&
+        !soc_.reconf_tile(routed).module().empty()) {
+      Completion blanked(kernel);
+      reconfigure_locked(routed, "", blanked);
+      co_await blanked.wait();
+    } else {
+      drivers_.erase(routed);
+    }
+    tile_lock(routed).release();
+  }
+
+  if (first_fire != 0)
+    stats_.recovery_cycles +=
+        static_cast<long long>(kernel.now() - first_fire);
+  done.complete(status, routed);
+}
+
+// ------------------------------------------------------- legacy wrappers
+
+sim::Process ReconfigurationManager::run(int tile, std::string module,
+                                         soc::AccelTask task,
+                                         sim::SimEvent& done) {
+  Completion completion(soc_.kernel());
+  run(tile, std::move(module), task, completion);
+  co_await completion.wait();
+  if (!completion.ok()) {
+    PRESP_WARN("manager") << "run on tile " << tile << " completed with "
+                          << to_string(completion.status());
+  }
   done.trigger();
 }
 
 sim::Process ReconfigurationManager::ensure_module(int tile,
                                                    std::string module,
                                                    sim::SimEvent& done) {
-  auto& kernel = soc_.kernel();
-  const sim::Time t0 = kernel.now();
-  co_await tile_lock(tile).acquire();
-  stats_.lock_wait_cycles += static_cast<long long>(kernel.now() - t0);
-
-  if (soc_.reconf_tile(tile).module() == module &&
-      driver(tile) == module) {
-    ++stats_.reconfigurations_avoided;
-  } else {
-    sim::SimEvent reconfigured(kernel);
-    reconfigure_locked(tile, module, reconfigured);
-    co_await reconfigured.wait();
-  }
-  tile_lock(tile).release();
+  Completion completion(soc_.kernel());
+  ensure_module(tile, std::move(module), completion);
+  co_await completion.wait();
   done.trigger();
 }
 
 sim::Process ReconfigurationManager::clear_partition(int tile,
                                                      sim::SimEvent& done) {
-  auto& kernel = soc_.kernel();
-  co_await tile_lock(tile).acquire();
-  if (!soc_.reconf_tile(tile).module().empty() || !driver(tile).empty()) {
-    sim::SimEvent reconfigured(kernel);
-    reconfigure_locked(tile, "", reconfigured);
-    co_await reconfigured.wait();
-  }
-  tile_lock(tile).release();
+  Completion completion(soc_.kernel());
+  clear_partition(tile, completion);
+  co_await completion.wait();
   done.trigger();
 }
 
@@ -139,63 +636,9 @@ sim::Process ReconfigurationManager::verify_partition(int tile,
                                                       std::string module,
                                                       bool* ok,
                                                       sim::SimEvent& done) {
-  auto& kernel = soc_.kernel();
-  co_await tile_lock(tile).acquire();
-  co_await prc_lock_.acquire();
-  auto& cpu = soc_.cpu();
-  const BitstreamImage& image = store_.get(tile, module);
-  const int aux = soc_.aux_tile_index();
-  co_await cpu.write_reg(aux, soc::kRegDfxcBsAddr, image.address);
-  co_await cpu.write_reg(aux, soc::kRegDfxcTarget,
-                         static_cast<std::uint64_t>(tile));
-  co_await cpu.write_reg(aux, soc::kRegDfxcReadback, 1);
-  const std::uint64_t payload = co_await cpu.irq_from(aux).receive();
-  PRESP_ASSERT_MSG((payload & 0xFF) == soc::kIrqReadbackDone,
-                   "unexpected interrupt during readback");
-  const std::uint64_t verdict =
-      co_await cpu.read_reg(aux, soc::kRegDfxcVerify);
-  *ok = verdict == 1;
-  ++stats_.readbacks;
-  (void)kernel;
-  prc_lock_.release();
-  tile_lock(tile).release();
-  done.trigger();
-}
-
-sim::Process ReconfigurationManager::run(int tile, std::string module,
-                                         soc::AccelTask task,
-                                         sim::SimEvent& done) {
-  auto& kernel = soc_.kernel();
-  const sim::Time t0 = kernel.now();
-  // "During reconfiguration, it locks access to the device so that other
-  // threads trying to access it must wait."
-  co_await tile_lock(tile).acquire();
-  stats_.lock_wait_cycles += static_cast<long long>(kernel.now() - t0);
-
-  if (soc_.reconf_tile(tile).module() != module || driver(tile) != module) {
-    sim::SimEvent reconfigured(kernel);
-    reconfigure_locked(tile, module, reconfigured);
-    co_await reconfigured.wait();
-  } else {
-    ++stats_.reconfigurations_avoided;
-  }
-
-  // Program the task and start the accelerator.
-  auto& cpu = soc_.cpu();
-  co_await cpu.write_reg(tile, soc::kRegSrc, task.src);
-  co_await cpu.write_reg(tile, soc::kRegDst, task.dst);
-  co_await cpu.write_reg(tile, soc::kRegItems,
-                         static_cast<std::uint64_t>(task.items));
-  co_await cpu.write_reg(tile, soc::kRegAuxArg, task.aux);
-  co_await cpu.write_reg(tile, soc::kRegCmd, 1);
-
-  // Wait for the done interrupt from the tile.
-  const std::uint64_t payload = co_await cpu.irq_from(tile).receive();
-  PRESP_ASSERT_MSG(payload == soc::kIrqAccelDone,
-                   "unexpected interrupt while waiting for completion");
-  ++stats_.runs;
-
-  tile_lock(tile).release();
+  Completion completion(soc_.kernel());
+  verify_partition(tile, std::move(module), ok, completion);
+  co_await completion.wait();
   done.trigger();
 }
 

@@ -12,6 +12,20 @@
 //
 // The driver registry mirrors ESP's driver (un)registration: each tile has
 // at most one loaded driver; swapping costs a modeled latency.
+//
+// Fault tolerance (the robustness layer): every ICAP transfer and every
+// accelerator run is guarded by a simulated-clock watchdog. A watchdog
+// fire reads back the hardware status registers to distinguish a lost
+// completion interrupt (accepted as success) from a genuine hang
+// (recovered by a DFX-controller reset or a forced partition rewrite),
+// then retries with exponential backoff under a per-request retry budget.
+// When the budget is exhausted the request escalates instead of throwing:
+// the partition is blanked with the greybox image, the tile is
+// quarantined in the TileHealthRegistry, and the final status is surfaced
+// through the request's Completion. Subsequent run() calls re-route to a
+// healthy tile that hosts — or can be reconfigured to — the same module;
+// if none exists the caller learns via kQuarantined and falls back to
+// software. Error paths never throw across a coroutine suspension.
 #pragma once
 
 #include <cstdint>
@@ -20,9 +34,57 @@
 #include <string>
 
 #include "runtime/bitstream_store.hpp"
+#include "runtime/health.hpp"
 #include "soc/soc.hpp"
 
 namespace presp::runtime {
+
+/// Final status of a manager request, surfaced through its Completion.
+enum class RequestStatus {
+  kOk = 0,
+  /// Every reconfiguration attempt failed the bitstream CRC check.
+  kCrcExhausted,
+  /// The watchdog retry budget was exhausted on hangs/stalls.
+  kTimeout,
+  /// The target tile is quarantined and no healthy tile could take the
+  /// request.
+  kQuarantined,
+};
+
+const char* to_string(RequestStatus status);
+
+/// Completion channel for manager requests: a SimEvent plus the final
+/// status and the tile the request actually landed on (re-routing may
+/// pick a different tile than requested). Must outlive the request.
+class Completion {
+ public:
+  explicit Completion(sim::Kernel& kernel) : event_(kernel) {}
+
+  auto wait() { return event_.wait(); }
+  void reset() {
+    event_.reset();
+    status_ = RequestStatus::kOk;
+    tile_ = -1;
+  }
+
+  bool triggered() const { return event_.triggered(); }
+  RequestStatus status() const { return status_; }
+  bool ok() const { return status_ == RequestStatus::kOk; }
+  /// Tile the request finally executed on (-1 if it never reached one).
+  int tile() const { return tile_; }
+
+  /// Called by the manager: records the outcome and wakes waiters.
+  void complete(RequestStatus status, int tile = -1) {
+    status_ = status;
+    tile_ = tile;
+    event_.trigger();
+  }
+
+ private:
+  sim::SimEvent event_;
+  RequestStatus status_ = RequestStatus::kOk;
+  int tile_ = -1;
+};
 
 struct ManagerOptions {
   /// Cycles to unregister + register an accelerator driver (Linux module
@@ -32,22 +94,66 @@ struct ManagerOptions {
   long long request_overhead_cycles = 2'000;
   /// Attempts per reconfiguration before giving up on CRC errors.
   int max_attempts = 3;
+  /// Watchdog floor for one ICAP transfer; the actual deadline adds
+  /// watchdog_reconf_margin times the image's nominal streaming time.
+  long long watchdog_reconf_base_cycles = 200'000;
+  double watchdog_reconf_margin = 8.0;
+  /// Watchdog for one accelerator run (applications should size this a
+  /// comfortable multiple of their longest kernel).
+  long long watchdog_run_cycles = 100'000'000;
+  /// Backoff before retry attempt n is backoff_base_cycles << (n - 1).
+  long long backoff_base_cycles = 10'000;
+  /// Watchdog recoveries per request before the tile is quarantined.
+  int retry_budget = 3;
+  /// Settle time after a recovery before stale interrupts are drained.
+  long long irq_drain_cycles = 2'000;
+  TileHealthOptions health;
 };
 
 struct ManagerStats {
   std::uint64_t reconfigurations = 0;
   std::uint64_t reconfigurations_avoided = 0;  // module already loaded
+  /// Requests that escalated (blank + quarantine) instead of completing.
+  std::uint64_t reconfigurations_failed = 0;
   std::uint64_t runs = 0;
   std::uint64_t driver_swaps = 0;
   /// CRC failures detected by the DFX controller and retried.
   std::uint64_t crc_retries = 0;
   std::uint64_t readbacks = 0;
+  /// Watchdog timeouts (reconfiguration or run) that triggered recovery.
+  std::uint64_t watchdog_fires = 0;
+  /// Completions whose interrupt was lost but whose status register
+  /// showed success (accepted without re-execution).
+  std::uint64_t lost_irq_recoveries = 0;
+  /// Interrupts that arrived for a superseded attempt and were discarded.
+  std::uint64_t stray_irqs = 0;
+  /// DFXC triggers nacked (controller busy) and retried.
+  std::uint64_t dropped_trigger_retries = 0;
+  /// Decoupler releases nacked (stuck-at fault) and retried.
+  std::uint64_t stuck_decouple_retries = 0;
+  /// Rejected CMD writes recovered by a forced partition rewrite.
+  std::uint64_t cmd_retries = 0;
+  /// Hung accelerator runs superseded by a forced partition rewrite.
+  std::uint64_t hung_run_repairs = 0;
+  /// run() requests re-routed from an unusable tile to a healthy one.
+  std::uint64_t reroutes = 0;
+  /// Tiles pulled from rotation after exhausting their retry budget.
+  std::uint64_t quarantines = 0;
+  /// Scrub passes (readback verify, rewrite on mismatch).
+  std::uint64_t scrubs = 0;
+  /// Scrubs/recoveries that repaired an upset partition by rewriting it.
+  std::uint64_t seu_repairs = 0;
+  /// Software-fallback executions recorded by the application layer.
+  std::uint64_t fallbacks = 0;
   /// Cycles software threads spent blocked on tile locks.
   long long lock_wait_cycles = 0;
   /// Cycles reconfiguration requests waited for the PRC.
   long long prc_wait_cycles = 0;
   /// Cycles spent actually reconfiguring (decouple -> driver loaded).
   long long reconfiguration_cycles = 0;
+  /// Cycles between a watchdog fire and the request completing (summed;
+  /// divide by watchdog_fires for the mean recovery latency).
+  long long recovery_cycles = 0;
   int max_queue_depth = 0;
 };
 
@@ -56,44 +162,79 @@ class ReconfigurationManager {
   ReconfigurationManager(soc::Soc& soc, BitstreamStore& store,
                          ManagerOptions options = {});
 
-  /// Ensures `module` is loaded in `tile`, reconfiguring if needed, then
-  /// programs and runs the task, waiting for the done interrupt. Signals
-  /// `done` at completion. Call from a software Process; one call at a
-  /// time per SimEvent. Parameters are taken by value: these are
-  /// coroutines, and reference parameters would dangle across
-  /// suspensions (`done` must outlive the call — it is the completion
-  /// channel).
+  /// Ensures `module` is loaded in a usable tile (re-routing away from
+  /// `tile` if it is quarantined), reconfiguring if needed, then programs
+  /// and runs the task and waits for the done interrupt under a watchdog.
+  /// Completes `done` with the final status and the tile that ran. Call
+  /// from a software Process; one call at a time per Completion.
+  /// Parameters are taken by value: these are coroutines, and reference
+  /// parameters would dangle across suspensions (`done` must outlive the
+  /// call — it is the completion channel).
   sim::Process run(int tile, std::string module, soc::AccelTask task,
-                   sim::SimEvent& done);
+                   Completion& done);
 
   /// Reconfiguration only (no task): loads `module` into `tile`.
   sim::Process ensure_module(int tile, std::string module,
-                             sim::SimEvent& done);
+                             Completion& done);
 
   /// Blanks the tile's partition (loads the greybox bitstream registered
   /// with BitstreamStore::add_blank) and unregisters its driver.
-  sim::Process clear_partition(int tile, sim::SimEvent& done);
+  sim::Process clear_partition(int tile, Completion& done);
 
   /// Readback verification: streams the partition's configuration back
   /// through the ICAP and compares it with the golden image of `module`.
-  /// Writes the outcome to *ok and signals `done`.
+  /// Writes the outcome to *ok and completes `done`.
+  sim::Process verify_partition(int tile, std::string module, bool* ok,
+                                Completion& done);
+
+  /// Scrub pass: readback-verify the tile's current module and repair an
+  /// upset partition by rewriting it with the golden bitstream. Completes
+  /// kOk when the partition is clean (or empty) afterwards.
+  sim::Process scrub(int tile, Completion& done);
+
+  /// Legacy completion-event entry points; identical behavior, but the
+  /// final status is dropped (they exist so single-threaded callers that
+  /// predate the fault layer keep working unchanged).
+  sim::Process run(int tile, std::string module, soc::AccelTask task,
+                   sim::SimEvent& done);
+  sim::Process ensure_module(int tile, std::string module,
+                             sim::SimEvent& done);
+  sim::Process clear_partition(int tile, sim::SimEvent& done);
   sim::Process verify_partition(int tile, std::string module, bool* ok,
                                 sim::SimEvent& done);
 
+  /// Re-admits a quarantined tile (administrative: the next request
+  /// reconfigures it from scratch and it must earn healthy status back).
+  void rehabilitate(int tile) { health_.rehabilitate(tile); }
+
+  /// Records a software-fallback execution (kept here so the fault
+  /// tolerance story is visible in one stats block).
+  void note_fallback() { ++stats_.fallbacks; }
+
   const ManagerStats& stats() const { return stats_; }
+  const TileHealthRegistry& health() const { return health_; }
+  TileHealthRegistry& health() { return health_; }
   /// Currently loaded driver for a tile ("" if none).
   const std::string& driver(int tile) const;
 
  private:
   /// Core reconfiguration sequence; caller must hold the tile lock.
+  /// Never throws after its first suspension: failures surface through
+  /// `done`, and on escalation the partition is blanked and the tile
+  /// quarantined before completion.
   sim::Process reconfigure_locked(int tile, std::string module,
-                                  sim::SimEvent& done);
+                                  Completion& done);
+  /// Picks a usable tile for (tile, module): the tile itself when
+  /// usable, else a healthy tile already hosting — or reconfigurable
+  /// to — the module. Returns -1 if none.
+  int route_tile(int tile, const std::string& module);
   sim::Semaphore& tile_lock(int tile);
 
   soc::Soc& soc_;
   BitstreamStore& store_;
   ManagerOptions options_;
   ManagerStats stats_;
+  TileHealthRegistry health_;
   /// The single PRC/ICAP: the reconfiguration workqueue's serialization.
   sim::Semaphore prc_lock_;
   std::map<int, std::unique_ptr<sim::Semaphore>> tile_locks_;

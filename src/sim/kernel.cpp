@@ -30,14 +30,17 @@ bool Kernel::cancel(std::uint64_t event_id) {
 void Kernel::pop_and_run() {
   Event* ev = queue_.top();
   queue_.pop();
-  now_ = ev->at;
   if (!ev->cancelled) {
+    now_ = ev->at;
     --live_events_;
     ++executed_;
     auto fn = std::move(ev->fn);
     ev->fn = nullptr;
     fn();
   } else {
+    // Cancelled events do not advance the clock: a cancelled watchdog
+    // timeout must leave the simulated time exactly as if it had never
+    // been armed.
     ev->fn = nullptr;
   }
   // Compact the pool when the queue fully drains to bound memory across

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -194,7 +195,9 @@ class Semaphore {
   std::deque<std::coroutine_handle<>> waiters_;
 };
 
-/// Unbounded FIFO channel between processes. Receivers block when empty.
+/// Unbounded FIFO channel between processes. Receivers block when empty;
+/// receive_for() races the delivery against a simulated-clock deadline —
+/// the watchdog primitive the runtime manager builds its recovery on.
 template <typename T>
 class Mailbox {
  public:
@@ -208,20 +211,39 @@ class Mailbox {
   void send(T item) {
     items_.push_back(std::move(item));
     if (!waiters_.empty()) {
-      const auto handle = waiters_.front();
+      Waiter* waiter = waiters_.front();
       waiters_.pop_front();
+      if (waiter->timer_id != 0) {
+        // The waiter is still queued, so its timeout has not fired yet;
+        // cancelling must succeed (single-threaded kernel).
+        const bool cancelled = kernel_->cancel(waiter->timer_id);
+        PRESP_ASSERT_MSG(cancelled, "mailbox timeout raced with delivery");
+        waiter->timer_id = 0;
+      }
+      const auto handle = waiter->handle;
       // Resume through the kernel so the receiver runs after the sender's
       // current event completes (deterministic, avoids reentrancy).
       kernel_->schedule(0, [handle] { handle.resume(); });
     }
   }
 
+  /// Non-blocking receive (e.g. draining stale interrupts after a
+  /// watchdog recovery).
+  std::optional<T> try_receive() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
   auto receive() {
     struct Awaiter {
       Mailbox& box;
+      Waiter waiter{};
       bool await_ready() const noexcept { return !box.items_.empty(); }
       void await_suspend(std::coroutine_handle<> handle) {
-        box.waiters_.push_back(handle);
+        waiter.handle = handle;
+        box.waiters_.push_back(&waiter);
       }
       T await_resume() {
         PRESP_ASSERT_MSG(!box.items_.empty(),
@@ -234,10 +256,60 @@ class Mailbox {
     return Awaiter{*this};
   }
 
+  /// Receive racing a timeout: resumes with the item, or with nullopt
+  /// once `timeout` cycles elapse with nothing delivered. Timed-out
+  /// waiters leave the queue, so a later send is kept for the next
+  /// receiver instead of being lost.
+  auto receive_for(Time timeout) {
+    struct Awaiter {
+      Mailbox& box;
+      Time timeout;
+      Waiter waiter{};
+      bool await_ready() const noexcept { return !box.items_.empty(); }
+      void await_suspend(std::coroutine_handle<> handle) {
+        waiter.handle = handle;
+        box.waiters_.push_back(&waiter);
+        Waiter* w = &waiter;
+        Mailbox* b = &box;
+        waiter.timer_id = box.kernel_->schedule(timeout, [b, w] {
+          w->timed_out = true;
+          w->timer_id = 0;
+          b->remove_waiter(w);
+          w->handle.resume();
+        });
+      }
+      std::optional<T> await_resume() {
+        if (waiter.timed_out) return std::nullopt;
+        PRESP_ASSERT_MSG(!box.items_.empty(),
+                         "mailbox resumed without an item");
+        T item = std::move(box.items_.front());
+        box.items_.pop_front();
+        return item;
+      }
+    };
+    return Awaiter{*this, timeout};
+  }
+
  private:
+  /// Waiter record living in the suspended awaiter (stable address).
+  struct Waiter {
+    std::coroutine_handle<> handle{};
+    std::uint64_t timer_id = 0;  // 0 = no timeout armed
+    bool timed_out = false;
+  };
+
+  void remove_waiter(Waiter* waiter) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (*it == waiter) {
+        waiters_.erase(it);
+        return;
+      }
+    }
+  }
+
   Kernel* kernel_;
   std::deque<T> items_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<Waiter*> waiters_;
 };
 
 }  // namespace presp::sim

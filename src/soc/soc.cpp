@@ -56,6 +56,11 @@ void Soc::load_module(int tile, const std::string& module) {
   reconf_tile(tile).load_module(module);
 }
 
+void Soc::set_fault_injector(fault::FaultInjector* injector) {
+  services_->injector = injector;
+  noc_->set_fault_injector(injector);
+}
+
 double Soc::seconds() const {
   return static_cast<double>(kernel_.now()) / (config_.clock_mhz * 1e6);
 }

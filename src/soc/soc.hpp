@@ -45,6 +45,14 @@ class Soc {
   /// Fabric-side module swap (invoked by the DFX controller model).
   void load_module(int tile, const std::string& module);
 
+  /// Attaches a fault injector to every hardware hook (tiles and NoC).
+  /// Null detaches. The injector must outlive the SoC or be detached
+  /// before destruction.
+  void set_fault_injector(fault::FaultInjector* injector);
+  fault::FaultInjector* fault_injector() const {
+    return services_->injector;
+  }
+
   /// Simulated seconds elapsed at the kernel's current time.
   double seconds() const;
 

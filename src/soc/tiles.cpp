@@ -58,6 +58,7 @@ sim::Process DmaPort::read(std::uint64_t addr, long long words,
   auto& box = services_.noc.rx(tile_, noc::Plane::kDmaRsp);
   while (received < words) {
     const noc::Packet pkt = co_await box.receive();
+    if (pkt.poisoned) poisoned_ = true;
     received += pkt.flits;
   }
   services_.energy.on_dram_words(words);
@@ -83,7 +84,8 @@ sim::Process DmaPort::write(std::uint64_t addr, long long words,
     sent += chunk;
   }
   auto& box = services_.noc.rx(tile_, noc::Plane::kDmaRsp);
-  (void)co_await box.receive();  // single ack for the whole transaction
+  const noc::Packet ack = co_await box.receive();
+  if (ack.poisoned) poisoned_ = true;
   services_.energy.on_dram_words(words);
   done.trigger();
 }
@@ -112,6 +114,10 @@ sim::Process CpuTile::response_server() {
     const noc::Packet pkt = co_await box.receive();
     const std::uint64_t op = tag_op(pkt.tag);
     if (op != kOpAck && op != kOpReadRsp) continue;  // not a response
+    // The config plane carries link-level ECC (losing a register ack
+    // would wedge the driver): poisoned responses are corrected in place
+    // and counted, never dropped.
+    if (pkt.poisoned) ++corrected_responses_;
     const auto it = pending_.find(tag_txn(pkt.tag));
     PRESP_ASSERT_MSG(it != pending_.end(), "response for unknown txn");
     *it->second.result = pkt.payload;
@@ -125,6 +131,12 @@ sim::Process CpuTile::irq_server() {
   auto& box = services_.noc.rx(index_, noc::Plane::kInterrupt);
   while (true) {
     const noc::Packet pkt = co_await box.receive();
+    if (pkt.poisoned) {
+      // A corrupted interrupt packet fails its parity check and is
+      // dropped; the runtime's watchdogs recover the lost completion.
+      ++dropped_irqs_;
+      continue;
+    }
     irq_from(static_cast<int>(pkt.tag)).send(pkt.payload);
   }
 }
@@ -202,7 +214,11 @@ sim::Process MemTile::config_server() {
 // ------------------------------------------------------------------ AUX
 
 AuxTile::AuxTile(SocServices& services, Soc& soc, int index)
-    : services_(services), soc_(soc), index_(index), dma_(services, index) {
+    : services_(services),
+      soc_(soc),
+      index_(index),
+      dma_(services, index),
+      reset_box_(std::make_unique<sim::Mailbox<int>>(services.kernel)) {
   config_server();
 }
 
@@ -212,33 +228,53 @@ sim::Process AuxTile::config_server() {
     const noc::Packet pkt = co_await box.receive();
     const std::uint64_t op = tag_op(pkt.tag);
     const std::uint32_t reg = tag_reg(pkt.tag);
-    std::uint64_t read_value = 0;
+    // Ack payload: reads return the register; trigger/readback writes
+    // return 1 when the controller was busy and the request was dropped.
+    std::uint64_t response = 0;
     if (reg < regs_.size()) {
       if (op == kOpWrite) {
         regs_[reg] = pkt.payload;
-        if (reg == kRegDfxcTrigger && regs_[kRegDfxcStatus] != 1) {
-          regs_[kRegDfxcStatus] = 1;
-          reconfigure(regs_[kRegDfxcBsAddr], regs_[kRegDfxcBsBytes],
-                      static_cast<int>(regs_[kRegDfxcTarget]));
-        } else if (reg == kRegDfxcReadback &&
-                   regs_[kRegDfxcStatus] != 1) {
-          regs_[kRegDfxcStatus] = 1;
-          readback(regs_[kRegDfxcBsAddr],
-                   static_cast<int>(regs_[kRegDfxcTarget]));
+        if (reg == kRegDfxcTrigger || reg == kRegDfxcReadback) {
+          if (regs_[kRegDfxcStatus] == 1) {
+            // Busy: the request is dropped, not queued. Report the drop
+            // in the ack so software can treat it as retryable.
+            ++dropped_triggers_;
+            response = 1;
+          } else {
+            regs_[kRegDfxcStatus] = 1;
+            if (reg == kRegDfxcTrigger) {
+              reconfigure(regs_[kRegDfxcBsAddr], regs_[kRegDfxcBsBytes],
+                          static_cast<int>(regs_[kRegDfxcTarget]));
+            } else {
+              readback(regs_[kRegDfxcBsAddr],
+                       static_cast<int>(regs_[kRegDfxcTarget]));
+            }
+          }
+        } else if (reg == kRegDfxcReset) {
+          // Abort any in-flight transfer and return to idle: bump the
+          // epoch (resumed transfers observe it and die) and wake a
+          // wedged ICAP stream immediately.
+          ++resets_;
+          ++epoch_;
+          regs_[kRegDfxcStatus] = 0;
+          reset_box_->send(1);
         }
       } else {
-        read_value = regs_[reg];
+        response = regs_[reg];
       }
     }
     services_.noc.send({noc::Plane::kConfig, index_, pkt.src, 1,
                         make_tag(op == kOpRead ? kOpReadRsp : kOpAck, reg,
                                  tag_txn(pkt.tag)),
-                        read_value});
+                        response});
   }
 }
 
 sim::Process AuxTile::reconfigure(std::uint64_t bs_addr,
                                   std::uint64_t bs_bytes, int target) {
+  // A DFXC reset bumps epoch_; every resumption below re-checks it so an
+  // aborted transfer dies without touching the fabric or the registers.
+  const std::uint64_t epoch = epoch_;
   const BitstreamBlob& blob = services_.memory.blob_at(bs_addr);
   PRESP_ASSERT_MSG(blob.bytes == bs_bytes,
                    "DFXC: BS_BYTES does not match the registered blob");
@@ -249,10 +285,13 @@ sim::Process AuxTile::reconfigure(std::uint64_t bs_addr,
   sim::SimEvent fetched(services_.kernel);
   dma_.read(bs_addr, words, fetched);
   co_await fetched.wait();
+  if (epoch != epoch_) co_return;
 
   // CRC check before anything touches the fabric: a corrupted transfer
-  // must never partially configure the partition.
-  if (services_.memory.consume_corruption(bs_addr)) {
+  // must never partially configure the partition. A poisoned NoC response
+  // burst fails the same check as a corrupted DRAM blob.
+  if (dma_.consume_poisoned() ||
+      services_.memory.consume_corruption(bs_addr)) {
     ++crc_errors_;
     regs_[kRegDfxcStatus] = 2;  // error
     services_.noc.send({noc::Plane::kInterrupt, index_, services_.cpu_tile,
@@ -262,12 +301,35 @@ sim::Process AuxTile::reconfigure(std::uint64_t bs_addr,
     co_return;
   }
 
+  // Injected ICAP stall: the write stream wedges before the first word.
+  // A DFXC reset wakes it immediately (and aborts via the epoch check);
+  // otherwise the stall clears on its own after the configured window and
+  // the transfer resumes.
+  if (services_.injector != nullptr &&
+      services_.injector->on_icap_transfer(target)) {
+    ++icap_stalls_;
+    while (reset_box_->try_receive().has_value()) {
+    }
+    co_await reset_box_->receive_for(
+        static_cast<sim::Time>(services_.options.fault_icap_stall_cycles));
+    if (epoch != epoch_) co_return;
+  }
+
   // ...and stream it into the ICAP.
   const auto icap_cycles = static_cast<sim::Time>(
       static_cast<double>(bs_bytes) /
       services_.options.icap_bytes_per_cycle);
   co_await sim::Delay(services_.kernel, icap_cycles);
+  if (epoch != epoch_) co_return;
   services_.energy.on_icap(static_cast<long long>(icap_cycles));
+
+  // Injected DFXC hang: the stream finished but the controller never
+  // signals completion — the fabric keeps the old module, DFXC_STATUS
+  // stays busy until software resets the controller and retries.
+  if (services_.injector != nullptr &&
+      services_.injector->on_dfxc_completion(target)) {
+    co_return;
+  }
 
   // The fabric now holds the new module (empty name = blanking image).
   soc_.load_module(target, blob.module);
@@ -293,7 +355,8 @@ sim::Process AuxTile::readback(std::uint64_t bs_addr, int target) {
   co_await sim::Delay(services_.kernel, icap_cycles);
   services_.energy.on_icap(static_cast<long long>(icap_cycles));
 
-  const bool match = soc_.reconf_tile(target).module() == blob.module;
+  const ReconfTile& tile = soc_.reconf_tile(target);
+  const bool match = tile.module() == blob.module && !tile.config_upset();
   regs_[kRegDfxcVerify] = match ? 1 : 2;
   regs_[kRegDfxcStatus] = 0;
   services_.noc.send({noc::Plane::kInterrupt, index_, services_.cpu_tile, 1,
@@ -309,7 +372,8 @@ ReconfTile::ReconfTile(SocServices& services, int index,
     : services_(services),
       index_(index),
       partition_(std::move(partition)),
-      dma_(services, index) {
+      dma_(services, index),
+      abort_box_(std::make_unique<sim::Mailbox<int>>(services.kernel)) {
   config_server();
 }
 
@@ -324,6 +388,16 @@ void ReconfTile::load_module(const std::string& name) {
     services_.energy.on_configured_change(spec_->luts);
   regs_[kRegStatus] = kStatusIdle;
   regs_[kRegModuleId] = spec_ == nullptr ? 0 : 1;
+  // Rewriting the frames clears any configuration upset and supersedes a
+  // hung run (which observes the generation bump when woken).
+  config_upset_ = false;
+  ++generation_;
+  abort_box_->send(1);
+}
+
+void ReconfTile::inject_seu() {
+  config_upset_ = true;
+  ++seu_upsets_;
 }
 
 sim::Process ReconfTile::config_server() {
@@ -332,7 +406,9 @@ sim::Process ReconfTile::config_server() {
     const noc::Packet pkt = co_await box.receive();
     const std::uint64_t op = tag_op(pkt.tag);
     const std::uint32_t reg = tag_reg(pkt.tag);
-    std::uint64_t read_value = 0;
+    // Ack payload: reads return the register; CMD / DECOUPLE writes nack
+    // with 1 when the wrapper refused the operation.
+    std::uint64_t response = 0;
     if (reg < regs_.size()) {
       if (op == kOpWrite) {
         if (reg == kRegDecouple && pkt.payload != 0 &&
@@ -340,28 +416,67 @@ sim::Process ReconfTile::config_server() {
           ++unsafe_decouples_;
         }
         if (reg == kRegCmd) {
+          // An SEU strike surfaces at the next start attempt: the
+          // wrapper's frame-level parity refuses to launch on upset
+          // frames, so the fault is detected before it can corrupt data.
+          if (pkt.payload == 1 && services_.injector != nullptr &&
+              services_.injector->on_seu_check(index_)) {
+            inject_seu();
+          }
           if (pkt.payload == 1 && spec_ != nullptr && !decoupled() &&
-              regs_[kRegStatus] != kStatusRunning) {
+              !config_upset_ && regs_[kRegStatus] != kStatusRunning) {
             regs_[kRegStatus] = kStatusRunning;
             run_accelerator();
           } else {
             ++rejected_commands_;
+            response = 1;
           }
+        } else if (reg == kRegDecouple && pkt.payload == 0 &&
+                   regs_[kRegDecouple] != 0 &&
+                   services_.injector != nullptr &&
+                   services_.injector->on_decoupler_release(index_)) {
+          // Injected stuck-at fault: the release is dropped and nacked;
+          // the partition stays decoupled until a later release lands.
+          ++stuck_decouples_;
+          response = 1;
         } else {
           regs_[reg] = pkt.payload;
         }
       } else {
-        read_value = regs_[reg];
+        response = regs_[reg];
       }
     }
     services_.noc.send({noc::Plane::kConfig, index_, pkt.src, 1,
                         make_tag(op == kOpRead ? kOpReadRsp : kOpAck, reg,
                                  tag_txn(pkt.tag)),
-                        read_value});
+                        response});
   }
 }
 
 sim::Process ReconfTile::run_accelerator() {
+  // A partition rewrite (load_module) bumps generation_; the run aborts
+  // at the next resumption so it never touches memory or raises an
+  // interrupt on behalf of a module that is no longer configured.
+  const std::uint64_t generation = generation_;
+
+  // Injected hang: the datapath wedges before any DMA or compute — no
+  // side effects, no done interrupt, STATUS stuck at running. Recovery is
+  // a forced partition rewrite (which wakes and supersedes the run) or,
+  // failing that, the wedge window expiring.
+  if (services_.injector != nullptr &&
+      services_.injector->on_accelerator_start(index_)) {
+    ++hung_runs_;
+    while (abort_box_->try_receive().has_value()) {
+    }
+    co_await abort_box_->receive_for(
+        static_cast<sim::Time>(services_.options.fault_accel_hang_cycles));
+    if (generation != generation_) co_return;
+    // Wedge cleared on its own with the module still in place: the run is
+    // abandoned, the wrapper returns to idle without side effects.
+    regs_[kRegStatus] = kStatusIdle;
+    co_return;
+  }
+
   const AcceleratorSpec& spec = *spec_;
   const AccelTask task{regs_[kRegSrc], regs_[kRegDst],
                        static_cast<long long>(regs_[kRegItems]),
@@ -392,17 +507,37 @@ sim::Process ReconfTile::run_accelerator() {
     dma_.read(task.src + static_cast<std::uint64_t>(done_items) * 8,
               in_words, dma_done);
     co_await dma_done.wait();
+    if (generation != generation_) co_return;
+    while (dma_.consume_poisoned()) {
+      // Link-level CRC failure on a response burst: re-issue the slice.
+      ++dma_retries_;
+      dma_done.reset();
+      dma_.read(task.src + static_cast<std::uint64_t>(done_items) * 8,
+                in_words, dma_done);
+      co_await dma_done.wait();
+      if (generation != generation_) co_return;
+    }
 
     co_await sim::Delay(
         services_.kernel,
         static_cast<sim::Time>(
             frac * static_cast<double>(total_compute)));
+    if (generation != generation_) co_return;
 
     if (out_words > 0) {
       dma_done.reset();
       dma_.write(task.dst + static_cast<std::uint64_t>(done_items) * 8,
                  out_words, dma_done);
       co_await dma_done.wait();
+      if (generation != generation_) co_return;
+      while (dma_.consume_poisoned()) {
+        ++dma_retries_;
+        dma_done.reset();
+        dma_.write(task.dst + static_cast<std::uint64_t>(done_items) * 8,
+                   out_words, dma_done);
+        co_await dma_done.wait();
+        if (generation != generation_) co_return;
+      }
     }
     done_items += slice;
   }

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "noc/noc.hpp"
 #include "soc/accelerator.hpp"
 #include "soc/energy.hpp"
@@ -52,6 +53,9 @@ inline constexpr std::uint32_t kRegDfxcTrigger = 19;
 inline constexpr std::uint32_t kRegDfxcStatus = 20;
 inline constexpr std::uint32_t kRegDfxcReadback = 21;
 inline constexpr std::uint32_t kRegDfxcVerify = 22;  // 1 pass, 2 fail
+/// Write 1: abort any in-flight transfer and return the DFXC to idle —
+/// the recovery handle the runtime watchdog uses on ICAP stalls / hangs.
+inline constexpr std::uint32_t kRegDfxcReset = 23;
 
 // STATUS values.
 inline constexpr std::uint64_t kStatusIdle = 0;
@@ -75,6 +79,12 @@ struct SocOptions {
   int dma_burst_flits = 128;
   /// ICAP throughput in bytes per SoC cycle (ICAPE2 at 78 MHz).
   double icap_bytes_per_cycle = 8.0;
+  /// Cycles an injected ICAP stall wedges the transfer before clearing on
+  /// its own (a DFXC reset aborts it immediately).
+  long long fault_icap_stall_cycles = 1'000'000'000;
+  /// Cycles an injected accelerator hang wedges the datapath before the
+  /// frame is abandoned (a partition rewrite aborts it immediately).
+  long long fault_accel_hang_cycles = 1'000'000'000;
 };
 
 class Soc;  // forward
@@ -91,6 +101,8 @@ struct SocServices {
   /// All MEM tiles; DMA interleaves across them by address (4 KB
   /// granularity), the ESP multi-memory-tile scheme.
   std::vector<int> mem_tiles;
+  /// Optional fault injector; tiles consult its hooks when non-null.
+  fault::FaultInjector* injector = nullptr;
 
   int mem_for(std::uint64_t addr) const {
     return mem_tiles[static_cast<std::size_t>((addr >> 12) %
@@ -114,10 +126,20 @@ class DmaPort {
   sim::Process write(std::uint64_t addr, long long words,
                      sim::SimEvent& done);
 
+  /// True if the last completed transaction saw a poisoned response
+  /// packet (clears the flag). Callers treat it as a transfer-level CRC
+  /// failure and retry.
+  bool consume_poisoned() {
+    const bool was = poisoned_;
+    poisoned_ = false;
+    return was;
+  }
+
  private:
   SocServices& services_;
   int tile_;
   std::uint64_t next_txn_ = 1;
+  bool poisoned_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -154,6 +176,12 @@ class CpuTile {
   sim::Mailbox<std::uint64_t>& irq_from(int source_tile);
 
   std::uint64_t reg_ops() const { return reg_ops_; }
+  /// Interrupt packets dropped because they arrived poisoned (the
+  /// runtime's watchdogs recover the lost completion).
+  std::uint64_t dropped_irqs() const { return dropped_irqs_; }
+  /// Config-plane responses that arrived poisoned and were corrected by
+  /// the link-level ECC (delivered, counted).
+  std::uint64_t corrected_responses() const { return corrected_responses_; }
 
  private:
   friend struct RegAccess;
@@ -168,6 +196,8 @@ class CpuTile {
   int index_;
   std::uint64_t next_txn_ = 1;
   std::uint64_t reg_ops_ = 0;
+  std::uint64_t dropped_irqs_ = 0;
+  std::uint64_t corrected_responses_ = 0;
   std::map<std::uint64_t, Pending> pending_;
   std::map<int, std::unique_ptr<sim::Mailbox<std::uint64_t>>> irqs_;
 };
@@ -202,6 +232,14 @@ class AuxTile {
   std::uint64_t icap_bytes() const { return icap_bytes_; }
   /// Reconfigurations aborted by the CRC check.
   std::uint64_t crc_errors() const { return crc_errors_; }
+  /// Trigger writes ignored because the controller was busy. The runtime
+  /// manager treats a dropped trigger as a retryable event (the ack
+  /// payload reports the drop).
+  std::uint64_t dropped_triggers() const { return dropped_triggers_; }
+  /// DFXC resets issued by software (watchdog recovery).
+  std::uint64_t resets() const { return resets_; }
+  /// Injected ICAP stalls observed (wedged transfers).
+  std::uint64_t icap_stalls() const { return icap_stalls_; }
 
  private:
   sim::Process config_server();
@@ -219,6 +257,14 @@ class AuxTile {
   std::uint64_t reconfigurations_ = 0;
   std::uint64_t icap_bytes_ = 0;
   std::uint64_t crc_errors_ = 0;
+  std::uint64_t dropped_triggers_ = 0;
+  std::uint64_t resets_ = 0;
+  std::uint64_t icap_stalls_ = 0;
+  /// Bumped by kRegDfxcReset; in-flight transfers abort when they observe
+  /// a newer epoch after resuming.
+  std::uint64_t epoch_ = 0;
+  /// Wakes a wedged (stalled) transfer early on reset.
+  std::unique_ptr<sim::Mailbox<int>> reset_box_;
 };
 
 // ---------------------------------------------------------------------------
@@ -233,14 +279,31 @@ class ReconfTile {
   bool decoupled() const { return regs_[kRegDecouple] != 0; }
 
   /// Fabric-side module swap, invoked by the DFX controller at the end of
-  /// a successful reconfiguration. Empty name = blank partition.
+  /// a successful reconfiguration. Empty name = blank partition. Clears
+  /// any SEU upset (the frames are rewritten) and aborts a hung run.
   void load_module(const std::string& name);
+
+  /// The partition's configuration frames are upset (SEU). The wrapper
+  /// rejects commands until the partition is rewritten; readback
+  /// verification reports a mismatch. Exposed for tests/scrub drills.
+  bool config_upset() const { return config_upset_; }
+  void inject_seu();
 
   std::uint64_t invocations() const { return invocations_; }
   std::uint64_t rejected_commands() const { return rejected_commands_; }
   /// Decouple asserted while the accelerator was running: a software
-  /// sequencing hazard (the runtime manager's tile lock prevents it).
+  /// sequencing hazard in normal operation (the runtime manager's tile
+  /// lock prevents it), but also the deliberate first step of a forced
+  /// repair of a hung accelerator.
   std::uint64_t unsafe_decouples() const { return unsafe_decouples_; }
+  /// Decoupler releases dropped by an injected stuck-at fault.
+  std::uint64_t stuck_decouples() const { return stuck_decouples_; }
+  /// SEU upsets injected into this partition.
+  std::uint64_t seu_upsets() const { return seu_upsets_; }
+  /// Accelerator runs that wedged (done interrupt never raised).
+  std::uint64_t hung_runs() const { return hung_runs_; }
+  /// DMA transactions retried after poisoned response packets.
+  std::uint64_t dma_retries() const { return dma_retries_; }
   long long busy_cycles() const { return busy_cycles_; }
 
  private:
@@ -257,7 +320,17 @@ class ReconfTile {
   std::uint64_t invocations_ = 0;
   std::uint64_t rejected_commands_ = 0;
   std::uint64_t unsafe_decouples_ = 0;
+  std::uint64_t stuck_decouples_ = 0;
+  std::uint64_t seu_upsets_ = 0;
+  std::uint64_t hung_runs_ = 0;
+  std::uint64_t dma_retries_ = 0;
   long long busy_cycles_ = 0;
+  bool config_upset_ = false;
+  /// Bumped by load_module; a hung run aborts when its generation is
+  /// superseded (the partition was rewritten underneath it).
+  std::uint64_t generation_ = 0;
+  /// Wakes a wedged datapath early when the partition is rewritten.
+  std::unique_ptr<sim::Mailbox<int>> abort_box_;
 };
 
 }  // namespace presp::soc

@@ -267,9 +267,11 @@ WamiApp::WamiApp(char which, WamiAppOptions options)
 
   soc_ = std::make_unique<soc::Soc>(table6_soc(which), state_->registry,
                                     options_.soc);
+  if (options_.fault.injector != nullptr)
+    soc_->set_fault_injector(options_.fault.injector);
   store_ = std::make_unique<runtime::BitstreamStore>(soc_->memory());
-  manager_ =
-      std::make_unique<runtime::ReconfigurationManager>(*soc_, *store_);
+  manager_ = std::make_unique<runtime::ReconfigurationManager>(
+      *soc_, *store_, options_.manager);
 
   // DRAM layout.
   auto& mem = soc_->memory();
@@ -311,6 +313,24 @@ WamiApp::WamiApp(char which, WamiAppOptions options)
       store_->add(reconf_indices[t], kernel_name(k), bytes);
     }
   }
+
+  // Cross-tile images: every kernel loadable on every tile, so a
+  // quarantined tile's work can re-route instead of dropping to software.
+  if (options_.fault.cross_tile_images) {
+    for (const int tile : reconf_indices) {
+      for (int k = 1; k <= kNumKernels; ++k) {
+        if (store_->has(tile, kernel_name(k))) continue;
+        store_->add(tile, kernel_name(k),
+                    static_cast<std::size_t>(
+                        state_->registry.get(kernel_name(k)).luts * 11));
+      }
+    }
+  }
+
+  // Greybox blanking images: the manager needs them to leave a safe
+  // partition behind when it escalates a failed request.
+  for (const int tile : reconf_indices)
+    if (!store_->has(tile, "")) store_->add_blank(tile, 65'536);
 }
 
 WamiApp::~WamiApp() = default;
@@ -324,7 +344,8 @@ namespace {
 /// of the reconfiguration latency, which is exactly the effect the paper
 /// observes ("[SoC_X] has a higher non-interleaved reconfiguration due to
 /// the fewer number of reconfigurable tiles").
-sim::Process tile_worker(runtime::ReconfigurationManager& manager,
+sim::Process tile_worker(soc::Soc& soc,
+                         runtime::ReconfigurationManager& manager,
                          sim::Kernel& kernel, WamiApp::State& state,
                          int tile, std::vector<int> members, int iterations,
                          WamiWorkload workload,
@@ -334,8 +355,10 @@ sim::Process tile_worker(runtime::ReconfigurationManager& manager,
     for (const int k : members) {
       if (!node_scheduled(k, iter, iterations)) continue;
       // Prefetch: swap the partition to this member immediately; the ICAP
-      // transfer overlaps the wait for upstream producers.
-      sim::SimEvent prefetched(kernel);
+      // transfer overlaps the wait for upstream producers. A non-ok
+      // prefetch is ignored: run() below re-routes or reports the final
+      // verdict.
+      runtime::Completion prefetched(kernel);
       manager.ensure_module(tile, kernel_name(k), prefetched);
       for (const Node dep : deps_of(k, iter, iterations))
         co_await state.done[node_index(dep.k, dep.iter)]->wait();
@@ -346,9 +369,25 @@ sim::Process tile_worker(runtime::ReconfigurationManager& manager,
       task.dst = task_dst;
       task.items = kernel_items(k, workload);
       task.aux = static_cast<std::uint64_t>(k);
-      sim::SimEvent run_done(kernel);
+      runtime::Completion run_done(kernel);
       manager.run(tile, kernel_name(k), task, run_done);
       co_await run_done.wait();
+      if (!run_done.ok()) {
+        // Hardware path exhausted (tile quarantined, no healthy host):
+        // degrade gracefully to the software kernel. Failed hardware
+        // attempts never executed the datapath, so this is the node's
+        // first and only execution — results stay bit-exact.
+        manager.note_fallback();
+        co_await state.cpu_lock->acquire();
+        const auto cycles = static_cast<sim::Time>(
+            static_cast<double>(kernel_items(k, workload)) *
+            static_cast<double>(kernel_cycles_per_item(k)) *
+            state.options.cpu_fallback_factor);
+        co_await sim::Delay(kernel, cycles);
+        soc.energy().on_cpu_busy(static_cast<long long>(cycles));
+        state.execute(soc.memory(), k);
+        state.cpu_lock->release();
+      }
       state.done[node_index(k, iter)]->trigger();
     }
   }
@@ -419,8 +458,9 @@ WamiAppResult WamiApp::run() {
             node_scheduled(k, iter, iterations))
           virtual_node(*soc_, s, k, iter, iterations);
     for (std::size_t t = 0; t < partitions.size(); ++t)
-      tile_worker(*manager_, kernel, s, reconf_indices[t], partitions[t],
-                  iterations, options_.workload, s.gray, s.mask);
+      tile_worker(*soc_, *manager_, kernel, s, reconf_indices[t],
+                  partitions[t], iterations, options_.workload, s.gray,
+                  s.mask);
 
     kernel.run();  // frame completes when every process settles
 
@@ -447,8 +487,22 @@ WamiAppResult WamiApp::run() {
                      s.golden_mask.pixels().begin()) &&
           soc_params == s.golden_params;
       result.all_verified = result.all_verified && stats.verified;
+      if (!stats.verified) ++result.frames_lost;
     }
     result.frames.push_back(stats);
+
+    // Between-frame maintenance: scrub partitions (repairs latent SEUs
+    // via readback verify + partial-bitstream rewrite) and, for soak
+    // runs, re-admit quarantined tiles.
+    if (options_.fault.scrub_between_frames) {
+      for (const int tile : reconf_indices) {
+        runtime::Completion scrubbed(kernel);
+        manager_->scrub(tile, scrubbed);
+        kernel.run();
+      }
+    }
+    if (options_.fault.rehabilitate_between_frames)
+      for (const int tile : reconf_indices) manager_->rehabilitate(tile);
   }
 
   // Aggregate: steady state excludes the first frame (cold bitstores).
@@ -472,6 +526,13 @@ WamiAppResult WamiApp::run() {
   result.icap_bytes = soc_->aux().icap_bytes();
   result.energy_breakdown = soc_->energy_breakdown();
   result.params = options_.functional ? s.load_params(mem) : AffineParams{};
+  result.software_fallbacks = manager_->stats().fallbacks;
+  result.watchdog_fires = manager_->stats().watchdog_fires;
+  result.reroutes = manager_->stats().reroutes;
+  result.quarantines = manager_->health().stats().quarantines;
+  result.scrub_repairs = manager_->stats().seu_repairs;
+  if (options_.fault.injector != nullptr)
+    result.faults_injected = options_.fault.injector->stats().total_injected();
   return result;
 }
 

@@ -33,6 +33,25 @@
 
 namespace presp::wami {
 
+/// Fault-tolerance knobs for chaos/soak experiments. With an injector
+/// attached the app still verifies every frame bit-exactly: failed
+/// hardware attempts never execute the datapath, so the software fallback
+/// (or the rerouted tile) is always the first and only execution.
+struct WamiFaultOptions {
+  /// Attached to the SoC before the first frame (not owned; must outlive
+  /// the app).
+  fault::FaultInjector* injector = nullptr;
+  /// Register every kernel's bitstream for every reconfigurable tile so
+  /// quarantined work can re-route instead of falling back to software.
+  bool cross_tile_images = false;
+  /// Readback-scrub every partition between frames (repairs SEUs that
+  /// have not yet been caught by a start-time check).
+  bool scrub_between_frames = false;
+  /// Re-admit quarantined tiles between frames (soak benches re-arm
+  /// faults each frame; rehabilitation keeps every tile in play).
+  bool rehabilitate_between_frames = false;
+};
+
 struct WamiAppOptions {
   WamiWorkload workload{128, 128};
   int frames = 3;
@@ -55,6 +74,9 @@ struct WamiAppOptions {
   /// matching the Table VI range); benches inject flow-measured sizes.
   std::vector<std::size_t> pbs_bytes;
   soc::SocOptions soc;
+  /// Runtime manager tuning (watchdogs, retry budgets, health policy).
+  runtime::ManagerOptions manager;
+  WamiFaultOptions fault;
 };
 
 struct FrameStats {
@@ -77,6 +99,18 @@ struct WamiAppResult {
   bool all_verified = true;
   /// Final registration parameters (functional runs).
   AffineParams params{};
+  // ---- fault-tolerance telemetry (zero without an injector) ----
+  /// Kernel nodes executed in software after the hardware path reported a
+  /// non-ok status.
+  std::uint64_t software_fallbacks = 0;
+  std::uint64_t watchdog_fires = 0;
+  std::uint64_t reroutes = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t scrub_repairs = 0;
+  std::uint64_t faults_injected = 0;
+  /// Frames whose outputs failed bit-exact verification (the soak target
+  /// is zero even under heavy fault injection).
+  int frames_lost = 0;
 };
 
 class WamiApp {

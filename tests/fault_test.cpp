@@ -1,0 +1,145 @@
+// Fault-injection library: trigger-count semantics of the injector hooks
+// and the determinism property of seeded FaultPlans (the contract
+// bench_chaos and tools/run_chaos.sh rely on).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/fault.hpp"
+
+namespace presp::fault {
+namespace {
+
+TEST(FaultInjector, FiresOnNthMatchingEventAndIsOneShot) {
+  FaultInjector injector;
+  injector.arm({FaultSite::kAccelHang, 3, -1, 3});
+  EXPECT_EQ(injector.pending(), 1u);
+  EXPECT_FALSE(injector.on_accelerator_start(3));
+  EXPECT_FALSE(injector.on_accelerator_start(3));
+  EXPECT_TRUE(injector.on_accelerator_start(3));  // the 3rd event fires
+  EXPECT_EQ(injector.pending(), 0u);
+  // One-shot: consumed when it fired.
+  EXPECT_FALSE(injector.on_accelerator_start(3));
+  const auto& stats = injector.stats();
+  EXPECT_EQ(stats.injected[static_cast<int>(FaultSite::kAccelHang)], 1u);
+  EXPECT_EQ(stats.observed[static_cast<int>(FaultSite::kAccelHang)], 4u);
+  EXPECT_EQ(stats.total_injected(), 1u);
+}
+
+TEST(FaultInjector, TileFilteringOnlyCountsMatchingEvents) {
+  FaultInjector injector;
+  injector.arm({FaultSite::kIcapStall, 5, -1, 2});
+  // Events on other tiles do not advance tile 5's stream.
+  EXPECT_FALSE(injector.on_icap_transfer(4));
+  EXPECT_FALSE(injector.on_icap_transfer(4));
+  EXPECT_FALSE(injector.on_icap_transfer(5));
+  EXPECT_TRUE(injector.on_icap_transfer(5));
+  EXPECT_EQ(injector.pending(), 0u);
+}
+
+TEST(FaultInjector, WildcardTileMatchesAnyTile) {
+  FaultInjector injector;
+  injector.arm({FaultSite::kSeuFlip, -1, -1, 2});
+  EXPECT_FALSE(injector.on_seu_check(7));
+  EXPECT_TRUE(injector.on_seu_check(9));
+}
+
+TEST(FaultInjector, NocCorruptMatchesOnPlane) {
+  FaultInjector injector;
+  injector.arm({FaultSite::kNocCorrupt, -1, 4, 2});
+  EXPECT_FALSE(injector.on_noc_packet(3));  // wrong plane: no advance
+  EXPECT_FALSE(injector.on_noc_packet(4));
+  EXPECT_FALSE(injector.on_noc_packet(3));
+  EXPECT_TRUE(injector.on_noc_packet(4));
+}
+
+TEST(FaultInjector, IndependentStreamsPerSite) {
+  FaultInjector injector;
+  injector.arm({FaultSite::kDfxcHang, 3, -1, 1});
+  injector.arm({FaultSite::kDecouplerStuck, 3, -1, 1});
+  EXPECT_EQ(injector.pending(), 2u);
+  // Each site keys its own event stream.
+  EXPECT_TRUE(injector.on_dfxc_completion(3));
+  EXPECT_EQ(injector.pending(), 1u);
+  EXPECT_TRUE(injector.on_decoupler_release(3));
+  EXPECT_EQ(injector.pending(), 0u);
+  EXPECT_EQ(injector.stats().total_injected(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+
+FaultPlanOptions plan_options(std::uint64_t seed) {
+  FaultPlanOptions options;
+  options.seed = seed;
+  options.faults = 64;
+  options.tiles = {3, 4, 6};
+  options.planes = {3, 4};
+  options.max_trigger_count = 8;
+  return options;
+}
+
+TEST(FaultPlan, SameSeedReproducesIdenticalSchedule) {
+  // The property bench_chaos's self-check and tools/run_chaos.sh build
+  // on: a plan is a pure function of its options.
+  for (const std::uint64_t seed : {1ull, 2ull, 42ull, 0xdeadbeefull}) {
+    const FaultPlan a(plan_options(seed));
+    const FaultPlan b(plan_options(seed));
+    EXPECT_EQ(a.specs(), b.specs());
+    EXPECT_EQ(a.describe(), b.describe());
+    EXPECT_EQ(a.seed(), seed);
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsProduceDifferentSchedules) {
+  const FaultPlan a(plan_options(1));
+  const FaultPlan b(plan_options(2));
+  EXPECT_NE(a.specs(), b.specs());
+}
+
+TEST(FaultPlan, RespectsOptionBounds) {
+  const FaultPlanOptions options = plan_options(7);
+  const FaultPlan plan(options);
+  ASSERT_EQ(plan.specs().size(), static_cast<std::size_t>(options.faults));
+  const std::set<int> tiles(options.tiles.begin(), options.tiles.end());
+  const std::set<int> planes(options.planes.begin(), options.planes.end());
+  for (const FaultSpec& spec : plan.specs()) {
+    EXPECT_GE(spec.trigger_count, 1u);
+    EXPECT_LE(spec.trigger_count, options.max_trigger_count);
+    if (spec.site == FaultSite::kNocCorrupt) {
+      EXPECT_TRUE(planes.contains(spec.plane));
+    } else {
+      EXPECT_TRUE(tiles.contains(spec.tile));
+    }
+  }
+}
+
+TEST(FaultPlan, MixZeroDisablesASite) {
+  FaultPlanOptions options = plan_options(11);
+  options.mix.noc_corrupt = 0.0;
+  options.mix.seu_flip = 0.0;
+  const FaultPlan plan(options);
+  for (const FaultSpec& spec : plan.specs()) {
+    EXPECT_NE(spec.site, FaultSite::kNocCorrupt);
+    EXPECT_NE(spec.site, FaultSite::kSeuFlip);
+  }
+}
+
+TEST(FaultPlan, ArmLoadsEverySpec) {
+  const FaultPlan plan(plan_options(5));
+  FaultInjector injector;
+  plan.arm(injector);
+  EXPECT_EQ(injector.pending(), plan.specs().size());
+}
+
+TEST(FaultPlan, DescribeListsHeaderPlusOneLinePerSpec) {
+  const FaultPlan plan(plan_options(3));
+  const std::string text = plan.describe();
+  std::size_t lines = 0;
+  for (const char c : text)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, plan.specs().size() + 1);
+  EXPECT_NE(text.find("seed=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace presp::fault

@@ -1,7 +1,10 @@
 // Failure injection and recovery: CRC errors on the ICAP path, partition
-// blanking, and the DPR sequencing rules the architecture enforces.
+// blanking, watchdog recovery from injected stalls/hangs/SEUs, tile
+// quarantine + re-routing, and the DPR sequencing rules the architecture
+// enforces.
 #include <gtest/gtest.h>
 
+#include "fault/fault.hpp"
 #include "runtime/api.hpp"
 #include "util/error.hpp"
 
@@ -110,9 +113,12 @@ TEST_F(ResilienceFixture, CrcErrorLeavesPartitionUntouched) {
   EXPECT_EQ(status, 2u);
 }
 
-TEST_F(ResilienceFixture, PersistentCorruptionExhaustsRetries) {
+TEST_F(ResilienceFixture, PersistentCorruptionEscalatesInsteadOfThrowing) {
   // Re-corrupt on every fetch by interposing: corrupt, run, corrupt again
-  // from a parallel process each time the DFXC reports an error.
+  // from a parallel process each time the DFXC reports an error. The
+  // request must not throw across the coroutine: it surfaces
+  // kCrcExhausted through the completion, quarantines the tile and leaves
+  // the partition blanked with the greybox image.
   soc_.memory().corrupt_blob(image_a_->address);
   auto saboteur = [&]() -> sim::Process {
     // Each time the blob's corruption is consumed, re-arm it (a stuck
@@ -123,11 +129,46 @@ TEST_F(ResilienceFixture, PersistentCorruptionExhaustsRetries) {
     }
   };
   saboteur();
-  sim::SimEvent done(soc_.kernel());
+  Completion done(soc_.kernel());
   manager_.run(3, "acc_a", task(), done);
-  EXPECT_THROW(soc_.kernel().run_until(50'000'000), Error);
-  EXPECT_FALSE(done.triggered());
+  soc_.kernel().run_until(50'000'000);
+  ASSERT_TRUE(done.triggered());
+  EXPECT_EQ(done.status(), RequestStatus::kCrcExhausted);
+  EXPECT_FALSE(done.ok());
   EXPECT_GE(manager_.stats().crc_retries, 2u);
+  EXPECT_EQ(manager_.stats().reconfigurations_failed, 1u);
+  EXPECT_EQ(manager_.stats().quarantines, 1u);
+  EXPECT_EQ(manager_.health().health(3), TileHealth::kQuarantined);
+  // The escalation blanked the partition (the blank image's blob is a
+  // different address, untouched by the saboteur) and dropped the driver.
+  EXPECT_TRUE(soc_.reconf_tile(3).module().empty());
+  EXPECT_TRUE(manager_.driver(3).empty());
+  EXPECT_EQ(manager_.stats().runs, 0u);
+}
+
+TEST_F(ResilienceFixture, QuarantinedTileRefusesNewWork) {
+  manager_.health().quarantine(3);
+  Completion done(soc_.kernel());
+  manager_.ensure_module(3, "acc_a", done);
+  soc_.kernel().run();
+  ASSERT_TRUE(done.triggered());
+  EXPECT_EQ(done.status(), RequestStatus::kQuarantined);
+  // No other reconfigurable tile exists, so run() reports the same.
+  Completion ran(soc_.kernel());
+  manager_.run(3, "acc_a", task(), ran);
+  soc_.kernel().run();
+  ASSERT_TRUE(ran.triggered());
+  EXPECT_EQ(ran.status(), RequestStatus::kQuarantined);
+  EXPECT_EQ(manager_.stats().runs, 0u);
+  // Rehabilitation re-admits the tile (as degraded) and work flows again.
+  manager_.rehabilitate(3);
+  EXPECT_EQ(manager_.health().health(3), TileHealth::kDegraded);
+  Completion again(soc_.kernel());
+  manager_.run(3, "acc_a", task(), again);
+  soc_.kernel().run();
+  ASSERT_TRUE(again.triggered());
+  EXPECT_EQ(again.status(), RequestStatus::kOk);
+  EXPECT_EQ(manager_.stats().runs, 1u);
 }
 
 TEST_F(ResilienceFixture, ClearPartitionBlanksAndUnloadsDriver) {
@@ -188,7 +229,10 @@ TEST_F(ResilienceFixture, BlankedPartitionDropsConfiguredPower) {
 
 TEST_F(ResilienceFixture, DfxcBusyIgnoresSecondTrigger) {
   // Trigger a long reconfiguration, then trigger again while busy: the
-  // second trigger must be ignored (DFXC_STATUS == 1).
+  // second trigger must be dropped (nacked with ack payload 1), counted
+  // in the DFXC's dropped-trigger stat, and must not disturb the
+  // in-flight transfer.
+  std::uint64_t second_ack = 0;
   auto proc = [&]() -> sim::Process {
     auto& cpu = soc_.cpu();
     co_await cpu.write_reg(3, soc::kRegDecouple, 1);
@@ -196,13 +240,240 @@ TEST_F(ResilienceFixture, DfxcBusyIgnoresSecondTrigger) {
     co_await cpu.write_reg(2, soc::kRegDfxcBsBytes, image_a_->bytes);
     co_await cpu.write_reg(2, soc::kRegDfxcTarget, 3);
     co_await cpu.write_reg(2, soc::kRegDfxcTrigger, 1);
-    co_await cpu.write_reg(2, soc::kRegDfxcTrigger, 1);  // while busy
+    second_ack = co_await cpu.write_reg(2, soc::kRegDfxcTrigger, 1);
     (void)co_await cpu.irq_from(2).receive();
     co_await cpu.write_reg(3, soc::kRegDecouple, 0);
   };
   proc();
   soc_.kernel().run();
   EXPECT_EQ(soc_.aux().reconfigurations(), 1u);
+  EXPECT_EQ(second_ack, 1u);  // nack: the trigger was refused
+  EXPECT_EQ(soc_.aux().dropped_triggers(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Injected cross-layer faults (src/fault): watchdog recovery, health
+// transitions and re-routing.
+
+class FaultDrillFixture : public ResilienceFixture {
+ protected:
+  FaultDrillFixture() { soc_.set_fault_injector(&injector_); }
+
+  void arm(fault::FaultSite site, int tile, std::uint64_t trigger_count = 1,
+           int plane = -1) {
+    injector_.arm({site, tile, plane, trigger_count});
+  }
+
+  fault::FaultInjector injector_;
+};
+
+TEST_F(FaultDrillFixture, WatchdogRecoversIcapStall) {
+  arm(fault::FaultSite::kIcapStall, 3);
+  Completion done(soc_.kernel());
+  manager_.run(3, "acc_a", task(), done);
+  soc_.kernel().run();
+  ASSERT_TRUE(done.triggered());
+  EXPECT_EQ(done.status(), RequestStatus::kOk);
+  EXPECT_EQ(done.tile(), 3);
+  // The stalled transfer was detected by the reconfiguration watchdog,
+  // aborted with a DFXC reset, and retried successfully.
+  EXPECT_GE(manager_.stats().watchdog_fires, 1u);
+  EXPECT_EQ(soc_.aux().icap_stalls(), 1u);
+  EXPECT_GE(soc_.aux().resets(), 1u);
+  EXPECT_EQ(soc_.reconf_tile(3).module(), "acc_a");
+  EXPECT_EQ(manager_.stats().runs, 1u);
+  EXPECT_EQ(soc_.reconf_tile(3).invocations(), 1u);
+  EXPECT_EQ(injector_.pending(), 0u);
+  EXPECT_GT(manager_.stats().recovery_cycles, 0);
+}
+
+TEST_F(FaultDrillFixture, WatchdogRecoversDfxcHang) {
+  arm(fault::FaultSite::kDfxcHang, 3);
+  Completion done(soc_.kernel());
+  manager_.run(3, "acc_a", task(), done);
+  soc_.kernel().run();
+  ASSERT_TRUE(done.triggered());
+  EXPECT_EQ(done.status(), RequestStatus::kOk);
+  EXPECT_GE(manager_.stats().watchdog_fires, 1u);
+  EXPECT_GE(soc_.aux().resets(), 1u);
+  // The hung attempt never swapped the module; only the retry counts.
+  EXPECT_EQ(soc_.aux().reconfigurations(), 1u);
+  EXPECT_EQ(soc_.reconf_tile(3).module(), "acc_a");
+  EXPECT_EQ(manager_.stats().runs, 1u);
+}
+
+TEST_F(FaultDrillFixture, HungAcceleratorIsRepairedByRewrite) {
+  arm(fault::FaultSite::kAccelHang, 3);
+  Completion done(soc_.kernel());
+  manager_.run(3, "acc_a", task(), done);
+  soc_.kernel().run();
+  ASSERT_TRUE(done.triggered());
+  EXPECT_EQ(done.status(), RequestStatus::kOk);
+  EXPECT_EQ(soc_.reconf_tile(3).hung_runs(), 1u);
+  EXPECT_EQ(manager_.stats().hung_run_repairs, 1u);
+  EXPECT_GE(manager_.stats().watchdog_fires, 1u);
+  // The wedged datapath never computed: exactly one completed invocation.
+  EXPECT_EQ(soc_.reconf_tile(3).invocations(), 1u);
+  EXPECT_EQ(manager_.stats().runs, 1u);
+}
+
+TEST_F(FaultDrillFixture, StuckDecouplerReleaseIsRetried) {
+  arm(fault::FaultSite::kDecouplerStuck, 3);
+  Completion done(soc_.kernel());
+  manager_.run(3, "acc_a", task(), done);
+  soc_.kernel().run();
+  ASSERT_TRUE(done.triggered());
+  EXPECT_EQ(done.status(), RequestStatus::kOk);
+  EXPECT_EQ(soc_.reconf_tile(3).stuck_decouples(), 1u);
+  EXPECT_EQ(manager_.stats().stuck_decouple_retries, 1u);
+  EXPECT_FALSE(soc_.reconf_tile(3).decoupled());
+  EXPECT_EQ(manager_.stats().runs, 1u);
+}
+
+TEST_F(FaultDrillFixture, SeuAtStartIsRepairedByRewrite) {
+  arm(fault::FaultSite::kSeuFlip, 3);
+  Completion done(soc_.kernel());
+  manager_.run(3, "acc_a", task(), done);
+  soc_.kernel().run();
+  ASSERT_TRUE(done.triggered());
+  EXPECT_EQ(done.status(), RequestStatus::kOk);
+  EXPECT_EQ(soc_.reconf_tile(3).seu_upsets(), 1u);
+  EXPECT_FALSE(soc_.reconf_tile(3).config_upset());  // rewrite cleared it
+  EXPECT_EQ(manager_.stats().cmd_retries, 1u);
+  // Initial load + repair rewrite.
+  EXPECT_EQ(soc_.aux().reconfigurations(), 2u);
+  EXPECT_EQ(manager_.stats().runs, 1u);
+}
+
+TEST_F(FaultDrillFixture, ScrubDetectsAndRepairsSeu) {
+  Completion prep(soc_.kernel());
+  manager_.ensure_module(3, "acc_a", prep);
+  soc_.kernel().run();
+  ASSERT_TRUE(prep.ok());
+
+  soc_.reconf_tile(3).inject_seu();
+  Completion scrubbed(soc_.kernel());
+  manager_.scrub(3, scrubbed);
+  soc_.kernel().run();
+  ASSERT_TRUE(scrubbed.triggered());
+  EXPECT_EQ(scrubbed.status(), RequestStatus::kOk);
+  EXPECT_EQ(manager_.stats().scrubs, 1u);
+  EXPECT_EQ(manager_.stats().seu_repairs, 1u);
+  EXPECT_GE(manager_.stats().readbacks, 1u);
+  EXPECT_FALSE(soc_.reconf_tile(3).config_upset());
+  EXPECT_EQ(soc_.reconf_tile(3).module(), "acc_a");
+
+  // A second scrub finds a clean partition: no extra repair.
+  Completion clean(soc_.kernel());
+  manager_.scrub(3, clean);
+  soc_.kernel().run();
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(manager_.stats().scrubs, 2u);
+  EXPECT_EQ(manager_.stats().seu_repairs, 1u);
+}
+
+TEST_F(FaultDrillFixture, LostDoneInterruptRecoveredFromStatusRegister) {
+  // Poison the second packet on the interrupt plane: the first is the
+  // reconfiguration-done interrupt, the second the accelerator's done.
+  arm(fault::FaultSite::kNocCorrupt, -1, 2,
+      static_cast<int>(noc::Plane::kInterrupt));
+  Completion done(soc_.kernel());
+  manager_.run(3, "acc_a", task(), done);
+  soc_.kernel().run();
+  ASSERT_TRUE(done.triggered());
+  EXPECT_EQ(done.status(), RequestStatus::kOk);
+  EXPECT_EQ(soc_.cpu().dropped_irqs(), 1u);
+  EXPECT_GE(manager_.stats().watchdog_fires, 1u);
+  EXPECT_EQ(manager_.stats().lost_irq_recoveries, 1u);
+  // Non-idempotence guard: the status register was accepted instead of
+  // re-running the kernel.
+  EXPECT_EQ(soc_.reconf_tile(3).invocations(), 1u);
+  EXPECT_EQ(manager_.stats().runs, 1u);
+}
+
+TEST_F(FaultDrillFixture, LostReconfInterruptRecoveredFromStatusRegister) {
+  arm(fault::FaultSite::kNocCorrupt, -1, 1,
+      static_cast<int>(noc::Plane::kInterrupt));
+  Completion done(soc_.kernel());
+  manager_.run(3, "acc_a", task(), done);
+  soc_.kernel().run();
+  ASSERT_TRUE(done.triggered());
+  EXPECT_EQ(done.status(), RequestStatus::kOk);
+  EXPECT_GE(manager_.stats().watchdog_fires, 1u);
+  EXPECT_GE(manager_.stats().lost_irq_recoveries, 1u);
+  EXPECT_EQ(soc_.aux().reconfigurations(), 1u);  // not re-transferred
+  EXPECT_EQ(manager_.stats().runs, 1u);
+}
+
+// Two reconfigurable tiles: exhausting the retry budget on one quarantines
+// it and re-routes the request to the healthy sibling.
+const char* kRerouteSocText = R"(
+[soc]
+name = reroute
+device = vc707
+rows = 2
+cols = 3
+
+[tiles]
+r0c0 = cpu
+r0c1 = mem
+r0c2 = aux
+r1c0 = reconf:acc_a,acc_b
+r1c1 = reconf:acc_a,acc_b
+r1c2 = empty
+)";
+
+TEST(QuarantineReroute, BudgetExhaustionReroutesToHealthyTile) {
+  soc::AcceleratorRegistry registry = test_registry();
+  soc::Soc soc(netlist::SocConfig::parse(kRerouteSocText), registry);
+  BitstreamStore store(soc.memory());
+  for (const int tile : {3, 4}) {
+    store.add(tile, "acc_a", 140'000);
+    store.add_blank(tile, 120'000);
+  }
+  ManagerOptions options;
+  options.watchdog_run_cycles = 200'000;  // keep the drill short
+  ReconfigurationManager manager(soc, store, options);
+  fault::FaultInjector injector;
+  soc.set_fault_injector(&injector);
+  // retry_budget = 3: the fourth consecutive hang on tile 3 exhausts it.
+  for (int i = 0; i < 4; ++i)
+    injector.arm({fault::FaultSite::kAccelHang, 3, -1, 1});
+
+  const std::uint64_t buf = soc.memory().allocate("buf", 1 << 16);
+  soc::AccelTask task;
+  task.src = buf;
+  task.dst = buf + 32'768;
+  task.items = 200;
+
+  Completion done(soc.kernel());
+  manager.run(3, "acc_a", task, done);
+  soc.kernel().run();
+  ASSERT_TRUE(done.triggered());
+  EXPECT_EQ(done.status(), RequestStatus::kOk);
+  EXPECT_EQ(done.tile(), 4);  // re-routed to the healthy sibling
+  EXPECT_EQ(manager.stats().reroutes, 1u);
+  EXPECT_EQ(manager.stats().quarantines, 1u);
+  EXPECT_EQ(manager.health().health(3), TileHealth::kQuarantined);
+  EXPECT_TRUE(manager.health().usable(4));
+  // Repairs ran for the three in-budget hangs; the fourth escalated.
+  EXPECT_EQ(manager.stats().hung_run_repairs, 3u);
+  // The quarantined tile was left blanked; the sibling hosts the module.
+  EXPECT_TRUE(soc.reconf_tile(3).module().empty());
+  EXPECT_EQ(soc.reconf_tile(4).module(), "acc_a");
+  EXPECT_EQ(soc.reconf_tile(4).invocations(), 1u);
+  EXPECT_EQ(manager.stats().runs, 1u);
+  EXPECT_EQ(injector.pending(), 0u);
+
+  // ensure_module on the quarantined tile reports kQuarantined without
+  // touching the hardware.
+  const std::uint64_t reconfs = soc.aux().reconfigurations();
+  Completion refused(soc.kernel());
+  manager.ensure_module(3, "acc_a", refused);
+  soc.kernel().run();
+  ASSERT_TRUE(refused.triggered());
+  EXPECT_EQ(refused.status(), RequestStatus::kQuarantined);
+  EXPECT_EQ(soc.aux().reconfigurations(), reconfs);
 }
 
 }  // namespace

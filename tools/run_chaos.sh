@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# Chaos determinism sweep: runs bench_chaos across a seed range, executes
+# every seed batch twice and diffs the full output. Any nondeterminism in
+# the fault plan, the simulator or the recovery path shows up as a diff;
+# any lost frame or missed acceptance check shows up as a non-zero bench
+# exit code.
+#
+# Usage: tools/run_chaos.sh [first_seed] [last_seed] [faults_per_seed]
+# Environment: BENCH=path/to/bench_chaos (default: build/bench/bench_chaos)
+set -eu
+
+FIRST=${1:-1}
+LAST=${2:-8}
+FAULTS=${3:-96}
+BENCH=${BENCH:-build/bench/bench_chaos}
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not found or not executable (build it first:" >&2
+  echo "  cmake --build build --target bench_chaos)" >&2
+  exit 2
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+failures=0
+seed=$FIRST
+while [ "$seed" -le "$LAST" ]; do
+  # One seed per batch so a diff pinpoints the offending seed.
+  if ! "$BENCH" "$seed" 1 "$FAULTS" >"$tmpdir/a.$seed" 2>&1; then
+    echo "seed $seed: FAILED acceptance (see below)"
+    cat "$tmpdir/a.$seed"
+    failures=$((failures + 1))
+    seed=$((seed + 1))
+    continue
+  fi
+  "$BENCH" "$seed" 1 "$FAULTS" >"$tmpdir/b.$seed" 2>&1 || true
+  if diff -u "$tmpdir/a.$seed" "$tmpdir/b.$seed" >"$tmpdir/d.$seed"; then
+    echo "seed $seed: deterministic, acceptance ok"
+  else
+    echo "seed $seed: NONDETERMINISTIC"
+    cat "$tmpdir/d.$seed"
+    failures=$((failures + 1))
+  fi
+  seed=$((seed + 1))
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "run_chaos: $failures seed(s) failed"
+  exit 1
+fi
+echo "run_chaos: all seeds $FIRST..$LAST deterministic and accepted"
