@@ -1,10 +1,25 @@
 // Google-benchmark microbenchmarks of the PR-ESP engines: floorplanner
 // candidate enumeration, annealing placer, negotiated-congestion router,
 // NoC packet transport, bitstream compression, and the WAMI kernels.
+//
+// `bench_micro --exec-compare [out.json]` skips google-benchmark and runs
+// the parallel-vs-serial comparison for the execution engine instead: the
+// full DPR flow at 1 vs 8 pool threads and the WAMI per-frame pipeline at
+// 1 vs 8 threads, cross-checking result checksums and emitting a
+// machine-readable BENCH_exec.json (speedup, efficiency, task count).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bitstream/bitstream.hpp"
 #include "core/calibration.hpp"
+#include "core/flow.hpp"
 #include "floorplan/floorplanner.hpp"
 #include "noc/noc.hpp"
 #include "pnr/engine.hpp"
@@ -13,6 +28,7 @@
 #include "wami/accelerators.hpp"
 #include "wami/frame_generator.hpp"
 #include "wami/kernels.hpp"
+#include "wami/pipeline.hpp"
 
 using namespace presp;
 
@@ -215,9 +231,153 @@ void BM_WamiChangeDetection(benchmark::State& state) {
 }
 BENCHMARK(BM_WamiChangeDetection);
 
+// ------------------------------------------------------ --exec-compare
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+std::uint64_t flow_checksum(const core::FlowResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = mix(h, bits_of(r.achieved_fmax_mhz));
+  h = mix(h, static_cast<std::uint64_t>(r.full_bitstream_bytes));
+  h = mix(h, bits_of(r.synth_makespan_minutes));
+  h = mix(h, bits_of(r.pnr_total_minutes));
+  for (const auto& m : r.modules) {
+    h = mix(h, static_cast<std::uint64_t>(m.pbs_raw_bytes));
+    h = mix(h, static_cast<std::uint64_t>(m.pbs_compressed_bytes));
+    h = mix(h, static_cast<std::uint64_t>(m.utilization.luts));
+    h = mix(h, m.routed ? 1u : 0u);
+  }
+  return h;
+}
+
+std::uint64_t wami_checksum(
+    const std::vector<wami::PipelineFrameResult>& results) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto& r : results) {
+    for (const double p : r.params) h = mix(h, bits_of(p));
+    h = mix(h, bits_of(r.residual));
+    h = mix(h, static_cast<std::uint64_t>(r.changed_pixels));
+    for (const float v : r.stabilized.pixels())
+      h = mix(h, bits_of(static_cast<double>(v)));
+  }
+  return h;
+}
+
+struct ExecCompareRow {
+  const char* name = "";
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  std::size_t tasks = 0;
+  bool checksum_match = false;
+  double speedup() const {
+    return parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  }
+};
+
+constexpr int kCompareThreads = 8;
+
+ExecCompareRow compare_flow(double* model_speedup) {
+  const auto device = fabric::Device::vc707();
+  const auto lib = wami::wami_library();
+  const auto run = [&](int threads, double* seconds) {
+    core::FlowOptions opt;
+    opt.exec_threads = threads;
+    const core::PrEspFlow flow(device, lib, opt);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = flow.run(wami::table4_soc('A'));
+    *seconds = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    return result;
+  };
+  ExecCompareRow row;
+  row.name = "flow_pnr_parallel_strategy";
+  const auto serial = run(1, &row.serial_seconds);
+  const auto parallel = run(kCompareThreads, &row.parallel_seconds);
+  row.tasks = parallel.exec.tasks;
+  row.checksum_match = flow_checksum(serial) == flow_checksum(parallel);
+  *model_speedup = parallel.exec.model_speedup;
+  return row;
+}
+
+ExecCompareRow compare_wami() {
+  wami::SceneOptions scene;
+  scene.width = 192;
+  scene.height = 192;
+  wami::FrameGenerator gen(scene);
+  std::vector<wami::ImageU16> frames;
+  for (int i = 0; i < 8; ++i) frames.push_back(gen.next_frame());
+  const auto run = [&](int threads, double* seconds) {
+    wami::PipelineOptions options;
+    options.threads = threads;
+    wami::WamiPipeline pipeline(options);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto results = pipeline.process_batch(frames);
+    *seconds = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    return results;
+  };
+  ExecCompareRow row;
+  row.name = "wami_pipeline";
+  const auto serial = run(1, &row.serial_seconds);
+  const auto parallel = run(kCompareThreads, &row.parallel_seconds);
+  row.tasks = frames.size();
+  row.checksum_match = wami_checksum(serial) == wami_checksum(parallel);
+  return row;
+}
+
+int run_exec_compare(const std::string& out_path) {
+  presp::set_log_level(presp::LogLevel::kWarn);
+  std::printf("exec-compare: serial vs %d pool threads (hardware threads: "
+              "%u)\n",
+              kCompareThreads, std::thread::hardware_concurrency());
+  double model_speedup = 1.0;
+  const ExecCompareRow rows[] = {compare_flow(&model_speedup),
+                                 compare_wami()};
+  bool ok = true;
+  std::ofstream json(out_path);
+  json << "{\n  \"threads\": " << kCompareThreads
+       << ",\n  \"hardware_threads\": "
+       << std::thread::hardware_concurrency()
+       << ",\n  \"flow_model_speedup\": " << model_speedup
+       << ",\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto& row = rows[i];
+    ok = ok && row.checksum_match;
+    const double efficiency = row.speedup() / kCompareThreads;
+    std::printf("  %-28s serial %8.3fs  parallel %8.3fs  speedup %5.2fx  "
+                "tasks %zu  checksums %s\n",
+                row.name, row.serial_seconds, row.parallel_seconds,
+                row.speedup(), row.tasks,
+                row.checksum_match ? "match" : "DIFFER");
+    json << "    {\"name\": \"" << row.name << "\", \"serial_seconds\": "
+         << row.serial_seconds << ", \"parallel_seconds\": "
+         << row.parallel_seconds << ", \"speedup\": " << row.speedup()
+         << ", \"efficiency\": " << efficiency << ", \"tasks\": "
+         << row.tasks << ", \"checksum_match\": "
+         << (row.checksum_match ? "true" : "false") << "}"
+         << (i + 1 < 2 ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("exec-compare: wrote %s\n", out_path.c_str());
+  if (!ok) std::printf("exec-compare: CHECKSUM MISMATCH\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--exec-compare")
+    return run_exec_compare(argc > 2 ? argv[2] : "BENCH_exec.json");
   presp::set_log_level(presp::LogLevel::kWarn);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

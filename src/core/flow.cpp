@@ -3,7 +3,11 @@
 #include "bitstream/artifact_io.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <memory>
 
+#include "exec/task_graph.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -25,6 +29,14 @@ PrEspFlow::PrEspFlow(const fabric::Device& device,
       options_(std::move(options)),
       model_(device, options_.model) {}
 
+namespace {
+/// LPT priority for a synthesis/P&R task: bigger netlists first.
+int lut_priority(long long luts) {
+  return static_cast<int>(std::min<long long>(
+      luts, std::numeric_limits<int>::max()));
+}
+}  // namespace
+
 FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
   FlowResult result;
   result.design = config.name;
@@ -34,10 +46,15 @@ FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
   const netlist::SocRtl rtl = netlist::elaborate(config, lib_);
   result.metrics = compute_metrics(rtl, lib_, device_);
 
-  // 2. Parallel out-of-context synthesis. One run for the static netlist,
-  // one per (partition, member); wall-clock is the slowest run.
-  const synth::Synthesizer synthesizer(lib_, options_.synth);
-  const synth::Checkpoint static_ckpt = synthesizer.synthesize_static(rtl);
+  // Task-parallel execution substrate. With exec_threads <= 1 the graphs
+  // below run serially on this thread in the same (priority, insertion)
+  // order the parallel scheduler uses at each release point; every task
+  // writes its own preallocated slot and reductions fold in job order, so
+  // the FlowResult is bit-identical at any pool width.
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (options_.exec_threads > 1)
+    pool = std::make_unique<exec::ThreadPool>(options_.exec_threads);
+  result.exec.threads = pool ? pool->threads() : 1;
 
   struct MemberJob {
     int partition_index;
@@ -49,6 +66,35 @@ FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
     for (const std::string& module : rtl.partitions()[p].modules)
       jobs.push_back(
           {p, module, netlist::SocRtl::module_resources(lib_, module).luts});
+
+  // 2. Parallel out-of-context synthesis. One task for the static netlist
+  // and one per (partition, member), longest-expected first (LPT). Each
+  // OoC synthesis is seeded by module name, so concurrent execution
+  // cannot change its output.
+  const synth::Synthesizer synthesizer(lib_, options_.synth);
+  synth::Checkpoint static_ckpt;
+  std::vector<synth::Checkpoint> ooc_ckpts(jobs.size());
+  {
+    exec::TaskGraph synth_graph;
+    synth_graph.add(
+        "synth:static",
+        [&] { static_ckpt = synthesizer.synthesize_static(rtl); }, {},
+        lut_priority(result.metrics.static_luts));
+    if (options_.run_physical) {
+      for (std::size_t j = 0; j < jobs.size(); ++j)
+        synth_graph.add(
+            "synth:" + jobs[j].module,
+            [&, j] {
+              ooc_ckpts[j] =
+                  synthesizer.synthesize_module_ooc(jobs[j].module);
+            },
+            {}, lut_priority(jobs[j].luts));
+    }
+    synth_graph.run(pool.get());
+    result.exec.tasks += synth_graph.size();
+    result.exec.synth_wall_seconds = synth_graph.makespan_seconds();
+    result.exec.busy_seconds += synth_graph.busy_seconds();
+  }
 
   const double static_synth =
       model_.synthesis(static_ckpt.utilization.luts);
@@ -114,64 +160,112 @@ FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
 
   pnr::PnrEngine engine(device_, options_.pnr);
   pnr::RoutingState static_state = engine.make_state();
-  bool physical_ok = true;
   const bitstream::BitstreamGenerator bitgen(device_);
 
-  double fmax = 1e9;
-  std::optional<pnr::PnrRun> static_run;
-  if (options_.run_physical) {
-    static_run =
-        engine.run_static(static_ckpt, result.pblocks, static_state);
-    physical_ok = static_run->success();
-    fmax = std::min(fmax, static_run->route.achieved_fmax_mhz);
-    result.full_bitstream_bytes =
-        bitgen
-            .full(config.name, static_ckpt.netlist,
-                  static_run->place.placement)
-            .raw_bytes();
+  // Model-attributed per-member fields (pure math — filled up front so the
+  // physical tasks below only touch their own preallocated slot).
+  result.modules.resize(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    ModuleImplementation& impl = result.modules[j];
+    impl.partition =
+        rtl.partitions()[static_cast<std::size_t>(jobs[j].partition_index)]
+            .name;
+    impl.module = jobs[j].module;
+    impl.synth_minutes = model_.synthesis(jobs[j].luts);
+    impl.pnr_minutes = result.decision.strategy == Strategy::kSerial
+                           ? model_.serial_marginal(jobs[j].luts)
+                           : model_.in_context_module(
+                                 jobs[j].luts, result.metrics.static_luts,
+                                 result.decision.tau);
   }
 
-  for (const MemberJob& job : jobs) {
-    ModuleImplementation impl;
-    impl.partition = rtl.partitions()[static_cast<std::size_t>(
-                                          job.partition_index)]
-                         .name;
-    impl.module = job.module;
-    impl.synth_minutes = model_.synthesis(job.luts);
-    impl.pnr_minutes = result.decision.strategy == Strategy::kSerial
-                           ? model_.serial_marginal(job.luts)
-                           : model_.in_context_module(
-                                 job.luts, result.metrics.static_luts,
-                                 result.decision.tau);
-    if (options_.run_physical) {
-      const synth::Checkpoint ooc =
-          synthesizer.synthesize_module_ooc(job.module);
-      impl.utilization = ooc.utilization;
-      const fabric::Pblock& pblock =
-          result.plan.pblocks[static_cast<std::size_t>(job.partition_index)];
-      const pnr::PnrRun run =
-          engine.run_partition(ooc, pblock, static_state);
-      impl.routed = run.success();
-      physical_ok = physical_ok && impl.routed;
-      fmax = std::min(fmax, run.route.achieved_fmax_mhz);
-      const bitstream::Bitstream pbs =
-          bitgen.partial(config.name, job.module, pblock, ooc.netlist,
-                         run.place.placement);
-      impl.pbs_raw_bytes = pbs.raw_bytes();
-      impl.pbs_compressed_bytes = pbs.compressed_bytes();
-      if (!options_.artifacts_dir.empty())
-        bitstream::write_bitstream(
-            pbs, options_.artifacts_dir + "/" +
-                     bitstream::pbs_filename(config.name, impl.partition,
-                                             job.module));
-    }
-    result.modules.push_back(std::move(impl));
-  }
-  result.physical_ok = options_.run_physical && physical_ok;
   if (options_.run_physical) {
+    // The P&R task graph mirrors the chosen schedule: the static run
+    // gates everything (partition runs negotiate against its routing
+    // state); each Table-I group is a serial chain of in-context member
+    // runs ("one Vivado instance"); the tau groups run concurrently.
+    // run_partition copies the static routing state, so every member sees
+    // the identical context regardless of interleaving.
+    std::vector<char> run_ok(jobs.size() + 1, 1);
+    std::vector<double> run_fmax(jobs.size() + 1, 1e9);
+    const std::size_t kStaticSlot = jobs.size();
+
+    exec::TaskGraph pnr_graph;
+    const exec::TaskId static_task = pnr_graph.add(
+        "pnr:static",
+        [&] {
+          const pnr::PnrRun run =
+              engine.run_static(static_ckpt, result.pblocks, static_state);
+          run_ok[kStaticSlot] = run.success() ? 1 : 0;
+          run_fmax[kStaticSlot] = run.route.achieved_fmax_mhz;
+          result.full_bitstream_bytes =
+              bitgen
+                  .full(config.name, static_ckpt.netlist,
+                        run.place.placement)
+                  .raw_bytes();
+        },
+        {}, std::numeric_limits<int>::max());
+
+    for (const auto& group : result.decision.groups) {
+      long long group_luts = 0;
+      for (const std::size_t j : group) group_luts += jobs[j].luts;
+      exec::TaskId prev = static_task;
+      for (const std::size_t j : group) {
+        prev = pnr_graph.add(
+            "pnr:" + jobs[j].module,
+            [&, j] {
+              ModuleImplementation& impl = result.modules[j];
+              const synth::Checkpoint& ooc = ooc_ckpts[j];
+              impl.utilization = ooc.utilization;
+              const fabric::Pblock& pblock =
+                  result.plan.pblocks[static_cast<std::size_t>(
+                      jobs[j].partition_index)];
+              const pnr::PnrRun run =
+                  engine.run_partition(ooc, pblock, static_state);
+              impl.routed = run.success();
+              run_ok[j] = impl.routed ? 1 : 0;
+              run_fmax[j] = run.route.achieved_fmax_mhz;
+              const bitstream::Bitstream pbs =
+                  bitgen.partial(config.name, jobs[j].module, pblock,
+                                 ooc.netlist, run.place.placement);
+              impl.pbs_raw_bytes = pbs.raw_bytes();
+              impl.pbs_compressed_bytes = pbs.compressed_bytes();
+              if (!options_.artifacts_dir.empty())
+                bitstream::write_bitstream(
+                    pbs, options_.artifacts_dir + "/" +
+                             bitstream::pbs_filename(
+                                 config.name, impl.partition,
+                                 jobs[j].module));
+            },
+            {prev}, lut_priority(group_luts));
+      }
+    }
+    pnr_graph.run(pool.get());
+    result.exec.tasks += pnr_graph.size();
+    result.exec.pnr_wall_seconds = pnr_graph.makespan_seconds();
+    result.exec.busy_seconds += pnr_graph.busy_seconds();
+
+    // Deterministic reductions, in fixed slot order (static, then jobs).
+    bool physical_ok = run_ok[kStaticSlot] != 0;
+    double fmax = run_fmax[kStaticSlot];
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      physical_ok = physical_ok && run_ok[j] != 0;
+      fmax = std::min(fmax, run_fmax[j]);
+    }
+    result.physical_ok = physical_ok;
     result.achieved_fmax_mhz = fmax;
     result.timing_met = fmax >= config.clock_mhz;
   }
+
+  result.exec.wall_seconds =
+      result.exec.synth_wall_seconds + result.exec.pnr_wall_seconds;
+  if (result.exec.wall_seconds > 0.0)
+    result.exec.measured_speedup =
+        result.exec.busy_seconds / result.exec.wall_seconds;
+  const double serial_pnr_minutes = model_.predict_serial(
+      result.metrics.static_luts, static_region_luts, module_luts);
+  if (eval.total > 0.0)
+    result.exec.model_speedup = serial_pnr_minutes / eval.total;
 
   PRESP_INFO("flow") << config.name << ": class "
                      << to_string(result.decision.design_class)
@@ -179,7 +273,11 @@ FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
                      << to_string(result.decision.strategy) << " (tau="
                      << result.decision.tau << "), P&R "
                      << result.pnr_total_minutes << " min, total "
-                     << result.total_minutes << " min";
+                     << result.total_minutes << " min; exec "
+                     << result.exec.tasks << " tasks on "
+                     << result.exec.threads << " threads, measured "
+                     << result.exec.measured_speedup << "x vs modeled "
+                     << result.exec.model_speedup << "x";
   return result;
 }
 

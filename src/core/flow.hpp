@@ -36,6 +36,10 @@ struct FlowOptions {
   floorplan::FloorplanOptions floorplan;
   pnr::PnrOptions pnr;
   RuntimeModelConstants model;
+  /// Worker threads for the flow's task graphs (OoC synthesis fan-out and
+  /// the strategy-shaped P&R schedule). <= 1 executes the identical graphs
+  /// serially on the calling thread; results are bit-identical either way.
+  int exec_threads = 0;
   int semi_tau = 2;  // the paper's evaluation fixes tau = 2 for semi-par
   /// Override Table I (used by the parallelism sweeps of Tables III/IV).
   std::optional<Strategy> force_strategy;
@@ -57,6 +61,24 @@ struct ModuleImplementation {
   bool routed = false;
   std::size_t pbs_raw_bytes = 0;
   std::size_t pbs_compressed_bytes = 0;
+};
+
+/// Measured (host wall-clock) execution of the flow's task graphs, the
+/// empirical counterpart of the analytical runtime model: the modeled
+/// schedule predicts CPU *minutes* per Vivado run, the exec report records
+/// how the actual task graph executed on this machine's pool.
+struct FlowExecReport {
+  int threads = 1;        // pool width used (1 = serial reference)
+  std::size_t tasks = 0;  // synthesis + P&R graph nodes executed
+  double synth_wall_seconds = 0.0;  // synthesis graph makespan
+  double pnr_wall_seconds = 0.0;    // P&R graph makespan
+  double wall_seconds = 0.0;        // sum of graph makespans
+  double busy_seconds = 0.0;        // serial-equivalent work in the graphs
+  /// busy / wall: the speedup this schedule actually achieved.
+  double measured_speedup = 1.0;
+  /// Model cross-check: predicted serial P&R minutes over the predicted
+  /// minutes of the chosen schedule (1.0 for the serial strategy).
+  double model_speedup = 1.0;
 };
 
 struct FlowResult {
@@ -83,6 +105,7 @@ struct FlowResult {
   double achieved_fmax_mhz = 0.0;
   /// achieved_fmax_mhz meets the configuration's clock_mhz target.
   bool timing_met = false;
+  FlowExecReport exec;
 
   const ModuleImplementation& module(const std::string& partition,
                                      const std::string& module_name) const;

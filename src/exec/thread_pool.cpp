@@ -1,0 +1,191 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace presp::exec {
+
+namespace {
+/// Index of the pool worker the current thread is, or -1 for external
+/// threads. One pool is expected per scope (flow run, pipeline, bench);
+/// nested pools would each see their own workers, so a plain thread_local
+/// index keyed by pool pointer keeps stealing correct even then.
+thread_local const ThreadPool* t_pool = nullptr;
+thread_local int t_worker = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  slots_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) slots_.push_back(std::make_unique<Slot>());
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  unfinished_.fetch_add(1, std::memory_order_relaxed);
+  const int w = (t_pool == this) ? t_worker : -1;
+  if (w >= 0) {
+    Slot& slot = *slots_[static_cast<std::size_t>(w)];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.deque.push_back(std::move(fn));
+  } else {
+    std::lock_guard<std::mutex> lock(injection_mutex_);
+    injection_.push_back(std::move(fn));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    ++epoch_;
+  }
+  wake_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::take(int worker) {
+  // 1. Own deque, newest first (cache-warm subtasks).
+  if (worker >= 0) {
+    Slot& own = *slots_[static_cast<std::size_t>(worker)];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.deque.empty()) {
+      auto fn = std::move(own.deque.back());
+      own.deque.pop_back();
+      return fn;
+    }
+  }
+  // 2. Injection queue, oldest first.
+  {
+    std::lock_guard<std::mutex> lock(injection_mutex_);
+    if (!injection_.empty()) {
+      auto fn = std::move(injection_.front());
+      injection_.pop_front();
+      return fn;
+    }
+  }
+  // 3. Steal from siblings, oldest first (largest remaining work).
+  const std::size_t n = slots_.size();
+  const std::size_t start =
+      worker >= 0 ? static_cast<std::size_t>(worker + 1) : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t victim = (start + i) % n;
+    if (worker >= 0 && victim == static_cast<std::size_t>(worker)) continue;
+    Slot& slot = *slots_[victim];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (!slot.deque.empty()) {
+      auto fn = std::move(slot.deque.front());
+      slot.deque.pop_front();
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+      return fn;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::execute(std::function<void()> fn) {
+  fn();
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    idle_cv_.notify_all();
+  }
+}
+
+bool ThreadPool::run_one() {
+  const int worker = (t_pool == this) ? t_worker : -1;
+  auto fn = take(worker);
+  if (!fn) return false;
+  execute(std::move(fn));
+  return true;
+}
+
+void ThreadPool::worker_loop(int index) {
+  t_pool = this;
+  t_worker = index;
+  while (true) {
+    if (auto fn = take(index)) {
+      execute(std::move(fn));
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (stop_) return;
+    const std::uint64_t seen = epoch_;
+    lock.unlock();
+    // Late re-check: a submit may have landed between the failed take and
+    // reading the epoch.
+    if (auto fn = take(index)) {
+      execute(std::move(fn));
+      continue;
+    }
+    lock.lock();
+    wake_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  while (true) {
+    if (run_one()) continue;
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (unfinished_.load(std::memory_order_acquire) == 0) return;
+    const std::uint64_t seen = epoch_;
+    // Wake on either full drain (idle_cv_) or new work to help with
+    // (epoch change). Periodic re-check covers the cross-cv race cheaply.
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return unfinished_.load(std::memory_order_acquire) == 0 ||
+             epoch_ != seen;
+    });
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  return {executed_.load(std::memory_order_relaxed),
+          stolen_.load(std::memory_order_relaxed)};
+}
+
+// ---------------------------------------------------------------- TaskGroup
+
+void TaskGroup::run(std::function<void()> fn) {
+  if (pool_ == nullptr || pool_->threads() <= 1) {
+    fn();  // serial mode: run inline, in submission order
+    return;
+  }
+  remaining_.fetch_add(1, std::memory_order_relaxed);
+  pool_->submit([this, fn = std::move(fn)] {
+    fn();
+    // The decrement must happen under mutex_: wait() re-acquires the mutex
+    // after observing zero, which then cannot succeed until this thread has
+    // released cv_ and the lock — so the caller cannot destroy the group
+    // while we are still touching it.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      cv_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  if (pool_ == nullptr) return;
+  while (remaining_.load(std::memory_order_acquire) != 0) {
+    if (pool_->run_one()) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    // The queued tasks are all running elsewhere; sleep until the group
+    // drains (short timeout re-checks the queues for late arrivals).
+    cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return remaining_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // Handshake with the final completion, whose decrement-to-zero runs under
+  // mutex_: once we hold the lock, that task has fully left cv_/mutex_ and
+  // destroying the group is safe.
+  std::lock_guard<std::mutex> lock(mutex_);
+}
+
+}  // namespace presp::exec

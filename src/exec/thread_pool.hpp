@@ -1,0 +1,142 @@
+// Work-stealing thread pool: the task-level parallel execution substrate
+// shared by the DPR flow (parallel OoC synthesis + strategy-shaped P&R
+// fan-out), the WAMI stage pipeline and the row-tiled kernels.
+//
+// Topology: one deque per worker plus an external injection queue. A
+// worker pops from the back of its own deque (LIFO: cache-warm subtasks
+// first) and, when empty, steals from the front of a sibling's deque
+// (FIFO: oldest, usually largest work) or the injection queue. Threads
+// submitting from outside the pool land in the injection queue.
+//
+// Determinism contract: the pool never promises an execution *order*, so
+// tasks must be data-independent (or ordered via TaskGraph dependencies)
+// and reductions must combine partial results in a task-index order chosen
+// by the caller. parallel_for() supports this by making chunk boundaries a
+// pure function of (range, grain) — never of the worker count — so a
+// chunk-indexed partial-sum reduction is bit-identical at 1, 2 or N
+// threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace presp::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues one task. Callable from any thread, including from inside a
+  /// running task (the subtask lands in the submitting worker's own deque).
+  void submit(std::function<void()> fn);
+
+  /// Runs one queued task on the calling thread if any is available
+  /// (own deque first, then steals). Returns false when nothing was found.
+  /// This is the help-while-waiting primitive TaskGroup/TaskGraph use so a
+  /// blocked submitter contributes cycles instead of sleeping.
+  bool run_one();
+
+  /// Blocks until every submitted task has finished, helping in the
+  /// meantime. Must not be called from inside a pool task (the running
+  /// task itself would never count as finished); use TaskGroup for nested
+  /// fork-join.
+  void wait_idle();
+
+  struct Stats {
+    std::uint64_t executed = 0;  // tasks run to completion
+    std::uint64_t stolen = 0;    // tasks taken from another worker's deque
+  };
+  Stats stats() const;
+
+ private:
+  struct Slot {
+    std::mutex mutex;
+    std::deque<std::function<void()>> deque;
+  };
+
+  void worker_loop(int index);
+  /// Takes a task: own deque back (worker >= 0), else injection front,
+  /// else steal from sibling fronts. Returns empty function if none.
+  std::function<void()> take(int worker);
+  void execute(std::function<void()> fn);
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::thread> threads_;
+
+  std::mutex injection_mutex_;
+  std::deque<std::function<void()>> injection_;
+
+  // Sleep/wake protocol: epoch_ increments under wake_mutex_ on every
+  // submit, so a worker that saw empty queues re-checks instead of
+  // sleeping through a wakeup.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable idle_cv_;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+
+  std::atomic<std::uint64_t> unfinished_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+};
+
+/// Fork-join group for nested parallelism: tasks spawned through a group
+/// can be waited on from inside another pool task (unlike
+/// ThreadPool::wait_idle). wait() helps execute queued tasks while the
+/// group drains.
+class TaskGroup {
+ public:
+  /// `pool` may be null: run() then executes inline (serial mode).
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+  ~TaskGroup() { wait(); }
+
+  void run(std::function<void()> fn);
+  void wait();
+
+ private:
+  ThreadPool* pool_;
+  std::atomic<std::uint64_t> remaining_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// Deterministically-chunked parallel loop: splits [begin, end) into
+/// chunks of exactly `grain` iterations (last chunk may be short) and runs
+/// `body(chunk_begin, chunk_end)` for each. Chunk boundaries depend only
+/// on (begin, end, grain) — never on the pool's thread count — so
+/// chunk-indexed reductions are bit-identical in serial and parallel.
+/// With a null pool (or a single chunk) the chunks run inline, in order.
+template <typename Body>
+void parallel_for(ThreadPool* pool, long long begin, long long end,
+                  long long grain, const Body& body) {
+  if (begin >= end) return;
+  if (grain < 1) grain = 1;
+  if (pool == nullptr || pool->threads() <= 1 || end - begin <= grain) {
+    for (long long lo = begin; lo < end; lo += grain)
+      body(lo, lo + grain < end ? lo + grain : end);
+    return;
+  }
+  TaskGroup group(pool);
+  for (long long lo = begin; lo < end; lo += grain) {
+    const long long hi = lo + grain < end ? lo + grain : end;
+    group.run([&body, lo, hi] { body(lo, hi); });
+  }
+  group.wait();
+}
+
+}  // namespace presp::exec

@@ -1,0 +1,68 @@
+#include "runtime/workqueue.hpp"
+
+#include <algorithm>
+
+namespace presp::runtime {
+
+RequestPool::RequestPool(sim::Kernel& kernel,
+                         ReconfigurationManager& manager, int workers)
+    : kernel_(kernel),
+      manager_(manager),
+      workers_(std::max(1, workers)) {}
+
+void RequestPool::enqueue(PoolRequest request) {
+  queue_.push_back(std::move(request));
+  ++stats_.enqueued;
+  stats_.max_queue_depth =
+      std::max(stats_.max_queue_depth, static_cast<int>(queue_.size()));
+}
+
+void RequestPool::drain() {
+  // Workers beyond the queue depth would exit immediately; don't spawn
+  // them. Spawn order is the determinism anchor: worker i's first dequeue
+  // happens at the same (time, sequence) point on every run.
+  const int spawn = std::min(
+      workers_ - active_workers_,
+      static_cast<int>(queue_.size()) - active_workers_);
+  for (int i = 0; i < spawn; ++i) worker();
+}
+
+sim::Process RequestPool::worker() {
+  ++active_workers_;
+  while (!queue_.empty()) {
+    PoolRequest request = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+
+    Completion scratch(kernel_);
+    Completion& done = request.done != nullptr ? *request.done : scratch;
+    bool scratch_ok = false;
+    bool* verify_ok =
+        request.verify_ok != nullptr ? request.verify_ok : &scratch_ok;
+    switch (request.kind) {
+      case PoolRequest::Kind::kRun:
+        manager_.run(request.tile, request.module, request.task, done);
+        break;
+      case PoolRequest::Kind::kEnsureModule:
+        manager_.ensure_module(request.tile, request.module, done);
+        break;
+      case PoolRequest::Kind::kClearPartition:
+        manager_.clear_partition(request.tile, done);
+        break;
+      case PoolRequest::Kind::kVerify:
+        manager_.verify_partition(request.tile, request.module, verify_ok,
+                                  done);
+        break;
+      case PoolRequest::Kind::kScrub:
+        manager_.scrub(request.tile, done);
+        break;
+    }
+    co_await done.wait();
+    ++stats_.completed;
+    if (!done.ok()) ++stats_.failed;
+    --in_flight_;
+  }
+  --active_workers_;
+}
+
+}  // namespace presp::runtime

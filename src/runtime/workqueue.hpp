@@ -1,0 +1,84 @@
+// Pool-backed request drain for the reconfiguration manager.
+//
+// The manager's entry points are one-shot coroutines: callers spawn a
+// request and await its Completion. Sequential code that needs many
+// requests (e.g. scrubbing every reconfigurable partition between frames)
+// used to issue them one at a time — spawn, run the kernel to quiescence,
+// repeat — which serializes even the phases that do not contend for the
+// single PRC/ICAP (driver swaps, backoff waits, readback comparisons).
+//
+// RequestPool gives such code task-level parallelism *in simulated time*:
+// requests are enqueued into a FIFO and `workers` worker processes drain
+// it concurrently, each dispatching to the unchanged manager entry points.
+// All of the manager's semantics are preserved by construction — the PRC
+// semaphore still serializes ICAP transfers, per-tile locks still guard
+// accelerator state, and the watchdog/health/quarantine machinery runs
+// inside the manager exactly as in the serial drain. The DES kernel is
+// single-threaded, so worker "concurrency" is deterministic interleaving
+// by (time, event-sequence) order: a drain of the same queue is
+// reproducible event-for-event.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "runtime/manager.hpp"
+
+namespace presp::runtime {
+
+/// One queued manager request. `done` (optional) must outlive the drain;
+/// when null the pool awaits an internal scratch completion.
+struct PoolRequest {
+  enum class Kind { kRun, kEnsureModule, kClearPartition, kVerify, kScrub };
+  Kind kind = Kind::kScrub;
+  int tile = -1;
+  std::string module;           // kRun / kEnsureModule / kVerify
+  soc::AccelTask task{};        // kRun
+  bool* verify_ok = nullptr;    // kVerify
+  Completion* done = nullptr;
+};
+
+class RequestPool {
+ public:
+  struct Stats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t completed = 0;
+    /// Requests whose final status was not kOk (escalations surface here
+    /// as well as in the manager's own stats).
+    std::uint64_t failed = 0;
+    int max_queue_depth = 0;
+  };
+
+  /// `workers` is clamped to >= 1. The pool holds references only; kernel
+  /// and manager must outlive it.
+  RequestPool(sim::Kernel& kernel, ReconfigurationManager& manager,
+              int workers);
+
+  void enqueue(PoolRequest request);
+
+  /// Spawns up to `workers` worker processes that drain the current queue
+  /// and exit. Processes are eager but suspend on their first await;
+  /// advance the kernel (kernel.run() / run_until()) to make progress.
+  /// Requests enqueued while a drain is in flight are picked up by the
+  /// still-running workers.
+  void drain();
+
+  /// True when the queue is empty and no request is in flight.
+  bool idle() const { return queue_.empty() && in_flight_ == 0; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  sim::Process worker();
+
+  sim::Kernel& kernel_;
+  ReconfigurationManager& manager_;
+  int workers_;
+  std::deque<PoolRequest> queue_;
+  int active_workers_ = 0;
+  int in_flight_ = 0;
+  Stats stats_;
+};
+
+}  // namespace presp::runtime

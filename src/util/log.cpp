@@ -30,9 +30,21 @@ LogLevel log_level() { return g_level.load(); }
 void log_line(LogLevel level, const std::string& tag,
               const std::string& message) {
   if (level < g_level.load()) return;
+  // Format outside the lock into one contiguous buffer so the critical
+  // section is a single fwrite: concurrent pool workers (exec/) never
+  // interleave fragments of a line, and the lock is held only for the
+  // write syscall, not the formatting.
+  std::string line;
+  line.reserve(tag.size() + message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += tag;
+  line += ": ";
+  line += message;
+  line += '\n';
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), tag.c_str(),
-               message.c_str());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace presp

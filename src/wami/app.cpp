@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "hls/estimator.hpp"
+#include "runtime/workqueue.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -495,11 +496,20 @@ WamiAppResult WamiApp::run() {
     // via readback verify + partial-bitstream rewrite) and, for soak
     // runs, re-admit quarantined tiles.
     if (options_.fault.scrub_between_frames) {
+      // Pool-backed drain: all partitions scrub concurrently in sim-time
+      // (the PRC semaphore still serializes the ICAP readbacks) instead
+      // of one full spawn-and-run round trip per tile.
+      runtime::RequestPool scrubbers(kernel, *manager_,
+                                     options_.fault.scrub_workers);
       for (const int tile : reconf_indices) {
-        runtime::Completion scrubbed(kernel);
-        manager_->scrub(tile, scrubbed);
-        kernel.run();
+        runtime::PoolRequest request;
+        request.kind = runtime::PoolRequest::Kind::kScrub;
+        request.tile = tile;
+        scrubbers.enqueue(request);
       }
+      scrubbers.drain();
+      kernel.run();
+      PRESP_ASSERT(scrubbers.idle());
     }
     if (options_.fault.rehabilitate_between_frames)
       for (const int tile : reconf_indices) manager_->rehabilitate(tile);

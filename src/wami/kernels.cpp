@@ -2,12 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "exec/thread_pool.hpp"
 #include "util/error.hpp"
 
 namespace presp::wami {
 
-RgbImage debayer(const ImageU16& bayer) {
+namespace {
+// Row tile height for elementwise kernels and pixel chunk for reductions.
+// Both are constants (never derived from the thread count) so the work
+// decomposition — and therefore every reduction order — is identical at
+// any parallelism level. Tiles are sized to keep a chunk's working set in
+// L1/L2 while amortizing task dispatch.
+constexpr long long kRowTile = 16;
+constexpr long long kReduceChunk = 1 << 14;  // pixels
+
+/// Deterministic row-tiled loop: body(y0, y1) over [0, height).
+template <typename Body>
+void for_each_row_tile(exec::ThreadPool* pool, int height, const Body& body) {
+  exec::parallel_for(pool, 0, height, kRowTile,
+                     [&](long long y0, long long y1) {
+                       body(static_cast<int>(y0), static_cast<int>(y1));
+                     });
+}
+}  // namespace
+
+RgbImage debayer(const ImageU16& bayer, exec::ThreadPool* pool) {
   const int w = bayer.width();
   const int h = bayer.height();
   RgbImage out{ImageF(w, h), ImageF(w, h), ImageF(w, h)};
@@ -16,133 +37,225 @@ RgbImage debayer(const ImageU16& bayer) {
   const auto raw = [&](int x, int y) {
     return static_cast<float>(bayer.at_clamped(x, y));
   };
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      const bool even_x = (x % 2) == 0;
-      const bool even_y = (y % 2) == 0;
-      float r;
-      float g;
-      float b;
-      if (even_x && even_y) {  // red site
-        r = raw(x, y);
-        g = 0.25f * (raw(x - 1, y) + raw(x + 1, y) + raw(x, y - 1) +
-                     raw(x, y + 1));
-        b = 0.25f * (raw(x - 1, y - 1) + raw(x + 1, y - 1) +
-                     raw(x - 1, y + 1) + raw(x + 1, y + 1));
-      } else if (!even_x && !even_y) {  // blue site
-        b = raw(x, y);
-        g = 0.25f * (raw(x - 1, y) + raw(x + 1, y) + raw(x, y - 1) +
-                     raw(x, y + 1));
-        r = 0.25f * (raw(x - 1, y - 1) + raw(x + 1, y - 1) +
-                     raw(x - 1, y + 1) + raw(x + 1, y + 1));
-      } else if (!even_x && even_y) {  // green on red row
-        g = raw(x, y);
-        r = 0.5f * (raw(x - 1, y) + raw(x + 1, y));
-        b = 0.5f * (raw(x, y - 1) + raw(x, y + 1));
-      } else {  // green on blue row
-        g = raw(x, y);
-        b = 0.5f * (raw(x - 1, y) + raw(x + 1, y));
-        r = 0.5f * (raw(x, y - 1) + raw(x, y + 1));
+  for_each_row_tile(pool, h, [&](int y0, int y1) {
+    for (int y = y0; y < y1; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const bool even_x = (x % 2) == 0;
+        const bool even_y = (y % 2) == 0;
+        float r;
+        float g;
+        float b;
+        if (even_x && even_y) {  // red site
+          r = raw(x, y);
+          g = 0.25f * (raw(x - 1, y) + raw(x + 1, y) + raw(x, y - 1) +
+                       raw(x, y + 1));
+          b = 0.25f * (raw(x - 1, y - 1) + raw(x + 1, y - 1) +
+                       raw(x - 1, y + 1) + raw(x + 1, y + 1));
+        } else if (!even_x && !even_y) {  // blue site
+          b = raw(x, y);
+          g = 0.25f * (raw(x - 1, y) + raw(x + 1, y) + raw(x, y - 1) +
+                       raw(x, y + 1));
+          r = 0.25f * (raw(x - 1, y - 1) + raw(x + 1, y - 1) +
+                       raw(x - 1, y + 1) + raw(x + 1, y + 1));
+        } else if (!even_x && even_y) {  // green on red row
+          g = raw(x, y);
+          r = 0.5f * (raw(x - 1, y) + raw(x + 1, y));
+          b = 0.5f * (raw(x, y - 1) + raw(x, y + 1));
+        } else {  // green on blue row
+          g = raw(x, y);
+          b = 0.5f * (raw(x - 1, y) + raw(x + 1, y));
+          r = 0.5f * (raw(x, y - 1) + raw(x, y + 1));
+        }
+        out.r.at(x, y) = r;
+        out.g.at(x, y) = g;
+        out.b.at(x, y) = b;
       }
-      out.r.at(x, y) = r;
-      out.g.at(x, y) = g;
-      out.b.at(x, y) = b;
     }
-  }
+  });
   return out;
 }
 
-ImageF grayscale(const RgbImage& rgb) {
+ImageF grayscale(const RgbImage& rgb, exec::ThreadPool* pool) {
   const int w = rgb.r.width();
   const int h = rgb.r.height();
   ImageF out(w, h);
-  for (int y = 0; y < h; ++y)
-    for (int x = 0; x < w; ++x)
-      out.at(x, y) = 0.299f * rgb.r.at(x, y) + 0.587f * rgb.g.at(x, y) +
-                     0.114f * rgb.b.at(x, y);
+  for_each_row_tile(pool, h, [&](int y0, int y1) {
+    for (int y = y0; y < y1; ++y)
+      for (int x = 0; x < w; ++x)
+        out.at(x, y) = 0.299f * rgb.r.at(x, y) + 0.587f * rgb.g.at(x, y) +
+                       0.114f * rgb.b.at(x, y);
+  });
   return out;
 }
 
-Gradients gradient(const ImageF& image) {
+ImageF luma_from_bayer(const ImageU16& bayer, exec::ThreadPool* pool) {
+  const int w = bayer.width();
+  const int h = bayer.height();
+  ImageF out(w, h);
+  const auto raw = [&](int x, int y) {
+    return static_cast<float>(bayer.at_clamped(x, y));
+  };
+  // Same per-site R/G/B expressions as debayer() and the same BT.601
+  // combination as grayscale(); the composed path also keeps the
+  // intermediates in float, so the fused result is bit-identical.
+  for_each_row_tile(pool, h, [&](int y0, int y1) {
+    for (int y = y0; y < y1; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const bool even_x = (x % 2) == 0;
+        const bool even_y = (y % 2) == 0;
+        float r;
+        float g;
+        float b;
+        if (even_x && even_y) {  // red site
+          r = raw(x, y);
+          g = 0.25f * (raw(x - 1, y) + raw(x + 1, y) + raw(x, y - 1) +
+                       raw(x, y + 1));
+          b = 0.25f * (raw(x - 1, y - 1) + raw(x + 1, y - 1) +
+                       raw(x - 1, y + 1) + raw(x + 1, y + 1));
+        } else if (!even_x && !even_y) {  // blue site
+          b = raw(x, y);
+          g = 0.25f * (raw(x - 1, y) + raw(x + 1, y) + raw(x, y - 1) +
+                       raw(x, y + 1));
+          r = 0.25f * (raw(x - 1, y - 1) + raw(x + 1, y - 1) +
+                       raw(x - 1, y + 1) + raw(x + 1, y + 1));
+        } else if (!even_x && even_y) {  // green on red row
+          g = raw(x, y);
+          r = 0.5f * (raw(x - 1, y) + raw(x + 1, y));
+          b = 0.5f * (raw(x, y - 1) + raw(x, y + 1));
+        } else {  // green on blue row
+          g = raw(x, y);
+          b = 0.5f * (raw(x - 1, y) + raw(x + 1, y));
+          r = 0.5f * (raw(x, y - 1) + raw(x, y + 1));
+        }
+        out.at(x, y) = 0.299f * r + 0.587f * g + 0.114f * b;
+      }
+    }
+  });
+  return out;
+}
+
+Gradients gradient(const ImageF& image, exec::ThreadPool* pool) {
   const int w = image.width();
   const int h = image.height();
   Gradients out{ImageF(w, h), ImageF(w, h)};
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      out.ix.at(x, y) =
-          0.5f * (image.at_clamped(x + 1, y) - image.at_clamped(x - 1, y));
-      out.iy.at(x, y) =
-          0.5f * (image.at_clamped(x, y + 1) - image.at_clamped(x, y - 1));
+  for_each_row_tile(pool, h, [&](int y0, int y1) {
+    for (int y = y0; y < y1; ++y) {
+      for (int x = 0; x < w; ++x) {
+        out.ix.at(x, y) =
+            0.5f * (image.at_clamped(x + 1, y) - image.at_clamped(x - 1, y));
+        out.iy.at(x, y) =
+            0.5f * (image.at_clamped(x, y + 1) - image.at_clamped(x, y - 1));
+      }
     }
-  }
+  });
   return out;
 }
 
-ImageF warp_affine(const ImageF& src, const AffineParams& p) {
+ImageF warp_affine(const ImageF& src, const AffineParams& p,
+                   exec::ThreadPool* pool) {
   const int w = src.width();
   const int h = src.height();
   ImageF out(w, h);
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      const double sx = (1.0 + p[0]) * x + p[2] * y + p[4];
-      const double sy = p[1] * x + (1.0 + p[3]) * y + p[5];
-      const int x0 = static_cast<int>(std::floor(sx));
-      const int y0 = static_cast<int>(std::floor(sy));
-      const float fx = static_cast<float>(sx - x0);
-      const float fy = static_cast<float>(sy - y0);
-      const float v00 = src.at_clamped(x0, y0);
-      const float v10 = src.at_clamped(x0 + 1, y0);
-      const float v01 = src.at_clamped(x0, y0 + 1);
-      const float v11 = src.at_clamped(x0 + 1, y0 + 1);
-      out.at(x, y) = (1 - fx) * (1 - fy) * v00 + fx * (1 - fy) * v10 +
-                     (1 - fx) * fy * v01 + fx * fy * v11;
+  for_each_row_tile(pool, h, [&](int y0, int y1) {
+    for (int y = y0; y < y1; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const double sx = (1.0 + p[0]) * x + p[2] * y + p[4];
+        const double sy = p[1] * x + (1.0 + p[3]) * y + p[5];
+        const int x0 = static_cast<int>(std::floor(sx));
+        const int y0w = static_cast<int>(std::floor(sy));
+        const float fx = static_cast<float>(sx - x0);
+        const float fy = static_cast<float>(sy - y0w);
+        const float v00 = src.at_clamped(x0, y0w);
+        const float v10 = src.at_clamped(x0 + 1, y0w);
+        const float v01 = src.at_clamped(x0, y0w + 1);
+        const float v11 = src.at_clamped(x0 + 1, y0w + 1);
+        out.at(x, y) = (1 - fx) * (1 - fy) * v00 + fx * (1 - fy) * v10 +
+                       (1 - fx) * fy * v01 + fx * fy * v11;
+      }
     }
-  }
+  });
   return out;
 }
 
-ImageF subtract(const ImageF& a, const ImageF& b) {
+ImageF subtract(const ImageF& a, const ImageF& b, exec::ThreadPool* pool) {
   PRESP_REQUIRE(a.width() == b.width() && a.height() == b.height(),
                 "subtract: dimension mismatch");
   ImageF out(a.width(), a.height());
-  for (std::size_t i = 0; i < a.size(); ++i)
-    out.pixels()[i] = a.pixels()[i] - b.pixels()[i];
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  const auto po = out.pixels();
+  exec::parallel_for(pool, 0, static_cast<long long>(pa.size()), kReduceChunk,
+                     [&](long long lo, long long hi) {
+                       for (long long i = lo; i < hi; ++i)
+                         po[static_cast<std::size_t>(i)] =
+                             pa[static_cast<std::size_t>(i)] -
+                             pb[static_cast<std::size_t>(i)];
+                     });
   return out;
 }
 
-SteepestDescent steepest_descent(const Gradients& grads) {
+SteepestDescent steepest_descent(const Gradients& grads,
+                                 exec::ThreadPool* pool) {
   const int w = grads.ix.width();
   const int h = grads.ix.height();
   SteepestDescent sd{ImageF(w, h), ImageF(w, h), ImageF(w, h),
                      ImageF(w, h), ImageF(w, h), ImageF(w, h)};
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      const float ix = grads.ix.at(x, y);
-      const float iy = grads.iy.at(x, y);
-      // dW/dp for the affine warp: columns [x 0; 0 x; y 0; 0 y; 1 0; 0 1].
-      sd[0].at(x, y) = ix * static_cast<float>(x);
-      sd[1].at(x, y) = iy * static_cast<float>(x);
-      sd[2].at(x, y) = ix * static_cast<float>(y);
-      sd[3].at(x, y) = iy * static_cast<float>(y);
-      sd[4].at(x, y) = ix;
-      sd[5].at(x, y) = iy;
+  for_each_row_tile(pool, h, [&](int y0, int y1) {
+    for (int y = y0; y < y1; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const float ix = grads.ix.at(x, y);
+        const float iy = grads.iy.at(x, y);
+        // dW/dp for the affine warp: columns [x 0; 0 x; y 0; 0 y; 1 0; 0 1].
+        sd[0].at(x, y) = ix * static_cast<float>(x);
+        sd[1].at(x, y) = iy * static_cast<float>(x);
+        sd[2].at(x, y) = ix * static_cast<float>(y);
+        sd[3].at(x, y) = iy * static_cast<float>(y);
+        sd[4].at(x, y) = ix;
+        sd[5].at(x, y) = iy;
+      }
     }
-  }
+  });
   return sd;
 }
 
-Matrix6 hessian(const SteepestDescent& sd) {
+Matrix6 hessian(const SteepestDescent& sd, exec::ThreadPool* pool) {
+  // Blocked single pass: each fixed-size pixel chunk streams the six SD
+  // planes once and accumulates all 21 upper-triangle products into its
+  // own partial, and partials are folded in chunk order — the reduction
+  // order depends only on the image size, so serial and parallel results
+  // are bit-identical.
+  const long long n = static_cast<long long>(sd[0].size());
+  const std::size_t chunks =
+      static_cast<std::size_t>((n + kReduceChunk - 1) / kReduceChunk);
+  std::vector<std::array<double, 21>> partial(chunks);
+  for (auto& acc : partial) acc.fill(0.0);
+
+  const float* plane[6];
+  for (int i = 0; i < 6; ++i)
+    plane[i] = sd[static_cast<std::size_t>(i)].pixels().data();
+
+  exec::parallel_for(pool, 0, n, kReduceChunk, [&](long long lo, long long hi) {
+    auto& acc = partial[static_cast<std::size_t>(lo / kReduceChunk)];
+    for (long long k = lo; k < hi; ++k) {
+      double v[6];
+      for (int i = 0; i < 6; ++i)
+        v[i] = static_cast<double>(plane[i][static_cast<std::size_t>(k)]);
+      int t = 0;
+      for (int i = 0; i < 6; ++i)
+        for (int j = i; j < 6; ++j) acc[static_cast<std::size_t>(t++)] += v[i] * v[j];
+    }
+  });
+
   Matrix6 h{};
-  const std::size_t n = sd[0].size();
+  int t = 0;
   for (int i = 0; i < 6; ++i) {
     for (int j = i; j < 6; ++j) {
       double acc = 0.0;
-      const auto pi = sd[static_cast<std::size_t>(i)].pixels();
-      const auto pj = sd[static_cast<std::size_t>(j)].pixels();
-      for (std::size_t k = 0; k < n; ++k)
-        acc += static_cast<double>(pi[k]) * static_cast<double>(pj[k]);
+      for (std::size_t c = 0; c < chunks; ++c)
+        acc += partial[c][static_cast<std::size_t>(t)];
       h[static_cast<std::size_t>(i * 6 + j)] = acc;
       h[static_cast<std::size_t>(j * 6 + i)] = acc;
+      ++t;
     }
   }
   return h;
@@ -191,15 +304,36 @@ Matrix6 invert6(const Matrix6& m) {
   return out;
 }
 
-Vector6 sd_update(const SteepestDescent& sd, const ImageF& error) {
+Vector6 sd_update(const SteepestDescent& sd, const ImageF& error,
+                  exec::ThreadPool* pool) {
+  // Blocked like hessian(): one pass per chunk over the six planes plus
+  // the error image, partials folded in chunk order.
+  const long long n = static_cast<long long>(error.size());
+  const std::size_t chunks =
+      static_cast<std::size_t>((n + kReduceChunk - 1) / kReduceChunk);
+  std::vector<std::array<double, 6>> partial(chunks);
+  for (auto& acc : partial) acc.fill(0.0);
+
+  const float* plane[6];
+  for (int i = 0; i < 6; ++i)
+    plane[i] = sd[static_cast<std::size_t>(i)].pixels().data();
+  const float* err = error.pixels().data();
+
+  exec::parallel_for(pool, 0, n, kReduceChunk, [&](long long lo, long long hi) {
+    auto& acc = partial[static_cast<std::size_t>(lo / kReduceChunk)];
+    for (long long i = lo; i < hi; ++i) {
+      const double e = static_cast<double>(err[static_cast<std::size_t>(i)]);
+      for (int k = 0; k < 6; ++k)
+        acc[static_cast<std::size_t>(k)] +=
+            static_cast<double>(plane[k][static_cast<std::size_t>(i)]) * e;
+    }
+  });
+
   Vector6 b{};
-  const std::size_t n = error.size();
   for (int k = 0; k < 6; ++k) {
     double acc = 0.0;
-    const auto pk = sd[static_cast<std::size_t>(k)].pixels();
-    const auto pe = error.pixels();
-    for (std::size_t i = 0; i < n; ++i)
-      acc += static_cast<double>(pk[i]) * static_cast<double>(pe[i]);
+    for (std::size_t c = 0; c < chunks; ++c)
+      acc += partial[c][static_cast<std::size_t>(k)];
     b[static_cast<std::size_t>(k)] = acc;
   }
   return b;
@@ -234,98 +368,118 @@ GmmState::GmmState(int w, int h)
 
 ImageU16 change_detection(const ImageF& frame, GmmState& state,
                           float learning_rate, float mahal_threshold,
-                          float background_weight) {
+                          float background_weight, exec::ThreadPool* pool) {
   PRESP_REQUIRE(state.width == frame.width() &&
                     state.height == frame.height(),
                 "GMM state / frame dimension mismatch");
   constexpr int K = GmmState::kModes;
   ImageU16 mask(frame.width(), frame.height(), 0);
   const auto pixels = frame.pixels();
+  const auto out = mask.pixels();
 
-  for (std::size_t i = 0; i < pixels.size(); ++i) {
-    const float v = pixels[i];
-    float* w = &state.weight[i * K];
-    float* mu = &state.mean[i * K];
-    float* var = &state.var[i * K];
+  // Each pixel owns its K modes; chunks touch disjoint state, so parallel
+  // updates are race-free and bit-identical to the serial sweep.
+  exec::parallel_for(
+      pool, 0, static_cast<long long>(pixels.size()), kReduceChunk,
+      [&](long long lo, long long hi) {
+        for (long long idx = lo; idx < hi; ++idx) {
+          const std::size_t i = static_cast<std::size_t>(idx);
+          const float v = pixels[i];
+          float* w = &state.weight[i * K];
+          float* mu = &state.mean[i * K];
+          float* var = &state.var[i * K];
 
-    int matched = -1;
-    for (int k = 0; k < K; ++k) {
-      const float d = v - mu[k];
-      if (d * d < mahal_threshold * var[k]) {
-        matched = k;
-        break;
-      }
-    }
-    if (matched >= 0) {
-      // Update the matched mode.
-      const float rho = learning_rate;
-      mu[matched] += rho * (v - mu[matched]);
-      const float d = v - mu[matched];
-      var[matched] += rho * (d * d - var[matched]);
-      var[matched] = std::max(var[matched], 4.0f);
-      for (int k = 0; k < K; ++k)
-        w[k] = (1 - learning_rate) * w[k] +
-               (k == matched ? learning_rate : 0.0f);
-    } else {
-      // Replace the weakest mode.
-      int weakest = 0;
-      for (int k = 1; k < K; ++k)
-        if (w[k] < w[weakest]) weakest = k;
-      w[weakest] = learning_rate;
-      mu[weakest] = v;
-      var[weakest] = 900.0f;
-      matched = weakest;
-    }
-    // Normalize weights.
-    float sum = 0.0f;
-    for (int k = 0; k < K; ++k) sum += w[k];
-    for (int k = 0; k < K; ++k) w[k] /= sum;
+          int matched = -1;
+          for (int k = 0; k < K; ++k) {
+            const float d = v - mu[k];
+            if (d * d < mahal_threshold * var[k]) {
+              matched = k;
+              break;
+            }
+          }
+          if (matched >= 0) {
+            // Update the matched mode.
+            const float rho = learning_rate;
+            mu[matched] += rho * (v - mu[matched]);
+            const float d = v - mu[matched];
+            var[matched] += rho * (d * d - var[matched]);
+            var[matched] = std::max(var[matched], 4.0f);
+            for (int k = 0; k < K; ++k)
+              w[k] = (1 - learning_rate) * w[k] +
+                     (k == matched ? learning_rate : 0.0f);
+          } else {
+            // Replace the weakest mode.
+            int weakest = 0;
+            for (int k = 1; k < K; ++k)
+              if (w[k] < w[weakest]) weakest = k;
+            w[weakest] = learning_rate;
+            mu[weakest] = v;
+            var[weakest] = 900.0f;
+            matched = weakest;
+          }
+          // Normalize weights.
+          float sum = 0.0f;
+          for (int k = 0; k < K; ++k) sum += w[k];
+          for (int k = 0; k < K; ++k) w[k] /= sum;
 
-    // Foreground: the matched mode is not part of the background set
-    // (modes sorted by weight/sqrt(var) until cumulative weight reaches
-    // background_weight).
-    std::array<int, K> order{0, 1, 2};
-    std::sort(order.begin(), order.end(), [&](int a, int b) {
-      return w[a] / std::sqrt(var[a]) > w[b] / std::sqrt(var[b]);
-    });
-    float cumulative = 0.0f;
-    bool background = false;
-    for (const int k : order) {
-      cumulative += w[k];
-      if (k == matched) {
-        background = true;
-        break;
-      }
-      if (cumulative > background_weight) break;
-    }
-    if (!background)
-      mask.pixels()[i] = 1;
-  }
+          // Foreground: the matched mode is not part of the background set
+          // (modes sorted by weight/sqrt(var) until cumulative weight
+          // reaches background_weight).
+          std::array<int, K> order{0, 1, 2};
+          std::sort(order.begin(), order.end(), [&](int a, int b) {
+            return w[a] / std::sqrt(var[a]) > w[b] / std::sqrt(var[b]);
+          });
+          float cumulative = 0.0f;
+          bool background = false;
+          for (const int k : order) {
+            cumulative += w[k];
+            if (k == matched) {
+              background = true;
+              break;
+            }
+            if (cumulative > background_weight) break;
+          }
+          if (!background) out[i] = 1;
+        }
+      });
   return mask;
 }
 
 double lucas_kanade_step(const ImageF& reference, const ImageF& frame,
-                         AffineParams& p) {
-  const ImageF warped = warp_affine(frame, p);           // (4)
-  const ImageF error = subtract(reference, warped);      // (5)
-  const Gradients grads = gradient(warped);              // (3)
-  const SteepestDescent sd = steepest_descent(grads);    // (6)
-  const Matrix6 h = hessian(sd);                         // (7)
-  const Matrix6 h_inv = invert6(h);                      // (8)
-  const Vector6 b = sd_update(sd, error);                // (9)
-  const Vector6 dp = delta_p(h_inv, b);                  // (10)
-  update_params(p, dp);                                  // (11)
+                         AffineParams& p, exec::ThreadPool* pool) {
+  const ImageF warped = warp_affine(frame, p, pool);           // (4)
+  const ImageF error = subtract(reference, warped, pool);      // (5)
+  const Gradients grads = gradient(warped, pool);              // (3)
+  const SteepestDescent sd = steepest_descent(grads, pool);    // (6)
+  const Matrix6 h = hessian(sd, pool);                         // (7)
+  const Matrix6 h_inv = invert6(h);                            // (8)
+  const Vector6 b = sd_update(sd, error, pool);                // (9)
+  const Vector6 dp = delta_p(h_inv, b);                        // (10)
+  update_params(p, dp);                                        // (11)
 
+  // Residual MAE, chunk-partialed like the other reductions so the value
+  // is thread-count independent.
+  const long long n = static_cast<long long>(error.size());
+  const std::size_t chunks =
+      static_cast<std::size_t>((n + kReduceChunk - 1) / kReduceChunk);
+  std::vector<double> partial(chunks, 0.0);
+  const float* err = error.pixels().data();
+  exec::parallel_for(pool, 0, n, kReduceChunk, [&](long long lo, long long hi) {
+    double acc = 0.0;
+    for (long long i = lo; i < hi; ++i)
+      acc += std::abs(static_cast<double>(err[static_cast<std::size_t>(i)]));
+    partial[static_cast<std::size_t>(lo / kReduceChunk)] = acc;
+  });
   double mae = 0.0;
-  for (const float e : error.pixels()) mae += std::abs(e);
+  for (const double part : partial) mae += part;
   return mae / static_cast<double>(error.size());
 }
 
 double lucas_kanade(const ImageF& reference, const ImageF& frame,
-                    AffineParams& p, int iterations) {
+                    AffineParams& p, int iterations, exec::ThreadPool* pool) {
   double residual = 0.0;
   for (int i = 0; i < iterations; ++i)
-    residual = lucas_kanade_step(reference, frame, p);
+    residual = lucas_kanade_step(reference, frame, p, pool);
   return residual;
 }
 

@@ -10,6 +10,12 @@
 // end-to-end SoC simulation can be checked bit-for-bit against the golden
 // pipeline.
 //
+// Every kernel takes an optional exec::ThreadPool. Work is split into
+// row tiles (elementwise kernels) or fixed-size pixel chunks (reductions)
+// whose boundaries depend only on the image size — never on the thread
+// count — and reduction partials are combined in chunk order, so results
+// are bit-identical with a null pool, a 1-thread pool or an N-thread pool.
+//
 // Kernel indices (Fig. 3 node numbering used by Tables IV/VI):
 //    1 debayer          5 subtract            9 sd-update
 //    2 grayscale        6 steepest-descent   10 delta-p solve/apply
@@ -21,6 +27,10 @@
 
 #include "wami/image.hpp"
 
+namespace presp::exec {
+class ThreadPool;
+}
+
 namespace presp::wami {
 
 /// Affine warp parameters [p1..p6]:
@@ -31,39 +41,54 @@ using AffineParams = std::array<double, 6>;
 struct RgbImage {
   ImageF r, g, b;
 };
-RgbImage debayer(const ImageU16& bayer);
+RgbImage debayer(const ImageU16& bayer, exec::ThreadPool* pool = nullptr);
 
 /// (2) RGB to luma (ITU-R BT.601 weights), range-preserving.
-ImageF grayscale(const RgbImage& rgb);
+ImageF grayscale(const RgbImage& rgb, exec::ThreadPool* pool = nullptr);
+
+/// (1)+(2) fused: luma straight from the Bayer mosaic, without
+/// materializing the three RGB planes. Bit-identical to
+/// grayscale(debayer(bayer)) — the per-site R/G/B expressions and the
+/// BT.601 combination are float in both paths — at ~1/4 the memory
+/// traffic.
+ImageF luma_from_bayer(const ImageU16& bayer,
+                       exec::ThreadPool* pool = nullptr);
 
 /// (3) Central-difference spatial gradients.
 struct Gradients {
   ImageF ix, iy;
 };
-Gradients gradient(const ImageF& image);
+Gradients gradient(const ImageF& image, exec::ThreadPool* pool = nullptr);
 
 /// (4) Inverse-warp `src` by the affine params (bilinear sampling):
 /// out(x,y) = src(W(x,y; p)).
-ImageF warp_affine(const ImageF& src, const AffineParams& p);
+ImageF warp_affine(const ImageF& src, const AffineParams& p,
+                   exec::ThreadPool* pool = nullptr);
 
 /// (5) Element-wise difference a - b.
-ImageF subtract(const ImageF& a, const ImageF& b);
+ImageF subtract(const ImageF& a, const ImageF& b,
+                exec::ThreadPool* pool = nullptr);
 
 /// (6) Steepest-descent images: six planes SD_k = [Ix Iy] * dW/dp_k.
 using SteepestDescent = std::array<ImageF, 6>;
-SteepestDescent steepest_descent(const Gradients& grads);
+SteepestDescent steepest_descent(const Gradients& grads,
+                                 exec::ThreadPool* pool = nullptr);
 
 /// (7) Gauss-Newton Hessian H = sum_pix SD^T SD (6x6, row-major).
+/// Single blocked pass: each pixel chunk streams the six SD planes once
+/// and accumulates all 21 upper-triangle products, instead of 21 separate
+/// full-image passes.
 using Matrix6 = std::array<double, 36>;
-Matrix6 hessian(const SteepestDescent& sd);
+Matrix6 hessian(const SteepestDescent& sd, exec::ThreadPool* pool = nullptr);
 
 /// (8) 6x6 matrix inversion (Gauss-Jordan with partial pivoting).
 /// Throws InvalidArgument on a singular system.
 Matrix6 invert6(const Matrix6& m);
 
-/// (9) Right-hand side b_k = sum_pix SD_k * error.
+/// (9) Right-hand side b_k = sum_pix SD_k * error (blocked, single pass).
 using Vector6 = std::array<double, 6>;
-Vector6 sd_update(const SteepestDescent& sd, const ImageF& error);
+Vector6 sd_update(const SteepestDescent& sd, const ImageF& error,
+                  exec::ThreadPool* pool = nullptr);
 
 /// (10) delta_p = H_inv * b.
 Vector6 delta_p(const Matrix6& h_inv, const Vector6& b);
@@ -83,20 +108,23 @@ struct GmmState {
   GmmState(int w, int h);
 };
 /// Updates the model with `frame` and returns the foreground mask
-/// (1 = changed pixel).
+/// (1 = changed pixel). Per-pixel state is independent, so row tiles
+/// update disjoint state and the parallel result is bit-identical.
 ImageU16 change_detection(const ImageF& frame, GmmState& state,
                           float learning_rate = 0.05f,
                           float mahal_threshold = 6.25f,
-                          float background_weight = 0.7f);
+                          float background_weight = 0.7f,
+                          exec::ThreadPool* pool = nullptr);
 
 /// One Lucas-Kanade iteration composed from kernels 3..11: refines `p` so
 /// that warp_affine(frame, p) approaches `reference`. Returns the residual
 /// mean absolute error after the update.
 double lucas_kanade_step(const ImageF& reference, const ImageF& frame,
-                         AffineParams& p);
+                         AffineParams& p, exec::ThreadPool* pool = nullptr);
 
 /// Full registration: iterates lucas_kanade_step up to `iterations`.
 double lucas_kanade(const ImageF& reference, const ImageF& frame,
-                    AffineParams& p, int iterations);
+                    AffineParams& p, int iterations,
+                    exec::ThreadPool* pool = nullptr);
 
 }  // namespace presp::wami

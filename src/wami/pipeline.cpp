@@ -1,14 +1,27 @@
 #include "wami/pipeline.hpp"
 
+#include <utility>
+
+#include "exec/thread_pool.hpp"
 #include "util/error.hpp"
 
 namespace presp::wami {
 
+WamiPipeline::WamiPipeline(PipelineOptions options)
+    : options_(options) {
+  if (options_.threads > 1)
+    pool_ = std::make_unique<exec::ThreadPool>(options_.threads);
+}
+
+WamiPipeline::~WamiPipeline() = default;
+
 PipelineFrameResult WamiPipeline::process(const ImageU16& bayer) {
+  return process_luma(luma_from_bayer(bayer, pool()));
+}
+
+PipelineFrameResult WamiPipeline::process_luma(ImageF gray) {
   PRESP_REQUIRE(options_.lk_iterations >= 1,
                 "pipeline needs at least one LK iteration");
-  const ImageF gray = grayscale(debayer(bayer));
-
   if (!reference_) {
     reference_ = gray;
     gmm_.emplace(gray.width(), gray.height());
@@ -20,15 +33,47 @@ PipelineFrameResult WamiPipeline::process(const ImageU16& bayer) {
   }
 
   PipelineFrameResult result;
-  result.residual =
-      lucas_kanade(*reference_, gray, params_, options_.lk_iterations);
+  result.residual = lucas_kanade(*reference_, gray, params_,
+                                 options_.lk_iterations, pool());
   result.params = params_;
-  result.stabilized = warp_affine(gray, params_);
-  result.change_mask = change_detection(result.stabilized, *gmm_);
+  result.stabilized = warp_affine(gray, params_, pool());
+  result.change_mask =
+      change_detection(result.stabilized, *gmm_, 0.05f, 6.25f, 0.7f, pool());
   for (const auto v : result.change_mask.pixels())
     result.changed_pixels += v;
   ++frames_;
   return result;
+}
+
+std::vector<PipelineFrameResult> WamiPipeline::process_batch(
+    std::span<const ImageU16> frames) {
+  std::vector<PipelineFrameResult> results;
+  results.reserve(frames.size());
+  if (frames.empty()) return results;
+
+  // Software pipelining: the front-end (Bayer -> luma) of frame i+1 is
+  // independent of all back-end state, so it runs as a pool task while
+  // the caller's thread executes the stateful back-end of frame i. The
+  // prefetch task itself runs single-threaded (null pool) — the back-end's
+  // row tiles fill the remaining workers — and chunk boundaries never
+  // depend on the schedule, so results match process() bit for bit.
+  ImageF luma = luma_from_bayer(frames[0], pool());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    ImageF next;
+    exec::TaskGroup prefetch(pool());
+    if (i + 1 < frames.size()) {
+      const ImageU16& bayer = frames[i + 1];
+      if (pool() != nullptr) {
+        prefetch.run([&next, &bayer] { next = luma_from_bayer(bayer); });
+      } else {
+        next = luma_from_bayer(bayer);
+      }
+    }
+    results.push_back(process_luma(std::move(luma)));
+    prefetch.wait();
+    luma = std::move(next);
+  }
+  return results;
 }
 
 void WamiPipeline::reset() {

@@ -5,9 +5,19 @@
 // first frame (template) -> stabilized frame -> GMM change detection.
 // Users feed frames (e.g. from FrameGenerator) and get the registration
 // parameters, the stabilized image and the change mask.
+//
+// With options.threads > 1 the pipeline owns an exec::ThreadPool and
+// (a) row-tiles every kernel and (b) software-pipelines batches: frame
+// N+1's Bayer front-end runs on the pool while frame N's Lucas-Kanade /
+// GMM back-end (which carries the registration and background state and
+// is therefore sequential across frames) runs on the caller's thread.
+// Results are bit-identical to the serial pipeline at any thread count.
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "wami/kernels.hpp"
 
@@ -15,6 +25,9 @@ namespace presp::wami {
 
 struct PipelineOptions {
   int lk_iterations = 4;
+  /// Worker threads for kernel row-tiling and batch stage overlap;
+  /// <= 1 runs fully serial (no pool is created).
+  int threads = 0;
 };
 
 struct PipelineFrameResult {
@@ -27,11 +40,20 @@ struct PipelineFrameResult {
 
 class WamiPipeline {
  public:
-  explicit WamiPipeline(PipelineOptions options = {})
-      : options_(options) {}
+  explicit WamiPipeline(PipelineOptions options = {});
+  ~WamiPipeline();
+  WamiPipeline(const WamiPipeline&) = delete;
+  WamiPipeline& operator=(const WamiPipeline&) = delete;
 
   /// Processes one Bayer frame; the first frame becomes the template.
   PipelineFrameResult process(const ImageU16& bayer);
+
+  /// Processes a frame sequence with the front-end of frame N+1
+  /// overlapping the back-end of frame N. Equivalent to calling process()
+  /// per frame (bit-identical results, same state evolution), faster on a
+  /// multi-core pool.
+  std::vector<PipelineFrameResult> process_batch(
+      std::span<const ImageU16> frames);
 
   int frames_processed() const { return frames_; }
   const AffineParams& params() const { return params_; }
@@ -43,7 +65,13 @@ class WamiPipeline {
   void reset();
 
  private:
+  /// Back-end: LK registration + stabilization + GMM on an already
+  /// demosaiced luma frame. Sequential across frames (stateful).
+  PipelineFrameResult process_luma(ImageF gray);
+  exec::ThreadPool* pool() const { return pool_.get(); }
+
   PipelineOptions options_;
+  std::unique_ptr<exec::ThreadPool> pool_;
   std::optional<ImageF> reference_;
   std::optional<GmmState> gmm_;
   AffineParams params_{};

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "fault/fault.hpp"
+#include "runtime/workqueue.hpp"
 
 namespace presp::fault {
 namespace {
@@ -139,6 +140,157 @@ TEST(FaultPlan, DescribeListsHeaderPlusOneLinePerSpec) {
     if (c == '\n') ++lines;
   EXPECT_EQ(lines, plan.specs().size() + 1);
   EXPECT_NE(text.find("seed=3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Pooled request drain under faults: RequestPool workers dispatch to the
+// unchanged manager entry points, so the watchdog/health machinery (PR 1)
+// must behave exactly as in the serial drain while requests overlap in
+// sim-time.
+
+const char* kPooledSocText = R"(
+[soc]
+name = pooled_faults
+device = vc707
+rows = 2
+cols = 3
+
+[tiles]
+r0c0 = cpu
+r0c1 = mem
+r0c2 = aux
+r1c0 = reconf:acc_a,acc_b
+r1c1 = reconf:acc_a,acc_b
+r1c2 = empty
+)";
+
+soc::AcceleratorRegistry pooled_registry() {
+  soc::AcceleratorRegistry registry;
+  for (const char* name : {"acc_a", "acc_b"}) {
+    soc::AcceleratorSpec spec;
+    spec.name = name;
+    spec.luts = 12'000;
+    spec.latency.items_per_beat = 1;
+    spec.latency.ii = 2;
+    spec.latency.startup_cycles = 30;
+    spec.latency.words_in_per_item = 1.0;
+    spec.latency.words_out_per_item = 0.5;
+    registry.add(spec);
+  }
+  return registry;
+}
+
+class PooledManagerFixture : public ::testing::Test {
+ protected:
+  PooledManagerFixture()
+      : registry_(pooled_registry()),
+        soc_(netlist::SocConfig::parse(kPooledSocText), registry_),
+        store_(soc_.memory()),
+        manager_(soc_, store_) {
+    for (const int tile : {3, 4}) {
+      store_.add(tile, "acc_a", 140'000);
+      store_.add(tile, "acc_b", 150'000);
+      store_.add_blank(tile, 120'000);
+    }
+    soc_.set_fault_injector(&injector_);
+    buf_ = soc_.memory().allocate("buf", 1 << 16);
+  }
+
+  soc::AccelTask task() const {
+    soc::AccelTask t;
+    t.src = buf_;
+    t.dst = buf_ + 32'768;
+    t.items = 200;
+    return t;
+  }
+
+  soc::AcceleratorRegistry registry_;
+  soc::Soc soc_;
+  runtime::BitstreamStore store_;
+  runtime::ReconfigurationManager manager_;
+  FaultInjector injector_;
+  std::uint64_t buf_ = 0;
+};
+
+TEST_F(PooledManagerFixture, WatchdogRecoveryUnderPooledDrain) {
+  // One fault on each tile, two run requests drained by two workers
+  // concurrently in sim-time: both watchdogs must fire and recover, and
+  // both requests must complete kOk on their own tile.
+  injector_.arm({FaultSite::kIcapStall, 3, -1, 1});
+  injector_.arm({FaultSite::kAccelHang, 4, -1, 1});
+
+  runtime::RequestPool pool(soc_.kernel(), manager_, /*workers=*/2);
+  runtime::Completion done_a(soc_.kernel());
+  runtime::Completion done_b(soc_.kernel());
+  runtime::PoolRequest run_a;
+  run_a.kind = runtime::PoolRequest::Kind::kRun;
+  run_a.tile = 3;
+  run_a.module = "acc_a";
+  run_a.task = task();
+  run_a.done = &done_a;
+  runtime::PoolRequest run_b = run_a;
+  run_b.tile = 4;
+  run_b.module = "acc_b";
+  run_b.done = &done_b;
+  pool.enqueue(run_a);
+  pool.enqueue(run_b);
+  pool.drain();
+  soc_.kernel().run();
+
+  ASSERT_TRUE(pool.idle());
+  ASSERT_TRUE(done_a.triggered());
+  ASSERT_TRUE(done_b.triggered());
+  EXPECT_EQ(done_a.status(), runtime::RequestStatus::kOk);
+  EXPECT_EQ(done_b.status(), runtime::RequestStatus::kOk);
+  EXPECT_EQ(done_a.tile(), 3);
+  EXPECT_EQ(done_b.tile(), 4);
+  // Both injected faults were hit and recovered by the watchdog path.
+  EXPECT_EQ(injector_.pending(), 0u);
+  EXPECT_GE(manager_.stats().watchdog_fires, 2u);
+  EXPECT_EQ(soc_.aux().icap_stalls(), 1u);
+  EXPECT_EQ(soc_.reconf_tile(3).hung_runs() + soc_.reconf_tile(4).hung_runs(),
+            1u);
+  EXPECT_EQ(manager_.stats().runs, 2u);
+  EXPECT_EQ(soc_.reconf_tile(3).module(), "acc_a");
+  EXPECT_EQ(soc_.reconf_tile(4).module(), "acc_b");
+  // No escalation: health stayed clean.
+  EXPECT_EQ(manager_.stats().quarantines, 0u);
+  EXPECT_EQ(pool.stats().completed, 2u);
+  EXPECT_EQ(pool.stats().failed, 0u);
+  EXPECT_EQ(pool.stats().max_queue_depth, 2);
+}
+
+TEST_F(PooledManagerFixture, PooledScrubRepairsSeusOnAllTiles) {
+  // Load both tiles, upset both partitions, then drain a scrub queue with
+  // more workers than the single PRC can use: repairs must match the
+  // serial drain (every upset partition rewritten, none missed).
+  for (const int tile : {3, 4}) {
+    runtime::Completion prep(soc_.kernel());
+    manager_.ensure_module(tile, tile == 3 ? "acc_a" : "acc_b", prep);
+    soc_.kernel().run();
+    ASSERT_TRUE(prep.ok());
+    soc_.reconf_tile(tile).inject_seu();
+  }
+
+  runtime::RequestPool pool(soc_.kernel(), manager_, /*workers=*/4);
+  for (const int tile : {3, 4}) {
+    runtime::PoolRequest scrub;
+    scrub.kind = runtime::PoolRequest::Kind::kScrub;
+    scrub.tile = tile;
+    pool.enqueue(scrub);
+  }
+  pool.drain();
+  soc_.kernel().run();
+
+  ASSERT_TRUE(pool.idle());
+  EXPECT_EQ(pool.stats().completed, 2u);
+  EXPECT_EQ(pool.stats().failed, 0u);
+  EXPECT_EQ(manager_.stats().scrubs, 2u);
+  EXPECT_EQ(manager_.stats().seu_repairs, 2u);
+  EXPECT_FALSE(soc_.reconf_tile(3).config_upset());
+  EXPECT_FALSE(soc_.reconf_tile(4).config_upset());
+  EXPECT_EQ(soc_.reconf_tile(3).module(), "acc_a");
+  EXPECT_EQ(soc_.reconf_tile(4).module(), "acc_b");
 }
 
 }  // namespace

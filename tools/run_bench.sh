@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Execution-engine perf gate: builds bench_micro and runs its
+# parallel-vs-serial comparison (`--exec-compare`), which re-runs the DPR
+# flow and the WAMI pipeline at 1 and 8 pool threads, cross-checks output
+# checksums, and emits machine-readable BENCH_exec.json (speedup,
+# efficiency, task count) to seed the perf trajectory.
+#
+# Usage: tools/run_bench.sh [out.json]
+# Environment:
+#   BUILD_DIR  build directory to (re)use             (default: build)
+#   BENCH      path to bench_micro; skips the build   (default: unset)
+set -eu
+
+OUT=${1:-BENCH_exec.json}
+BUILD_DIR=${BUILD_DIR:-build}
+
+if [ -z "${BENCH:-}" ]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" --target bench_micro -j >/dev/null
+  BENCH=$BUILD_DIR/bench/bench_micro
+fi
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not found or not executable" >&2
+  exit 2
+fi
+
+"$BENCH" --exec-compare "$OUT"
+echo "run_bench: results in $OUT"
+cat "$OUT"

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Tier-1 verification: full build + ctest, then a ThreadSanitizer pass over
+# the execution engine. The TSan stage rebuilds only the exec unit tests
+# and the serial/parallel determinism test in a separate build directory
+# configured with -DPRESP_SANITIZE=thread, so data races in the pool, the
+# task graph, the log, or the pooled kernels fail the gate even when the
+# plain build happens to schedule around them.
+#
+# Usage: tools/run_tier1.sh
+# Environment:
+#   BUILD_DIR       plain build directory    (default: build)
+#   TSAN_BUILD_DIR  TSan build directory     (default: build-tsan)
+#   SKIP_TSAN=1     run only the plain stage
+set -eu
+
+BUILD_DIR=${BUILD_DIR:-build}
+TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
+
+echo "== tier-1: build + ctest =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+if [ "${SKIP_TSAN:-0}" = "1" ]; then
+  echo "tier-1: TSan stage skipped (SKIP_TSAN=1)"
+  exit 0
+fi
+
+echo "== tier-1: ThreadSanitizer (exec engine) =="
+cmake -B "$TSAN_BUILD_DIR" -S . -DPRESP_SANITIZE=thread >/dev/null
+cmake --build "$TSAN_BUILD_DIR" --target exec_test exec_determinism_test -j
+"$TSAN_BUILD_DIR"/tests/exec_test
+"$TSAN_BUILD_DIR"/tests/exec_determinism_test
+
+echo "tier-1: all stages passed"
