@@ -87,11 +87,23 @@ Bitstream read_bitstream(const std::string& path) {
   bs.crc = get<std::uint32_t>(in);
   const auto word_count = get<std::uint64_t>(in);
   const auto compressed_count = get<std::uint64_t>(in);
-  std::vector<std::uint32_t> compressed(compressed_count);
+  // Cap both counts before allocating: a corrupted or hostile header must
+  // not drive a multi-GB allocation (or overflow compressed_count * 4).
+  // 1 Gi words = 4 GiB, far above any full-device bitstream we model.
+  constexpr std::uint64_t kMaxWords = 1ull << 30;
+  if (word_count > kMaxWords || compressed_count > kMaxWords)
+    throw InvalidArgument("implausible bitstream payload size in '" + path +
+                          "'");
+  // RLE worst case: every word is an isolated zero (2 output words each).
+  if (compressed_count > 2 * word_count)
+    throw InvalidArgument("RLE stream longer than its payload in '" + path +
+                          "'");
+  std::vector<std::uint32_t> compressed(
+      static_cast<std::size_t>(compressed_count));
   in.read(reinterpret_cast<char*>(compressed.data()),
-          static_cast<std::streamsize>(compressed_count * 4));
+          static_cast<std::streamsize>(compressed_count) * 4);
   if (!in) throw InvalidArgument("truncated bitstream payload");
-  bs.words = rle_decompress(compressed);
+  bs.words = rle_decompress(compressed, word_count);
   if (bs.words.size() != word_count)
     throw InvalidArgument("bitstream payload length mismatch");
   if (crc32(bs.words) != bs.crc)

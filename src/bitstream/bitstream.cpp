@@ -58,7 +58,7 @@ std::vector<std::uint32_t> rle_compress(
 }
 
 std::vector<std::uint32_t> rle_decompress(
-    const std::vector<std::uint32_t>& compressed) {
+    const std::vector<std::uint32_t>& compressed, std::uint64_t max_words) {
   std::vector<std::uint32_t> out;
   std::size_t i = 0;
   while (i < compressed.size()) {
@@ -66,9 +66,13 @@ std::vector<std::uint32_t> rle_decompress(
       PRESP_REQUIRE(i + 1 < compressed.size(),
                     "truncated RLE stream: zero marker without run length");
       const std::uint32_t run = compressed[i + 1];
+      PRESP_REQUIRE(max_words == 0 || out.size() + run <= max_words,
+                    "RLE run overflows the declared payload size");
       out.insert(out.end(), run, 0u);
       i += 2;
     } else {
+      PRESP_REQUIRE(max_words == 0 || out.size() < max_words,
+                    "RLE stream overflows the declared payload size");
       out.push_back(compressed[i]);
       ++i;
     }

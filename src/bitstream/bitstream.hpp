@@ -32,8 +32,11 @@ std::uint32_t crc32(const std::vector<std::uint32_t>& words);
 /// (multi-frame-write of identical frames).
 std::vector<std::uint32_t> rle_compress(
     const std::vector<std::uint32_t>& words);
+/// `max_words` bounds the decompressed size: a corrupted run length must
+/// fail cleanly instead of exploding the allocation. 0 = unbounded.
 std::vector<std::uint32_t> rle_decompress(
-    const std::vector<std::uint32_t>& compressed);
+    const std::vector<std::uint32_t>& compressed,
+    std::uint64_t max_words = 0);
 
 struct Bitstream {
   /// Identifies what the bitstream configures.

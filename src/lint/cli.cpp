@@ -1,0 +1,85 @@
+#include "lint/cli.hpp"
+
+#include <cstdio>
+
+#include "lint/context.hpp"
+#include "lint/diagnostic.hpp"
+#include "lint/rules.hpp"
+#include "util/error.hpp"
+
+namespace presp::lint {
+
+namespace {
+
+int usage(const std::string& program) {
+  std::fprintf(stderr,
+               "usage: %s [--format=text|json] [--list-rules] [--werror]\n"
+               "       %*s <config.esp_config>...\n",
+               program.c_str(), static_cast<int>(program.size()), "");
+  return 2;
+}
+
+void list_rules() {
+  const RuleRegistry& registry = RuleRegistry::builtin();
+  std::printf("%-28s %-10s %-8s %s\n", "rule", "layer", "severity",
+              "description");
+  for (const RuleInfo& info : registry.rules())
+    std::printf("%-28s %-10s %-8s %s\n", info.id.c_str(),
+                info.layer.c_str(), to_string(info.severity),
+                info.description.c_str());
+  std::printf("%zu rules (%zu checked against configurations)\n",
+              registry.rules().size(), registry.num_checks());
+}
+
+}  // namespace
+
+int run_lint_cli(const std::vector<std::string>& args,
+                 const std::string& program) {
+  bool json = false;
+  bool werror = false;
+  std::vector<std::string> configs;
+  for (const std::string& arg : args) {
+    if (arg == "--format=text") {
+      json = false;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      list_rules();
+      return 0;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      configs.push_back(arg);
+    } else {
+      return usage(program);
+    }
+  }
+  if (configs.empty()) return usage(program);
+
+  DiagnosticEngine engine;
+  for (const std::string& path : configs) {
+    try {
+      LintContext context = LintContext::from_file(path);
+      RuleRegistry::builtin().run(context, engine);
+    } catch (const Error& e) {
+      // from_file failures (unreadable path) are findings too.
+      engine.add({"config.parse",
+                  Severity::kError,
+                  {path, 0, ""},
+                  e.what(),
+                  ""});
+    }
+  }
+  engine.sort();
+
+  if (json)
+    std::printf("%s", render_json(engine.diagnostics()).c_str());
+  else
+    std::printf("%s", render_text(engine.diagnostics()).c_str());
+
+  if (engine.has_errors()) return 1;
+  if (werror && engine.count(Severity::kWarning) > 0) return 1;
+  return 0;
+}
+
+}  // namespace presp::lint

@@ -1,0 +1,21 @@
+// Command-line driver for the cross-layer design-rule checker. Shared
+// between the standalone `presp-lint` binary and the `lint` subcommand
+// of `presp-flow`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace presp::lint {
+
+/// Runs the lint driver over `args` (program arguments, argv[0] already
+/// stripped). Returns the process exit code: 0 when every configuration
+/// is clean (warnings allowed), 1 when any error-severity diagnostic
+/// fired or a file could not be processed, 2 on usage errors.
+///
+///   presp-lint [--format=text|json] [--list-rules] [--werror]
+///              <config.esp_config>...
+int run_lint_cli(const std::vector<std::string>& args,
+                 const std::string& program = "presp-lint");
+
+}  // namespace presp::lint

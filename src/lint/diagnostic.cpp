@@ -1,0 +1,300 @@
+#include "lint/diagnostic.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace presp::lint {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kInfo: return "info";
+  }
+  return "?";
+}
+
+Severity severity_from_string(const std::string& text) {
+  if (text == "error") return Severity::kError;
+  if (text == "warning") return Severity::kWarning;
+  if (text == "info") return Severity::kInfo;
+  throw ConfigError("unknown severity '" + text + "'");
+}
+
+bool DiagnosticEngine::add(Diagnostic diag) {
+  for (const Diagnostic& existing : diags_)
+    if (existing == diag) return false;
+  diags_.push_back(std::move(diag));
+  return true;
+}
+
+std::size_t DiagnosticEngine::count(Severity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(),
+                    [severity](const Diagnostic& d) {
+                      return d.severity == severity;
+                    }));
+}
+
+bool DiagnosticEngine::has_rule(const std::string& rule) const {
+  return std::any_of(diags_.begin(), diags_.end(),
+                     [&rule](const Diagnostic& d) { return d.rule == rule; });
+}
+
+void DiagnosticEngine::sort() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.loc.file != b.loc.file)
+                       return a.loc.file < b.loc.file;
+                     if (a.loc.line != b.loc.line)
+                       return a.loc.line < b.loc.line;
+                     return a.rule < b.rule;
+                   });
+}
+
+// ------------------------------------------------------------ reporters
+
+std::string render_text(const std::vector<Diagnostic>& diags) {
+  std::ostringstream os;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) ++errors;
+    if (d.severity == Severity::kWarning) ++warnings;
+    os << (d.loc.file.empty() ? "<memory>" : d.loc.file);
+    if (d.loc.line > 0) os << ':' << d.loc.line;
+    os << ": " << to_string(d.severity) << ": [" << d.rule << "] "
+       << d.message;
+    if (!d.loc.object.empty()) os << " (" << d.loc.object << ")";
+    os << '\n';
+    if (!d.fix_hint.empty()) os << "    hint: " << d.fix_hint << '\n';
+  }
+  os << errors << " error(s), " << warnings << " warning(s), "
+     << diags.size() - errors - warnings << " info(s)\n";
+  return os.str();
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Minimal JSON reader for the diagnostic report schema: objects, arrays,
+/// strings and non-negative integers.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') value += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              value += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              value += static_cast<unsigned>(h - 'A' + 10);
+            else fail("malformed \\u escape");
+          }
+          // The writer only emits \u00XX for control bytes.
+          out += static_cast<char>(value & 0xFF);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  long long integer() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+      ++pos_;
+    if (pos_ == start) fail("expected integer");
+    return std::stoll(text_.substr(start, pos_ - start));
+  }
+
+  /// Skips any JSON value (used for ignorable summary fields).
+  void skip_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("expected value");
+    const char c = text_[pos_];
+    if (c == '"') {
+      string();
+    } else if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      expect(c);
+      if (consume(close)) return;
+      do {
+        if (c == '{') {
+          string();
+          expect(':');
+        }
+        skip_value();
+      } while (consume(','));
+      expect(close);
+    } else {
+      integer();
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ConfigError("malformed diagnostics JSON at offset " +
+                      std::to_string(pos_) + ": " + why);
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string render_json(const std::vector<Diagnostic>& diags) {
+  std::string out = "{\n  \"diagnostics\": [";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"rule\": ";
+    append_escaped(out, d.rule);
+    out += ", \"severity\": ";
+    append_escaped(out, to_string(d.severity));
+    out += ", \"file\": ";
+    append_escaped(out, d.loc.file);
+    out += ", \"line\": " + std::to_string(d.loc.line);
+    out += ", \"object\": ";
+    append_escaped(out, d.loc.object);
+    out += ", \"message\": ";
+    append_escaped(out, d.message);
+    out += ", \"fix_hint\": ";
+    append_escaped(out, d.fix_hint);
+    out += "}";
+  }
+  if (!diags.empty()) out += "\n  ";
+  out += "],\n";
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t infos = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) ++errors;
+    else if (d.severity == Severity::kWarning) ++warnings;
+    else ++infos;
+  }
+  out += "  \"errors\": " + std::to_string(errors) + ",\n";
+  out += "  \"warnings\": " + std::to_string(warnings) + ",\n";
+  out += "  \"infos\": " + std::to_string(infos) + "\n}\n";
+  return out;
+}
+
+std::vector<Diagnostic> parse_json(const std::string& text) {
+  JsonReader r(text);
+  std::vector<Diagnostic> diags;
+  r.expect('{');
+  if (r.consume('}')) return diags;
+  do {
+    const std::string key = r.string();
+    r.expect(':');
+    if (key != "diagnostics") {
+      r.skip_value();
+      continue;
+    }
+    r.expect('[');
+    if (r.consume(']')) continue;
+    do {
+      Diagnostic d;
+      r.expect('{');
+      if (!r.consume('}')) {
+        do {
+          const std::string field = r.string();
+          r.expect(':');
+          if (field == "rule") d.rule = r.string();
+          else if (field == "severity")
+            d.severity = severity_from_string(r.string());
+          else if (field == "file") d.loc.file = r.string();
+          else if (field == "line")
+            d.loc.line = static_cast<int>(r.integer());
+          else if (field == "object") d.loc.object = r.string();
+          else if (field == "message") d.message = r.string();
+          else if (field == "fix_hint") d.fix_hint = r.string();
+          else r.skip_value();
+        } while (r.consume(','));
+        r.expect('}');
+      }
+      diags.push_back(std::move(d));
+    } while (r.consume(','));
+    r.expect(']');
+  } while (r.consume(','));
+  r.expect('}');
+  return diags;
+}
+
+}  // namespace presp::lint

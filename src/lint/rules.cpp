@@ -1,0 +1,901 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "util/string_utils.hpp"
+
+namespace presp::lint {
+
+namespace {
+
+/// Extracts "line N" from a parser message (Config::parse embeds one).
+int extract_line(const std::string& message) {
+  const std::size_t pos = message.find("line ");
+  if (pos == std::string::npos) return 0;
+  std::size_t i = pos + 5;
+  long long line = 0;
+  bool any = false;
+  while (i < message.size() && message[i] >= '0' && message[i] <= '9') {
+    line = line * 10 + (message[i] - '0');
+    any = true;
+    ++i;
+  }
+  return any && line > 0 && line < 1'000'000 ? static_cast<int>(line) : 0;
+}
+
+std::string tile_key(const netlist::SocConfig& config, int index) {
+  return "r" + std::to_string(index / config.cols) + "c" +
+         std::to_string(index % config.cols);
+}
+
+bool covers(const fabric::ResourceVec& have,
+            const fabric::ResourceVec& need) {
+  return have.luts >= need.luts && have.ffs >= need.ffs &&
+         have.bram36 >= need.bram36 && have.dsp >= need.dsp;
+}
+
+std::string shortfall(const fabric::ResourceVec& have,
+                      const fabric::ResourceVec& need) {
+  std::string out;
+  const auto add = [&out](const char* name, long long h, long long n) {
+    if (h >= n) return;
+    if (!out.empty()) out += ", ";
+    out += std::string(name) + " " + std::to_string(n) + " > " +
+           std::to_string(h);
+  };
+  add("LUT", have.luts, need.luts);
+  add("FF", have.ffs, need.ffs);
+  add("BRAM36", have.bram36, need.bram36);
+  add("DSP", have.dsp, need.dsp);
+  return out;
+}
+
+/// True when the pblock lies entirely on the device fabric (rules other
+/// than floorplan.illegal-column skip off-fabric pblocks rather than
+/// querying resources of columns that do not exist).
+bool on_fabric(const fabric::Device& device, const fabric::Pblock& pblock) {
+  return pblock.valid() && pblock.col_lo >= 0 &&
+         pblock.col_hi < device.num_columns() && pblock.row_lo >= 0 &&
+         pblock.row_hi < device.region_rows();
+}
+
+/// True when `route` is a well-formed mesh path from src to dst:
+/// inclusive endpoints, every hop between 4-neighbour tiles.
+bool valid_route(const RouteTable& table, const std::vector<int>& route,
+                 int src, int dst) {
+  if (route.empty() || route.front() != src || route.back() != dst)
+    return false;
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    const int a = route[i];
+    const int b = route[i + 1];
+    if (a < 0 || a >= table.num_tiles() || b < 0 || b >= table.num_tiles())
+      return false;
+    const int ar = a / table.cols;
+    const int ac = a % table.cols;
+    const int br = b / table.cols;
+    const int bc = b % table.cols;
+    const int manhattan = std::abs(ar - br) + std::abs(ac - bc);
+    if (manhattan != 1) return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------ netlist rules
+
+void check_unknown_accelerator(LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& config = ctx.soc();
+  const auto& lib = ctx.library();
+  for (int index = 0; index < static_cast<int>(config.tiles.size());
+       ++index) {
+    const auto& tile = config.tiles[static_cast<std::size_t>(index)];
+    for (const std::string& name : tile.accelerators) {
+      if (lib.has(name)) continue;
+      const std::string key = tile_key(config, index);
+      engine.add({"netlist.unknown-accelerator",
+                  Severity::kError,
+                  {ctx.file(), ctx.line_of("tiles", key), "tiles." + key},
+                  "accelerator '" + name +
+                      "' is not registered in the fabric library",
+                  "register it with an [accelerator " + name +
+                      "] section or use a built-in kernel"});
+    }
+  }
+}
+
+void check_duplicate_member(LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& config = ctx.soc();
+  for (int index = 0; index < static_cast<int>(config.tiles.size());
+       ++index) {
+    const auto& tile = config.tiles[static_cast<std::size_t>(index)];
+    std::set<std::string> seen;
+    for (const std::string& name : tile.accelerators) {
+      if (seen.insert(name).second) continue;
+      const std::string key = tile_key(config, index);
+      engine.add({"netlist.duplicate-member",
+                  Severity::kError,
+                  {ctx.file(), ctx.line_of("tiles", key), "tiles." + key},
+                  "module '" + name +
+                      "' is listed twice in the partition member set "
+                      "(bitstream store keys are (tile, module))",
+                  "drop the duplicate entry"});
+    }
+  }
+}
+
+void check_dangling_net(LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& nl = ctx.static_netlist().netlist;
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    const auto& net = nl.net(n);
+    const SourceLoc loc{ctx.file(), 0, "net." + net.name};
+    if (net.driver == netlist::kInvalidCell ||
+        net.driver >= nl.num_cells()) {
+      engine.add({"netlist.dangling-net", Severity::kError, loc,
+                  "net '" + net.name + "' has no live driver",
+                  "connect the net or remove it from the netlist"});
+      continue;
+    }
+    bool bad_sink = false;
+    for (const netlist::CellId sink : net.sinks)
+      bad_sink |= sink >= nl.num_cells();
+    if (bad_sink)
+      engine.add({"netlist.dangling-net", Severity::kError, loc,
+                  "net '" + net.name + "' has a sink outside the netlist",
+                  "connect the net or remove it from the netlist"});
+    if (net.sinks.empty())
+      engine.add({"netlist.dangling-net", Severity::kWarning, loc,
+                  "net '" + net.name + "' drives no sinks",
+                  "remove the unloaded net"});
+  }
+}
+
+void check_width_mismatch(LintContext& ctx, DiagnosticEngine& engine) {
+  // (a) Structural: every net carries a positive bus width.
+  const auto& nl = ctx.static_netlist().netlist;
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    const auto& net = nl.net(n);
+    if (net.width < 1)
+      engine.add({"netlist.width-mismatch",
+                  Severity::kError,
+                  {ctx.file(), 0, "net." + net.name},
+                  "net '" + net.name + "' has non-positive width " +
+                      std::to_string(net.width),
+                  "set the bus width to at least 1"});
+  }
+  // (b) Interface: every accelerator member must match the common
+  // reconfigurable wrapper interface (ESP's fixed socket contract; a
+  // mismatch would leave dangling or truncated partition pins). CPU
+  // cores moved into the reconfigurable part (paper SOC_4) are exempt:
+  // they bring their own processor socket, not the accelerator wrapper.
+  const auto& lib = ctx.library();
+  const int wrapper_bits =
+      lib.get(netlist::ComponentLibrary::kReconfWrapper).interface_bits;
+  const auto& config = ctx.soc();
+  for (const auto& partition : ctx.rtl().partitions()) {
+    for (const std::string& module : partition.modules) {
+      if (module == netlist::ComponentLibrary::kLeon3 ||
+          module == netlist::ComponentLibrary::kCva6)
+        continue;
+      const int bits = lib.get(module).interface_bits;
+      if (bits == wrapper_bits) continue;
+      const std::string key = tile_key(config, partition.tile_index);
+      engine.add({"netlist.width-mismatch",
+                  Severity::kError,
+                  {ctx.file(), ctx.line_of("tiles", key),
+                   "partition." + partition.name},
+                  "module '" + module + "' exposes a " +
+                      std::to_string(bits) +
+                      "-bit interface but the reconfigurable wrapper is " +
+                      std::to_string(wrapper_bits) + "-bit",
+                  "regenerate the module with the common wrapper "
+                  "interface width"});
+    }
+  }
+}
+
+// ---------------------------------------------------- floorplan rules
+
+void check_region_overlap(LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& plan = ctx.floorplan();
+  const auto& requests = ctx.partition_requests();
+  for (std::size_t i = 0; i < plan.pblocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.pblocks.size(); ++j) {
+      if (!plan.pblocks[i].overlaps(plan.pblocks[j])) continue;
+      const std::string a =
+          i < requests.size() ? requests[i].name : std::to_string(i);
+      const std::string b =
+          j < requests.size() ? requests[j].name : std::to_string(j);
+      engine.add({"floorplan.region-overlap",
+                  Severity::kError,
+                  {ctx.file(), 0, "partition." + a},
+                  "pblocks of partitions '" + a + "' " +
+                      plan.pblocks[i].to_string() + " and '" + b + "' " +
+                      plan.pblocks[j].to_string() + " overlap",
+                  "re-run the floorplanner or separate the regions"});
+    }
+  }
+}
+
+void check_region_capacity(LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& plan = ctx.floorplan();
+  const auto& requests = ctx.partition_requests();
+  const auto& device = ctx.device();
+  for (std::size_t i = 0;
+       i < plan.pblocks.size() && i < requests.size(); ++i) {
+    if (!on_fabric(device, plan.pblocks[i])) continue;
+    const auto enclosed = fabric::pblock_resources(device, plan.pblocks[i]);
+    if (covers(enclosed, requests[i].demand)) continue;
+    engine.add({"floorplan.region-capacity",
+                Severity::kError,
+                {ctx.file(), 0, "partition." + requests[i].name},
+                "partition '" + requests[i].name + "' demands more than "
+                    "its pblock " + plan.pblocks[i].to_string() +
+                    " encloses (" +
+                    shortfall(enclosed, requests[i].demand) + ")",
+                "grow the pblock or shrink the partition's largest member"});
+  }
+}
+
+void check_member_footprint(LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& plan = ctx.floorplan();
+  const auto& device = ctx.device();
+  const auto& lib = ctx.library();
+  const auto& rtl = ctx.rtl();
+  for (std::size_t p = 0;
+       p < rtl.partitions().size() && p < plan.pblocks.size(); ++p) {
+    const auto& partition = rtl.partitions()[p];
+    if (!on_fabric(device, plan.pblocks[p])) continue;
+    const auto enclosed =
+        fabric::pblock_resources(device, plan.pblocks[p]);
+    for (const std::string& module : partition.modules) {
+      const auto need = netlist::SocRtl::module_resources(lib, module);
+      if (covers(enclosed, need)) continue;
+      engine.add({"floorplan.member-footprint",
+                  Severity::kError,
+                  {ctx.file(), 0, "partition." + partition.name},
+                  "member '" + module + "' of partition '" +
+                      partition.name + "' does not fit its pblock " +
+                      plan.pblocks[p].to_string() + " (" +
+                      shortfall(enclosed, need) + ")",
+                  "size the region for the largest member (including the "
+                  "reconfigurable wrapper)"});
+    }
+  }
+}
+
+void check_illegal_column(LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& plan = ctx.floorplan();
+  const auto& requests = ctx.partition_requests();
+  const auto& device = ctx.device();
+  for (std::size_t i = 0; i < plan.pblocks.size(); ++i) {
+    const auto& pblock = plan.pblocks[i];
+    const std::string name =
+        i < requests.size() ? requests[i].name : std::to_string(i);
+    if (!pblock.valid() || pblock.col_lo < 0 ||
+        pblock.col_hi >= device.num_columns() || pblock.row_lo < 0 ||
+        pblock.row_hi >= device.region_rows()) {
+      engine.add({"floorplan.illegal-column",
+                  Severity::kError,
+                  {ctx.file(), 0, "partition." + name},
+                  "pblock " + pblock.to_string() + " of partition '" +
+                      name + "' lies outside the device fabric",
+                  "clamp the region to the device grid"});
+      continue;
+    }
+    for (int col = pblock.col_lo; col <= pblock.col_hi; ++col) {
+      const auto type = device.column_type(col);
+      if (fabric::Device::reconfigurable_column(type)) continue;
+      engine.add({"floorplan.illegal-column",
+                  Severity::kError,
+                  {ctx.file(), 0, "partition." + name},
+                  "pblock of partition '" + name + "' spans the " +
+                      std::string(fabric::to_string(type)) + " column " +
+                      std::to_string(col) +
+                      " (clock/IO columns cannot be reconfigured)",
+                  "move or split the region so it only covers "
+                  "CLB/BRAM/DSP columns"});
+      break;  // one diagnostic per pblock is enough
+    }
+  }
+}
+
+void check_icap_unreachable(LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& config = ctx.soc();
+  const auto aux_tiles = config.tiles_of(netlist::TileType::kAux);
+  if (aux_tiles.empty()) {
+    engine.add({"floorplan.icap-unreachable",
+                Severity::kError,
+                {ctx.file(), ctx.line_of_section("tiles"), "tiles"},
+                "no AUX tile hosts the ICAP/DFX controller",
+                "add exactly one aux tile to the grid"});
+    return;
+  }
+  const int aux = aux_tiles.front();
+  const auto& table = ctx.routes();
+  for (const auto& partition : ctx.rtl().partitions()) {
+    const int tile = partition.tile_index;
+    const bool to_aux =
+        valid_route(table, table.route(tile, aux), tile, aux);
+    const bool from_aux =
+        valid_route(table, table.route(aux, tile), aux, tile);
+    if (to_aux && from_aux) continue;
+    const std::string key = tile_key(config, tile);
+    engine.add({"floorplan.icap-unreachable",
+                Severity::kError,
+                {ctx.file(), ctx.line_of("tiles", key), "tiles." + key},
+                "reconfigurable tile " + key +
+                    " has no valid NoC route " +
+                    (to_aux ? "from" : "to") +
+                    " the ICAP/DFXC (aux) tile " + tile_key(config, aux),
+                "fix the route function or move the tile inside the mesh"});
+  }
+}
+
+// ---------------------------------------------------------- noc rules
+
+void check_noc_deadlock(LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& table = ctx.routes();
+  const long long tiles = table.num_tiles();
+  // Channel dependency graph: one node per directed link (a -> b),
+  // an edge when some route traverses link L1 immediately before L2.
+  std::map<long long, std::set<long long>> edges;
+  for (const auto& route : table.routes) {
+    for (std::size_t i = 0; i + 2 < route.size(); ++i) {
+      const long long l1 = route[i] * tiles + route[i + 1];
+      const long long l2 = route[i + 1] * tiles + route[i + 2];
+      edges[l1].insert(l2);
+    }
+  }
+  // Iterative three-colour DFS for a cycle.
+  std::map<long long, int> colour;  // 0 white, 1 grey, 2 black
+  std::vector<long long> stack;
+  const auto link_name = [&](long long link) {
+    return "(" + std::to_string(link / tiles) + "->" +
+           std::to_string(link % tiles) + ")";
+  };
+  for (const auto& [start, _] : edges) {
+    if (colour[start] != 0) continue;
+    std::vector<std::pair<long long, bool>> work{{start, false}};
+    while (!work.empty()) {
+      auto [link, done] = work.back();
+      work.pop_back();
+      if (done) {
+        colour[link] = 2;
+        if (!stack.empty() && stack.back() == link) stack.pop_back();
+        continue;
+      }
+      if (colour[link] == 2) continue;
+      colour[link] = 1;
+      stack.push_back(link);
+      work.push_back({link, true});
+      const auto it = edges.find(link);
+      if (it == edges.end()) continue;
+      for (const long long next : it->second) {
+        if (colour[next] == 1) {
+          // Back edge: reconstruct the cycle from the grey stack.
+          std::string cycle;
+          bool in_cycle = false;
+          int shown = 0;
+          for (const long long l : stack) {
+            if (l == next) in_cycle = true;
+            if (!in_cycle) continue;
+            if (shown++ > 8) {
+              cycle += " -> ...";
+              break;
+            }
+            cycle += (cycle.empty() ? "" : " -> ") + link_name(l);
+          }
+          cycle += " -> " + link_name(next);
+          engine.add({"noc.deadlock",
+                      Severity::kError,
+                      {ctx.file(), 0, "noc"},
+                      "the route function admits a channel dependency "
+                      "cycle: " + cycle,
+                      "use dimension-ordered (XY) routing or add virtual "
+                      "channels"});
+          return;
+        }
+        if (colour[next] == 0) work.push_back({next, false});
+      }
+    }
+    stack.clear();
+  }
+}
+
+void check_queue_gating(LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& rtl = ctx.rtl();
+  const auto& config = ctx.soc();
+  const auto has_block = [](const netlist::TileRtl& tile,
+                            const char* block) {
+    return std::find(tile.static_blocks.begin(), tile.static_blocks.end(),
+                     block) != tile.static_blocks.end();
+  };
+  for (const auto& partition : rtl.partitions()) {
+    const auto& tile =
+        rtl.tiles()[static_cast<std::size_t>(partition.tile_index)];
+    if (has_block(tile, netlist::ComponentLibrary::kDecoupler)) continue;
+    const std::string key = tile_key(config, partition.tile_index);
+    engine.add({"noc.queue-gating",
+                Severity::kError,
+                {ctx.file(), ctx.line_of("tiles", key), "tiles." + key},
+                "reconfigurable tile " + key +
+                    " has no PR decoupler: NoC traffic is not gated "
+                    "during reconfiguration",
+                "instantiate pr_decoupler in the tile's static socket"});
+  }
+  for (const auto& tile : rtl.tiles()) {
+    if (tile.type != netlist::TileType::kAux) continue;
+    if (has_block(tile, netlist::ComponentLibrary::kDfxController) &&
+        has_block(tile, netlist::ComponentLibrary::kIcapWrapper))
+      continue;
+    const std::string key = tile_key(config, tile.index);
+    engine.add({"noc.queue-gating",
+                Severity::kError,
+                {ctx.file(), ctx.line_of("tiles", key), "tiles." + key},
+                "aux tile " + key +
+                    " lacks the DFX controller / ICAP wrapper pair",
+                "keep dfx_controller and icap_wrapper in the aux tile"});
+  }
+}
+
+// ------------------------------------------------------ runtime rules
+
+void check_missing_bitstream(LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& plan = ctx.plan();
+  if (plan.threads.empty()) return;
+  const auto& manifest = ctx.manifest();
+  const auto& config = ctx.soc();
+  for (const auto& thread : plan.threads) {
+    for (const auto& chain : thread.chains) {
+      for (const auto& request : chain.requests) {
+        const auto it = manifest.find(request.tile);
+        const std::string key = tile_key(config, request.tile);
+        const SourceLoc loc{ctx.file(), thread.line,
+                            "runtime." + thread.name};
+        if (it == manifest.end()) {
+          engine.add({"runtime.missing-bitstream", Severity::kError, loc,
+                      thread.name + " requests module '" + request.module +
+                          "' on tile " + key +
+                          ", which hosts no reconfigurable partition",
+                      "target a reconf tile or add the tile to the "
+                      "[bitstreams] manifest"});
+          continue;
+        }
+        if (std::find(it->second.begin(), it->second.end(),
+                      request.module) != it->second.end())
+          continue;
+        engine.add({"runtime.missing-bitstream", Severity::kError, loc,
+                    thread.name + " requests module '" + request.module +
+                        "' on tile " + key +
+                        " but no partial bitstream for it is in the "
+                        "store manifest",
+                    "add '" + request.module +
+                        "' to the tile's member set or to the "
+                        "[bitstreams] manifest"});
+      }
+    }
+  }
+}
+
+void check_lock_order(LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& plan = ctx.plan();
+  const auto& config = ctx.soc();
+  struct Edge {
+    int dst;
+    const PlanThread* thread;
+  };
+  std::map<int, std::vector<Edge>> edges;
+  for (const auto& thread : plan.threads) {
+    for (const auto& chain : thread.chains) {
+      for (std::size_t i = 0; i < chain.requests.size(); ++i) {
+        for (std::size_t j = i + 1; j < chain.requests.size(); ++j) {
+          const int a = chain.requests[i].tile;
+          const int b = chain.requests[j].tile;
+          if (a == b) {
+            engine.add(
+                {"runtime.lock-order",
+                 Severity::kError,
+                 {ctx.file(), thread.line, "runtime." + thread.name},
+                 thread.name + " re-acquires the lock of tile " +
+                     tile_key(config, a) +
+                     " while still holding it (tile locks are not "
+                     "reentrant: the chain deadlocks itself)",
+                 "split the chain with ',' so the first request "
+                 "releases the tile before the second"});
+            continue;
+          }
+          edges[a].push_back({b, &thread});
+        }
+      }
+    }
+  }
+  // DFS over the lock-order graph; a cycle means two threads can each
+  // hold a lock the other needs.
+  std::map<int, int> colour;
+  std::vector<int> stack;
+  for (const auto& [start, _] : edges) {
+    if (colour[start] != 0) continue;
+    std::vector<std::pair<int, bool>> work{{start, false}};
+    while (!work.empty()) {
+      auto [tile, done] = work.back();
+      work.pop_back();
+      if (done) {
+        colour[tile] = 2;
+        if (!stack.empty() && stack.back() == tile) stack.pop_back();
+        continue;
+      }
+      if (colour[tile] == 2) continue;
+      colour[tile] = 1;
+      stack.push_back(tile);
+      work.push_back({tile, true});
+      const auto it = edges.find(tile);
+      if (it == edges.end()) continue;
+      for (const Edge& edge : it->second) {
+        if (colour[edge.dst] == 1) {
+          std::string cycle;
+          std::set<int> cycle_tiles;
+          bool in_cycle = false;
+          for (const int t : stack) {
+            if (t == edge.dst) in_cycle = true;
+            if (!in_cycle) continue;
+            cycle_tiles.insert(t);
+            cycle += (cycle.empty() ? "" : " -> ") + tile_key(config, t);
+          }
+          cycle += " -> " + tile_key(config, edge.dst);
+          std::set<std::string> threads;
+          for (const auto& [src, outs] : edges) {
+            if (cycle_tiles.count(src) == 0U) continue;
+            for (const Edge& e : outs)
+              if (cycle_tiles.count(e.dst) != 0U)
+                threads.insert(e.thread->name);
+          }
+          engine.add({"runtime.lock-order",
+                      Severity::kWarning,
+                      {ctx.file(), edge.thread->line,
+                       "runtime." + edge.thread->name},
+                      "tile locks are acquired in conflicting orders "
+                      "across threads (" +
+                          join({threads.begin(), threads.end()}, ", ") +
+                          "): potential deadlock cycle " + cycle,
+                      "acquire tile locks in one global order (e.g. "
+                      "ascending tile index) in every thread"});
+          return;
+        }
+        if (colour[edge.dst] == 0) work.push_back({edge.dst, false});
+      }
+    }
+    stack.clear();
+  }
+}
+
+void check_retry_budget(LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& plan = ctx.plan();
+  if (!plan.declared) return;
+  const int line = ctx.line_of_section("runtime");
+  const SourceLoc loc{ctx.file(), line, "runtime"};
+  if (plan.retry_budget < 1)
+    engine.add({"runtime.retry-budget", Severity::kWarning, loc,
+                "retry_budget " + std::to_string(plan.retry_budget) +
+                    " disables watchdog recovery: the first hang "
+                    "quarantines the tile",
+                "set retry_budget to at least 1"});
+  if (plan.max_attempts < 1)
+    engine.add({"runtime.retry-budget", Severity::kWarning, loc,
+                "max_attempts " + std::to_string(plan.max_attempts) +
+                    " prevents any reconfiguration attempt",
+                "set max_attempts to at least 1"});
+  if (plan.backoff_base_cycles <= 0)
+    engine.add({"runtime.retry-budget", Severity::kWarning, loc,
+                "backoff_base_cycles " +
+                    std::to_string(plan.backoff_base_cycles) +
+                    " disables exponential backoff (hot retry loop)",
+                "use a positive backoff base (default 10000 cycles)"});
+  else if (plan.retry_budget > 1) {
+    const int base_bits = std::bit_width(
+        static_cast<unsigned long long>(plan.backoff_base_cycles));
+    if (base_bits + plan.retry_budget - 1 > 62)
+      engine.add({"runtime.retry-budget", Severity::kWarning, loc,
+                  "backoff_base_cycles << (retry_budget - 1) overflows: "
+                  "the last retry's backoff wraps negative",
+                  "lower retry_budget or backoff_base_cycles so the "
+                  "shifted backoff stays below 2^62 cycles"});
+  }
+  if (plan.watchdog_reconf_margin < 1.0)
+    engine.add({"runtime.retry-budget", Severity::kWarning, loc,
+                "watchdog_reconf_margin " +
+                    std::to_string(plan.watchdog_reconf_margin) +
+                    " arms the watchdog below the nominal ICAP streaming "
+                    "time: healthy reconfigurations will fire it",
+                "use a margin of at least 1.0 (default 8.0)"});
+}
+
+// --------------------------------------------------------- exec rules
+
+void check_undefined_dep(LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& graph = ctx.task_graph();
+  for (const auto& task : graph.tasks) {
+    for (const std::string& dep : task.deps) {
+      if (graph.find(dep) != nullptr) continue;
+      engine.add({"exec.undefined-dep",
+                  Severity::kError,
+                  {ctx.file(), task.line, "tasks." + task.name},
+                  "task '" + task.name + "' depends on undefined task '" +
+                      dep + "'",
+                  "declare the dependency in [tasks] or drop it"});
+    }
+  }
+}
+
+/// Tasks that sit on a dependency cycle (can reach themselves).
+std::set<std::string> cycle_members(const TaskGraphSpec& graph) {
+  std::set<std::string> members;
+  for (const auto& task : graph.tasks) {
+    // DFS from task over deps; if we reach task again it is on a cycle.
+    std::vector<const TaskSpec*> work;
+    std::set<std::string> visited;
+    const TaskSpec* start = &task;
+    work.push_back(start);
+    bool cyclic = false;
+    while (!work.empty() && !cyclic) {
+      const TaskSpec* cur = work.back();
+      work.pop_back();
+      for (const std::string& dep : cur->deps) {
+        if (dep == start->name) {
+          cyclic = true;
+          break;
+        }
+        if (!visited.insert(dep).second) continue;
+        if (const TaskSpec* next = graph.find(dep)) work.push_back(next);
+      }
+    }
+    if (cyclic) members.insert(task.name);
+  }
+  return members;
+}
+
+void check_graph_cycle(LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& graph = ctx.task_graph();
+  const auto members = cycle_members(graph);
+  if (members.empty()) return;
+  const TaskSpec* anchor = graph.find(*members.begin());
+  engine.add({"exec.graph-cycle",
+              Severity::kError,
+              {ctx.file(), anchor != nullptr ? anchor->line : 0,
+               "tasks." + *members.begin()},
+              "task graph has a dependency cycle among {" +
+                  join({members.begin(), members.end()}, ", ") +
+                  "}: none of these tasks can ever start",
+              "break the cycle; TaskGraph::add only accepts "
+              "already-added dependencies"});
+}
+
+void check_unreachable_task(LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& graph = ctx.task_graph();
+  if (graph.tasks.empty()) return;
+  const auto members = cycle_members(graph);
+  // Fixpoint: a task is runnable when every dep exists and is runnable.
+  std::set<std::string> runnable;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& task : graph.tasks) {
+      if (runnable.count(task.name) != 0U) continue;
+      bool ready = true;
+      for (const std::string& dep : task.deps) {
+        if (graph.find(dep) == nullptr || runnable.count(dep) == 0U) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        runnable.insert(task.name);
+        changed = true;
+      }
+    }
+  }
+  for (const auto& task : graph.tasks) {
+    if (runnable.count(task.name) != 0U) continue;
+    if (members.count(task.name) != 0U) continue;  // flagged as cycle
+    bool direct_undefined = false;
+    for (const std::string& dep : task.deps)
+      direct_undefined |= graph.find(dep) == nullptr;
+    if (direct_undefined) continue;  // flagged as undefined-dep
+    engine.add({"exec.unreachable-task",
+                Severity::kWarning,
+                {ctx.file(), task.line, "tasks." + task.name},
+                "task '" + task.name +
+                    "' can never become ready: it depends (transitively) "
+                    "on a cycle or an undefined task",
+                "fix the upstream dependency problem"});
+  }
+}
+
+// ------------------------------------------------- artifact-gate rules
+
+void force_parse(LintContext& ctx, DiagnosticEngine&) {
+  ctx.soc();
+  ctx.library();
+  ctx.plan();
+  ctx.task_graph();
+  ctx.manifest();
+}
+
+void force_device(LintContext& ctx, DiagnosticEngine&) { ctx.device(); }
+
+void force_floorplan(LintContext& ctx, DiagnosticEngine&) {
+  ctx.floorplan();
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- registry
+
+void RuleRegistry::add(RuleInfo info, CheckFn check) {
+  infos_.push_back(std::move(info));
+  checks_.push_back(std::move(check));
+}
+
+const RuleInfo* RuleRegistry::find(const std::string& id) const {
+  for (const RuleInfo& info : infos_)
+    if (info.id == id) return &info;
+  return nullptr;
+}
+
+std::size_t RuleRegistry::num_checks() const {
+  return static_cast<std::size_t>(
+      std::count_if(checks_.begin(), checks_.end(),
+                    [](const CheckFn& fn) { return fn != nullptr; }));
+}
+
+void RuleRegistry::run(LintContext& context,
+                       DiagnosticEngine& engine) const {
+  for (std::size_t i = 0; i < checks_.size(); ++i) {
+    if (!checks_[i]) continue;
+    try {
+      checks_[i](context, engine);
+    } catch (const ArtifactError& e) {
+      if (engine.has_rule(e.rule())) continue;
+      const RuleInfo* info = find(e.rule());
+      engine.add({e.rule(),
+                  info != nullptr ? info->severity : Severity::kError,
+                  {context.file(), extract_line(e.what()), ""},
+                  e.what(),
+                  ""});
+    } catch (const Error& e) {
+      // Defensive: a rule tripped over an inconsistent artifact. Report
+      // it under the rule's own id instead of aborting the whole run.
+      engine.add({infos_[i].id,
+                  infos_[i].severity,
+                  {context.file(), 0, ""},
+                  e.what(),
+                  ""});
+    }
+  }
+  engine.sort();
+}
+
+const RuleRegistry& RuleRegistry::builtin() {
+  static const RuleRegistry registry = [] {
+    RuleRegistry r;
+    // config
+    r.add({"config.parse", "config",
+           "configuration parses and passes structural validation",
+           Severity::kError},
+          force_parse);
+    r.add({"config.unknown-device", "config",
+           "the target device names a supported board model",
+           Severity::kError},
+          force_device);
+    // netlist
+    r.add({"netlist.unknown-accelerator", "netlist",
+           "every referenced accelerator exists in the fabric library",
+           Severity::kError},
+          check_unknown_accelerator);
+    r.add({"netlist.duplicate-member", "netlist",
+           "no module is listed twice in one partition member set",
+           Severity::kError},
+          check_duplicate_member);
+    r.add({"netlist.dangling-net", "netlist",
+           "every net has a live driver and at least one sink",
+           Severity::kError},
+          check_dangling_net);
+    r.add({"netlist.width-mismatch", "netlist",
+           "net widths are positive and partition members match the "
+           "common wrapper interface width",
+           Severity::kError},
+          check_width_mismatch);
+    // floorplan
+    r.add({"floorplan.infeasible", "floorplan",
+           "a legal floorplan exists for the partition demands",
+           Severity::kError},
+          force_floorplan);
+    r.add({"floorplan.region-overlap", "floorplan",
+           "PR region pblocks are pairwise disjoint", Severity::kError},
+          check_region_overlap);
+    r.add({"floorplan.region-capacity", "floorplan",
+           "every pblock encloses its partition's resource demand",
+           Severity::kError},
+          check_region_capacity);
+    r.add({"floorplan.member-footprint", "floorplan",
+           "every partition member (plus wrapper) fits its region",
+           Severity::kError},
+          check_member_footprint);
+    r.add({"floorplan.illegal-column", "floorplan",
+           "pblocks avoid clocking-spine and I/O columns and stay on "
+           "the fabric",
+           Severity::kError},
+          check_illegal_column);
+    r.add({"floorplan.icap-unreachable", "floorplan",
+           "every PR tile has valid NoC routes to and from the "
+           "ICAP/DFXC aux tile",
+           Severity::kError},
+          check_icap_unreachable);
+    // noc
+    r.add({"noc.deadlock", "noc",
+           "the route function's channel dependency graph is acyclic "
+           "(static deadlock freedom)",
+           Severity::kError},
+          check_noc_deadlock);
+    r.add({"noc.queue-gating", "noc",
+           "every reconfigurable tile is decoupler-gated and the aux "
+           "tile hosts the DFXC/ICAP pair",
+           Severity::kError},
+          check_queue_gating);
+    // runtime
+    r.add({"runtime.missing-bitstream", "runtime",
+           "every planned reconfiguration has a partial bitstream in "
+           "the store manifest",
+           Severity::kError},
+          check_missing_bitstream);
+    r.add({"runtime.lock-order", "runtime",
+           "tile locks are acquired in a consistent global order "
+           "(no deadlock cycles across request chains)",
+           Severity::kWarning},
+          check_lock_order);
+    r.add({"runtime.retry-budget", "runtime",
+           "watchdog retry budget and backoff tuning are sane",
+           Severity::kWarning},
+          check_retry_budget);
+    // exec
+    r.add({"exec.undefined-dep", "exec",
+           "task-graph dependencies name declared tasks",
+           Severity::kError},
+          check_undefined_dep);
+    r.add({"exec.graph-cycle", "exec",
+           "the task graph is acyclic (submittable to TaskGraph)",
+           Severity::kError},
+          check_graph_cycle);
+    r.add({"exec.unreachable-task", "exec",
+           "every task can eventually become ready", Severity::kWarning},
+          check_unreachable_task);
+    // pnr (catalog-only: emitted by pnr::verify_placement)
+    r.add({"pnr.unplaced-cell", "pnr",
+           "every cell has a valid placement location", Severity::kError});
+    r.add({"pnr.out-of-bounds", "pnr",
+           "placed cells stay inside the device grid", Severity::kError});
+    r.add({"pnr.illegal-column", "pnr",
+           "logic never lands on the clocking spine", Severity::kError});
+    r.add({"pnr.outside-region", "pnr",
+           "constrained cells stay inside their region", Severity::kError});
+    r.add({"pnr.inside-keepout", "pnr",
+           "movable cells avoid keepout rectangles", Severity::kError});
+    r.add({"pnr.capacity-overflow", "pnr",
+           "per-cell LUT usage stays within site capacity",
+           Severity::kError});
+    return r;
+  }();
+  return registry;
+}
+
+std::vector<Diagnostic> lint_config_text(const std::string& text,
+                                         const std::string& file) {
+  LintContext context(text, file);
+  DiagnosticEngine engine;
+  RuleRegistry::builtin().run(context, engine);
+  return engine.diagnostics();
+}
+
+}  // namespace presp::lint

@@ -1,0 +1,71 @@
+// Cross-layer static design-rule registry.
+//
+// Every rule declares its id ("<layer>.<name>"), layer, documentation
+// string and default severity; its check receives the LintContext and
+// reports through the DiagnosticEngine. Rules whose findings are emitted
+// by other subsystems (the pnr placement verifier) are registered as
+// catalog-only entries so one registry documents the complete rule set.
+//
+// The built-in catalog spans the stack (see DESIGN.md §10):
+//   config    parse/validate failures, unknown target device
+//   netlist   unknown accelerators, duplicate partition members,
+//             dangling nets, interface width mismatches
+//   floorplan pblock overlap, capacity, member footprint, illegal
+//             columns, ICAP reachability, infeasibility
+//   noc       route-function deadlock freedom (channel dependency
+//             graph), decoupler/queue gating coverage
+//   runtime   bitstream manifest coverage, lock-acquisition ordering,
+//             retry/backoff tuning
+//   exec      task-graph cycles, undefined dependencies, unreachable
+//             tasks
+//   pnr       placement legality (emitted by pnr::verify_placement)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lint/context.hpp"
+#include "lint/diagnostic.hpp"
+
+namespace presp::lint {
+
+struct RuleInfo {
+  std::string id;
+  std::string layer;
+  std::string description;
+  Severity severity = Severity::kError;
+};
+
+class RuleRegistry {
+ public:
+  using CheckFn = std::function<void(LintContext&, DiagnosticEngine&)>;
+
+  /// Registers a rule. A null `check` adds a catalog-only entry (the
+  /// rule's diagnostics are produced elsewhere, e.g. by pnr::verify).
+  void add(RuleInfo info, CheckFn check = nullptr);
+
+  const std::vector<RuleInfo>& rules() const { return infos_; }
+  const RuleInfo* find(const std::string& id) const;
+  /// Rules that run against a LintContext (non-catalog-only).
+  std::size_t num_checks() const;
+
+  /// Runs every checked rule. Artifact materialization failures are
+  /// converted into one diagnostic under the failing artifact's rule id
+  /// (unless that rule already reported more precisely).
+  void run(LintContext& context, DiagnosticEngine& engine) const;
+
+  /// The built-in cross-layer rule catalog.
+  static const RuleRegistry& builtin();
+
+ private:
+  std::vector<RuleInfo> infos_;
+  std::vector<CheckFn> checks_;
+};
+
+/// Convenience: runs the built-in catalog over one configuration text
+/// and returns the sorted diagnostics.
+std::vector<Diagnostic> lint_config_text(const std::string& text,
+                                         const std::string& file = "<memory>");
+
+}  // namespace presp::lint

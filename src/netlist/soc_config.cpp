@@ -21,6 +21,7 @@
 #include "netlist/soc_config.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
 #include "util/string_utils.hpp"
@@ -108,15 +109,28 @@ void SocConfig::validate() const {
 }
 
 SocConfig SocConfig::from_config(const Config& cfg) {
+  // Largest mesh the platform models (ESP SoCs top out far below this);
+  // also guards the int casts and the rows*cols allocation below against
+  // hostile or corrupted inputs.
+  constexpr long long kMaxGridDim = 64;
+
   SocConfig soc;
   soc.name = cfg.get_or("soc", "name", "soc");
   soc.device = cfg.get_or("soc", "device", "vc707");
-  soc.rows = static_cast<int>(cfg.get_int("soc", "rows"));
-  soc.cols = static_cast<int>(cfg.get_int("soc", "cols"));
-  if (cfg.has("soc", "clock_mhz"))
-    soc.clock_mhz = cfg.get_double("soc", "clock_mhz");
-  if (soc.rows <= 0 || soc.cols <= 0)
+  const long long rows = cfg.get_int("soc", "rows");
+  const long long cols = cfg.get_int("soc", "cols");
+  if (rows <= 0 || cols <= 0)
     throw ConfigError("SoC grid dimensions must be positive");
+  if (rows > kMaxGridDim || cols > kMaxGridDim)
+    throw ConfigError("SoC grid dimensions exceed the supported maximum (" +
+                      std::to_string(kMaxGridDim) + ")");
+  soc.rows = static_cast<int>(rows);
+  soc.cols = static_cast<int>(cols);
+  if (cfg.has("soc", "clock_mhz")) {
+    soc.clock_mhz = cfg.get_double("soc", "clock_mhz");
+    if (!std::isfinite(soc.clock_mhz) || soc.clock_mhz <= 0.0)
+      throw ConfigError("clock_mhz must be positive and finite");
+  }
   soc.tiles.assign(static_cast<std::size_t>(soc.rows) * soc.cols,
                    TileSpec{});
 

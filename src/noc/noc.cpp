@@ -56,22 +56,27 @@ std::size_t Noc::link_index(Plane plane, int from, int to) const {
          static_cast<std::size_t>(dir);
 }
 
-std::vector<int> Noc::route(int src, int dst) const {
-  PRESP_REQUIRE(src >= 0 && src < num_tiles() && dst >= 0 &&
-                    dst < num_tiles(),
+std::vector<int> xy_route(int rows, int cols, int src, int dst) {
+  PRESP_REQUIRE(rows > 0 && cols > 0, "mesh dimensions must be positive");
+  PRESP_REQUIRE(src >= 0 && src < rows * cols && dst >= 0 &&
+                    dst < rows * cols,
                 "route endpoints out of range");
   std::vector<int> path{src};
   int cur = src;
   // X first (columns), then Y (rows): ESP's dimension-ordered routing.
-  while (cur % cols_ != dst % cols_) {
-    cur += (dst % cols_ > cur % cols_) ? 1 : -1;
+  while (cur % cols != dst % cols) {
+    cur += (dst % cols > cur % cols) ? 1 : -1;
     path.push_back(cur);
   }
-  while (cur / cols_ != dst / cols_) {
-    cur += (dst / cols_ > cur / cols_) ? cols_ : -cols_;
+  while (cur / cols != dst / cols) {
+    cur += (dst / cols > cur / cols) ? cols : -cols;
     path.push_back(cur);
   }
   return path;
+}
+
+std::vector<int> Noc::route(int src, int dst) const {
+  return xy_route(rows_, cols_, src, dst);
 }
 
 sim::Time Noc::zero_load_latency(int hops, int flits) const {

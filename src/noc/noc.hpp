@@ -34,6 +34,12 @@ inline constexpr int kNumPlanes = 6;
 
 const char* to_string(Plane plane);
 
+/// Dimension-ordered (X-then-Y) route on a rows x cols mesh as a list of
+/// tile indices from src to dst (inclusive). This is the static route
+/// function the routers implement; Noc::route delegates here and the lint
+/// layer builds its channel-dependency graphs from it.
+std::vector<int> xy_route(int rows, int cols, int src, int dst);
+
 struct Packet {
   Plane plane = Plane::kConfig;
   int src = -1;  // tile index (row-major)

@@ -97,9 +97,9 @@ void PnrEngine::check_placement(const netlist::Netlist& nl,
   const auto violations =
       verify_placement(device_, nl, placement, constraints);
   if (!violations.empty())
-    throw LogicError("placer produced an illegal placement: " +
-                     std::string(to_string(violations.front().kind)) + " (" +
-                     violations.front().detail + ") and " +
+    throw LogicError("placer produced an illegal placement: [" +
+                     violations.front().rule + "] " +
+                     violations.front().message + " and " +
                      std::to_string(violations.size() - 1) + " more");
 }
 

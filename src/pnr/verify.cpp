@@ -5,50 +5,48 @@
 
 namespace presp::pnr {
 
-const char* to_string(Violation::Kind kind) {
-  switch (kind) {
-    case Violation::Kind::kOutOfBounds: return "out-of-bounds";
-    case Violation::Kind::kIllegalColumn: return "illegal-column";
-    case Violation::Kind::kOutsideRegion: return "outside-region";
-    case Violation::Kind::kInsideKeepout: return "inside-keepout";
-    case Violation::Kind::kCapacityOverflow: return "capacity-overflow";
-    case Violation::Kind::kUnplacedCell: return "unplaced-cell";
-  }
-  return "?";
-}
-
-std::vector<Violation> verify_placement(
+std::vector<lint::Diagnostic> verify_placement(
     const fabric::Device& device, const netlist::Netlist& nl,
     const Placement& placement, const PlacementConstraints& constraints) {
-  std::vector<Violation> violations;
-  const auto report = [&](Violation::Kind kind, netlist::CellId cell,
-                          std::string detail) {
-    violations.push_back({kind, cell, std::move(detail)});
+  std::vector<lint::Diagnostic> diags;
+  const auto report = [&](const char* rule, const std::string& object,
+                          std::string message, std::string hint) {
+    diags.push_back({rule,
+                     lint::Severity::kError,
+                     {nl.name(), 0, object},
+                     std::move(message),
+                     std::move(hint)});
   };
 
   std::map<std::pair<int, int>, std::int64_t> usage;
 
   for (netlist::CellId c = 0; c < nl.num_cells(); ++c) {
     const auto& cell = nl.cell(c);
+    const std::string object = "cell." + cell.name;
     const GridLoc& loc =
         c < placement.locations.size() ? placement.locations[c] : GridLoc{};
     if (!loc.valid()) {
-      report(Violation::Kind::kUnplacedCell, c, cell.name);
+      report("pnr.unplaced-cell", object,
+             "cell '" + cell.name + "' has no placement location",
+             "run the placer or fix the cell's location");
       continue;
     }
     if (loc.col < 0 || loc.col >= device.num_columns() || loc.row < 0 ||
         loc.row >= device.region_rows()) {
-      report(Violation::Kind::kOutOfBounds, c,
-             cell.name + " at (" + std::to_string(loc.col) + "," +
-                 std::to_string(loc.row) + ")");
+      report("pnr.out-of-bounds", object,
+             "cell '" + cell.name + "' placed at (" +
+                 std::to_string(loc.col) + "," + std::to_string(loc.row) +
+                 ") outside the device grid",
+             "clamp the location to the fabric");
       continue;
     }
     const auto type = device.column_type(loc.col);
     if (cell.kind == netlist::CellKind::kLogic) {
-      if (type == fabric::ColumnType::kClock) {
-        report(Violation::Kind::kIllegalColumn, c,
-               cell.name + " on the clocking spine");
-      }
+      if (type == fabric::ColumnType::kClock)
+        report("pnr.illegal-column", object,
+               "cell '" + cell.name + "' sits on the clocking spine "
+               "(column " + std::to_string(loc.col) + ")",
+               "move the cell to a CLB/BRAM/DSP column");
       usage[{loc.col, loc.row}] += cell.resources.luts;
     }
     // Constraint checks apply to movable cells; fixed cells are exempt
@@ -59,10 +57,17 @@ std::vector<Violation> verify_placement(
     if (fixed) continue;
     if (constraints.region &&
         !constraints.region->contains(loc.col, loc.row))
-      report(Violation::Kind::kOutsideRegion, c, cell.name);
+      report("pnr.outside-region", object,
+             "cell '" + cell.name + "' escapes its region constraint " +
+                 constraints.region->to_string(),
+             "keep region-constrained cells inside their pblock");
     for (const auto& keepout : constraints.keepouts)
       if (keepout.contains(loc.col, loc.row)) {
-        report(Violation::Kind::kInsideKeepout, c, cell.name);
+        report("pnr.inside-keepout", object,
+               "cell '" + cell.name + "' lies inside keepout " +
+                   keepout.to_string(),
+               "keepouts reserve reconfigurable partitions for their "
+               "own logic");
         break;
       }
   }
@@ -75,13 +80,16 @@ std::vector<Violation> verify_placement(
             ? 64
             : device.cell_resources(cell_loc.first).luts;
     if (luts > capacity)
-      report(Violation::Kind::kCapacityOverflow, netlist::kInvalidCell,
-             "cell (" + std::to_string(cell_loc.first) + "," +
-                 std::to_string(cell_loc.second) + "): " +
-                 std::to_string(luts) + " LUTs > " +
-                 std::to_string(capacity));
+      report("pnr.capacity-overflow",
+             "site." + std::to_string(cell_loc.first) + "." +
+                 std::to_string(cell_loc.second),
+             "site (" + std::to_string(cell_loc.first) + "," +
+                 std::to_string(cell_loc.second) + ") holds " +
+                 std::to_string(luts) + " LUTs but its capacity is " +
+                 std::to_string(capacity),
+             "spread the clustered cells over more sites");
   }
-  return violations;
+  return diags;
 }
 
 bool placement_legal(const fabric::Device& device,

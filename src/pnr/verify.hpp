@@ -6,34 +6,27 @@
 // (black boxes anchored inside their pblocks, no static logic inside any
 // partition rectangle). Tests and the flow's assertions use it so an
 // optimizer bug cannot silently vouch for itself.
+//
+// Findings are reported through the platform-wide lint::Diagnostic type
+// under the pnr.* rule ids catalogued in lint::RuleRegistry::builtin():
+//   pnr.unplaced-cell      cell has no valid location
+//   pnr.out-of-bounds      location outside the device grid
+//   pnr.illegal-column     logic on the clocking spine
+//   pnr.outside-region     movable cell escapes its region constraint
+//   pnr.inside-keepout     movable cell inside a keepout rectangle
+//   pnr.capacity-overflow  per-cell LUT usage beyond site capacity
 #pragma once
 
-#include <string>
 #include <vector>
 
+#include "lint/diagnostic.hpp"
 #include "pnr/placer.hpp"
 
 namespace presp::pnr {
 
-struct Violation {
-  enum class Kind {
-    kOutOfBounds,
-    kIllegalColumn,
-    kOutsideRegion,
-    kInsideKeepout,
-    kCapacityOverflow,
-    kUnplacedCell,
-  };
-  Kind kind;
-  netlist::CellId cell = netlist::kInvalidCell;
-  std::string detail;
-};
-
-const char* to_string(Violation::Kind kind);
-
 /// Checks `placement` of `nl` against the device and constraints.
-/// Returns every violation found (empty = legal).
-std::vector<Violation> verify_placement(
+/// Returns every violation found (empty = legal), sorted by rule.
+std::vector<lint::Diagnostic> verify_placement(
     const fabric::Device& device, const netlist::Netlist& nl,
     const Placement& placement, const PlacementConstraints& constraints = {});
 

@@ -2,10 +2,27 @@
 
 namespace presp::sim {
 
-Kernel::~Kernel() = default;
+Kernel::~Kernel() {
+  // Pending resume events own suspended coroutine frames; destroy them
+  // without running them. Frame destructors may cascade (a dying frame's
+  // local primitives destroy their own waiters) but never re-enter the
+  // kernel, so draining the queue releases every frame exactly once.
+  while (!queue_.empty()) {
+    Event* ev = queue_.top();
+    queue_.pop();
+    if (ev->co) ev->co.destroy();
+  }
+}
 
 std::uint64_t Kernel::schedule(Time delay, std::function<void()> fn) {
   pool_.push_back(Event{now_ + delay, seq_++, next_id_++, std::move(fn)});
+  queue_.push(&pool_.back());
+  ++live_events_;
+  return pool_.back().id;
+}
+
+std::uint64_t Kernel::schedule_resume(Time delay, std::coroutine_handle<> co) {
+  pool_.push_back(Event{now_ + delay, seq_++, next_id_++, nullptr, co});
   queue_.push(&pool_.back());
   ++live_events_;
   return pool_.back().id;
@@ -17,7 +34,11 @@ bool Kernel::cancel(std::uint64_t event_id) {
   // events quickly (cancellations target recently scheduled timeouts).
   for (auto it = pool_.rbegin(); it != pool_.rend(); ++it) {
     if (it->id == event_id) {
-      if (it->cancelled || !it->fn) return false;
+      if (it->cancelled || (!it->fn && !it->co)) return false;
+      if (it->co) {
+        it->co.destroy();
+        it->co = nullptr;
+      }
       it->cancelled = true;
       --live_events_;
       return true;
@@ -34,9 +55,24 @@ void Kernel::pop_and_run() {
     now_ = ev->at;
     --live_events_;
     ++executed_;
-    auto fn = std::move(ev->fn);
-    ev->fn = nullptr;
-    fn();
+    if (ev->co) {
+      const auto co = ev->co;
+      ev->co = nullptr;
+      try {
+        co.resume();
+      } catch (...) {
+        // The process died by exception: its locals were unwound before
+        // unhandled_exception rethrew, leaving a dead frame suspended at
+        // the final suspend point. Free it, then let the exception
+        // surface from run().
+        co.destroy();
+        throw;
+      }
+    } else {
+      auto fn = std::move(ev->fn);
+      ev->fn = nullptr;
+      fn();
+    }
   } else {
     // Cancelled events do not advance the clock: a cancelled watchdog
     // timeout must leave the simulated time exactly as if it had never
@@ -65,7 +101,7 @@ void SimEvent::trigger() {
   auto waiters = std::move(waiters_);
   waiters_.clear();
   for (const auto handle : waiters) {
-    kernel_->schedule(0, [handle] { handle.resume(); });
+    kernel_->schedule_resume(0, handle);
   }
 }
 
@@ -74,7 +110,7 @@ void Semaphore::release() {
     const auto handle = waiters_.front();
     waiters_.pop_front();
     // The token passes directly to the waiter; count_ stays unchanged.
-    kernel_->schedule(0, [handle] { handle.resume(); });
+    kernel_->schedule_resume(0, handle);
   } else {
     ++count_;
   }

@@ -9,9 +9,13 @@
 // insertion sequence).
 //
 // Ownership: coroutine frames are self-owning fire-and-forget processes.
-// A process must not outlive its kernel; Kernel's destructor drains all
-// pending events without executing them and any still-suspended process
-// frames are released by the primitives holding them.
+// A process must not outlive its kernel. A suspended process is referenced
+// from exactly one place — the kernel event that will resume it (Delay and
+// every post-trigger/send/release hop go through schedule_resume) or one
+// primitive's waiter list — so teardown destroys each still-suspended
+// frame exactly once: Kernel's destructor destroys the frames of pending
+// resume events without running them, and SimEvent/Semaphore/Mailbox
+// destructors destroy the frames of their remaining waiters.
 #pragma once
 
 #include <coroutine>
@@ -41,6 +45,11 @@ class Kernel {
   /// Schedules a callback at now()+delay. Returns an id usable with cancel().
   std::uint64_t schedule(Time delay, std::function<void()> fn);
 
+  /// Schedules a coroutine resume at now()+delay. Unlike a callback that
+  /// captures the handle, the kernel knows this event owns a suspended
+  /// frame and destroys it if the kernel is torn down first.
+  std::uint64_t schedule_resume(Time delay, std::coroutine_handle<> co);
+
   /// Cancels a pending event; returns false if it already fired or was
   /// cancelled.
   bool cancel(std::uint64_t event_id);
@@ -62,6 +71,7 @@ class Kernel {
     std::uint64_t seq;
     std::uint64_t id;
     std::function<void()> fn;
+    std::coroutine_handle<> co{};  // exclusive with fn
     bool cancelled = false;
   };
   struct Order {
@@ -113,7 +123,7 @@ class Delay {
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> handle) {
-    kernel_.schedule(delay_, [handle] { handle.resume(); });
+    kernel_.schedule_resume(delay_, handle);
   }
   void await_resume() const noexcept {}
 
@@ -129,6 +139,10 @@ class SimEvent {
   explicit SimEvent(Kernel& kernel) : kernel_(&kernel) {}
   SimEvent(const SimEvent&) = delete;
   SimEvent& operator=(const SimEvent&) = delete;
+  ~SimEvent() {
+    const auto waiters = std::move(waiters_);
+    for (const auto handle : waiters) handle.destroy();
+  }
 
   bool triggered() const { return triggered_; }
 
@@ -166,6 +180,10 @@ class Semaphore {
       : kernel_(&kernel), count_(initial) {}
   Semaphore(const Semaphore&) = delete;
   Semaphore& operator=(const Semaphore&) = delete;
+  ~Semaphore() {
+    const auto waiters = std::move(waiters_);
+    for (const auto handle : waiters) handle.destroy();
+  }
 
   std::uint32_t available() const { return count_; }
 
@@ -204,6 +222,13 @@ class Mailbox {
   explicit Mailbox(Kernel& kernel) : kernel_(&kernel) {}
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
+  ~Mailbox() {
+    const auto waiters = std::move(waiters_);
+    for (Waiter* waiter : waiters) {
+      if (waiter->timer_id != 0) kernel_->cancel(waiter->timer_id);
+      waiter->handle.destroy();
+    }
+  }
 
   std::size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
@@ -220,10 +245,9 @@ class Mailbox {
         PRESP_ASSERT_MSG(cancelled, "mailbox timeout raced with delivery");
         waiter->timer_id = 0;
       }
-      const auto handle = waiter->handle;
       // Resume through the kernel so the receiver runs after the sender's
       // current event completes (deterministic, avoids reentrancy).
-      kernel_->schedule(0, [handle] { handle.resume(); });
+      kernel_->schedule_resume(0, waiter->handle);
     }
   }
 

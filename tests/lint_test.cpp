@@ -1,0 +1,555 @@
+// Tests for the cross-layer static design-rule checker: the diagnostics
+// engine and reporters, one passing + one failing fixture per rule, the
+// fuzz-style negative paths of the configuration front-end, and clean
+// runs over the shipped example configurations and the paper's Table VI
+// SoCs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "core/reference_designs.hpp"
+#include "lint/context.hpp"
+#include "lint/diagnostic.hpp"
+#include "lint/rules.hpp"
+#include "wami/accelerators.hpp"
+
+namespace presp {
+namespace {
+
+using lint::Diagnostic;
+using lint::DiagnosticEngine;
+using lint::LintContext;
+using lint::RuleRegistry;
+using lint::Severity;
+
+// A structurally clean 2x3 SoC with two reconfigurable tiles hosting
+// characterization kernels.
+const char* kCleanSoc = R"([soc]
+name = clean
+device = vc707
+rows = 2
+cols = 3
+
+[tiles]
+r0c0 = cpu
+r0c1 = mem
+r0c2 = aux
+r1c0 = reconf:conv2d,gemm
+r1c1 = reconf:fft,sort
+r1c2 = empty
+)";
+
+std::vector<Diagnostic> run_lint(const std::string& text) {
+  return lint::lint_config_text(text);
+}
+
+std::vector<Diagnostic> run_context(LintContext& context) {
+  DiagnosticEngine engine;
+  RuleRegistry::builtin().run(context, engine);
+  return engine.diagnostics();
+}
+
+bool has_rule(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  for (const Diagnostic& d : diags)
+    if (d.rule == rule) return true;
+  return false;
+}
+
+bool has_error(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags)
+    if (d.severity == Severity::kError) return true;
+  return false;
+}
+
+// ------------------------------------------------- diagnostics engine
+
+TEST(DiagnosticEngineTest, DeduplicatesExactDuplicates) {
+  DiagnosticEngine engine;
+  const Diagnostic d{"x.y", Severity::kError, {"f", 3, "o"}, "msg", "hint"};
+  EXPECT_TRUE(engine.add(d));
+  EXPECT_FALSE(engine.add(d));
+  EXPECT_EQ(engine.size(), 1u);
+  EXPECT_TRUE(engine.has_rule("x.y"));
+  EXPECT_FALSE(engine.has_rule("x.z"));
+}
+
+TEST(DiagnosticEngineTest, CountsBySeverityAndSorts) {
+  DiagnosticEngine engine;
+  engine.add({"b.rule", Severity::kWarning, {"b", 2, ""}, "w", ""});
+  engine.add({"a.rule", Severity::kError, {"a", 9, ""}, "e", ""});
+  engine.add({"c.rule", Severity::kInfo, {"a", 1, ""}, "i", ""});
+  EXPECT_EQ(engine.count(Severity::kError), 1u);
+  EXPECT_EQ(engine.count(Severity::kWarning), 1u);
+  EXPECT_EQ(engine.count(Severity::kInfo), 1u);
+  EXPECT_TRUE(engine.has_errors());
+  engine.sort();
+  EXPECT_EQ(engine.diagnostics()[0].rule, "c.rule");
+  EXPECT_EQ(engine.diagnostics()[1].rule, "a.rule");
+  EXPECT_EQ(engine.diagnostics()[2].rule, "b.rule");
+}
+
+TEST(ReporterTest, TextReportNamesRuleAndHint) {
+  const std::vector<Diagnostic> diags{
+      {"noc.deadlock", Severity::kError, {"a.cfg", 7, "noc"}, "cycle",
+       "use XY routing"}};
+  const std::string text = lint::render_text(diags);
+  EXPECT_NE(text.find("a.cfg:7: error: [noc.deadlock] cycle"),
+            std::string::npos);
+  EXPECT_NE(text.find("hint: use XY routing"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s), 0 warning(s)"), std::string::npos);
+}
+
+TEST(ReporterTest, JsonRoundTrips) {
+  const std::vector<Diagnostic> diags{
+      {"config.parse", Severity::kError, {"x \"y\"\n.cfg", 12, "tiles.r0c0"},
+       "message with \"quotes\", a\ttab and a \x01 control byte", "fix\nit"},
+      {"runtime.retry-budget", Severity::kWarning, {"", 0, ""}, "plain", ""},
+      {"exec.unreachable-task", Severity::kInfo, {"f", 1, "tasks.a"}, "m",
+       "h"}};
+  const std::string json = lint::render_json(diags);
+  EXPECT_EQ(lint::parse_json(json), diags);
+}
+
+TEST(ReporterTest, JsonParserRejectsMalformedInput) {
+  EXPECT_THROW(lint::parse_json("not json"), ConfigError);
+  EXPECT_THROW(lint::parse_json("{\"diagnostics\": [{]}"), ConfigError);
+  EXPECT_THROW(lint::parse_json(""), ConfigError);
+}
+
+// ------------------------------------------------------------ catalog
+
+TEST(RuleRegistryTest, CatalogCoversEveryLayer) {
+  const RuleRegistry& registry = RuleRegistry::builtin();
+  EXPECT_GE(registry.rules().size(), 12u);
+  EXPECT_GE(registry.num_checks(), 12u);
+  std::set<std::string> layers;
+  std::set<std::string> ids;
+  for (const auto& info : registry.rules()) {
+    layers.insert(info.layer);
+    EXPECT_TRUE(ids.insert(info.id).second) << "duplicate id " << info.id;
+    EXPECT_FALSE(info.description.empty());
+  }
+  for (const char* layer :
+       {"config", "netlist", "floorplan", "noc", "runtime", "exec", "pnr"})
+    EXPECT_TRUE(layers.count(layer)) << layer;
+  ASSERT_NE(registry.find("noc.deadlock"), nullptr);
+  EXPECT_EQ(registry.find("noc.deadlock")->layer, "noc");
+  EXPECT_EQ(registry.find("definitely.not.a.rule"), nullptr);
+}
+
+// --------------------------------------------------- config negatives
+// Fuzz-style: malformed input must produce diagnostics, never crash.
+
+TEST(ConfigLintTest, CleanConfigHasNoFindings) {
+  EXPECT_TRUE(run_lint(kCleanSoc).empty());
+}
+
+TEST(ConfigLintTest, GarbageTextIsAParseDiagnostic) {
+  const auto diags = run_lint("[soc\nrows = ");
+  ASSERT_FALSE(diags.empty());
+  EXPECT_TRUE(has_rule(diags, "config.parse"));
+  EXPECT_TRUE(has_error(diags));
+  EXPECT_EQ(diags.front().loc.line, 1);  // "line 1" extracted
+}
+
+TEST(ConfigLintTest, TruncatedConfigNeverCrashes) {
+  std::ifstream in(std::string(PRESP_SOURCE_DIR) +
+                   "/examples/configs/custom_runtime.esp_config");
+  ASSERT_TRUE(in);
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string full = text.str();
+  for (std::size_t len = 0; len < full.size(); len += 7) {
+    const auto diags = run_lint(full.substr(0, len));  // must not throw
+    if (len == 0) {
+      EXPECT_TRUE(has_error(diags));
+    }
+  }
+}
+
+TEST(ConfigLintTest, DuplicateKeysAreAParseDiagnostic) {
+  const auto diags =
+      run_lint("[soc]\nrows = 2\nrows = 3\ncols = 2\n");
+  EXPECT_TRUE(has_rule(diags, "config.parse"));
+  EXPECT_TRUE(has_error(diags));
+}
+
+TEST(ConfigLintTest, OutOfRangeTileCoordinates) {
+  const auto diags = run_lint(
+      "[soc]\nrows = 2\ncols = 2\n[tiles]\nr0c0 = cpu\nr0c1 = mem\n"
+      "r1c0 = aux\nr9c9 = reconf:conv2d\n");
+  EXPECT_TRUE(has_rule(diags, "config.parse"));
+}
+
+TEST(ConfigLintTest, HugeGridDimensionsAreRejectedNotTruncated) {
+  const auto diags =
+      run_lint("[soc]\nrows = 99999999999\ncols = 3\n[tiles]\nr0c0 = cpu\n");
+  EXPECT_TRUE(has_rule(diags, "config.parse"));
+  EXPECT_TRUE(has_error(diags));
+}
+
+TEST(ConfigLintTest, NonPositiveClockIsRejected) {
+  const auto diags = run_lint(
+      "[soc]\nrows = 1\ncols = 3\nclock_mhz = -78\n[tiles]\nr0c0 = cpu\n"
+      "r0c1 = mem\nr0c2 = aux\n");
+  EXPECT_TRUE(has_rule(diags, "config.parse"));
+}
+
+TEST(ConfigLintTest, UnknownDeviceHasItsOwnRule) {
+  std::string text(kCleanSoc);
+  text.replace(text.find("vc707"), 5, "zynq7");
+  const auto diags = run_lint(text);
+  EXPECT_TRUE(has_rule(diags, "config.unknown-device"));
+  EXPECT_FALSE(has_rule(diags, "config.parse"));
+}
+
+// ------------------------------------------------------ netlist rules
+
+TEST(NetlistLintTest, UnknownAcceleratorNamesTheTile) {
+  std::string text(kCleanSoc);
+  text.replace(text.find("fft,sort"), 8, "no_such_kernel");
+  const auto diags = run_lint(text);
+  ASSERT_TRUE(has_rule(diags, "netlist.unknown-accelerator"));
+  for (const Diagnostic& d : diags)
+    if (d.rule == "netlist.unknown-accelerator") {
+      EXPECT_EQ(d.loc.object, "tiles.r1c1");
+      EXPECT_GT(d.loc.line, 0);
+    }
+}
+
+TEST(NetlistLintTest, DuplicatePartitionMember) {
+  std::string text(kCleanSoc);
+  text.replace(text.find("conv2d,gemm"), 11, "conv2d,conv2d");
+  const auto diags = run_lint(text);
+  EXPECT_TRUE(has_rule(diags, "netlist.duplicate-member"));
+}
+
+TEST(NetlistLintTest, DanglingNetsAndWidths) {
+  LintContext context(kCleanSoc);
+  {
+    // Netlist::add_net rejects undriven and zero-width nets outright (the
+    // builder enforces those invariants), so the constructible dangling
+    // case is a driven net that fans out to nothing.
+    netlist::Netlist nl("fixture");
+    const auto a = nl.add_cell({"a", netlist::CellKind::kLogic, {}, ""});
+    nl.add_net({"unloaded", a, {}, 8});
+    context.override_netlist(std::move(nl));
+  }
+  {
+    // Interface contract: mem_tile_logic carries the 128-bit memory
+    // socket, not the 96-bit reconfigurable-wrapper interface, and is not
+    // a CPU core (those are exempt) — listing it as a partition member
+    // must trip the width check.
+    const netlist::SocRtl& base = context.rtl();
+    auto partitions = base.partitions();
+    ASSERT_FALSE(partitions.empty());
+    partitions[0].modules.push_back(
+        netlist::ComponentLibrary::kMemTileLogic);
+    context.override_rtl(netlist::SocRtl(base.config(), base.tiles(),
+                                         std::move(partitions)));
+  }
+  const auto diags = run_context(context);
+  EXPECT_TRUE(has_rule(diags, "netlist.dangling-net"));
+  EXPECT_TRUE(has_rule(diags, "netlist.width-mismatch"));
+  int dangling = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == "netlist.dangling-net") ++dangling;
+  }
+  EXPECT_EQ(dangling, 1);
+}
+
+TEST(NetlistLintTest, SynthesizedNetlistIsClean) {
+  LintContext context(kCleanSoc);
+  const auto diags = run_context(context);
+  EXPECT_FALSE(has_rule(diags, "netlist.dangling-net"));
+  EXPECT_FALSE(has_rule(diags, "netlist.width-mismatch"));
+}
+
+// ---------------------------------------------------- floorplan rules
+
+TEST(FloorplanLintTest, OverlappingRegions) {
+  LintContext context(kCleanSoc);
+  floorplan::Floorplan plan;
+  plan.pblocks = {{10, 20, 0, 1}, {15, 25, 1, 2}};  // overlap at (15..20,1)
+  context.override_floorplan(
+      plan, {{"RT_1", {100, 0, 0, 0}}, {"RT_2", {100, 0, 0, 0}}});
+  const auto diags = run_context(context);
+  EXPECT_TRUE(has_rule(diags, "floorplan.region-overlap"));
+}
+
+TEST(FloorplanLintTest, RegionCapacityAndMemberFootprint) {
+  LintContext context(kCleanSoc);
+  floorplan::Floorplan plan;
+  // Two 1x1 pblocks on CLB columns: far too small for the kernels.
+  plan.pblocks = {{2, 2, 0, 0}, {4, 4, 0, 0}};
+  context.override_floorplan(
+      plan,
+      {{"RT_1", {50'000, 0, 0, 0}}, {"RT_2", {50'000, 0, 0, 0}}});
+  const auto diags = run_context(context);
+  EXPECT_TRUE(has_rule(diags, "floorplan.region-capacity"));
+  EXPECT_TRUE(has_rule(diags, "floorplan.member-footprint"));
+}
+
+TEST(FloorplanLintTest, IllegalAndOutOfBoundsColumns) {
+  LintContext context(kCleanSoc);
+  const auto device = fabric::Device::vc707();
+  int clock_col = -1;
+  for (int c = 0; c < device.num_columns(); ++c)
+    if (device.column_type(c) == fabric::ColumnType::kClock) clock_col = c;
+  ASSERT_GE(clock_col, 0);
+  floorplan::Floorplan plan;
+  plan.pblocks = {{clock_col, clock_col, 0, 0},
+                  {device.num_columns(), device.num_columns() + 3, 0, 0}};
+  context.override_floorplan(
+      plan, {{"RT_1", {0, 0, 0, 0}}, {"RT_2", {0, 0, 0, 0}}});
+  const auto diags = run_context(context);
+  int illegal = 0;
+  for (const Diagnostic& d : diags)
+    if (d.rule == "floorplan.illegal-column") ++illegal;
+  EXPECT_EQ(illegal, 2);  // one on the spine, one off the fabric
+}
+
+TEST(FloorplanLintTest, FeasibleDesignPlansClean) {
+  const auto diags = run_lint(kCleanSoc);
+  EXPECT_FALSE(has_rule(diags, "floorplan.infeasible"));
+  EXPECT_FALSE(has_rule(diags, "floorplan.region-overlap"));
+}
+
+TEST(FloorplanLintTest, InfeasibleDemandReportsSingleDiagnostic) {
+  // An accelerator far beyond the VC707 fabric: floorplanning must fail
+  // with exactly one floorplan.infeasible diagnostic (no cascade).
+  std::string text(kCleanSoc);
+  text += R"(
+[accelerator titan]
+flow = vivado_hls
+ops = mac16:4
+pes = 64
+buffer_luts = 9000000
+)";
+  text.replace(text.find("fft,sort"), 8, "titan");
+  const auto diags = run_lint(text);
+  int infeasible = 0;
+  for (const Diagnostic& d : diags)
+    if (d.rule == "floorplan.infeasible") ++infeasible;
+  EXPECT_EQ(infeasible, 1);
+  EXPECT_FALSE(has_rule(diags, "config.parse"));
+}
+
+TEST(FloorplanLintTest, IcapUnreachableOnBrokenRoutes) {
+  LintContext context(kCleanSoc);
+  // Copy the valid all-pairs table, then break the route from the first
+  // reconfigurable tile (index 3 = r1c0) to the aux tile (index 2).
+  lint::RouteTable table = context.routes();
+  table.routes[3 * table.num_tiles() + 2] = {3, 4};  // never reaches 2
+  context.override_routes(std::move(table));
+  const auto diags = run_context(context);
+  ASSERT_TRUE(has_rule(diags, "floorplan.icap-unreachable"));
+  for (const Diagnostic& d : diags)
+    if (d.rule == "floorplan.icap-unreachable") {
+      EXPECT_EQ(d.loc.object, "tiles.r1c0");
+    }
+}
+
+// ---------------------------------------------------------- noc rules
+
+TEST(NocLintTest, XyRoutingIsDeadlockFree) {
+  const auto diags = run_lint(kCleanSoc);
+  EXPECT_FALSE(has_rule(diags, "noc.deadlock"));
+  EXPECT_FALSE(has_rule(diags, "noc.queue-gating"));
+}
+
+TEST(NocLintTest, CyclicRoutesAreFlaggedAsDeadlock) {
+  LintContext context(kCleanSoc);
+  lint::RouteTable table = context.routes();
+  // Four routes on the 2x3 mesh whose link dependencies form a ring:
+  // (0->1)->(1->4), (1->4)->(4->3), (4->3)->(3->0), (3->0)->(0->1).
+  const int t = table.num_tiles();
+  table.routes[0 * t + 4] = {0, 1, 4};
+  table.routes[1 * t + 3] = {1, 4, 3};
+  table.routes[4 * t + 0] = {4, 3, 0};
+  table.routes[3 * t + 1] = {3, 0, 1};
+  context.override_routes(std::move(table));
+  const auto diags = run_context(context);
+  ASSERT_TRUE(has_rule(diags, "noc.deadlock"));
+}
+
+TEST(NocLintTest, MissingDecouplerBreaksQueueGating) {
+  LintContext context(kCleanSoc);
+  {
+    // Re-elaborate, then strip the PR decoupler from the first
+    // reconfigurable tile's static socket.
+    auto config = netlist::SocConfig::parse(kCleanSoc);
+    auto lib = core::characterization_library();
+    auto rtl = netlist::elaborate(config, lib);
+    auto tiles = rtl.tiles();
+    for (auto& tile : tiles) {
+      auto& blocks = tile.static_blocks;
+      blocks.erase(std::remove(blocks.begin(), blocks.end(),
+                               netlist::ComponentLibrary::kDecoupler),
+                   blocks.end());
+    }
+    context.override_rtl(
+        netlist::SocRtl(config, std::move(tiles), rtl.partitions()));
+  }
+  const auto diags = run_context(context);
+  ASSERT_TRUE(has_rule(diags, "noc.queue-gating"));
+}
+
+// ------------------------------------------------------ runtime rules
+
+std::string with_runtime(const std::string& section) {
+  return std::string(kCleanSoc) + "\n[runtime]\n" + section;
+}
+
+TEST(RuntimeLintTest, WellFormedPlanIsClean) {
+  const std::string text = with_runtime(
+      "thread_a = r1c0:conv2d, r1c0:gemm\nthread_b = r1c1:fft\n");
+  EXPECT_TRUE(run_lint(text).empty());
+}
+
+TEST(RuntimeLintTest, MissingBitstreamInManifest) {
+  const auto diags =
+      run_lint(with_runtime("thread_a = r1c0:fft\n"));  // fft lives on r1c1
+  ASSERT_TRUE(has_rule(diags, "runtime.missing-bitstream"));
+}
+
+TEST(RuntimeLintTest, RequestOnNonReconfigurableTile) {
+  const auto diags = run_lint(with_runtime("thread_a = r0c1:conv2d\n"));
+  EXPECT_TRUE(has_rule(diags, "runtime.missing-bitstream"));
+}
+
+TEST(RuntimeLintTest, ExplicitManifestOverridesMemberSets) {
+  const auto diags = run_lint(with_runtime("thread_a = r1c0:conv2d\n") +
+                              "\n[bitstreams]\nr1c0 = gemm\n");
+  EXPECT_TRUE(has_rule(diags, "runtime.missing-bitstream"));
+}
+
+TEST(RuntimeLintTest, ChainReacquiringSameTileIsSelfDeadlock) {
+  const auto diags =
+      run_lint(with_runtime("thread_a = r1c0:conv2d + r1c0:gemm\n"));
+  ASSERT_TRUE(has_rule(diags, "runtime.lock-order"));
+  for (const Diagnostic& d : diags)
+    if (d.rule == "runtime.lock-order") {
+      EXPECT_EQ(d.severity, Severity::kError);
+    }
+}
+
+TEST(RuntimeLintTest, ConflictingLockOrderAcrossThreads) {
+  const auto diags = run_lint(with_runtime(
+      "thread_a = r1c0:conv2d + r1c1:fft\n"
+      "thread_b = r1c1:sort + r1c0:gemm\n"));
+  ASSERT_TRUE(has_rule(diags, "runtime.lock-order"));
+  for (const Diagnostic& d : diags)
+    if (d.rule == "runtime.lock-order") {
+      EXPECT_EQ(d.severity, Severity::kWarning);
+    }
+}
+
+TEST(RuntimeLintTest, ConsistentLockOrderIsClean) {
+  const auto diags = run_lint(with_runtime(
+      "thread_a = r1c0:conv2d + r1c1:fft\n"
+      "thread_b = r1c0:gemm + r1c1:sort\n"));
+  EXPECT_FALSE(has_rule(diags, "runtime.lock-order"));
+}
+
+TEST(RuntimeLintTest, RetryBudgetMisconfigurations) {
+  const auto zero = run_lint(with_runtime("retry_budget = 0\n"));
+  EXPECT_TRUE(has_rule(zero, "runtime.retry-budget"));
+
+  const auto overflow = run_lint(with_runtime(
+      "retry_budget = 80\nbackoff_base_cycles = 1000000000\n"));
+  EXPECT_TRUE(has_rule(overflow, "runtime.retry-budget"));
+
+  const auto margin =
+      run_lint(with_runtime("watchdog_reconf_margin = 0.5\n"));
+  EXPECT_TRUE(has_rule(margin, "runtime.retry-budget"));
+
+  const auto sane = run_lint(with_runtime(
+      "retry_budget = 3\nmax_attempts = 3\nbackoff_base_cycles = 10000\n"
+      "watchdog_reconf_margin = 8.0\n"));
+  EXPECT_FALSE(has_rule(sane, "runtime.retry-budget"));
+}
+
+// --------------------------------------------------------- exec rules
+
+std::string with_tasks(const std::string& section) {
+  return std::string(kCleanSoc) + "\n[tasks]\n" + section;
+}
+
+TEST(ExecLintTest, AcyclicTaskGraphIsClean) {
+  const auto diags =
+      run_lint(with_tasks("a =\nb = a\nc = a, b\n"));
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(ExecLintTest, UndefinedDependency) {
+  const auto diags = run_lint(with_tasks("a =\nb = a, ghost\n"));
+  ASSERT_TRUE(has_rule(diags, "exec.undefined-dep"));
+  EXPECT_FALSE(has_rule(diags, "exec.graph-cycle"));
+}
+
+TEST(ExecLintTest, DependencyCycle) {
+  const auto diags = run_lint(with_tasks("a = b\nb = a\n"));
+  EXPECT_TRUE(has_rule(diags, "exec.graph-cycle"));
+}
+
+TEST(ExecLintTest, TaskDownstreamOfCycleIsUnreachable) {
+  const auto diags = run_lint(with_tasks("a = b\nb = a\nc = a\n"));
+  EXPECT_TRUE(has_rule(diags, "exec.graph-cycle"));
+  ASSERT_TRUE(has_rule(diags, "exec.unreachable-task"));
+  for (const Diagnostic& d : diags)
+    if (d.rule == "exec.unreachable-task") {
+      EXPECT_EQ(d.loc.object, "tasks.c");
+      EXPECT_EQ(d.severity, Severity::kWarning);
+    }
+}
+
+// --------------------------------------- shipped designs stay clean
+
+TEST(ShippedDesignsTest, CharacterizationAndTable6SocsAreClean) {
+  for (int i = 1; i <= 4; ++i) {
+    const auto soc = core::characterization_soc(i);
+    EXPECT_TRUE(run_lint(soc.to_config_text()).empty()) << soc.name;
+  }
+  for (const char which : {'X', 'Y', 'Z'}) {
+    const auto soc = wami::table6_soc(which);
+    const auto diags = run_lint(soc.to_config_text());
+    EXPECT_FALSE(has_error(diags)) << soc.name;
+    EXPECT_TRUE(diags.empty()) << soc.name;
+  }
+}
+
+TEST(ShippedDesignsTest, EveryExampleConfigIsClean) {
+  const std::filesystem::path dir =
+      std::filesystem::path(PRESP_SOURCE_DIR) / "examples" / "configs";
+  ASSERT_TRUE(std::filesystem::is_directory(dir));
+  int checked = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".esp_config") continue;
+    LintContext context = LintContext::from_file(entry.path().string());
+    const auto diags = run_context(context);
+    EXPECT_TRUE(diags.empty())
+        << entry.path().filename() << ": " << lint::render_text(diags);
+    ++checked;
+  }
+  EXPECT_GE(checked, 6);
+}
+
+TEST(ShippedDesignsTest, SeededViolationExitsNonZeroThroughJson) {
+  // End-to-end shape of the CLI contract: a seeded violation serializes
+  // through JSON with its rule id and error count intact.
+  std::string text(kCleanSoc);
+  text.replace(text.find("fft,sort"), 8, "no_such_kernel");
+  const auto diags = run_lint(text);
+  const auto parsed = lint::parse_json(lint::render_json(diags));
+  EXPECT_EQ(parsed, diags);
+  EXPECT_TRUE(has_rule(parsed, "netlist.unknown-accelerator"));
+  EXPECT_TRUE(has_error(parsed));
+}
+
+}  // namespace
+}  // namespace presp

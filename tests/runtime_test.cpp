@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#if defined(__SANITIZE_ADDRESS__)
+#include <sanitizer/lsan_interface.h>
+#endif
+
 #include "runtime/api.hpp"
 #include "util/error.hpp"
 
@@ -158,8 +162,19 @@ TEST_F(RuntimeFixture, MissingBitstreamReported) {
   BitstreamStore empty_store(soc_.memory());
   ReconfigurationManager manager(soc_, empty_store);
   sim::SimEvent done(soc_.kernel());
+  // Aborting a simulation mid-flight by letting the exception escape
+  // run() strands the caller chain: each frame awaits a Completion that
+  // lives inside itself, so nothing can release them once the kernel
+  // stops. That is acceptable for a fatal programming-error path (the
+  // process exits) but it is a leak by construction — tell LSan.
+#if defined(__SANITIZE_ADDRESS__)
+  __lsan_disable();
+#endif
   manager.run(3, "acc_a", task(), done);
   EXPECT_THROW(soc_.kernel().run(), InvalidArgument);
+#if defined(__SANITIZE_ADDRESS__)
+  __lsan_enable();
+#endif
 }
 
 TEST_F(RuntimeFixture, ReconfigurationCyclesTracked) {

@@ -40,8 +40,10 @@ TEST(PlacementVerifyTest, FlagsUnplacedAndOutOfBounds) {
   placement.locations = {{-1, -1}, {device.num_columns() + 3, 0}};
   const auto violations = pnr::verify_placement(device, nl, placement);
   ASSERT_EQ(violations.size(), 2u);
-  EXPECT_EQ(violations[0].kind, pnr::Violation::Kind::kUnplacedCell);
-  EXPECT_EQ(violations[1].kind, pnr::Violation::Kind::kOutOfBounds);
+  EXPECT_EQ(violations[0].rule, "pnr.unplaced-cell");
+  EXPECT_EQ(violations[0].loc.object, "cell.a");
+  EXPECT_EQ(violations[1].rule, "pnr.out-of-bounds");
+  EXPECT_EQ(violations[1].severity, lint::Severity::kError);
 }
 
 TEST(PlacementVerifyTest, FlagsClockSpineAndCapacity) {
@@ -59,8 +61,8 @@ TEST(PlacementVerifyTest, FlagsClockSpineAndCapacity) {
   bool spine = false;
   bool capacity = false;
   for (const auto& v : violations) {
-    spine |= v.kind == pnr::Violation::Kind::kIllegalColumn;
-    capacity |= v.kind == pnr::Violation::Kind::kCapacityOverflow;
+    spine |= v.rule == "pnr.illegal-column";
+    capacity |= v.rule == "pnr.capacity-overflow";
   }
   EXPECT_TRUE(spine);
   EXPECT_TRUE(capacity);  // 500 LUTs in a 400-LUT cell
@@ -77,14 +79,14 @@ TEST(PlacementVerifyTest, RegionAndKeepoutRules) {
   auto violations =
       pnr::verify_placement(device, nl, placement, constraints);
   ASSERT_EQ(violations.size(), 1u);
-  EXPECT_EQ(violations[0].kind, pnr::Violation::Kind::kOutsideRegion);
-  EXPECT_EQ(violations[0].cell, 1u);
+  EXPECT_EQ(violations[0].rule, "pnr.outside-region");
+  EXPECT_EQ(violations[0].loc.object, "cell.b");
 
   pnr::PlacementConstraints keepouts;
   keepouts.keepouts.push_back(fabric::Pblock{clb, clb, 1, 1});
   violations = pnr::verify_placement(device, nl, placement, keepouts);
   ASSERT_EQ(violations.size(), 1u);
-  EXPECT_EQ(violations[0].kind, pnr::Violation::Kind::kInsideKeepout);
+  EXPECT_EQ(violations[0].rule, "pnr.inside-keepout");
 }
 
 TEST(PlacementVerifyTest, FixedCellsExemptFromConstraints) {
@@ -121,7 +123,7 @@ TEST(PlacementVerifyTest, PlacerOutputAlwaysVerifies) {
   const auto violations =
       pnr::verify_placement(device, nl, result.placement, constraints);
   for (const auto& v : violations)
-    ADD_FAILURE() << to_string(v.kind) << ": " << v.detail;
+    ADD_FAILURE() << "[" << v.rule << "] " << v.message;
 }
 
 // -------------------------------------------------- readback verify

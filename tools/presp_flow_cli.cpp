@@ -3,6 +3,7 @@
 // Usage:
 //   presp-flow <config.esp_config> [--no-physical] [--standard]
 //              [--strategy serial|semi|fully] [--tau N]
+//   presp-flow lint [--format=text|json] <config.esp_config>...
 //
 // Loads an ESP-style SoC configuration, registers the built-in
 // accelerator libraries (characterization kernels + WAMI kernels), runs
@@ -14,9 +15,11 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/flow.hpp"
 #include "core/report.hpp"
+#include "lint/cli.hpp"
 #include "floorplan/visualize.hpp"
 #include "hls/library.hpp"
 #include "hls/spec_io.hpp"
@@ -52,6 +55,9 @@ fabric::Device device_for(const std::string& name) {
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);
   if (argc < 2) return usage(argv[0]);
+  if (std::strcmp(argv[1], "lint") == 0)
+    return lint::run_lint_cli(std::vector<std::string>(argv + 2, argv + argc),
+                              std::string(argv[0]) + " lint");
 
   std::string config_path;
   std::string report_path;

@@ -1,0 +1,18 @@
+// presp-lint: cross-layer static design-rule checker.
+//
+// Usage:
+//   presp-lint [--format=text|json] [--list-rules] [--werror]
+//              <config.esp_config>...
+//
+// Runs the built-in rule catalog (see `presp-lint --list-rules` or
+// DESIGN.md §10) over each SoC configuration and prints the findings.
+// Exits 0 when every configuration is clean, 1 on errors, 2 on usage.
+#include <string>
+#include <vector>
+
+#include "lint/cli.hpp"
+
+int main(int argc, char** argv) {
+  return presp::lint::run_lint_cli(
+      std::vector<std::string>(argv + 1, argv + argc), "presp-lint");
+}

@@ -1,19 +1,28 @@
 #!/usr/bin/env sh
-# Tier-1 verification: full build + ctest, then a ThreadSanitizer pass over
-# the execution engine. The TSan stage rebuilds only the exec unit tests
-# and the serial/parallel determinism test in a separate build directory
-# configured with -DPRESP_SANITIZE=thread, so data races in the pool, the
-# task graph, the log, or the pooled kernels fail the gate even when the
-# plain build happens to schedule around them.
+# Tier-1 verification: full build + ctest, a design-lint gate over every
+# shipped example configuration, then sanitizer passes:
+#
+#   - presp-lint must report zero errors on examples/configs/*.esp_config
+#     (the shipped designs are the lint suite's own clean fixtures);
+#   - an ASan+UBSan build runs the full ctest suite, so memory and
+#     undefined-behavior bugs fail the gate even when the plain build
+#     happens not to crash;
+#   - a ThreadSanitizer build runs the exec unit tests and the
+#     serial/parallel determinism test, so data races in the pool, the
+#     task graph, the log, or the pooled kernels fail the gate even when
+#     the plain build happens to schedule around them.
 #
 # Usage: tools/run_tier1.sh
 # Environment:
 #   BUILD_DIR       plain build directory    (default: build)
+#   ASAN_BUILD_DIR  ASan+UBSan build dir     (default: build-asan)
 #   TSAN_BUILD_DIR  TSan build directory     (default: build-tsan)
-#   SKIP_TSAN=1     run only the plain stage
+#   SKIP_ASAN=1     skip the ASan+UBSan stage
+#   SKIP_TSAN=1     skip the TSan stage
 set -eu
 
 BUILD_DIR=${BUILD_DIR:-build}
+ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
 TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 
 echo "== tier-1: build + ctest =="
@@ -21,15 +30,36 @@ cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -j)
 
-if [ "${SKIP_TSAN:-0}" = "1" ]; then
-  echo "tier-1: TSan stage skipped (SKIP_TSAN=1)"
-  exit 0
+echo "== tier-1: design lint (presp-lint over examples/configs) =="
+LINT_BIN="$BUILD_DIR/tools/presp-lint"
+# Rule rows are "<layer>.<name> ..."; skips the header and footer lines.
+lint_rules=$("$LINT_BIN" --list-rules | grep -c '^[a-z]*\.')
+lint_out=$("$LINT_BIN" examples/configs/*.esp_config) || {
+  echo "$lint_out"
+  echo "tier-1: presp-lint reported errors on the shipped examples"
+  exit 1
+}
+lint_summary=$(printf '%s\n' "$lint_out" | tail -n 1)
+echo "tier-1 lint summary: $lint_rules rule(s) checked, $lint_summary"
+
+if [ "${SKIP_ASAN:-0}" = "1" ]; then
+  echo "tier-1: ASan+UBSan stage skipped (SKIP_ASAN=1)"
+else
+  echo "== tier-1: AddressSanitizer + UBSan (full suite) =="
+  cmake -B "$ASAN_BUILD_DIR" -S . \
+      -DPRESP_SANITIZE=address,undefined >/dev/null
+  cmake --build "$ASAN_BUILD_DIR" -j
+  (cd "$ASAN_BUILD_DIR" && ctest --output-on-failure -j)
 fi
 
-echo "== tier-1: ThreadSanitizer (exec engine) =="
-cmake -B "$TSAN_BUILD_DIR" -S . -DPRESP_SANITIZE=thread >/dev/null
-cmake --build "$TSAN_BUILD_DIR" --target exec_test exec_determinism_test -j
-"$TSAN_BUILD_DIR"/tests/exec_test
-"$TSAN_BUILD_DIR"/tests/exec_determinism_test
+if [ "${SKIP_TSAN:-0}" = "1" ]; then
+  echo "tier-1: TSan stage skipped (SKIP_TSAN=1)"
+else
+  echo "== tier-1: ThreadSanitizer (exec engine) =="
+  cmake -B "$TSAN_BUILD_DIR" -S . -DPRESP_SANITIZE=thread >/dev/null
+  cmake --build "$TSAN_BUILD_DIR" --target exec_test exec_determinism_test -j
+  "$TSAN_BUILD_DIR"/tests/exec_test
+  "$TSAN_BUILD_DIR"/tests/exec_determinism_test
+fi
 
-echo "tier-1: all stages passed"
+echo "tier-1: all stages passed ($lint_rules lint rule(s), $lint_summary)"
