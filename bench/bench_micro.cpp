@@ -20,6 +20,8 @@
 #include "bitstream/bitstream.hpp"
 #include "core/calibration.hpp"
 #include "core/flow.hpp"
+#include "exec/thread_pool.hpp"
+#include "trace/metrics.hpp"
 #include "floorplan/floorplanner.hpp"
 #include "noc/noc.hpp"
 #include "pnr/engine.hpp"
@@ -276,6 +278,8 @@ struct ExecCompareRow {
   double serial_seconds = 0.0;
   double parallel_seconds = 0.0;
   std::size_t tasks = 0;
+  std::uint64_t steals = 0;           // parallel run's work-steal count
+  std::uint64_t max_queue_depth = 0;  // parallel run's queue high-water
   bool checksum_match = false;
   double speedup() const {
     return parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
@@ -303,6 +307,8 @@ ExecCompareRow compare_flow(double* model_speedup) {
   const auto serial = run(1, &row.serial_seconds);
   const auto parallel = run(kCompareThreads, &row.parallel_seconds);
   row.tasks = parallel.exec.tasks;
+  row.steals = parallel.exec.steals;
+  row.max_queue_depth = parallel.exec.max_queue_depth;
   row.checksum_match = flow_checksum(serial) == flow_checksum(parallel);
   *model_speedup = parallel.exec.model_speedup;
   return row;
@@ -315,7 +321,8 @@ ExecCompareRow compare_wami() {
   wami::FrameGenerator gen(scene);
   std::vector<wami::ImageU16> frames;
   for (int i = 0; i < 8; ++i) frames.push_back(gen.next_frame());
-  const auto run = [&](int threads, double* seconds) {
+  const auto run = [&](int threads, double* seconds,
+                       exec::ThreadPool::Stats* stats) {
     wami::PipelineOptions options;
     options.threads = threads;
     wami::WamiPipeline pipeline(options);
@@ -324,13 +331,19 @@ ExecCompareRow compare_wami() {
     *seconds = std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - t0)
                    .count();
+    *stats = pipeline.pool_stats();
     return results;
   };
   ExecCompareRow row;
   row.name = "wami_pipeline";
-  const auto serial = run(1, &row.serial_seconds);
-  const auto parallel = run(kCompareThreads, &row.parallel_seconds);
+  exec::ThreadPool::Stats serial_stats;
+  exec::ThreadPool::Stats parallel_stats;
+  const auto serial = run(1, &row.serial_seconds, &serial_stats);
+  const auto parallel =
+      run(kCompareThreads, &row.parallel_seconds, &parallel_stats);
   row.tasks = frames.size();
+  row.steals = parallel_stats.stolen;
+  row.max_queue_depth = parallel_stats.max_queue_depth;
   row.checksum_match = wami_checksum(serial) == wami_checksum(parallel);
   return row;
 }
@@ -350,24 +363,36 @@ int run_exec_compare(const std::string& out_path) {
        << std::thread::hardware_concurrency()
        << ",\n  \"flow_model_speedup\": " << model_speedup
        << ",\n  \"cases\": [\n";
+  // The same counters land in the metrics registry so the JSON carries a
+  // uniform snapshot next to the per-case rows (run_bench.sh surfaces it).
+  auto& registry = trace::MetricsRegistry::global();
+  registry.reset();
   for (std::size_t i = 0; i < 2; ++i) {
     const auto& row = rows[i];
     ok = ok && row.checksum_match;
     const double efficiency = row.speedup() / kCompareThreads;
     std::printf("  %-28s serial %8.3fs  parallel %8.3fs  speedup %5.2fx  "
-                "tasks %zu  checksums %s\n",
+                "tasks %zu  steals %llu  maxq %llu  checksums %s\n",
                 row.name, row.serial_seconds, row.parallel_seconds,
                 row.speedup(), row.tasks,
+                static_cast<unsigned long long>(row.steals),
+                static_cast<unsigned long long>(row.max_queue_depth),
                 row.checksum_match ? "match" : "DIFFER");
     json << "    {\"name\": \"" << row.name << "\", \"serial_seconds\": "
          << row.serial_seconds << ", \"parallel_seconds\": "
          << row.parallel_seconds << ", \"speedup\": " << row.speedup()
          << ", \"efficiency\": " << efficiency << ", \"tasks\": "
-         << row.tasks << ", \"checksum_match\": "
+         << row.tasks << ", \"steals\": " << row.steals
+         << ", \"max_queue_depth\": " << row.max_queue_depth
+         << ", \"checksum_match\": "
          << (row.checksum_match ? "true" : "false") << "}"
          << (i + 1 < 2 ? "," : "") << "\n";
+    const std::string prefix = std::string("exec.") + row.name;
+    registry.counter(prefix + ".steals").add(row.steals);
+    registry.gauge(prefix + ".max_queue_depth")
+        .set(static_cast<double>(row.max_queue_depth));
   }
-  json << "  ]\n}\n";
+  json << "  ],\n  \"metrics\": " << registry.snapshot_json() << "\n}\n";
   std::printf("exec-compare: wrote %s\n", out_path.c_str());
   if (!ok) std::printf("exec-compare: CHECKSUM MISMATCH\n");
   return ok ? 0 : 1;

@@ -3,12 +3,25 @@
 // synthetic aerial-imagery stream with runtime partial reconfiguration,
 // and verifies every frame bit-exactly against the software pipeline.
 //
-// Build and run:  ./build/examples/wami_app [frames]
+// Build and run:  ./build/examples/wami_app [frames] [--trace out.json]
+//
+// With --trace, the run records the runtime manager's reconfiguration
+// lifecycle, NoC channel depths and per-frame application spans on the
+// sim-time timeline (plus host-side exec spans). Open the output in
+// chrome://tracing / Perfetto, or summarize with presp-trace.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include <vector>
+
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 #include "util/log.hpp"
 #include "wami/app.hpp"
+#include "wami/frame_generator.hpp"
+#include "wami/pipeline.hpp"
 
 using namespace presp;
 
@@ -16,7 +29,20 @@ int main(int argc, char** argv) {
   set_log_level(LogLevel::kInfo);
 
   wami::WamiAppOptions options;
-  options.frames = argc > 1 ? std::atoi(argv[1]) : 4;
+  std::string trace_path;
+  std::string trace_categories;
+  int frames = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-categories") == 0 &&
+               i + 1 < argc) {
+      trace_categories = argv[++i];
+    } else {
+      frames = std::atoi(argv[i]);
+    }
+  }
+  options.frames = frames;
   options.workload = {128, 128};
   options.lk_iterations = 2;
   options.scene.drift_x = 1.2;
@@ -30,8 +56,48 @@ int main(int argc, char** argv) {
   std::printf("tile mapping (Table VI): RT_1{1,3,7,12} RT_2{2,6,8} "
               "RT_3{4,9,10}; kernels 5,11 run in software\n\n");
 
+  if (!trace_path.empty()) {
+    trace::TraceConfig trace_config;
+    if (!trace_categories.empty())
+      trace_config.categories = trace::parse_categories(trace_categories);
+    trace::TraceSession::instance().start(trace_config);
+    trace::set_thread_name("main");
+  }
+
   wami::WamiApp app('Y', options);
   const auto result = app.run();
+
+  // Pooled software pipeline over the same scene: the same kernels on the
+  // exec engine, so a traced run carries per-worker task spans on the
+  // host timeline next to the SoC's reconfiguration spans in sim time.
+  {
+    wami::PipelineOptions pipeline_options;
+    pipeline_options.lk_iterations = options.lk_iterations;
+    pipeline_options.threads = 4;
+    wami::WamiPipeline pipeline(pipeline_options);
+    wami::FrameGenerator generator(options.scene);
+    std::vector<wami::ImageU16> bayer_frames;
+    bayer_frames.reserve(static_cast<std::size_t>(options.frames));
+    for (int f = 0; f < options.frames; ++f)
+      bayer_frames.push_back(generator.next_frame());
+    long long changed = 0;
+    for (const auto& fr : pipeline.process_batch(bayer_frames))
+      changed += fr.changed_pixels;
+    const auto pool_stats = pipeline.pool_stats();
+    std::printf("software pipeline (%d worker threads): %d frames, %lld "
+                "changed pixels, %llu pool tasks\n",
+                pipeline_options.threads, options.frames, changed,
+                static_cast<unsigned long long>(pool_stats.executed));
+  }
+
+  if (!trace_path.empty()) {
+    const trace::TraceReport report = trace::TraceSession::instance().stop();
+    trace::write_chrome_trace(report, trace_path);
+    std::printf("trace: %zu events (%llu dropped) written to %s\n\n",
+                report.events.size(),
+                static_cast<unsigned long long>(report.dropped),
+                trace_path.c_str());
+  }
 
   std::printf("%-6s %12s %12s %8s %10s\n", "frame", "ms", "joules",
               "reconf", "verified");

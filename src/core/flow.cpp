@@ -8,6 +8,8 @@
 
 #include "exec/task_graph.hpp"
 #include "exec/thread_pool.hpp"
+#include "floorplan/floorplan_io.hpp"
+#include "trace/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -43,8 +45,10 @@ FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
 
   // 1. Parse + elaborate: separates reconfigurable tiles from the static
   // part.
+  trace::begin(trace::Category::kFlow, "flow:elaborate");
   const netlist::SocRtl rtl = netlist::elaborate(config, lib_);
   result.metrics = compute_metrics(rtl, lib_, device_);
+  trace::end(trace::Category::kFlow, "flow:elaborate");
 
   // Task-parallel execution substrate. With exec_threads <= 1 the graphs
   // below run serially on this thread in the same (priority, insertion)
@@ -75,6 +79,7 @@ FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
   synth::Checkpoint static_ckpt;
   std::vector<synth::Checkpoint> ooc_ckpts(jobs.size());
   {
+    const trace::TraceScope span(trace::Category::kFlow, "flow:synth");
     exec::TaskGraph synth_graph;
     synth_graph.add(
         "synth:static",
@@ -108,16 +113,30 @@ FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
   for (int p = 0; p < static_cast<int>(rtl.partitions().size()); ++p)
     requests.push_back(
         {rtl.partitions()[p].name, rtl.partition_demand(lib_, p)});
-  const floorplan::Floorplanner planner(device_);
-  result.plan = planner.plan(requests, static_ckpt.utilization,
-                             options_.floorplan);
-  for (std::size_t p = 0; p < requests.size(); ++p)
-    result.pblocks[requests[p].name] = result.plan.pblocks[p];
+  {
+    const trace::TraceScope span(trace::Category::kFlow, "flow:floorplan");
+    const floorplan::Floorplanner planner(device_);
+    result.plan = planner.plan(requests, static_ckpt.utilization,
+                               options_.floorplan);
+    for (std::size_t p = 0; p < requests.size(); ++p)
+      result.pblocks[requests[p].name] = result.plan.pblocks[p];
+    if (!options_.artifacts_dir.empty()) {
+      // The saved plan is what `presp-lint --floorplan` checks offline.
+      // config.device is the board key ("vc707"), which the lint side can
+      // map back to a fabric::Device; device_.name() is the part string.
+      floorplan::FloorplanArtifact artifact{config.name, config.device,
+                                            requests, result.plan};
+      floorplan::write_floorplan_json(
+          artifact,
+          options_.artifacts_dir + "/" + config.name + ".floorplan.json");
+    }
+  }
   const long long static_region_luts = result.plan.static_capacity.luts;
 
   // 4. Strategy selection (Table I + runtime model), unless forced.
   std::vector<long long> module_luts;
   for (const MemberJob& job : jobs) module_luts.push_back(job.luts);
+  trace::begin(trace::Category::kFlow, "flow:strategy");
   if (options_.force_strategy) {
     const Strategy strategy = *options_.force_strategy;
     const int n = static_cast<int>(jobs.size());
@@ -146,6 +165,7 @@ FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
     result.decision =
         choose_strategy(inputs, model_, options_.semi_tau);
   }
+  trace::end(trace::Category::kFlow, "flow:strategy");
 
   // 5. P&R. Physical engines run once; CPU minutes come from the model
   // composed per the chosen schedule.
@@ -180,6 +200,7 @@ FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
   }
 
   if (options_.run_physical) {
+    const trace::TraceScope span(trace::Category::kFlow, "flow:pnr");
     // The P&R task graph mirrors the chosen schedule: the static run
     // gates everything (partition runs negotiate against its routing
     // state); each Table-I group is a serial chain of in-context member
@@ -257,6 +278,11 @@ FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
     result.timing_met = fmax >= config.clock_mhz;
   }
 
+  if (pool) {
+    const exec::ThreadPool::Stats pool_stats = pool->stats();
+    result.exec.steals = pool_stats.stolen;
+    result.exec.max_queue_depth = pool_stats.max_queue_depth;
+  }
   result.exec.wall_seconds =
       result.exec.synth_wall_seconds + result.exec.pnr_wall_seconds;
   if (result.exec.wall_seconds > 0.0)

@@ -17,6 +17,7 @@
 // physical engines.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -74,6 +75,10 @@ struct FlowExecReport {
   double pnr_wall_seconds = 0.0;    // P&R graph makespan
   double wall_seconds = 0.0;        // sum of graph makespans
   double busy_seconds = 0.0;        // serial-equivalent work in the graphs
+  /// Tasks the pool's workers obtained by stealing (0 for serial runs).
+  std::uint64_t steals = 0;
+  /// High-water mark of the pool's pending-task count.
+  std::uint64_t max_queue_depth = 0;
   /// busy / wall: the speedup this schedule actually achieved.
   double measured_speedup = 1.0;
   /// Model cross-check: predicted serial P&R minutes over the predicted

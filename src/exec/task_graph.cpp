@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace presp::exec {
 
 namespace {
@@ -80,6 +82,8 @@ void TaskGraph::execute_node(TaskId id, ThreadPool* pool,
     }
   }
   if (!skip) {
+    const trace::TraceScope span(trace::Category::kExec,
+                                 "task:" + node.report.name);
     const auto start = std::chrono::steady_clock::now();
     node.report.start_seconds = seconds_since(t0, start);
     try {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
+
+#include "trace/trace.hpp"
 
 namespace presp::exec {
 
@@ -34,7 +37,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> fn) {
-  unfinished_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t depth =
+      unfinished_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t peak = max_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > peak && !max_queue_depth_.compare_exchange_weak(
+                             peak, depth, std::memory_order_relaxed)) {
+  }
+  if (trace::enabled(trace::Category::kExec)) {
+    trace::counter(trace::Category::kExec, "exec.queue_depth",
+                   static_cast<double>(depth));
+  }
   const int w = (t_pool == this) ? t_worker : -1;
   if (w >= 0) {
     Slot& slot = *slots_[static_cast<std::size_t>(w)];
@@ -83,7 +95,12 @@ std::function<void()> ThreadPool::take(int worker) {
     if (!slot.deque.empty()) {
       auto fn = std::move(slot.deque.front());
       slot.deque.pop_front();
-      stolen_.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t steals =
+          stolen_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (trace::enabled(trace::Category::kExec)) {
+        trace::counter(trace::Category::kExec, "exec.steals",
+                       static_cast<double>(steals));
+      }
       return fn;
     }
   }
@@ -110,6 +127,7 @@ bool ThreadPool::run_one() {
 void ThreadPool::worker_loop(int index) {
   t_pool = this;
   t_worker = index;
+  trace::set_thread_name("worker-" + std::to_string(index));
   while (true) {
     if (auto fn = take(index)) {
       execute(std::move(fn));
@@ -148,7 +166,12 @@ void ThreadPool::wait_idle() {
 
 ThreadPool::Stats ThreadPool::stats() const {
   return {executed_.load(std::memory_order_relaxed),
-          stolen_.load(std::memory_order_relaxed)};
+          stolen_.load(std::memory_order_relaxed),
+          max_queue_depth_.load(std::memory_order_relaxed)};
+}
+
+int ThreadPool::current_worker() const {
+  return t_pool == this ? t_worker : -1;
 }
 
 // ---------------------------------------------------------------- TaskGroup

@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "trace/trace.hpp"
+
 namespace presp::exec {
 
 class ThreadPool {
@@ -58,8 +60,13 @@ class ThreadPool {
   struct Stats {
     std::uint64_t executed = 0;  // tasks run to completion
     std::uint64_t stolen = 0;    // tasks taken from another worker's deque
+    std::uint64_t max_queue_depth = 0;  // peak in-flight (queued+running)
   };
   Stats stats() const;
+
+  /// Index of the calling thread within this pool's workers, or -1 when
+  /// called from outside (used to label per-task trace spans).
+  int current_worker() const;
 
  private:
   struct Slot {
@@ -91,6 +98,7 @@ class ThreadPool {
   std::atomic<std::uint64_t> unfinished_{0};
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<std::uint64_t> max_queue_depth_{0};
 };
 
 /// Fork-join group for nested parallelism: tasks spawned through a group
@@ -134,7 +142,10 @@ void parallel_for(ThreadPool* pool, long long begin, long long end,
   TaskGroup group(pool);
   for (long long lo = begin; lo < end; lo += grain) {
     const long long hi = lo + grain < end ? lo + grain : end;
-    group.run([&body, lo, hi] { body(lo, hi); });
+    group.run([&body, lo, hi] {
+      const trace::TraceScope span(trace::Category::kExec, "task:tile");
+      body(lo, hi);
+    });
   }
   group.wait();
 }

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "floorplan/floorplan_io.hpp"
 #include "lint/context.hpp"
 #include "lint/diagnostic.hpp"
 #include "lint/rules.hpp"
@@ -11,11 +12,15 @@ namespace presp::lint {
 
 namespace {
 
+enum class Format { kText, kJson, kSarif };
+
 int usage(const std::string& program) {
   std::fprintf(stderr,
-               "usage: %s [--format=text|json] [--list-rules] [--werror]\n"
+               "usage: %s [--format text|json|sarif] [--list-rules]\n"
+               "       %*s [--werror] [--floorplan <plan.floorplan.json>]...\n"
                "       %*s <config.esp_config>...\n",
-               program.c_str(), static_cast<int>(program.size()), "");
+               program.c_str(), static_cast<int>(program.size()), "",
+               static_cast<int>(program.size()), "");
   return 2;
 }
 
@@ -31,18 +36,30 @@ void list_rules() {
               registry.rules().size(), registry.num_checks());
 }
 
+bool parse_format(const std::string& name, Format& format) {
+  if (name == "text") format = Format::kText;
+  else if (name == "json") format = Format::kJson;
+  else if (name == "sarif") format = Format::kSarif;
+  else return false;
+  return true;
+}
+
 }  // namespace
 
 int run_lint_cli(const std::vector<std::string>& args,
                  const std::string& program) {
-  bool json = false;
+  Format format = Format::kText;
   bool werror = false;
   std::vector<std::string> configs;
-  for (const std::string& arg : args) {
-    if (arg == "--format=text") {
-      json = false;
-    } else if (arg == "--format=json") {
-      json = true;
+  std::vector<std::string> floorplans;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      if (!parse_format(arg.substr(9), format)) return usage(program);
+    } else if (arg == "--format" && i + 1 < args.size()) {
+      if (!parse_format(args[++i], format)) return usage(program);
+    } else if (arg == "--floorplan" && i + 1 < args.size()) {
+      floorplans.push_back(args[++i]);
     } else if (arg == "--list-rules") {
       list_rules();
       return 0;
@@ -54,7 +71,7 @@ int run_lint_cli(const std::vector<std::string>& args,
       return usage(program);
     }
   }
-  if (configs.empty()) return usage(program);
+  if (configs.empty() && floorplans.empty()) return usage(program);
 
   DiagnosticEngine engine;
   for (const std::string& path : configs) {
@@ -70,12 +87,34 @@ int run_lint_cli(const std::vector<std::string>& args,
                   ""});
     }
   }
+  for (const std::string& path : floorplans) {
+    try {
+      const floorplan::FloorplanArtifact artifact =
+          floorplan::read_floorplan_json(path);
+      for (Diagnostic diag : lint_floorplan_artifact(artifact, path))
+        engine.add(std::move(diag));
+    } catch (const Error& e) {
+      // Unreadable or malformed artifacts are findings too.
+      engine.add({"config.parse",
+                  Severity::kError,
+                  {path, 0, ""},
+                  e.what(),
+                  ""});
+    }
+  }
   engine.sort();
 
-  if (json)
-    std::printf("%s", render_json(engine.diagnostics()).c_str());
-  else
-    std::printf("%s", render_text(engine.diagnostics()).c_str());
+  switch (format) {
+    case Format::kText:
+      std::printf("%s", render_text(engine.diagnostics()).c_str());
+      break;
+    case Format::kJson:
+      std::printf("%s", render_json(engine.diagnostics()).c_str());
+      break;
+    case Format::kSarif:
+      std::printf("%s", render_sarif(engine.diagnostics()).c_str());
+      break;
+  }
 
   if (engine.has_errors()) return 1;
   if (werror && engine.count(Severity::kWarning) > 0) return 1;

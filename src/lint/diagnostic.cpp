@@ -255,6 +255,91 @@ std::string render_json(const std::vector<Diagnostic>& diags) {
   return out;
 }
 
+std::string render_sarif(const std::vector<Diagnostic>& diags,
+                         const std::string& tool_name) {
+  const auto sarif_level = [](Severity severity) -> const char* {
+    switch (severity) {
+      case Severity::kError: return "error";
+      case Severity::kWarning: return "warning";
+      case Severity::kInfo: return "note";
+    }
+    return "none";
+  };
+
+  std::string out =
+      "{\n"
+      "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+      "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": ";
+  append_escaped(out, tool_name);
+  out += ",\n          \"rules\": [";
+  // Deduplicated, first-appearance-ordered rule table; results reference
+  // it by index so viewers can group findings per rule.
+  std::vector<std::string> rule_ids;
+  for (const Diagnostic& d : diags)
+    if (std::find(rule_ids.begin(), rule_ids.end(), d.rule) ==
+        rule_ids.end())
+      rule_ids.push_back(d.rule);
+  for (std::size_t i = 0; i < rule_ids.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "            {\"id\": ";
+    append_escaped(out, rule_ids[i]);
+    out += "}";
+  }
+  if (!rule_ids.empty()) out += "\n          ";
+  out +=
+      "]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    const std::size_t rule_index = static_cast<std::size_t>(
+        std::find(rule_ids.begin(), rule_ids.end(), d.rule) -
+        rule_ids.begin());
+    out += i == 0 ? "\n" : ",\n";
+    out += "        {\"ruleId\": ";
+    append_escaped(out, d.rule);
+    out += ", \"ruleIndex\": " + std::to_string(rule_index);
+    out += ", \"level\": \"";
+    out += sarif_level(d.severity);
+    out += "\", \"message\": {\"text\": ";
+    append_escaped(out, d.message);
+    out += "}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": ";
+    append_escaped(out, d.loc.file.empty() ? "<memory>" : d.loc.file);
+    out += "}";
+    if (d.loc.line > 0)
+      out += ", \"region\": {\"startLine\": " + std::to_string(d.loc.line) +
+             "}";
+    out += "}";
+    if (!d.loc.object.empty()) {
+      out += ", \"logicalLocations\": [{\"fullyQualifiedName\": ";
+      append_escaped(out, d.loc.object);
+      out += "}]";
+    }
+    out += "}]";
+    if (!d.fix_hint.empty()) {
+      out += ", \"properties\": {\"fixHint\": ";
+      append_escaped(out, d.fix_hint);
+      out += "}";
+    }
+    out += "}";
+  }
+  if (!diags.empty()) out += "\n      ";
+  out +=
+      "]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
 std::vector<Diagnostic> parse_json(const std::string& text) {
   JsonReader r(text);
   std::vector<Diagnostic> diags;

@@ -88,4 +88,10 @@ std::string render_json(const std::vector<Diagnostic>& diags);
 /// presp::ConfigError on malformed input.
 std::vector<Diagnostic> parse_json(const std::string& text);
 
+/// SARIF 2.1.0 report (one run, driver `tool_name`) for CI annotation
+/// uploads. Severities map error -> "error", warning -> "warning",
+/// info -> "note"; fix-hints ride in each result's property bag.
+std::string render_sarif(const std::vector<Diagnostic>& diags,
+                         const std::string& tool_name = "presp-lint");
+
 }  // namespace presp::lint

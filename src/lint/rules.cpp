@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdlib>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "util/string_utils.hpp"
@@ -197,10 +198,16 @@ void check_width_mismatch(LintContext& ctx, DiagnosticEngine& engine) {
 }
 
 // ---------------------------------------------------- floorplan rules
+//
+// The overlap/capacity/column checks are written against the plain
+// (plan, requests, device) triple so they run both from a full config
+// (via LintContext) and against a saved .floorplan.json artifact (via
+// lint_floorplan_artifact), producing identical diagnostics.
 
-void check_region_overlap(LintContext& ctx, DiagnosticEngine& engine) {
-  const auto& plan = ctx.floorplan();
-  const auto& requests = ctx.partition_requests();
+void floorplan_overlap_core(
+    const floorplan::Floorplan& plan,
+    const std::vector<floorplan::PartitionRequest>& requests,
+    const std::string& file, DiagnosticEngine& engine) {
   for (std::size_t i = 0; i < plan.pblocks.size(); ++i) {
     for (std::size_t j = i + 1; j < plan.pblocks.size(); ++j) {
       if (!plan.pblocks[i].overlaps(plan.pblocks[j])) continue;
@@ -210,7 +217,7 @@ void check_region_overlap(LintContext& ctx, DiagnosticEngine& engine) {
           j < requests.size() ? requests[j].name : std::to_string(j);
       engine.add({"floorplan.region-overlap",
                   Severity::kError,
-                  {ctx.file(), 0, "partition." + a},
+                  {file, 0, "partition." + a},
                   "pblocks of partitions '" + a + "' " +
                       plan.pblocks[i].to_string() + " and '" + b + "' " +
                       plan.pblocks[j].to_string() + " overlap",
@@ -219,10 +226,11 @@ void check_region_overlap(LintContext& ctx, DiagnosticEngine& engine) {
   }
 }
 
-void check_region_capacity(LintContext& ctx, DiagnosticEngine& engine) {
-  const auto& plan = ctx.floorplan();
-  const auto& requests = ctx.partition_requests();
-  const auto& device = ctx.device();
+void floorplan_capacity_core(
+    const floorplan::Floorplan& plan,
+    const std::vector<floorplan::PartitionRequest>& requests,
+    const fabric::Device& device, const std::string& file,
+    DiagnosticEngine& engine) {
   for (std::size_t i = 0;
        i < plan.pblocks.size() && i < requests.size(); ++i) {
     if (!on_fabric(device, plan.pblocks[i])) continue;
@@ -230,13 +238,58 @@ void check_region_capacity(LintContext& ctx, DiagnosticEngine& engine) {
     if (covers(enclosed, requests[i].demand)) continue;
     engine.add({"floorplan.region-capacity",
                 Severity::kError,
-                {ctx.file(), 0, "partition." + requests[i].name},
+                {file, 0, "partition." + requests[i].name},
                 "partition '" + requests[i].name + "' demands more than "
                     "its pblock " + plan.pblocks[i].to_string() +
                     " encloses (" +
                     shortfall(enclosed, requests[i].demand) + ")",
                 "grow the pblock or shrink the partition's largest member"});
   }
+}
+
+void floorplan_column_core(
+    const floorplan::Floorplan& plan,
+    const std::vector<floorplan::PartitionRequest>& requests,
+    const fabric::Device& device, const std::string& file,
+    DiagnosticEngine& engine) {
+  for (std::size_t i = 0; i < plan.pblocks.size(); ++i) {
+    const auto& pblock = plan.pblocks[i];
+    const std::string name =
+        i < requests.size() ? requests[i].name : std::to_string(i);
+    if (!on_fabric(device, pblock)) {
+      engine.add({"floorplan.illegal-column",
+                  Severity::kError,
+                  {file, 0, "partition." + name},
+                  "pblock " + pblock.to_string() + " of partition '" +
+                      name + "' lies outside the device fabric",
+                  "clamp the region to the device grid"});
+      continue;
+    }
+    for (int col = pblock.col_lo; col <= pblock.col_hi; ++col) {
+      const auto type = device.column_type(col);
+      if (fabric::Device::reconfigurable_column(type)) continue;
+      engine.add({"floorplan.illegal-column",
+                  Severity::kError,
+                  {file, 0, "partition." + name},
+                  "pblock of partition '" + name + "' spans the " +
+                      std::string(fabric::to_string(type)) + " column " +
+                      std::to_string(col) +
+                      " (clock/IO columns cannot be reconfigured)",
+                  "move or split the region so it only covers "
+                  "CLB/BRAM/DSP columns"});
+      break;  // one diagnostic per pblock is enough
+    }
+  }
+}
+
+void check_region_overlap(LintContext& ctx, DiagnosticEngine& engine) {
+  floorplan_overlap_core(ctx.floorplan(), ctx.partition_requests(),
+                         ctx.file(), engine);
+}
+
+void check_region_capacity(LintContext& ctx, DiagnosticEngine& engine) {
+  floorplan_capacity_core(ctx.floorplan(), ctx.partition_requests(),
+                          ctx.device(), ctx.file(), engine);
 }
 
 void check_member_footprint(LintContext& ctx, DiagnosticEngine& engine) {
@@ -267,39 +320,8 @@ void check_member_footprint(LintContext& ctx, DiagnosticEngine& engine) {
 }
 
 void check_illegal_column(LintContext& ctx, DiagnosticEngine& engine) {
-  const auto& plan = ctx.floorplan();
-  const auto& requests = ctx.partition_requests();
-  const auto& device = ctx.device();
-  for (std::size_t i = 0; i < plan.pblocks.size(); ++i) {
-    const auto& pblock = plan.pblocks[i];
-    const std::string name =
-        i < requests.size() ? requests[i].name : std::to_string(i);
-    if (!pblock.valid() || pblock.col_lo < 0 ||
-        pblock.col_hi >= device.num_columns() || pblock.row_lo < 0 ||
-        pblock.row_hi >= device.region_rows()) {
-      engine.add({"floorplan.illegal-column",
-                  Severity::kError,
-                  {ctx.file(), 0, "partition." + name},
-                  "pblock " + pblock.to_string() + " of partition '" +
-                      name + "' lies outside the device fabric",
-                  "clamp the region to the device grid"});
-      continue;
-    }
-    for (int col = pblock.col_lo; col <= pblock.col_hi; ++col) {
-      const auto type = device.column_type(col);
-      if (fabric::Device::reconfigurable_column(type)) continue;
-      engine.add({"floorplan.illegal-column",
-                  Severity::kError,
-                  {ctx.file(), 0, "partition." + name},
-                  "pblock of partition '" + name + "' spans the " +
-                      std::string(fabric::to_string(type)) + " column " +
-                      std::to_string(col) +
-                      " (clock/IO columns cannot be reconfigured)",
-                  "move or split the region so it only covers "
-                  "CLB/BRAM/DSP columns"});
-      break;  // one diagnostic per pblock is enough
-    }
-  }
+  floorplan_column_core(ctx.floorplan(), ctx.partition_requests(),
+                        ctx.device(), ctx.file(), engine);
 }
 
 void check_icap_unreachable(LintContext& ctx, DiagnosticEngine& engine) {
@@ -895,6 +917,33 @@ std::vector<Diagnostic> lint_config_text(const std::string& text,
   LintContext context(text, file);
   DiagnosticEngine engine;
   RuleRegistry::builtin().run(context, engine);
+  return engine.diagnostics();
+}
+
+std::vector<Diagnostic> lint_floorplan_artifact(
+    const floorplan::FloorplanArtifact& artifact, const std::string& file) {
+  DiagnosticEngine engine;
+  floorplan_overlap_core(artifact.plan, artifact.requests, file, engine);
+  const std::string& name = artifact.device;
+  std::optional<fabric::Device> device;
+  if (name == "vc707") device = fabric::Device::vc707();
+  else if (name == "vcu118") device = fabric::Device::vcu118();
+  else if (name == "vcu128") device = fabric::Device::vcu128();
+  else
+    engine.add({"config.unknown-device",
+                Severity::kError,
+                {file, 0, "device"},
+                "unknown device '" + name +
+                    "' (expected vc707|vcu118|vcu128); skipping "
+                    "device-dependent floorplan checks",
+                "regenerate the artifact with a supported board"});
+  if (device) {
+    floorplan_capacity_core(artifact.plan, artifact.requests, *device, file,
+                            engine);
+    floorplan_column_core(artifact.plan, artifact.requests, *device, file,
+                          engine);
+  }
+  engine.sort();
   return engine.diagnostics();
 }
 

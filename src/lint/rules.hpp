@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "floorplan/floorplan_io.hpp"
 #include "lint/context.hpp"
 #include "lint/diagnostic.hpp"
 
@@ -67,5 +68,15 @@ class RuleRegistry {
 /// and returns the sorted diagnostics.
 std::vector<Diagnostic> lint_config_text(const std::string& text,
                                          const std::string& file = "<memory>");
+
+/// Lints a saved floorplan artifact (see floorplan/floorplan_io.hpp)
+/// without a full configuration: runs the artifact-level subset of the
+/// floorplan rules (region-overlap, region-capacity, illegal-column)
+/// against it. An unknown device name is itself a diagnostic
+/// (config.unknown-device) and skips the device-dependent checks.
+/// `file` anchors the diagnostics (the artifact's path).
+std::vector<Diagnostic> lint_floorplan_artifact(
+    const floorplan::FloorplanArtifact& artifact,
+    const std::string& file = "<memory>");
 
 }  // namespace presp::lint

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
+#include "trace/trace.hpp"
 #include "util/error.hpp"
 
 namespace presp::noc {
@@ -113,9 +115,42 @@ void Noc::send(const Packet& packet_in) {
   stats.total_latency += latency;
   stats.max_latency = std::max(stats.max_latency, latency);
 
+  const auto plane_index = static_cast<std::size_t>(packet.plane);
+  ++inflight_[plane_index];
+  if (trace::enabled(trace::Category::kNoc)) {
+    const std::uint32_t track =
+        trace::kTrackNocBase + static_cast<std::uint32_t>(plane_index);
+    trace::set_sim_track_name(
+        track, std::string("noc ") + to_string(packet.plane));
+    if (packet.poisoned) {
+      trace::sim_instant(trace::Category::kNoc, "noc.poisoned",
+                         kernel_.now(), track);
+    }
+    trace::sim_counter(trace::Category::kNoc,
+                       std::string("noc.") + to_string(packet.plane) +
+                           ".inflight",
+                       kernel_.now(), track,
+                       static_cast<double>(inflight_[plane_index]));
+  }
+
   auto& box = rx(packet.dst, packet.plane);
-  kernel_.schedule(deliver - kernel_.now(),
-                   [&box, packet] { box.send(packet); });
+  kernel_.schedule(deliver - kernel_.now(), [this, &box, packet] {
+    box.send(packet);
+    const auto plane = static_cast<std::size_t>(packet.plane);
+    --inflight_[plane];
+    if (trace::enabled(trace::Category::kNoc)) {
+      const std::uint32_t track =
+          trace::kTrackNocBase + static_cast<std::uint32_t>(plane);
+      const std::string prefix =
+          std::string("noc.") + to_string(packet.plane);
+      trace::sim_counter(trace::Category::kNoc, prefix + ".inflight",
+                         kernel_.now(), track,
+                         static_cast<double>(inflight_[plane]));
+      trace::sim_counter(trace::Category::kNoc, prefix + ".rx_depth",
+                         kernel_.now(), track,
+                         static_cast<double>(box.size()));
+    }
+  });
 }
 
 }  // namespace presp::noc

@@ -118,6 +118,8 @@ class Noc {
   std::vector<Link> links_;
   std::vector<std::unique_ptr<sim::Mailbox<Packet>>> mailboxes_;
   std::array<NocStats, kNumPlanes> stats_{};
+  /// Packets sent but not yet delivered, per plane (trace counter).
+  std::array<int, kNumPlanes> inflight_{};
 };
 
 }  // namespace presp::noc

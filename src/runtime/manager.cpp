@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "soc/tiles.hpp"
+#include "trace/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -11,6 +12,23 @@ namespace presp::runtime {
 namespace {
 
 constexpr std::uint64_t kAckRefused = 1;
+constexpr trace::Category kTrc = trace::Category::kRuntime;
+
+/// Sim-track id for a tile's request-lifecycle spans (named lazily).
+std::uint32_t tile_track(int tile) {
+  const auto track = static_cast<std::uint32_t>(std::max(tile, 0));
+  if (trace::enabled(kTrc)) {
+    trace::set_sim_track_name(track, "tile " + std::to_string(tile));
+  }
+  return track;
+}
+
+void trace_queue_depth(sim::Kernel& kernel, long long depth) {
+  if (trace::enabled(kTrc)) {
+    trace::sim_counter(kTrc, "runtime.queue_depth", kernel.now(),
+                       trace::kTrackRuntime, static_cast<double>(depth));
+  }
+}
 
 sim::Time backoff_cycles(const ManagerOptions& options, int attempt) {
   const int shift = std::min(std::max(attempt - 1, 0), 16);
@@ -68,15 +86,24 @@ sim::Process ReconfigurationManager::reconfigure_locked(
     int tile, std::string module, Completion& done) {
   auto& kernel = soc_.kernel();
   const sim::Time requested = kernel.now();
+  const std::uint32_t track = tile_track(tile);
+  const std::string span_label =
+      "reconfigure:" + (module.empty() ? std::string("(blank)") : module);
+  if (trace::enabled(kTrc)) {
+    trace::sim_begin(kTrc, span_label, requested, track);
+    trace::sim_begin(kTrc, "queued", requested, track);
+  }
 
   // Queue on the single PRC ("reconfiguration requests are queued up and
   // executed as soon as the PRC is ready").
   ++queue_depth_;
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth_);
+  trace_queue_depth(kernel, queue_depth_);
   co_await prc_lock_.acquire();
   stats_.prc_wait_cycles +=
       static_cast<long long>(kernel.now() - requested);
   const sim::Time start = kernel.now();
+  if (trace::enabled(kTrc)) trace::sim_end(kTrc, "queued", start, track);
 
   co_await sim::Delay(kernel,
                       static_cast<sim::Time>(
@@ -96,7 +123,11 @@ sim::Process ReconfigurationManager::reconfigure_locked(
           soc_.options().icap_bytes_per_cycle));
 
   // 1. Decouple the tile's wrapper from its socket.
+  if (trace::enabled(kTrc))
+    trace::sim_begin(kTrc, "decouple", kernel.now(), track);
   co_await cpu.write_reg(tile, soc::kRegDecouple, 1);
+  if (trace::enabled(kTrc))
+    trace::sim_end(kTrc, "decouple", kernel.now(), track);
 
   RequestStatus status = RequestStatus::kOk;
   sim::Time first_fire = 0;
@@ -108,26 +139,43 @@ sim::Process ReconfigurationManager::reconfigure_locked(
   // interrupt under the watchdog, recover from CRC errors, lost
   // interrupts, dropped triggers and hangs until the budgets run out.
   while (!configured && status == RequestStatus::kOk) {
+    if (trace::enabled(kTrc)) {
+      trace::sim_begin(kTrc, "fetch", kernel.now(), track,
+                       static_cast<double>(image.bytes));
+    }
     co_await cpu.write_reg(aux, soc::kRegDfxcBsAddr, image.address);
     co_await cpu.write_reg(aux, soc::kRegDfxcBsBytes, image.bytes);
     co_await cpu.write_reg(aux, soc::kRegDfxcTarget,
                            static_cast<std::uint64_t>(tile));
     const std::uint64_t nack =
         co_await cpu.write_reg(aux, soc::kRegDfxcTrigger, 1);
+    if (trace::enabled(kTrc))
+      trace::sim_end(kTrc, "fetch", kernel.now(), track);
     if (nack == kAckRefused) {
       // The controller was busy and dropped the trigger (a leftover from
       // an earlier wedge): reset it, back off, retry.
       ++stats_.dropped_trigger_retries;
+      if (trace::enabled(kTrc))
+        trace::sim_instant(kTrc, "trigger-nack", kernel.now(), track);
       if (first_fire == 0) first_fire = kernel.now();
       co_await cpu.write_reg(aux, soc::kRegDfxcReset, 1);
       if (++recoveries > options_.retry_budget) {
         status = RequestStatus::kTimeout;
       } else {
-        co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+        const sim::Time backoff = backoff_cycles(options_, recoveries);
+        if (trace::enabled(kTrc)) {
+          trace::sim_instant(kTrc, "backoff", kernel.now(), track,
+                             static_cast<double>(backoff));
+        }
+        co_await sim::Delay(kernel, backoff);
       }
       continue;
     }
 
+    if (trace::enabled(kTrc)) {
+      trace::sim_begin(kTrc, "icap", kernel.now(), track,
+                       static_cast<double>(image.bytes));
+    }
     bool waiting = true;
     while (waiting) {
       const auto payload = co_await aux_irq.receive_for(watchdog);
@@ -144,6 +192,8 @@ sim::Process ReconfigurationManager::reconfigure_locked(
           configured = true;
         } else {
           ++stats_.crc_retries;
+          if (trace::enabled(kTrc))
+            trace::sim_instant(kTrc, "crc-retry", kernel.now(), track);
           if (++crc_attempts >= options_.max_attempts)
             status = RequestStatus::kCrcExhausted;
         }
@@ -154,16 +204,22 @@ sim::Process ReconfigurationManager::reconfigure_locked(
       // lost interrupt from a genuine wedge.
       waiting = false;
       ++stats_.watchdog_fires;
+      if (trace::enabled(kTrc))
+        trace::sim_instant(kTrc, "watchdog", kernel.now(), track);
       if (first_fire == 0) first_fire = kernel.now();
       const std::uint64_t dfxc_status =
           co_await cpu.read_reg(aux, soc::kRegDfxcStatus);
       if (dfxc_status == 0) {
         // Transfer completed; only its done interrupt was lost.
         ++stats_.lost_irq_recoveries;
+        if (trace::enabled(kTrc))
+          trace::sim_instant(kTrc, "lost-irq", kernel.now(), track);
         configured = true;
       } else if (dfxc_status == 2) {
         // CRC error whose interrupt was lost.
         ++stats_.crc_retries;
+        if (trace::enabled(kTrc))
+          trace::sim_instant(kTrc, "crc-retry", kernel.now(), track);
         if (++crc_attempts >= options_.max_attempts)
           status = RequestStatus::kCrcExhausted;
       } else {
@@ -173,7 +229,12 @@ sim::Process ReconfigurationManager::reconfigure_locked(
         if (++recoveries > options_.retry_budget) {
           status = RequestStatus::kTimeout;
         } else {
-          co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+          const sim::Time backoff = backoff_cycles(options_, recoveries);
+          if (trace::enabled(kTrc)) {
+            trace::sim_instant(kTrc, "backoff", kernel.now(), track,
+                               static_cast<double>(backoff));
+          }
+          co_await sim::Delay(kernel, backoff);
         }
       }
       // Settle, then drain stale interrupts so a late completion of the
@@ -182,6 +243,8 @@ sim::Process ReconfigurationManager::reconfigure_locked(
                           static_cast<sim::Time>(options_.irq_drain_cycles));
       while (aux_irq.try_receive().has_value()) ++stats_.stray_irqs;
     }
+    if (trace::enabled(kTrc))
+      trace::sim_end(kTrc, "icap", kernel.now(), track);
   }
 
   if (!configured) {
@@ -192,6 +255,8 @@ sim::Process ReconfigurationManager::reconfigure_locked(
     if (health_.health(tile) != TileHealth::kQuarantined) {
       health_.quarantine(tile);
       ++stats_.quarantines;
+      if (trace::enabled(kTrc))
+        trace::sim_instant(kTrc, "quarantine", kernel.now(), track);
     }
     drivers_.erase(tile);
     if (!module.empty() && store_.has(tile, "")) {
@@ -230,6 +295,9 @@ sim::Process ReconfigurationManager::reconfigure_locked(
       stats_.recovery_cycles +=
           static_cast<long long>(kernel.now() - first_fire);
     --queue_depth_;
+    trace_queue_depth(kernel, queue_depth_);
+    if (trace::enabled(kTrc))
+      trace::sim_end(kTrc, span_label, kernel.now(), track);
     prc_lock_.release();
     done.complete(status, tile);
     co_return;
@@ -237,12 +305,16 @@ sim::Process ReconfigurationManager::reconfigure_locked(
 
   // 4. Re-enable the decoupler (resets the wrapper + NoC queues). An
   // injected stuck-at fault nacks the release; retry with backoff.
+  if (trace::enabled(kTrc))
+    trace::sim_begin(kTrc, "recouple", kernel.now(), track);
   int release_tries = 0;
   while (status == RequestStatus::kOk) {
     const std::uint64_t nack =
         co_await cpu.write_reg(tile, soc::kRegDecouple, 0);
     if (nack != kAckRefused) break;
     ++stats_.stuck_decouple_retries;
+    if (trace::enabled(kTrc))
+      trace::sim_instant(kTrc, "stuck-decouple", kernel.now(), track);
     if (first_fire == 0) first_fire = kernel.now();
     if (++release_tries > options_.retry_budget) {
       status = RequestStatus::kTimeout;
@@ -250,6 +322,8 @@ sim::Process ReconfigurationManager::reconfigure_locked(
     }
     co_await sim::Delay(kernel, backoff_cycles(options_, release_tries));
   }
+  if (trace::enabled(kTrc))
+    trace::sim_end(kTrc, "recouple", kernel.now(), track);
   if (status != RequestStatus::kOk) {
     // The module is configured but unreachable behind a stuck decoupler:
     // pull the tile from rotation.
@@ -257,18 +331,25 @@ sim::Process ReconfigurationManager::reconfigure_locked(
     if (health_.health(tile) != TileHealth::kQuarantined) {
       health_.quarantine(tile);
       ++stats_.quarantines;
+      if (trace::enabled(kTrc))
+        trace::sim_instant(kTrc, "quarantine", kernel.now(), track);
     }
     drivers_.erase(tile);
     if (first_fire != 0)
       stats_.recovery_cycles +=
           static_cast<long long>(kernel.now() - first_fire);
     --queue_depth_;
+    trace_queue_depth(kernel, queue_depth_);
+    if (trace::enabled(kTrc))
+      trace::sim_end(kTrc, span_label, kernel.now(), track);
     prc_lock_.release();
     done.complete(status, tile);
     co_return;
   }
 
   // 5. Swap the accelerator driver (nothing to load for a blanking image).
+  if (trace::enabled(kTrc))
+    trace::sim_begin(kTrc, "driver-swap", kernel.now(), track);
   co_await sim::Delay(kernel,
                       static_cast<sim::Time>(options_.driver_swap_cycles));
   if (module.empty()) {
@@ -277,6 +358,8 @@ sim::Process ReconfigurationManager::reconfigure_locked(
     drivers_[tile] = module;
     ++stats_.driver_swaps;
   }
+  if (trace::enabled(kTrc))
+    trace::sim_end(kTrc, "driver-swap", kernel.now(), track);
 
   ++stats_.reconfigurations;
   stats_.reconfiguration_cycles +=
@@ -290,6 +373,9 @@ sim::Process ReconfigurationManager::reconfigure_locked(
     health_.record_success(tile);
   }
   --queue_depth_;
+  trace_queue_depth(kernel, queue_depth_);
+  if (trace::enabled(kTrc))
+    trace::sim_end(kTrc, span_label, kernel.now(), track);
   prc_lock_.release();
   done.complete(RequestStatus::kOk, tile);
 }
@@ -342,6 +428,9 @@ sim::Process ReconfigurationManager::verify_partition(int tile,
   auto& kernel = soc_.kernel();
   co_await tile_lock(tile).acquire();
   co_await prc_lock_.acquire();
+  const std::uint32_t track = tile_track(tile);
+  if (trace::enabled(kTrc))
+    trace::sim_begin(kTrc, "readback:" + module, kernel.now(), track);
   auto& cpu = soc_.cpu();
   const BitstreamImage& image = store_.get(tile, module);
   const int aux = soc_.aux_tile_index();
@@ -413,6 +502,8 @@ sim::Process ReconfigurationManager::verify_partition(int tile,
     *ok = verdict == 1;
     ++stats_.readbacks;
   }
+  if (trace::enabled(kTrc))
+    trace::sim_end(kTrc, "readback:" + module, kernel.now(), track);
   prc_lock_.release();
   tile_lock(tile).release();
   done.complete(status, tile);
@@ -421,6 +512,8 @@ sim::Process ReconfigurationManager::verify_partition(int tile,
 sim::Process ReconfigurationManager::scrub(int tile, Completion& done) {
   auto& kernel = soc_.kernel();
   ++stats_.scrubs;
+  if (trace::enabled(kTrc))
+    trace::sim_instant(kTrc, "scrub", kernel.now(), tile_track(tile));
   const std::string module = soc_.reconf_tile(tile).module();
   if (module.empty() || !store_.has(tile, module)) {
     done.complete(RequestStatus::kOk, tile);
@@ -470,6 +563,10 @@ sim::Process ReconfigurationManager::run(int tile, std::string module,
       }
       ++stats_.reroutes;
       routed = alt;
+      if (trace::enabled(kTrc)) {
+        trace::sim_instant(kTrc, "reroute", kernel.now(),
+                           tile_track(routed));
+      }
     }
     status = RequestStatus::kOk;
 
@@ -478,6 +575,9 @@ sim::Process ReconfigurationManager::run(int tile, std::string module,
     const sim::Time t0 = kernel.now();
     co_await tile_lock(routed).acquire();
     stats_.lock_wait_cycles += static_cast<long long>(kernel.now() - t0);
+    const std::uint32_t run_track = tile_track(routed);
+    if (trace::enabled(kTrc))
+      trace::sim_begin(kTrc, "run:" + module, kernel.now(), run_track);
 
     if (soc_.reconf_tile(routed).module() != module ||
         driver(routed) != module) {
@@ -506,6 +606,8 @@ sim::Process ReconfigurationManager::run(int tile, std::string module,
         // leftover decoupling, or a wedged status. A forced partition
         // rewrite clears all three.
         ++stats_.cmd_retries;
+        if (trace::enabled(kTrc))
+          trace::sim_instant(kTrc, "cmd-retry", kernel.now(), run_track);
         if (first_fire == 0) first_fire = kernel.now();
         if (++recoveries > options_.retry_budget) {
           status = RequestStatus::kTimeout;
@@ -534,6 +636,8 @@ sim::Process ReconfigurationManager::run(int tile, std::string module,
         }
         waiting = false;
         ++stats_.watchdog_fires;
+        if (trace::enabled(kTrc))
+          trace::sim_instant(kTrc, "watchdog", kernel.now(), run_track);
         if (first_fire == 0) first_fire = kernel.now();
         const std::uint64_t status_reg =
             co_await cpu.read_reg(routed, soc::kRegStatus);
@@ -566,6 +670,8 @@ sim::Process ReconfigurationManager::run(int tile, std::string module,
       }
     }
 
+    if (trace::enabled(kTrc))
+      trace::sim_end(kTrc, "run:" + module, kernel.now(), run_track);
     if (status == RequestStatus::kOk) {
       ++stats_.runs;
       if (recoveries > 0) {
@@ -582,6 +688,8 @@ sim::Process ReconfigurationManager::run(int tile, std::string module,
     if (health_.health(routed) != TileHealth::kQuarantined) {
       health_.quarantine(routed);
       ++stats_.quarantines;
+      if (trace::enabled(kTrc))
+        trace::sim_instant(kTrc, "quarantine", kernel.now(), run_track);
     }
     if (store_.has(routed, "") &&
         !soc_.reconf_tile(routed).module().empty()) {

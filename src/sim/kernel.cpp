@@ -55,6 +55,11 @@ void Kernel::pop_and_run() {
     now_ = ev->at;
     --live_events_;
     ++executed_;
+    if (trace::enabled(trace::Category::kSim)) {
+      trace::sim_instant(trace::Category::kSim,
+                         ev->co ? "process.resume" : "event.fire", now_,
+                         trace::kTrackSimKernel);
+    }
     if (ev->co) {
       const auto co = ev->co;
       ev->co = nullptr;

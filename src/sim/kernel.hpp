@@ -26,6 +26,7 @@
 #include <queue>
 #include <vector>
 
+#include "trace/trace.hpp"
 #include "util/error.hpp"
 
 namespace presp::sim {
@@ -123,6 +124,11 @@ class Delay {
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> handle) {
+    if (trace::enabled(trace::Category::kSim)) {
+      trace::sim_instant(trace::Category::kSim, "process.suspend",
+                         kernel_.now(), trace::kTrackSimKernel,
+                         static_cast<double>(delay_));
+    }
     kernel_.schedule_resume(delay_, handle);
   }
   void await_resume() const noexcept {}

@@ -1,0 +1,176 @@
+#include "trace/cli.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+
+#include "trace/export.hpp"
+#include "util/error.hpp"
+
+namespace presp::trace {
+
+namespace {
+
+int usage(const std::string& program) {
+  std::fprintf(
+      stderr,
+      "usage: %s inspect   <trace.json>\n"
+      "       %s summarize [--top <n>] <trace.json>\n"
+      "       %s convert   --csv <out> <trace.json>\n"
+      "\n"
+      "  inspect    event counts by phase/category/track, clock extents\n"
+      "  summarize  per-category totals and top spans by self time\n"
+      "  convert    flatten the trace events to CSV\n",
+      program.c_str(), program.c_str(), program.c_str());
+  return 2;
+}
+
+int run_inspect(const ParsedTrace& trace) {
+  std::map<std::string, std::uint64_t> by_phase;
+  std::map<std::string, std::uint64_t> by_category;
+  std::map<std::pair<int, int>, std::uint64_t> by_track;
+  double host_extent = 0.0;
+  double sim_extent = 0.0;
+  for (const auto& event : trace.events) {
+    ++by_phase[event.ph];
+    ++by_category[event.cat.empty() ? "(none)" : event.cat];
+    ++by_track[{event.pid, event.tid}];
+    double& extent = event.pid == kSimPid ? sim_extent : host_extent;
+    extent = std::max(extent, event.ts_us);
+  }
+  std::printf("events: %zu\n", trace.events.size());
+  std::printf("dropped events: %llu\n",
+              static_cast<unsigned long long>(trace.dropped));
+  std::printf("sim clock: %.6g MHz\n", trace.sim_clock_mhz);
+  std::printf("host timeline: %.1f us | sim timeline: %.1f us\n",
+              host_extent, sim_extent);
+  std::printf("by phase:\n");
+  for (const auto& [phase, count] : by_phase) {
+    std::printf("  %-2s %10llu\n", phase.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("by category:\n");
+  for (const auto& [category, count] : by_category) {
+    std::printf("  %-10s %10llu\n", category.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("by track:\n");
+  for (const auto& [track, count] : by_track) {
+    const auto name_it = trace.track_names.find(track);
+    const auto process_it = trace.process_names.find(track.first);
+    std::printf("  pid %d tid %-4d %10llu  %s%s%s\n", track.first,
+                track.second, static_cast<unsigned long long>(count),
+                process_it != trace.process_names.end()
+                    ? process_it->second.c_str()
+                    : "",
+                name_it != trace.track_names.end() ? " / " : "",
+                name_it != trace.track_names.end()
+                    ? name_it->second.c_str()
+                    : "");
+  }
+  return 0;
+}
+
+void append_csv_field(std::string& out, const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+int run_convert(const ParsedTrace& trace, const std::string& csv_path) {
+  std::string out = "pid,tid,track,ph,ts_us,cat,name,value\n";
+  char buf[64];
+  for (const auto& event : trace.events) {
+    out += std::to_string(event.pid);
+    out += ',';
+    out += std::to_string(event.tid);
+    out += ',';
+    const auto name_it = trace.track_names.find({event.pid, event.tid});
+    append_csv_field(
+        out, name_it != trace.track_names.end() ? name_it->second : "");
+    out += ',';
+    out += event.ph;
+    out += ',';
+    std::snprintf(buf, sizeof(buf), "%.3f", event.ts_us);
+    out += buf;
+    out += ',';
+    append_csv_field(out, event.cat);
+    out += ',';
+    append_csv_field(out, event.name);
+    out += ',';
+    std::snprintf(buf, sizeof(buf), "%.6g", event.value);
+    out += buf;
+    out += '\n';
+  }
+  std::ofstream file(csv_path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open CSV output: %s\n",
+                 csv_path.c_str());
+    return 1;
+  }
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  if (!file) {
+    std::fprintf(stderr, "error: failed writing CSV output: %s\n",
+                 csv_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu events to %s\n", trace.events.size(),
+              csv_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int run_trace_cli(const std::vector<std::string>& args,
+                  const std::string& program) {
+  if (args.empty()) return usage(program);
+  const std::string& command = args[0];
+  if (command != "inspect" && command != "summarize" && command != "convert") {
+    return usage(program);
+  }
+
+  std::string input;
+  std::string csv_path;
+  std::size_t top_n = 15;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--csv" && i + 1 < args.size()) {
+      csv_path = args[++i];
+    } else if (arg == "--top" && i + 1 < args.size()) {
+      top_n = static_cast<std::size_t>(std::strtoul(args[++i].c_str(),
+                                                    nullptr, 10));
+      if (top_n == 0) top_n = 1;
+    } else if (!arg.empty() && arg[0] != '-') {
+      if (!input.empty()) return usage(program);
+      input = arg;
+    } else {
+      return usage(program);
+    }
+  }
+  if (input.empty()) return usage(program);
+  if (command == "convert" && csv_path.empty()) return usage(program);
+
+  ParsedTrace trace;
+  try {
+    trace = read_chrome_trace(input);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (command == "inspect") return run_inspect(trace);
+  if (command == "convert") return run_convert(trace, csv_path);
+  std::printf("%s", render_summary(summarize(trace, top_n)).c_str());
+  return 0;
+}
+
+}  // namespace presp::trace

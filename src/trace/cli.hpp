@@ -1,0 +1,20 @@
+// Command-line driver for saved trace files. Shared between the
+// standalone `presp-trace` binary and any tool that embeds it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace presp::trace {
+
+/// Runs the trace driver over `args` (program arguments, argv[0] already
+/// stripped). Returns the process exit code: 0 on success, 1 when the
+/// trace file cannot be read or parsed, 2 on usage errors.
+///
+///   presp-trace inspect   <trace.json>
+///   presp-trace summarize [--top <n>] <trace.json>
+///   presp-trace convert   --csv <out> <trace.json>
+int run_trace_cli(const std::vector<std::string>& args,
+                  const std::string& program = "presp-trace");
+
+}  // namespace presp::trace

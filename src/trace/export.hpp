@@ -1,0 +1,86 @@
+// Trace exporters and importers. The writer turns a TraceReport into
+// Chrome chrome://tracing / Perfetto JSON (host events under pid 1 on
+// their wall-clock microsecond axis, sim events under pid 2 with cycles
+// converted through the configured sim clock). The reader parses that
+// JSON back (for the presp-trace CLI) and summarize() computes
+// per-category totals and top spans by self-time from the parsed form.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace presp::trace {
+
+/// Chrome process ids used by the writer: one fake "process" per clock
+/// domain so the two timelines stay visually separate in the viewer.
+inline constexpr int kHostPid = 1;
+inline constexpr int kSimPid = 2;
+
+/// Renders the report as a Chrome trace-event JSON document.
+std::string chrome_trace_json(const TraceReport& report);
+/// chrome_trace_json() to a file; throws presp::Error on I/O failure.
+void write_chrome_trace(const TraceReport& report, const std::string& path);
+
+/// One trace event as read back from Chrome JSON.
+struct ParsedEvent {
+  std::string name;
+  std::string cat;
+  std::string ph;  // "B", "E", "i", "C" (metadata "M" is folded away)
+  double ts_us = 0.0;
+  int pid = 0;
+  int tid = 0;
+  double value = 0.0;  // counter value / args.value when present
+};
+
+struct ParsedTrace {
+  std::vector<ParsedEvent> events;  // in file order, metadata excluded
+  std::map<int, std::string> process_names;
+  std::map<std::pair<int, int>, std::string> track_names;  // (pid, tid)
+  std::uint64_t dropped = 0;
+  double sim_clock_mhz = 0.0;
+};
+
+/// Parses a Chrome trace-event JSON document (the subset this writer
+/// emits plus tolerant skipping of unknown fields). Throws
+/// presp::ConfigError on malformed input.
+ParsedTrace parse_chrome_trace(const std::string& text);
+/// parse_chrome_trace() from a file; throws presp::Error on I/O failure.
+ParsedTrace read_chrome_trace(const std::string& path);
+
+struct SpanStat {
+  std::string name;
+  std::string cat;
+  int pid = 0;
+  std::uint64_t count = 0;
+  double total_us = 0.0;  // inclusive
+  double self_us = 0.0;   // exclusive of child spans on the same track
+  double max_us = 0.0;    // longest single occurrence (inclusive)
+};
+
+struct CategoryStat {
+  std::string cat;
+  std::uint64_t events = 0;
+  double span_us = 0.0;  // summed inclusive duration of closed spans
+};
+
+struct TraceSummary {
+  std::uint64_t total_events = 0;
+  std::uint64_t spans = 0;      // matched begin/end pairs
+  std::uint64_t instants = 0;
+  std::uint64_t counters = 0;
+  std::uint64_t unmatched = 0;  // begins without end or vice versa
+  std::uint64_t dropped = 0;
+  double host_extent_us = 0.0;  // last host timestamp seen
+  double sim_extent_us = 0.0;   // last sim timestamp seen
+  std::vector<CategoryStat> categories;  // sorted by category name
+  std::vector<SpanStat> top_spans;       // sorted by self_us descending
+};
+
+TraceSummary summarize(const ParsedTrace& trace, std::size_t top_n = 15);
+std::string render_summary(const TraceSummary& summary);
+
+}  // namespace presp::trace

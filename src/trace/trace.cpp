@@ -1,0 +1,318 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace presp::trace {
+
+namespace {
+
+// Per-thread buffer cache: a thread re-acquires its buffer whenever the
+// session generation moves, so a writer that outlives a session can never
+// touch a buffer the session has already collected under a new config.
+struct ThreadCache {
+  TraceBuffer* buffer = nullptr;
+  std::uint64_t generation = 0;
+};
+thread_local ThreadCache t_cache;
+// Name announced via set_thread_name(); applied when the thread's buffer
+// is created, so naming works before a session starts.
+thread_local std::string t_thread_name;
+
+}  // namespace
+
+// ---------------------------------------------------------------- buffer
+
+/// One thread's event storage. Every append takes the buffer's own mutex:
+/// it is uncontended in steady state (only the owning thread appends) and
+/// only contends briefly with stop()'s collection sweep, which keeps the
+/// whole scheme TSan-clean without lock-free machinery.
+class TraceBuffer {
+ public:
+  TraceBuffer(std::size_t capacity, std::uint32_t tid,
+              std::uint64_t generation, std::string thread_name)
+      : capacity_(capacity),
+        tid_(tid),
+        generation_(generation),
+        thread_name_(std::move(thread_name)) {}
+
+  void append(TraceEvent event) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    event.tid = tid_;
+    event.seq = next_seq_++;
+    events_.push_back(std::move(event));
+  }
+
+  void set_name(std::string name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    thread_name_ = std::move(name);
+  }
+
+ private:
+  friend class TraceSession;
+
+  std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint32_t tid_;
+  std::uint64_t generation_;
+  std::string thread_name_;
+};
+
+// --------------------------------------------------------------- session
+
+TraceSession& TraceSession::instance() {
+  static TraceSession session;
+  return session;
+}
+
+void TraceSession::start(TraceConfig config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  detail::g_mask.store(0, std::memory_order_relaxed);
+  // Previous-generation buffers are deliberately kept alive (see class
+  // comment); the generation bump retires them from collection and from
+  // every thread-local cache.
+  sim_track_names_.clear();
+  // Pre-name the reserved sim tracks; tile and NoC-plane tracks are named
+  // lazily by their emitters.
+  sim_track_names_[kTrackRuntime] = "runtime manager";
+  sim_track_names_[kTrackSimKernel] = "sim kernel";
+  sim_track_names_[kTrackApp] = "app";
+  config_ = config;
+  next_tid_ = 0;
+  start_ns_.store(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count()),
+      std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);
+  detail::g_mask.store(config.categories, std::memory_order_release);
+}
+
+TraceReport TraceSession::stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  detail::g_mask.store(0, std::memory_order_release);
+  const std::uint64_t generation = generation_.load(std::memory_order_relaxed);
+
+  TraceReport report;
+  report.config = config_;
+  report.sim_track_names = sim_track_names_;
+  report.thread_names.resize(next_tid_);
+  for (auto& buffer : buffers_) {
+    if (buffer->generation_ != generation) continue;
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex_);
+    report.dropped += buffer->dropped_;
+    if (buffer->tid_ < report.thread_names.size()) {
+      report.thread_names[buffer->tid_] = buffer->thread_name_;
+    }
+    for (auto& event : buffer->events_) {
+      report.events.push_back(std::move(event));
+    }
+    buffer->events_.clear();
+    buffer->dropped_ = 0;
+  }
+  std::stable_sort(report.events.begin(), report.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.clock != b.clock) return a.clock < b.clock;
+                     if (a.timestamp != b.timestamp)
+                       return a.timestamp < b.timestamp;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.seq < b.seq;
+                   });
+  return report;
+}
+
+std::uint64_t TraceSession::events_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t generation = generation_.load(std::memory_order_relaxed);
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    if (buffer->generation_ != generation) continue;
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex_);
+    total += buffer->events_.size() + buffer->dropped_;
+  }
+  return total;
+}
+
+TraceBuffer* TraceSession::thread_buffer() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (detail::g_mask.load(std::memory_order_relaxed) == 0) return nullptr;
+  const std::uint64_t generation = generation_.load(std::memory_order_relaxed);
+  if (t_cache.buffer != nullptr && t_cache.generation == generation) {
+    return t_cache.buffer;
+  }
+  buffers_.push_back(std::make_unique<TraceBuffer>(
+      config_.buffer_capacity, next_tid_++, generation, t_thread_name));
+  t_cache.buffer = buffers_.back().get();
+  t_cache.generation = generation;
+  return t_cache.buffer;
+}
+
+void TraceSession::emit(Category category, Phase phase, ClockDomain clock,
+                        std::string name, std::uint64_t timestamp,
+                        std::uint32_t track, double value) {
+  // Fast path: the cached buffer is valid while the generation matches;
+  // no session lock is touched. A stale cache (session cycled) falls back
+  // to thread_buffer(), which registers a fresh buffer under the lock.
+  TraceBuffer* buffer = t_cache.buffer;
+  if (buffer == nullptr ||
+      t_cache.generation != generation_.load(std::memory_order_acquire)) {
+    buffer = thread_buffer();
+    if (buffer == nullptr) return;
+  }
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = phase;
+  event.clock = clock;
+  event.timestamp = timestamp;
+  event.track = track;
+  event.value = value;
+  buffer->append(std::move(event));
+}
+
+std::uint64_t TraceSession::host_now_ns() const {
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  const std::uint64_t origin = start_ns_.load(std::memory_order_relaxed);
+  return now >= origin ? now - origin : 0;
+}
+
+void TraceSession::name_current_thread(std::string name) {
+  t_thread_name = name;
+  if (detail::g_mask.load(std::memory_order_relaxed) == 0) return;
+  TraceBuffer* buffer = thread_buffer();
+  if (buffer != nullptr) buffer->set_name(std::move(name));
+}
+
+void TraceSession::name_sim_track(std::uint32_t track, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sim_track_names_[track] = std::move(name);
+}
+
+// ------------------------------------------------------------- emit API
+
+namespace {
+
+// Both helpers gate on the category mask, so call sites may emit
+// unconditionally; the disabled cost is the one relaxed load in enabled().
+void emit_host(Category category, Phase phase, std::string name,
+               double value) {
+  if (!enabled(category)) return;
+  auto& session = TraceSession::instance();
+  session.emit(category, phase, ClockDomain::kHost, std::move(name),
+               session.host_now_ns(), 0, value);
+}
+
+void emit_sim(Category category, Phase phase, std::string name,
+              std::uint64_t cycles, std::uint32_t track, double value) {
+  if (!enabled(category)) return;
+  TraceSession::instance().emit(category, phase, ClockDomain::kSim,
+                                std::move(name), cycles, track, value);
+}
+
+}  // namespace
+
+void begin(Category category, std::string name) {
+  emit_host(category, Phase::kBegin, std::move(name), 0.0);
+}
+
+void end(Category category, std::string name) {
+  emit_host(category, Phase::kEnd, std::move(name), 0.0);
+}
+
+void instant(Category category, std::string name, double value) {
+  emit_host(category, Phase::kInstant, std::move(name), value);
+}
+
+void counter(Category category, std::string name, double value) {
+  emit_host(category, Phase::kCounter, std::move(name), value);
+}
+
+void sim_begin(Category category, std::string name, std::uint64_t cycles,
+               std::uint32_t track, double value) {
+  emit_sim(category, Phase::kBegin, std::move(name), cycles, track, value);
+}
+
+void sim_end(Category category, std::string name, std::uint64_t cycles,
+             std::uint32_t track) {
+  emit_sim(category, Phase::kEnd, std::move(name), cycles, track, 0.0);
+}
+
+void sim_instant(Category category, std::string name, std::uint64_t cycles,
+                 std::uint32_t track, double value) {
+  emit_sim(category, Phase::kInstant, std::move(name), cycles, track, value);
+}
+
+void sim_counter(Category category, std::string name, std::uint64_t cycles,
+                 std::uint32_t track, double value) {
+  emit_sim(category, Phase::kCounter, std::move(name), cycles, track, value);
+}
+
+void set_thread_name(std::string name) {
+  TraceSession::instance().name_current_thread(std::move(name));
+}
+
+void set_sim_track_name(std::uint32_t track, std::string name) {
+  TraceSession::instance().name_sim_track(track, std::move(name));
+}
+
+// ------------------------------------------------------------ categories
+
+const char* to_string(Category category) {
+  switch (category) {
+    case Category::kSim: return "sim";
+    case Category::kNoc: return "noc";
+    case Category::kRuntime: return "runtime";
+    case Category::kExec: return "exec";
+    case Category::kFlow: return "flow";
+    case Category::kApp: return "app";
+  }
+  return "unknown";
+}
+
+std::uint32_t parse_categories(const std::string& csv) {
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string token = csv.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    if (token == "all") {
+      mask |= kAllCategories;
+    } else if (token == "default") {
+      mask |= kDefaultCategories;
+    } else if (token == "sim") {
+      mask |= static_cast<std::uint32_t>(Category::kSim);
+    } else if (token == "noc") {
+      mask |= static_cast<std::uint32_t>(Category::kNoc);
+    } else if (token == "runtime") {
+      mask |= static_cast<std::uint32_t>(Category::kRuntime);
+    } else if (token == "exec") {
+      mask |= static_cast<std::uint32_t>(Category::kExec);
+    } else if (token == "flow") {
+      mask |= static_cast<std::uint32_t>(Category::kFlow);
+    } else if (token == "app") {
+      mask |= static_cast<std::uint32_t>(Category::kApp);
+    } else {
+      throw ConfigError("unknown trace category '" + token +
+                        "' (expected sim,noc,runtime,exec,flow,app,all,"
+                        "default)");
+    }
+  }
+  return mask;
+}
+
+}  // namespace presp::trace

@@ -1,0 +1,230 @@
+// Cross-layer tracing: an always-compilable observability subsystem that
+// is near-zero-cost when disabled (one relaxed atomic load per
+// instrumentation site) and lock-light when enabled (each thread appends
+// to its own ring buffer under an uncontended mutex).
+//
+// Two clock domains coexist in one session:
+//   - kHost: steady-clock nanoseconds since session start. Flow stages,
+//     exec tasks and anything else that costs real machine time lands
+//     here, one Chrome track per emitting thread.
+//   - kSim:  the simulation kernel's virtual time in cycles. Runtime
+//     manager request lifecycles, NoC channel counters and per-frame
+//     application spans land here, one Chrome track per tile (or one of
+//     the reserved kTrack* rows below). Sim events are emitted only by
+//     the single-threaded kernel, so their sequence is deterministic
+//     run-to-run regardless of host scheduling.
+//
+// Events are buffered per thread (bounded capacity, drop-and-count on
+// overflow) and merged into a TraceReport at stop(); export.hpp turns the
+// report into Chrome chrome://tracing JSON or a plain-text summary.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace presp::trace {
+
+// ------------------------------------------------------------ categories
+
+enum class Category : std::uint32_t {
+  kSim = 1u << 0,      // kernel event dispatch (high volume, opt-in)
+  kNoc = 1u << 1,      // per-plane channel counters
+  kRuntime = 1u << 2,  // reconfiguration request lifecycle
+  kExec = 1u << 3,     // thread pool / task graph
+  kFlow = 1u << 4,     // flow stages
+  kApp = 1u << 5,      // application (WAMI frames, golden verify)
+};
+
+inline constexpr std::uint32_t kAllCategories = 0x3Fu;
+/// kSim emits one event per executed kernel event — orders of magnitude
+/// more than every other category combined — so the default mask leaves
+/// it off and default-sized buffers never drop on the shipped examples.
+inline constexpr std::uint32_t kDefaultCategories =
+    kAllCategories & ~static_cast<std::uint32_t>(Category::kSim);
+
+const char* to_string(Category category);
+/// Parses a comma-separated category list ("runtime,noc,exec"), or the
+/// aliases "all" / "default". Throws presp::ConfigError on unknown names.
+std::uint32_t parse_categories(const std::string& csv);
+
+// ---------------------------------------------------- sim-domain tracks
+
+/// Sim-domain track ids (Chrome rows under the sim process). Tiles use
+/// their grid index directly; the reserved rows keep clear of any
+/// realistic mesh size.
+inline constexpr std::uint32_t kTrackNocBase = 200;   // + plane index
+inline constexpr std::uint32_t kTrackRuntime = 240;   // manager queue
+inline constexpr std::uint32_t kTrackSimKernel = 250; // event dispatch
+inline constexpr std::uint32_t kTrackApp = 252;       // frames
+
+// ---------------------------------------------------------------- events
+
+enum class Phase : std::uint8_t { kBegin, kEnd, kInstant, kCounter };
+enum class ClockDomain : std::uint8_t { kHost, kSim };
+
+struct TraceEvent {
+  std::string name;
+  Category category = Category::kApp;
+  Phase phase = Phase::kInstant;
+  ClockDomain clock = ClockDomain::kHost;
+  /// kHost: nanoseconds since session start. kSim: kernel cycles.
+  std::uint64_t timestamp = 0;
+  /// Sim-domain track id (tile index or a kTrack* row); host-domain
+  /// events are tracked by emitting thread instead.
+  std::uint32_t track = 0;
+  /// Counter value, or an optional numeric span/instant argument
+  /// (bitstream bytes, backoff cycles, ...).
+  double value = 0.0;
+  /// Stable small id of the emitting thread (filled at collection).
+  std::uint32_t tid = 0;
+  /// Per-buffer emission sequence (stable merge order).
+  std::uint64_t seq = 0;
+};
+
+struct TraceConfig {
+  /// Max events retained per emitting thread; once full, later events
+  /// are dropped and counted instead of growing memory.
+  std::size_t buffer_capacity = std::size_t{1} << 19;
+  std::uint32_t categories = kDefaultCategories;
+  /// Sim clock frequency the exporters use to place cycles on the
+  /// microsecond axis (the paper's VC707 SoC runs at 78 MHz).
+  double sim_clock_mhz = 78.0;
+};
+
+struct TraceReport {
+  TraceConfig config;
+  /// Merged events, sorted by (clock, timestamp, tid, seq).
+  std::vector<TraceEvent> events;
+  /// Events dropped across all buffers (overflow).
+  std::uint64_t dropped = 0;
+  /// Host thread names indexed by tid ("" when the thread never named
+  /// itself).
+  std::vector<std::string> thread_names;
+  /// Sim-domain track names ("tile 3", "noc dma-req", ...).
+  std::map<std::uint32_t, std::string> sim_track_names;
+};
+
+// --------------------------------------------------------------- session
+
+namespace detail {
+/// Category bitmask of the active session; 0 when tracing is off. The
+/// single relaxed load of this is the entire disabled-path cost of every
+/// instrumentation site.
+inline std::atomic<std::uint32_t> g_mask{0};
+}  // namespace detail
+
+/// True when the active session records `category`.
+inline bool enabled(Category category) {
+  return (detail::g_mask.load(std::memory_order_relaxed) &
+          static_cast<std::uint32_t>(category)) != 0;
+}
+inline bool active() {
+  return detail::g_mask.load(std::memory_order_relaxed) != 0;
+}
+
+class TraceBuffer;
+
+/// Global trace session. start() arms the category mask; emitters then
+/// append to per-thread buffers; stop() disarms, merges the current
+/// generation's buffers and returns the report. Buffers are never freed
+/// for the life of the process: a writer whose thread-local cache went
+/// stale (session cycled underneath it) harmlessly appends to its old
+/// generation's buffer, which no future stop() will collect — no
+/// use-after-free, no data race, at the cost of one retired buffer per
+/// emitting thread per session cycle.
+class TraceSession {
+ public:
+  static TraceSession& instance();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Starts a new session (stops and discards a still-active one).
+  void start(TraceConfig config = {});
+  /// Disarms tracing and returns everything recorded since start().
+  TraceReport stop();
+
+  /// Events recorded + dropped so far (approximate while active).
+  std::uint64_t events_recorded() const;
+
+  // Emitter interface (used by the free functions below).
+  void emit(Category category, Phase phase, ClockDomain clock,
+            std::string name, std::uint64_t timestamp, std::uint32_t track,
+            double value);
+  std::uint64_t host_now_ns() const;
+  void name_current_thread(std::string name);
+  void name_sim_track(std::uint32_t track, std::string name);
+
+ private:
+  TraceSession() = default;
+  TraceBuffer* thread_buffer();
+
+  mutable std::mutex mutex_;
+  TraceConfig config_;
+  /// Bumped by start(); pairs with the thread-local cache to invalidate
+  /// stale buffer pointers without ever freeing them.
+  std::atomic<std::uint64_t> generation_{0};
+  /// Session start on the steady clock, as ns since the clock's epoch.
+  std::atomic<std::uint64_t> start_ns_{0};
+  std::uint32_t next_tid_ = 0;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+  std::map<std::uint32_t, std::string> sim_track_names_;
+};
+
+// ------------------------------------------------------------- emit API
+
+/// Host-clock span/instant/counter events (timestamped internally).
+void begin(Category category, std::string name);
+void end(Category category, std::string name);
+void instant(Category category, std::string name, double value = 0.0);
+void counter(Category category, std::string name, double value);
+
+/// Sim-clock events: the caller passes the kernel's current cycle count
+/// and the sim track (tile index or kTrack* row) the event belongs to.
+void sim_begin(Category category, std::string name, std::uint64_t cycles,
+               std::uint32_t track, double value = 0.0);
+void sim_end(Category category, std::string name, std::uint64_t cycles,
+             std::uint32_t track);
+void sim_instant(Category category, std::string name, std::uint64_t cycles,
+                 std::uint32_t track, double value = 0.0);
+void sim_counter(Category category, std::string name, std::uint64_t cycles,
+                 std::uint32_t track, double value);
+
+/// Names the calling thread's host track ("worker-3", "main"). Cheap and
+/// callable any time (before or during a session).
+void set_thread_name(std::string name);
+/// Names a sim-domain track ("tile 4", "noc dma-req"). Idempotent.
+void set_sim_track_name(std::uint32_t track, std::string name);
+
+/// RAII host-clock span: emits begin at construction and end at
+/// destruction. Captures the enabled state once, so a span stays balanced
+/// even if the session stops mid-scope (the end is simply dropped with
+/// the rest of the unmatched data).
+class TraceScope {
+ public:
+  TraceScope(Category category, std::string name)
+      : category_(category), armed_(enabled(category)) {
+    if (armed_) {
+      name_ = std::move(name);
+      begin(category_, name_);
+    }
+  }
+  ~TraceScope() {
+    if (armed_) end(category_, name_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Category category_;
+  bool armed_;
+  std::string name_;
+};
+
+}  // namespace presp::trace

@@ -5,6 +5,7 @@
 
 #include "hls/estimator.hpp"
 #include "runtime/workqueue.hpp"
+#include "trace/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -452,6 +453,10 @@ WamiAppResult WamiApp::run() {
     const sim::Time t0 = kernel.now();
     const double j0 = soc_->total_joules();
     const auto reconf0 = soc_->aux().reconfigurations();
+    const bool tracing = trace::enabled(trace::Category::kApp);
+    if (tracing)
+      trace::sim_begin(trace::Category::kApp,
+                       "frame " + std::to_string(f), t0, trace::kTrackApp);
 
     for (int iter = 0; iter < iterations; ++iter)
       for (int k = 1; k <= kNumKernels; ++k)
@@ -464,6 +469,10 @@ WamiAppResult WamiApp::run() {
                   s.mask);
 
     kernel.run();  // frame completes when every process settles
+
+    if (tracing)
+      trace::sim_end(trace::Category::kApp, "frame " + std::to_string(f),
+                     kernel.now(), trace::kTrackApp);
 
     for (int iter = 0; iter < iterations; ++iter)
       for (int k = 1; k <= kNumKernels; ++k)

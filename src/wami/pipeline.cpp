@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "exec/thread_pool.hpp"
+#include "trace/trace.hpp"
 #include "util/error.hpp"
 
 namespace presp::wami {
@@ -33,12 +34,21 @@ PipelineFrameResult WamiPipeline::process_luma(ImageF gray) {
   }
 
   PipelineFrameResult result;
-  result.residual = lucas_kanade(*reference_, gray, params_,
-                                 options_.lk_iterations, pool());
+  {
+    const trace::TraceScope span(trace::Category::kExec, "task:wami:lk");
+    result.residual = lucas_kanade(*reference_, gray, params_,
+                                   options_.lk_iterations, pool());
+  }
   result.params = params_;
-  result.stabilized = warp_affine(gray, params_, pool());
-  result.change_mask =
-      change_detection(result.stabilized, *gmm_, 0.05f, 6.25f, 0.7f, pool());
+  {
+    const trace::TraceScope span(trace::Category::kExec, "task:wami:warp");
+    result.stabilized = warp_affine(gray, params_, pool());
+  }
+  {
+    const trace::TraceScope span(trace::Category::kExec, "task:wami:cd");
+    result.change_mask =
+        change_detection(result.stabilized, *gmm_, 0.05f, 6.25f, 0.7f, pool());
+  }
   for (const auto v : result.change_mask.pixels())
     result.changed_pixels += v;
   ++frames_;
@@ -64,7 +74,11 @@ std::vector<PipelineFrameResult> WamiPipeline::process_batch(
     if (i + 1 < frames.size()) {
       const ImageU16& bayer = frames[i + 1];
       if (pool() != nullptr) {
-        prefetch.run([&next, &bayer] { next = luma_from_bayer(bayer); });
+        prefetch.run([&next, &bayer] {
+          const trace::TraceScope span(trace::Category::kExec,
+                                       "task:wami:luma-prefetch");
+          next = luma_from_bayer(bayer);
+        });
       } else {
         next = luma_from_bayer(bayer);
       }

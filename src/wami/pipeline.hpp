@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "exec/thread_pool.hpp"
 #include "wami/kernels.hpp"
 
 namespace presp::wami {
@@ -56,6 +57,10 @@ class WamiPipeline {
       std::span<const ImageU16> frames);
 
   int frames_processed() const { return frames_; }
+  /// Worker-pool counters (all zero when running serial, i.e. no pool).
+  exec::ThreadPool::Stats pool_stats() const {
+    return pool_ ? pool_->stats() : exec::ThreadPool::Stats{};
+  }
   const AffineParams& params() const { return params_; }
   /// The registration template (first frame's luma); empty before the
   /// first call.

@@ -551,5 +551,117 @@ TEST(ShippedDesignsTest, SeededViolationExitsNonZeroThroughJson) {
   EXPECT_TRUE(has_error(parsed));
 }
 
+// ------------------------------------------------------- SARIF output
+
+TEST(SarifReportTest, SeededViolationRendersSarif) {
+  std::string text(kCleanSoc);
+  text.replace(text.find("fft,sort"), 8, "no_such_kernel");
+  const auto diags = run_lint(text);
+  ASSERT_TRUE(has_error(diags));
+  const std::string sarif = lint::render_sarif(diags);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"presp-lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"netlist.unknown-accelerator\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+}
+
+TEST(SarifReportTest, SeverityMappingAndProperties) {
+  const std::vector<Diagnostic> diags{
+      {"a.error", Severity::kError, {"f.cfg", 3, "obj"}, "broken", "fix it"},
+      {"b.warn", Severity::kWarning, {"f.cfg", 0, ""}, "iffy", ""},
+      {"c.info", Severity::kInfo, {"", 0, ""}, "fyi", ""},
+  };
+  const std::string sarif = lint::render_sarif(diags, "mytool");
+  EXPECT_NE(sarif.find("\"name\": \"mytool\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"warning\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"note\""), std::string::npos);
+  // Line 3 appears as a region; line 0 must not produce a region.
+  EXPECT_NE(sarif.find("\"startLine\": 3"), std::string::npos);
+  EXPECT_EQ(sarif.find("\"startLine\": 0"), std::string::npos);
+  EXPECT_NE(sarif.find("\"fixHint\": \"fix it\""), std::string::npos);
+  // Unlocated diagnostics anchor to the <memory> artifact.
+  EXPECT_NE(sarif.find("\"uri\": \"<memory>\""), std::string::npos);
+}
+
+// ------------------------------------------- floorplan artifact lint
+
+floorplan::FloorplanArtifact planned_artifact() {
+  const auto device = fabric::Device::vc707();
+  const floorplan::Floorplanner planner(device);
+  floorplan::FloorplanArtifact artifact;
+  artifact.design = "unit";
+  artifact.device = "vc707";
+  artifact.requests = {{"RT_1", {20'000, 20'000, 16, 32}},
+                       {"RT_2", {15'000, 15'000, 8, 16}}};
+  artifact.plan =
+      planner.plan(artifact.requests, {40'000, 40'000, 64, 64}, {});
+  return artifact;
+}
+
+TEST(FloorplanArtifactTest, JsonRoundTripPreservesEverything) {
+  const auto artifact = planned_artifact();
+  const auto parsed =
+      floorplan::parse_floorplan_json(
+          floorplan::render_floorplan_json(artifact));
+  EXPECT_EQ(parsed.design, artifact.design);
+  EXPECT_EQ(parsed.device, artifact.device);
+  ASSERT_EQ(parsed.requests.size(), artifact.requests.size());
+  ASSERT_EQ(parsed.plan.pblocks.size(), artifact.plan.pblocks.size());
+  for (std::size_t i = 0; i < parsed.requests.size(); ++i) {
+    EXPECT_EQ(parsed.requests[i].name, artifact.requests[i].name);
+    EXPECT_EQ(parsed.requests[i].demand.luts,
+              artifact.requests[i].demand.luts);
+    EXPECT_EQ(parsed.plan.pblocks[i].col_lo,
+              artifact.plan.pblocks[i].col_lo);
+    EXPECT_EQ(parsed.plan.pblocks[i].row_hi,
+              artifact.plan.pblocks[i].row_hi);
+  }
+  EXPECT_EQ(parsed.plan.static_capacity.luts,
+            artifact.plan.static_capacity.luts);
+}
+
+TEST(FloorplanArtifactTest, MalformedJsonThrows) {
+  EXPECT_THROW(floorplan::parse_floorplan_json("{\"design\": }"),
+               ConfigError);
+  EXPECT_THROW(floorplan::parse_floorplan_json("[]"), ConfigError);
+  // A partition missing its pblock leaves counts consistent (both sides
+  // get a default), but unknown fields must be rejected.
+  EXPECT_THROW(
+      floorplan::parse_floorplan_json("{\"bogus\": 1}"), ConfigError);
+}
+
+TEST(FloorplanArtifactLintTest, PlannedArtifactLintsClean) {
+  const auto diags = lint::lint_floorplan_artifact(planned_artifact());
+  EXPECT_TRUE(diags.empty()) << lint::render_text(diags);
+}
+
+TEST(FloorplanArtifactLintTest, SeededViolationsAreDetected) {
+  auto artifact = planned_artifact();
+  // Slam both pblocks onto the same rectangle: overlap, and (rectangle
+  // sized for RT_2) a capacity shortfall for RT_1's larger demand.
+  artifact.plan.pblocks[0] = artifact.plan.pblocks[1];
+  const auto diags = lint::lint_floorplan_artifact(artifact, "bad.json");
+  EXPECT_TRUE(has_rule(diags, "floorplan.region-overlap"));
+  for (const Diagnostic& d : diags) EXPECT_EQ(d.loc.file, "bad.json");
+}
+
+TEST(FloorplanArtifactLintTest, OffFabricPblockIsIllegalColumn) {
+  auto artifact = planned_artifact();
+  artifact.plan.pblocks[0].col_hi = 100'000;
+  const auto diags = lint::lint_floorplan_artifact(artifact);
+  EXPECT_TRUE(has_rule(diags, "floorplan.illegal-column"));
+}
+
+TEST(FloorplanArtifactLintTest, UnknownDeviceIsReportedNotFatal) {
+  auto artifact = planned_artifact();
+  artifact.device = "zynq7000";
+  const auto diags = lint::lint_floorplan_artifact(artifact);
+  EXPECT_TRUE(has_rule(diags, "config.unknown-device"));
+  // Device-independent checks still ran (no overlap in the good plan).
+  EXPECT_FALSE(has_rule(diags, "floorplan.region-overlap"));
+}
+
 }  // namespace
 }  // namespace presp

@@ -20,6 +20,8 @@
 #include "core/flow.hpp"
 #include "core/report.hpp"
 #include "lint/cli.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 #include "floorplan/visualize.hpp"
 #include "hls/library.hpp"
 #include "hls/spec_io.hpp"
@@ -37,7 +39,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <config.esp_config> [--no-physical] [--standard]\n"
                "          [--strategy serial|semi|fully] [--tau N]\n"
-               "          [--report <file>] [--out <dir>] [-v]\n",
+               "          [--report <file>] [--out <dir>] [-v]\n"
+               "          [--trace <out.json>] [--trace-categories <csv>]\n",
                argv0);
   return 2;
 }
@@ -61,6 +64,8 @@ int main(int argc, char** argv) {
 
   std::string config_path;
   std::string report_path;
+  std::string trace_path;
+  std::string trace_categories;
   core::FlowOptions options;
   bool run_standard = false;
   for (int i = 1; i < argc; ++i) {
@@ -83,6 +88,10 @@ int main(int argc, char** argv) {
       report_path = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
       options.artifacts_dir = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--trace-categories" && i + 1 < argc) {
+      trace_categories = argv[++i];
     } else if (!arg.empty() && arg[0] != '-' && config_path.empty()) {
       config_path = arg;
     } else {
@@ -115,8 +124,27 @@ int main(int argc, char** argv) {
                   static_cast<long long>(
                       lib.get(spec.name).resources.luts));
 
+    if (!trace_path.empty()) {
+      trace::TraceConfig trace_config;
+      if (!trace_categories.empty())
+        trace_config.categories = trace::parse_categories(trace_categories);
+      trace_config.sim_clock_mhz = config.clock_mhz;
+      trace::TraceSession::instance().start(trace_config);
+      trace::set_thread_name("main");
+    }
+
     const core::PrEspFlow flow(device, lib, options);
     const auto result = flow.run(config);
+
+    if (!trace_path.empty()) {
+      const trace::TraceReport report =
+          trace::TraceSession::instance().stop();
+      trace::write_chrome_trace(report, trace_path);
+      std::printf("trace: %zu events (%llu dropped) written to %s\n",
+                  report.events.size(),
+                  static_cast<unsigned long long>(report.dropped),
+                  trace_path.c_str());
+    }
 
     std::printf("design %s on %s\n", result.design.c_str(),
                 device.name().c_str());

@@ -1,0 +1,11 @@
+// presp-trace: inspect, summarize, and convert saved .trace.json files
+// produced by the --trace flags of presp-flow and the WAMI app.
+#include <string>
+#include <vector>
+
+#include "trace/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return presp::trace::run_trace_cli(args);
+}

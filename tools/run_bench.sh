@@ -3,7 +3,8 @@
 # parallel-vs-serial comparison (`--exec-compare`), which re-runs the DPR
 # flow and the WAMI pipeline at 1 and 8 pool threads, cross-checks output
 # checksums, and emits machine-readable BENCH_exec.json (speedup,
-# efficiency, task count) to seed the perf trajectory.
+# efficiency, task count, work-steal counters, and a metrics-registry
+# snapshot) to seed the perf trajectory.
 #
 # Usage: tools/run_bench.sh [out.json]
 # Environment:
@@ -26,5 +27,15 @@ if [ ! -x "$BENCH" ]; then
 fi
 
 "$BENCH" --exec-compare "$OUT"
+
+# The exec rows must carry the pool's steal/queue-depth observability
+# fields plus the aggregated metrics snapshot (see src/trace/metrics.hpp).
+for field in steals max_queue_depth metrics; do
+  if ! grep -q "\"$field\"" "$OUT"; then
+    echo "run_bench: $OUT is missing the \"$field\" field" >&2
+    exit 1
+  fi
+done
+
 echo "run_bench: results in $OUT"
 cat "$OUT"

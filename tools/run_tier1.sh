@@ -4,13 +4,17 @@
 #
 #   - presp-lint must report zero errors on examples/configs/*.esp_config
 #     (the shipped designs are the lint suite's own clean fixtures);
+#   - a trace smoke: presp-flow runs a shipped example with --trace, the
+#     resulting Chrome JSON must summarize cleanly through presp-trace
+#     with zero dropped events;
 #   - an ASan+UBSan build runs the full ctest suite, so memory and
 #     undefined-behavior bugs fail the gate even when the plain build
 #     happens not to crash;
-#   - a ThreadSanitizer build runs the exec unit tests and the
-#     serial/parallel determinism test, so data races in the pool, the
-#     task graph, the log, or the pooled kernels fail the gate even when
-#     the plain build happens to schedule around them.
+#   - a ThreadSanitizer build runs the exec unit tests, the
+#     serial/parallel determinism test, and the trace tests (concurrent
+#     emitters), so data races in the pool, the task graph, the log, the
+#     pooled kernels, or the trace buffers fail the gate even when the
+#     plain build happens to schedule around them.
 #
 # Usage: tools/run_tier1.sh
 # Environment:
@@ -42,6 +46,19 @@ lint_out=$("$LINT_BIN" examples/configs/*.esp_config) || {
 lint_summary=$(printf '%s\n' "$lint_out" | tail -n 1)
 echo "tier-1 lint summary: $lint_rules rule(s) checked, $lint_summary"
 
+echo "== tier-1: trace smoke (presp-flow --trace + presp-trace) =="
+TRACE_OUT="$BUILD_DIR/tier1_trace.json"
+"$BUILD_DIR/tools/presp-flow" examples/configs/soc_2.esp_config \
+    --trace "$TRACE_OUT" >/dev/null
+trace_summary=$("$BUILD_DIR/tools/presp-trace" summarize "$TRACE_OUT")
+printf '%s\n' "$trace_summary" | head -n 4
+printf '%s\n' "$trace_summary" | grep -q 'dropped events: 0' || {
+  echo "tier-1: trace smoke dropped events (buffer overflow?)"
+  exit 1
+}
+"$BUILD_DIR/tools/presp-trace" inspect "$TRACE_OUT" >/dev/null
+echo "tier-1 trace smoke: summarize + inspect clean, zero drops"
+
 if [ "${SKIP_ASAN:-0}" = "1" ]; then
   echo "tier-1: ASan+UBSan stage skipped (SKIP_ASAN=1)"
 else
@@ -55,11 +72,13 @@ fi
 if [ "${SKIP_TSAN:-0}" = "1" ]; then
   echo "tier-1: TSan stage skipped (SKIP_TSAN=1)"
 else
-  echo "== tier-1: ThreadSanitizer (exec engine) =="
+  echo "== tier-1: ThreadSanitizer (exec engine + trace) =="
   cmake -B "$TSAN_BUILD_DIR" -S . -DPRESP_SANITIZE=thread >/dev/null
-  cmake --build "$TSAN_BUILD_DIR" --target exec_test exec_determinism_test -j
+  cmake --build "$TSAN_BUILD_DIR" \
+      --target exec_test exec_determinism_test trace_test -j
   "$TSAN_BUILD_DIR"/tests/exec_test
   "$TSAN_BUILD_DIR"/tests/exec_determinism_test
+  "$TSAN_BUILD_DIR"/tests/trace_test
 fi
 
 echo "tier-1: all stages passed ($lint_rules lint rule(s), $lint_summary)"
