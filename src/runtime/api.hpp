@@ -55,6 +55,19 @@ class DprApi {
     return manager_.ensure_module(tile, module, done);
   }
 
+  /// Cache warm-up hint: pulls (tile, module)'s partial bitstream from
+  /// its async source into kernel DRAM ahead of the reconfiguration that
+  /// will need it, without touching the fabric. Fire-and-forget; a no-op
+  /// for eager stores. `done` triggers once the image is resident.
+  sim::Process prefetch(int tile, const std::string& module,
+                        sim::SimEvent& done) {
+    return store_.prefetch(soc_.kernel(), tile, module, done);
+  }
+
+  /// Fire-and-forget variant for pipelining application code: the warmed
+  /// image just stays in cache until the next acquire.
+  sim::Process prefetch(int tile, std::string module);
+
  private:
   soc::Soc& soc_;
   ReconfigurationManager& manager_;

@@ -51,7 +51,49 @@ ReconfigurationManager::ReconfigurationManager(soc::Soc& soc,
                                                BitstreamStore& store,
                                                ManagerOptions options)
     : soc_(soc), store_(store), options_(options),
-      health_(options.health), prc_lock_(soc.kernel(), 1) {}
+      health_(options.health), prc_lock_(soc.kernel(), 1),
+      fetch_lock_(soc.kernel(), 1),
+      staging_sem_(soc.kernel(),
+                   static_cast<std::uint32_t>(
+                       std::max(options.staging_slots, 1))),
+      reg_lock_(soc.kernel(), 1) {}
+
+sim::Mailbox<std::uint64_t>& ReconfigurationManager::aux_box(int tile) {
+  auto it = aux_boxes_.find(tile);
+  if (it == aux_boxes_.end()) {
+    it = aux_boxes_
+             .emplace(tile, std::make_unique<sim::Mailbox<std::uint64_t>>(
+                                soc_.kernel()))
+             .first;
+  }
+  return *it->second;
+}
+
+void ReconfigurationManager::start_irq_pump() {
+  if (irq_pump_started_) return;
+  irq_pump_started_ = true;
+  aux_irq_pump();
+}
+
+sim::Process ReconfigurationManager::aux_irq_pump() {
+  // Forwards every aux-tile interrupt to the per-target mailbox. With the
+  // fetch and program stages of different requests in flight at once, two
+  // coroutines would otherwise block on the shared IRQ mailbox and the
+  // front waiter would swallow the other's completion.
+  auto& aux_irq = soc_.cpu().irq_from(soc_.aux_tile_index());
+  while (true) {
+    const std::uint64_t payload = co_await aux_irq.receive();
+    aux_box(static_cast<int>(payload >> 8)).send(payload);
+  }
+}
+
+sim::Process ReconfigurationManager::reconfigure_locked(
+    int tile, std::string module, Completion& done) {
+  return options_.pipelined ? reconfigure_pipelined(tile, std::move(module),
+                                                    done)
+                            : reconfigure_serial(tile, std::move(module),
+                                                 done);
+}
 
 sim::Semaphore& ReconfigurationManager::tile_lock(int tile) {
   auto it = tile_locks_.find(tile);
@@ -82,7 +124,7 @@ int ReconfigurationManager::route_tile(int tile, const std::string& module) {
   return fallback;
 }
 
-sim::Process ReconfigurationManager::reconfigure_locked(
+sim::Process ReconfigurationManager::reconfigure_serial(
     int tile, std::string module, Completion& done) {
   auto& kernel = soc_.kernel();
   const sim::Time requested = kernel.now();
@@ -112,7 +154,13 @@ sim::Process ReconfigurationManager::reconfigure_locked(
   auto& cpu = soc_.cpu();
   const int aux = soc_.aux_tile_index();
   auto& aux_irq = cpu.irq_from(aux);
-  const BitstreamImage& image = store_.get(tile, module);
+
+  // Pin the image DRAM-resident for the whole transfer (synchronous for
+  // eager stores; a cache miss waits out the source fetch here).
+  StoreTicket ticket(kernel);
+  store_.acquire(kernel, tile, module, ticket);
+  co_await ticket.done.wait();
+  const BitstreamImage image = ticket.image;
 
   // Watchdog deadline: generous multiple of the nominal transfer time, so
   // a firing means the controller is wedged, not merely slow.
@@ -298,6 +346,7 @@ sim::Process ReconfigurationManager::reconfigure_locked(
     trace_queue_depth(kernel, queue_depth_);
     if (trace::enabled(kTrc))
       trace::sim_end(kTrc, span_label, kernel.now(), track);
+    store_.release(tile, module);
     prc_lock_.release();
     done.complete(status, tile);
     co_return;
@@ -342,6 +391,7 @@ sim::Process ReconfigurationManager::reconfigure_locked(
     trace_queue_depth(kernel, queue_depth_);
     if (trace::enabled(kTrc))
       trace::sim_end(kTrc, span_label, kernel.now(), track);
+    store_.release(tile, module);
     prc_lock_.release();
     done.complete(status, tile);
     co_return;
@@ -376,7 +426,397 @@ sim::Process ReconfigurationManager::reconfigure_locked(
   trace_queue_depth(kernel, queue_depth_);
   if (trace::enabled(kTrc))
     trace::sim_end(kTrc, span_label, kernel.now(), track);
+  store_.release(tile, module);
   prc_lock_.release();
+  done.complete(RequestStatus::kOk, tile);
+}
+
+sim::Process ReconfigurationManager::reconfigure_pipelined(
+    int tile, std::string module, Completion& done) {
+  auto& kernel = soc_.kernel();
+  const sim::Time requested = kernel.now();
+  const std::uint32_t track = tile_track(tile);
+  const std::string span_label =
+      "reconfigure:" + (module.empty() ? std::string("(blank)") : module);
+  if (trace::enabled(kTrc)) {
+    trace::sim_begin(kTrc, span_label, requested, track);
+    trace::sim_begin(kTrc, "queued", requested, track);
+  }
+  ++queue_depth_;
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth_);
+  trace_queue_depth(kernel, queue_depth_);
+
+  start_irq_pump();
+  auto& cpu = soc_.cpu();
+  const int aux = soc_.aux_tile_index();
+  auto& irq = aux_box(tile);
+
+  co_await sim::Delay(kernel,
+                      static_cast<sim::Time>(
+                          options_.request_overhead_cycles));
+
+  // Source stage: pin the image DRAM-resident (cache fill / async read).
+  StoreTicket ticket(kernel);
+  store_.acquire(kernel, tile, module, ticket);
+  co_await ticket.done.wait();
+  const BitstreamImage image = ticket.image;
+
+  const auto watchdog = static_cast<sim::Time>(
+      options_.watchdog_reconf_base_cycles +
+      static_cast<long long>(
+          options_.watchdog_reconf_margin * static_cast<double>(image.bytes) /
+          soc_.options().icap_bytes_per_cycle));
+
+  // Admission into the bounded fetch->program buffer: at most
+  // staging_slots requests between fetch trigger and program completion.
+  co_await staging_sem_.acquire();
+
+  // 1. Decouple the tile's wrapper from its socket.
+  if (trace::enabled(kTrc))
+    trace::sim_begin(kTrc, "decouple", kernel.now(), track);
+  co_await cpu.write_reg(tile, soc::kRegDecouple, 1);
+  if (trace::enabled(kTrc))
+    trace::sim_end(kTrc, "decouple", kernel.now(), track);
+
+  RequestStatus status = RequestStatus::kOk;
+  sim::Time first_fire = 0;
+  int crc_attempts = 0;
+  int recoveries = 0;
+
+  // 2. Fetch stage: DMA + CRC into the DFX controller's staging buffer.
+  // Serialized on the fetch engine, but free to overlap another request's
+  // program stage — that is the whole point of the split transaction.
+  {
+    const sim::Time q0 = kernel.now();
+    co_await fetch_lock_.acquire();
+    stats_.prc_wait_cycles += static_cast<long long>(kernel.now() - q0);
+  }
+  const sim::Time start = kernel.now();
+  if (trace::enabled(kTrc)) trace::sim_end(kTrc, "queued", start, track);
+
+  bool fetched = false;
+  while (!fetched && status == RequestStatus::kOk) {
+    if (trace::enabled(kTrc)) {
+      trace::sim_begin(kTrc, "fetch", kernel.now(), track,
+                       static_cast<double>(image.bytes));
+    }
+    // The address/length/target registers are shared with the program
+    // stage of whatever request currently owns the ICAP; the register
+    // lock keeps the two write sequences from interleaving.
+    co_await reg_lock_.acquire();
+    co_await cpu.write_reg(aux, soc::kRegDfxcBsAddr, image.address);
+    co_await cpu.write_reg(aux, soc::kRegDfxcBsBytes, image.bytes);
+    co_await cpu.write_reg(aux, soc::kRegDfxcTarget,
+                           static_cast<std::uint64_t>(tile));
+    const std::uint64_t nack =
+        co_await cpu.write_reg(aux, soc::kRegDfxcFetch, 1);
+    reg_lock_.release();
+    if (nack == kAckRefused) {
+      ++stats_.dropped_trigger_retries;
+      if (trace::enabled(kTrc)) {
+        trace::sim_instant(kTrc, "fetch-nack", kernel.now(), track);
+        trace::sim_end(kTrc, "fetch", kernel.now(), track);
+      }
+      if (first_fire == 0) first_fire = kernel.now();
+      co_await cpu.write_reg(aux, soc::kRegDfxcFetchReset, 1);
+      if (++recoveries > options_.retry_budget) {
+        status = RequestStatus::kTimeout;
+      } else {
+        co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+      }
+      continue;
+    }
+
+    bool waiting = true;
+    while (waiting) {
+      const auto payload = co_await irq.receive_for(watchdog);
+      if (payload.has_value()) {
+        const std::uint64_t code = *payload & 0xFF;
+        if (code == soc::kIrqFetchDone) {
+          fetched = true;
+          waiting = false;
+        } else if (code == soc::kIrqReconfError) {
+          waiting = false;
+          ++stats_.crc_retries;
+          if (trace::enabled(kTrc))
+            trace::sim_instant(kTrc, "crc-retry", kernel.now(), track);
+          if (++crc_attempts >= options_.max_attempts)
+            status = RequestStatus::kCrcExhausted;
+        } else {
+          ++stats_.stray_irqs;  // a superseded attempt's late interrupt
+        }
+        continue;
+      }
+
+      // Watchdog fired: distinguish a lost interrupt from a wedged fetch
+      // engine via its own status register — never by resetting the
+      // program engine, whose transfer may be mid-flight.
+      waiting = false;
+      ++stats_.watchdog_fires;
+      if (trace::enabled(kTrc))
+        trace::sim_instant(kTrc, "watchdog", kernel.now(), track);
+      if (first_fire == 0) first_fire = kernel.now();
+      const std::uint64_t fetch_status =
+          co_await cpu.read_reg(aux, soc::kRegDfxcFetchStatus);
+      if (fetch_status == 0) {
+        ++stats_.lost_irq_recoveries;
+        if (trace::enabled(kTrc))
+          trace::sim_instant(kTrc, "lost-irq", kernel.now(), track);
+        fetched = true;
+      } else if (fetch_status == 2) {
+        ++stats_.crc_retries;
+        if (trace::enabled(kTrc))
+          trace::sim_instant(kTrc, "crc-retry", kernel.now(), track);
+        if (++crc_attempts >= options_.max_attempts)
+          status = RequestStatus::kCrcExhausted;
+      } else {
+        co_await cpu.write_reg(aux, soc::kRegDfxcFetchReset, 1);
+        if (++recoveries > options_.retry_budget) {
+          status = RequestStatus::kTimeout;
+        } else {
+          co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+        }
+      }
+      co_await sim::Delay(kernel,
+                          static_cast<sim::Time>(options_.irq_drain_cycles));
+      while (irq.try_receive().has_value()) ++stats_.stray_irqs;
+    }
+    if (trace::enabled(kTrc) && nack != kAckRefused)
+      trace::sim_end(kTrc, "fetch", kernel.now(), track);
+  }
+  fetch_lock_.release();
+  if (fetched) ++stats_.pipelined_fetches;
+
+  // 3. Program stage: stream the staged bitstream into the ICAP under the
+  // PRC lock. The controller sees the matching staged entry and skips the
+  // DMA + CRC it already did.
+  bool configured = false;
+  bool prc_held = false;
+  if (status == RequestStatus::kOk) {
+    const sim::Time p0 = kernel.now();
+    co_await prc_lock_.acquire();
+    prc_held = true;
+    stats_.prc_wait_cycles += static_cast<long long>(kernel.now() - p0);
+    while (!configured && status == RequestStatus::kOk) {
+      if (trace::enabled(kTrc)) {
+        trace::sim_begin(kTrc, "icap", kernel.now(), track,
+                         static_cast<double>(image.bytes));
+      }
+      co_await reg_lock_.acquire();
+      co_await cpu.write_reg(aux, soc::kRegDfxcBsAddr, image.address);
+      co_await cpu.write_reg(aux, soc::kRegDfxcBsBytes, image.bytes);
+      co_await cpu.write_reg(aux, soc::kRegDfxcTarget,
+                             static_cast<std::uint64_t>(tile));
+      const std::uint64_t nack =
+          co_await cpu.write_reg(aux, soc::kRegDfxcTrigger, 1);
+      reg_lock_.release();
+      if (nack == kAckRefused) {
+        ++stats_.dropped_trigger_retries;
+        if (trace::enabled(kTrc)) {
+          trace::sim_instant(kTrc, "trigger-nack", kernel.now(), track);
+          trace::sim_end(kTrc, "icap", kernel.now(), track);
+        }
+        if (first_fire == 0) first_fire = kernel.now();
+        co_await cpu.write_reg(aux, soc::kRegDfxcReset, 1);
+        if (++recoveries > options_.retry_budget) {
+          status = RequestStatus::kTimeout;
+        } else {
+          co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+        }
+        continue;
+      }
+
+      bool waiting = true;
+      while (waiting) {
+        const auto payload = co_await irq.receive_for(watchdog);
+        if (payload.has_value()) {
+          const std::uint64_t code = *payload & 0xFF;
+          if (code == soc::kIrqReconfDone) {
+            configured = true;
+            waiting = false;
+          } else if (code == soc::kIrqReconfError) {
+            waiting = false;
+            ++stats_.crc_retries;
+            if (trace::enabled(kTrc))
+              trace::sim_instant(kTrc, "crc-retry", kernel.now(), track);
+            if (++crc_attempts >= options_.max_attempts)
+              status = RequestStatus::kCrcExhausted;
+          } else {
+            ++stats_.stray_irqs;
+          }
+          continue;
+        }
+
+        waiting = false;
+        ++stats_.watchdog_fires;
+        if (trace::enabled(kTrc))
+          trace::sim_instant(kTrc, "watchdog", kernel.now(), track);
+        if (first_fire == 0) first_fire = kernel.now();
+        const std::uint64_t dfxc_status =
+            co_await cpu.read_reg(aux, soc::kRegDfxcStatus);
+        if (dfxc_status == 0) {
+          ++stats_.lost_irq_recoveries;
+          if (trace::enabled(kTrc))
+            trace::sim_instant(kTrc, "lost-irq", kernel.now(), track);
+          configured = true;
+        } else if (dfxc_status == 2) {
+          ++stats_.crc_retries;
+          if (trace::enabled(kTrc))
+            trace::sim_instant(kTrc, "crc-retry", kernel.now(), track);
+          if (++crc_attempts >= options_.max_attempts)
+            status = RequestStatus::kCrcExhausted;
+        } else {
+          co_await cpu.write_reg(aux, soc::kRegDfxcReset, 1);
+          if (++recoveries > options_.retry_budget) {
+            status = RequestStatus::kTimeout;
+          } else {
+            co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+          }
+        }
+        co_await sim::Delay(
+            kernel, static_cast<sim::Time>(options_.irq_drain_cycles));
+        while (irq.try_receive().has_value()) ++stats_.stray_irqs;
+      }
+      if (trace::enabled(kTrc))
+        trace::sim_end(kTrc, "icap", kernel.now(), track);
+    }
+  }
+
+  if (!configured) {
+    // Escalate exactly like the serial flow: quarantine, blank the
+    // partition with the greybox image (a combined transfer under the
+    // PRC lock), surface the status.
+    ++stats_.reconfigurations_failed;
+    if (health_.health(tile) != TileHealth::kQuarantined) {
+      health_.quarantine(tile);
+      ++stats_.quarantines;
+      if (trace::enabled(kTrc))
+        trace::sim_instant(kTrc, "quarantine", kernel.now(), track);
+    }
+    drivers_.erase(tile);
+    if (!prc_held) {
+      co_await prc_lock_.acquire();
+      prc_held = true;
+    }
+    if (!module.empty() && store_.has(tile, "")) {
+      const BitstreamImage& blank = store_.get(tile, "");
+      co_await reg_lock_.acquire();
+      co_await cpu.write_reg(aux, soc::kRegDfxcBsAddr, blank.address);
+      co_await cpu.write_reg(aux, soc::kRegDfxcBsBytes, blank.bytes);
+      co_await cpu.write_reg(aux, soc::kRegDfxcTarget,
+                             static_cast<std::uint64_t>(tile));
+      const std::uint64_t nack =
+          co_await cpu.write_reg(aux, soc::kRegDfxcTrigger, 1);
+      reg_lock_.release();
+      bool blanked = nack != kAckRefused;
+      while (blanked) {
+        const auto payload = co_await irq.receive_for(watchdog);
+        if (!payload.has_value()) {
+          // Best effort only: reset the controller, leave the tile
+          // decoupled.
+          ++stats_.watchdog_fires;
+          co_await cpu.write_reg(aux, soc::kRegDfxcReset, 1);
+          break;
+        }
+        const std::uint64_t code = *payload & 0xFF;
+        if (code == soc::kIrqReconfDone) {
+          co_await cpu.write_reg(tile, soc::kRegDecouple, 0);
+          break;
+        }
+        if (code == soc::kIrqReconfError) break;
+        ++stats_.stray_irqs;
+      }
+    }
+    if (first_fire != 0)
+      stats_.recovery_cycles +=
+          static_cast<long long>(kernel.now() - first_fire);
+    --queue_depth_;
+    trace_queue_depth(kernel, queue_depth_);
+    if (trace::enabled(kTrc))
+      trace::sim_end(kTrc, span_label, kernel.now(), track);
+    prc_lock_.release();
+    staging_sem_.release();
+    store_.release(tile, module);
+    done.complete(status, tile);
+    co_return;
+  }
+
+  // Programmed: the ICAP, the staging slot and the image pin are free for
+  // the next request before we even recouple.
+  prc_lock_.release();
+  staging_sem_.release();
+  store_.release(tile, module);
+
+  // 4. Re-enable the decoupler; an injected stuck-at fault nacks the
+  // release, retried with backoff.
+  if (trace::enabled(kTrc))
+    trace::sim_begin(kTrc, "recouple", kernel.now(), track);
+  int release_tries = 0;
+  while (status == RequestStatus::kOk) {
+    const std::uint64_t nack =
+        co_await cpu.write_reg(tile, soc::kRegDecouple, 0);
+    if (nack != kAckRefused) break;
+    ++stats_.stuck_decouple_retries;
+    if (trace::enabled(kTrc))
+      trace::sim_instant(kTrc, "stuck-decouple", kernel.now(), track);
+    if (first_fire == 0) first_fire = kernel.now();
+    if (++release_tries > options_.retry_budget) {
+      status = RequestStatus::kTimeout;
+      break;
+    }
+    co_await sim::Delay(kernel, backoff_cycles(options_, release_tries));
+  }
+  if (trace::enabled(kTrc))
+    trace::sim_end(kTrc, "recouple", kernel.now(), track);
+  if (status != RequestStatus::kOk) {
+    ++stats_.reconfigurations_failed;
+    if (health_.health(tile) != TileHealth::kQuarantined) {
+      health_.quarantine(tile);
+      ++stats_.quarantines;
+      if (trace::enabled(kTrc))
+        trace::sim_instant(kTrc, "quarantine", kernel.now(), track);
+    }
+    drivers_.erase(tile);
+    if (first_fire != 0)
+      stats_.recovery_cycles +=
+          static_cast<long long>(kernel.now() - first_fire);
+    --queue_depth_;
+    trace_queue_depth(kernel, queue_depth_);
+    if (trace::enabled(kTrc))
+      trace::sim_end(kTrc, span_label, kernel.now(), track);
+    done.complete(status, tile);
+    co_return;
+  }
+
+  // 5. Swap the accelerator driver.
+  if (trace::enabled(kTrc))
+    trace::sim_begin(kTrc, "driver-swap", kernel.now(), track);
+  co_await sim::Delay(kernel,
+                      static_cast<sim::Time>(options_.driver_swap_cycles));
+  if (module.empty()) {
+    drivers_.erase(tile);
+  } else {
+    drivers_[tile] = module;
+    ++stats_.driver_swaps;
+  }
+  if (trace::enabled(kTrc))
+    trace::sim_end(kTrc, "driver-swap", kernel.now(), track);
+
+  ++stats_.reconfigurations;
+  stats_.reconfiguration_cycles +=
+      static_cast<long long>(kernel.now() - start);
+  if (first_fire != 0)
+    stats_.recovery_cycles +=
+        static_cast<long long>(kernel.now() - first_fire);
+  if (recoveries > 0 || crc_attempts > 0 || release_tries > 0) {
+    health_.record_failure(tile);
+  } else {
+    health_.record_success(tile);
+  }
+  --queue_depth_;
+  trace_queue_depth(kernel, queue_depth_);
+  if (trace::enabled(kTrc))
+    trace::sim_end(kTrc, span_label, kernel.now(), track);
   done.complete(RequestStatus::kOk, tile);
 }
 
@@ -432,9 +872,16 @@ sim::Process ReconfigurationManager::verify_partition(int tile,
   if (trace::enabled(kTrc))
     trace::sim_begin(kTrc, "readback:" + module, kernel.now(), track);
   auto& cpu = soc_.cpu();
-  const BitstreamImage& image = store_.get(tile, module);
+  StoreTicket ticket(kernel);
+  store_.acquire(kernel, tile, module, ticket);
+  co_await ticket.done.wait();
+  const BitstreamImage image = ticket.image;
   const int aux = soc_.aux_tile_index();
-  auto& aux_irq = cpu.irq_from(aux);
+  // Once the pipelined flow's IRQ pump owns the raw aux stream, every
+  // waiter must go through its per-tile mailbox.
+  if (options_.pipelined) start_irq_pump();
+  auto& aux_irq =
+      options_.pipelined ? aux_box(tile) : cpu.irq_from(aux);
   const auto watchdog = static_cast<sim::Time>(
       options_.watchdog_reconf_base_cycles +
       static_cast<long long>(
@@ -446,11 +893,13 @@ sim::Process ReconfigurationManager::verify_partition(int tile,
   bool verified = false;
   *ok = false;
   while (!verified && status == RequestStatus::kOk) {
+    co_await reg_lock_.acquire();
     co_await cpu.write_reg(aux, soc::kRegDfxcBsAddr, image.address);
     co_await cpu.write_reg(aux, soc::kRegDfxcTarget,
                            static_cast<std::uint64_t>(tile));
     const std::uint64_t nack =
         co_await cpu.write_reg(aux, soc::kRegDfxcReadback, 1);
+    reg_lock_.release();
     if (nack == kAckRefused) {
       ++stats_.dropped_trigger_retries;
       co_await cpu.write_reg(aux, soc::kRegDfxcReset, 1);
@@ -504,6 +953,7 @@ sim::Process ReconfigurationManager::verify_partition(int tile,
   }
   if (trace::enabled(kTrc))
     trace::sim_end(kTrc, "readback:" + module, kernel.now(), track);
+  store_.release(tile, module);
   prc_lock_.release();
   tile_lock(tile).release();
   done.complete(status, tile);

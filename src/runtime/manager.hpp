@@ -107,6 +107,15 @@ struct ManagerOptions {
   int retry_budget = 3;
   /// Settle time after a recovery before stale interrupts are drained.
   long long irq_drain_cycles = 2'000;
+  /// Split each request into a fetch stage (DMA + CRC into the DFXC
+  /// staging buffer) and a program stage (ICAP streaming), so request
+  /// N+1's fetch overlaps request N's programming. false = the legacy
+  /// combined transfer (the serial baseline bench_micro compares
+  /// against).
+  bool pipelined = true;
+  /// Bounded fetch->program buffer depth (2 = double buffer). Should not
+  /// exceed SocOptions::dfxc_staging_slots.
+  int staging_slots = 2;
   TileHealthOptions health;
 };
 
@@ -117,6 +126,9 @@ struct ManagerStats {
   std::uint64_t reconfigurations_failed = 0;
   std::uint64_t runs = 0;
   std::uint64_t driver_swaps = 0;
+  /// Fetch stages completed by the pipelined flow (DMA+CRC staged in the
+  /// DFXC ahead of — possibly overlapping — another request's program).
+  std::uint64_t pipelined_fetches = 0;
   /// CRC failures detected by the DFX controller and retried.
   std::uint64_t crc_retries = 0;
   std::uint64_t readbacks = 0;
@@ -221,9 +233,26 @@ class ReconfigurationManager {
   /// Core reconfiguration sequence; caller must hold the tile lock.
   /// Never throws after its first suspension: failures surface through
   /// `done`, and on escalation the partition is blanked and the tile
-  /// quarantined before completion.
+  /// quarantined before completion. Dispatches to the pipelined
+  /// (split fetch/program) or serial (combined transfer) flow.
   sim::Process reconfigure_locked(int tile, std::string module,
                                   Completion& done);
+  /// Legacy combined DMA+ICAP transfer under prc_lock_.
+  sim::Process reconfigure_serial(int tile, std::string module,
+                                  Completion& done);
+  /// Split-transaction flow: the fetch stage (DMA + CRC into the DFXC
+  /// staging buffer, serialized on fetch_lock_) overlaps the previous
+  /// request's program stage (ICAP streaming under prc_lock_); a bounded
+  /// staging semaphore forms the double buffer between them.
+  sim::Process reconfigure_pipelined(int tile, std::string module,
+                                     Completion& done);
+  /// Demultiplexes the shared aux-tile IRQ stream into per-target
+  /// mailboxes so concurrently waiting fetch/program stages never steal
+  /// each other's completions. Started lazily by the first pipelined
+  /// operation; serial mode keeps waiting on the raw stream.
+  sim::Process aux_irq_pump();
+  void start_irq_pump();
+  sim::Mailbox<std::uint64_t>& aux_box(int tile);
   /// Picks a usable tile for (tile, module): the tile itself when
   /// usable, else a healthy tile already hosting — or reconfigurable
   /// to — the module. Returns -1 if none.
@@ -235,9 +264,20 @@ class ReconfigurationManager {
   ManagerOptions options_;
   ManagerStats stats_;
   TileHealthRegistry health_;
-  /// The single PRC/ICAP: the reconfiguration workqueue's serialization.
+  /// The single PRC/ICAP: in pipelined mode this guards only the program
+  /// (ICAP streaming) stage; in serial mode, the whole transfer.
   sim::Semaphore prc_lock_;
+  /// Serializes the DFXC fetch engine (one DMA+CRC in flight).
+  sim::Semaphore fetch_lock_;
+  /// Bounded fetch->program buffer: one credit per DFXC staging slot.
+  sim::Semaphore staging_sem_;
+  /// Guards the shared DFXC address/length/target register file so a
+  /// fetch-stage write sequence never interleaves with a program-stage
+  /// (or readback) one.
+  sim::Semaphore reg_lock_;
   std::map<int, std::unique_ptr<sim::Semaphore>> tile_locks_;
+  std::map<int, std::unique_ptr<sim::Mailbox<std::uint64_t>>> aux_boxes_;
+  bool irq_pump_started_ = false;
   std::map<int, std::string> drivers_;
   int queue_depth_ = 0;
   std::string no_driver_;

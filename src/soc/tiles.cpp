@@ -218,6 +218,7 @@ AuxTile::AuxTile(SocServices& services, Soc& soc, int index)
       soc_(soc),
       index_(index),
       dma_(services, index),
+      dma_lock_(services.kernel, 1),
       reset_box_(std::make_unique<sim::Mailbox<int>>(services.kernel)) {
   config_server();
 }
@@ -250,14 +251,35 @@ sim::Process AuxTile::config_server() {
                        static_cast<int>(regs_[kRegDfxcTarget]));
             }
           }
+        } else if (reg == kRegDfxcFetch) {
+          const int target = static_cast<int>(regs_[kRegDfxcTarget]);
+          const auto slots =
+              static_cast<std::size_t>(services_.options.dfxc_staging_slots);
+          if (regs_[kRegDfxcFetchStatus] == 1 ||
+              (staged_.size() >= slots && staged_.count(target) == 0)) {
+            // Fetch engine busy or staging buffer full: dropped, not
+            // queued, exactly like the combined trigger.
+            ++dropped_triggers_;
+            response = 1;
+          } else {
+            regs_[kRegDfxcFetchStatus] = 1;
+            fetch(regs_[kRegDfxcBsAddr], regs_[kRegDfxcBsBytes], target);
+          }
         } else if (reg == kRegDfxcReset) {
           // Abort any in-flight transfer and return to idle: bump the
           // epoch (resumed transfers observe it and die) and wake a
-          // wedged ICAP stream immediately.
+          // wedged ICAP stream immediately. Staged fetches and the fetch
+          // engine survive — the stages fail independently.
           ++resets_;
           ++epoch_;
           regs_[kRegDfxcStatus] = 0;
           reset_box_->send(1);
+        } else if (reg == kRegDfxcFetchReset) {
+          // Abort the in-flight fetch only; the program engine and the
+          // already-staged bitstreams are untouched.
+          ++resets_;
+          ++fetch_epoch_;
+          regs_[kRegDfxcFetchStatus] = 0;
         }
       } else {
         response = regs_[reg];
@@ -279,26 +301,45 @@ sim::Process AuxTile::reconfigure(std::uint64_t bs_addr,
   PRESP_ASSERT_MSG(blob.bytes == bs_bytes,
                    "DFXC: BS_BYTES does not match the registered blob");
 
-  // Fetch the partial bitstream from DRAM through the NoC...
-  const long long words =
-      static_cast<long long>((bs_bytes + 7) / 8);
-  sim::SimEvent fetched(services_.kernel);
-  dma_.read(bs_addr, words, fetched);
-  co_await fetched.wait();
-  if (epoch != epoch_) co_return;
-
-  // CRC check before anything touches the fabric: a corrupted transfer
-  // must never partially configure the partition. A poisoned NoC response
-  // burst fails the same check as a corrupted DRAM blob.
-  if (dma_.consume_poisoned() ||
-      services_.memory.consume_corruption(bs_addr)) {
-    ++crc_errors_;
-    regs_[kRegDfxcStatus] = 2;  // error
-    services_.noc.send({noc::Plane::kInterrupt, index_, services_.cpu_tile,
-                        1, static_cast<std::uint64_t>(index_),
-                        kIrqReconfError |
-                            (static_cast<std::uint64_t>(target) << 8)});
-    co_return;
+  // Split-transaction fast path: the bitstream was already fetched and
+  // CRC-checked into the staging buffer, go straight to the ICAP.
+  const auto staged_it = staged_.find(target);
+  const bool staged = staged_it != staged_.end() &&
+                      staged_it->second.addr == bs_addr &&
+                      staged_it->second.bytes == bs_bytes;
+  if (staged) {
+    ++staged_hits_;
+  } else {
+    // Fetch the partial bitstream from DRAM through the NoC. The DMA
+    // lock serializes against the fetch engine (one transaction
+    // outstanding per tile).
+    co_await dma_lock_.acquire();
+    if (epoch != epoch_) {
+      dma_lock_.release();
+      co_return;
+    }
+    const long long words =
+        static_cast<long long>((bs_bytes + 7) / 8);
+    sim::SimEvent fetched(services_.kernel);
+    dma_.read(bs_addr, words, fetched);
+    co_await fetched.wait();
+    // CRC check before anything touches the fabric: a corrupted transfer
+    // must never partially configure the partition. A poisoned NoC
+    // response burst fails the same check as a corrupted DRAM blob.
+    const bool crc_failed = dma_.consume_poisoned() ||
+                            services_.memory.consume_corruption(bs_addr);
+    dma_lock_.release();
+    if (epoch != epoch_) co_return;
+    if (crc_failed) {
+      ++crc_errors_;
+      regs_[kRegDfxcStatus] = 2;  // error
+      services_.noc.send({noc::Plane::kInterrupt, index_,
+                          services_.cpu_tile, 1,
+                          static_cast<std::uint64_t>(index_),
+                          kIrqReconfError |
+                              (static_cast<std::uint64_t>(target) << 8)});
+      co_return;
+    }
   }
 
   // Injected ICAP stall: the write stream wedges before the first word.
@@ -333,6 +374,7 @@ sim::Process AuxTile::reconfigure(std::uint64_t bs_addr,
 
   // The fabric now holds the new module (empty name = blanking image).
   soc_.load_module(target, blob.module);
+  if (staged) staged_.erase(target);
   ++reconfigurations_;
   icap_bytes_ += bs_bytes;
   regs_[kRegDfxcStatus] = 0;
@@ -342,6 +384,52 @@ sim::Process AuxTile::reconfigure(std::uint64_t bs_addr,
   services_.noc.send({noc::Plane::kInterrupt, index_, services_.cpu_tile, 1,
                       static_cast<std::uint64_t>(index_),
                       kIrqReconfDone |
+                          (static_cast<std::uint64_t>(target) << 8)});
+}
+
+sim::Process AuxTile::fetch(std::uint64_t bs_addr, std::uint64_t bs_bytes,
+                            int target) {
+  // Same abort discipline as reconfigure(), but against the fetch
+  // engine's own epoch: a program-engine reset never kills a fetch and
+  // vice versa.
+  const std::uint64_t epoch = fetch_epoch_;
+  const BitstreamBlob& blob = services_.memory.blob_at(bs_addr);
+  PRESP_ASSERT_MSG(blob.bytes == bs_bytes,
+                   "DFXC: BS_BYTES does not match the registered blob");
+
+  co_await dma_lock_.acquire();
+  if (epoch != fetch_epoch_) {
+    dma_lock_.release();
+    co_return;
+  }
+  const long long words = static_cast<long long>((bs_bytes + 7) / 8);
+  sim::SimEvent fetched(services_.kernel);
+  dma_.read(bs_addr, words, fetched);
+  co_await fetched.wait();
+  const bool crc_failed = dma_.consume_poisoned() ||
+                          services_.memory.consume_corruption(bs_addr);
+  dma_lock_.release();
+  if (epoch != fetch_epoch_) co_return;
+
+  if (crc_failed) {
+    // The staging slot is never written from a failed transfer: an
+    // in-flight program of the previous request keeps streaming its own
+    // (already checked) bitstream untouched.
+    ++crc_errors_;
+    regs_[kRegDfxcFetchStatus] = 2;  // error
+    services_.noc.send({noc::Plane::kInterrupt, index_, services_.cpu_tile,
+                        1, static_cast<std::uint64_t>(index_),
+                        kIrqReconfError |
+                            (static_cast<std::uint64_t>(target) << 8)});
+    co_return;
+  }
+
+  staged_[target] = StagedBitstream{bs_addr, bs_bytes};
+  ++fetches_;
+  regs_[kRegDfxcFetchStatus] = 0;
+  services_.noc.send({noc::Plane::kInterrupt, index_, services_.cpu_tile, 1,
+                      static_cast<std::uint64_t>(index_),
+                      kIrqFetchDone |
                           (static_cast<std::uint64_t>(target) << 8)});
 }
 

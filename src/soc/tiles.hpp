@@ -55,7 +55,23 @@ inline constexpr std::uint32_t kRegDfxcReadback = 21;
 inline constexpr std::uint32_t kRegDfxcVerify = 22;  // 1 pass, 2 fail
 /// Write 1: abort any in-flight transfer and return the DFXC to idle —
 /// the recovery handle the runtime watchdog uses on ICAP stalls / hangs.
+/// Resets the combined/program engine only; staged fetches and the fetch
+/// engine (below) are untouched, so recovering one stage never corrupts
+/// the other's in-flight work.
 inline constexpr std::uint32_t kRegDfxcReset = 23;
+/// Split-transaction support: write 1 to fetch the bitstream at
+/// BS_ADDR/BS_BYTES into an internal staging slot keyed by TARGET (DMA +
+/// CRC only, nothing touches the fabric). A later DFXC_TRIGGER for the
+/// same TARGET/BS_ADDR then skips the DMA and streams straight into the
+/// ICAP — the hardware half of the runtime's fetch/program pipeline.
+/// Nacked (ack payload 1) while a fetch is in flight or the staging
+/// buffer is full.
+inline constexpr std::uint32_t kRegDfxcFetch = 24;
+/// Fetch-engine status: 0 idle/done, 1 busy, 2 CRC error.
+inline constexpr std::uint32_t kRegDfxcFetchStatus = 25;
+/// Write 1: abort the in-flight fetch and return the fetch engine to
+/// idle. Independent of kRegDfxcReset for the same isolation reason.
+inline constexpr std::uint32_t kRegDfxcFetchReset = 26;
 
 // STATUS values.
 inline constexpr std::uint64_t kStatusIdle = 0;
@@ -70,6 +86,9 @@ inline constexpr std::uint64_t kIrqReconfDone = 2;
 inline constexpr std::uint64_t kIrqReconfError = 3;
 /// Readback verification finished; result in DFXC_VERIFY.
 inline constexpr std::uint64_t kIrqReadbackDone = 4;
+/// A split-transaction fetch (kRegDfxcFetch) staged its bitstream; the
+/// payload carries the target tile like the reconfiguration interrupts.
+inline constexpr std::uint64_t kIrqFetchDone = 5;
 
 struct SocOptions {
   MemoryOptions memory;
@@ -85,6 +104,9 @@ struct SocOptions {
   /// Cycles an injected accelerator hang wedges the datapath before the
   /// frame is abandoned (a partition rewrite aborts it immediately).
   long long fault_accel_hang_cycles = 1'000'000'000;
+  /// Staging slots in the DFX controller's split-transaction fetch buffer
+  /// (2 = double buffer: one bitstream programming, one fetching).
+  int dfxc_staging_slots = 2;
 };
 
 class Soc;  // forward
@@ -240,29 +262,58 @@ class AuxTile {
   std::uint64_t resets() const { return resets_; }
   /// Injected ICAP stalls observed (wedged transfers).
   std::uint64_t icap_stalls() const { return icap_stalls_; }
+  /// Split-transaction fetches staged (kRegDfxcFetch accepted + done).
+  std::uint64_t fetches() const { return fetches_; }
+  /// Program triggers that found their bitstream staged and skipped the
+  /// DMA — the count of pipelined (fetch-overlapped) reconfigurations.
+  std::uint64_t staged_hits() const { return staged_hits_; }
+  /// Bitstreams currently held in the staging buffer.
+  std::size_t staged_count() const { return staged_.size(); }
 
  private:
   sim::Process config_server();
   sim::Process reconfigure(std::uint64_t bs_addr, std::uint64_t bs_bytes,
                            int target);
+  /// Split-transaction fetch: DMA + CRC into the staging buffer.
+  sim::Process fetch(std::uint64_t bs_addr, std::uint64_t bs_bytes,
+                     int target);
   /// Reads the target partition's frames back through the ICAP and
   /// compares against the golden image registered at bs_addr.
   sim::Process readback(std::uint64_t bs_addr, int target);
+
+  /// A fetched-and-CRC-checked bitstream parked in the controller,
+  /// keyed by target tile. Survives program-engine resets (retry reuses
+  /// it); consumed by the successful program trigger.
+  struct StagedBitstream {
+    std::uint64_t addr = 0;
+    std::uint64_t bytes = 0;
+  };
 
   SocServices& services_;
   Soc& soc_;
   int index_;
   DmaPort dma_;
+  /// One DMA transaction outstanding per tile (the responses share one
+  /// NoC mailbox), so the fetch engine and a legacy combined transfer
+  /// serialize their DMA phases here. ICAP streaming happens outside the
+  /// lock — that is the overlap the split transaction buys.
+  sim::Semaphore dma_lock_;
   std::array<std::uint64_t, 32> regs_{};
+  std::map<int, StagedBitstream> staged_;
   std::uint64_t reconfigurations_ = 0;
   std::uint64_t icap_bytes_ = 0;
   std::uint64_t crc_errors_ = 0;
   std::uint64_t dropped_triggers_ = 0;
   std::uint64_t resets_ = 0;
   std::uint64_t icap_stalls_ = 0;
+  std::uint64_t fetches_ = 0;
+  std::uint64_t staged_hits_ = 0;
   /// Bumped by kRegDfxcReset; in-flight transfers abort when they observe
   /// a newer epoch after resuming.
   std::uint64_t epoch_ = 0;
+  /// Bumped by kRegDfxcFetchReset; independent so aborting one engine
+  /// never kills the other's in-flight work.
+  std::uint64_t fetch_epoch_ = 0;
   /// Wakes a wedged (stalled) transfer early on reset.
   std::unique_ptr<sim::Mailbox<int>> reset_box_;
 };

@@ -1,0 +1,338 @@
+// Pipelined bitstream-store tests: fetch/program overlap (request N+1's
+// DMA fetch runs while request N streams through the ICAP), LRU cache
+// accounting and pin-blocking, fault isolation between the two pipeline
+// stages, bit-identical WAMI output with prefetch on/off, and the
+// asynchronous file-backed source round trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "runtime/manager.hpp"
+#include "trace/trace.hpp"
+#include "wami/app.hpp"
+
+namespace presp::runtime {
+namespace {
+
+const char* kSocText = R"(
+[soc]
+name = store_sim
+device = vc707
+rows = 2
+cols = 3
+
+[tiles]
+r0c0 = cpu
+r0c1 = mem
+r0c2 = aux
+r1c0 = reconf:acc_a,acc_b
+r1c1 = reconf:acc_a,acc_c
+r1c2 = empty
+)";
+
+soc::AcceleratorRegistry test_registry() {
+  soc::AcceleratorRegistry registry;
+  for (const char* name : {"acc_a", "acc_b", "acc_c"}) {
+    soc::AcceleratorSpec spec;
+    spec.name = name;
+    spec.luts = 15'000;
+    spec.latency.items_per_beat = 1;
+    spec.latency.ii = 3;
+    spec.latency.startup_cycles = 40;
+    spec.latency.words_in_per_item = 1.0;
+    spec.latency.words_out_per_item = 0.5;
+    registry.add(spec);
+  }
+  return registry;
+}
+
+constexpr std::size_t kPbsBytes = 250'000;
+
+class StoreFixture : public ::testing::Test {
+ protected:
+  explicit StoreFixture(ManagerOptions options = {})
+      : registry_(test_registry()),
+        soc_(netlist::SocConfig::parse(kSocText), registry_),
+        store_(soc_.memory()),
+        manager_(soc_, store_, options) {
+    for (const int tile : {3, 4})
+      for (const char* module : {"acc_a", "acc_b", "acc_c"})
+        store_.add(tile, module, kPbsBytes);
+  }
+
+  soc::AcceleratorRegistry registry_;
+  soc::Soc soc_;
+  BitstreamStore store_;
+  ReconfigurationManager manager_;
+};
+
+// ------------------------------------------------- fetch/program overlap
+
+/// Loads one module on each reconfigurable tile (both requests issued in
+/// the same cycle) and returns the total simulated time.
+sim::Time run_two_tile_workload(bool pipelined) {
+  auto registry = test_registry();
+  soc::Soc soc(netlist::SocConfig::parse(kSocText), registry);
+  BitstreamStore store(soc.memory());
+  for (const int tile : {3, 4})
+    for (const char* module : {"acc_a", "acc_b", "acc_c"})
+      store.add(tile, module, kPbsBytes);
+  ManagerOptions options;
+  options.pipelined = pipelined;
+  ReconfigurationManager manager(soc, store, options);
+
+  Completion d1(soc.kernel());
+  Completion d2(soc.kernel());
+  manager.ensure_module(3, "acc_a", d1);
+  manager.ensure_module(4, "acc_c", d2);
+  soc.kernel().run();
+  EXPECT_TRUE(d1.ok());
+  EXPECT_TRUE(d2.ok());
+  EXPECT_EQ(manager.stats().pipelined_fetches, pipelined ? 2u : 0u);
+  return soc.kernel().now();
+}
+
+TEST(StorePipelineTest, PipelinedModeBeatsSerialOnConcurrentRequests) {
+  const sim::Time serial = run_two_tile_workload(false);
+  const sim::Time pipelined = run_two_tile_workload(true);
+  EXPECT_LT(pipelined, serial);
+}
+
+TEST_F(StoreFixture, NextRequestFetchStartsBeforePreviousProgramEnds) {
+  trace::TraceConfig config;
+  config.categories = static_cast<std::uint32_t>(trace::Category::kRuntime);
+  trace::TraceSession::instance().start(config);
+
+  Completion d1(soc_.kernel());
+  Completion d2(soc_.kernel());
+  manager_.ensure_module(3, "acc_a", d1);
+  manager_.ensure_module(4, "acc_c", d2);
+  soc_.kernel().run();
+
+  const trace::TraceReport report = trace::TraceSession::instance().stop();
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+
+  // Per tile track: when its fetch span opens and its ICAP span closes.
+  std::map<std::uint32_t, std::uint64_t> fetch_begin;
+  std::map<std::uint32_t, std::uint64_t> icap_end;
+  for (const trace::TraceEvent& event : report.events) {
+    if (event.clock != trace::ClockDomain::kSim) continue;
+    if (event.name == "fetch" && event.phase == trace::Phase::kBegin &&
+        fetch_begin.find(event.track) == fetch_begin.end()) {
+      fetch_begin[event.track] = event.timestamp;
+    }
+    if (event.name == "icap" && event.phase == trace::Phase::kEnd) {
+      icap_end[event.track] = event.timestamp;
+    }
+  }
+  ASSERT_EQ(fetch_begin.size(), 2u);
+  ASSERT_EQ(icap_end.size(), 2u);
+
+  // Request N = the one whose ICAP finishes first; request N+1 = the
+  // other. The pipeline must have started N+1's DMA fetch strictly
+  // before N's programming completed.
+  const auto first_done = std::min_element(
+      icap_end.begin(), icap_end.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  for (const auto& [track, begin] : fetch_begin) {
+    if (track == first_done->first) continue;
+    EXPECT_LT(begin, first_done->second)
+        << "tile track " << track
+        << " did not overlap its fetch with the in-flight program stage";
+  }
+  EXPECT_EQ(manager_.stats().pipelined_fetches, 2u);
+}
+
+// ----------------------------------------------------- fault isolation
+
+TEST_F(StoreFixture, FaultInjectedMidFetchLeavesInFlightProgramUntouched) {
+  // Corrupt tile 4's bitstream: its fetch-stage CRC check trips once
+  // while tile 3's program stage is in flight. Tile 4 must recover by
+  // re-fetching; tile 3 must complete as if nothing happened.
+  soc_.memory().corrupt_blob(store_.get(4, "acc_c").address);
+
+  Completion d1(soc_.kernel());
+  Completion d2(soc_.kernel());
+  manager_.ensure_module(3, "acc_a", d1);
+  manager_.ensure_module(4, "acc_c", d2);
+  soc_.kernel().run();
+
+  EXPECT_TRUE(d1.ok());
+  EXPECT_TRUE(d2.ok());
+  EXPECT_EQ(manager_.stats().crc_retries, 1u);
+  EXPECT_EQ(manager_.stats().reconfigurations, 2u);
+  EXPECT_EQ(manager_.stats().reconfigurations_failed, 0u);
+  EXPECT_EQ(soc_.reconf_tile(3).module(), "acc_a");
+  EXPECT_EQ(soc_.reconf_tile(4).module(), "acc_c");
+}
+
+// ------------------------------------------------------ LRU accounting
+
+TEST(StoreCacheTest, LruEvictionHitAccountingAndPinBlocking) {
+  sim::Kernel kernel;
+  soc::MainMemory memory;
+  StoreOptions options;
+  options.cache_slots = 2;
+  BitstreamStore store(memory, options);
+
+  constexpr std::size_t kBytes = 4096;
+  std::map<std::string, std::vector<std::uint8_t>> payloads;
+  for (const char* module : {"acc_a", "acc_b", "acc_c"}) {
+    std::vector<std::uint8_t> payload(kBytes);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+      payload[i] = static_cast<std::uint8_t>((i * 7 + module[4]) & 0xff);
+    store.add(0, module, kBytes, payload);
+    payloads[module] = std::move(payload);
+  }
+
+  StoreTicket blocked(kernel);
+  bool driver_done = false;
+  auto driver = [&]() -> sim::Process {
+    // Miss: acc_a fills slot 0; the payload must land in DRAM verbatim.
+    StoreTicket t1(kernel);
+    store.acquire(kernel, 0, "acc_a", t1);
+    co_await t1.done.wait();
+    const auto bytes = memory.bytes(t1.image.address, kBytes);
+    EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(),
+                           payloads["acc_a"].begin()));
+    store.release(0, "acc_a");
+
+    // Hit: still resident, no second fetch.
+    StoreTicket t2(kernel);
+    store.acquire(kernel, 0, "acc_a", t2);
+    co_await t2.done.wait();
+    store.release(0, "acc_a");
+    EXPECT_EQ(store.stats().hits, 1u);
+
+    // Misses pinning both slots: acc_c must evict the LRU (acc_a).
+    StoreTicket t3(kernel);
+    StoreTicket t4(kernel);
+    store.acquire(kernel, 0, "acc_b", t3);
+    co_await t3.done.wait();
+    store.acquire(kernel, 0, "acc_c", t4);
+    co_await t4.done.wait();
+    EXPECT_FALSE(store.resident(0, "acc_a"));
+    EXPECT_TRUE(store.resident(0, "acc_b"));
+    EXPECT_TRUE(store.resident(0, "acc_c"));
+    EXPECT_EQ(store.stats().evictions, 1u);
+
+    // Both slots pinned: a further acquire must block on a slot credit.
+    store.acquire(kernel, 0, "acc_a", blocked);
+    co_await sim::Delay(kernel, 1'000'000);
+    EXPECT_FALSE(blocked.done.triggered());
+
+    // Unpinning acc_b frees a credit; the blocked acquire evicts it.
+    store.release(0, "acc_b");
+    co_await blocked.done.wait();
+    EXPECT_TRUE(store.resident(0, "acc_a"));
+    EXPECT_FALSE(store.resident(0, "acc_b"));
+    store.release(0, "acc_a");
+    store.release(0, "acc_c");
+    driver_done = true;
+  };
+  driver();
+  kernel.run();
+
+  ASSERT_TRUE(driver_done);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().misses, 4u);
+  EXPECT_EQ(store.stats().evictions, 2u);
+  EXPECT_EQ(store.stats().source_fetches, 4u);
+  EXPECT_EQ(store.stats().source_bytes, 4u * kBytes);
+}
+
+// --------------------------------------------------- WAMI prefetch parity
+
+TEST(StoreWamiTest, PrefetchProducesBitIdenticalOutput) {
+  wami::WamiAppOptions options;
+  options.frames = 2;
+  options.workload = {64, 64};
+  options.store.cache_slots = 4;
+
+  options.prefetch_next_kernel = false;
+  const auto baseline = [&] {
+    wami::WamiApp app('Y', options);
+    return app.run();
+  }();
+
+  options.prefetch_next_kernel = true;
+  wami::WamiApp prefetching('Y', options);
+  const auto warmed = prefetching.run();
+
+  EXPECT_TRUE(baseline.all_verified);
+  EXPECT_TRUE(warmed.all_verified);
+  EXPECT_EQ(warmed.params, baseline.params);
+  EXPECT_EQ(warmed.frames.size(), baseline.frames.size());
+  // Prefetch actually warmed the cache: some acquisitions became hits.
+  EXPECT_GT(prefetching.store().stats().hits, 0u);
+}
+
+// ------------------------------------------------- file-backed source
+
+TEST(BitstreamSourceTest, FileSourceAsyncRoundTrip) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "presp_store_test_pbs";
+  fs::remove_all(dir);
+
+  std::vector<std::uint8_t> payload(8192);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>((i * 31) & 0xff);
+
+  {
+    // Thread-pool path: the read really happens on a pool worker.
+    exec::ThreadPool pool(2);
+    FileBitstreamSource source(dir.string(), &pool);
+    source.store(3, "acc_a", payload);
+    EXPECT_EQ(source.fetch(3, "acc_a").get(), payload);
+    EXPECT_EQ(source.reads(), 1u);
+    EXPECT_GT(source.latency_cycles(payload.size()),
+              source.latency_cycles(0));
+  }
+  {
+    // std::async fallback path reads the same file back.
+    FileBitstreamSource source(dir.string());
+    EXPECT_EQ(source.fetch(3, "acc_a").get(), payload);
+    EXPECT_EQ(source.reads(), 1u);
+  }
+
+  // Cache miss through the store performs the real file read while the
+  // simulated clock models seek + streaming latency.
+  sim::Kernel kernel;
+  soc::MainMemory memory;
+  exec::ThreadPool pool(2);
+  FileBitstreamSource source(dir.string(), &pool);
+  StoreOptions options;
+  options.cache_slots = 1;
+  BitstreamStore store(memory, options, &source);
+  store.add(3, "acc_a", payload.size(), payload);
+
+  bool checked = false;
+  auto driver = [&]() -> sim::Process {
+    StoreTicket ticket(kernel);
+    const sim::Time before = kernel.now();
+    store.acquire(kernel, 3, "acc_a", ticket);
+    co_await ticket.done.wait();
+    EXPECT_GE(kernel.now() - before,
+              source.latency_cycles(payload.size()));
+    const auto bytes = memory.bytes(ticket.image.address, payload.size());
+    EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), payload.begin()));
+    store.release(3, "acc_a");
+    checked = true;
+  };
+  driver();
+  kernel.run();
+  ASSERT_TRUE(checked);
+  EXPECT_GE(source.reads(), 1u);
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace presp::runtime

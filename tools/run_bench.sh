@@ -1,22 +1,32 @@
 #!/usr/bin/env sh
-# Execution-engine perf gate: builds bench_micro and runs its
-# parallel-vs-serial comparison (`--exec-compare`), which re-runs the DPR
-# flow and the WAMI pipeline at 1 and 8 pool threads, cross-checks output
-# checksums, and emits machine-readable BENCH_exec.json (speedup,
-# efficiency, task count, work-steal counters, and a metrics-registry
-# snapshot) to seed the perf trajectory.
+# Perf gate: builds bench_micro and runs its two machine-readable
+# comparisons.
 #
-# Usage: tools/run_bench.sh [out.json]
+#   --exec-compare  parallel-vs-serial execution engine: re-runs the DPR
+#                   flow and the WAMI pipeline at 1 and 8 pool threads,
+#                   cross-checks output checksums, emits BENCH_exec.json
+#                   (speedup, efficiency, work-steal counters, bitstream
+#                   cache hit rate, metrics-registry snapshot).
+#   --store-compare serial-vs-pipelined bitstream store: a repeated
+#                   reconfiguration workload on one DFXC, comparing total
+#                   simulated cycles for the combined transfer, the split
+#                   fetch/program flow and the LRU cache on top; emits
+#                   BENCH_store.json and fails if the pipelined flow is
+#                   not faster.
+#
+# Usage: tools/run_bench.sh [out.json [store_out.json]]
 # Environment:
 #   BUILD_DIR  build directory to (re)use             (default: build)
 #   BENCH      path to bench_micro; skips the build   (default: unset)
 set -eu
 
 OUT=${1:-BENCH_exec.json}
+STORE_OUT=${2:-BENCH_store.json}
 BUILD_DIR=${BUILD_DIR:-build}
 
 if [ -z "${BENCH:-}" ]; then
-  cmake -B "$BUILD_DIR" -S . >/dev/null
+  # shellcheck disable=SC2086
+  cmake -B "$BUILD_DIR" -S . ${CONFIG_FLAGS:-} >/dev/null
   cmake --build "$BUILD_DIR" --target bench_micro -j >/dev/null
   BENCH=$BUILD_DIR/bench/bench_micro
 fi
@@ -27,15 +37,28 @@ if [ ! -x "$BENCH" ]; then
 fi
 
 "$BENCH" --exec-compare "$OUT"
+"$BENCH" --store-compare "$STORE_OUT"
 
 # The exec rows must carry the pool's steal/queue-depth observability
-# fields plus the aggregated metrics snapshot (see src/trace/metrics.hpp).
-for field in steals max_queue_depth metrics; do
+# fields, the store cache hit rate, and the aggregated metrics snapshot
+# (see src/trace/metrics.hpp).
+for field in speedup efficiency steals max_queue_depth cache_hit_rate \
+             metrics; do
   if ! grep -q "\"$field\"" "$OUT"; then
     echo "run_bench: $OUT is missing the \"$field\" field" >&2
     exit 1
   fi
 done
 
-echo "run_bench: results in $OUT"
+# The store comparison must carry the simulated-latency and cache fields.
+for field in serial_cycles pipelined_cycles speedup cache_hit_rate \
+             cache_evictions; do
+  if ! grep -q "\"$field\"" "$STORE_OUT"; then
+    echo "run_bench: $STORE_OUT is missing the \"$field\" field" >&2
+    exit 1
+  fi
+done
+
+echo "run_bench: results in $OUT and $STORE_OUT"
 cat "$OUT"
+cat "$STORE_OUT"

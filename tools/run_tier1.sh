@@ -1,84 +1,252 @@
 #!/usr/bin/env sh
-# Tier-1 verification: full build + ctest, a design-lint gate over every
-# shipped example configuration, then sanitizer passes:
+# Tier-1 verification, split into named stages so CI jobs and local runs
+# share one entry point:
 #
-#   - presp-lint must report zero errors on examples/configs/*.esp_config
-#     (the shipped designs are the lint suite's own clean fixtures);
-#   - a trace smoke: presp-flow runs a shipped example with --trace, the
-#     resulting Chrome JSON must summarize cleanly through presp-trace
-#     with zero dropped events;
-#   - an ASan+UBSan build runs the full ctest suite, so memory and
-#     undefined-behavior bugs fail the gate even when the plain build
-#     happens not to crash;
-#   - a ThreadSanitizer build runs the exec unit tests, the
-#     serial/parallel determinism test, and the trace tests (concurrent
-#     emitters), so data races in the pool, the task graph, the log, the
-#     pooled kernels, or the trace buffers fail the gate even when the
-#     plain build happens to schedule around them.
+#   build      full plain build + the complete ctest suite
+#   lint       presp-lint must report zero errors on every shipped
+#              examples/configs/*.esp_config (the designs double as the
+#              lint suite's clean fixtures)
+#   trace      trace smoke: presp-flow runs a shipped example with
+#              --trace and the Chrome JSON must summarize through
+#              presp-trace with zero dropped events
+#   workflows  .github/workflows/*.yml parse (actionlint when available,
+#              else a PyYAML structural check) and ci.yml's jobs must
+#              map 1:1 onto this script's stage names
+#   asan       AddressSanitizer+UBSan build running the full ctest suite
+#   tsan       ThreadSanitizer build running the exec unit tests, the
+#              serial/parallel determinism test and the trace tests
+#              (concurrent emitters)
 #
-# Usage: tools/run_tier1.sh
+# Usage: tools/run_tier1.sh [--stage <name>]...
+#   No --stage: every stage runs (minus SKIP_ASAN/SKIP_TSAN skips).
+#   --stage may repeat; stages run in the order given and the script
+#   exits non-zero if any selected stage fails.
+#
+# Every run writes a machine-readable per-stage summary (pass/fail +
+# wall-clock seconds) to $TIER1_SUMMARY (default: tier1_summary.json).
+#
 # Environment:
 #   BUILD_DIR       plain build directory    (default: build)
 #   ASAN_BUILD_DIR  ASan+UBSan build dir     (default: build-asan)
 #   TSAN_BUILD_DIR  TSan build directory     (default: build-tsan)
-#   SKIP_ASAN=1     skip the ASan+UBSan stage
-#   SKIP_TSAN=1     skip the TSan stage
-set -eu
+#   CONFIG_FLAGS    extra cmake configure flags for the plain build
+#                   (CI passes -DCMAKE_BUILD_TYPE and the ccache launcher)
+#   TIER1_SUMMARY   summary JSON path        (default: tier1_summary.json)
+#   SKIP_ASAN=1     drop the asan stage from the default selection
+#   SKIP_TSAN=1     drop the tsan stage from the default selection
+set -u
 
 BUILD_DIR=${BUILD_DIR:-build}
 ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
 TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
+CONFIG_FLAGS=${CONFIG_FLAGS:-}
+TIER1_SUMMARY=${TIER1_SUMMARY:-tier1_summary.json}
 
-echo "== tier-1: build + ctest =="
-cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" -j
-(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+ALL_STAGES="build lint trace workflows asan tsan"
 
-echo "== tier-1: design lint (presp-lint over examples/configs) =="
-LINT_BIN="$BUILD_DIR/tools/presp-lint"
-# Rule rows are "<layer>.<name> ..."; skips the header and footer lines.
-lint_rules=$("$LINT_BIN" --list-rules | grep -c '^[a-z]*\.')
-lint_out=$("$LINT_BIN" examples/configs/*.esp_config) || {
-  echo "$lint_out"
-  echo "tier-1: presp-lint reported errors on the shipped examples"
-  exit 1
+# ----------------------------------------------------------------- stages
+# Each stage body runs in a `set -e` subshell; any failing command fails
+# the stage, and the runner records it without aborting later stages.
+
+stage_build() {
+  # shellcheck disable=SC2086  # CONFIG_FLAGS is intentionally word-split
+  cmake -B "$BUILD_DIR" -S . $CONFIG_FLAGS >/dev/null
+  cmake --build "$BUILD_DIR" -j
+  (cd "$BUILD_DIR" && ctest --output-on-failure -j)
 }
-lint_summary=$(printf '%s\n' "$lint_out" | tail -n 1)
-echo "tier-1 lint summary: $lint_rules rule(s) checked, $lint_summary"
 
-echo "== tier-1: trace smoke (presp-flow --trace + presp-trace) =="
-TRACE_OUT="$BUILD_DIR/tier1_trace.json"
-"$BUILD_DIR/tools/presp-flow" examples/configs/soc_2.esp_config \
-    --trace "$TRACE_OUT" >/dev/null
-trace_summary=$("$BUILD_DIR/tools/presp-trace" summarize "$TRACE_OUT")
-printf '%s\n' "$trace_summary" | head -n 4
-printf '%s\n' "$trace_summary" | grep -q 'dropped events: 0' || {
-  echo "tier-1: trace smoke dropped events (buffer overflow?)"
-  exit 1
+stage_lint() {
+  LINT_BIN="$BUILD_DIR/tools/presp-lint"
+  [ -x "$LINT_BIN" ] || {
+    echo "tier-1: $LINT_BIN missing; run the build stage first" >&2
+    return 1
+  }
+  # Rule rows are "<layer>.<name> ..."; skips the header and footer lines.
+  lint_rules=$("$LINT_BIN" --list-rules | grep -c '^[a-z]*\.')
+  lint_out=$("$LINT_BIN" examples/configs/*.esp_config) || {
+    echo "$lint_out"
+    echo "tier-1: presp-lint reported errors on the shipped examples" >&2
+    return 1
+  }
+  lint_summary=$(printf '%s\n' "$lint_out" | tail -n 1)
+  echo "tier-1 lint: $lint_rules rule(s) checked, $lint_summary"
 }
-"$BUILD_DIR/tools/presp-trace" inspect "$TRACE_OUT" >/dev/null
-echo "tier-1 trace smoke: summarize + inspect clean, zero drops"
 
-if [ "${SKIP_ASAN:-0}" = "1" ]; then
-  echo "tier-1: ASan+UBSan stage skipped (SKIP_ASAN=1)"
-else
-  echo "== tier-1: AddressSanitizer + UBSan (full suite) =="
+stage_trace() {
+  TRACE_OUT="$BUILD_DIR/tier1_trace.json"
+  "$BUILD_DIR/tools/presp-flow" examples/configs/soc_2.esp_config \
+      --trace "$TRACE_OUT" >/dev/null
+  trace_summary=$("$BUILD_DIR/tools/presp-trace" summarize "$TRACE_OUT")
+  printf '%s\n' "$trace_summary" | head -n 4
+  printf '%s\n' "$trace_summary" | grep -q 'dropped events: 0' || {
+    echo "tier-1: trace smoke dropped events (buffer overflow?)" >&2
+    return 1
+  }
+  "$BUILD_DIR/tools/presp-trace" inspect "$TRACE_OUT" >/dev/null
+  echo "tier-1 trace: summarize + inspect clean, zero drops"
+}
+
+stage_workflows() {
+  WF_DIR=.github/workflows
+  [ -d "$WF_DIR" ] || {
+    echo "tier-1: no $WF_DIR directory" >&2
+    return 1
+  }
+  for wf in "$WF_DIR"/*.yml; do
+    if command -v actionlint >/dev/null 2>&1; then
+      actionlint "$wf"
+    elif command -v python3 >/dev/null 2>&1 &&
+        python3 -c 'import yaml' 2>/dev/null; then
+      python3 - "$wf" <<'PYEOF'
+import sys
+import yaml
+
+path = sys.argv[1]
+with open(path) as fh:
+    doc = yaml.safe_load(fh)
+assert isinstance(doc, dict), f"{path}: not a mapping"
+# PyYAML parses the bare `on:` trigger key as boolean True.
+assert "on" in doc or True in doc, f"{path}: no trigger (on:) block"
+jobs = doc.get("jobs")
+assert isinstance(jobs, dict) and jobs, f"{path}: no jobs"
+for name, job in jobs.items():
+    assert isinstance(job, dict), f"{path}: job {name} is not a mapping"
+    assert "runs-on" in job or "uses" in job, \
+        f"{path}: job {name} has neither runs-on nor uses"
+    if "steps" in job:
+        assert isinstance(job["steps"], list) and job["steps"], \
+            f"{path}: job {name} has an empty steps list"
+PYEOF
+    else
+      echo "tier-1: neither actionlint nor python3+pyyaml available" >&2
+      return 1
+    fi
+    echo "tier-1 workflows: $wf parses"
+  done
+
+  # ci.yml's jobs and this script's stages must map 1:1: every stage
+  # name appears as a --stage invocation, and every --stage invocation
+  # names a real stage.
+  CI_YML="$WF_DIR/ci.yml"
+  [ -f "$CI_YML" ] || {
+    echo "tier-1: $CI_YML missing" >&2
+    return 1
+  }
+  for s in $ALL_STAGES; do
+    grep -q -- "--stage $s" "$CI_YML" || {
+      echo "tier-1: $CI_YML never invokes run_tier1.sh --stage $s" >&2
+      return 1
+    }
+  done
+  for used in $(grep -o -- '--stage [a-z]*' "$CI_YML" |
+      awk '{print $2}' | sort -u); do
+    case " $ALL_STAGES " in
+      *" $used "*) ;;
+      *)
+        echo "tier-1: $CI_YML references unknown stage '$used'" >&2
+        return 1
+        ;;
+    esac
+  done
+  echo "tier-1 workflows: ci.yml stages map 1:1 onto run_tier1.sh stages"
+}
+
+stage_asan() {
   cmake -B "$ASAN_BUILD_DIR" -S . \
       -DPRESP_SANITIZE=address,undefined >/dev/null
   cmake --build "$ASAN_BUILD_DIR" -j
   (cd "$ASAN_BUILD_DIR" && ctest --output-on-failure -j)
-fi
+}
 
-if [ "${SKIP_TSAN:-0}" = "1" ]; then
-  echo "tier-1: TSan stage skipped (SKIP_TSAN=1)"
-else
-  echo "== tier-1: ThreadSanitizer (exec engine + trace) =="
+stage_tsan() {
   cmake -B "$TSAN_BUILD_DIR" -S . -DPRESP_SANITIZE=thread >/dev/null
   cmake --build "$TSAN_BUILD_DIR" \
       --target exec_test exec_determinism_test trace_test -j
   "$TSAN_BUILD_DIR"/tests/exec_test
   "$TSAN_BUILD_DIR"/tests/exec_determinism_test
   "$TSAN_BUILD_DIR"/tests/trace_test
+}
+
+# ----------------------------------------------------------------- runner
+
+usage() {
+  echo "Usage: tools/run_tier1.sh [--stage <name>]..."
+  echo "Stages: $ALL_STAGES"
+}
+
+SELECTED=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --stage)
+      [ $# -ge 2 ] || {
+        usage >&2
+        exit 2
+      }
+      case " $ALL_STAGES " in
+        *" $2 "*) SELECTED="$SELECTED $2" ;;
+        *)
+          echo "tier-1: unknown stage '$2' (stages: $ALL_STAGES)" >&2
+          exit 2
+          ;;
+      esac
+      shift 2
+      ;;
+    -h | --help)
+      usage
+      exit 0
+      ;;
+    *)
+      echo "tier-1: unknown argument '$1'" >&2
+      usage >&2
+      exit 2
+      ;;
+  esac
+done
+
+if [ -z "$SELECTED" ]; then
+  for s in $ALL_STAGES; do
+    if [ "$s" = asan ] && [ "${SKIP_ASAN:-0}" = "1" ]; then
+      echo "tier-1: asan stage skipped (SKIP_ASAN=1)"
+      continue
+    fi
+    if [ "$s" = tsan ] && [ "${SKIP_TSAN:-0}" = "1" ]; then
+      echo "tier-1: tsan stage skipped (SKIP_TSAN=1)"
+      continue
+    fi
+    SELECTED="$SELECTED $s"
+  done
 fi
 
-echo "tier-1: all stages passed ($lint_rules lint rule(s), $lint_summary)"
+summary_rows=""
+failed_stages=""
+overall=0
+for stage in $SELECTED; do
+  echo "== tier-1 stage: $stage =="
+  stage_start=$(date +%s)
+  if (
+    set -e
+    "stage_$stage"
+  ); then
+    status=pass
+  else
+    status=fail
+    overall=1
+    failed_stages="$failed_stages $stage"
+    echo "tier-1: stage '$stage' FAILED" >&2
+  fi
+  stage_seconds=$(($(date +%s) - stage_start))
+  summary_rows="$summary_rows{\"name\":\"$stage\",\
+\"status\":\"$status\",\"seconds\":$stage_seconds},"
+done
+
+[ $overall -eq 0 ] && passed=true || passed=false
+printf '{"stages":[%s],"passed":%s}\n' "${summary_rows%,}" "$passed" \
+    > "$TIER1_SUMMARY"
+echo "tier-1: summary written to $TIER1_SUMMARY"
+
+if [ $overall -ne 0 ]; then
+  echo "tier-1: FAILED stages:$failed_stages" >&2
+else
+  echo "tier-1: all selected stages passed (${SELECTED# })"
+fi
+exit $overall
