@@ -15,6 +15,8 @@ const char* to_string(FaultSite site) {
     case FaultSite::kAccelHang: return "accel-hang";
     case FaultSite::kSeuFlip: return "seu-flip";
     case FaultSite::kNocCorrupt: return "noc-corrupt";
+    case FaultSite::kShardStall: return "shard-stall";
+    case FaultSite::kBurstOverload: return "burst-overload";
   }
   return "?";
 }
@@ -63,6 +65,12 @@ bool FaultInjector::on_seu_check(int tile) {
 bool FaultInjector::on_noc_packet(int plane) {
   return fire(FaultSite::kNocCorrupt, -1, plane);
 }
+bool FaultInjector::on_shard_stall(int shard) {
+  return fire(FaultSite::kShardStall, shard, -1);
+}
+bool FaultInjector::on_burst_overload(int shard) {
+  return fire(FaultSite::kBurstOverload, shard, -1);
+}
 
 // ---------------------------------------------------------------------------
 
@@ -71,10 +79,14 @@ FaultPlan::FaultPlan(const FaultPlanOptions& options) : seed_(options.seed) {
   PRESP_REQUIRE(options.max_trigger_count >= 1,
                 "max_trigger_count must be at least 1");
 
+  // Fleet-level sites come last with zero default weight: the pick loop
+  // below subtracts weights in declaration order, so plans generated
+  // before those sites existed replay with identical schedules.
   const std::array<double, kNumFaultSites> weights = {
       options.mix.icap_stall,      options.mix.dfxc_hang,
       options.mix.decoupler_stuck, options.mix.accel_hang,
       options.mix.seu_flip,        options.mix.noc_corrupt,
+      options.mix.shard_stall,     options.mix.burst_overload,
   };
   double total_weight = 0.0;
   for (const double w : weights) {

@@ -16,6 +16,13 @@
 //   kAccelHang       — an accelerator run never raises its done interrupt
 //   kSeuFlip         — an SEU upsets a configured partition's frames
 //   kNocCorrupt      — the Nth packet on a NoC plane is poisoned
+//
+// Fleet-level sites (hooked by fleet::FleetManager, not the SoC model;
+// `tile` addresses the shard index instead of a tile):
+//   kShardStall      — a whole SoC shard stops making progress for a
+//                      while (control-plane wedge / host stall)
+//   kBurstOverload   — the open-loop client population bursts far above
+//                      its nominal arrival rate
 #pragma once
 
 #include <cstdint>
@@ -33,8 +40,14 @@ enum class FaultSite : std::uint8_t {
   kAccelHang,
   kSeuFlip,
   kNocCorrupt,
+  kShardStall,
+  kBurstOverload,
 };
-inline constexpr int kNumFaultSites = 6;
+inline constexpr int kNumFaultSites = 8;
+/// Sites hooked by the SoC model itself (the first six). WAMI-scale chaos
+/// soaks assert coverage over these; the fleet-level sites above only
+/// fire when a FleetManager is driving the hooks.
+inline constexpr int kNumSocFaultSites = 6;
 
 const char* to_string(FaultSite site);
 
@@ -95,6 +108,13 @@ class FaultInjector {
   /// NoC send path. True = poison this packet (receivers detect via
   /// Packet::poisoned and run their own recovery).
   bool on_noc_packet(int plane);
+  /// Fleet dispatcher, once per shard per scheduling quantum. True = the
+  /// shard stalls (stops making progress) for the fleet's configured
+  /// stall window.
+  bool on_shard_stall(int shard);
+  /// Synthetic load generator, once per arrival batch. True = the client
+  /// population bursts above its nominal open-loop rate.
+  bool on_burst_overload(int shard);
 
   const FaultInjectorStats& stats() const { return stats_; }
 
@@ -120,6 +140,10 @@ struct FaultMix {
   double accel_hang = 1.0;
   double seu_flip = 1.0;
   double noc_corrupt = 1.0;
+  /// Fleet-level sites default to 0 so SoC-scale plans (and their seeded
+  /// schedules) are unchanged; fleet soaks opt in explicitly.
+  double shard_stall = 0.0;
+  double burst_overload = 0.0;
 };
 
 struct FaultPlanOptions {

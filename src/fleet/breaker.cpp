@@ -1,0 +1,120 @@
+#include "fleet/breaker.hpp"
+
+#include <algorithm>
+
+namespace presp::fleet {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+void CircuitBreaker::transition(BreakerState to, sim::Time now) {
+  const BreakerState from = state_;
+  if (from == to) return;
+  state_ = to;
+  ++transitions_;
+  if (listener_) listener_(from, to, now);
+}
+
+long long CircuitBreaker::backoff_cycles() {
+  const int shift = std::min(std::max(open_streak_ - 1, 0), 16);
+  long long d = options_.open_base_cycles << shift;
+  d = std::min(d, options_.open_max_cycles);
+  if (options_.jitter <= 0.0 || d <= 0 || rng_ == nullptr) return d;
+  const double fraction = std::min(options_.jitter, 1.0);
+  const auto span = static_cast<long long>(fraction * static_cast<double>(d));
+  if (span <= 0) return d;
+  return d - span +
+         static_cast<long long>(rng_->next_below(
+             static_cast<std::uint64_t>(span) + 1));
+}
+
+void CircuitBreaker::open(sim::Time now) {
+  ++open_streak_;
+  reopen_at_ = now + static_cast<sim::Time>(backoff_cycles());
+  probes_in_flight_ = 0;
+  probe_successes_ = 0;
+  outcome_bits_ = 0;
+  outcome_count_ = 0;
+  outcome_head_ = 0;
+  failures_in_window_ = 0;
+  transition(BreakerState::kOpen, now);
+}
+
+bool CircuitBreaker::allow(sim::Time now) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now < reopen_at_) return false;
+      transition(BreakerState::kHalfOpen, now);
+      [[fallthrough]];
+    case BreakerState::kHalfOpen:
+      if (probes_in_flight_ >= options_.half_open_probes) return false;
+      ++probes_in_flight_;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success(sim::Time now) {
+  if (state_ == BreakerState::kHalfOpen) {
+    probes_in_flight_ = std::max(probes_in_flight_ - 1, 0);
+    if (++probe_successes_ >= options_.half_open_probes) {
+      open_streak_ = 0;
+      transition(BreakerState::kClosed, now);
+    }
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // stale completion
+  // Closed: slide the window.
+  const std::uint64_t mask = 1ull << outcome_head_;
+  if (outcome_count_ == options_.window && (outcome_bits_ & mask))
+    --failures_in_window_;
+  outcome_bits_ &= ~mask;
+  outcome_head_ = (outcome_head_ + 1) % options_.window;
+  outcome_count_ = std::min(outcome_count_ + 1, options_.window);
+}
+
+void CircuitBreaker::record_failure(sim::Time now) {
+  if (state_ == BreakerState::kHalfOpen) {
+    // A probe failed: the dependency is still sick; back off harder.
+    open(now);
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // stale completion
+  const std::uint64_t mask = 1ull << outcome_head_;
+  if (outcome_count_ == options_.window && (outcome_bits_ & mask))
+    --failures_in_window_;
+  outcome_bits_ |= mask;
+  ++failures_in_window_;
+  outcome_head_ = (outcome_head_ + 1) % options_.window;
+  outcome_count_ = std::min(outcome_count_ + 1, options_.window);
+  if (outcome_count_ >= options_.window &&
+      static_cast<double>(failures_in_window_) >=
+          options_.failure_threshold * static_cast<double>(options_.window)) {
+    open(now);
+  }
+}
+
+void CircuitBreaker::abandon() {
+  if (state_ == BreakerState::kHalfOpen)
+    probes_in_flight_ = std::max(probes_in_flight_ - 1, 0);
+}
+
+void CircuitBreaker::force_open(sim::Time now) {
+  if (state_ == BreakerState::kOpen) {
+    // Already open: extend the streak so the backoff keeps growing.
+    ++open_streak_;
+    reopen_at_ = now + static_cast<sim::Time>(backoff_cycles());
+    return;
+  }
+  open(now);
+}
+
+}  // namespace presp::fleet

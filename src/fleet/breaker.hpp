@@ -1,0 +1,95 @@
+// Circuit breaker for shards and tiles (DESIGN.md §13).
+//
+//            failure rate >= threshold over window
+//   closed ─────────────────────────────────────────> open
+//   open ──(backoff expires; jittered exponential)──> half-open
+//   half-open ──(probe successes)──────────────────-> closed
+//   half-open ──(any probe failure)────────────────-> open (backoff x2)
+//
+// The breaker never blocks a caller: allow() is a pure admission check the
+// fleet dispatcher consults when routing, so an open breaker diverts
+// traffic to healthy shards instead of queueing behind a sick one. All
+// time is fleet-clock cycles; the jitter stream is the fleet's seeded Rng,
+// so replays are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/kernel.hpp"
+#include "util/rng.hpp"
+
+namespace presp::fleet {
+
+enum class BreakerState : std::uint8_t { kClosed = 0, kOpen, kHalfOpen };
+
+const char* to_string(BreakerState state);
+
+struct BreakerOptions {
+  /// Open when failures/window >= threshold (with a full window).
+  double failure_threshold = 0.5;
+  /// Outcomes per evaluation window (also the minimum sample count).
+  int window = 8;
+  /// First open interval; doubles on every half-open probe failure.
+  long long open_base_cycles = 200'000;
+  long long open_max_cycles = 3'200'000;
+  /// Consecutive probe successes required to close from half-open.
+  int half_open_probes = 2;
+  /// Jitter fraction on the open interval (decorrelates probe storms).
+  double jitter = 0.5;
+};
+
+class CircuitBreaker {
+ public:
+  /// Observer invoked on every state transition. Must not call back into
+  /// the breaker.
+  using Listener = std::function<void(BreakerState from, BreakerState to,
+                                      sim::Time now)>;
+
+  /// `rng` feeds the backoff jitter; not owned, must outlive the breaker.
+  CircuitBreaker(BreakerOptions options, Rng* rng)
+      : options_(options), rng_(rng) {}
+
+  void set_listener(Listener listener) { listener_ = std::move(listener); }
+
+  BreakerState state() const { return state_; }
+
+  /// True if a request may pass now. Transitions open -> half-open when
+  /// the backoff has expired; in half-open, admits at most
+  /// half_open_probes concurrent probes.
+  bool allow(sim::Time now);
+
+  void record_success(sim::Time now);
+  void record_failure(sim::Time now);
+  /// Trips the breaker open immediately (tile quarantine, shard pulled).
+  void force_open(sim::Time now);
+  /// Returns an allow()ed half-open probe slot that was never dispatched
+  /// (the router admitted the shard but found no usable tile).
+  void abandon();
+
+  int consecutive_open_count() const { return open_streak_; }
+  std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  void transition(BreakerState to, sim::Time now);
+  void open(sim::Time now);
+  long long backoff_cycles();
+
+  BreakerOptions options_;
+  Rng* rng_;
+  BreakerState state_ = BreakerState::kClosed;
+  Listener listener_;
+  /// Ring of the last `window` outcomes (true = failure).
+  std::uint64_t outcome_bits_ = 0;
+  int outcome_count_ = 0;
+  int outcome_head_ = 0;
+  int failures_in_window_ = 0;
+  sim::Time reopen_at_ = 0;
+  /// Consecutive opens without an intervening close (drives backoff).
+  int open_streak_ = 0;
+  int probes_in_flight_ = 0;
+  int probe_successes_ = 0;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace presp::fleet

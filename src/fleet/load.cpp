@@ -1,0 +1,64 @@
+#include "fleet/load.hpp"
+
+#include "util/error.hpp"
+
+namespace presp::fleet {
+
+SyntheticLoad::SyntheticLoad(LoadOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  PRESP_REQUIRE(!options_.modules.empty(),
+                "synthetic load needs at least one module");
+  PRESP_REQUIRE(options_.arrivals_per_quantum >= 0.0,
+                "negative arrival rate");
+  PRESP_REQUIRE(options_.tenants >= 1, "need at least one tenant");
+  PRESP_REQUIRE(options_.min_items >= 1 &&
+                    options_.max_items >= options_.min_items,
+                "bad item range");
+}
+
+QosClass SyntheticLoad::pick_class() {
+  const double total = options_.mix_realtime + options_.mix_standard +
+                       options_.mix_besteffort;
+  double pick = rng_.next_double() * total;
+  if (pick < options_.mix_realtime) return QosClass::kRealtime;
+  pick -= options_.mix_realtime;
+  if (pick < options_.mix_standard) return QosClass::kStandard;
+  return QosClass::kBestEffort;
+}
+
+std::vector<FleetRequest> SyntheticLoad::generate(
+    sim::Time now, int burst_multiplier, fault::FaultInjector* injector) {
+  if (injector != nullptr && burst_remaining_ == 0 &&
+      injector->on_burst_overload(-1)) {
+    burst_remaining_ = options_.burst_quanta;
+  }
+  double expected = options_.arrivals_per_quantum;
+  if (burst_remaining_ > 0) {
+    expected *= static_cast<double>(burst_multiplier);
+    --burst_remaining_;
+  }
+  // Stochastic rounding: E[floor(x + U)] = x, so the long-run rate is
+  // exact while the per-quantum count varies with the seeded draw.
+  const auto count = static_cast<int>(expected + rng_.next_double());
+
+  std::vector<FleetRequest> batch;
+  batch.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    FleetRequest req;
+    req.id = ++next_id_;
+    req.tenant = static_cast<int>(
+        rng_.next_below(static_cast<std::uint64_t>(options_.tenants)));
+    req.cls = pick_class();
+    req.module = options_.modules[static_cast<std::size_t>(
+        rng_.next_below(options_.modules.size()))];
+    const auto span =
+        static_cast<std::uint64_t>(options_.max_items - options_.min_items);
+    req.items = options_.min_items +
+                static_cast<long long>(rng_.next_below(span + 1));
+    req.submitted_at = now;
+    batch.push_back(std::move(req));
+  }
+  return batch;
+}
+
+}  // namespace presp::fleet

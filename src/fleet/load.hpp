@@ -1,0 +1,58 @@
+// Open-loop synthetic client population: tenants request accelerator
+// swaps at a seeded arrival rate, independent of service completions
+// (open loop — the fleet cannot slow arrivals down, which is what makes
+// overload shedding necessary). kBurstOverload faults multiply the rate
+// for a window, modeling a misbehaving tenant population.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fleet/types.hpp"
+#include "util/rng.hpp"
+
+namespace presp::fleet {
+
+struct LoadOptions {
+  std::uint64_t seed = 1;
+  /// Mean arrivals per scheduling quantum across all classes.
+  double arrivals_per_quantum = 2.0;
+  /// Class mix weights (need not sum to 1).
+  double mix_realtime = 0.25;
+  double mix_standard = 0.5;
+  double mix_besteffort = 0.25;
+  /// Modules drawn uniformly per request; must be non-empty.
+  std::vector<std::string> modules;
+  int tenants = 16;
+  long long min_items = 64;
+  long long max_items = 512;
+  /// Quanta an injected burst overload lasts.
+  int burst_quanta = 4;
+};
+
+class SyntheticLoad {
+ public:
+  explicit SyntheticLoad(LoadOptions options);
+
+  /// One arrival batch (call once per quantum). `burst_multiplier` is
+  /// applied while an injected overload window is active; `injector` may
+  /// be null. Deadlines are left 0 — the fleet stamps them per class at
+  /// submit.
+  std::vector<FleetRequest> generate(sim::Time now, int burst_multiplier,
+                                     fault::FaultInjector* injector);
+
+  std::uint64_t generated() const { return next_id_; }
+  bool burst_active() const { return burst_remaining_ > 0; }
+
+ private:
+  QosClass pick_class();
+
+  LoadOptions options_;
+  Rng rng_;
+  std::uint64_t next_id_ = 0;
+  int burst_remaining_ = 0;
+};
+
+}  // namespace presp::fleet

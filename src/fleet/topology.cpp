@@ -1,0 +1,115 @@
+#include "fleet/topology.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace presp::fleet {
+
+const char* to_string(QosClass cls) {
+  switch (cls) {
+    case QosClass::kRealtime: return "realtime";
+    case QosClass::kStandard: return "standard";
+    case QosClass::kBestEffort: return "besteffort";
+  }
+  return "?";
+}
+
+const char* to_string(FleetError error) {
+  switch (error) {
+    case FleetError::kNone: return "none";
+    case FleetError::kThrottled: return "throttled";
+    case FleetError::kQueueFull: return "queue-full";
+    case FleetError::kDeadlineShed: return "deadline-shed";
+    case FleetError::kSaturated: return "saturated";
+    case FleetError::kShardUnavailable: return "shard-unavailable";
+    case FleetError::kExecFailed: return "exec-failed";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Parses "w, tokens, burst, bound, deadline"; missing trailing fields
+/// keep the defaults already in `params`.
+void parse_class(const std::string& text, QosClassParams& params) {
+  std::istringstream in(text);
+  std::string field;
+  int index = 0;
+  while (std::getline(in, field, ',') && index < 5) {
+    try {
+      switch (index) {
+        case 0: params.weight = std::stod(field); break;
+        case 1: params.tokens_per_quantum = std::stod(field); break;
+        case 2: params.burst = std::stod(field); break;
+        case 3: params.queue_bound = std::stoi(field); break;
+        case 4: params.deadline_quanta = std::stoll(field); break;
+      }
+    } catch (const std::exception&) {
+      throw ConfigError("malformed QoS class field '" + field + "'");
+    }
+    ++index;
+  }
+}
+
+}  // namespace
+
+FleetTopology FleetTopology::from_config(const Config& config) {
+  FleetTopology topo;
+  const std::string s = "fleet";
+  topo.shards = static_cast<int>(config.get_int_or(s, "shards", topo.shards));
+  topo.quantum_cycles =
+      config.get_int_or(s, "quantum_cycles", topo.quantum_cycles);
+  topo.coalesce_limit = static_cast<int>(
+      config.get_int_or(s, "coalesce_limit", topo.coalesce_limit));
+  topo.service_estimate_cycles = config.get_int_or(
+      s, "service_estimate_cycles", topo.service_estimate_cycles);
+  topo.fallback_latency_cycles = config.get_int_or(
+      s, "fallback_latency_cycles", topo.fallback_latency_cycles);
+  topo.stall_cycles = config.get_int_or(s, "stall_cycles", topo.stall_cycles);
+  topo.burst_multiplier = static_cast<int>(
+      config.get_int_or(s, "burst_multiplier", topo.burst_multiplier));
+  for (int c = 0; c < kNumQosClasses; ++c) {
+    const std::string key =
+        std::string("class_") + to_string(static_cast<QosClass>(c));
+    if (config.has(s, key)) parse_class(config.get(s, key), topo.classes[c]);
+  }
+  if (config.has(s, "breaker_failure_threshold"))
+    topo.breaker.failure_threshold =
+        config.get_double(s, "breaker_failure_threshold");
+  topo.breaker.window = static_cast<int>(
+      config.get_int_or(s, "breaker_window", topo.breaker.window));
+  topo.breaker.open_base_cycles = config.get_int_or(
+      s, "breaker_open_base_cycles", topo.breaker.open_base_cycles);
+  topo.breaker.open_max_cycles = config.get_int_or(
+      s, "breaker_open_max_cycles", topo.breaker.open_max_cycles);
+  topo.breaker.half_open_probes = static_cast<int>(config.get_int_or(
+      s, "breaker_half_open_probes", topo.breaker.half_open_probes));
+  return topo;
+}
+
+void FleetTopology::validate() const {
+  PRESP_REQUIRE(shards >= 1, "fleet needs at least one shard");
+  PRESP_REQUIRE(quantum_cycles > 0, "fleet quantum must be positive");
+  PRESP_REQUIRE(coalesce_limit >= 0, "negative coalesce limit");
+  double weight_sum = 0.0;
+  for (const QosClassParams& cls : classes) {
+    PRESP_REQUIRE(cls.weight >= 0.0, "negative QoS class weight");
+    PRESP_REQUIRE(cls.queue_bound > 0, "QoS queue bound must be positive");
+    PRESP_REQUIRE(cls.deadline_quanta > 0, "QoS deadline must be positive");
+    weight_sum += cls.weight;
+  }
+  PRESP_REQUIRE(weight_sum > 0.0, "QoS class weights sum to zero");
+  PRESP_REQUIRE(
+      breaker.failure_threshold > 0.0 && breaker.failure_threshold <= 1.0,
+      "breaker failure threshold must be in (0, 1]");
+  PRESP_REQUIRE(breaker.window >= 1 && breaker.window <= 64,
+                "breaker window must be in [1, 64]");
+  PRESP_REQUIRE(breaker.open_base_cycles > 0 &&
+                    breaker.open_max_cycles >= breaker.open_base_cycles,
+                "breaker backoff interval is empty");
+  PRESP_REQUIRE(breaker.half_open_probes >= 1,
+                "breaker needs at least one half-open probe");
+}
+
+}  // namespace presp::fleet

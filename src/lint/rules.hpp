@@ -16,6 +16,8 @@
 //             graph), decoupler/queue gating coverage
 //   runtime   bitstream manifest coverage, lock-acquisition ordering,
 //             retry/backoff tuning
+//   fleet     [fleet] topology sanity, QoS class weights and queue
+//             bounds, circuit-breaker tuning
 //   exec      task-graph cycles, undefined dependencies, unreachable
 //             tasks
 //   pnr       placement legality (emitted by pnr::verify_placement)

@@ -21,6 +21,13 @@ int TileHealthRegistry::consecutive_failures(int tile) const {
   return it == entries_.end() ? 0 : it->second.fail_streak;
 }
 
+void TileHealthRegistry::transition(int tile, Entry& entry, TileHealth to) {
+  const TileHealth from = entry.health;
+  if (from == to) return;
+  entry.health = to;
+  if (listener_) listener_(tile, from, to);
+}
+
 TileHealth TileHealthRegistry::record_failure(int tile) {
   Entry& entry = entries_[tile];
   ++stats_.failures;
@@ -28,10 +35,10 @@ TileHealth TileHealthRegistry::record_failure(int tile) {
   ++entry.fail_streak;
   if (entry.health == TileHealth::kHealthy &&
       entry.fail_streak >= options_.degrade_after) {
-    entry.health = TileHealth::kDegraded;
+    transition(tile, entry, TileHealth::kDegraded);
   } else if (entry.health == TileHealth::kDegraded &&
              entry.fail_streak >= options_.quarantine_after) {
-    entry.health = TileHealth::kQuarantined;
+    transition(tile, entry, TileHealth::kQuarantined);
     ++stats_.quarantines;
   }
   return entry.health;
@@ -44,24 +51,24 @@ void TileHealthRegistry::record_success(int tile) {
   ++entry.success_streak;
   if (entry.health == TileHealth::kDegraded &&
       entry.success_streak >= options_.recover_after) {
-    entry.health = TileHealth::kHealthy;
+    transition(tile, entry, TileHealth::kHealthy);
   }
 }
 
 void TileHealthRegistry::quarantine(int tile) {
   Entry& entry = entries_[tile];
   if (entry.health == TileHealth::kQuarantined) return;
-  entry.health = TileHealth::kQuarantined;
   entry.success_streak = 0;
+  transition(tile, entry, TileHealth::kQuarantined);
   ++stats_.quarantines;
 }
 
 void TileHealthRegistry::rehabilitate(int tile) {
   Entry& entry = entries_[tile];
   if (entry.health != TileHealth::kQuarantined) return;
-  entry.health = TileHealth::kDegraded;
   entry.fail_streak = 0;
   entry.success_streak = 0;
+  transition(tile, entry, TileHealth::kDegraded);
   ++stats_.rehabilitations;
 }
 

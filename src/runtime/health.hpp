@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 
 namespace presp::runtime {
@@ -43,8 +44,18 @@ struct TileHealthStats {
 
 class TileHealthRegistry {
  public:
+  /// Observer invoked on every health-state transition (old != new).
+  /// Fleet-level policies (circuit breakers, shard schedulers) layer on
+  /// this instead of polling: quarantine trips a breaker open,
+  /// rehabilitation arms a half-open probe. The listener must not call
+  /// back into the registry.
+  using Listener =
+      std::function<void(int tile, TileHealth from, TileHealth to)>;
+
   explicit TileHealthRegistry(TileHealthOptions options = {})
       : options_(options) {}
+
+  void set_listener(Listener listener) { listener_ = std::move(listener); }
 
   TileHealth health(int tile) const;
   /// True unless the tile is quarantined.
@@ -74,9 +85,12 @@ class TileHealthRegistry {
     int success_streak = 0;
   };
 
+  void transition(int tile, Entry& entry, TileHealth to);
+
   TileHealthOptions options_;
   std::map<int, Entry> entries_;
   TileHealthStats stats_;
+  Listener listener_;
 };
 
 }  // namespace presp::runtime

@@ -30,12 +30,19 @@ void trace_queue_depth(sim::Kernel& kernel, long long depth) {
   }
 }
 
-sim::Time backoff_cycles(const ManagerOptions& options, int attempt) {
-  const int shift = std::min(std::max(attempt - 1, 0), 16);
-  return static_cast<sim::Time>(options.backoff_base_cycles) << shift;
-}
-
 }  // namespace
+
+sim::Time jittered_backoff(long long base_cycles, int attempt,
+                           double jitter, Rng& rng) {
+  const int shift = std::min(std::max(attempt - 1, 0), 16);
+  const auto full = static_cast<sim::Time>(base_cycles) << shift;
+  if (jitter <= 0.0 || full == 0) return full;
+  const double fraction = std::min(jitter, 1.0);
+  const auto span =
+      static_cast<sim::Time>(fraction * static_cast<double>(full));
+  if (span == 0) return full;
+  return full - span + static_cast<sim::Time>(rng.next_below(span + 1));
+}
 
 const char* to_string(RequestStatus status) {
   switch (status) {
@@ -56,7 +63,12 @@ ReconfigurationManager::ReconfigurationManager(soc::Soc& soc,
       staging_sem_(soc.kernel(),
                    static_cast<std::uint32_t>(
                        std::max(options.staging_slots, 1))),
-      reg_lock_(soc.kernel(), 1) {}
+      reg_lock_(soc.kernel(), 1), backoff_rng_(options.backoff_seed) {}
+
+sim::Time ReconfigurationManager::backoff(int attempt) {
+  return jittered_backoff(options_.backoff_base_cycles, attempt,
+                          options_.backoff_jitter, backoff_rng_);
+}
 
 sim::Mailbox<std::uint64_t>& ReconfigurationManager::aux_box(int tile) {
   auto it = aux_boxes_.find(tile);
@@ -210,12 +222,12 @@ sim::Process ReconfigurationManager::reconfigure_serial(
       if (++recoveries > options_.retry_budget) {
         status = RequestStatus::kTimeout;
       } else {
-        const sim::Time backoff = backoff_cycles(options_, recoveries);
+        const sim::Time delay = backoff(recoveries);
         if (trace::enabled(kTrc)) {
           trace::sim_instant(kTrc, "backoff", kernel.now(), track,
-                             static_cast<double>(backoff));
+                             static_cast<double>(delay));
         }
-        co_await sim::Delay(kernel, backoff);
+        co_await sim::Delay(kernel, delay);
       }
       continue;
     }
@@ -277,12 +289,12 @@ sim::Process ReconfigurationManager::reconfigure_serial(
         if (++recoveries > options_.retry_budget) {
           status = RequestStatus::kTimeout;
         } else {
-          const sim::Time backoff = backoff_cycles(options_, recoveries);
+          const sim::Time delay = backoff(recoveries);
           if (trace::enabled(kTrc)) {
             trace::sim_instant(kTrc, "backoff", kernel.now(), track,
-                               static_cast<double>(backoff));
+                               static_cast<double>(delay));
           }
-          co_await sim::Delay(kernel, backoff);
+          co_await sim::Delay(kernel, delay);
         }
       }
       // Settle, then drain stale interrupts so a late completion of the
@@ -369,7 +381,7 @@ sim::Process ReconfigurationManager::reconfigure_serial(
       status = RequestStatus::kTimeout;
       break;
     }
-    co_await sim::Delay(kernel, backoff_cycles(options_, release_tries));
+    co_await sim::Delay(kernel, backoff(release_tries));
   }
   if (trace::enabled(kTrc))
     trace::sim_end(kTrc, "recouple", kernel.now(), track);
@@ -522,7 +534,7 @@ sim::Process ReconfigurationManager::reconfigure_pipelined(
       if (++recoveries > options_.retry_budget) {
         status = RequestStatus::kTimeout;
       } else {
-        co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+        co_await sim::Delay(kernel, backoff(recoveries));
       }
       continue;
     }
@@ -574,7 +586,7 @@ sim::Process ReconfigurationManager::reconfigure_pipelined(
         if (++recoveries > options_.retry_budget) {
           status = RequestStatus::kTimeout;
         } else {
-          co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+          co_await sim::Delay(kernel, backoff(recoveries));
         }
       }
       co_await sim::Delay(kernel,
@@ -621,7 +633,7 @@ sim::Process ReconfigurationManager::reconfigure_pipelined(
         if (++recoveries > options_.retry_budget) {
           status = RequestStatus::kTimeout;
         } else {
-          co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+          co_await sim::Delay(kernel, backoff(recoveries));
         }
         continue;
       }
@@ -670,7 +682,7 @@ sim::Process ReconfigurationManager::reconfigure_pipelined(
           if (++recoveries > options_.retry_budget) {
             status = RequestStatus::kTimeout;
           } else {
-            co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+            co_await sim::Delay(kernel, backoff(recoveries));
           }
         }
         co_await sim::Delay(
@@ -764,7 +776,7 @@ sim::Process ReconfigurationManager::reconfigure_pipelined(
       status = RequestStatus::kTimeout;
       break;
     }
-    co_await sim::Delay(kernel, backoff_cycles(options_, release_tries));
+    co_await sim::Delay(kernel, backoff(release_tries));
   }
   if (trace::enabled(kTrc))
     trace::sim_end(kTrc, "recouple", kernel.now(), track);
@@ -906,7 +918,7 @@ sim::Process ReconfigurationManager::verify_partition(int tile,
       if (++recoveries > options_.retry_budget) {
         status = RequestStatus::kTimeout;
       } else {
-        co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+        co_await sim::Delay(kernel, backoff(recoveries));
       }
       continue;
     }
@@ -937,7 +949,7 @@ sim::Process ReconfigurationManager::verify_partition(int tile,
         if (++recoveries > options_.retry_budget) {
           status = RequestStatus::kTimeout;
         } else {
-          co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+          co_await sim::Delay(kernel, backoff(recoveries));
         }
       }
       co_await sim::Delay(kernel,
@@ -1109,10 +1121,10 @@ sim::Process ReconfigurationManager::run(int tile, std::string module,
           status = repaired.status();
           if (status == RequestStatus::kOk)
             co_await sim::Delay(kernel,
-                                backoff_cycles(options_, recoveries));
+                                backoff(recoveries));
         } else {
           // Idle: the run aborted without side effects; restart.
-          co_await sim::Delay(kernel, backoff_cycles(options_, recoveries));
+          co_await sim::Delay(kernel, backoff(recoveries));
         }
         co_await sim::Delay(
             kernel, static_cast<sim::Time>(options_.irq_drain_cycles));

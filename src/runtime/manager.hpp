@@ -36,6 +36,7 @@
 #include "runtime/bitstream_store.hpp"
 #include "runtime/health.hpp"
 #include "soc/soc.hpp"
+#include "util/rng.hpp"
 
 namespace presp::runtime {
 
@@ -52,6 +53,13 @@ enum class RequestStatus {
 };
 
 const char* to_string(RequestStatus status);
+
+/// Deterministic seeded-jitter exponential backoff: attempt n (1-based)
+/// yields a duration drawn uniformly from [(1 - jitter) * d, d] with
+/// d = base_cycles << min(n - 1, 16). jitter is clamped to [0, 1]; 0
+/// returns the fixed schedule without consuming the stream.
+sim::Time jittered_backoff(long long base_cycles, int attempt,
+                           double jitter, Rng& rng);
 
 /// Completion channel for manager requests: a SimEvent plus the final
 /// status and the tile the request actually landed on (re-routing may
@@ -101,8 +109,20 @@ struct ManagerOptions {
   /// Watchdog for one accelerator run (applications should size this a
   /// comfortable multiple of their longest kernel).
   long long watchdog_run_cycles = 100'000'000;
-  /// Backoff before retry attempt n is backoff_base_cycles << (n - 1).
+  /// Backoff before retry attempt n is drawn uniformly from
+  /// [(1 - backoff_jitter) * d, d] with d = backoff_base_cycles << (n-1).
   long long backoff_base_cycles = 10'000;
+  /// Jitter fraction for the retry backoff, in [0, 1]. A fixed
+  /// exponential schedule synchronizes retries across tiles that failed
+  /// together (thundering herd on the single DFXC under chaos load); the
+  /// seeded draw decorrelates them while keeping every replay of the same
+  /// seed bit-identical. 0 restores the fixed schedule.
+  double backoff_jitter = 0.5;
+  /// Seed of the per-manager jitter stream. The stream is consumed in
+  /// simulation event order, which is deterministic, so two runs with the
+  /// same seed (and workload) produce identical backoff schedules —
+  /// tools/run_chaos.sh diffs rely on this.
+  std::uint64_t backoff_seed = 0x9e3779b97f4a7c15ULL;
   /// Watchdog recoveries per request before the tile is quarantined.
   int retry_budget = 3;
   /// Settle time after a recovery before stale interrupts are drained.
@@ -258,6 +278,8 @@ class ReconfigurationManager {
   /// to — the module. Returns -1 if none.
   int route_tile(int tile, const std::string& module);
   sim::Semaphore& tile_lock(int tile);
+  /// Jittered backoff before retry `attempt` (see ManagerOptions).
+  sim::Time backoff(int attempt);
 
   soc::Soc& soc_;
   BitstreamStore& store_;
@@ -281,6 +303,9 @@ class ReconfigurationManager {
   std::map<int, std::string> drivers_;
   int queue_depth_ = 0;
   std::string no_driver_;
+  /// Seeded jitter stream for retry backoff (consumed in deterministic
+  /// sim event order).
+  Rng backoff_rng_;
 };
 
 }  // namespace presp::runtime

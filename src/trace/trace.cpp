@@ -85,6 +85,7 @@ void TraceSession::start(TraceConfig config) {
   sim_track_names_[kTrackRuntime] = "runtime manager";
   sim_track_names_[kTrackSimKernel] = "sim kernel";
   sim_track_names_[kTrackApp] = "app";
+  sim_track_names_[kTrackFleet] = "fleet dispatcher";
   config_ = config;
   next_tid_ = 0;
   start_ns_.store(
@@ -277,6 +278,7 @@ const char* to_string(Category category) {
     case Category::kExec: return "exec";
     case Category::kFlow: return "flow";
     case Category::kApp: return "app";
+    case Category::kFleet: return "fleet";
   }
   return "unknown";
 }
@@ -306,10 +308,12 @@ std::uint32_t parse_categories(const std::string& csv) {
       mask |= static_cast<std::uint32_t>(Category::kFlow);
     } else if (token == "app") {
       mask |= static_cast<std::uint32_t>(Category::kApp);
+    } else if (token == "fleet") {
+      mask |= static_cast<std::uint32_t>(Category::kFleet);
     } else {
       throw ConfigError("unknown trace category '" + token +
-                        "' (expected sim,noc,runtime,exec,flow,app,all,"
-                        "default)");
+                        "' (expected sim,noc,runtime,exec,flow,app,fleet,"
+                        "all,default)");
     }
   }
   return mask;

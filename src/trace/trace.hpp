@@ -39,9 +39,10 @@ enum class Category : std::uint32_t {
   kExec = 1u << 3,     // thread pool / task graph
   kFlow = 1u << 4,     // flow stages
   kApp = 1u << 5,      // application (WAMI frames, golden verify)
+  kFleet = 1u << 6,    // fleet admission / shedding / breaker events
 };
 
-inline constexpr std::uint32_t kAllCategories = 0x3Fu;
+inline constexpr std::uint32_t kAllCategories = 0x7Fu;
 /// kSim emits one event per executed kernel event — orders of magnitude
 /// more than every other category combined — so the default mask leaves
 /// it off and default-sized buffers never drop on the shipped examples.
@@ -62,6 +63,7 @@ inline constexpr std::uint32_t kTrackNocBase = 200;   // + plane index
 inline constexpr std::uint32_t kTrackRuntime = 240;   // manager queue
 inline constexpr std::uint32_t kTrackSimKernel = 250; // event dispatch
 inline constexpr std::uint32_t kTrackApp = 252;       // frames
+inline constexpr std::uint32_t kTrackFleet = 254;     // fleet dispatcher
 
 // ---------------------------------------------------------------- events
 

@@ -14,14 +14,21 @@
 #                   BENCH_store.json and fails if the pipelined flow is
 #                   not faster.
 #
-# Usage: tools/run_bench.sh [out.json [store_out.json]]
+# It also runs the bench_fleet soak (sharded DPR fleet under injected
+# stalls/bursts), which emits BENCH_fleet.json (exact p50/p99/p999
+# latency, shed rate, coalesce rate, breaker transitions) and fails on
+# any lost completion, unexplained shed or determinism mismatch.
+#
+# Usage: tools/run_bench.sh [out.json [store_out.json [fleet_out.json]]]
 # Environment:
-#   BUILD_DIR  build directory to (re)use             (default: build)
-#   BENCH      path to bench_micro; skips the build   (default: unset)
+#   BUILD_DIR    build directory to (re)use             (default: build)
+#   BENCH        path to bench_micro; skips the build   (default: unset)
+#   FLEET_BENCH  path to bench_fleet; skips the build   (default: unset)
 set -eu
 
 OUT=${1:-BENCH_exec.json}
 STORE_OUT=${2:-BENCH_store.json}
+FLEET_OUT=${3:-BENCH_fleet.json}
 BUILD_DIR=${BUILD_DIR:-build}
 
 if [ -z "${BENCH:-}" ]; then
@@ -30,14 +37,23 @@ if [ -z "${BENCH:-}" ]; then
   cmake --build "$BUILD_DIR" --target bench_micro -j >/dev/null
   BENCH=$BUILD_DIR/bench/bench_micro
 fi
+if [ -z "${FLEET_BENCH:-}" ]; then
+  cmake --build "$BUILD_DIR" --target bench_fleet -j >/dev/null
+  FLEET_BENCH=$BUILD_DIR/bench/bench_fleet
+fi
 
 if [ ! -x "$BENCH" ]; then
   echo "error: $BENCH not found or not executable" >&2
   exit 2
 fi
+if [ ! -x "$FLEET_BENCH" ]; then
+  echo "error: $FLEET_BENCH not found or not executable" >&2
+  exit 2
+fi
 
 "$BENCH" --exec-compare "$OUT"
 "$BENCH" --store-compare "$STORE_OUT"
+"$FLEET_BENCH" --json "$FLEET_OUT"
 
 # The exec rows must carry the pool's steal/queue-depth observability
 # fields, the store cache hit rate, and the aggregated metrics snapshot
@@ -59,6 +75,16 @@ for field in serial_cycles pipelined_cycles speedup cache_hit_rate \
   fi
 done
 
-echo "run_bench: results in $OUT and $STORE_OUT"
+# The fleet soak must carry the tail-latency and robustness fields.
+for field in p999_cycles shed_rate coalesce_rate breaker_opens \
+             deterministic; do
+  if ! grep -q "\"$field\"" "$FLEET_OUT"; then
+    echo "run_bench: $FLEET_OUT is missing the \"$field\" field" >&2
+    exit 1
+  fi
+done
+
+echo "run_bench: results in $OUT, $STORE_OUT and $FLEET_OUT"
 cat "$OUT"
 cat "$STORE_OUT"
+cat "$FLEET_OUT"

@@ -12,10 +12,14 @@
 #   workflows  .github/workflows/*.yml parse (actionlint when available,
 #              else a PyYAML structural check) and ci.yml's jobs must
 #              map 1:1 onto this script's stage names
+#   fleet      short deterministic fleet soak (bench_fleet) under
+#              injected shard stalls: zero lost completions, zero
+#              unexplained sheds, breaker diversion and a bit-identical
+#              replay are all hard failures
 #   asan       AddressSanitizer+UBSan build running the full ctest suite
 #   tsan       ThreadSanitizer build running the exec unit tests, the
-#              serial/parallel determinism test and the trace tests
-#              (concurrent emitters)
+#              serial/parallel determinism test, the trace tests
+#              (concurrent emitters) and the fleet tests
 #
 # Usage: tools/run_tier1.sh [--stage <name>]...
 #   No --stage: every stage runs (minus SKIP_ASAN/SKIP_TSAN skips).
@@ -42,7 +46,7 @@ TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 CONFIG_FLAGS=${CONFIG_FLAGS:-}
 TIER1_SUMMARY=${TIER1_SUMMARY:-tier1_summary.json}
 
-ALL_STAGES="build lint trace workflows asan tsan"
+ALL_STAGES="build lint trace workflows fleet asan tsan"
 
 # ----------------------------------------------------------------- stages
 # Each stage body runs in a `set -e` subshell; any failing command fails
@@ -151,6 +155,22 @@ PYEOF
   echo "tier-1 workflows: ci.yml stages map 1:1 onto run_tier1.sh stages"
 }
 
+stage_fleet() {
+  cmake --build "$BUILD_DIR" --target bench_fleet -j
+  FLEET_JSON="$BUILD_DIR/tier1_fleet.json"
+  # One seed, a short horizon: bench_fleet itself fails the stage on any
+  # lost completion, unexplained shed, missing stall/diversion or a
+  # determinism mismatch.
+  "$BUILD_DIR/bench/bench_fleet" 1 1 200 --json "$FLEET_JSON"
+  for field in p999_cycles shed_rate coalesce_rate; do
+    grep -q "\"$field\"" "$FLEET_JSON" || {
+      echo "tier-1: $FLEET_JSON is missing the \"$field\" field" >&2
+      return 1
+    }
+  done
+  echo "tier-1 fleet: soak clean, report fields present ($FLEET_JSON)"
+}
+
 stage_asan() {
   cmake -B "$ASAN_BUILD_DIR" -S . \
       -DPRESP_SANITIZE=address,undefined >/dev/null
@@ -161,10 +181,11 @@ stage_asan() {
 stage_tsan() {
   cmake -B "$TSAN_BUILD_DIR" -S . -DPRESP_SANITIZE=thread >/dev/null
   cmake --build "$TSAN_BUILD_DIR" \
-      --target exec_test exec_determinism_test trace_test -j
+      --target exec_test exec_determinism_test trace_test fleet_test -j
   "$TSAN_BUILD_DIR"/tests/exec_test
   "$TSAN_BUILD_DIR"/tests/exec_determinism_test
   "$TSAN_BUILD_DIR"/tests/trace_test
+  "$TSAN_BUILD_DIR"/tests/fleet_test
 }
 
 # ----------------------------------------------------------------- runner
