@@ -13,11 +13,19 @@
 // the serial combined transfer, the pipelined split fetch/program flow,
 // and pipelined + LRU bitstream cache, comparing total simulated cycles
 // and emitting BENCH_store.json (speedup, cache hit rate).
+//
+// `bench_micro --contention [out.json]` measures steal-heavy fine-grained
+// task throughput at 1/2/8 pool threads, lock-free Chase-Lev deques vs
+// the mutex-deque baseline, plus a cold/warm/one-module-modified flow
+// cache comparison on the Table VI SoC_X; both sections also ride along
+// inside BENCH_exec.json when --exec-compare runs.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -285,6 +293,8 @@ struct ExecCompareRow {
   double parallel_seconds = 0.0;
   std::size_t tasks = 0;
   std::uint64_t steals = 0;           // parallel run's work-steal count
+  std::uint64_t steal_failures = 0;   // parallel run's empty/lost probes
+  std::uint64_t parks = 0;            // parallel run's worker sleeps
   std::uint64_t max_queue_depth = 0;  // parallel run's queue high-water
   bool checksum_match = false;
   double speedup() const {
@@ -314,6 +324,8 @@ ExecCompareRow compare_flow(double* model_speedup) {
   const auto parallel = run(kCompareThreads, &row.parallel_seconds);
   row.tasks = parallel.exec.tasks;
   row.steals = parallel.exec.steals;
+  row.steal_failures = parallel.exec.steal_failures;
+  row.parks = parallel.exec.parks;
   row.max_queue_depth = parallel.exec.max_queue_depth;
   row.checksum_match = flow_checksum(serial) == flow_checksum(parallel);
   *model_speedup = parallel.exec.model_speedup;
@@ -349,6 +361,8 @@ ExecCompareRow compare_wami() {
       run(kCompareThreads, &row.parallel_seconds, &parallel_stats);
   row.tasks = frames.size();
   row.steals = parallel_stats.stolen;
+  row.steal_failures = parallel_stats.steal_failures;
+  row.parks = parallel_stats.parks;
   row.max_queue_depth = parallel_stats.max_queue_depth;
   row.checksum_match = wami_checksum(serial) == wami_checksum(parallel);
   return row;
@@ -485,6 +499,217 @@ int run_store_compare(const std::string& out_path) {
   return ok ? 0 : 1;
 }
 
+// --------------------------------------------------------- --contention
+//
+// Steal-heavy fine-grained throughput: one root task fans every tiny
+// task out of a single worker's deque, so all other workers live on the
+// steal path. Lock-free Chase-Lev deques vs the mutex-deque baseline
+// (Options::mutex_deques) at 1/2/8 threads.
+
+constexpr int kContentionTasks = 100'000;
+constexpr int kContentionRounds = 3;
+
+double contention_round(int threads, bool mutex_deques,
+                        exec::ThreadPool::Stats* stats) {
+  exec::ThreadPool::Options options;
+  options.threads = threads;
+  options.mutex_deques = mutex_deques;
+  exec::ThreadPool pool(options);
+  std::atomic<std::uint64_t> sink{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  pool.submit([&] {
+    for (int i = 0; i < kContentionTasks; ++i)
+      pool.submit(
+          [&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+  });
+  pool.wait_idle();
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  *stats = pool.stats();
+  if (sink.load() != kContentionTasks)
+    std::fprintf(stderr, "contention: LOST TASKS (%llu of %d ran)\n",
+                 static_cast<unsigned long long>(sink.load()),
+                 kContentionTasks);
+  return seconds;
+}
+
+struct ContentionRow {
+  int threads = 0;
+  double lockfree_seconds = 0.0;
+  double mutex_seconds = 0.0;
+  std::uint64_t steals = 0;          // lock-free run
+  std::uint64_t steal_failures = 0;  // lock-free run
+  double speedup() const {
+    return lockfree_seconds > 0.0 ? mutex_seconds / lockfree_seconds : 0.0;
+  }
+};
+
+ContentionRow contention_sweep_at(int threads) {
+  ContentionRow row;
+  row.threads = threads;
+  // Best-of-N to shave scheduler noise; stats come from the best round.
+  for (int round = 0; round < kContentionRounds; ++round) {
+    exec::ThreadPool::Stats stats;
+    const double lockfree = contention_round(threads, false, &stats);
+    if (round == 0 || lockfree < row.lockfree_seconds) {
+      row.lockfree_seconds = lockfree;
+      row.steals = stats.stolen;
+      row.steal_failures = stats.steal_failures;
+    }
+    const double mutex = contention_round(threads, true, &stats);
+    if (round == 0 || mutex < row.mutex_seconds) row.mutex_seconds = mutex;
+  }
+  return row;
+}
+
+std::vector<ContentionRow> run_contention_sweep() {
+  std::vector<ContentionRow> rows;
+  std::printf("contention: %d tasks fanned out of one deque, best of %d "
+              "rounds (hardware threads: %u)\n",
+              kContentionTasks, kContentionRounds,
+              std::thread::hardware_concurrency());
+  for (const int threads : {1, 2, 8}) {
+    rows.push_back(contention_sweep_at(threads));
+    const ContentionRow& row = rows.back();
+    std::printf("  %d threads: lockfree %8.0f tasks/s  mutex %8.0f "
+                "tasks/s  speedup %5.2fx  steals %llu  failed probes "
+                "%llu\n",
+                row.threads, kContentionTasks / row.lockfree_seconds,
+                kContentionTasks / row.mutex_seconds, row.speedup(),
+                static_cast<unsigned long long>(row.steals),
+                static_cast<unsigned long long>(row.steal_failures));
+  }
+  return rows;
+}
+
+void contention_json(std::ostream& json,
+                     const std::vector<ContentionRow>& rows) {
+  json << "{\n    \"tasks\": " << kContentionTasks
+       << ",\n    \"sweep\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ContentionRow& row = rows[i];
+    json << "      {\"threads\": " << row.threads
+         << ", \"lockfree_seconds\": " << row.lockfree_seconds
+         << ", \"mutex_seconds\": " << row.mutex_seconds
+         << ", \"speedup\": " << row.speedup()
+         << ", \"steals\": " << row.steals
+         << ", \"steal_failures\": " << row.steal_failures << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "    ],\n    \"lockfree_speedup_at_8\": "
+       << rows.back().speedup() << "\n  }";
+}
+
+// ------------------------------------------------- warm/cold flow cache
+//
+// Cold run of the Table VI SoC_X into a fresh cache directory, a warm
+// re-run (everything hits), and a warm re-run after modifying one OoC
+// module's footprint (everything else still hits).
+
+struct FlowCacheBenchResult {
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  double modified_seconds = 0.0;
+  core::FlowCacheStats warm;
+  core::FlowCacheStats modified;
+  bool warm_matches_cold = false;
+  double warm_reduction() const {
+    return cold_seconds > 0.0 ? 1.0 - warm_seconds / cold_seconds : 0.0;
+  }
+  double modified_reduction() const {
+    return cold_seconds > 0.0 ? 1.0 - modified_seconds / cold_seconds
+                              : 0.0;
+  }
+};
+
+constexpr const char* kFlowCacheModifiedModule = "warp";
+
+FlowCacheBenchResult run_flow_cache_compare() {
+  const auto device = fabric::Device::vc707();
+  const auto lib = wami::wami_library();
+  const auto soc = wami::table6_soc('X');
+  const std::filesystem::path cache_dir =
+      std::filesystem::temp_directory_path() / "presp_bench_flow_cache";
+  std::filesystem::remove_all(cache_dir);
+
+  core::FlowOptions opt;
+  opt.cache.dir = cache_dir.string();
+  const auto timed = [&](const netlist::ComponentLibrary& with_lib,
+                         double* seconds) {
+    const core::PrEspFlow flow(device, with_lib, opt);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = flow.run(soc);
+    *seconds = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    return result;
+  };
+
+  FlowCacheBenchResult out;
+  const auto cold = timed(lib, &out.cold_seconds);
+  const auto warm = timed(lib, &out.warm_seconds);
+  out.warm = warm.cache;
+  out.warm_matches_cold = flow_checksum(cold) == flow_checksum(warm);
+
+  // Grow one module's LUT footprint slightly — small enough that the
+  // floorplanner's column-quantized pblocks stay put (a demand jump that
+  // moves the floorplan legitimately invalidates every P&R key).
+  auto modified_lib = lib;
+  netlist::BlockModel block = modified_lib.get(kFlowCacheModifiedModule);
+  block.resources.luts += 16;
+  modified_lib.register_block(block);
+  const auto modified = timed(modified_lib, &out.modified_seconds);
+  out.modified = modified.cache;
+
+  std::filesystem::remove_all(cache_dir);
+  std::printf("flow-cache: soc_x cold %.3fs, warm %.3fs (-%.0f%%, "
+              "%llu hits), one module modified %.3fs (-%.0f%%, %llu "
+              "hits / %llu misses), checksums %s\n",
+              out.cold_seconds, out.warm_seconds,
+              out.warm_reduction() * 100,
+              static_cast<unsigned long long>(out.warm.hits),
+              out.modified_seconds, out.modified_reduction() * 100,
+              static_cast<unsigned long long>(out.modified.hits),
+              static_cast<unsigned long long>(out.modified.misses),
+              out.warm_matches_cold ? "match" : "DIFFER");
+  return out;
+}
+
+void flow_cache_json(std::ostream& json,
+                     const FlowCacheBenchResult& r) {
+  json << "{\n    \"design\": \"soc_x\""
+       << ",\n    \"modified_module\": \"" << kFlowCacheModifiedModule
+       << "\",\n    \"cold_seconds\": " << r.cold_seconds
+       << ",\n    \"warm_seconds\": " << r.warm_seconds
+       << ",\n    \"modified_seconds\": " << r.modified_seconds
+       << ",\n    \"warm_hits\": " << r.warm.hits
+       << ",\n    \"warm_misses\": " << r.warm.misses
+       << ",\n    \"modified_hits\": " << r.modified.hits
+       << ",\n    \"modified_misses\": " << r.modified.misses
+       << ",\n    \"warm_wall_reduction\": " << r.warm_reduction()
+       << ",\n    \"modified_wall_reduction\": " << r.modified_reduction()
+       << ",\n    \"warm_matches_cold\": "
+       << (r.warm_matches_cold ? "true" : "false") << "\n  }";
+}
+
+int run_contention(const std::string& out_path) {
+  presp::set_log_level(presp::LogLevel::kWarn);
+  const auto rows = run_contention_sweep();
+  const auto cache = run_flow_cache_compare();
+  std::ofstream json(out_path);
+  json << "{\n  \"hardware_threads\": "
+       << std::thread::hardware_concurrency() << ",\n  \"contention\": ";
+  contention_json(json, rows);
+  json << ",\n  \"flow_cache\": ";
+  flow_cache_json(json, cache);
+  json << "\n}\n";
+  std::printf("contention: wrote %s\n", out_path.c_str());
+  const bool ok = cache.warm_matches_cold && cache.warm.misses == 0;
+  if (!ok) std::printf("contention: WARM RUN DID NOT FULLY REUSE CACHE\n");
+  return ok ? 0 : 1;
+}
+
 int run_exec_compare(const std::string& out_path) {
   presp::set_log_level(presp::LogLevel::kWarn);
   std::printf("exec-compare: serial vs %d pool threads (hardware threads: "
@@ -493,7 +718,9 @@ int run_exec_compare(const std::string& out_path) {
   double model_speedup = 1.0;
   const ExecCompareRow rows[] = {compare_flow(&model_speedup),
                                  compare_wami()};
-  bool ok = true;
+  const auto contention_rows = run_contention_sweep();
+  const auto flow_cache = run_flow_cache_compare();
+  bool ok = flow_cache.warm_matches_cold && flow_cache.warm.misses == 0;
   std::ofstream json(out_path);
   json << "{\n  \"threads\": " << kCompareThreads
        << ",\n  \"hardware_threads\": "
@@ -520,6 +747,8 @@ int run_exec_compare(const std::string& out_path) {
          << row.parallel_seconds << ", \"speedup\": " << row.speedup()
          << ", \"efficiency\": " << efficiency << ", \"tasks\": "
          << row.tasks << ", \"steals\": " << row.steals
+         << ", \"steal_failures\": " << row.steal_failures
+         << ", \"parks\": " << row.parks
          << ", \"max_queue_depth\": " << row.max_queue_depth
          << ", \"checksum_match\": "
          << (row.checksum_match ? "true" : "false") << "}"
@@ -528,12 +757,18 @@ int run_exec_compare(const std::string& out_path) {
     registry.counter(prefix + ".steals").add(row.steals);
     registry.gauge(prefix + ".max_queue_depth")
         .set(static_cast<double>(row.max_queue_depth));
+    registry.counter(prefix + ".steal_failures").add(row.steal_failures);
+    registry.counter(prefix + ".parks").add(row.parks);
   }
   // Bitstream-cache snapshot rides along so one artifact carries every
   // field the bench workflow asserts on (its runtime.store.* counters
   // land in the same metrics registry).
   const StoreRunResult cached = run_store_workload(true, 4);
-  json << "  ],\n  \"cache_hit_rate\": " << cached.hit_rate()
+  json << "  ],\n  \"contention\": ";
+  contention_json(json, contention_rows);
+  json << ",\n  \"flow_cache\": ";
+  flow_cache_json(json, flow_cache);
+  json << ",\n  \"cache_hit_rate\": " << cached.hit_rate()
        << ",\n  \"metrics\": " << registry.snapshot_json() << "\n}\n";
   std::printf("exec-compare: store cache hit rate %.2f\n",
               cached.hit_rate());
@@ -549,6 +784,8 @@ int main(int argc, char** argv) {
     return run_exec_compare(argc > 2 ? argv[2] : "BENCH_exec.json");
   if (argc > 1 && std::string(argv[1]) == "--store-compare")
     return run_store_compare(argc > 2 ? argv[2] : "BENCH_store.json");
+  if (argc > 1 && std::string(argv[1]) == "--contention")
+    return run_contention(argc > 2 ? argv[2] : "BENCH_contention.json");
   presp::set_log_level(presp::LogLevel::kWarn);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

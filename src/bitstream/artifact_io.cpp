@@ -1,5 +1,7 @@
 #include "bitstream/artifact_io.hpp"
 
+#include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -109,6 +111,80 @@ Bitstream read_bitstream(const std::string& path) {
   if (crc32(bs.words) != bs.crc)
     throw Error("bitstream CRC mismatch in '" + path + "'");
   return bs;
+}
+
+// ------------------------------------------------- flow-cache blobs
+
+std::uint64_t fnv1a64(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(const std::string& text) {
+  return fnv1a64(text.data(), text.size());
+}
+
+namespace {
+constexpr char kCacheMagic[4] = {'P', 'F', 'C', '1'};
+/// Cache payloads are bounded: the largest entry (a static stage with its
+/// routing-state vector) stays well under this on any modeled device.
+constexpr std::uint64_t kMaxCachePayload = 1ull << 28;  // 256 MiB
+}  // namespace
+
+void write_cache_blob(const CacheBlob& blob, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out)
+      throw InvalidArgument("cannot write cache blob to '" + tmp + "'");
+    out.write(kCacheMagic, sizeof(kCacheMagic));
+    put<std::uint32_t>(out, blob.kind);
+    put<std::uint64_t>(out, blob.key);
+    put<std::uint64_t>(out, fnv1a64(blob.payload));
+    put<std::uint64_t>(out, static_cast<std::uint64_t>(blob.payload.size()));
+    out.write(blob.payload.data(),
+              static_cast<std::streamsize>(blob.payload.size()));
+    if (!out) throw InvalidArgument("write to '" + tmp + "' failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw InvalidArgument("cannot publish cache blob at '" + path + "'");
+  }
+}
+
+CacheBlob read_cache_blob(const std::string& path,
+                          std::uint64_t expected_key) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw InvalidArgument("cannot read cache blob from '" + path + "'");
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kCacheMagic, sizeof(kCacheMagic)) != 0)
+    throw InvalidArgument("'" + path + "' is not a PFC1 cache blob");
+  CacheBlob blob;
+  blob.kind = get<std::uint32_t>(in);
+  blob.key = get<std::uint64_t>(in);
+  const auto payload_hash = get<std::uint64_t>(in);
+  const auto payload_len = get<std::uint64_t>(in);
+  if (payload_len > kMaxCachePayload)
+    throw InvalidArgument("implausible cache payload size in '" + path +
+                          "'");
+  if (blob.key != expected_key)
+    throw Error("cache blob key mismatch in '" + path +
+                "' (stale or mis-filed entry)");
+  blob.payload.resize(static_cast<std::size_t>(payload_len));
+  in.read(blob.payload.data(),
+          static_cast<std::streamsize>(blob.payload.size()));
+  if (!in) throw InvalidArgument("truncated cache blob '" + path + "'");
+  if (fnv1a64(blob.payload) != payload_hash)
+    throw Error("cache blob payload hash mismatch in '" + path +
+                "' (corrupt entry)");
+  return blob;
 }
 
 }  // namespace presp::bitstream

@@ -9,6 +9,7 @@
 //   compressed words (RLE stream; see bitstream.hpp)
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "bitstream/bitstream.hpp"
@@ -28,5 +29,37 @@ Bitstream read_bitstream(const std::string& path);
 std::string pbs_filename(const std::string& design,
                          const std::string& partition,
                          const std::string& module);
+
+// ------------------------------------------------- flow-cache blobs
+//
+// Container format for the content-hashed flow artifact cache (see
+// core/flow_cache.hpp). One blob per cache entry, little-endian:
+//
+//   magic "PFC1" | u32 kind | u64 key | u64 payload_hash (FNV-1a over
+//   the payload bytes) | u64 payload_len | payload bytes
+//
+// read_cache_blob() re-derives the payload hash and cross-checks both it
+// and the expected key, so a truncated, bit-flipped or mis-keyed file is
+// rejected (throws) instead of poisoning a flow run.
+
+/// 64-bit FNV-1a over arbitrary bytes; the cache's one hash primitive
+/// (keys hash canonical key strings, blobs hash their payload).
+std::uint64_t fnv1a64(const void* data, std::size_t size);
+std::uint64_t fnv1a64(const std::string& text);
+
+struct CacheBlob {
+  std::uint32_t kind = 0;  // entry schema tag (flow_cache.hpp enumerates)
+  std::uint64_t key = 0;   // content-hash cache key
+  std::string payload;     // opaque serialized entry
+};
+
+/// Writes atomically (tmp file + rename) so a crash mid-write can never
+/// leave a half-entry behind. Throws InvalidArgument on I/O errors.
+void write_cache_blob(const CacheBlob& blob, const std::string& path);
+
+/// Reads and verifies a blob. Throws InvalidArgument on malformed or
+/// truncated files and Error on key/payload-hash mismatch (corruption).
+CacheBlob read_cache_blob(const std::string& path,
+                          std::uint64_t expected_key);
 
 }  // namespace presp::bitstream

@@ -37,6 +37,20 @@ int lut_priority(long long luts) {
   return static_cast<int>(std::min<long long>(
       luts, std::numeric_limits<int>::max()));
 }
+
+void add_resources(FlowCache::KeyBuilder& kb, const fabric::ResourceVec& r) {
+  kb.add(static_cast<long long>(r.luts))
+      .add(static_cast<long long>(r.ffs))
+      .add(static_cast<long long>(r.bram36))
+      .add(static_cast<long long>(r.dsp));
+}
+
+void add_pblock(FlowCache::KeyBuilder& kb, const fabric::Pblock& pb) {
+  kb.add(static_cast<long long>(pb.col_lo))
+      .add(static_cast<long long>(pb.col_hi))
+      .add(static_cast<long long>(pb.row_lo))
+      .add(static_cast<long long>(pb.row_hi));
+}
 }  // namespace
 
 FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
@@ -71,21 +85,57 @@ FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
       jobs.push_back(
           {p, module, netlist::SocRtl::module_resources(lib_, module).luts});
 
+  // Content-hashed incremental cache (core/flow_cache.hpp). Every probe
+  // and store happens on this (driver) thread, before the corresponding
+  // task graph is built: only cache *misses* become tasks, so warm runs
+  // execute a strict subset of the cold run's graph and produce
+  // bit-identical results at any pool width.
+  std::unique_ptr<FlowCache> cache;
+  if (!options_.cache.dir.empty())
+    cache = std::make_unique<FlowCache>(options_.cache);
+  result.cache_enabled = cache != nullptr;
+
+  // Stage key 1: static synthesis. Hashes everything that determines the
+  // static checkpoint — the configuration text (grid, tile types, member
+  // *names*; black boxes depend on partition structure, not member
+  // contents), the static part's library resources, the synthesis options
+  // and the device. Member module resource changes do NOT touch this key.
+  std::uint64_t static_synth_key = 0;
+  std::optional<StaticMetaEntry> static_meta;
+  if (cache) {
+    FlowCache::KeyBuilder kb;
+    kb.add("static-synth").add(device_.name()).add(config.to_config_text());
+    add_resources(kb, rtl.static_resources(lib_));
+    kb.add(static_cast<long long>(options_.synth.cluster_luts))
+        .add(options_.synth.rent_edges_per_cell)
+        .add(static_cast<long long>(options_.synth.seed));
+    static_synth_key = kb.finish();
+    static_meta = cache->load_static_meta(static_synth_key);
+  }
+
   // 2. Parallel out-of-context synthesis. One task for the static netlist
   // and one per (partition, member), longest-expected first (LPT). Each
   // OoC synthesis is seeded by module name, so concurrent execution
-  // cannot change its output.
+  // cannot change its output. With caching enabled the member synths are
+  // deferred until after the floorplan, when their cache keys are known
+  // (a cached member needs no checkpoint at all); the static synth runs
+  // now only when its utilization is not already cached (the floorplanner
+  // needs it).
   const synth::Synthesizer synthesizer(lib_, options_.synth);
   synth::Checkpoint static_ckpt;
+  bool have_static_ckpt = false;
   std::vector<synth::Checkpoint> ooc_ckpts(jobs.size());
   {
     const trace::TraceScope span(trace::Category::kFlow, "flow:synth");
     exec::TaskGraph synth_graph;
-    synth_graph.add(
-        "synth:static",
-        [&] { static_ckpt = synthesizer.synthesize_static(rtl); }, {},
-        lut_priority(result.metrics.static_luts));
-    if (options_.run_physical) {
+    if (!cache || !static_meta) {
+      synth_graph.add(
+          "synth:static",
+          [&] { static_ckpt = synthesizer.synthesize_static(rtl); }, {},
+          lut_priority(result.metrics.static_luts));
+      have_static_ckpt = true;
+    }
+    if (!cache && options_.run_physical) {
       for (std::size_t j = 0; j < jobs.size(); ++j)
         synth_graph.add(
             "synth:" + jobs[j].module,
@@ -100,9 +150,12 @@ FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
     result.exec.synth_wall_seconds = synth_graph.makespan_seconds();
     result.exec.busy_seconds += synth_graph.busy_seconds();
   }
+  if (cache && have_static_ckpt && !static_meta)
+    cache->store_static_meta(static_synth_key, {static_ckpt.utilization});
+  const fabric::ResourceVec static_util =
+      have_static_ckpt ? static_ckpt.utilization : static_meta->utilization;
 
-  const double static_synth =
-      model_.synthesis(static_ckpt.utilization.luts);
+  const double static_synth = model_.synthesis(static_util.luts);
   result.synth_makespan_minutes = static_synth;
   for (const MemberJob& job : jobs)
     result.synth_makespan_minutes =
@@ -116,8 +169,7 @@ FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
   {
     const trace::TraceScope span(trace::Category::kFlow, "flow:floorplan");
     const floorplan::Floorplanner planner(device_);
-    result.plan = planner.plan(requests, static_ckpt.utilization,
-                               options_.floorplan);
+    result.plan = planner.plan(requests, static_util, options_.floorplan);
     for (std::size_t p = 0; p < requests.size(); ++p)
       result.pblocks[requests[p].name] = result.plan.pblocks[p];
     if (!options_.artifacts_dir.empty()) {
@@ -182,6 +234,85 @@ FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
   pnr::RoutingState static_state = engine.make_state();
   const bitstream::BitstreamGenerator bitgen(device_);
 
+  // Stage keys 2 and 3: static P&R and per-member implementation. The
+  // static key chains the synth key with the floorplan *outcome* (pblock
+  // rectangles — hashing the outcome rather than the demands maximizes
+  // reuse when a member changes without moving the floorplan) and every
+  // P&R knob; each member key chains the static key with the member's
+  // own synthesis inputs, its pblock and the schedule choice. Changing a
+  // member's library entry therefore invalidates exactly that member.
+  std::uint64_t static_pnr_key = 0;
+  std::optional<StaticPnrEntry> static_pnr_hit;
+  std::vector<std::uint64_t> module_keys(jobs.size(), 0);
+  std::vector<std::optional<ModuleEntry>> module_hits(jobs.size());
+  if (cache && options_.run_physical) {
+    FlowCache::KeyBuilder kb;
+    kb.add("static-pnr").add(static_cast<long long>(static_synth_key));
+    for (std::size_t p = 0; p < requests.size(); ++p) {
+      kb.add(requests[p].name);
+      add_pblock(kb, result.plan.pblocks[p]);
+    }
+    kb.add(static_cast<long long>(options_.pnr.placer.moves_per_cell))
+        .add(static_cast<long long>(options_.pnr.placer.temperature_steps))
+        .add(options_.pnr.placer.initial_temperature_factor)
+        .add(options_.pnr.placer.cooling)
+        .add(static_cast<long long>(options_.pnr.placer.seed))
+        .add(static_cast<long long>(options_.pnr.router.max_iterations))
+        .add(options_.pnr.router.congestion_penalty)
+        .add(options_.pnr.router.history_increment)
+        .add(static_cast<long long>(options_.pnr.h_capacity))
+        .add(static_cast<long long>(options_.pnr.v_capacity));
+    static_pnr_key = kb.finish();
+    static_pnr_hit = cache->load_static_pnr(static_pnr_key);
+    // Belt and braces: a cached routing state must match this device's
+    // grid exactly or the entry is unusable.
+    if (static_pnr_hit &&
+        (static_pnr_hit->usage.size() != static_state.num_edges() ||
+         static_pnr_hit->cols != static_state.num_cols() ||
+         static_pnr_hit->rows != static_state.num_rows()))
+      static_pnr_hit.reset();
+
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      FlowCache::KeyBuilder mk;
+      mk.add("module").add(static_cast<long long>(static_pnr_key));
+      mk.add(jobs[j].module);
+      add_resources(
+          mk, netlist::SocRtl::module_resources(lib_, jobs[j].module));
+      add_pblock(mk, result.plan.pblocks[static_cast<std::size_t>(
+                         jobs[j].partition_index)]);
+      mk.add(to_string(result.decision.strategy))
+          .add(static_cast<long long>(result.decision.tau));
+      module_keys[j] = mk.finish();
+      module_hits[j] = cache->load_module(module_keys[j]);
+    }
+
+    // Second synthesis wave: only what the misses actually need.
+    exec::TaskGraph synth_graph;
+    if (!static_pnr_hit && !have_static_ckpt) {
+      synth_graph.add(
+          "synth:static",
+          [&] { static_ckpt = synthesizer.synthesize_static(rtl); }, {},
+          lut_priority(result.metrics.static_luts));
+      have_static_ckpt = true;
+    }
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+      if (!module_hits[j])
+        synth_graph.add(
+            "synth:" + jobs[j].module,
+            [&, j] {
+              ooc_ckpts[j] =
+                  synthesizer.synthesize_module_ooc(jobs[j].module);
+            },
+            {}, lut_priority(jobs[j].luts));
+    if (synth_graph.size() > 0) {
+      const trace::TraceScope span(trace::Category::kFlow, "flow:synth");
+      synth_graph.run(pool.get());
+      result.exec.tasks += synth_graph.size();
+      result.exec.synth_wall_seconds += synth_graph.makespan_seconds();
+      result.exec.busy_seconds += synth_graph.busy_seconds();
+    }
+  }
+
   // Model-attributed per-member fields (pure math — filled up front so the
   // physical tasks below only touch their own preallocated slot).
   result.modules.resize(jobs.size());
@@ -210,28 +341,64 @@ FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
     std::vector<char> run_ok(jobs.size() + 1, 1);
     std::vector<double> run_fmax(jobs.size() + 1, 1e9);
     const std::size_t kStaticSlot = jobs.size();
+    // Fresh partial bitstreams are retained for cache stores.
+    std::vector<bitstream::Bitstream> fresh_pbs(cache ? jobs.size() : 0);
+
+    // Replay cached stage results on the driver thread (fixed job order)
+    // before any task runs; the task graph below contains misses only.
+    if (static_pnr_hit) {
+      run_ok[kStaticSlot] = static_pnr_hit->ok ? 1 : 0;
+      run_fmax[kStaticSlot] = static_pnr_hit->fmax_mhz;
+      result.full_bitstream_bytes =
+          static_cast<std::size_t>(static_pnr_hit->full_bitstream_bytes);
+      for (std::size_t e = 0; e < static_pnr_hit->usage.size(); ++e)
+        if (static_pnr_hit->usage[e] != 0)
+          static_state.add_usage(e, static_pnr_hit->usage[e]);
+    }
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (!module_hits[j]) continue;
+      const ModuleEntry& hit = *module_hits[j];
+      ModuleImplementation& impl = result.modules[j];
+      impl.utilization = hit.utilization;
+      impl.routed = hit.routed;
+      impl.pbs_raw_bytes = hit.pbs.raw_bytes();
+      impl.pbs_compressed_bytes = hit.pbs.compressed_bytes();
+      run_ok[j] = hit.routed ? 1 : 0;
+      run_fmax[j] = hit.fmax_mhz;
+      if (!options_.artifacts_dir.empty())
+        bitstream::write_bitstream(
+            hit.pbs,
+            options_.artifacts_dir + "/" +
+                bitstream::pbs_filename(config.name, impl.partition,
+                                        jobs[j].module));
+    }
 
     exec::TaskGraph pnr_graph;
-    const exec::TaskId static_task = pnr_graph.add(
-        "pnr:static",
-        [&] {
-          const pnr::PnrRun run =
-              engine.run_static(static_ckpt, result.pblocks, static_state);
-          run_ok[kStaticSlot] = run.success() ? 1 : 0;
-          run_fmax[kStaticSlot] = run.route.achieved_fmax_mhz;
-          result.full_bitstream_bytes =
-              bitgen
-                  .full(config.name, static_ckpt.netlist,
-                        run.place.placement)
-                  .raw_bytes();
-        },
-        {}, std::numeric_limits<int>::max());
+    std::optional<exec::TaskId> static_task;
+    if (!static_pnr_hit)
+      static_task = pnr_graph.add(
+          "pnr:static",
+          [&] {
+            const pnr::PnrRun run =
+                engine.run_static(static_ckpt, result.pblocks, static_state);
+            run_ok[kStaticSlot] = run.success() ? 1 : 0;
+            run_fmax[kStaticSlot] = run.route.achieved_fmax_mhz;
+            result.full_bitstream_bytes =
+                bitgen
+                    .full(config.name, static_ckpt.netlist,
+                          run.place.placement)
+                    .raw_bytes();
+          },
+          {}, std::numeric_limits<int>::max());
 
     for (const auto& group : result.decision.groups) {
       long long group_luts = 0;
       for (const std::size_t j : group) group_luts += jobs[j].luts;
-      exec::TaskId prev = static_task;
+      std::optional<exec::TaskId> prev = static_task;
       for (const std::size_t j : group) {
+        if (module_hits[j]) continue;  // cached member: not in the chain
+        std::vector<exec::TaskId> deps;
+        if (prev) deps.push_back(*prev);
         prev = pnr_graph.add(
             "pnr:" + jobs[j].module,
             [&, j] {
@@ -257,14 +424,40 @@ FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
                              bitstream::pbs_filename(
                                  config.name, impl.partition,
                                  jobs[j].module));
+              if (cache) fresh_pbs[j] = pbs;
             },
-            {prev}, lut_priority(group_luts));
+            std::move(deps), lut_priority(group_luts));
       }
     }
     pnr_graph.run(pool.get());
     result.exec.tasks += pnr_graph.size();
     result.exec.pnr_wall_seconds = pnr_graph.makespan_seconds();
     result.exec.busy_seconds += pnr_graph.busy_seconds();
+
+    // Persist fresh stage results (driver thread, after the graph).
+    if (cache) {
+      if (!static_pnr_hit) {
+        StaticPnrEntry entry;
+        entry.ok = run_ok[kStaticSlot] != 0;
+        entry.fmax_mhz = run_fmax[kStaticSlot];
+        entry.full_bitstream_bytes = result.full_bitstream_bytes;
+        entry.cols = static_state.num_cols();
+        entry.rows = static_state.num_rows();
+        entry.usage.resize(static_state.num_edges());
+        for (std::size_t e = 0; e < static_state.num_edges(); ++e)
+          entry.usage[e] = static_state.usage(e);
+        cache->store_static_pnr(static_pnr_key, entry);
+      }
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (module_hits[j]) continue;
+        ModuleEntry entry;
+        entry.utilization = result.modules[j].utilization;
+        entry.routed = result.modules[j].routed;
+        entry.fmax_mhz = run_fmax[j];
+        entry.pbs = std::move(fresh_pbs[j]);
+        cache->store_module(module_keys[j], entry);
+      }
+    }
 
     // Deterministic reductions, in fixed slot order (static, then jobs).
     bool physical_ok = run_ok[kStaticSlot] != 0;
@@ -281,8 +474,11 @@ FlowResult PrEspFlow::run(const netlist::SocConfig& config) const {
   if (pool) {
     const exec::ThreadPool::Stats pool_stats = pool->stats();
     result.exec.steals = pool_stats.stolen;
+    result.exec.steal_failures = pool_stats.steal_failures;
+    result.exec.parks = pool_stats.parks;
     result.exec.max_queue_depth = pool_stats.max_queue_depth;
   }
+  if (cache) result.cache = cache->stats();
   result.exec.wall_seconds =
       result.exec.synth_wall_seconds + result.exec.pnr_wall_seconds;
   if (result.exec.wall_seconds > 0.0)

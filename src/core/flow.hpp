@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bitstream/bitstream.hpp"
+#include "core/flow_cache.hpp"
 #include "core/runtime_model.hpp"
 #include "core/strategy.hpp"
 #include "floorplan/floorplanner.hpp"
@@ -50,6 +51,11 @@ struct FlowOptions {
   /// When set (and run_physical), every partial bitstream is written to
   /// this directory as a .pbs artifact (see bitstream/artifact_io.hpp).
   std::string artifacts_dir;
+  /// Content-hashed incremental artifact cache (core/flow_cache.hpp).
+  /// cache.dir empty = caching disabled; a warm run with an unchanged
+  /// stage key skips that stage's synthesis/P&R entirely and replays the
+  /// cached artifact, with results bit-identical to a cold run.
+  FlowCacheOptions cache;
 };
 
 struct ModuleImplementation {
@@ -77,6 +83,10 @@ struct FlowExecReport {
   double busy_seconds = 0.0;        // serial-equivalent work in the graphs
   /// Tasks the pool's workers obtained by stealing (0 for serial runs).
   std::uint64_t steals = 0;
+  /// Steal probes that found the victim's deque empty or lost the race.
+  std::uint64_t steal_failures = 0;
+  /// Times a worker parked on the idle condition variable.
+  std::uint64_t parks = 0;
   /// High-water mark of the pool's pending-task count.
   std::uint64_t max_queue_depth = 0;
   /// busy / wall: the speedup this schedule actually achieved.
@@ -111,6 +121,9 @@ struct FlowResult {
   /// achieved_fmax_mhz meets the configuration's clock_mhz target.
   bool timing_met = false;
   FlowExecReport exec;
+  /// Cache activity for this run (all zeros when caching is disabled).
+  bool cache_enabled = false;
+  FlowCacheStats cache;
 
   const ModuleImplementation& module(const std::string& partition,
                                      const std::string& module_name) const;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <string>
 
+#include "exec/topology.hpp"
 #include "trace/trace.hpp"
 
 namespace presp::exec {
@@ -17,13 +18,22 @@ thread_local const ThreadPool* t_pool = nullptr;
 thread_local int t_worker = -1;
 }  // namespace
 
-ThreadPool::ThreadPool(int threads) {
-  const int n = std::max(1, threads);
-  slots_.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) slots_.push_back(std::make_unique<Slot>());
+ThreadPool::ThreadPool(const Options& options) : options_(options) {
+  const int n = std::max(1, options.threads);
+  options_.threads = n;
+  const Topology topo = Topology::detect();
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->steal_order = steal_order(topo, i, n);
+  }
   threads_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)
-    threads_.emplace_back([this, i] { worker_loop(i); });
+    threads_.emplace_back([this, i, topo] {
+      if (options_.pin_workers)
+        pin_worker(topo, i, static_cast<int>(workers_.size()));
+      worker_loop(i);
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -34,6 +44,7 @@ ThreadPool::~ThreadPool() {
   }
   wake_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
+  // All tasks have completed (wait_idle), so no queued Task* remain.
 }
 
 void ThreadPool::submit(std::function<void()> fn) {
@@ -47,14 +58,19 @@ void ThreadPool::submit(std::function<void()> fn) {
     trace::counter(trace::Category::kExec, "exec.queue_depth",
                    static_cast<double>(depth));
   }
+  Task* task = new Task(std::move(fn));
   const int w = (t_pool == this) ? t_worker : -1;
   if (w >= 0) {
-    Slot& slot = *slots_[static_cast<std::size_t>(w)];
-    std::lock_guard<std::mutex> lock(slot.mutex);
-    slot.deque.push_back(std::move(fn));
+    Worker& worker = *workers_[static_cast<std::size_t>(w)];
+    if (options_.mutex_deques) {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      worker.mutex_deque.push_back(task);
+    } else {
+      worker.deque.push(task);
+    }
   } else {
     std::lock_guard<std::mutex> lock(injection_mutex_);
-    injection_.push_back(std::move(fn));
+    injection_.push_back(task);
   }
   {
     std::lock_guard<std::mutex> lock(wake_mutex_);
@@ -63,53 +79,85 @@ void ThreadPool::submit(std::function<void()> fn) {
   wake_cv_.notify_one();
 }
 
-std::function<void()> ThreadPool::take(int worker) {
+ThreadPool::Task* ThreadPool::pop_own(int worker) {
+  Worker& own = *workers_[static_cast<std::size_t>(worker)];
+  if (options_.mutex_deques) {
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (own.mutex_deque.empty()) return nullptr;
+    Task* task = own.mutex_deque.back();
+    own.mutex_deque.pop_back();
+    return task;
+  }
+  return own.deque.pop();
+}
+
+ThreadPool::Task* ThreadPool::steal_from(int victim) {
+  Worker& slot = *workers_[static_cast<std::size_t>(victim)];
+  if (options_.mutex_deques) {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.mutex_deque.empty()) return nullptr;
+    Task* task = slot.mutex_deque.front();
+    slot.mutex_deque.pop_front();
+    return task;
+  }
+  return slot.deque.steal();
+}
+
+void ThreadPool::count_steal_failure(int worker) {
+  if (worker >= 0)
+    workers_[static_cast<std::size_t>(worker)]->steal_failures.fetch_add(
+        1, std::memory_order_relaxed);
+  else
+    external_steal_failures_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ThreadPool::Task* ThreadPool::take(int worker) {
   // 1. Own deque, newest first (cache-warm subtasks).
   if (worker >= 0) {
-    Slot& own = *slots_[static_cast<std::size_t>(worker)];
-    std::lock_guard<std::mutex> lock(own.mutex);
-    if (!own.deque.empty()) {
-      auto fn = std::move(own.deque.back());
-      own.deque.pop_back();
-      return fn;
-    }
+    if (Task* task = pop_own(worker)) return task;
   }
   // 2. Injection queue, oldest first.
   {
     std::lock_guard<std::mutex> lock(injection_mutex_);
     if (!injection_.empty()) {
-      auto fn = std::move(injection_.front());
+      Task* task = injection_.front();
       injection_.pop_front();
-      return fn;
+      return task;
     }
   }
-  // 3. Steal from siblings, oldest first (largest remaining work).
-  const std::size_t n = slots_.size();
-  const std::size_t start =
-      worker >= 0 ? static_cast<std::size_t>(worker + 1) : 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t victim = (start + i) % n;
-    if (worker >= 0 && victim == static_cast<std::size_t>(worker)) continue;
-    Slot& slot = *slots_[victim];
-    std::lock_guard<std::mutex> lock(slot.mutex);
-    if (!slot.deque.empty()) {
-      auto fn = std::move(slot.deque.front());
-      slot.deque.pop_front();
-      const std::uint64_t steals =
-          stolen_.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (trace::enabled(trace::Category::kExec)) {
-        trace::counter(trace::Category::kExec, "exec.steals",
-                       static_cast<double>(steals));
+  // 3. Steal from siblings, oldest first (largest remaining work),
+  // same-NUMA-node victims first. No tracing in here: this is the hot
+  // spin path and must not take locks or touch the trace buffers.
+  const int n = static_cast<int>(workers_.size());
+  if (worker >= 0) {
+    Worker& own = *workers_[static_cast<std::size_t>(worker)];
+    for (const int victim : own.steal_order) {
+      if (Task* task = steal_from(victim)) {
+        own.stolen.fetch_add(1, std::memory_order_relaxed);
+        return task;
       }
-      return fn;
+      count_steal_failure(worker);
+    }
+  } else {
+    for (int victim = 0; victim < n; ++victim) {
+      if (Task* task = steal_from(victim)) {
+        external_stolen_.fetch_add(1, std::memory_order_relaxed);
+        return task;
+      }
+      count_steal_failure(worker);
     }
   }
-  return {};
+  return nullptr;
 }
 
-void ThreadPool::execute(std::function<void()> fn) {
-  fn();
-  executed_.fetch_add(1, std::memory_order_relaxed);
+void ThreadPool::execute(Task* task, int worker) {
+  (*task)();
+  delete task;
+  if (worker >= 0)
+    workers_[static_cast<std::size_t>(worker)]->executed.fetch_add(
+        1, std::memory_order_relaxed);
+  else
+    external_executed_.fetch_add(1, std::memory_order_relaxed);
   if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard<std::mutex> lock(wake_mutex_);
     idle_cv_.notify_all();
@@ -118,19 +166,31 @@ void ThreadPool::execute(std::function<void()> fn) {
 
 bool ThreadPool::run_one() {
   const int worker = (t_pool == this) ? t_worker : -1;
-  auto fn = take(worker);
-  if (!fn) return false;
-  execute(std::move(fn));
+  Task* task = take(worker);
+  if (task == nullptr) return false;
+  execute(task, worker);
   return true;
+}
+
+void ThreadPool::publish_trace_counters() {
+  if (!trace::enabled(trace::Category::kExec)) return;
+  const Stats s = stats();
+  trace::counter(trace::Category::kExec, "exec.steals",
+                 static_cast<double>(s.stolen));
+  trace::counter(trace::Category::kExec, "exec.steal_failures",
+                 static_cast<double>(s.steal_failures));
+  trace::counter(trace::Category::kExec, "exec.parks",
+                 static_cast<double>(s.parks));
 }
 
 void ThreadPool::worker_loop(int index) {
   t_pool = this;
   t_worker = index;
   trace::set_thread_name("worker-" + std::to_string(index));
+  Worker& self = *workers_[static_cast<std::size_t>(index)];
   while (true) {
-    if (auto fn = take(index)) {
-      execute(std::move(fn));
+    if (Task* task = take(index)) {
+      execute(task, index);
       continue;
     }
     std::unique_lock<std::mutex> lock(wake_mutex_);
@@ -139,12 +199,17 @@ void ThreadPool::worker_loop(int index) {
     lock.unlock();
     // Late re-check: a submit may have landed between the failed take and
     // reading the epoch.
-    if (auto fn = take(index)) {
-      execute(std::move(fn));
+    if (Task* task = take(index)) {
+      execute(task, index);
       continue;
     }
+    // About to park: this is the slow path, so trace emission (which may
+    // allocate a buffer chunk) is safe here — never in take().
+    publish_trace_counters();
+    self.parks.fetch_add(1, std::memory_order_relaxed);
     lock.lock();
     wake_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+    self.unparks.fetch_add(1, std::memory_order_relaxed);
     if (stop_) return;
   }
 }
@@ -153,7 +218,7 @@ void ThreadPool::wait_idle() {
   while (true) {
     if (run_one()) continue;
     std::unique_lock<std::mutex> lock(wake_mutex_);
-    if (unfinished_.load(std::memory_order_acquire) == 0) return;
+    if (unfinished_.load(std::memory_order_acquire) == 0) break;
     const std::uint64_t seen = epoch_;
     // Wake on either full drain (idle_cv_) or new work to help with
     // (epoch change). Periodic re-check covers the cross-cv race cheaply.
@@ -162,12 +227,25 @@ void ThreadPool::wait_idle() {
              epoch_ != seen;
     });
   }
+  publish_trace_counters();
 }
 
 ThreadPool::Stats ThreadPool::stats() const {
-  return {executed_.load(std::memory_order_relaxed),
-          stolen_.load(std::memory_order_relaxed),
-          max_queue_depth_.load(std::memory_order_relaxed)};
+  Stats s;
+  s.executed = external_executed_.load(std::memory_order_relaxed);
+  s.stolen = external_stolen_.load(std::memory_order_relaxed);
+  s.steal_failures =
+      external_steal_failures_.load(std::memory_order_relaxed);
+  for (const auto& worker : workers_) {
+    s.executed += worker->executed.load(std::memory_order_relaxed);
+    s.stolen += worker->stolen.load(std::memory_order_relaxed);
+    s.steal_failures +=
+        worker->steal_failures.load(std::memory_order_relaxed);
+    s.parks += worker->parks.load(std::memory_order_relaxed);
+    s.unparks += worker->unparks.load(std::memory_order_relaxed);
+  }
+  s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  return s;
 }
 
 int ThreadPool::current_worker() const {

@@ -8,6 +8,16 @@
 // (FIFO: oldest, usually largest work) or the injection queue. Threads
 // submitting from outside the pool land in the injection queue.
 //
+// The per-worker deques are Chase-Lev lock-free deques (chase_lev.hpp):
+// the owner's push/pop touch no lock and no contended cache line on the
+// fast path; thieves synchronize through one CAS on the victim's `top`.
+// Victims are visited in topology order — same-NUMA-node workers first —
+// and workers are best-effort pinned to CPUs when the host has enough of
+// them (exec/topology.hpp). The pre-PR mutex-guarded deques survive as a
+// baseline for A/B measurement: per pool via Options::mutex_deques, or
+// build-wide with -DPRESP_EXEC_MUTEX_DEQUE=ON (bench_micro --contention
+// compares both in one binary).
+//
 // Determinism contract: the pool never promises an execution *order*, so
 // tasks must be data-independent (or ordered via TaskGraph dependencies)
 // and reductions must combine partial results in a task-index order chosen
@@ -27,19 +37,39 @@
 #include <thread>
 #include <vector>
 
+#include "exec/chase_lev.hpp"
 #include "trace/trace.hpp"
 
 namespace presp::exec {
 
 class ThreadPool {
  public:
+  struct Options {
+    int threads = 1;
+    /// Fall back to the mutex-guarded per-worker deques (the pre-Chase-Lev
+    /// implementation). Kept for A/B contention measurement; defaults to
+    /// the build-time PRESP_EXEC_MUTEX_DEQUE flag.
+    bool mutex_deques =
+#if defined(PRESP_EXEC_MUTEX_DEQUE)
+        true;
+#else
+        false;
+#endif
+    /// Pin workers round-robin to CPUs (no-op when the host has fewer
+    /// CPUs than workers, or off Linux).
+    bool pin_workers = true;
+  };
+
   /// Spawns `threads` workers (clamped to >= 1).
-  explicit ThreadPool(int threads);
+  explicit ThreadPool(int threads) : ThreadPool(make_options(threads)) {}
+  explicit ThreadPool(const Options& options);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int threads() const { return static_cast<int>(threads_.size()); }
+  /// True when this pool runs the mutex-deque baseline implementation.
+  bool mutex_deques() const { return options_.mutex_deques; }
 
   /// Enqueues one task. Callable from any thread, including from inside a
   /// running task (the subtask lands in the submitting worker's own deque).
@@ -60,6 +90,11 @@ class ThreadPool {
   struct Stats {
     std::uint64_t executed = 0;  // tasks run to completion
     std::uint64_t stolen = 0;    // tasks taken from another worker's deque
+    /// Steal probes that found nothing (empty victim or lost CAS race).
+    std::uint64_t steal_failures = 0;
+    /// Times a worker went to sleep on the wake cv / was woken from it.
+    std::uint64_t parks = 0;
+    std::uint64_t unparks = 0;
     std::uint64_t max_queue_depth = 0;  // peak in-flight (queued+running)
   };
   Stats stats() const;
@@ -69,22 +104,54 @@ class ThreadPool {
   int current_worker() const;
 
  private:
-  struct Slot {
+  using Task = std::function<void()>;
+
+  static Options make_options(int threads) {
+    Options options;
+    options.threads = threads;
+    return options;
+  }
+
+  /// One per worker, cache-line separated so a worker's own-counter
+  /// updates never bounce a line a sibling is spinning on.
+  struct alignas(64) Worker {
+    ChaseLevDeque<Task> deque;
+    // Mutex-deque baseline (Options::mutex_deques).
     std::mutex mutex;
-    std::deque<std::function<void()>> deque;
+    std::deque<Task*> mutex_deque;
+    /// Victim visitation order, same-NUMA-node first (topology.hpp).
+    std::vector<int> steal_order;
+    // Per-worker counters: written by the owning thread only (relaxed),
+    // aggregated by stats().
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+    std::atomic<std::uint64_t> steal_failures{0};
+    std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> unparks{0};
   };
 
   void worker_loop(int index);
   /// Takes a task: own deque back (worker >= 0), else injection front,
-  /// else steal from sibling fronts. Returns empty function if none.
-  std::function<void()> take(int worker);
-  void execute(std::function<void()> fn);
+  /// else steal from sibling fronts. Returns nullptr if none. Failed
+  /// steal probes are charged to `worker`'s counters (or the pool-level
+  /// external counters for worker < 0); no tracing happens in here — the
+  /// steal fast path must stay call-free (counters are published from the
+  /// park slow path; see publish_trace_counters).
+  Task* take(int worker);
+  Task* pop_own(int worker);
+  Task* steal_from(int victim);
+  void execute(Task* task, int worker);
+  /// Slow-path-only trace emission: aggregates the per-worker counters
+  /// into the exec.steals / exec.steal_failures / exec.parks counters.
+  void publish_trace_counters();
+  void count_steal_failure(int worker);
 
-  std::vector<std::unique_ptr<Slot>> slots_;
+  Options options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
   std::mutex injection_mutex_;
-  std::deque<std::function<void()>> injection_;
+  std::deque<Task*> injection_;
 
   // Sleep/wake protocol: epoch_ increments under wake_mutex_ on every
   // submit, so a worker that saw empty queues re-checks instead of
@@ -96,9 +163,11 @@ class ThreadPool {
   bool stop_ = false;
 
   std::atomic<std::uint64_t> unfinished_{0};
-  std::atomic<std::uint64_t> executed_{0};
-  std::atomic<std::uint64_t> stolen_{0};
   std::atomic<std::uint64_t> max_queue_depth_{0};
+  // External-thread (worker < 0) counters; workers use their own slots.
+  std::atomic<std::uint64_t> external_executed_{0};
+  std::atomic<std::uint64_t> external_stolen_{0};
+  std::atomic<std::uint64_t> external_steal_failures_{0};
 };
 
 /// Fork-join group for nested parallelism: tasks spawned through a group

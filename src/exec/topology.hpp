@@ -1,0 +1,50 @@
+// Host CPU topology for the execution engine: which logical CPUs exist,
+// which NUMA node each belongs to, and the derived per-worker steal
+// order (same-node victims first, then remote nodes, each group walked
+// in ring order starting after the stealing worker).
+//
+// Detection reads /sys/devices/system/node/node*/cpulist on Linux and
+// degrades to a single node of hardware_concurrency() CPUs anywhere the
+// sysfs layout is absent (containers, macOS, BSDs). Everything here is
+// pure data — the only side effect lives in pin_worker(), which applies
+// a best-effort CPU affinity mask and is a no-op off Linux or when the
+// host has fewer CPUs than workers (pinning an oversubscribed pool just
+// serializes it).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace presp::exec {
+
+struct Topology {
+  /// Logical CPU count (>= 1).
+  int cpus = 1;
+  /// node_of_cpu[cpu] = NUMA node index (0-based, dense).
+  std::vector<int> node_of_cpu;
+  int nodes = 1;
+
+  /// Reads the live host topology (cached detection is the caller's
+  /// concern; detection is cheap but not free).
+  static Topology detect();
+
+  /// Parses a sysfs-style cpulist ("0-3,8,10-11") into CPU indices.
+  /// Exposed for tests; malformed chunks are skipped.
+  static std::vector<int> parse_cpulist(const std::string& text);
+
+  /// Node a worker lands on when workers are assigned to CPUs
+  /// round-robin (worker w -> cpu w % cpus).
+  int node_of_worker(int worker) const;
+};
+
+/// Victim visitation order for `worker` in a `num_workers`-wide pool:
+/// same-node workers first, then each remote node's workers, both in
+/// ring order starting at worker+1. Never contains `worker` itself.
+std::vector<int> steal_order(const Topology& topo, int worker,
+                             int num_workers);
+
+/// Best-effort: pins the calling thread (pool worker `worker`) to its
+/// round-robin CPU. Returns true when an affinity mask was applied.
+bool pin_worker(const Topology& topo, int worker, int num_workers);
+
+}  // namespace presp::exec

@@ -1,8 +1,11 @@
 #include "lint/rules.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <set>
@@ -961,6 +964,96 @@ void check_unreachable_task(LintContext& ctx, DiagnosticEngine& engine) {
   }
 }
 
+/// Nearest existing ancestor of `path` (the path itself when it exists).
+std::filesystem::path nearest_existing(std::filesystem::path path) {
+  std::error_code ec;
+  while (!path.empty() && !std::filesystem::exists(path, ec)) {
+    const std::filesystem::path parent = path.parent_path();
+    if (parent == path) break;
+    path = parent;
+  }
+  return path.empty() ? std::filesystem::current_path(ec) : path;
+}
+
+void check_exec_cache_dir_writable(LintContext& ctx,
+                                   DiagnosticEngine& engine) {
+  const Config& raw = ctx.raw();
+  if (!raw.has("exec", "cache_dir")) return;
+  const int line = ctx.line_of("exec", "cache_dir");
+  const std::string dir = raw.get_or("exec", "cache_dir", "");
+  if (dir.empty()) {
+    engine.add({"exec.cache-dir-writable",
+                Severity::kError,
+                {ctx.file(), line, "exec"},
+                "cache_dir is set but empty: the flow cache would be "
+                "silently disabled",
+                "remove the key or point it at a writable directory"});
+    return;
+  }
+  // The flow creates missing directories itself, so only the nearest
+  // existing ancestor has to be a writable directory at lint time.
+  std::error_code ec;
+  const std::filesystem::path anchor = nearest_existing(dir);
+  if (std::filesystem::exists(anchor, ec) &&
+      !std::filesystem::is_directory(anchor, ec)) {
+    engine.add({"exec.cache-dir-writable",
+                Severity::kError,
+                {ctx.file(), line, "exec"},
+                "cache_dir '" + dir + "' cannot be created: '" +
+                    anchor.string() + "' exists and is not a directory",
+                "point cache_dir below an existing directory"});
+    return;
+  }
+  if (::access(anchor.c_str(), W_OK | X_OK) != 0) {
+    engine.add({"exec.cache-dir-writable",
+                Severity::kError,
+                {ctx.file(), line, "exec"},
+                "cache_dir '" + dir + "' is not writable (nearest "
+                "existing ancestor '" + anchor.string() +
+                    "' denies write access)",
+                "choose a directory the flow can create files in"});
+  }
+}
+
+void check_exec_cache_size_bounds(LintContext& ctx,
+                                  DiagnosticEngine& engine) {
+  const Config& raw = ctx.raw();
+  if (!raw.has("exec", "cache_max_bytes")) return;
+  const int line = ctx.line_of("exec", "cache_max_bytes");
+  long long max_bytes = 0;
+  try {
+    max_bytes = raw.get_int("exec", "cache_max_bytes");
+  } catch (const Error& e) {
+    engine.add({"exec.cache-size-bounds",
+                Severity::kError,
+                {ctx.file(), line, "exec"},
+                std::string("cache_max_bytes: ") + e.what(),
+                "use a byte count (0 or negative means unbounded)"});
+    return;
+  }
+  // A single static-region checkpoint (routing usage vector) already
+  // runs to hundreds of kilobytes; caps below 1 MiB just thrash.
+  constexpr long long kMinUseful = 1LL << 20;
+  if (max_bytes > 0 && max_bytes < kMinUseful) {
+    engine.add({"exec.cache-size-bounds",
+                Severity::kError,
+                {ctx.file(), line, "exec"},
+                "cache_max_bytes " + std::to_string(max_bytes) +
+                    " is smaller than a single checkpoint: every store "
+                    "would immediately evict",
+                "use at least " + std::to_string(kMinUseful) +
+                    " (1 MiB), or 0 for unbounded"});
+  }
+  if (!raw.has("exec", "cache_dir")) {
+    engine.add({"exec.cache-size-bounds",
+                Severity::kWarning,
+                {ctx.file(), line, "exec"},
+                "cache_max_bytes has no effect: cache_dir is not set, so "
+                "the flow cache is disabled",
+                "set [exec] cache_dir to enable the cache"});
+  }
+}
+
 // ------------------------------------------------- artifact-gate rules
 
 void force_parse(LintContext& ctx, DiagnosticEngine&) {
@@ -1145,6 +1238,15 @@ const RuleRegistry& RuleRegistry::builtin() {
     r.add({"exec.unreachable-task", "exec",
            "every task can eventually become ready", Severity::kWarning},
           check_unreachable_task);
+    r.add({"exec.cache-dir-writable", "exec",
+           "[exec] cache_dir points at a creatable, writable directory",
+           Severity::kError},
+          check_exec_cache_dir_writable);
+    r.add({"exec.cache-size-bounds", "exec",
+           "[exec] cache_max_bytes is a sane byte budget and paired "
+           "with cache_dir",
+           Severity::kError},
+          check_exec_cache_size_bounds);
     // pnr (catalog-only: emitted by pnr::verify_placement)
     r.add({"pnr.unplaced-cell", "pnr",
            "every cell has a valid placement location", Severity::kError});

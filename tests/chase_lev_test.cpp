@@ -1,0 +1,166 @@
+// Chase-Lev deque: owner-side LIFO semantics, ring growth across the
+// capacity boundary, and exactly-once delivery under concurrent thieves.
+// The stress tests are the tier-1 TSan stage's main target: every
+// interleaving of owner pop vs thief steal must hand each task to
+// exactly one consumer, with no data race on the ring cells.
+#include "exec/chase_lev.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace presp::exec {
+namespace {
+
+TEST(ChaseLevTest, PopOnEmptyReturnsNull) {
+  ChaseLevDeque<int> deque;
+  EXPECT_EQ(deque.pop(), nullptr);
+  EXPECT_EQ(deque.steal(), nullptr);
+  EXPECT_EQ(deque.size_approx(), 0);
+}
+
+TEST(ChaseLevTest, OwnerPushPopIsLifo) {
+  ChaseLevDeque<int> deque;
+  int values[3] = {10, 20, 30};
+  for (int& v : values) deque.push(&v);
+  EXPECT_EQ(deque.size_approx(), 3);
+  EXPECT_EQ(deque.pop(), &values[2]);
+  EXPECT_EQ(deque.pop(), &values[1]);
+  EXPECT_EQ(deque.pop(), &values[0]);
+  EXPECT_EQ(deque.pop(), nullptr);
+}
+
+TEST(ChaseLevTest, StealTakesOldestFirst) {
+  ChaseLevDeque<int> deque;
+  int values[3] = {1, 2, 3};
+  for (int& v : values) deque.push(&v);
+  EXPECT_EQ(deque.steal(), &values[0]);  // FIFO from the top end
+  EXPECT_EQ(deque.steal(), &values[1]);
+  EXPECT_EQ(deque.pop(), &values[2]);
+  EXPECT_EQ(deque.steal(), nullptr);
+}
+
+TEST(ChaseLevTest, CapacityRoundsUpToPowerOfTwo) {
+  ChaseLevDeque<int> deque(5);
+  EXPECT_EQ(deque.capacity(), 8u);
+  ChaseLevDeque<int> tiny(1);
+  EXPECT_EQ(tiny.capacity(), 2u);
+}
+
+TEST(ChaseLevTest, GrowsAcrossCapacityBoundaryPreservingOrder) {
+  ChaseLevDeque<int> deque(2);
+  ASSERT_EQ(deque.capacity(), 2u);
+  std::vector<int> values(9);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int>(i);
+    deque.push(&values[i]);
+  }
+  EXPECT_GE(deque.capacity(), values.size());
+  // LIFO order survives the copies into bigger rings.
+  for (int i = static_cast<int>(values.size()) - 1; i >= 0; --i)
+    EXPECT_EQ(deque.pop(), &values[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(deque.pop(), nullptr);
+}
+
+TEST(ChaseLevTest, GrowthAtExactBoundaryWithStolenPrefix) {
+  // Steal a prefix first so the live window wraps the ring before the
+  // growth copy (top > 0 exercises the modular copy in grow()).
+  ChaseLevDeque<int> deque(4);
+  std::vector<int> values(12);
+  for (int i = 0; i < 3; ++i) deque.push(&values[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(deque.steal(), &values[0]);
+  EXPECT_EQ(deque.steal(), &values[1]);
+  for (std::size_t i = 3; i < values.size(); ++i) deque.push(&values[i]);
+  // 1 survivor + 9 pushed = 10 live.
+  EXPECT_EQ(deque.size_approx(), 10);
+  EXPECT_EQ(deque.steal(), &values[2]);
+  for (std::size_t i = values.size(); i-- > 3;)
+    EXPECT_EQ(deque.pop(), &values[i]);
+  EXPECT_EQ(deque.pop(), nullptr);
+}
+
+// Exactly-once delivery: T thieves race the owner for every element;
+// each element must be consumed once and only once.
+TEST(ChaseLevStressTest, ConcurrentStealersReceiveEachTaskExactlyOnce) {
+  constexpr int kTasks = 20'000;
+  constexpr int kThieves = 3;
+  ChaseLevDeque<int> deque(8);  // small initial ring: force growth races
+  std::vector<int> tasks(kTasks);
+  std::vector<std::atomic<int>> consumed(kTasks);
+  for (auto& c : consumed) c.store(0, std::memory_order_relaxed);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  for (int th = 0; th < kThieves; ++th)
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (int* task = deque.steal())
+          consumed[static_cast<std::size_t>(task - tasks.data())].fetch_add(
+              1, std::memory_order_relaxed);
+      }
+      // Drain whatever the owner left behind.
+      while (int* task = deque.steal())
+        consumed[static_cast<std::size_t>(task - tasks.data())].fetch_add(
+            1, std::memory_order_relaxed);
+    });
+
+  // Owner: interleave pushes with pops to exercise the last-element CAS.
+  for (int i = 0; i < kTasks; ++i) {
+    deque.push(&tasks[static_cast<std::size_t>(i)]);
+    if (i % 3 == 0) {
+      if (int* task = deque.pop())
+        consumed[static_cast<std::size_t>(task - tasks.data())].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+  }
+  while (int* task = deque.pop())
+    consumed[static_cast<std::size_t>(task - tasks.data())].fetch_add(
+        1, std::memory_order_relaxed);
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : thieves) t.join();
+
+  for (int i = 0; i < kTasks; ++i)
+    ASSERT_EQ(consumed[static_cast<std::size_t>(i)].load(), 1)
+        << "task " << i << " consumed wrong number of times";
+}
+
+// Owner pops everything while thieves hammer: the pop-side CAS path.
+TEST(ChaseLevStressTest, OwnerAndThievesDrainWithoutLossOrDuplication) {
+  constexpr int kRounds = 200;
+  constexpr int kBatch = 64;
+  ChaseLevDeque<int> deque(4);
+  std::vector<int> tasks(kRounds * kBatch);
+  std::atomic<long long> stolen_sum{0};
+  std::atomic<long long> popped_sum{0};
+  std::atomic<bool> done{false};
+
+  std::thread thief([&] {
+    long long sum = 0;
+    while (!done.load(std::memory_order_acquire))
+      if (int* task = deque.steal()) sum += *task;
+    while (int* task = deque.steal()) sum += *task;
+    stolen_sum.store(sum, std::memory_order_release);
+  });
+
+  long long pushed_sum = 0;
+  long long local_popped = 0;
+  int next = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < kBatch; ++i, ++next) {
+      tasks[static_cast<std::size_t>(next)] = next;
+      pushed_sum += next;
+      deque.push(&tasks[static_cast<std::size_t>(next)]);
+    }
+    while (int* task = deque.pop()) local_popped += *task;
+  }
+  done.store(true, std::memory_order_release);
+  thief.join();
+  popped_sum.store(local_popped, std::memory_order_release);
+
+  EXPECT_EQ(stolen_sum.load() + popped_sum.load(), pushed_sum);
+}
+
+}  // namespace
+}  // namespace presp::exec

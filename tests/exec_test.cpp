@@ -246,5 +246,50 @@ TEST(TaskGraph, StealingActuallyHappensUnderImbalance) {
   EXPECT_EQ(pool.stats().executed, 256u);
 }
 
+TEST(ThreadPool, MutexDequeBaselineExecutesIdentically) {
+  ThreadPool::Options options;
+  options.threads = 4;
+  options.mutex_deques = true;
+  ThreadPool pool(options);
+  EXPECT_TRUE(pool.mutex_deques());
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 512; ++i) group.run([&count] { ++count; });
+  group.wait();
+  EXPECT_EQ(count.load(), 512);
+  EXPECT_EQ(pool.stats().executed, 512u);
+}
+
+TEST(ThreadPool, LockFreeIsTheDefaultUnlessBuildFlagSet) {
+  ThreadPool pool(2);
+#if defined(PRESP_EXEC_MUTEX_DEQUE)
+  EXPECT_TRUE(pool.mutex_deques());
+#else
+  EXPECT_FALSE(pool.mutex_deques());
+#endif
+}
+
+TEST(ThreadPool, StatsExposeStealFailuresAndParkTransitions) {
+  ThreadPool pool(4);
+  {
+    // Burst of work, then a quiet period: workers must park, and their
+    // empty-probe sweeps must register as steal failures.
+    TaskGroup group(&pool);
+    for (int i = 0; i < 64; ++i)
+      group.run([] {
+        volatile int x = 0;
+        for (int j = 0; j < 500; ++j) x = x + j;
+      });
+    group.wait();
+  }
+  pool.wait_idle();
+  const ThreadPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.executed, 64u);
+  // Workers that raced for the last tasks probed empty deques.
+  EXPECT_GT(stats.steal_failures, 0u);
+  // Unparks never exceed parks (a park must precede its unpark).
+  EXPECT_LE(stats.unparks, stats.parks + 4);
+}
+
 }  // namespace
 }  // namespace presp::exec

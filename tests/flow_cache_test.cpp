@@ -1,0 +1,286 @@
+// Flow artifact cache: key derivation, blob round-trips, poisoned-entry
+// rejection, LRU eviction under the byte cap, and the end-to-end warm-run
+// contract (one modified member invalidates exactly that member).
+#include "core/flow_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "bitstream/artifact_io.hpp"
+#include "core/flow.hpp"
+#include "core/reference_designs.hpp"
+#include "fabric/device.hpp"
+#include "netlist/soc_config.hpp"
+#include "util/error.hpp"
+
+namespace presp::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+ModuleEntry sample_module(std::uint32_t seed) {
+  ModuleEntry e;
+  e.utilization = {1000 + seed, 2000, 3, 4};
+  e.routed = true;
+  e.fmax_mhz = 100.5;
+  e.pbs.design = "soc";
+  e.pbs.module = "mod" + std::to_string(seed);
+  e.pbs.pblock = {1, 4, 0, 1};
+  e.pbs.partial = true;
+  e.pbs.words.assign(4096, seed);
+  e.pbs.crc = bitstream::crc32(e.pbs.words);
+  return e;
+}
+
+TEST(KeyBuilderTest, FieldsDoNotAlias) {
+  const auto k1 = FlowCache::KeyBuilder().add("ab").add("c").finish();
+  const auto k2 = FlowCache::KeyBuilder().add("a").add("bc").finish();
+  EXPECT_NE(k1, k2);
+  const auto k3 = FlowCache::KeyBuilder().add(12LL).add(3LL).finish();
+  const auto k4 = FlowCache::KeyBuilder().add(1LL).add(23LL).finish();
+  EXPECT_NE(k3, k4);
+}
+
+TEST(KeyBuilderTest, DeterministicAndSensitiveToEveryField) {
+  const auto base =
+      FlowCache::KeyBuilder().add("mod").add(100LL).add(1.5).finish();
+  EXPECT_EQ(FlowCache::KeyBuilder().add("mod").add(100LL).add(1.5).finish(),
+            base);
+  EXPECT_NE(FlowCache::KeyBuilder().add("mox").add(100LL).add(1.5).finish(),
+            base);
+  EXPECT_NE(FlowCache::KeyBuilder().add("mod").add(101LL).add(1.5).finish(),
+            base);
+  EXPECT_NE(FlowCache::KeyBuilder().add("mod").add(100LL).add(1.6).finish(),
+            base);
+}
+
+TEST(FlowCacheTest, ColdMissThenWarmHitRoundTrips) {
+  FlowCacheOptions opt;
+  opt.dir = fresh_dir("fc_roundtrip");
+  FlowCache cache(opt);
+
+  EXPECT_FALSE(cache.load_module(42).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  const ModuleEntry stored = sample_module(7);
+  cache.store_module(42, stored);
+  EXPECT_EQ(cache.stats().stores, 1u);
+
+  // A second cache object over the same directory sees the entry.
+  FlowCache warm(opt);
+  const auto loaded = warm.load_module(42);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(warm.stats().hits, 1u);
+  EXPECT_EQ(loaded->utilization.luts, stored.utilization.luts);
+  EXPECT_EQ(loaded->routed, stored.routed);
+  EXPECT_DOUBLE_EQ(loaded->fmax_mhz, stored.fmax_mhz);
+  EXPECT_EQ(loaded->pbs.words, stored.pbs.words);
+  EXPECT_EQ(loaded->pbs.crc, stored.pbs.crc);
+  EXPECT_EQ(loaded->pbs.module, stored.pbs.module);
+}
+
+TEST(FlowCacheTest, StaticEntriesRoundTrip) {
+  FlowCacheOptions opt;
+  opt.dir = fresh_dir("fc_static");
+  FlowCache cache(opt);
+
+  StaticMetaEntry meta;
+  meta.utilization = {111, 222, 3, 4};
+  cache.store_static_meta(1, meta);
+  const auto meta_back = cache.load_static_meta(1);
+  ASSERT_TRUE(meta_back.has_value());
+  EXPECT_EQ(meta_back->utilization.ffs, 222);
+
+  StaticPnrEntry pnr;
+  pnr.ok = true;
+  pnr.fmax_mhz = 96.5;
+  pnr.full_bitstream_bytes = 1234567;
+  pnr.cols = 10;
+  pnr.rows = 7;
+  pnr.usage = {0, 5, 0, 9, 2};
+  cache.store_static_pnr(2, pnr);
+  const auto pnr_back = cache.load_static_pnr(2);
+  ASSERT_TRUE(pnr_back.has_value());
+  EXPECT_TRUE(pnr_back->ok);
+  EXPECT_EQ(pnr_back->usage, pnr.usage);
+  EXPECT_EQ(pnr_back->full_bitstream_bytes, 1234567u);
+}
+
+TEST(FlowCacheTest, KindMismatchIsRejected) {
+  FlowCacheOptions opt;
+  opt.dir = fresh_dir("fc_kind");
+  FlowCache cache(opt);
+  StaticMetaEntry meta;
+  cache.store_static_meta(5, meta);
+  // Same key probed as a different kind: schema drift, not a hit.
+  EXPECT_FALSE(cache.load_module(5).has_value());
+  EXPECT_EQ(cache.stats().poisoned, 1u);
+}
+
+TEST(FlowCacheTest, PoisonedEntryIsRejectedAndRemoved) {
+  FlowCacheOptions opt;
+  opt.dir = fresh_dir("fc_poison");
+  FlowCache cache(opt);
+  cache.store_module(99, sample_module(1));
+
+  // Flip one payload byte on disk; the blob hash must catch it.
+  fs::path victim;
+  for (const auto& entry : fs::directory_iterator(opt.dir))
+    victim = entry.path();
+  ASSERT_FALSE(victim.empty());
+  {
+    std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    f.put('\xee');
+  }
+
+  FlowCache reopened(opt);
+  EXPECT_FALSE(reopened.load_module(99).has_value());
+  EXPECT_EQ(reopened.stats().poisoned, 1u);
+  EXPECT_EQ(reopened.stats().hits, 0u);
+  EXPECT_FALSE(fs::exists(victim));  // rejected entries are deleted
+
+  // Truncation is also rejected.
+  cache.store_module(77, sample_module(2));
+  for (const auto& entry : fs::directory_iterator(opt.dir))
+    fs::resize_file(entry.path(), 10);
+  FlowCache truncated(opt);
+  EXPECT_FALSE(truncated.load_module(77).has_value());
+  EXPECT_EQ(truncated.stats().poisoned, 1u);
+}
+
+TEST(FlowCacheTest, EvictsOldestUnderSizeCap) {
+  FlowCacheOptions opt;
+  opt.dir = fresh_dir("fc_evict");
+  // Each sample entry lands around a few hundred bytes compressed; a
+  // cap of ~3 entries forces eviction on the fourth store.
+  // Probe with a nonzero fill: seed 0 would RLE away to a much smaller
+  // blob than the entries stored below and starve the cap.
+  FlowCache probe(opt);
+  probe.store_module(0, sample_module(9));
+  const long long one_entry = probe.stats().bytes;
+  ASSERT_GT(one_entry, 0);
+  fs::remove_all(opt.dir);
+
+  opt.max_bytes = 3 * one_entry + one_entry / 2;
+  FlowCache cache(opt);
+  for (std::uint64_t k = 1; k <= 4; ++k) {
+    cache.store_module(k, sample_module(static_cast<std::uint32_t>(k)));
+    // mtime granularity: make LRU order unambiguous across stores.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().bytes, opt.max_bytes);
+  // Oldest (key 1) is gone, newest (key 4) survives.
+  EXPECT_FALSE(cache.load_module(1).has_value());
+  EXPECT_TRUE(cache.load_module(4).has_value());
+}
+
+TEST(FlowCacheTest, UnboundedWhenMaxBytesNonPositive) {
+  FlowCacheOptions opt;
+  opt.dir = fresh_dir("fc_unbounded");
+  opt.max_bytes = 0;
+  FlowCache cache(opt);
+  for (std::uint64_t k = 0; k < 6; ++k)
+    cache.store_module(k, sample_module(static_cast<std::uint32_t>(k)));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+// ---- end-to-end: the flow over a real SoC config --------------------
+
+FlowOptions fast_options(const std::string& cache_dir) {
+  FlowOptions opt;
+  opt.pnr.placer.temperature_steps = 4;
+  opt.pnr.placer.moves_per_cell = 1;
+  opt.pnr.router.max_iterations = 1;
+  opt.floorplan.refine_iterations = 20;
+  opt.cache.dir = cache_dir;
+  return opt;
+}
+
+TEST(FlowCacheIntegrationTest, WarmRunHitsEveryStageAndMatchesCold) {
+  const std::string dir = fresh_dir("fc_flow");
+  const auto lib = characterization_library();
+  const auto device = fabric::Device::vc707();
+  const auto config = characterization_soc(3);
+  const PrEspFlow flow(device, lib, fast_options(dir));
+
+  const FlowResult cold = flow.run(config);
+  EXPECT_TRUE(cold.cache_enabled);
+  EXPECT_EQ(cold.cache.hits, 0u);
+  EXPECT_GT(cold.cache.stores, 0u);
+
+  const FlowResult warm = flow.run(config);
+  EXPECT_EQ(warm.cache.misses, 0u);
+  EXPECT_GT(warm.cache.hits, 0u);
+  // Warm results are bit-identical to cold ones.
+  EXPECT_EQ(warm.full_bitstream_bytes, cold.full_bitstream_bytes);
+  EXPECT_EQ(warm.achieved_fmax_mhz, cold.achieved_fmax_mhz);
+  EXPECT_EQ(warm.physical_ok, cold.physical_ok);
+  EXPECT_EQ(warm.total_minutes, cold.total_minutes);
+  ASSERT_EQ(warm.modules.size(), cold.modules.size());
+  for (std::size_t i = 0; i < warm.modules.size(); ++i) {
+    EXPECT_EQ(warm.modules[i].pbs_compressed_bytes,
+              cold.modules[i].pbs_compressed_bytes);
+    EXPECT_EQ(warm.modules[i].utilization.luts,
+              cold.modules[i].utilization.luts);
+    EXPECT_EQ(warm.modules[i].routed, cold.modules[i].routed);
+  }
+  // The warm run executed no synthesis or P&R tasks at all.
+  EXPECT_EQ(warm.exec.tasks, 0u);
+}
+
+TEST(FlowCacheIntegrationTest, WarmParallelMatchesWarmSerial) {
+  const std::string dir = fresh_dir("fc_flow_par");
+  const auto lib = characterization_library();
+  const auto device = fabric::Device::vc707();
+  const auto config = characterization_soc(3);
+
+  FlowOptions serial_opt = fast_options(dir);
+  const PrEspFlow serial_flow(device, lib, serial_opt);
+  const FlowResult cold = serial_flow.run(config);
+
+  FlowOptions par_opt = fast_options(dir);
+  par_opt.exec_threads = 4;
+  const PrEspFlow par_flow(device, lib, par_opt);
+  const FlowResult warm_par = par_flow.run(config);
+
+  EXPECT_EQ(warm_par.cache.misses, 0u);
+  EXPECT_EQ(warm_par.full_bitstream_bytes, cold.full_bitstream_bytes);
+  EXPECT_EQ(warm_par.achieved_fmax_mhz, cold.achieved_fmax_mhz);
+  for (std::size_t i = 0; i < warm_par.modules.size(); ++i)
+    EXPECT_EQ(warm_par.modules[i].pbs_compressed_bytes,
+              cold.modules[i].pbs_compressed_bytes);
+}
+
+TEST(FlowCacheIntegrationTest, ConstraintChangeInvalidatesPnrStages) {
+  const std::string dir = fresh_dir("fc_flow_inval");
+  const auto lib = characterization_library();
+  const auto device = fabric::Device::vc707();
+  const auto config = characterization_soc(3);
+
+  const PrEspFlow flow(device, lib, fast_options(dir));
+  flow.run(config);
+
+  // Different router budget = different constraints = fresh P&R keys;
+  // the synthesis-stage entry (static-meta) still hits.
+  FlowOptions changed = fast_options(dir);
+  changed.pnr.router.max_iterations = 2;
+  const PrEspFlow changed_flow(device, lib, changed);
+  const FlowResult rerun = changed_flow.run(config);
+  EXPECT_GT(rerun.cache.misses, 0u);
+  EXPECT_GT(rerun.cache.hits, 0u);  // static-meta reused
+  EXPECT_GT(rerun.exec.tasks, 0u);  // P&R actually re-ran
+}
+
+}  // namespace
+}  // namespace presp::core

@@ -631,6 +631,67 @@ TEST(ExecLintTest, TaskDownstreamOfCycleIsUnreachable) {
     }
 }
 
+std::string with_exec(const std::string& section) {
+  return std::string(kCleanSoc) + "\n[exec]\n" + section;
+}
+
+TEST(ExecLintTest, CleanCacheSectionHasNoFindings) {
+  const std::string dir = ::testing::TempDir() + "/lint_cache_probe";
+  const auto diags = run_lint(with_exec(
+      "cache_dir = " + dir + "\ncache_max_bytes = 268435456\n"));
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(ExecLintTest, EmptyCacheDirIsAnError) {
+  const auto diags = run_lint(with_exec("cache_dir =\n"));
+  ASSERT_TRUE(has_rule(diags, "exec.cache-dir-writable"));
+  EXPECT_TRUE(has_error(diags));
+}
+
+TEST(ExecLintTest, CacheDirUnderAPlainFileIsAnError) {
+  // The nearest existing ancestor is a regular file, so the flow could
+  // never create the directory.
+  const std::string file = ::testing::TempDir() + "/lint_cache_blocker";
+  std::ofstream(file) << "not a directory\n";
+  const auto diags =
+      run_lint(with_exec("cache_dir = " + file + "/cache\n"));
+  ASSERT_TRUE(has_rule(diags, "exec.cache-dir-writable"));
+  for (const Diagnostic& d : diags)
+    if (d.rule == "exec.cache-dir-writable")
+      EXPECT_NE(d.message.find("not a directory"), std::string::npos);
+}
+
+TEST(ExecLintTest, TinyCacheCapIsAnError) {
+  const std::string dir = ::testing::TempDir() + "/lint_cache_probe";
+  const auto diags = run_lint(with_exec(
+      "cache_dir = " + dir + "\ncache_max_bytes = 4096\n"));
+  ASSERT_TRUE(has_rule(diags, "exec.cache-size-bounds"));
+  EXPECT_TRUE(has_error(diags));
+}
+
+TEST(ExecLintTest, NonPositiveCapMeansUnboundedAndIsClean) {
+  const std::string dir = ::testing::TempDir() + "/lint_cache_probe";
+  const auto diags = run_lint(with_exec(
+      "cache_dir = " + dir + "\ncache_max_bytes = 0\n"));
+  EXPECT_FALSE(has_rule(diags, "exec.cache-size-bounds"));
+}
+
+TEST(ExecLintTest, MalformedCapIsAnError) {
+  const std::string dir = ::testing::TempDir() + "/lint_cache_probe";
+  const auto diags = run_lint(with_exec(
+      "cache_dir = " + dir + "\ncache_max_bytes = lots\n"));
+  ASSERT_TRUE(has_rule(diags, "exec.cache-size-bounds"));
+}
+
+TEST(ExecLintTest, CapWithoutCacheDirIsAWarning) {
+  const auto diags = run_lint(with_exec("cache_max_bytes = 268435456\n"));
+  ASSERT_TRUE(has_rule(diags, "exec.cache-size-bounds"));
+  EXPECT_FALSE(has_error(diags));
+  for (const Diagnostic& d : diags)
+    if (d.rule == "exec.cache-size-bounds")
+      EXPECT_EQ(d.severity, Severity::kWarning);
+}
+
 // --------------------------------------- shipped designs stay clean
 
 TEST(ShippedDesignsTest, CharacterizationAndTable6SocsAreClean) {

@@ -11,8 +11,10 @@
 // implementation report including the floorplan and the comparison with
 // the standard single-instance DPR flow.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -40,7 +42,9 @@ int usage(const char* argv0) {
                "usage: %s <config.esp_config> [--no-physical] [--standard]\n"
                "          [--strategy serial|semi|fully] [--tau N]\n"
                "          [--report <file>] [--out <dir>] [-v]\n"
-               "          [--trace <out.json>] [--trace-categories <csv>]\n",
+               "          [--trace <out.json>] [--trace-categories <csv>]\n"
+               "          [--cache-dir <dir>] [--cache-max-bytes <N>]\n"
+               "          [--cache-stats] [--threads N]\n",
                argv0);
   return 2;
 }
@@ -68,6 +72,10 @@ int main(int argc, char** argv) {
   std::string trace_categories;
   core::FlowOptions options;
   bool run_standard = false;
+  bool cache_stats = false;
+  std::optional<std::string> cache_dir_flag;
+  std::optional<long long> cache_max_bytes_flag;
+  std::optional<int> threads_flag;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--no-physical") {
@@ -92,6 +100,14 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg == "--trace-categories" && i + 1 < argc) {
       trace_categories = argv[++i];
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      cache_dir_flag = argv[++i];
+    } else if (arg == "--cache-max-bytes" && i + 1 < argc) {
+      cache_max_bytes_flag = std::atoll(argv[++i]);
+    } else if (arg == "--cache-stats") {
+      cache_stats = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads_flag = std::atoi(argv[++i]);
     } else if (!arg.empty() && arg[0] != '-' && config_path.empty()) {
       config_path = arg;
     } else {
@@ -112,6 +128,16 @@ int main(int argc, char** argv) {
     const auto raw = Config::parse(config_text.str());
     const auto config = netlist::SocConfig::from_config(raw);
     const auto device = device_for(config.device);
+
+    // [exec] section defaults; command-line flags win.
+    options.exec_threads = static_cast<int>(
+        raw.get_int_or("exec", "threads", options.exec_threads));
+    options.cache.dir = raw.get_or("exec", "cache_dir", options.cache.dir);
+    options.cache.max_bytes = raw.get_int_or("exec", "cache_max_bytes",
+                                             options.cache.max_bytes);
+    if (threads_flag) options.exec_threads = *threads_flag;
+    if (cache_dir_flag) options.cache.dir = *cache_dir_flag;
+    if (cache_max_bytes_flag) options.cache.max_bytes = *cache_max_bytes_flag;
 
     auto lib = netlist::ComponentLibrary::with_builtins();
     hls::register_characterization_kernels(lib);
@@ -144,6 +170,25 @@ int main(int argc, char** argv) {
                   report.events.size(),
                   static_cast<unsigned long long>(report.dropped),
                   trace_path.c_str());
+    }
+
+    if (cache_stats) {
+      if (result.cache_enabled) {
+        const auto& cs = result.cache;
+        std::printf(
+            "cache %s: %llu hits, %llu misses, %llu stores, "
+            "%llu evictions, %llu poisoned, %.1f MB on disk\n",
+            options.cache.dir.c_str(),
+            static_cast<unsigned long long>(cs.hits),
+            static_cast<unsigned long long>(cs.misses),
+            static_cast<unsigned long long>(cs.stores),
+            static_cast<unsigned long long>(cs.evictions),
+            static_cast<unsigned long long>(cs.poisoned),
+            static_cast<double>(cs.bytes) / 1e6);
+      } else {
+        std::printf("cache: disabled (set --cache-dir or [exec] "
+                    "cache_dir)\n");
+      }
     }
 
     std::printf("design %s on %s\n", result.design.c_str(),

@@ -6,7 +6,9 @@
 #                   flow and the WAMI pipeline at 1 and 8 pool threads,
 #                   cross-checks output checksums, emits BENCH_exec.json
 #                   (speedup, efficiency, work-steal counters, bitstream
-#                   cache hit rate, metrics-registry snapshot).
+#                   cache hit rate, metrics-registry snapshot, plus the
+#                   lock-free-vs-mutex contention sweep and the warm/cold
+#                   flow-cache comparison with `hardware_threads`).
 #   --store-compare serial-vs-pipelined bitstream store: a repeated
 #                   reconfiguration workload on one DFXC, comparing total
 #                   simulated cycles for the combined transfer, the split
@@ -56,15 +58,51 @@ fi
 "$FLEET_BENCH" --json "$FLEET_OUT"
 
 # The exec rows must carry the pool's steal/queue-depth observability
-# fields, the store cache hit rate, and the aggregated metrics snapshot
-# (see src/trace/metrics.hpp).
+# fields, the store cache hit rate, the aggregated metrics snapshot
+# (see src/trace/metrics.hpp), the host's hardware thread count, the
+# lock-free-vs-mutex contention sweep and the flow-cache comparison.
 for field in speedup efficiency steals max_queue_depth cache_hit_rate \
-             metrics; do
+             metrics hardware_threads steal_failures \
+             lockfree_speedup_at_8 warm_wall_reduction \
+             modified_wall_reduction warm_matches_cold; do
   if ! grep -q "\"$field\"" "$OUT"; then
     echo "run_bench: $OUT is missing the \"$field\" field" >&2
     exit 1
   fi
 done
+
+json_num() {
+  sed -n "s/.*\"$2\": *\\(-\\{0,1\\}[0-9.][0-9.eE+-]*\\).*/\\1/p" "$1" \
+    | head -n 1
+}
+
+# Warm flow re-runs must be bit-identical and actually cheaper.
+if ! grep -q '"warm_matches_cold": true' "$OUT"; then
+  echo "run_bench: warm flow-cache run is not bit-identical to cold" >&2
+  exit 1
+fi
+MODIFIED_REDUCTION=$(json_num "$OUT" modified_wall_reduction)
+if ! awk "BEGIN{exit !($MODIFIED_REDUCTION >= 0.4)}"; then
+  echo "run_bench: one-module-modified warm run saved only" \
+       "$MODIFIED_REDUCTION of cold wall time (need >= 0.4)" >&2
+  exit 1
+fi
+
+# The lock-free pool must beat the mutex baseline on the steal-heavy
+# workload — but only on a host with real parallelism (the sweep is
+# meaningless on a 1-2 core container, so warn instead of failing).
+HW_THREADS=$(json_num "$OUT" hardware_threads)
+SPEEDUP8=$(json_num "$OUT" lockfree_speedup_at_8)
+if awk "BEGIN{exit !($HW_THREADS >= 4)}"; then
+  if ! awk "BEGIN{exit !($SPEEDUP8 >= 1.5)}"; then
+    echo "run_bench: lock-free pool only ${SPEEDUP8}x the mutex" \
+         "baseline at 8 threads (need >= 1.5x on a >= 4-thread host)" >&2
+    exit 1
+  fi
+else
+  echo "run_bench: warning: only $HW_THREADS hardware thread(s);" \
+       "skipping the 1.5x contention gate (speedup at 8: ${SPEEDUP8}x)"
+fi
 
 # The store comparison must carry the simulated-latency and cache fields.
 for field in serial_cycles pipelined_cycles speedup cache_hit_rate \

@@ -17,9 +17,10 @@
 #              unexplained sheds, breaker diversion and a bit-identical
 #              replay are all hard failures
 #   asan       AddressSanitizer+UBSan build running the full ctest suite
-#   tsan       ThreadSanitizer build running the exec unit tests, the
-#              serial/parallel determinism test, the trace tests
-#              (concurrent emitters) and the fleet tests
+#   tsan       ThreadSanitizer build running the Chase-Lev deque stress
+#              tests (owner pop vs concurrent thieves), the exec unit
+#              tests, the serial/parallel determinism test, the trace
+#              tests (concurrent emitters) and the fleet tests
 #
 # Usage: tools/run_tier1.sh [--stage <name>]...
 #   No --stage: every stage runs (minus SKIP_ASAN/SKIP_TSAN skips).
@@ -181,7 +182,9 @@ stage_asan() {
 stage_tsan() {
   cmake -B "$TSAN_BUILD_DIR" -S . -DPRESP_SANITIZE=thread >/dev/null
   cmake --build "$TSAN_BUILD_DIR" \
-      --target exec_test exec_determinism_test trace_test fleet_test -j
+      --target chase_lev_test exec_test exec_determinism_test trace_test \
+      fleet_test -j
+  "$TSAN_BUILD_DIR"/tests/chase_lev_test
   "$TSAN_BUILD_DIR"/tests/exec_test
   "$TSAN_BUILD_DIR"/tests/exec_determinism_test
   "$TSAN_BUILD_DIR"/tests/trace_test
