@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "racecheck/annot.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 #include "util/error.hpp"
@@ -157,10 +158,16 @@ void FleetManager::admit(FleetRequest request) {
     shed_or_fallback(request, FleetError::kQueueFull);
     return;
   }
+  // FleetManager is single-threaded by contract; the access annotations
+  // here exist so racecheck flags a caller that drives one manager from
+  // two unsynchronized threads.
+  PRESP_RC_WRITE(this, "fleet.state");
   cq.queue.push_back(std::move(request));
 }
 
 void FleetManager::step() {
+  const annot::Scope scope("fleet.step");
+  PRESP_RC_WRITE(this, "fleet.state");
   now_ += static_cast<sim::Time>(topology_.quantum_cycles);
   for (int c = 0; c < kNumQosClasses; ++c) {
     ClassQueue& cq = classes_[c];
@@ -512,6 +519,7 @@ void FleetManager::shed_or_fallback(const FleetRequest& request,
 }
 
 bool FleetManager::idle() const {
+  PRESP_RC_READ(this, "fleet.state");
   if (!inflight_.empty() || !fallbacks_.empty()) return false;
   for (const ClassQueue& cq : classes_) {
     if (!cq.queue.empty()) return false;

@@ -9,8 +9,10 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <thread>
 
 #include "fleet/topology.hpp"
+#include "lint/cycle.hpp"
 #include "util/string_utils.hpp"
 
 namespace presp::lint {
@@ -538,63 +540,56 @@ void check_lock_order(LintContext& ctx, DiagnosticEngine& engine) {
       }
     }
   }
-  // DFS over the lock-order graph; a cycle means two threads can each
-  // hold a lock the other needs.
-  std::map<int, int> colour;
-  std::vector<int> stack;
-  for (const auto& [start, _] : edges) {
-    if (colour[start] != 0) continue;
-    std::vector<std::pair<int, bool>> work{{start, false}};
-    while (!work.empty()) {
-      auto [tile, done] = work.back();
-      work.pop_back();
-      if (done) {
-        colour[tile] = 2;
-        if (!stack.empty() && stack.back() == tile) stack.pop_back();
-        continue;
-      }
-      if (colour[tile] == 2) continue;
-      colour[tile] = 1;
-      stack.push_back(tile);
-      work.push_back({tile, true});
-      const auto it = edges.find(tile);
-      if (it == edges.end()) continue;
-      for (const Edge& edge : it->second) {
-        if (colour[edge.dst] == 1) {
-          std::string cycle;
-          std::set<int> cycle_tiles;
-          bool in_cycle = false;
-          for (const int t : stack) {
-            if (t == edge.dst) in_cycle = true;
-            if (!in_cycle) continue;
-            cycle_tiles.insert(t);
-            cycle += (cycle.empty() ? "" : " -> ") + tile_key(config, t);
-          }
-          cycle += " -> " + tile_key(config, edge.dst);
-          std::set<std::string> threads;
-          for (const auto& [src, outs] : edges) {
-            if (cycle_tiles.count(src) == 0U) continue;
-            for (const Edge& e : outs)
-              if (cycle_tiles.count(e.dst) != 0U)
-                threads.insert(e.thread->name);
-          }
-          engine.add({"runtime.lock-order",
-                      Severity::kWarning,
-                      {ctx.file(), edge.thread->line,
-                       "runtime." + edge.thread->name},
-                      "tile locks are acquired in conflicting orders "
-                      "across threads (" +
-                          join({threads.begin(), threads.end()}, ", ") +
-                          "): potential deadlock cycle " + cycle,
-                      "acquire tile locks in one global order (e.g. "
-                      "ascending tile index) in every thread"});
-          return;
-        }
-        if (colour[edge.dst] == 0) work.push_back({edge.dst, false});
-      }
-    }
-    stack.clear();
+  // Cycle search shared with the racecheck lock-order pass
+  // (lint/cycle.hpp): map tile ids onto dense vertices and look for one
+  // closed walk — a cycle means two threads can each hold a lock the
+  // other needs.
+  std::vector<int> tiles;
+  std::map<int, int> vertex_of;
+  auto vertex = [&](int tile) {
+    const auto [it, fresh] =
+        vertex_of.try_emplace(tile, static_cast<int>(tiles.size()));
+    if (fresh) tiles.push_back(tile);
+    return it->second;
+  };
+  for (const auto& [src, outs] : edges) {
+    vertex(src);
+    for (const Edge& e : outs) vertex(e.dst);
   }
+  std::vector<std::vector<int>> adjacency(tiles.size());
+  for (const auto& [src, outs] : edges)
+    for (const Edge& e : outs)
+      adjacency[static_cast<std::size_t>(vertex_of[src])].push_back(
+          vertex_of[e.dst]);
+  const std::vector<int> walk = find_cycle(adjacency);
+  if (walk.empty()) return;
+  std::string cycle;
+  std::set<int> cycle_tiles;
+  for (std::size_t i = 0; i < walk.size(); ++i) {
+    const int tile = tiles[static_cast<std::size_t>(walk[i])];
+    if (i + 1 < walk.size()) cycle_tiles.insert(tile);
+    cycle += (cycle.empty() ? "" : " -> ") + tile_key(config, tile);
+  }
+  std::set<std::string> threads;
+  const PlanThread* anchor = nullptr;
+  for (const auto& [src, outs] : edges) {
+    if (cycle_tiles.count(src) == 0U) continue;
+    for (const Edge& e : outs)
+      if (cycle_tiles.count(e.dst) != 0U) {
+        threads.insert(e.thread->name);
+        if (anchor == nullptr) anchor = e.thread;
+      }
+  }
+  if (anchor == nullptr) return;
+  engine.add({"runtime.lock-order",
+              Severity::kWarning,
+              {ctx.file(), anchor->line, "runtime." + anchor->name},
+              "tile locks are acquired in conflicting orders "
+              "across threads (" +
+                  join({threads.begin(), threads.end()}, ", ") +
+                  "): potential deadlock cycle " + cycle,
+              "acquire tile locks in one global order (e.g. "
+              "ascending tile index) in every thread"});
 }
 
 void check_retry_budget(LintContext& ctx, DiagnosticEngine& engine) {
@@ -1054,6 +1049,42 @@ void check_exec_cache_size_bounds(LintContext& ctx,
   }
 }
 
+/// Host hardware-thread count, overridable for deterministic tests.
+unsigned lint_hardware_threads() {
+  if (const char* env = std::getenv("PRESP_LINT_HW_THREADS")) {
+    const long long value = std::atoll(env);
+    if (value > 0) return static_cast<unsigned>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void check_exec_racecheck_overhead(LintContext& ctx,
+                                   DiagnosticEngine& engine) {
+  const Config& raw = ctx.raw();
+  if (!raw.get_bool_or("exec", "racecheck", false)) return;
+  if (!raw.has("exec", "threads")) return;
+  const long long threads = raw.get_int_or("exec", "threads", 1);
+  const unsigned hw = lint_hardware_threads();
+  if (threads <= static_cast<long long>(hw)) return;
+  // Every annotation funnels through one detector mutex, so racecheck
+  // serializes oversubscribed workers that would otherwise time-slice —
+  // the run degenerates to a convoy and tells you nothing extra: the
+  // detector's verdicts are schedule-independent anyway.
+  engine.add({"exec.racecheck-overhead",
+              Severity::kWarning,
+              {ctx.file(), ctx.line_of("exec", "threads"), "exec"},
+              "racecheck is enabled with " + std::to_string(threads) +
+                  " threads on a " + std::to_string(hw) +
+                  "-hardware-thread host: annotation hooks serialize on "
+                  "the detector lock, so oversubscription only adds "
+                  "convoy overhead without finding more races",
+              "lower [exec] threads to at most " + std::to_string(hw) +
+                  " while racecheck is on (detection does not depend on "
+                  "the schedule), or rely on the seeded fuzzer for "
+                  "interleaving coverage"});
+}
+
 // ------------------------------------------------- artifact-gate rules
 
 void force_parse(LintContext& ctx, DiagnosticEngine&) {
@@ -1247,6 +1278,24 @@ const RuleRegistry& RuleRegistry::builtin() {
            "with cache_dir",
            Severity::kError},
           check_exec_cache_size_bounds);
+    r.add({"exec.racecheck-overhead", "exec",
+           "racecheck is not combined with thread oversubscription "
+           "(annotations serialize on the detector lock)",
+           Severity::kWarning},
+          check_exec_racecheck_overhead);
+    // race (catalog-only: emitted by racecheck::Detector)
+    r.add({"race.data-race", "race",
+           "two annotated accesses, at least one a write, unordered by "
+           "happens-before",
+           Severity::kError});
+    r.add({"race.lockset", "race",
+           "accesses are ordered today but no single lock guards them "
+           "(inconsistent lock discipline)",
+           Severity::kWarning});
+    r.add({"race.lock-order", "race",
+           "observed + declared lock acquisition graph is acyclic "
+           "(no latent deadlock)",
+           Severity::kWarning});
     // pnr (catalog-only: emitted by pnr::verify_placement)
     r.add({"pnr.unplaced-cell", "pnr",
            "every cell has a valid placement location", Severity::kError});

@@ -1,0 +1,222 @@
+// presp::annot — the racecheck annotation surface.
+//
+// Concurrency-relevant code declares its synchronization intent through
+// these calls; the dynamic race detector (racecheck/session.hpp) turns
+// them into happens-before edges, lockset updates and lock-order graph
+// edges, and the schedule fuzzer uses each call as a seeded preemption
+// point. The vocabulary:
+//
+//   AcquireLock / ReleaseLock    a critical section on `lock` (any
+//                                address identifying the lock object)
+//   AtomicPublish / AtomicConsume a release/acquire hand-off through a
+//                                lock-free publication point `obj`
+//   DeclareLockNesting           a statically-known "outer is held while
+//                                inner is acquired" fact, for domains
+//                                (the sim kernel's coroutine semaphores)
+//                                where a dynamic held-set would conflate
+//                                interleaved logical processes
+//   PRESP_RC_READ / PRESP_RC_WRITE  an access to annotated shared state
+//                                (captures file:line for race reports)
+//   Scope                        a RAII label pushed onto the thread's
+//                                annotation stack; race reports quote
+//                                the stack of both access sites
+//
+// Everything here is a no-op unless a racecheck::Session is installed
+// (one relaxed atomic load — the same disabled-path contract as
+// trace::enabled). Building with -DPRESP_RACECHECK=OFF defines
+// PRESP_RACECHECK_DISABLED and compiles every annotation out entirely.
+#pragma once
+
+#include <atomic>
+
+namespace presp::racecheck {
+
+class Session;
+
+namespace detail {
+
+/// The installed session; null = racecheck off. The single relaxed load
+/// of this is the entire disabled-path cost of every annotation.
+inline std::atomic<Session*> g_session{nullptr};
+
+#if !defined(PRESP_RACECHECK_DISABLED)
+// Out-of-line hook bodies (racecheck/session.cpp). Only reached when a
+// session is installed.
+void hook_acquire_lock(const void* lock, const char* name,
+                       const char* file, int line);
+void hook_release_lock(const void* lock);
+void hook_atomic_publish(const void* obj, const char* name);
+void hook_atomic_consume(const void* obj, const char* name);
+void hook_declare_nesting(const char* outer, const char* inner);
+void hook_read(const void* addr, const char* name, const char* file,
+               int line);
+void hook_write(const void* addr, const char* name, const char* file,
+                int line);
+void hook_task_create(const void* task);
+void hook_task_begin(const void* task, const char* label);
+void hook_task_end(const void* task);
+/// Pure event/preemption points with no happens-before semantics.
+enum class EventKind { kSteal, kPark, kUnpark, kGraphEdge };
+void hook_event(EventKind kind);
+void hook_scope_push(const char* label);
+void hook_scope_pop();
+#endif
+
+}  // namespace detail
+
+/// True when a session is installed and annotations are live.
+inline bool enabled() {
+  return detail::g_session.load(std::memory_order_relaxed) != nullptr;
+}
+
+/// True when annotation hooks were compiled in (-DPRESP_RACECHECK=ON,
+/// the default). Tests and the CLI use this to skip gracefully in
+/// compiled-out builds.
+constexpr bool hooks_compiled() {
+#if defined(PRESP_RACECHECK_DISABLED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace presp::racecheck
+
+namespace presp::annot {
+
+#if defined(PRESP_RACECHECK_DISABLED)
+
+inline void AcquireLock(const void*, const char*, const char* = nullptr,
+                        int = 0) {}
+inline void ReleaseLock(const void*) {}
+inline void AtomicPublish(const void*, const char* = nullptr) {}
+inline void AtomicConsume(const void*, const char* = nullptr) {}
+inline void DeclareLockNesting(const char*, const char*) {}
+inline void OnRead(const void*, const char*, const char*, int) {}
+inline void OnWrite(const void*, const char*, const char*, int) {}
+inline void OnTaskCreate(const void*) {}
+inline void OnTaskBegin(const void*, const char* = nullptr) {}
+inline void OnTaskEnd(const void*) {}
+inline void OnSteal() {}
+inline void OnPark() {}
+inline void OnUnpark() {}
+inline void OnGraphEdge() {}
+
+class Scope {
+ public:
+  explicit Scope(const char*) {}
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+};
+
+#else
+
+inline void AcquireLock(const void* lock, const char* name,
+                        const char* file = nullptr, int line = 0) {
+  if (racecheck::enabled())
+    racecheck::detail::hook_acquire_lock(lock, name, file, line);
+}
+inline void ReleaseLock(const void* lock) {
+  if (racecheck::enabled()) racecheck::detail::hook_release_lock(lock);
+}
+inline void AtomicPublish(const void* obj, const char* name = nullptr) {
+  if (racecheck::enabled())
+    racecheck::detail::hook_atomic_publish(obj, name);
+}
+inline void AtomicConsume(const void* obj, const char* name = nullptr) {
+  if (racecheck::enabled())
+    racecheck::detail::hook_atomic_consume(obj, name);
+}
+inline void DeclareLockNesting(const char* outer, const char* inner) {
+  if (racecheck::enabled())
+    racecheck::detail::hook_declare_nesting(outer, inner);
+}
+inline void OnRead(const void* addr, const char* name, const char* file,
+                   int line) {
+  if (racecheck::enabled())
+    racecheck::detail::hook_read(addr, name, file, line);
+}
+inline void OnWrite(const void* addr, const char* name, const char* file,
+                    int line) {
+  if (racecheck::enabled())
+    racecheck::detail::hook_write(addr, name, file, line);
+}
+inline void OnTaskCreate(const void* task) {
+  if (racecheck::enabled()) racecheck::detail::hook_task_create(task);
+}
+inline void OnTaskBegin(const void* task, const char* label = nullptr) {
+  if (racecheck::enabled())
+    racecheck::detail::hook_task_begin(task, label);
+}
+inline void OnTaskEnd(const void* task) {
+  if (racecheck::enabled()) racecheck::detail::hook_task_end(task);
+}
+inline void OnSteal() {
+  if (racecheck::enabled())
+    racecheck::detail::hook_event(racecheck::detail::EventKind::kSteal);
+}
+inline void OnPark() {
+  if (racecheck::enabled())
+    racecheck::detail::hook_event(racecheck::detail::EventKind::kPark);
+}
+inline void OnUnpark() {
+  if (racecheck::enabled())
+    racecheck::detail::hook_event(racecheck::detail::EventKind::kUnpark);
+}
+inline void OnGraphEdge() {
+  if (racecheck::enabled())
+    racecheck::detail::hook_event(
+        racecheck::detail::EventKind::kGraphEdge);
+}
+
+/// RAII annotation-stack label; race reports quote the stack of both
+/// access sites ("pipeline > stage:pnr > task:route").
+class Scope {
+ public:
+  explicit Scope(const char* label) : armed_(racecheck::enabled()) {
+    if (armed_) racecheck::detail::hook_scope_push(label);
+  }
+  ~Scope() {
+    if (armed_) racecheck::detail::hook_scope_pop();
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  bool armed_;
+};
+
+#endif  // PRESP_RACECHECK_DISABLED
+
+/// Annotates + performs a std::mutex-style critical section in one RAII
+/// object (lock first, annotate second, so the annotation order matches
+/// the real acquisition order).
+template <typename Mutex>
+class LockGuard {
+ public:
+  LockGuard(Mutex& mutex, const char* name, const char* file = nullptr,
+            int line = 0)
+      : mutex_(mutex) {
+    mutex_.lock();
+    AcquireLock(&mutex_, name, file, line);
+  }
+  ~LockGuard() {
+    ReleaseLock(&mutex_);
+    mutex_.unlock();
+  }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace presp::annot
+
+/// Access annotations with captured source location. `addr` identifies
+/// the shared object (any stable address), `name` is the human label
+/// race reports use.
+#define PRESP_RC_READ(addr, name) \
+  ::presp::annot::OnRead((addr), (name), __FILE__, __LINE__)
+#define PRESP_RC_WRITE(addr, name) \
+  ::presp::annot::OnWrite((addr), (name), __FILE__, __LINE__)

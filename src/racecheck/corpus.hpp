@@ -1,0 +1,52 @@
+// Regression corpus for the race detector: intentionally-racy
+// micro-workloads the detector MUST flag (with the right race.* rule and
+// both access sites), and clean workloads it must stay silent on.
+//
+// Every racy workload races only at the *annotation* level — the
+// underlying shared state uses std::atomic — so the corpus binaries stay
+// UB-free and ASan/TSan-clean while racecheck still reports. Detection
+// is schedule-independent (happens-before edges come from semantic
+// events, not timing), so each workload's verdict is identical under
+// every fuzzer seed; the seed sweep exercises different interleavings of
+// the same verdict.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "racecheck/detector.hpp"
+
+namespace presp::racecheck {
+
+struct Workload {
+  std::string name;
+  std::string description;
+  bool racy = false;
+  /// The rule id this workload must trigger (racy workloads only).
+  std::string expect_rule;
+  std::function<void()> fn;
+};
+
+/// The full corpus, racy workloads first, stable order.
+const std::vector<Workload>& corpus();
+
+/// Lookup by name; null when unknown.
+const Workload* find_workload(const std::string& name);
+
+struct CorpusRun {
+  std::uint64_t seed = 0;
+  std::vector<lint::Diagnostic> diags;
+  DetectorStats stats;
+};
+
+/// Runs one workload under a fresh fuzzing Session with `seed` and
+/// returns its diagnostics. Throws if another session is installed.
+CorpusRun run_workload(const Workload& workload, std::uint64_t seed);
+
+bool has_rule(const std::vector<lint::Diagnostic>& diags,
+              const std::string& rule);
+
+}  // namespace presp::racecheck

@@ -1,0 +1,430 @@
+#include "racecheck/detector.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "lint/cycle.hpp"
+
+namespace presp::racecheck {
+
+namespace {
+
+std::uint64_t current_thread_key() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+std::string join_scopes(const std::vector<const char*>& scopes) {
+  std::string out;
+  for (const char* s : scopes) {
+    if (s == nullptr) continue;
+    if (!out.empty()) out += " > ";
+    out += s;
+  }
+  return out;
+}
+
+std::string ptr_name(const char* name, const void* ptr,
+                     const char* prefix) {
+  if (name != nullptr && name[0] != '\0') return name;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "@%p", ptr);
+  return std::string(prefix) + buf;
+}
+
+}  // namespace
+
+std::string AccessSite::to_string() const {
+  std::string out = file != nullptr ? std::string(file) : "<annot>";
+  out += ":" + std::to_string(line);
+  out += " by logical thread " + std::to_string(slot);
+  if (!scopes.empty()) out += " [" + scopes + "]";
+  return out;
+}
+
+// -------------------------------------------------------- thread/frame
+
+Detector::ThreadState& Detector::self_locked() {
+  ThreadState& state = threads_[current_thread_key()];
+  if (state.frames.empty()) {
+    Frame frame;
+    frame.slot = alloc_slot_locked();
+    frame.uid = ++next_uid_;
+    frame.vc.set(frame.slot, 1);
+    state.frames.push_back(std::move(frame));
+  }
+  return state;
+}
+
+Detector::Frame& Detector::frame_locked() {
+  return self_locked().current();
+}
+
+int Detector::alloc_slot_locked() {
+  // Fresh slots first: the retired-clock floor in task_begin creates an
+  // artificial happens-before edge between the two occupants of a reused
+  // slot (it must, to keep their epoch ranges disjoint), so reusing a
+  // slot forfeits detection between those occupants. Under the budget
+  // every logical thread gets its own slot and detection is exact.
+  if (static_cast<std::size_t>(next_slot_) < max_slots_) {
+    const int slot = next_slot_++;
+    stats_.slots = next_slot_;
+    return slot;
+  }
+  // Budget exhausted: recycle retired slots rather than growing without
+  // bound (the documented completeness trade-off, in play only after
+  // max_slots logical threads).
+  if (!free_slots_.empty()) {
+    const int slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  return next_slot_++ % static_cast<int>(max_slots_);
+}
+
+void Detector::retire_slot_locked(int slot, std::uint64_t clock) {
+  const auto i = static_cast<std::size_t>(slot);
+  if (i >= retired_clock_.size()) retired_clock_.resize(i + 1, 0);
+  retired_clock_[i] = std::max(retired_clock_[i], clock);
+  free_slots_.push_back(slot);
+}
+
+int Detector::thread_slot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frame_locked().slot;
+}
+
+void Detector::task_create(const void* task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Frame& frame = frame_locked();
+  TaskRecord& record = tasks_[task];
+  record.spawn = frame.vc;
+  record.has_spawn = true;
+  // Tick so the creator's post-spawn accesses are not covered by the
+  // snapshot (spawn is a one-way edge).
+  frame.vc.tick(frame.slot);
+}
+
+void Detector::task_begin(const void* task, const char* label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ThreadState& state = self_locked();
+  Frame frame;
+  frame.slot = alloc_slot_locked();
+  frame.uid = ++next_uid_;
+  const auto it = tasks_.find(task);
+  if (it != tasks_.end() && it->second.has_spawn)
+    frame.vc = it->second.spawn;
+  const auto i = static_cast<std::size_t>(frame.slot);
+  const std::uint64_t floor =
+      i < retired_clock_.size() ? retired_clock_[i] : 0;
+  frame.vc.set(frame.slot,
+               std::max(frame.vc.get(frame.slot), floor) + 1);
+  if (label != nullptr) frame.scopes.push_back(label);
+  state.frames.push_back(std::move(frame));
+  ++stats_.tasks;
+}
+
+void Detector::task_end(const void* task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ThreadState& state = self_locked();
+  if (state.frames.size() <= 1) return;  // unmatched (mid-flight install)
+  Frame& frame = state.current();
+  retire_slot_locked(frame.slot, frame.vc.get(frame.slot));
+  state.frames.pop_back();
+  tasks_.erase(task);
+}
+
+void Detector::scope_push(const char* label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  frame_locked().scopes.push_back(label);
+}
+
+void Detector::scope_pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Frame& frame = frame_locked();
+  if (!frame.scopes.empty()) frame.scopes.pop_back();
+}
+
+// ------------------------------------------------------- sync events
+
+std::string Detector::lock_name_locked(const void* lock) {
+  const auto it = locks_.find(lock);
+  return it != locks_.end() ? it->second.name : "lock?";
+}
+
+void Detector::add_order_edge_locked(const std::string& from,
+                                     const std::string& to) {
+  auto& outs = order_edges_[from];
+  if (std::find(outs.begin(), outs.end(), to) == outs.end())
+    outs.push_back(to);
+  order_edges_.try_emplace(to);  // ensure the node exists
+}
+
+void Detector::acquire_lock(const void* lock, const char* name,
+                            const char* /*file*/, int /*line*/) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  ++stats_.sync_ops;
+  Frame& frame = frame_locked();
+  LockState& state = locks_[lock];
+  if (state.name.empty()) state.name = ptr_name(name, lock, "lock");
+  for (const void* held : frame.held)
+    add_order_edge_locked(lock_name_locked(held), state.name);
+  order_edges_.try_emplace(state.name);
+  frame.vc.join(state.vc);
+  frame.held.push_back(lock);
+}
+
+void Detector::release_lock(const void* lock) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  ++stats_.sync_ops;
+  Frame& frame = frame_locked();
+  const auto it =
+      std::find(frame.held.rbegin(), frame.held.rend(), lock);
+  if (it == frame.held.rend()) return;  // unpaired release: ignore
+  frame.held.erase(std::next(it).base());
+  LockState& state = locks_[lock];
+  state.vc = frame.vc;
+  frame.vc.tick(frame.slot);
+}
+
+void Detector::atomic_publish(const void* obj, const char* name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  ++stats_.sync_ops;
+  Frame& frame = frame_locked();
+  SyncState& state = syncs_[obj];
+  if (state.name.empty()) state.name = ptr_name(name, obj, "sync");
+  state.vc.join(frame.vc);
+  frame.vc.tick(frame.slot);
+}
+
+void Detector::atomic_consume(const void* obj, const char* name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  ++stats_.sync_ops;
+  Frame& frame = frame_locked();
+  SyncState& state = syncs_[obj];
+  if (state.name.empty()) state.name = ptr_name(name, obj, "sync");
+  frame.vc.join(state.vc);
+}
+
+void Detector::declare_nesting(const char* outer, const char* inner) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  add_order_edge_locked(outer != nullptr ? outer : "outer?",
+                        inner != nullptr ? inner : "inner?");
+}
+
+// ----------------------------------------------------------- accesses
+
+AccessSite Detector::site_here_locked(const char* file, int line) {
+  Frame& frame = frame_locked();
+  AccessSite site;
+  site.file = file;
+  site.line = line;
+  site.slot = frame.slot;
+  site.scopes = join_scopes(frame.scopes);
+  return site;
+}
+
+void Detector::report_race_locked(const VarState& var, const char* kind,
+                                  const AccessSite& prev,
+                                  const AccessSite& here) {
+  ++stats_.data_races;
+  lint::Diagnostic diag;
+  diag.rule = "race.data-race";
+  diag.severity = lint::Severity::kError;
+  diag.loc = {here.file != nullptr ? here.file : "<annot>", here.line,
+              "race." + var.name};
+  diag.message = std::string("annotated ") + kind + " race on '" +
+                 var.name + "': access at " + here.to_string() +
+                 " is unordered with access at " + prev.to_string();
+  diag.fix_hint =
+      "order the two accesses: guard both with one lock, add a "
+      "TaskGraph dependency, or pair an AtomicPublish with an "
+      "AtomicConsume on the hand-off";
+  diags_.push_back(std::move(diag));
+}
+
+void Detector::update_lockset_locked(VarState& var, const Frame& frame) {
+  if (!frame.held.empty()) var.ever_locked = true;
+  if (!var.lockset_init) {
+    var.lockset = frame.held;
+    std::sort(var.lockset.begin(), var.lockset.end());
+    var.lockset_init = true;
+    return;
+  }
+  std::vector<const void*> held = frame.held;
+  std::sort(held.begin(), held.end());
+  std::vector<const void*> out;
+  std::set_intersection(var.lockset.begin(), var.lockset.end(),
+                        held.begin(), held.end(),
+                        std::back_inserter(out));
+  var.lockset = std::move(out);
+}
+
+void Detector::check_write_locked(VarState& var, Frame& frame,
+                                  const AccessSite& here) {
+  if (!var.raced) {
+    if (var.write.valid() && var.write.slot != frame.slot &&
+        !frame.vc.covers(var.write)) {
+      report_race_locked(var, "write/write", var.write_site, here);
+      var.raced = true;
+    } else if (var.read_shared && !frame.vc.covers(var.read_vc)) {
+      report_race_locked(var, "read/write", var.read_site, here);
+      var.raced = true;
+    } else if (var.read.valid() && var.read.slot != frame.slot &&
+               !frame.vc.covers(var.read)) {
+      report_race_locked(var, "read/write", var.read_site, here);
+      var.raced = true;
+    }
+  }
+  var.write = {frame.slot, frame.vc.get(frame.slot)};
+  var.write_site = here;
+  // This write dominates every previously-checked read.
+  var.read = {};
+  var.read_vc.clear();
+  var.read_shared = false;
+}
+
+void Detector::check_read_locked(VarState& var, Frame& frame,
+                                 const AccessSite& here) {
+  if (!var.raced && var.write.valid() && var.write.slot != frame.slot &&
+      !frame.vc.covers(var.write)) {
+    report_race_locked(var, "write/read", var.write_site, here);
+    var.raced = true;
+  }
+  const Epoch now{frame.slot, frame.vc.get(frame.slot)};
+  if (var.read_shared) {
+    var.read_vc.set(frame.slot, now.clock);
+  } else if (!var.read.valid() || var.read.slot == frame.slot ||
+             frame.vc.covers(var.read)) {
+    var.read = now;
+  } else {
+    // Concurrent readers: inflate to the vector form (FastTrack).
+    var.read_vc.clear();
+    var.read_vc.set(var.read.slot, var.read.clock);
+    var.read_vc.set(now.slot, now.clock);
+    var.read_shared = true;
+    var.read = {};
+  }
+  var.read_site = here;
+}
+
+void Detector::write(const void* addr, const char* name, const char* file,
+                     int line) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  ++stats_.accesses;
+  Frame& frame = frame_locked();
+  VarState& var = vars_[addr];
+  if (var.name.empty()) var.name = ptr_name(name, addr, "var");
+  if (var.first_uid == 0)
+    var.first_uid = frame.uid;
+  else if (var.first_uid != frame.uid)
+    var.multi_thread = true;
+  var.any_write = true;
+  update_lockset_locked(var, frame);
+  check_write_locked(var, frame, site_here_locked(file, line));
+}
+
+void Detector::read(const void* addr, const char* name, const char* file,
+                    int line) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  ++stats_.accesses;
+  Frame& frame = frame_locked();
+  VarState& var = vars_[addr];
+  if (var.name.empty()) var.name = ptr_name(name, addr, "var");
+  if (var.first_uid == 0)
+    var.first_uid = frame.uid;
+  else if (var.first_uid != frame.uid)
+    var.multi_thread = true;
+  // No lockset update: lock discipline is tracked across writes only
+  // (see VarState::lockset).
+  check_read_locked(var, frame, site_here_locked(file, line));
+}
+
+// ----------------------------------------------------------- finalize
+
+std::vector<lint::Diagnostic> Detector::finish() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (!finalized_) {
+    finalized_ = true;
+    // Eraser-style lockset fallback: flag variables whose accesses were
+    // happens-before ordered (no data race) but where the lock
+    // discipline is inconsistent — locks were held on some accesses yet
+    // no single lock covers all of them. Purely structure-ordered
+    // variables (never_locked) are the task-parallel idiom and stay
+    // clean.
+    for (const auto& [addr, var] : vars_) {
+      (void)addr;
+      if (var.raced || !var.any_write || !var.multi_thread) continue;
+      if (!var.ever_locked || !var.lockset.empty()) continue;
+      ++stats_.lockset_reports;
+      const AccessSite& site =
+          var.write_site.valid() ? var.write_site : var.read_site;
+      lint::Diagnostic diag;
+      diag.rule = "race.lockset";
+      diag.severity = lint::Severity::kWarning;
+      diag.loc = {site.file != nullptr ? site.file : "<annot>",
+                  site.line, "race." + var.name};
+      diag.message =
+          "inconsistent locking on '" + var.name +
+          "': multiple logical threads access it, locks are held on "
+          "some accesses, but no single lock guards all of them "
+          "(current ordering comes from task structure only; last "
+          "write at " +
+          site.to_string() + ")";
+      diag.fix_hint =
+          "guard every access to '" + var.name +
+          "' with the same lock, or drop the partial locking and "
+          "order the accesses structurally";
+      diags_.push_back(std::move(diag));
+    }
+    // Lock-order pass over the merged dynamic + declared acquisition
+    // graph (cycle search shared with the PR 3 lint rules).
+    std::vector<std::string> names;
+    names.reserve(order_edges_.size());
+    for (const auto& [name, outs] : order_edges_) {
+      (void)outs;
+      names.push_back(name);
+    }
+    std::map<std::string, int> index;
+    for (std::size_t i = 0; i < names.size(); ++i)
+      index[names[i]] = static_cast<int>(i);
+    std::vector<std::vector<int>> adjacency(names.size());
+    for (const auto& [name, outs] : order_edges_)
+      for (const std::string& to : outs)
+        adjacency[static_cast<std::size_t>(index[name])].push_back(
+            index[to]);
+    const std::vector<int> cycle = lint::find_cycle(adjacency);
+    if (!cycle.empty()) {
+      ++stats_.lock_order_reports;
+      std::string path;
+      for (const int node : cycle) {
+        if (!path.empty()) path += " -> ";
+        path += names[static_cast<std::size_t>(node)];
+      }
+      lint::Diagnostic diag;
+      diag.rule = "race.lock-order";
+      diag.severity = lint::Severity::kWarning;
+      diag.loc = {"<annot>", 0, "race.lock-order"};
+      diag.message =
+          "locks are acquired in conflicting orders across logical "
+          "threads: potential deadlock cycle " +
+          path + " (observed from held-set edges and declared nesting; "
+          "the deadlock need not have fired)";
+      diag.fix_hint =
+          "acquire these locks in one global order in every thread, or "
+          "split the critical sections so they never nest";
+      diags_.push_back(std::move(diag));
+    }
+  }
+  return diags_;
+}
+
+DetectorStats Detector::stats() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  DetectorStats out = stats_;
+  out.events = events_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace presp::racecheck

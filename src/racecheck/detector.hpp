@@ -1,0 +1,195 @@
+// FastTrack-style happens-before race detector with an Eraser-style
+// lockset fallback and a lock-order (deadlock-potential) pass.
+//
+// The detector consumes the annotation stream (racecheck/annot.hpp):
+// task spawn/begin/end from the exec layer, lock acquire/release,
+// atomic publish/consume, and explicit read/write access annotations.
+// Each logical thread — an OS thread, or a task while it executes — owns
+// a dense slot and a vector clock; accesses are checked with FastTrack
+// epochs (write epoch + adaptive read epoch/vector per variable), so the
+// common already-ordered path compares one integer.
+//
+// Three analyses report through lint::Diagnostic:
+//   race.data-race   two accesses to one annotated variable, at least
+//                    one a write, unordered by happens-before (error)
+//   race.lockset     accesses are HB-ordered today, but the lockset
+//                    intersection is empty even though locks were in
+//                    play — inconsistent lock discipline that only task
+//                    structure is protecting (warning, finalize-time)
+//   race.lock-order  the observed + declared lock acquisition graph has
+//                    a cycle: a deadlock that never fired (warning,
+//                    finalize-time; cycle search shared with the PR 3
+//                    lint rules via lint/cycle.hpp)
+//
+// Soundness notes: only *annotated* accesses are checked, and
+// happens-before edges come only from *semantic* events (spawn, join,
+// lock, publish/consume) — never from observed timing — so a race
+// between two annotated, unsynchronized accesses is reported on every
+// run regardless of the actual interleaving; the seeded schedule fuzzer
+// exists to vary which code paths execute, not to make detection lucky.
+// Every logical thread gets a fresh slot until max_slots have been
+// handed out; past that, retired slots are recycled, which trades away
+// detection between the two occupants of a reused slot (4096 logical
+// threads, far above any corpus workload).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "racecheck/vector_clock.hpp"
+
+namespace presp::racecheck {
+
+/// One annotated access, kept per variable for the race report's "both
+/// sites" requirement.
+struct AccessSite {
+  const char* file = nullptr;
+  int line = 0;
+  int slot = -1;
+  std::string scopes;  // annotation-stack at access time, "a > b > c"
+
+  bool valid() const { return slot >= 0; }
+  std::string to_string() const;
+};
+
+struct DetectorStats {
+  std::uint64_t events = 0;        // annotation calls processed
+  std::uint64_t accesses = 0;      // read/write annotations
+  std::uint64_t sync_ops = 0;      // lock + publish/consume operations
+  std::uint64_t tasks = 0;         // task frames begun
+  std::uint64_t data_races = 0;    // race.data-race diagnostics
+  std::uint64_t lockset_reports = 0;
+  std::uint64_t lock_order_reports = 0;
+  int slots = 0;                   // logical threads ever registered
+};
+
+class Detector {
+ public:
+  explicit Detector(std::size_t max_slots = 4096)
+      : max_slots_(max_slots) {}
+  Detector(const Detector&) = delete;
+  Detector& operator=(const Detector&) = delete;
+
+  // ---- logical-thread lifecycle (all thread-safe) ----
+  /// Registers (or re-resolves) the calling OS thread; returns its slot.
+  int thread_slot();
+  void task_create(const void* task);
+  void task_begin(const void* task, const char* label);
+  void task_end(const void* task);
+  void scope_push(const char* label);
+  void scope_pop();
+
+  // ---- synchronization events ----
+  void acquire_lock(const void* lock, const char* name, const char* file,
+                    int line);
+  void release_lock(const void* lock);
+  void atomic_publish(const void* obj, const char* name);
+  void atomic_consume(const void* obj, const char* name);
+  void declare_nesting(const char* outer, const char* inner);
+
+  // ---- accesses ----
+  void read(const void* addr, const char* name, const char* file,
+            int line);
+  void write(const void* addr, const char* name, const char* file,
+             int line);
+
+  void count_event() { events_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Runs the finalize-time passes (lockset fallback, lock-order cycle
+  /// search) and returns every diagnostic collected. Idempotent per
+  /// pass: calling twice does not duplicate finalize findings.
+  std::vector<lint::Diagnostic> finish();
+
+  DetectorStats stats() const;
+
+ private:
+  struct Frame {
+    int slot = -1;
+    /// Never-recycled logical-thread identity (slots are recycled, so
+    /// two tasks can share a slot; multi-thread tracking must not).
+    std::uint64_t uid = 0;
+    VectorClock vc;
+    std::vector<const void*> held;  // locks, acquisition order
+    std::vector<const char*> scopes;
+  };
+  struct ThreadState {
+    std::vector<Frame> frames;  // frames.back() = current logical thread
+    Frame& current() { return frames.back(); }
+  };
+  struct VarState {
+    std::string name;
+    Epoch write;
+    AccessSite write_site;
+    Epoch read;           // valid when reads are totally ordered so far
+    VectorClock read_vc;  // inflated form once reads go concurrent
+    bool read_shared = false;
+    AccessSite read_site;  // most recent read
+    // Eraser lockset: intersection of locks held across all WRITE
+    // accesses. Reads are exempt — an unlocked read after a join (the
+    // post-wait_idle reduction pattern) is ordinary task-parallel code,
+    // and a genuinely unordered read is the data-race pass's job.
+    std::vector<const void*> lockset;
+    bool lockset_init = false;
+    bool ever_locked = false;   // some write held at least one lock
+    bool any_write = false;
+    std::uint64_t first_uid = 0;  // first accessing frame (0 = none yet)
+    bool multi_thread = false;    // accessed by >1 logical thread
+    bool raced = false;  // a data race was already reported on this var
+  };
+  struct LockState {
+    VectorClock vc;
+    std::string name;
+  };
+  struct SyncState {
+    VectorClock vc;
+    std::string name;
+  };
+  struct TaskRecord {
+    VectorClock spawn;  // creator's clock at submit time
+    bool has_spawn = false;
+  };
+
+  ThreadState& self_locked();          // requires mutex_ held
+  Frame& frame_locked();               // requires mutex_ held
+  int alloc_slot_locked();
+  void retire_slot_locked(int slot, std::uint64_t clock);
+  AccessSite site_here_locked(const char* file, int line);
+  std::string lock_name_locked(const void* lock);
+  void add_order_edge_locked(const std::string& from,
+                             const std::string& to);
+  void report_race_locked(const VarState& var, const char* kind,
+                          const AccessSite& prev,
+                          const AccessSite& here);
+  void check_write_locked(VarState& var, Frame& frame,
+                          const AccessSite& here);
+  void check_read_locked(VarState& var, Frame& frame,
+                         const AccessSite& here);
+  void update_lockset_locked(VarState& var, const Frame& frame);
+
+  mutable std::mutex mutex_;
+  std::size_t max_slots_;
+  int next_slot_ = 0;
+  std::uint64_t next_uid_ = 0;
+  std::vector<int> free_slots_;             // retired task slots
+  std::vector<std::uint64_t> retired_clock_;  // last clock per slot
+  std::map<std::uint64_t, ThreadState> threads_;  // by OS thread hash
+  std::map<const void*, TaskRecord> tasks_;
+  std::map<const void*, VarState> vars_;
+  std::map<const void*, LockState> locks_;
+  std::map<const void*, SyncState> syncs_;
+  // Lock-order graph over lock *names* (dynamic held-set edges from real
+  // threads + declared nesting edges from coroutine domains).
+  std::map<std::string, std::vector<std::string>> order_edges_;
+  std::vector<lint::Diagnostic> diags_;
+  bool finalized_ = false;
+
+  std::atomic<std::uint64_t> events_{0};
+  DetectorStats stats_{};
+};
+
+}  // namespace presp::racecheck

@@ -1,0 +1,62 @@
+#include "racecheck/fuzzer.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace presp::racecheck {
+
+namespace {
+
+// Per-thread RNG stream, rebound when a different fuzzer (new seed)
+// shows up. Stream indices are handed out in first-use order, so the
+// exact schedule depends on OS scheduling — but every *decision* a
+// stream makes is a pure function of (seed, stream index), which is
+// what seed replay needs.
+struct ThreadStream {
+  const ScheduleFuzzer* owner = nullptr;
+  Rng rng{1};
+};
+
+thread_local ThreadStream t_stream;
+
+}  // namespace
+
+ScheduleFuzzer::ScheduleFuzzer(const Options& opts) : opts_(opts) {
+  Rng rng(opts_.seed);
+  change_offset_ =
+      opts_.change_period > 0
+          ? rng.next_below(static_cast<std::uint64_t>(opts_.change_period))
+          : 0;
+}
+
+void ScheduleFuzzer::perturb() {
+  if (t_stream.owner != this) {
+    t_stream.owner = this;
+    const std::uint32_t index =
+        streams_.fetch_add(1, std::memory_order_relaxed);
+    t_stream.rng.reseed(opts_.seed ^
+                        (0x9e3779b97f4a7c15ULL * (index + 1)));
+  }
+  const std::uint64_t event =
+      events_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.change_period > 0 &&
+      event % static_cast<std::uint64_t>(opts_.change_period) ==
+          change_offset_) {
+    // Change point: demote the current thread for a full window.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(opts_.max_sleep_us));
+    return;
+  }
+  const double u = t_stream.rng.next_double();
+  if (u < opts_.sleep_probability) {
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        1 + t_stream.rng.next_below(
+                static_cast<std::uint64_t>(opts_.max_sleep_us))));
+  } else if (u < opts_.sleep_probability + opts_.yield_probability) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace presp::racecheck

@@ -1,0 +1,55 @@
+// Seeded PCT-style schedule fuzzer.
+//
+// Every annotation point (racecheck/annot.hpp) doubles as a preemption
+// point: the fuzzer perturbs the calling thread with seeded yields and
+// short sleeps, plus periodic "change points" (after PCT — Burckhardt et
+// al., ASPLOS'10) where the current thread is demoted with a longer
+// sleep so a different thread wins the next race window. All decisions
+// derive from one 64-bit seed through per-thread xoshiro streams, so a
+// seed identifies a schedule-perturbation pattern and test sweeps can
+// replay it exactly.
+//
+// Detection itself is schedule-independent (see detector.hpp): the
+// fuzzer's job is to vary which code paths and interleavings *execute*
+// (lost wakeups, destroy-while-notify windows, cancellation timing),
+// not to make the detector lucky.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace presp::racecheck {
+
+class ScheduleFuzzer {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    double yield_probability = 0.20;  // std::this_thread::yield
+    double sleep_probability = 0.04;  // short randomized sleep
+    int max_sleep_us = 50;
+    // Every Nth global event is a change point: the thread hitting it is
+    // demoted with a max-length sleep. The phase offset is seeded.
+    int change_period = 97;
+  };
+
+  explicit ScheduleFuzzer(const Options& opts);
+  ScheduleFuzzer(const ScheduleFuzzer&) = delete;
+  ScheduleFuzzer& operator=(const ScheduleFuzzer&) = delete;
+
+  /// Perturbs the calling thread (possibly a no-op). Called outside any
+  /// detector lock so sleeps never serialize the whole workload.
+  void perturb();
+
+  std::uint64_t seed() const { return opts_.seed; }
+  std::uint64_t events() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Options opts_;
+  std::uint64_t change_offset_;
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint32_t> streams_{0};
+};
+
+}  // namespace presp::racecheck

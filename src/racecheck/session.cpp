@@ -1,0 +1,154 @@
+#include "racecheck/session.hpp"
+
+namespace presp::racecheck {
+
+Session::Session() : Session(Options()) {}
+
+Session::Session(Options opts)
+    : opts_(opts), detector_(opts.max_slots) {
+  if (opts_.fuzz) {
+    ScheduleFuzzer::Options fopts = opts_.fuzzer;
+    fopts.seed = opts_.seed;
+    fuzzer_ = std::make_unique<ScheduleFuzzer>(fopts);
+  }
+}
+
+Session::~Session() { uninstall(); }
+
+bool Session::install() {
+  Session* expected = nullptr;
+  return detail::g_session.compare_exchange_strong(
+             expected, this, std::memory_order_acq_rel) ||
+         expected == this;
+}
+
+void Session::uninstall() {
+  Session* expected = this;
+  detail::g_session.compare_exchange_strong(expected, nullptr,
+                                            std::memory_order_acq_rel);
+}
+
+bool Session::installed() const { return current() == this; }
+
+std::vector<lint::Diagnostic> Session::finish() {
+  uninstall();
+  return detector_.finish();
+}
+
+#if !defined(PRESP_RACECHECK_DISABLED)
+
+namespace detail {
+
+namespace {
+
+/// One acquire load per hook; the session stays alive for the duration
+/// per the lifetime contract in session.hpp. The fuzzer perturbs BEFORE
+/// the detector takes its lock so injected sleeps never serialize every
+/// instrumented thread behind the detector mutex.
+inline Session* live() {
+  return g_session.load(std::memory_order_acquire);
+}
+
+inline void pre(Session* s) {
+  s->detector().count_event();
+  if (ScheduleFuzzer* f = s->fuzzer()) f->perturb();
+}
+
+}  // namespace
+
+void hook_acquire_lock(const void* lock, const char* name,
+                       const char* file, int line) {
+  if (Session* s = live()) {
+    pre(s);
+    s->detector().acquire_lock(lock, name, file, line);
+  }
+}
+
+void hook_release_lock(const void* lock) {
+  if (Session* s = live()) {
+    pre(s);
+    s->detector().release_lock(lock);
+  }
+}
+
+void hook_atomic_publish(const void* obj, const char* name) {
+  if (Session* s = live()) {
+    pre(s);
+    s->detector().atomic_publish(obj, name);
+  }
+}
+
+void hook_atomic_consume(const void* obj, const char* name) {
+  if (Session* s = live()) {
+    pre(s);
+    s->detector().atomic_consume(obj, name);
+  }
+}
+
+void hook_declare_nesting(const char* outer, const char* inner) {
+  if (Session* s = live()) {
+    s->detector().count_event();
+    s->detector().declare_nesting(outer, inner);
+  }
+}
+
+void hook_read(const void* addr, const char* name, const char* file,
+               int line) {
+  if (Session* s = live()) {
+    pre(s);
+    s->detector().read(addr, name, file, line);
+  }
+}
+
+void hook_write(const void* addr, const char* name, const char* file,
+                int line) {
+  if (Session* s = live()) {
+    pre(s);
+    s->detector().write(addr, name, file, line);
+  }
+}
+
+void hook_task_create(const void* task) {
+  if (Session* s = live()) {
+    pre(s);
+    s->detector().task_create(task);
+  }
+}
+
+void hook_task_begin(const void* task, const char* label) {
+  if (Session* s = live()) {
+    pre(s);
+    s->detector().task_begin(task, label);
+  }
+}
+
+void hook_task_end(const void* task) {
+  if (Session* s = live()) {
+    pre(s);
+    s->detector().task_end(task);
+  }
+}
+
+void hook_event(EventKind /*kind*/) {
+  if (Session* s = live()) pre(s);
+}
+
+void hook_scope_push(const char* label) {
+  if (Session* s = live()) {
+    s->detector().count_event();
+    s->detector().scope_push(label);
+  }
+}
+
+void hook_scope_pop() {
+  if (Session* s = live()) {
+    s->detector().count_event();
+    s->detector().scope_pop();
+  }
+}
+
+}  // namespace detail
+
+#endif  // PRESP_RACECHECK_DISABLED
+
+}  // namespace presp::racecheck

@@ -1,0 +1,75 @@
+// racecheck::Session — one race-detection run.
+//
+// A Session owns a Detector (and optionally a ScheduleFuzzer) and, while
+// installed, receives every presp::annot call process-wide through the
+// hook functions defined in session.cpp. Typical shape:
+//
+//   racecheck::Session session({.fuzz = true, .seed = 42});
+//   session.install();
+//   { exec::ThreadPool pool(...); /* run the workload */ }
+//   session.uninstall();
+//   for (const auto& diag : session.finish()) ...
+//
+// Lifetime contract: install() before starting the threads you want
+// instrumented, uninstall() only after they are quiescent (joined, or
+// provably outside annotated code). Hooks dereference the installed
+// session without further synchronization — the exec layer honours this
+// by reading annotations only between pool construction and join.
+// Install/uninstall themselves are idempotent and check-fail-free, and
+// only one session can be installed at a time (install() returns false
+// if another session holds the slot).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "racecheck/annot.hpp"
+#include "racecheck/detector.hpp"
+#include "racecheck/fuzzer.hpp"
+
+namespace presp::racecheck {
+
+class Session {
+ public:
+  struct Options {
+    bool fuzz = false;           // enable the schedule fuzzer
+    std::uint64_t seed = 1;      // fuzzer seed (ignored unless fuzz)
+    ScheduleFuzzer::Options fuzzer;  // tuning; .seed is overridden
+    std::size_t max_slots = 4096;
+  };
+
+  Session();
+  explicit Session(Options opts);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Makes this the process-wide session annotations report to. Returns
+  /// false (and does nothing) if a different session is installed.
+  bool install();
+  /// Stops receiving annotations. Safe to call when not installed.
+  void uninstall();
+  bool installed() const;
+
+  Detector& detector() { return detector_; }
+  ScheduleFuzzer* fuzzer() { return fuzzer_.get(); }
+  std::uint64_t seed() const { return opts_.seed; }
+
+  /// finish() = uninstall + finalize passes + all diagnostics.
+  std::vector<lint::Diagnostic> finish();
+  DetectorStats stats() const { return detector_.stats(); }
+
+  /// The currently-installed session (null when racecheck is off).
+  static Session* current() {
+    return detail::g_session.load(std::memory_order_acquire);
+  }
+
+ private:
+  Options opts_;
+  Detector detector_;
+  std::unique_ptr<ScheduleFuzzer> fuzzer_;
+};
+
+}  // namespace presp::racecheck

@@ -1,0 +1,85 @@
+// Vector clocks and FastTrack epochs for the dynamic race detector.
+//
+// A VectorClock maps logical-thread slots (workers, in-flight tasks, sim
+// processes) to Lamport clocks; an Epoch is FastTrack's compressed
+// "slot@clock" form of a single access, which lets the common
+// same-thread / already-ordered access paths compare one integer instead
+// of joining full vectors. Slots are dense small integers handed out by
+// the detector, so a plain growable vector beats any map here.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace presp::racecheck {
+
+/// One access in compressed form: the accessing slot and that slot's
+/// clock at access time. clock == 0 means "no such access yet".
+struct Epoch {
+  int slot = 0;
+  std::uint64_t clock = 0;
+
+  bool valid() const { return clock != 0; }
+  bool operator==(const Epoch&) const = default;
+};
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  std::uint64_t get(int slot) const {
+    const auto i = static_cast<std::size_t>(slot);
+    return i < clocks_.size() ? clocks_[i] : 0;
+  }
+
+  void set(int slot, std::uint64_t value) {
+    const auto i = static_cast<std::size_t>(slot);
+    if (i >= clocks_.size()) clocks_.resize(i + 1, 0);
+    clocks_[i] = value;
+  }
+
+  void tick(int slot) { set(slot, get(slot) + 1); }
+
+  /// Component-wise maximum (the happens-before join).
+  void join(const VectorClock& other) {
+    if (other.clocks_.size() > clocks_.size())
+      clocks_.resize(other.clocks_.size(), 0);
+    for (std::size_t i = 0; i < other.clocks_.size(); ++i)
+      clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+  }
+
+  /// True when the access `epoch` happened before (or at) this clock:
+  /// FastTrack's "epoch <= VC" test.
+  bool covers(const Epoch& epoch) const {
+    return epoch.clock <= get(epoch.slot);
+  }
+
+  /// True when every component of `other` is <= this clock (used for the
+  /// inflated read-vector vs writer check).
+  bool covers(const VectorClock& other) const {
+    for (std::size_t i = 0; i < other.clocks_.size(); ++i)
+      if (other.clocks_[i] > get(static_cast<int>(i))) return false;
+    return true;
+  }
+
+  void clear() { clocks_.clear(); }
+  std::size_t size() const { return clocks_.size(); }
+
+  std::string to_string() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < clocks_.size(); ++i) {
+      if (clocks_[i] == 0) continue;
+      if (out.size() > 1) out += " ";
+      out += std::to_string(i) + "@" + std::to_string(clocks_[i]);
+    }
+    return out + "]";
+  }
+
+ private:
+  std::vector<std::uint64_t> clocks_;
+};
+
+}  // namespace presp::racecheck

@@ -3,16 +3,51 @@
 // The stress tests are the tier-1 TSan stage's main target: every
 // interleaving of owner pop vs thief steal must hand each task to
 // exactly one consumer, with no data race on the ring cells.
+//
+// Stress-case randomness (owner pop cadence, batch sizes) is seeded:
+// every case derives its stream from ONE base seed, logged once below.
+// To replay a failing log, re-run with PRESP_CHASE_LEV_SEED set to the
+// logged value — the case name pins the rest, so the log line alone is
+// enough to reproduce.
 #include "exec/chase_lev.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
+#include "util/rng.hpp"
+
 namespace presp::exec {
 namespace {
+
+std::uint64_t base_seed() {
+  static const std::uint64_t seed = [] {
+    std::uint64_t value = 0xC4A5E1EFu;  // default: deterministic CI runs
+    if (const char* env = std::getenv("PRESP_CHASE_LEV_SEED"))
+      value = std::strtoull(env, nullptr, 0);
+    std::printf("[chase_lev] base seed 0x%" PRIx64
+                " (PRESP_CHASE_LEV_SEED=0x%" PRIx64 " reproduces)\n",
+                value, value);
+    return value;
+  }();
+  return seed;
+}
+
+/// Per-case stream: FNV-1a of the case name mixed into the base seed,
+/// so cases stay independent but are all pinned by the one logged base.
+std::uint64_t case_seed(const char* case_name) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char* p = case_name; *p != '\0'; ++p) {
+    hash ^= static_cast<unsigned char>(*p);
+    hash *= 1099511628211ULL;
+  }
+  return hash ^ base_seed();
+}
 
 TEST(ChaseLevTest, PopOnEmptyReturnsNull) {
   ChaseLevDeque<int> deque;
@@ -106,10 +141,12 @@ TEST(ChaseLevStressTest, ConcurrentStealersReceiveEachTaskExactlyOnce) {
             1, std::memory_order_relaxed);
     });
 
-  // Owner: interleave pushes with pops to exercise the last-element CAS.
+  // Owner: interleave pushes with seeded pops to exercise the
+  // last-element CAS at varying queue depths.
+  Rng rng(case_seed("ConcurrentStealersReceiveEachTaskExactlyOnce"));
   for (int i = 0; i < kTasks; ++i) {
     deque.push(&tasks[static_cast<std::size_t>(i)]);
-    if (i % 3 == 0) {
+    if (rng.next_below(3) == 0) {
       if (int* task = deque.pop())
         consumed[static_cast<std::size_t>(task - tasks.data())].fetch_add(
             1, std::memory_order_relaxed);
@@ -129,9 +166,9 @@ TEST(ChaseLevStressTest, ConcurrentStealersReceiveEachTaskExactlyOnce) {
 // Owner pops everything while thieves hammer: the pop-side CAS path.
 TEST(ChaseLevStressTest, OwnerAndThievesDrainWithoutLossOrDuplication) {
   constexpr int kRounds = 200;
-  constexpr int kBatch = 64;
+  constexpr int kMaxBatch = 128;
   ChaseLevDeque<int> deque(4);
-  std::vector<int> tasks(kRounds * kBatch);
+  std::vector<int> tasks(kRounds * kMaxBatch);
   std::atomic<long long> stolen_sum{0};
   std::atomic<long long> popped_sum{0};
   std::atomic<bool> done{false};
@@ -144,11 +181,16 @@ TEST(ChaseLevStressTest, OwnerAndThievesDrainWithoutLossOrDuplication) {
     stolen_sum.store(sum, std::memory_order_release);
   });
 
+  // Seeded batch sizes vary the live-window depth each round, sweeping
+  // the growth boundary from both sides.
+  Rng rng(case_seed("OwnerAndThievesDrainWithoutLossOrDuplication"));
   long long pushed_sum = 0;
   long long local_popped = 0;
   int next = 0;
   for (int round = 0; round < kRounds; ++round) {
-    for (int i = 0; i < kBatch; ++i, ++next) {
+    const int batch =
+        1 + static_cast<int>(rng.next_below(kMaxBatch));
+    for (int i = 0; i < batch; ++i, ++next) {
       tasks[static_cast<std::size_t>(next)] = next;
       pushed_sum += next;
       deque.push(&tasks[static_cast<std::size_t>(next)]);

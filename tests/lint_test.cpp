@@ -692,6 +692,43 @@ TEST(ExecLintTest, CapWithoutCacheDirIsAWarning) {
       EXPECT_EQ(d.severity, Severity::kWarning);
 }
 
+/// Pins the hardware-thread count the overhead rule sees, so the tests
+/// do not depend on the build host.
+class HwThreadsGuard {
+ public:
+  explicit HwThreadsGuard(const char* count) {
+    ::setenv("PRESP_LINT_HW_THREADS", count, 1);
+  }
+  ~HwThreadsGuard() { ::unsetenv("PRESP_LINT_HW_THREADS"); }
+};
+
+TEST(ExecLintTest, RacecheckWithOversubscriptionWarns) {
+  const HwThreadsGuard hw("4");
+  const auto diags =
+      run_lint(with_exec("racecheck = true\nthreads = 8\n"));
+  ASSERT_TRUE(has_rule(diags, "exec.racecheck-overhead"));
+  EXPECT_FALSE(has_error(diags));
+  for (const Diagnostic& d : diags)
+    if (d.rule == "exec.racecheck-overhead") {
+      EXPECT_EQ(d.severity, Severity::kWarning);
+      EXPECT_NE(d.message.find("4-hardware-thread"), std::string::npos);
+      EXPECT_FALSE(d.fix_hint.empty());
+    }
+}
+
+TEST(ExecLintTest, RacecheckWithinHardwareThreadsIsClean) {
+  const HwThreadsGuard hw("4");
+  const auto diags =
+      run_lint(with_exec("racecheck = true\nthreads = 4\n"));
+  EXPECT_FALSE(has_rule(diags, "exec.racecheck-overhead"));
+}
+
+TEST(ExecLintTest, OversubscriptionWithoutRacecheckIsClean) {
+  const HwThreadsGuard hw("4");
+  const auto diags = run_lint(with_exec("threads = 64\n"));
+  EXPECT_FALSE(has_rule(diags, "exec.racecheck-overhead"));
+}
+
 // --------------------------------------- shipped designs stay clean
 
 TEST(ShippedDesignsTest, CharacterizationAndTable6SocsAreClean) {

@@ -1,0 +1,340 @@
+// Race detector: vector clocks, FastTrack epoch checks, the Eraser-style
+// lockset fallback, the lock-order pass, and the seeded corpus sweep
+// (every racy workload detected with the right rule and both access
+// sites; every clean workload silent across seeds).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "lint/cycle.hpp"
+#include "racecheck/annot.hpp"
+#include "racecheck/corpus.hpp"
+#include "racecheck/detector.hpp"
+#include "racecheck/session.hpp"
+#include "racecheck/vector_clock.hpp"
+
+namespace presp::racecheck {
+namespace {
+
+// ------------------------------------------------------- vector clocks
+
+TEST(VectorClockTest, JoinIsComponentwiseMax) {
+  VectorClock a;
+  a.set(0, 3);
+  a.set(2, 1);
+  VectorClock b;
+  b.set(0, 1);
+  b.set(1, 5);
+  a.join(b);
+  EXPECT_EQ(a.get(0), 3u);
+  EXPECT_EQ(a.get(1), 5u);
+  EXPECT_EQ(a.get(2), 1u);
+}
+
+TEST(VectorClockTest, CoversEpochAndVector) {
+  VectorClock vc;
+  vc.set(1, 4);
+  EXPECT_TRUE(vc.covers(Epoch{1, 4}));
+  EXPECT_TRUE(vc.covers(Epoch{1, 3}));
+  EXPECT_FALSE(vc.covers(Epoch{1, 5}));
+  EXPECT_FALSE(vc.covers(Epoch{0, 1}));
+
+  VectorClock other;
+  other.set(1, 4);
+  EXPECT_TRUE(vc.covers(other));
+  other.set(0, 1);
+  EXPECT_FALSE(vc.covers(other));
+}
+
+TEST(VectorClockTest, EpochValidity) {
+  EXPECT_FALSE(Epoch{}.valid());
+  EXPECT_TRUE((Epoch{0, 1}).valid());
+}
+
+// ----------------------------------------------------- shared cycle DFS
+
+TEST(CycleTest, FindsClosedWalkAndHandlesAcyclic) {
+  // 0 -> 1 -> 2 -> 0 plus an acyclic tail.
+  const std::vector<std::vector<int>> cyclic{{1}, {2}, {0}, {0}};
+  const std::vector<int> cycle = lint::find_cycle(cyclic);
+  ASSERT_GE(cycle.size(), 3u);
+  EXPECT_EQ(cycle.front(), cycle.back());
+
+  const std::vector<std::vector<int>> acyclic{{1}, {2}, {}};
+  EXPECT_TRUE(lint::find_cycle(acyclic).empty());
+
+  const std::vector<std::vector<int>> self{{0}};
+  const std::vector<int> loop = lint::find_cycle(self);
+  ASSERT_EQ(loop.size(), 2u);
+  EXPECT_EQ(loop[0], loop[1]);
+}
+
+// -------------------------------------------------- detector unit tests
+
+// Two sibling tasks on ONE OS thread (frames nest serially) with no edge
+// between them: the second task's snapshot predates the first task's
+// write, so FastTrack must flag the pair even though the real execution
+// was serial. This is the schedule-independence property in miniature.
+TEST(DetectorTest, FlagsUnorderedSiblingTasks) {
+  Detector detector;
+  int x = 0;
+  const void* task_a = &x;
+  int y = 0;
+  const void* task_b = &y;
+  detector.task_create(task_a);
+  detector.task_create(task_b);
+  detector.task_begin(task_a, "a");
+  detector.write(&x, "x", "test.cpp", 1);
+  detector.task_end(task_a);
+  detector.task_begin(task_b, "b");
+  detector.write(&x, "x", "test.cpp", 2);
+  detector.task_end(task_b);
+  const auto diags = detector.finish();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "race.data-race");
+  // Both access sites must be quoted in the message.
+  EXPECT_NE(diags[0].message.find("test.cpp:1"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("test.cpp:2"), std::string::npos);
+  EXPECT_EQ(detector.stats().data_races, 1u);
+}
+
+// The same shape with a publish/consume pair is ordered and clean.
+TEST(DetectorTest, PublishConsumeOrdersSiblingTasks) {
+  Detector detector;
+  int x = 0;
+  int chan = 0;
+  const void* task_a = &x;
+  int y = 0;
+  const void* task_b = &y;
+  detector.task_create(task_a);
+  detector.task_begin(task_a, "a");
+  detector.write(&x, "x", "test.cpp", 1);
+  detector.atomic_publish(&chan, "chan");
+  detector.task_end(task_a);
+  detector.task_create(task_b);
+  detector.task_begin(task_b, "b");
+  detector.atomic_consume(&chan, "chan");
+  detector.write(&x, "x", "test.cpp", 2);
+  detector.task_end(task_b);
+  EXPECT_TRUE(detector.finish().empty());
+}
+
+// Lock acquire/release carries happens-before between tasks, and a
+// consistent lockset stays non-empty.
+TEST(DetectorTest, LockOrdersAccessesAndKeepsLockset) {
+  Detector detector;
+  int x = 0;
+  int lock = 0;
+  int t1 = 0;
+  int t2 = 0;
+  detector.task_create(&t1);
+  detector.task_begin(&t1, "a");
+  detector.acquire_lock(&lock, "m", "test.cpp", 1);
+  detector.write(&x, "x", "test.cpp", 2);
+  detector.release_lock(&lock);
+  detector.task_end(&t1);
+  detector.task_create(&t2);
+  detector.task_begin(&t2, "b");
+  detector.acquire_lock(&lock, "m", "test.cpp", 3);
+  detector.write(&x, "x", "test.cpp", 4);
+  detector.release_lock(&lock);
+  detector.task_end(&t2);
+  EXPECT_TRUE(detector.finish().empty());
+}
+
+// HB-ordered writes under two different locks: no data race, but the
+// lockset pass must warn about the inconsistent discipline.
+TEST(DetectorTest, LocksetWarnsOnInconsistentDiscipline) {
+  Detector detector;
+  int x = 0;
+  int lock_a = 0;
+  int lock_b = 0;
+  int chan = 0;
+  int t1 = 0;
+  int t2 = 0;
+  detector.task_create(&t1);
+  detector.task_begin(&t1, "a");
+  detector.acquire_lock(&lock_a, "la", "test.cpp", 1);
+  detector.write(&x, "x", "test.cpp", 2);
+  detector.release_lock(&lock_a);
+  detector.atomic_publish(&chan, "chan");
+  detector.task_end(&t1);
+  detector.task_create(&t2);
+  detector.task_begin(&t2, "b");
+  detector.atomic_consume(&chan, "chan");
+  detector.acquire_lock(&lock_b, "lb", "test.cpp", 3);
+  detector.write(&x, "x", "test.cpp", 4);
+  detector.release_lock(&lock_b);
+  detector.task_end(&t2);
+  const auto diags = detector.finish();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "race.lockset");
+  EXPECT_EQ(diags[0].severity, lint::Severity::kWarning);
+}
+
+// Declared nesting (the coroutine-domain API) plus a conflicting dynamic
+// edge must produce a race.lock-order cycle naming both locks.
+TEST(DetectorTest, LockOrderCycleFromDeclaredAndDynamicEdges) {
+  Detector detector;
+  int lock_a = 0;
+  int lock_b = 0;
+  detector.declare_nesting("la", "lb");
+  detector.acquire_lock(&lock_b, "lb", "test.cpp", 1);
+  detector.acquire_lock(&lock_a, "la", "test.cpp", 2);
+  detector.release_lock(&lock_a);
+  detector.release_lock(&lock_b);
+  const auto diags = detector.finish();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "race.lock-order");
+  EXPECT_NE(diags[0].message.find("la"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("lb"), std::string::npos);
+}
+
+TEST(DetectorTest, FinishIsIdempotent) {
+  Detector detector;
+  int lock_a = 0;
+  int lock_b = 0;
+  detector.declare_nesting("la", "lb");
+  detector.declare_nesting("lb", "la");
+  (void)lock_a;
+  (void)lock_b;
+  const auto first = detector.finish();
+  const auto second = detector.finish();
+  EXPECT_EQ(first.size(), second.size());
+}
+
+// ------------------------------------------------------ session gating
+
+TEST(SessionTest, AnnotationsAreNoOpsWithoutSession) {
+  ASSERT_EQ(Session::current(), nullptr);
+  EXPECT_FALSE(enabled());
+  int x = 0;
+  PRESP_RC_WRITE(&x, "gating");  // must not crash or allocate state
+  annot::OnSteal();
+}
+
+TEST(SessionTest, OnlyOneSessionInstallsAtATime) {
+  if (!hooks_compiled()) GTEST_SKIP() << "racecheck compiled out";
+  Session first;
+  Session second;
+  EXPECT_TRUE(first.install());
+  EXPECT_TRUE(first.installed());
+  EXPECT_FALSE(second.install());
+  EXPECT_TRUE(first.install());  // re-install of the holder is idempotent
+  first.uninstall();
+  EXPECT_EQ(Session::current(), nullptr);
+  EXPECT_TRUE(second.install());
+  second.uninstall();
+}
+
+// ------------------------------------------------------- corpus sweep
+
+class CorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!hooks_compiled()) GTEST_SKIP() << "racecheck compiled out";
+  }
+};
+
+TEST_F(CorpusTest, EveryRacyWorkloadIsDetectedWithItsRule) {
+  for (const Workload& workload : corpus()) {
+    if (!workload.racy) continue;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const CorpusRun run = run_workload(workload, seed);
+      EXPECT_TRUE(has_rule(run.diags, workload.expect_rule))
+          << workload.name << " missed " << workload.expect_rule
+          << " at seed " << seed;
+    }
+  }
+}
+
+TEST_F(CorpusTest, EveryCleanWorkloadIsSilentAcrossSeeds) {
+  for (const Workload& workload : corpus()) {
+    if (workload.racy) continue;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const CorpusRun run = run_workload(workload, seed);
+      EXPECT_TRUE(run.diags.empty())
+          << workload.name << " reported at seed " << seed << ":\n"
+          << lint::render_text(run.diags);
+    }
+  }
+}
+
+TEST_F(CorpusTest, DataRaceReportsQuoteBothAccessSites) {
+  const Workload* workload = find_workload("racy-read-write");
+  ASSERT_NE(workload, nullptr);
+  const CorpusRun run = run_workload(*workload, 1);
+  ASSERT_TRUE(has_rule(run.diags, "race.data-race"));
+  for (const lint::Diagnostic& diag : run.diags) {
+    if (diag.rule != "race.data-race") continue;
+    // Both sites carry file:line and the annotation-stack label.
+    EXPECT_NE(diag.message.find("corpus.cpp"), std::string::npos);
+    EXPECT_NE(diag.message.find("unordered with"), std::string::npos);
+    EXPECT_NE(diag.message.find("corpus.writer"), std::string::npos);
+    EXPECT_NE(diag.message.find("corpus.reader"), std::string::npos);
+  }
+}
+
+TEST_F(CorpusTest, VerdictIsReproducibleFromSeedAlone) {
+  const Workload* workload = find_workload("racy-counter");
+  ASSERT_NE(workload, nullptr);
+  const CorpusRun first = run_workload(*workload, 42);
+  const CorpusRun again = run_workload(*workload, 42);
+  ASSERT_FALSE(first.diags.empty());
+  EXPECT_EQ(first.diags.size(), again.diags.size());
+  EXPECT_EQ(first.diags[0].rule, again.diags[0].rule);
+  EXPECT_EQ(first.diags[0].loc.file, again.diags[0].loc.file);
+  EXPECT_EQ(first.diags[0].loc.line, again.diags[0].loc.line);
+  // A different seed perturbs the schedule but not the verdict.
+  const CorpusRun other = run_workload(*workload, 1337);
+  EXPECT_TRUE(has_rule(other.diags, "race.data-race"));
+}
+
+TEST_F(CorpusTest, SarifRenderingCarriesRaceRules) {
+  const Workload* workload = find_workload("racy-lock-order");
+  ASSERT_NE(workload, nullptr);
+  const CorpusRun run = run_workload(*workload, 1);
+  const std::string sarif =
+      lint::render_sarif(run.diags, "presp-racecheck");
+  EXPECT_NE(sarif.find("\"presp-racecheck\""), std::string::npos);
+  EXPECT_NE(sarif.find("race.lock-order"), std::string::npos);
+}
+
+TEST_F(CorpusTest, StatsCountInstrumentationTraffic) {
+  const Workload* workload = find_workload("racy-counter");
+  ASSERT_NE(workload, nullptr);
+  const CorpusRun run = run_workload(*workload, 3);
+  EXPECT_GT(run.stats.events, 0u);
+  EXPECT_GE(run.stats.accesses, 8u);
+  EXPECT_GE(run.stats.tasks, 8u);
+  EXPECT_GT(run.stats.data_races, 0u);
+}
+
+// Pool-owned sessions: Options::racecheck wires a session around the
+// pool's lifetime and racecheck_report() surfaces the findings.
+TEST_F(CorpusTest, PoolOwnedSessionReportsRaces) {
+  exec::ThreadPool::Options options;
+  options.threads = 2;
+  options.racecheck = true;
+  options.racecheck_seed = 5;
+  exec::ThreadPool pool(options);
+  std::atomic<int> value{0};
+  pool.submit([&value] {
+    PRESP_RC_WRITE(&value, "pool-owned");
+    value.store(1, std::memory_order_relaxed);
+  });
+  pool.submit([&value] {
+    PRESP_RC_WRITE(&value, "pool-owned");
+    value.store(2, std::memory_order_relaxed);
+  });
+  pool.wait_idle();
+  const auto diags = pool.racecheck_report();
+  EXPECT_TRUE(has_rule(diags, "race.data-race"))
+      << lint::render_text(diags);
+}
+
+}  // namespace
+}  // namespace presp::racecheck

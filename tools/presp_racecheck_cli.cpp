@@ -1,0 +1,235 @@
+// presp-racecheck: run workloads under the race detector across a sweep
+// of schedule-fuzzer seeds and report findings as text/JSON/SARIF.
+//
+//   presp-racecheck --list
+//   presp-racecheck --all --seeds 8 --format sarif --out races.sarif
+//   presp-racecheck --workload racy-counter --seeds 1 --seed-base 42
+//   presp-racecheck --all --expect --summary-json summary.json
+//
+// Every diagnostic's fix-hint ends with an exact reproduction command
+// naming the first seed that reported it; detection is deterministic per
+// workload (see racecheck/detector.hpp), so that one seed always
+// reproduces the finding. --expect turns the run into a regression
+// gate: racy corpus workloads must report their expected race.* rule,
+// clean ones must stay silent (exit 2 on any mismatch).
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "racecheck/annot.hpp"
+#include "racecheck/corpus.hpp"
+
+namespace {
+
+using presp::lint::Diagnostic;
+using presp::racecheck::Workload;
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--list] [--all | --workload NAME]... [--seeds K]\n"
+         "       [--seed-base S] [--format text|json|sarif] [--out FILE]\n"
+         "       [--expect] [--summary-json FILE] [--stats]\n";
+  return 1;
+}
+
+// Cross-seed identity: rule + anchored site + object. Deliberately NOT
+// the message — it names logical-thread ids, which vary with OS
+// scheduling across seeds, and one finding per (rule, site) with its
+// first-detecting seed is what reproduction wants.
+std::string diag_key(const Diagnostic& diag) {
+  return diag.rule + "|" + diag.loc.file + "|" +
+         std::to_string(diag.loc.line) + "|" + diag.loc.object;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false;
+  bool all = false;
+  bool expect = false;
+  bool stats = false;
+  int seeds = 8;
+  std::uint64_t seed_base = 1;
+  std::string format = "text";
+  std::string out_path;
+  std::string summary_path;
+  std::vector<std::string> names;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--workload") {
+      names.push_back(value("--workload"));
+    } else if (arg == "--seeds") {
+      seeds = std::stoi(value("--seeds"));
+    } else if (arg == "--seed-base") {
+      seed_base = std::stoull(value("--seed-base"));
+    } else if (arg == "--format") {
+      format = value("--format");
+    } else if (arg == "--out") {
+      out_path = value("--out");
+    } else if (arg == "--expect") {
+      expect = true;
+    } else if (arg == "--summary-json") {
+      summary_path = value("--summary-json");
+    } else if (arg == "--stats") {
+      stats = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (format != "text" && format != "json" && format != "sarif")
+    return usage(argv[0]);
+  if (seeds < 1) {
+    std::cerr << "--seeds must be >= 1\n";
+    return 1;
+  }
+
+  const auto& corpus = presp::racecheck::corpus();
+  if (list) {
+    for (const Workload& w : corpus)
+      std::cout << w.name << "\t" << (w.racy ? "racy" : "clean")
+                << (w.expect_rule.empty() ? "" : "\t" + w.expect_rule)
+                << "\t" << w.description << "\n";
+    return 0;
+  }
+
+  std::vector<const Workload*> selected;
+  if (all || names.empty()) {
+    for (const Workload& w : corpus) selected.push_back(&w);
+  } else {
+    for (const std::string& name : names) {
+      const Workload* w = presp::racecheck::find_workload(name);
+      if (w == nullptr) {
+        std::cerr << "unknown workload: " << name << " (try --list)\n";
+        return 1;
+      }
+      selected.push_back(w);
+    }
+  }
+
+  if (!presp::racecheck::hooks_compiled()) {
+    std::cerr << "presp-racecheck: built with -DPRESP_RACECHECK=OFF; "
+                 "annotation hooks are compiled out, skipping\n";
+    if (!summary_path.empty())
+      write_file(summary_path,
+                 "{\"hooks_compiled\":false,\"workloads\":0,"
+                 "\"racy_detected\":0,\"clean_silent\":0,"
+                 "\"diagnostics\":0,\"expect_ok\":true}\n");
+    return 0;
+  }
+
+  presp::lint::DiagnosticEngine engine;
+  std::set<std::string> seen;
+  int racy_total = 0;
+  int racy_detected = 0;
+  int clean_total = 0;
+  int clean_silent = 0;
+  bool expect_ok = true;
+  std::uint64_t total_events = 0;
+
+  for (const Workload* w : selected) {
+    bool rule_seen = false;
+    bool any_diag = false;
+    for (int k = 0; k < seeds; ++k) {
+      const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(k);
+      presp::racecheck::CorpusRun run =
+          presp::racecheck::run_workload(*w, seed);
+      total_events += run.stats.events;
+      for (Diagnostic diag : run.diags) {
+        any_diag = true;
+        if (diag.rule == w->expect_rule) rule_seen = true;
+        if (!seen.insert(diag_key(diag)).second) continue;
+        if (!diag.fix_hint.empty()) diag.fix_hint += "; ";
+        diag.fix_hint += "reproduce: presp-racecheck --workload " +
+                         w->name + " --seeds 1 --seed-base " +
+                         std::to_string(seed);
+        engine.add(std::move(diag));
+      }
+    }
+    if (w->racy) {
+      ++racy_total;
+      if (rule_seen) {
+        ++racy_detected;
+      } else {
+        expect_ok = false;
+        std::cerr << "EXPECTATION FAILED: " << w->name
+                  << " did not report " << w->expect_rule << "\n";
+      }
+    } else {
+      ++clean_total;
+      if (!any_diag) {
+        ++clean_silent;
+      } else {
+        expect_ok = false;
+        std::cerr << "EXPECTATION FAILED: " << w->name
+                  << " reported diagnostics but is a clean workload\n";
+      }
+    }
+  }
+
+  engine.sort();
+  std::string report;
+  if (format == "json")
+    report = presp::lint::render_json(engine.diagnostics());
+  else if (format == "sarif")
+    report =
+        presp::lint::render_sarif(engine.diagnostics(), "presp-racecheck");
+  else
+    report = presp::lint::render_text(engine.diagnostics());
+  if (out_path.empty()) {
+    std::cout << report;
+    if (format == "text" && !report.empty() && report.back() != '\n')
+      std::cout << "\n";
+  } else if (!write_file(out_path, report)) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
+
+  if (stats)
+    std::cerr << "workloads=" << selected.size() << " seeds=" << seeds
+              << " events=" << total_events
+              << " diagnostics=" << engine.size() << "\n";
+
+  if (!summary_path.empty()) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"hooks_compiled\":true,\"workloads\":%zu,"
+                  "\"seeds\":%d,\"racy_detected\":%d,\"racy_total\":%d,"
+                  "\"clean_silent\":%d,\"clean_total\":%d,"
+                  "\"diagnostics\":%zu,\"expect_ok\":%s}\n",
+                  selected.size(), seeds, racy_detected, racy_total,
+                  clean_silent, clean_total, engine.size(),
+                  expect_ok ? "true" : "false");
+    if (!write_file(summary_path, buf)) {
+      std::cerr << "failed to write " << summary_path << "\n";
+      return 1;
+    }
+  }
+
+  if (expect && !expect_ok) return 2;
+  return 0;
+}

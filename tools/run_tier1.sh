@@ -16,6 +16,11 @@
 #              injected shard stalls: zero lost completions, zero
 #              unexplained sheds, breaker diversion and a bit-identical
 #              replay are all hard failures
+#   racecheck  seeded race-detector corpus gate (presp-racecheck): every
+#              intentionally-racy workload must report its expected
+#              race.* rule within 8 seeds, and the clean exec/runtime/
+#              fleet/store workloads must stay silent across a 32-seed
+#              schedule-fuzzer sweep; finding counts land in the summary
 #   asan       AddressSanitizer+UBSan build running the full ctest suite
 #   tsan       ThreadSanitizer build running the Chase-Lev deque stress
 #              tests (owner pop vs concurrent thieves), the exec unit
@@ -47,7 +52,7 @@ TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 CONFIG_FLAGS=${CONFIG_FLAGS:-}
 TIER1_SUMMARY=${TIER1_SUMMARY:-tier1_summary.json}
 
-ALL_STAGES="build lint trace workflows fleet asan tsan"
+ALL_STAGES="build lint trace workflows fleet racecheck asan tsan"
 
 # ----------------------------------------------------------------- stages
 # Each stage body runs in a `set -e` subshell; any failing command fails
@@ -172,6 +177,34 @@ stage_fleet() {
   echo "tier-1 fleet: soak clean, report fields present ($FLEET_JSON)"
 }
 
+stage_racecheck() {
+  cmake --build "$BUILD_DIR" --target presp-racecheck -j
+  RC_BIN="$BUILD_DIR/tools/presp-racecheck"
+  RC_SUMMARY="$BUILD_DIR/tier1_racecheck.json"
+  RC_SARIF="$BUILD_DIR/tier1_racecheck.sarif"
+  # Regression gate over the seeded corpus: every racy workload must
+  # report its expected race.* rule within 8 seeds and every clean
+  # workload must stay silent (presp-racecheck exits 2 on a mismatch).
+  "$RC_BIN" --all --seeds 8 --expect --stats \
+      --format sarif --out "$RC_SARIF" --summary-json "$RC_SUMMARY"
+  if grep -q '"hooks_compiled":false' "$RC_SUMMARY"; then
+    echo "tier-1 racecheck: hooks compiled out (-DPRESP_RACECHECK=OFF)," \
+        "corpus gate skipped"
+    return 0
+  fi
+  # Clean suite again under the wider sweep: the exec/runtime/fleet/store
+  # instrumentation must stay race-clean under 32 perturbed schedules.
+  clean_args=$("$RC_BIN" --list |
+      awk -F'\t' '$2 == "clean" { printf "--workload %s ", $1 }')
+  # shellcheck disable=SC2086  # one flag pair per clean workload
+  "$RC_BIN" $clean_args --seeds 32 --expect >/dev/null
+  # Surface the finding counts into tier1_summary.json (runner merges
+  # this fragment into the stage row).
+  sed 's/^{"hooks_compiled":true,//; s/}$//' "$RC_SUMMARY" \
+      > .tier1_stage_extra
+  echo "tier-1 racecheck: corpus gate clean ($RC_SUMMARY, $RC_SARIF)"
+}
+
 stage_asan() {
   cmake -B "$ASAN_BUILD_DIR" -S . \
       -DPRESP_SANITIZE=address,undefined >/dev/null
@@ -246,6 +279,7 @@ failed_stages=""
 overall=0
 for stage in $SELECTED; do
   echo "== tier-1 stage: $stage =="
+  rm -f .tier1_stage_extra
   stage_start=$(date +%s)
   if (
     set -e
@@ -259,8 +293,15 @@ for stage in $SELECTED; do
     echo "tier-1: stage '$stage' FAILED" >&2
   fi
   stage_seconds=$(($(date +%s) - stage_start))
+  # A stage may leave extra JSON fields (e.g. racecheck finding counts)
+  # in .tier1_stage_extra; merge them into its summary row.
+  stage_extra=""
+  if [ -s .tier1_stage_extra ]; then
+    stage_extra=",$(tr -d '\n' < .tier1_stage_extra)"
+    rm -f .tier1_stage_extra
+  fi
   summary_rows="$summary_rows{\"name\":\"$stage\",\
-\"status\":\"$status\",\"seconds\":$stage_seconds},"
+\"status\":\"$status\",\"seconds\":$stage_seconds$stage_extra},"
 done
 
 [ $overall -eq 0 ] && passed=true || passed=false
