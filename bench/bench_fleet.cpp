@@ -17,11 +17,16 @@
 // workflow's required-field gate. tools/run_tier1.sh's `fleet` stage
 // runs a short configuration of this soak.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -29,6 +34,9 @@
 #include "fleet/fleet.hpp"
 #include "fleet/load.hpp"
 #include "netlist/netlist.hpp"
+#include "ops/http.hpp"
+#include "ops/server.hpp"
+#include "ops/sources.hpp"
 #include "soc/accelerator.hpp"
 
 using namespace presp;
@@ -103,6 +111,25 @@ struct SeedOutcome {
   std::string digest;
 };
 
+/// Hand-off between the soak loop and the ops server's /health source:
+/// run_seed() points it at the live fleet for the duration of one seed;
+/// the server worker snapshots it under the same mutex, so the fleet can
+/// never be torn down with a snapshot in flight.
+struct FleetHandle {
+  std::mutex mutex;
+  FleetManager* fleet = nullptr;
+
+  void set(FleetManager* f) {
+    std::lock_guard<std::mutex> lock(mutex);
+    fleet = f;
+  }
+  std::string health_json() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (fleet == nullptr) return "{\"health\":null}";
+    return ops::fleet_health_json(fleet->ops_snapshot());
+  }
+};
+
 /// Seeded chaos plan for one soak run: two chained stalls wedge one
 /// shard long enough for its breaker to open, a later stall hits a
 /// second shard, two burst windows overload admission and a handful of
@@ -136,7 +163,8 @@ void arm_chaos(fault::FaultInjector& injector, std::uint64_t seed,
                   within(1, 16)});
 }
 
-SeedOutcome run_seed(std::uint64_t seed, int quanta) {
+SeedOutcome run_seed(std::uint64_t seed, int quanta,
+                     FleetHandle* handle = nullptr) {
   const FleetTopology topo = soak_topology();
   fault::FaultInjector injector;
   arm_chaos(injector, seed, quanta, topo.shards);
@@ -147,6 +175,7 @@ SeedOutcome run_seed(std::uint64_t seed, int quanta) {
   manager_options.watchdog_run_cycles = 200'000;  // hang recovery: 50 quanta
   FleetManager fleet(topo, config, registry, seed, &injector,
                      manager_options);
+  if (handle != nullptr) handle->set(&fleet);
   fleet.add_module("acc_a", 140'000);
   fleet.add_module("acc_b", 150'000);
 
@@ -179,6 +208,7 @@ SeedOutcome run_seed(std::uint64_t seed, int quanta) {
   digest << fleet.digest() << " generated=" << load.generated()
          << " drained=" << (out.drained ? 1 : 0);
   out.digest = digest.str();
+  if (handle != nullptr) handle->set(nullptr);
   return out;
 }
 
@@ -194,12 +224,18 @@ long long percentile(const std::vector<long long>& sorted, double p) {
 
 int main(int argc, char** argv) {
   // bench_fleet [first_seed [num_seeds [quanta]]] [--json out.json]
+  //             [--ops-port <n>]   (0 = ephemeral; serves /metrics,
+  //                                /health, /trace/summary, /events and
+  //                                soaks them with 8 SSE clients)
   std::string json_path = "BENCH_fleet.json";
+  int ops_port = -1;  // < 0: no ops server
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--ops-port" && i + 1 < argc) {
+      ops_port = std::atoi(argv[++i]);
     } else {
       positional.push_back(arg);
     }
@@ -219,6 +255,69 @@ int main(int argc, char** argv) {
                 "fleet robustness layer (DESIGN.md fleet service: admission, "
                 "shedding, breakers)");
 
+  // Optional live-ops overlay: serve telemetry from the running soak and
+  // hammer it with 8 concurrent SSE subscribers (client 0 deliberately
+  // slow, with a shrunken receive window, to force ring drops) plus a
+  // GET poller that validates /metrics, /health and /trace/summary
+  // mid-soak. The determinism replay at the end runs with no server
+  // attached, so digest equality proves the observers perturbed nothing.
+  FleetHandle handle;
+  std::unique_ptr<ops::OpsServer> server;
+  constexpr int kSseClients = 8;
+  std::vector<std::thread> sse_threads;
+  std::vector<ops::SseStreamResult> sse_results(kSseClients);
+  std::thread poller;
+  std::atomic<bool> poll_stop{false};
+  std::atomic<bool> drain_fast{false};
+  std::atomic<std::uint64_t> endpoint_checks{0};
+  std::atomic<std::uint64_t> endpoint_failures{0};
+  if (ops_port >= 0) {
+    ops::OpsOptions options;
+    options.enabled = true;
+    options.bind = "127.0.0.1";
+    options.port = ops_port;
+    options.workers = kSseClients + 4;
+    options.max_connections = kSseClients + 8;
+    options.sse_buffer_events = 8;   // small ring: slow client must drop
+    options.publish_interval_ms = 2;
+    server = std::make_unique<ops::OpsServer>(options);
+    server->set_health_source([&handle] { return handle.health_json(); });
+    server->start();
+    std::printf("ops server on 127.0.0.1:%d (%d SSE clients, client 0 "
+                "slow)\n\n",
+                server->port(), kSseClients);
+    const int port = server->port();
+    for (int c = 0; c < kSseClients; ++c)
+      sse_threads.emplace_back([c, port, &sse_results, &drain_fast] {
+        // Client 0: 300 ms between reads through a ~1 KiB receive
+        // buffer, so the server-side worker blocks and its ring fills.
+        // Once the soak is over it drains its backlog at full speed
+        // (`drain_fast`) so teardown is not paced by its slowness.
+        sse_results[static_cast<std::size_t>(c)] = ops::sse_stream(
+            port, "/events", c == 0 ? 300 : 0, 120'000,
+            c == 0 ? 1024 : 0, &drain_fast);
+      });
+    poller = std::thread([port, &poll_stop, &endpoint_checks,
+                          &endpoint_failures] {
+      const char* targets[] = {"/metrics", "/health", "/trace/summary",
+                               "/metrics/prometheus"};
+      while (!poll_stop.load(std::memory_order_relaxed)) {
+        for (const char* target : targets) {
+          int status = 0;
+          std::string body;
+          const bool ok = ops::http_get(port, target, &status, &body) &&
+                          status == 200 && !body.empty();
+          const bool json_ok =
+              std::string(target) == "/metrics/prometheus" || body[0] == '{';
+          endpoint_checks.fetch_add(1, std::memory_order_relaxed);
+          if (!ok || !json_ok)
+            endpoint_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
+
   TextTable table({"seed", "submitted", "ok", "fallback", "failed", "shed",
                    "coalesced", "opens", "reopens", "stalls", "p99 cycles"});
   FleetStats totals;
@@ -230,7 +329,7 @@ int main(int argc, char** argv) {
 
   for (int i = 0; i < num_seeds; ++i) {
     const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(i);
-    SeedOutcome out = run_seed(seed, quanta);
+    SeedOutcome out = run_seed(seed, quanta, server ? &handle : nullptr);
     digests.push_back(out.digest);
     all_conserved = all_conserved && out.stats.conserved();
     all_explained = all_explained && out.stats.sheds_explained();
@@ -314,6 +413,46 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(totals.stall_quanta),
               static_cast<unsigned long long>(totals.completed_fallback));
 
+  // Tear down the ops overlay before the determinism replay: the first
+  // pass ran under live observers, the replay runs with no server at
+  // all, so a digest match means serving telemetry perturbed nothing.
+  ops::OpsServer::Stats ops_stats;
+  std::uint64_t sse_received = 0;
+  std::uint64_t sse_min = 0;
+  if (server) {
+    // The soak itself usually overflows the slow client's ring; if the
+    // timing was merciful, force the issue with a bounded burst of fat
+    // probe events (the pump keeps publishing while client 0 sleeps on
+    // a full receive window).
+    for (int i = 0; i < 2'000 && server->stats().sse_dropped == 0; ++i) {
+      server->publish("probe", std::string(4096, 'x'));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    poll_stop.store(true, std::memory_order_relaxed);
+    poller.join();
+    server->stop();
+    drain_fast.store(true, std::memory_order_relaxed);
+    for (std::thread& t : sse_threads) t.join();
+    ops_stats = server->stats();
+    server.reset();
+    sse_min = sse_results[0].events;
+    for (const ops::SseStreamResult& r : sse_results) {
+      sse_received += r.events;
+      sse_min = std::min(sse_min, r.events);
+    }
+    std::printf("ops: %llu requests (%llu rejected)  %llu endpoint checks "
+                "(%llu failed)  SSE: %llu published, %llu received across "
+                "%d clients (min %llu), %llu dropped at slow consumers\n",
+                static_cast<unsigned long long>(ops_stats.requests),
+                static_cast<unsigned long long>(ops_stats.rejected),
+                static_cast<unsigned long long>(endpoint_checks.load()),
+                static_cast<unsigned long long>(endpoint_failures.load()),
+                static_cast<unsigned long long>(ops_stats.sse_published),
+                static_cast<unsigned long long>(sse_received), kSseClients,
+                static_cast<unsigned long long>(sse_min),
+                static_cast<unsigned long long>(ops_stats.sse_dropped));
+  }
+
   // Determinism self-check: the first seed, replayed, must reproduce its
   // digest bit-for-bit.
   const SeedOutcome replay = run_seed(first_seed, quanta);
@@ -352,19 +491,37 @@ int main(int argc, char** argv) {
        << ",\n  \"burst_arrivals\": " << totals.burst_arrivals
        << ",\n  \"probe_rehabilitations\": " << totals.probe_rehabilitations
        << ",\n  \"deterministic\": " << (deterministic ? "true" : "false")
+       << ",\n  \"ops_enabled\": " << (ops_port >= 0 ? "true" : "false")
+       << ",\n  \"ops_requests\": " << ops_stats.requests
+       << ",\n  \"ops_rejected\": " << ops_stats.rejected
+       << ",\n  \"ops_endpoint_checks\": " << endpoint_checks.load()
+       << ",\n  \"ops_endpoint_failures\": " << endpoint_failures.load()
+       << ",\n  \"ops_sse_clients\": " << ops_stats.sse_clients
+       << ",\n  \"ops_sse_events\": " << ops_stats.sse_published
+       << ",\n  \"ops_sse_received\": " << sse_received
+       << ",\n  \"ops_sse_dropped\": " << ops_stats.sse_dropped
        << "\n}\n";
   std::printf("bench_fleet: wrote %s\n", json_path.c_str());
 
   const bool stalled = totals.stall_quanta > 0;
   const bool diverted = totals.breaker_opens >= 1;
+  // With the ops overlay, additionally require: every endpoint probe got
+  // valid JSON mid-soak, all 8 SSE clients subscribed and received
+  // events, and the slow client's drops were counted (never silent).
+  const bool ops_ok =
+      ops_port < 0 ||
+      (endpoint_failures.load() == 0 && endpoint_checks.load() > 0 &&
+       ops_stats.sse_clients >= kSseClients && sse_min > 0 &&
+       ops_stats.sse_dropped > 0);
   std::printf("acceptance: zero lost completions: %s  sheds explained: %s  "
               "drained: %s  stalls injected: %s  breaker diverted: %s  "
-              "deterministic: %s\n",
+              "deterministic: %s  ops overlay: %s\n",
               all_conserved ? "yes" : "NO", all_explained ? "yes" : "NO",
               all_drained ? "yes" : "NO", stalled ? "yes" : "NO",
-              diverted ? "yes" : "NO", deterministic ? "yes" : "NO");
+              diverted ? "yes" : "NO", deterministic ? "yes" : "NO",
+              ops_port < 0 ? "off" : (ops_ok ? "yes" : "NO"));
   return (all_conserved && all_explained && all_drained && stalled &&
-          diverted && deterministic)
+          diverted && deterministic && ops_ok)
              ? 0
              : 1;
 }

@@ -6,11 +6,15 @@
 // Build and run:
 //   ./build/examples/wami_app [frames] [--trace out.json]
 //                             [--cache-slots N] [--prefetch] [--serial]
+//                             [--ops-port N]
 //
 // --cache-slots bounds kernel DRAM to N partial-bitstream slots (LRU,
 // filled from the async source); --prefetch warms each tile's next
 // kernel while the current one runs; --serial disables the pipelined
 // fetch/program overlap (the legacy combined ICAP transfer).
+// --ops-port serves live telemetry on 127.0.0.1:N while the app runs
+// (0 = ephemeral): curl /metrics, /health (tile health + quarantine
+// stats from the reconfiguration manager), /trace/summary, /events.
 //
 // With --trace, the run records the runtime manager's reconfiguration
 // lifecycle, NoC channel depths and per-frame application spans on the
@@ -19,10 +23,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include <vector>
 
+#include "ops/server.hpp"
+#include "ops/sources.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
 #include "util/log.hpp"
@@ -38,6 +45,7 @@ int main(int argc, char** argv) {
   wami::WamiAppOptions options;
   std::string trace_path;
   std::string trace_categories;
+  int ops_port = -1;  // < 0: no ops server
   int frames = 4;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
@@ -51,6 +59,8 @@ int main(int argc, char** argv) {
       options.prefetch_next_kernel = true;
     } else if (std::strcmp(argv[i], "--serial") == 0) {
       options.manager.pipelined = false;
+    } else if (std::strcmp(argv[i], "--ops-port") == 0 && i + 1 < argc) {
+      ops_port = std::atoi(argv[++i]);
     } else {
       frames = std::atoi(argv[i]);
     }
@@ -78,6 +88,25 @@ int main(int argc, char** argv) {
   }
 
   wami::WamiApp app('Y', options);
+
+  // Live ops overlay: /health reflects the reconfiguration manager's
+  // tile-health registry while the frames run.
+  std::unique_ptr<ops::OpsServer> ops_server;
+  if (ops_port >= 0) {
+    ops::OpsOptions ops_options;
+    ops_options.enabled = true;
+    ops_options.port = ops_port;
+    ops_server = std::make_unique<ops::OpsServer>(ops_options);
+    ops_server->set_health_source([&app] {
+      auto& health = app.manager().health();
+      return ops::tile_health_json(health.snapshot(), health.stats());
+    });
+    ops_server->start();
+    std::printf("ops server on 127.0.0.1:%d (curl /metrics, /health, "
+                "/trace/summary; stream /events)\n\n",
+                ops_server->port());
+  }
+
   const auto result = app.run();
 
   // Pooled software pipeline over the same scene: the same kernels on the

@@ -129,6 +129,7 @@ CircuitBreaker& FleetManager::tile_breaker_ref(Shard& shard, int tile) {
 }
 
 void FleetManager::add_module(const std::string& module, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(ops_mutex_);
   for (auto& shard : shards_) {
     for (const int tile : shard->tiles) shard->store->add(tile, module, bytes);
   }
@@ -143,6 +144,7 @@ sim::Time FleetManager::deadline_for(const FleetRequest& request) const {
 }
 
 void FleetManager::submit(FleetRequest request) {
+  std::lock_guard<std::mutex> lock(ops_mutex_);
   ++stats_.submitted;
   counter("fleet.submitted").add();
   if (request.submitted_at == 0) request.submitted_at = now_;
@@ -150,7 +152,42 @@ void FleetManager::submit(FleetRequest request) {
   admit(std::move(request));
 }
 
+bool FleetManager::take_tenant_token(int tenant) {
+  if (topology_.tenant_tokens_per_quantum <= 0.0) return true;
+  TenantBucket& bucket = tenants_[tenant];
+  // Lazy refill from the elapsed virtual time: tenants appear on first
+  // submit with a full burst allowance, and an idle tenant's bucket
+  // refills without the step loop ever touching it.
+  if (bucket.last_refill == 0 && bucket.tokens == 0.0) {
+    bucket.tokens = topology_.tenant_burst;
+  } else {
+    const double quanta =
+        static_cast<double>(now_ - bucket.last_refill) /
+        static_cast<double>(topology_.quantum_cycles);
+    bucket.tokens =
+        std::min(bucket.tokens + quanta * topology_.tenant_tokens_per_quantum,
+                 topology_.tenant_burst);
+  }
+  bucket.last_refill = now_;
+  if (bucket.tokens < 1.0) return false;
+  bucket.tokens -= 1.0;
+  return true;
+}
+
 void FleetManager::admit(FleetRequest request) {
+  // Tenant bucket first: it is the per-client admission edge, layered
+  // under (checked before) the shared class bucket and queue bound, and
+  // its shed reason is distinct so operators can tell "you exceeded your
+  // quota" from "the class is saturated".
+  if (!take_tenant_token(request.tenant)) {
+    counter(("fleet.tenant." + std::to_string(request.tenant) + ".shed")
+                .c_str())
+        .add();
+    // A quota rejection is hard even for best-effort work: routing it to
+    // the software fallback would let a tenant tunnel past its budget.
+    shed(request, FleetError::kTenantThrottled);
+    return;
+  }
   ClassQueue& cq = classes_[static_cast<int>(request.cls)];
   const QosClassParams& params =
       topology_.classes[static_cast<int>(request.cls)];
@@ -158,15 +195,19 @@ void FleetManager::admit(FleetRequest request) {
     shed_or_fallback(request, FleetError::kQueueFull);
     return;
   }
-  // FleetManager is single-threaded by contract; the access annotations
+  // FleetManager is single-driver by contract; the access annotations
   // here exist so racecheck flags a caller that drives one manager from
   // two unsynchronized threads.
   PRESP_RC_WRITE(this, "fleet.state");
+  counter(("fleet.tenant." + std::to_string(request.tenant) + ".admitted")
+              .c_str())
+      .add();
   cq.queue.push_back(std::move(request));
 }
 
 void FleetManager::step() {
   const annot::Scope scope("fleet.step");
+  std::lock_guard<std::mutex> lock(ops_mutex_);
   PRESP_RC_WRITE(this, "fleet.state");
   now_ += static_cast<sim::Time>(topology_.quantum_cycles);
   for (int c = 0; c < kNumQosClasses; ++c) {
@@ -519,6 +560,7 @@ void FleetManager::shed_or_fallback(const FleetRequest& request,
 }
 
 bool FleetManager::idle() const {
+  std::lock_guard<std::mutex> lock(ops_mutex_);
   PRESP_RC_READ(this, "fleet.state");
   if (!inflight_.empty() || !fallbacks_.empty()) return false;
   for (const ClassQueue& cq : classes_) {
@@ -532,6 +574,7 @@ bool FleetManager::drain(int max_quanta) {
   if (!idle()) {
     // Out of budget: terminate what is left with a typed shed so the
     // conservation invariant still holds (nothing disappears silently).
+    std::lock_guard<std::mutex> lock(ops_mutex_);
     for (ClassQueue& cq : classes_) {
       while (!cq.queue.empty()) {
         shed(cq.queue.front(), FleetError::kSaturated);
@@ -568,7 +611,30 @@ int FleetManager::inflight(int shard) const {
   return shards_[static_cast<std::size_t>(shard)]->inflight;
 }
 
+FleetOpsSnapshot FleetManager::ops_snapshot() const {
+  std::lock_guard<std::mutex> lock(ops_mutex_);
+  FleetOpsSnapshot snap;
+  snap.now = now_;
+  snap.stats = stats_;
+  snap.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    FleetOpsSnapshot::ShardState state;
+    state.breaker = shard->breaker->state();
+    state.inflight = shard->inflight;
+    for (const auto& [tile, breaker] : shard->tile_breakers)
+      state.tile_breakers[tile] = breaker->state();
+    state.tile_health = shard->manager->health().snapshot();
+    snap.shards.push_back(std::move(state));
+  }
+  for (int c = 0; c < kNumQosClasses; ++c)
+    snap.queued[c] = classes_[c].queue.size();
+  for (const auto& [tenant, bucket] : tenants_)
+    snap.tenant_tokens[tenant] = bucket.tokens;
+  return snap;
+}
+
 std::string FleetManager::digest() const {
+  std::lock_guard<std::mutex> lock(ops_mutex_);
   std::ostringstream out;
   out << "fleet now=" << now_ << " submitted=" << stats_.submitted
       << " ok=" << stats_.completed_ok

@@ -38,6 +38,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,9 +47,32 @@
 #include "fleet/topology.hpp"
 #include "fleet/types.hpp"
 #include "runtime/api.hpp"
+#include "runtime/health.hpp"
 #include "soc/soc.hpp"
 
 namespace presp::fleet {
+
+/// Point-in-time copy of everything the ops plane's /health endpoint and
+/// SSE pump publish about a fleet: taken under the manager's observer
+/// mutex so a server worker can read a consistent state while the driver
+/// thread keeps stepping quanta. All time is the fleet's *virtual* clock,
+/// so taking a snapshot (an uncontended host-side lock) cannot perturb
+/// the simulated run.
+struct FleetOpsSnapshot {
+  sim::Time now = 0;
+  FleetStats stats;
+  struct ShardState {
+    BreakerState breaker = BreakerState::kClosed;
+    int inflight = 0;
+    std::map<int, BreakerState> tile_breakers;
+    std::map<int, runtime::TileHealth> tile_health;
+  };
+  std::vector<ShardState> shards;
+  /// Requests waiting in each class admission queue.
+  std::size_t queued[kNumQosClasses] = {};
+  /// Current tenant-bucket fills (empty while tenant throttling is off).
+  std::map<int, double> tenant_tokens;
+};
 
 class FleetManager {
  public:
@@ -79,7 +103,10 @@ class FleetManager {
 
   /// Load generators report burst-window arrivals here — the fleet
   /// cannot tell an organic spike from an injected one on its own.
-  void note_burst_arrivals(std::uint64_t n) { stats_.burst_arrivals += n; }
+  void note_burst_arrivals(std::uint64_t n) {
+    std::lock_guard<std::mutex> lock(ops_mutex_);
+    stats_.burst_arrivals += n;
+  }
 
   /// Advances the fleet by one scheduling quantum.
   void step();
@@ -107,6 +134,13 @@ class FleetManager {
 
   /// Stable one-line summary for determinism diffs.
   std::string digest() const;
+
+  /// Consistent observer copy for the ops plane. Safe to call from a
+  /// server worker while the driver thread steps the fleet; the manager
+  /// itself remains single-driver by contract (the observer mutex
+  /// serializes readers against the driver, not drivers against each
+  /// other). Lock order: ops mutex, then each shard's health mutex.
+  FleetOpsSnapshot ops_snapshot() const;
 
  private:
   struct ClassQueue {
@@ -145,7 +179,15 @@ class FleetManager {
     sim::Time due = 0;
   };
 
+  struct TenantBucket {
+    double tokens = 0.0;
+    sim::Time last_refill = 0;
+  };
+
   void admit(FleetRequest request);
+  /// Takes one token from `tenant`'s bucket (lazily refilled from the
+  /// elapsed virtual time). Always true while tenant throttling is off.
+  bool take_tenant_token(int tenant);
   void dispatch_pass();
   /// True if the request was dispatched (or coalesced/shed); false if it
   /// should stay queued.
@@ -173,10 +215,15 @@ class FleetManager {
   FleetStats stats_;
   std::vector<std::unique_ptr<Shard>> shards_;
   ClassQueue classes_[kNumQosClasses];
+  std::map<int, TenantBucket> tenants_;
   std::vector<std::unique_ptr<Inflight>> inflight_;
   std::vector<PendingFallback> fallbacks_;
   std::vector<FleetOutcome> outcomes_;
   int next_shard_rr_ = 0;
+  /// Serializes ops-plane observers (ops_snapshot) against the driver
+  /// thread's mutations. Held across each submit()/step() body, so an
+  /// observer only ever sees quantum boundaries.
+  mutable std::mutex ops_mutex_;
 };
 
 }  // namespace presp::fleet

@@ -19,6 +19,7 @@ const char* to_string(FleetError error) {
   switch (error) {
     case FleetError::kNone: return "none";
     case FleetError::kThrottled: return "throttled";
+    case FleetError::kTenantThrottled: return "tenant-throttled";
     case FleetError::kQueueFull: return "queue-full";
     case FleetError::kDeadlineShed: return "deadline-shed";
     case FleetError::kSaturated: return "saturated";
@@ -69,6 +70,11 @@ FleetTopology FleetTopology::from_config(const Config& config) {
   topo.stall_cycles = config.get_int_or(s, "stall_cycles", topo.stall_cycles);
   topo.burst_multiplier = static_cast<int>(
       config.get_int_or(s, "burst_multiplier", topo.burst_multiplier));
+  if (config.has(s, "tenant_tokens_per_quantum"))
+    topo.tenant_tokens_per_quantum =
+        config.get_double(s, "tenant_tokens_per_quantum");
+  if (config.has(s, "tenant_burst"))
+    topo.tenant_burst = config.get_double(s, "tenant_burst");
   for (int c = 0; c < kNumQosClasses; ++c) {
     const std::string key =
         std::string("class_") + to_string(static_cast<QosClass>(c));
@@ -100,6 +106,10 @@ void FleetTopology::validate() const {
     weight_sum += cls.weight;
   }
   PRESP_REQUIRE(weight_sum > 0.0, "QoS class weights sum to zero");
+  PRESP_REQUIRE(tenant_tokens_per_quantum >= 0.0,
+                "negative tenant token rate");
+  PRESP_REQUIRE(tenant_tokens_per_quantum == 0.0 || tenant_burst >= 1.0,
+                "tenant bucket burst must admit at least one request");
   PRESP_REQUIRE(
       breaker.failure_threshold > 0.0 && breaker.failure_threshold <= 1.0,
       "breaker failure threshold must be in (0, 1]");

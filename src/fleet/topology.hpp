@@ -10,6 +10,8 @@
 //   class_realtime   = 8, 4.0, 8, 32, 600
 //   class_standard   = 4, 2.0, 16, 64, 2000
 //   class_besteffort = 1, 1.0, 32, 128, 8000
+//   tenant_tokens_per_quantum = 0.5   # 0 (default) disables
+//   tenant_burst = 8
 //   breaker_failure_threshold = 0.5
 //   breaker_window = 8
 //   breaker_open_base_cycles = 200000
@@ -46,6 +48,12 @@ struct FleetTopology {
   long long stall_cycles = 400'000;
   /// Arrival multiplier while an injected burst overload is active.
   int burst_multiplier = 8;
+  /// Tenant-level token bucket layered *under* the per-class buckets:
+  /// consumed at submit time, before class admission. 0 disables tenant
+  /// throttling entirely (the default — class buckets alone govern).
+  double tenant_tokens_per_quantum = 0.0;
+  /// Tenant bucket capacity (burst allowance). Ignored while disabled.
+  double tenant_burst = 8.0;
   /// Indexed by QosClass.
   QosClassParams classes[kNumQosClasses] = {
       {8.0, 4.0, 8.0, 32, 600},     // realtime

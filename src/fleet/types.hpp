@@ -30,6 +30,9 @@ enum class FleetError : std::uint8_t {
   kNone = 0,
   /// The class token bucket stayed empty past the request's deadline.
   kThrottled,
+  /// The submitting tenant's own token bucket was empty at submit time
+  /// (tenant-level throttling, distinct from the class-limit kThrottled).
+  kTenantThrottled,
   /// The class admission queue was full at submit time.
   kQueueFull,
   /// Reject-early: the deadline cannot be met even if dispatched now.
@@ -41,7 +44,7 @@ enum class FleetError : std::uint8_t {
   /// Dispatched, but the runtime reported a terminal failure.
   kExecFailed,
 };
-inline constexpr int kNumFleetErrors = 7;
+inline constexpr int kNumFleetErrors = 8;
 
 const char* to_string(FleetError error);
 

@@ -858,6 +858,135 @@ void check_fleet_breaker(LintContext& ctx, DiagnosticEngine& engine) {
                     std::to_string(topo->quantum_cycles) + " cycles)"});
 }
 
+// ---------------------------------------------------------- ops rules
+// The [ops] section configures the embedded telemetry server
+// (ops::OpsOptions). The lint layer reads the raw keys directly (the ops
+// library sits above lint in the dependency stack), so defaults here
+// must mirror ops/options.hpp.
+
+SourceLoc ops_loc(LintContext& ctx, const std::string& key) {
+  int line = ctx.line_of("ops", key);
+  if (line == 0) line = ctx.line_of_section("ops");
+  return {ctx.file(), line, "ops"};
+}
+
+void check_ops_port(LintContext& ctx, DiagnosticEngine& engine) {
+  const Config& config = ctx.raw();
+  if (config.keys("ops").empty()) return;
+  const long long port = config.get_int_or("ops", "port", 0);
+  if (port < 0 || port > 65535)
+    engine.add({"ops.port", Severity::kError, ops_loc(ctx, "port"),
+                "ops port " + std::to_string(port) +
+                    " is outside [0, 65535]",
+                "use a TCP port (0 = ephemeral)"});
+  else if (port > 0 && port < 1024)
+    engine.add({"ops.port", Severity::kWarning, ops_loc(ctx, "port"),
+                "ops port " + std::to_string(port) +
+                    " is privileged (< 1024): binding needs root",
+                "use an unprivileged port >= 1024"});
+  const std::string bind = config.get_or("ops", "bind", "127.0.0.1");
+  bool dotted_quad = !bind.empty();
+  int dots = 0;
+  for (const char c : bind) {
+    if (c == '.') ++dots;
+    else if (c < '0' || c > '9') dotted_quad = false;
+  }
+  if (!dotted_quad || dots != 3)
+    engine.add({"ops.port", Severity::kError, ops_loc(ctx, "bind"),
+                "ops bind address '" + bind +
+                    "' is not an IPv4 dotted quad",
+                "use e.g. 127.0.0.1 (loopback) or 0.0.0.0"});
+}
+
+void check_ops_sse_bounds(LintContext& ctx, DiagnosticEngine& engine) {
+  const Config& config = ctx.raw();
+  if (config.keys("ops").empty()) return;
+  const long long buffer =
+      config.get_int_or("ops", "sse_buffer_events", 64);
+  if (buffer < 1)
+    engine.add({"ops.sse-bounds", Severity::kError,
+                ops_loc(ctx, "sse_buffer_events"),
+                "sse_buffer_events " + std::to_string(buffer) +
+                    " leaves SSE clients without a single event slot",
+                "use a positive per-client ring capacity"});
+  else if (buffer > 65536)
+    engine.add({"ops.sse-bounds", Severity::kWarning,
+                ops_loc(ctx, "sse_buffer_events"),
+                "sse_buffer_events " + std::to_string(buffer) +
+                    " buffers unbounded amounts of telemetry per slow "
+                    "client",
+                "keep the ring small; drops are counted, not fatal"});
+  const long long interval =
+      config.get_int_or("ops", "publish_interval_ms", 50);
+  if (interval < 1)
+    engine.add({"ops.sse-bounds", Severity::kError,
+                ops_loc(ctx, "publish_interval_ms"),
+                "publish_interval_ms " + std::to_string(interval) +
+                    " spins the snapshot pump without pause",
+                "use a positive publish interval"});
+  const long long workers = config.get_int_or("ops", "workers", 4);
+  const long long conns =
+      config.get_int_or("ops", "max_connections", 16);
+  if (workers < 1)
+    engine.add({"ops.sse-bounds", Severity::kError, ops_loc(ctx, "workers"),
+                "ops workers " + std::to_string(workers) +
+                    " cannot serve any connection",
+                "use at least one worker"});
+  if (conns < 1)
+    engine.add({"ops.sse-bounds", Severity::kError,
+                ops_loc(ctx, "max_connections"),
+                "max_connections " + std::to_string(conns) +
+                    " rejects every connection with 503",
+                "allow at least one connection"});
+  // An SSE client occupies a worker for its whole subscription, so
+  // connections far beyond the worker count queue behind the pool and
+  // plain GETs starve. The shipped 16:4 default ratio is the accepted
+  // ceiling; warn past it.
+  if (workers >= 1 && conns > 4 * workers)
+    engine.add({"ops.sse-bounds", Severity::kWarning,
+                ops_loc(ctx, "max_connections"),
+                "max_connections " + std::to_string(conns) +
+                    " is more than 4x the " + std::to_string(workers) +
+                    " workers: SSE subscribers can occupy every worker "
+                    "and queue further requests",
+                "size workers to the expected SSE client count"});
+}
+
+void check_ops_disabled_by_default(LintContext& ctx,
+                                   DiagnosticEngine& engine) {
+  const Config& config = ctx.raw();
+  if (config.keys("ops").empty()) return;
+  bool enabled = false;
+  try {
+    enabled = config.get_bool_or("ops", "enabled", false);
+  } catch (const Error& e) {
+    engine.add({"ops.disabled-by-default", Severity::kError,
+                ops_loc(ctx, "enabled"),
+                std::string("malformed [ops] enabled flag: ") + e.what(),
+                "use enabled = true|false"});
+    return;
+  }
+  if (!enabled) {
+    // The section exists but the master switch is off (or missing): the
+    // server never starts, which is easy to misread as "configured".
+    engine.add({"ops.disabled-by-default", Severity::kWarning,
+                ops_loc(ctx, "enabled"),
+                "[ops] section present but enabled is false (the server "
+                "is opt-in and will not start)",
+                "set enabled = true to open the telemetry port"});
+    return;
+  }
+  const std::string bind = config.get_or("ops", "bind", "127.0.0.1");
+  if (bind != "127.0.0.1")
+    engine.add({"ops.disabled-by-default", Severity::kWarning,
+                ops_loc(ctx, "bind"),
+                "ops server enabled on non-loopback bind '" + bind +
+                    "': telemetry (metrics, health, traces) is exposed "
+                    "to the network",
+                "bind to 127.0.0.1 unless the deployment needs remote "
+                "scrapes"});
+}
+
 // --------------------------------------------------------- exec rules
 
 void check_undefined_dep(LintContext& ctx, DiagnosticEngine& engine) {
@@ -1257,6 +1386,22 @@ const RuleRegistry& RuleRegistry::builtin() {
            "probe budget are sane",
            Severity::kError},
           check_fleet_breaker);
+    // ops
+    r.add({"ops.port", "ops",
+           "the telemetry server's port is a valid TCP port and the bind "
+           "address parses as IPv4",
+           Severity::kError},
+          check_ops_port);
+    r.add({"ops.sse-bounds", "ops",
+           "SSE ring capacity, publish interval, worker and connection "
+           "caps are positive and sized together",
+           Severity::kError},
+          check_ops_sse_bounds);
+    r.add({"ops.disabled-by-default", "ops",
+           "a configured [ops] section actually enables the server, and "
+           "an enabled server does not bind off-loopback unnoticed",
+           Severity::kWarning},
+          check_ops_disabled_by_default);
     // exec
     r.add({"exec.undefined-dep", "exec",
            "task-graph dependencies name declared tasks",

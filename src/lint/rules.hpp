@@ -18,6 +18,8 @@
 //             retry/backoff tuning
 //   fleet     [fleet] topology sanity, QoS class weights and queue
 //             bounds, circuit-breaker tuning
+//   ops       [ops] telemetry-server port/bind sanity, SSE buffer
+//             bounds, disabled-by-default check
 //   exec      task-graph cycles, undefined dependencies, unreachable
 //             tasks
 //   pnr       placement legality (emitted by pnr::verify_placement)

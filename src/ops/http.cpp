@@ -1,0 +1,260 @@
+#include "ops/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "ops/events.hpp"
+#include "util/error.hpp"
+
+namespace presp::ops {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+void set_socket_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool parse_request_head(const std::string& head, HttpRequest* out) {
+  std::size_t pos = head.find("\r\n");
+  if (pos == std::string::npos) return false;
+  const std::string start = head.substr(0, pos);
+  std::size_t sp1 = start.find(' ');
+  std::size_t sp2 = start.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
+  out->method = start.substr(0, sp1);
+  out->target = start.substr(sp1 + 1, sp2 - sp1 - 1);
+  out->version = start.substr(sp2 + 1);
+  if (out->method.empty() || out->target.empty() || out->target[0] != '/')
+    return false;
+  pos += 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;  // tolerate junk headers
+    out->headers[lower(trim(line.substr(0, colon)))] =
+        trim(line.substr(colon + 1));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool read_http_request(int fd, HttpRequest* out) {
+  std::string buffer;
+  char chunk[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;  // EOF, timeout or error
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.find("\r\n\r\n") != std::string::npos) break;
+    if (buffer.size() > kMaxRequestBytes) return false;
+  }
+  return parse_request_head(buffer, out);
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string http_response(int status, const std::string& content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    status_reason(status) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int listen_on(const std::string& bind_addr, int port, int backlog,
+              int* actual_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  PRESP_REQUIRE(fd >= 0, "ops: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw InvalidArgument("ops: bad bind address '" + bind_addr + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("ops: cannot listen on " + bind_addr + ":" +
+                std::to_string(port) + " (" + std::strerror(err) + ")");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  if (actual_port != nullptr) *actual_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+bool http_get(int port, const std::string& target, int* status,
+              std::string* body, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  set_socket_timeout(fd, timeout_ms);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  if (!send_all(fd, request)) {
+    ::close(fd);
+    return false;
+  }
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos || raw.rfind("HTTP/", 0) != 0)
+    return false;
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) return false;
+  if (status != nullptr) *status = std::stoi(raw.substr(sp + 1, 3));
+  if (body != nullptr) *body = raw.substr(head_end + 4);
+  return true;
+}
+
+SseStreamResult sse_stream(int port, const std::string& target,
+                           int read_delay_ms, int max_ms,
+                           int rcvbuf_bytes,
+                           const std::atomic<bool>* hurry) {
+  SseStreamResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+  if (rcvbuf_bytes > 0)
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  set_socket_timeout(fd, 250);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return result;
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Accept: text/event-stream\r\n\r\n";
+  if (!send_all(fd, request)) {
+    ::close(fd);
+    return result;
+  }
+  result.connected = true;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(max_ms);
+  SseParser parser;
+  std::string head;
+  bool in_body = false;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      continue;
+    }
+    if (n <= 0) break;  // server closed the stream
+    std::size_t offset = 0;
+    if (!in_body) {
+      head.append(chunk, static_cast<std::size_t>(n));
+      const std::size_t head_end = head.find("\r\n\r\n");
+      if (head_end == std::string::npos) continue;
+      in_body = true;
+      parser.feed(head.data() + head_end + 4, head.size() - head_end - 4);
+      offset = static_cast<std::size_t>(n);  // already consumed via head
+    }
+    if (offset < static_cast<std::size_t>(n))
+      parser.feed(chunk + offset, static_cast<std::size_t>(n) - offset);
+    SseEvent event;
+    while (parser.next(&event)) {
+      ++result.events;
+      result.last_event = event.event;
+      result.last_data = event.data;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    if (read_delay_ms > 0 &&
+        !(hurry != nullptr && hurry->load(std::memory_order_relaxed)))
+      std::this_thread::sleep_for(std::chrono::milliseconds(read_delay_ms));
+  }
+  ::close(fd);
+  return result;
+}
+
+}  // namespace presp::ops

@@ -1,0 +1,76 @@
+// Minimal blocking HTTP/1.1 plumbing for the ops plane: just enough
+// protocol to serve GET endpoints and SSE streams to curl, a browser
+// EventSource, or a Prometheus scraper — no external dependency, POSIX
+// sockets only. Connections are one-shot ("Connection: close"); an SSE
+// response keeps its socket open until the client disconnects or the
+// server stops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace presp::ops {
+
+struct HttpRequest {
+  std::string method;   // "GET"
+  std::string target;   // "/metrics" (query string kept verbatim)
+  std::string version;  // "HTTP/1.1"
+  /// Header names lower-cased; values trimmed.
+  std::map<std::string, std::string> headers;
+};
+
+/// Reads one request head (start line + headers) from `fd`. Bounded at
+/// 16 KiB; returns false on EOF, timeout, malformed input or overflow.
+/// Request bodies are not supported (every ops endpoint is a GET).
+bool read_http_request(int fd, HttpRequest* out);
+
+/// Serializes a complete one-shot response (status line, Content-Type,
+/// Content-Length, Connection: close, body).
+std::string http_response(int status, const std::string& content_type,
+                          const std::string& body);
+
+const char* status_reason(int status);
+
+/// Blocking full-buffer send; returns false once the peer is gone.
+bool send_all(int fd, const char* data, std::size_t size);
+inline bool send_all(int fd, const std::string& data) {
+  return send_all(fd, data.data(), data.size());
+}
+
+/// Creates a listening TCP socket on `bind_addr:port` (port 0 picks an
+/// ephemeral port). Returns the fd and stores the actual port in
+/// `*actual_port`. Throws presp::Error on failure.
+int listen_on(const std::string& bind_addr, int port, int backlog,
+              int* actual_port);
+
+/// Connects to 127.0.0.1:`port`, issues `GET target` and returns the
+/// response body (headers stripped). Status goes to `*status`. Returns
+/// false on connect/parse failure. Test/bench helper, not a general
+/// client: responses are read until EOF (the server closes per request).
+bool http_get(int port, const std::string& target, int* status,
+              std::string* body, int timeout_ms = 5000);
+
+struct SseStreamResult {
+  bool connected = false;
+  std::uint64_t events = 0;     // complete SSE events parsed
+  std::string last_event;       // "event:" field of the newest one
+  std::string last_data;
+};
+
+/// Test/bench SSE subscriber: connects to 127.0.0.1:`port`, issues
+/// `GET target` and keeps parsing events until the server closes the
+/// stream or `max_ms` passes. `read_delay_ms` sleeps between reads to
+/// emulate a slow consumer; `rcvbuf_bytes` (when > 0) shrinks SO_RCVBUF
+/// before connecting so a slow consumer's TCP window fills quickly and
+/// the server-side ring demonstrably overflows (drop-and-count).
+/// `hurry`, when set true by the caller, cancels the read delay so an
+/// artificially slow client drains its TCP backlog at full speed after
+/// the phase under test is over (it may hold minutes worth of reads).
+SseStreamResult sse_stream(int port, const std::string& target,
+                           int read_delay_ms = 0, int max_ms = 60000,
+                           int rcvbuf_bytes = 0,
+                           const std::atomic<bool>* hurry = nullptr);
+
+}  // namespace presp::ops

@@ -1,0 +1,52 @@
+// Configuration of the embedded ops server, parsed from the `[ops]`
+// section of an .esp_config file:
+//
+//   [ops]
+//   enabled = true          # default false: no sockets unless asked
+//   bind = 127.0.0.1        # loopback by default
+//   port = 9180             # 0 = pick an ephemeral port
+//   workers = 4             # connection-handler threads
+//   max_connections = 16    # concurrent connections (incl. SSE clients)
+//   sse_buffer_events = 64  # per-client bounded ring (drop-and-count)
+//   publish_interval_ms = 50
+//
+// from_config() is lenient (defaults for every key) — the presp-lint
+// `ops.*` rule pack reports misconfigurations with file/line diagnostics;
+// validate() throws on values the server cannot run with.
+#pragma once
+
+#include <string>
+
+#include "util/config.hpp"
+
+namespace presp::ops {
+
+struct OpsOptions {
+  /// Master switch. The server must be opt-in: a telemetry port that
+  /// opens by default is a misconfiguration the lint rules flag.
+  bool enabled = false;
+  std::string bind = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (the bench/tests use this to
+  /// avoid collisions; OpsServer::port() reports the actual one).
+  int port = 0;
+  /// Connection-handler threads (an SSE client occupies one for its
+  /// whole subscription).
+  int workers = 4;
+  /// Concurrent connections; excess accepts get an immediate 503.
+  int max_connections = 16;
+  /// Per-SSE-client bounded event ring. A slow client overflows its own
+  /// ring (dropped events are counted); the pump never blocks.
+  int sse_buffer_events = 64;
+  /// Pump period between snapshot diffs pushed to /events.
+  int publish_interval_ms = 50;
+
+  /// Reads the `[ops]` section (missing keys keep defaults; a missing
+  /// section returns the disabled default).
+  static OpsOptions from_config(const Config& config);
+
+  /// Throws presp::InvalidArgument on unusable values (port outside
+  /// [0, 65535], non-positive workers/connections/buffer/interval).
+  void validate() const;
+};
+
+}  // namespace presp::ops

@@ -1,0 +1,35 @@
+// JSON renderers behind the ops endpoints. Pure functions from snapshot
+// structs to compact JSON, so they are unit-testable without a socket
+// and reusable by the pump (which embeds the same fragments in SSE
+// events).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "fleet/fleet.hpp"
+#include "runtime/health.hpp"
+#include "trace/metrics.hpp"
+
+namespace presp::ops {
+
+/// /health body for a fleet: breaker + tile-health state per shard, the
+/// class queue depths and tenant bucket fills.
+std::string fleet_health_json(const fleet::FleetOpsSnapshot& snap);
+
+/// /health body for a single runtime (wami_app, presp-flow): the tile
+/// health map plus the registry's cumulative stats.
+std::string tile_health_json(const std::map<int, runtime::TileHealth>& tiles,
+                             const runtime::TileHealthStats& stats);
+
+/// /trace/summary body from the live session (non-destructive snapshot);
+/// {"active":false} when no session is armed.
+std::string trace_summary_json(std::size_t top_n = 10);
+
+/// Counter deltas between two metrics snapshots, plus current gauge
+/// values: {"counters":{only changed},"gauges":{...}}. Empty object
+/// string "{}" when nothing moved (the pump then skips the publish).
+std::string metrics_delta_json(const trace::MetricsSnapshot& prev,
+                               const trace::MetricsSnapshot& cur);
+
+}  // namespace presp::ops

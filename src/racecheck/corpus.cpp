@@ -8,6 +8,7 @@
 #include "exec/task_graph.hpp"
 #include "exec/thread_pool.hpp"
 #include "fleet/fleet.hpp"
+#include "ops/events.hpp"
 #include "racecheck/annot.hpp"
 #include "racecheck/session.hpp"
 #include "runtime/bitstream_source.hpp"
@@ -303,6 +304,42 @@ r1c2 = empty
   PRESP_REQUIRE(manager.idle(), "fleet workload did not drain");
 }
 
+// The ops plane's SPSC event ring: pump-side pushes carry their own
+// publish annotation, consumer-side pops the matching consume, so the
+// non-atomic payload strings hand over cleanly. The consumer treats
+// producer-side drops as delivered (the ring's overflow contract).
+void clean_ops_sse_ring() {
+  exec::ThreadPool pool(2);
+  ops::SseRing ring(4);
+  constexpr int kEvents = 64;
+  pool.submit([&ring] {
+    const annot::Scope scope("corpus.sse-pump");
+    for (int i = 0; i < kEvents; ++i) {
+      ops::SseEvent event;
+      event.id = static_cast<std::uint64_t>(i + 1);
+      event.event = "metrics";
+      event.data = std::to_string(i);
+      ring.push(std::move(event));  // full ring drops-and-counts
+    }
+  });
+  pool.submit([&ring] {
+    const annot::Scope scope("corpus.sse-consumer");
+    ops::SseEvent out;
+    std::uint64_t received = 0;
+    while (received + ring.dropped() <
+           static_cast<std::uint64_t>(kEvents)) {
+      if (ring.pop(&out))
+        ++received;
+      else
+        std::this_thread::yield();
+    }
+    PRESP_REQUIRE(received > 0, "sse consumer received nothing");
+  });
+  pool.wait_idle();
+  PRESP_REQUIRE(ring.dropped() < static_cast<std::uint64_t>(kEvents),
+                "sse ring dropped every event");
+}
+
 }  // namespace
 
 const std::vector<Workload>& corpus() {
@@ -335,6 +372,9 @@ const std::vector<Workload>& corpus() {
        false, "", clean_store_read},
       {"clean-fleet-quantum", "single-threaded fleet quanta", false, "",
        clean_fleet_quantum},
+      {"clean-ops-sse-ring",
+       "ops SSE ring publish/consume with slot reuse and drops", false,
+       "", clean_ops_sse_ring},
   };
   return kCorpus;
 }

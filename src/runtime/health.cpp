@@ -12,13 +12,22 @@ const char* to_string(TileHealth health) {
 }
 
 TileHealth TileHealthRegistry::health(int tile) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(tile);
   return it == entries_.end() ? TileHealth::kHealthy : it->second.health;
 }
 
 int TileHealthRegistry::consecutive_failures(int tile) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(tile);
   return it == entries_.end() ? 0 : it->second.fail_streak;
+}
+
+std::map<int, TileHealth> TileHealthRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<int, TileHealth> out;
+  for (const auto& [tile, entry] : entries_) out[tile] = entry.health;
+  return out;
 }
 
 void TileHealthRegistry::transition(int tile, Entry& entry, TileHealth to) {
@@ -29,6 +38,7 @@ void TileHealthRegistry::transition(int tile, Entry& entry, TileHealth to) {
 }
 
 TileHealth TileHealthRegistry::record_failure(int tile) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = entries_[tile];
   ++stats_.failures;
   entry.success_streak = 0;
@@ -45,6 +55,7 @@ TileHealth TileHealthRegistry::record_failure(int tile) {
 }
 
 void TileHealthRegistry::record_success(int tile) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = entries_[tile];
   if (entry.health == TileHealth::kQuarantined) return;
   entry.fail_streak = 0;
@@ -56,6 +67,7 @@ void TileHealthRegistry::record_success(int tile) {
 }
 
 void TileHealthRegistry::quarantine(int tile) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = entries_[tile];
   if (entry.health == TileHealth::kQuarantined) return;
   entry.success_streak = 0;
@@ -64,6 +76,7 @@ void TileHealthRegistry::quarantine(int tile) {
 }
 
 void TileHealthRegistry::rehabilitate(int tile) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = entries_[tile];
   if (entry.health != TileHealth::kQuarantined) return;
   entry.fail_streak = 0;

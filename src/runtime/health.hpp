@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 
 namespace presp::runtime {
 
@@ -42,20 +43,26 @@ struct TileHealthStats {
   std::uint64_t rehabilitations = 0;
 };
 
+/// Thread-safe: the runtime mutates tile states from its own thread while
+/// the ops plane serves `/health` snapshots from server workers, so every
+/// method serializes on an internal mutex.
 class TileHealthRegistry {
  public:
   /// Observer invoked on every health-state transition (old != new).
   /// Fleet-level policies (circuit breakers, shard schedulers) layer on
   /// this instead of polling: quarantine trips a breaker open,
   /// rehabilitation arms a half-open probe. The listener must not call
-  /// back into the registry.
+  /// back into the registry (it runs under the registry mutex).
   using Listener =
       std::function<void(int tile, TileHealth from, TileHealth to)>;
 
   explicit TileHealthRegistry(TileHealthOptions options = {})
       : options_(options) {}
 
-  void set_listener(Listener listener) { listener_ = std::move(listener); }
+  void set_listener(Listener listener) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    listener_ = std::move(listener);
+  }
 
   TileHealth health(int tile) const;
   /// True unless the tile is quarantined.
@@ -75,8 +82,14 @@ class TileHealthRegistry {
   /// through clean completions). No-op for non-quarantined tiles.
   void rehabilitate(int tile);
 
-  const TileHealthStats& stats() const { return stats_; }
+  TileHealthStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
   int consecutive_failures(int tile) const;
+
+  /// Consistent point-in-time copy of every tracked tile's state.
+  std::map<int, TileHealth> snapshot() const;
 
  private:
   struct Entry {
@@ -88,6 +101,7 @@ class TileHealthRegistry {
   void transition(int tile, Entry& entry, TileHealth to);
 
   TileHealthOptions options_;
+  mutable std::mutex mutex_;
   std::map<int, Entry> entries_;
   TileHealthStats stats_;
   Listener listener_;

@@ -147,4 +147,66 @@ std::string MetricsRegistry::snapshot_json() const {
   return out;
 }
 
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_)
+    snap.counters[name] = counter->value();
+  for (const auto& [name, gauge] : gauges_)
+    snap.gauges[name] = {gauge->value(), gauge->max_seen()};
+  for (const auto& [name, histogram] : histograms_)
+    snap.histograms[name] = {histogram->count(), histogram->sum(),
+                             histogram->quantile_upper_bound(0.50),
+                             histogram->quantile_upper_bound(0.95)};
+  return snap;
+}
+
+namespace {
+
+/// Metric names are dotted identifiers ("fleet.shed"); Prometheus wants
+/// [a-zA-Z0-9_:] with a family prefix.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "presp_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::prometheus_text() const {
+  const MetricsSnapshot snap = snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, sample] : snap.gauges) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " ";
+    append_number(out, sample.value);
+    out += "\n# TYPE " + prom + "_max gauge\n";
+    out += prom + "_max ";
+    append_number(out, sample.max);
+    out += "\n";
+  }
+  for (const auto& [name, sample] : snap.histograms) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " summary\n";
+    out += prom + "{quantile=\"0.5\"} ";
+    append_number(out, sample.p50);
+    out += "\n" + prom + "{quantile=\"0.95\"} ";
+    append_number(out, sample.p95);
+    out += "\n" + prom + "_sum ";
+    append_number(out, sample.sum);
+    out += "\n" + prom + "_count " + std::to_string(sample.count) + "\n";
+  }
+  return out;
+}
+
 }  // namespace presp::trace

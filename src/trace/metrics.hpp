@@ -80,6 +80,25 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Structured point-in-time copy of every registered instrument, used by
+/// consumers that need values rather than a rendered report (the ops
+/// plane's SSE pump diffs two of these to publish counter deltas).
+struct MetricsSnapshot {
+  struct GaugeSample {
+    double value = 0.0;
+    double max = 0.0;
+  };
+  struct HistogramSample {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeSample> gauges;
+  std::map<std::string, HistogramSample> histograms;
+};
+
 /// Process-global registry of named instruments. Lookup takes a mutex;
 /// the returned references stay valid for the life of the process, so
 /// hot paths resolve their instruments once and cache the reference.
@@ -102,6 +121,14 @@ class MetricsRegistry {
   /// Sorted-by-name JSON object:
   ///   {"counters":{...},"gauges":{...},"histograms":{...}}
   std::string snapshot_json() const;
+
+  /// Structured snapshot of every instrument's current value.
+  MetricsSnapshot snapshot() const;
+
+  /// Prometheus text exposition (one sanitized `presp_`-prefixed family
+  /// per instrument; histograms render count/sum plus p50/p95 quantile
+  /// samples from the log2 buckets).
+  std::string prometheus_text() const;
 
  private:
   mutable std::mutex mutex_;

@@ -131,6 +131,35 @@ TraceReport TraceSession::stop() {
   return report;
 }
 
+TraceReport TraceSession::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t generation = generation_.load(std::memory_order_relaxed);
+
+  TraceReport report;
+  report.config = config_;
+  report.sim_track_names = sim_track_names_;
+  report.thread_names.resize(next_tid_);
+  for (const auto& buffer : buffers_) {
+    if (buffer->generation_ != generation) continue;
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex_);
+    report.dropped += buffer->dropped_;
+    if (buffer->tid_ < report.thread_names.size()) {
+      report.thread_names[buffer->tid_] = buffer->thread_name_;
+    }
+    report.events.insert(report.events.end(), buffer->events_.begin(),
+                         buffer->events_.end());
+  }
+  std::stable_sort(report.events.begin(), report.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.clock != b.clock) return a.clock < b.clock;
+                     if (a.timestamp != b.timestamp)
+                       return a.timestamp < b.timestamp;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.seq < b.seq;
+                   });
+  return report;
+}
+
 std::uint64_t TraceSession::events_recorded() const {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t generation = generation_.load(std::memory_order_relaxed);

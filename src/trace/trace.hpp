@@ -151,6 +151,11 @@ class TraceSession {
   void start(TraceConfig config = {});
   /// Disarms tracing and returns everything recorded since start().
   TraceReport stop();
+  /// Non-destructive copy of everything recorded so far. The session
+  /// stays armed and its buffers keep their events, so a live observer
+  /// (the ops plane's /trace/summary endpoint) can sample a running
+  /// session without perturbing the eventual stop() report.
+  TraceReport snapshot() const;
 
   /// Events recorded + dropped so far (approximate while active).
   std::uint64_t events_recorded() const;

@@ -6,6 +6,7 @@
 #include "fault/fault.hpp"
 #include "fleet/fleet.hpp"
 #include "fleet/load.hpp"
+#include "trace/metrics.hpp"
 #include "util/error.hpp"
 
 namespace presp::fleet {
@@ -507,6 +508,156 @@ breaker_window = 16
   EXPECT_THROW(bad.validate(), InvalidArgument);
   bad = topo;
   for (QosClassParams& cls : bad.classes) cls.weight = 0.0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+}
+
+// ---------------------------------------------------- tenant buckets
+
+std::uint64_t tenant_counter(int tenant, const char* which) {
+  return trace::MetricsRegistry::global()
+      .counter("fleet.tenant." + std::to_string(tenant) + "." + which)
+      .value();
+}
+
+FleetTopology throttled_topology() {
+  FleetTopology topo = test_topology();
+  topo.tenant_tokens_per_quantum = 0.5;
+  topo.tenant_burst = 2.0;
+  return topo;
+}
+
+TEST_F(FleetFixture, TenantThrottleShedsHardBeyondBurst) {
+  auto fleet = make_fleet(throttled_topology());
+  // Step off t=0 first: a bucket's first touch grants the full burst.
+  fleet->run_quanta(1);
+
+  // The global registry outlives tests; measure deltas, not absolutes.
+  const std::uint64_t shed_before = tenant_counter(0, "shed");
+  const std::uint64_t admitted_before = tenant_counter(0, "admitted");
+
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    FleetRequest req = make_request(id, QosClass::kBestEffort, "acc_a");
+    req.tenant = 0;
+    fleet->submit(std::move(req));
+  }
+  // Burst of 2: two admitted, three shed with the tenant-specific
+  // reason. Best-effort sheds hard too — no fallback tunneling past the
+  // quota.
+  EXPECT_EQ(fleet->stats().shed_by_reason[static_cast<int>(
+                FleetError::kTenantThrottled)],
+            3u);
+  EXPECT_EQ(fleet->stats().completed_fallback, 0u);
+  EXPECT_EQ(tenant_counter(0, "shed") - shed_before, 3u);
+  EXPECT_EQ(tenant_counter(0, "admitted") - admitted_before, 2u);
+  EXPECT_STREQ(to_string(FleetError::kTenantThrottled), "tenant-throttled");
+
+  int tenant_sheds = 0;
+  for (const FleetOutcome& outcome : fleet->outcomes())
+    if (outcome.kind == OutcomeKind::kShed &&
+        outcome.error == FleetError::kTenantThrottled)
+      ++tenant_sheds;
+  EXPECT_EQ(tenant_sheds, 3);
+
+  ASSERT_TRUE(fleet->drain(2'000));
+  EXPECT_TRUE(fleet->stats().conserved());
+}
+
+TEST_F(FleetFixture, TenantBucketRefillsFromVirtualTime) {
+  auto fleet = make_fleet(throttled_topology());
+  fleet->run_quanta(1);
+
+  auto submit_one = [&fleet](std::uint64_t id) {
+    FleetRequest req = make_request(id, QosClass::kStandard, "acc_a");
+    req.tenant = 0;
+    fleet->submit(std::move(req));
+  };
+  const auto tenant_shed_count = [&fleet] {
+    return fleet->stats().shed_by_reason[static_cast<int>(
+        FleetError::kTenantThrottled)];
+  };
+
+  for (std::uint64_t id = 1; id <= 3; ++id) submit_one(id);
+  EXPECT_EQ(tenant_shed_count(), 1u);  // burst 2 exhausted
+
+  // 4 quanta at 0.5 tokens/quantum refill exactly the 2-token burst —
+  // purely from elapsed virtual time, no per-tenant work in the step
+  // loop.
+  fleet->run_quanta(4);
+  for (std::uint64_t id = 4; id <= 6; ++id) submit_one(id);
+  EXPECT_EQ(tenant_shed_count(), 2u);  // 2 re-admitted, 1 shed again
+
+  ASSERT_TRUE(fleet->drain(2'000));
+  EXPECT_TRUE(fleet->stats().conserved());
+}
+
+TEST_F(FleetFixture, TenantsThrottleIndependently) {
+  auto fleet = make_fleet(throttled_topology());
+  fleet->run_quanta(1);
+
+  const std::uint64_t t1_admitted_before = tenant_counter(1, "admitted");
+  auto submit_for = [&fleet](std::uint64_t id, int tenant) {
+    FleetRequest req = make_request(id, QosClass::kStandard, "acc_a");
+    req.tenant = tenant;
+    fleet->submit(std::move(req));
+  };
+
+  for (std::uint64_t id = 1; id <= 3; ++id) submit_for(id, 0);
+  EXPECT_EQ(fleet->stats().shed_by_reason[static_cast<int>(
+                FleetError::kTenantThrottled)],
+            1u);
+  // Tenant 0 exhausting its bucket takes nothing from tenant 1.
+  submit_for(4, 1);
+  submit_for(5, 1);
+  EXPECT_EQ(fleet->stats().shed_by_reason[static_cast<int>(
+                FleetError::kTenantThrottled)],
+            1u);
+  EXPECT_EQ(tenant_counter(1, "admitted") - t1_admitted_before, 2u);
+
+  // The ops snapshot exposes both buckets' live fills.
+  const FleetOpsSnapshot snap = fleet->ops_snapshot();
+  ASSERT_EQ(snap.tenant_tokens.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap.tenant_tokens.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.tenant_tokens.at(1), 0.0);
+  EXPECT_EQ(snap.now, fleet->now());
+  EXPECT_EQ(snap.shards.size(), 2u);
+
+  ASSERT_TRUE(fleet->drain(2'000));
+  EXPECT_TRUE(fleet->stats().conserved());
+}
+
+TEST_F(FleetFixture, TenantThrottlingOffByDefault) {
+  auto fleet = make_fleet(test_topology());  // tenant rate 0: disabled
+  fleet->run_quanta(1);
+  for (std::uint64_t id = 1; id <= 20; ++id) {
+    FleetRequest req = make_request(id, QosClass::kStandard, "acc_a");
+    req.tenant = 0;
+    fleet->submit(std::move(req));
+  }
+  EXPECT_EQ(fleet->stats().shed_by_reason[static_cast<int>(
+                FleetError::kTenantThrottled)],
+            0u);
+  EXPECT_TRUE(fleet->ops_snapshot().tenant_tokens.empty());
+  ASSERT_TRUE(fleet->drain(2'000));
+  EXPECT_TRUE(fleet->stats().conserved());
+}
+
+TEST(FleetTopologyTest, ParsesTenantBucketKeysAndValidates) {
+  const Config config = Config::parse(R"(
+[fleet]
+shards = 1
+tenant_tokens_per_quantum = 0.25
+tenant_burst = 4
+)");
+  const FleetTopology topo = FleetTopology::from_config(config);
+  EXPECT_DOUBLE_EQ(topo.tenant_tokens_per_quantum, 0.25);
+  EXPECT_DOUBLE_EQ(topo.tenant_burst, 4.0);
+  topo.validate();
+
+  FleetTopology bad = topo;
+  bad.tenant_tokens_per_quantum = -0.1;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = topo;
+  bad.tenant_burst = 0.5;  // cannot admit even one request
   EXPECT_THROW(bad.validate(), InvalidArgument);
 }
 

@@ -550,6 +550,75 @@ TEST(FleetLintTest, DiagnosticsAnchorToTheFleetKeyLine) {
     if (d.rule == "fleet.topology") EXPECT_GT(d.loc.line, 0);
 }
 
+std::string with_ops(const std::string& section) {
+  return std::string(kCleanSoc) + "\n[ops]\n" + section;
+}
+
+TEST(OpsLintTest, EnabledLoopbackSectionIsClean) {
+  const auto diags = run_lint(with_ops(
+      "enabled = true\nport = 9180\nworkers = 4\nmax_connections = 16\n"));
+  for (const Diagnostic& d : diags)
+    EXPECT_NE(d.rule.substr(0, 4), "ops.") << d.rule;
+}
+
+TEST(OpsLintTest, NoOpsSectionMeansNoOpsFindings) {
+  for (const Diagnostic& d : run_lint(kCleanSoc))
+    EXPECT_NE(d.rule.substr(0, 4), "ops.");
+}
+
+TEST(OpsLintTest, PortRangeAndPrivilegedPorts) {
+  const auto range = run_lint(with_ops("enabled = true\nport = 99999\n"));
+  ASSERT_TRUE(has_rule(range, "ops.port"));
+  EXPECT_TRUE(has_error(range));
+
+  // Privileged ports need root; warn, don't block.
+  const auto privileged =
+      run_lint(with_ops("enabled = true\nport = 443\n"));
+  ASSERT_TRUE(has_rule(privileged, "ops.port"));
+  EXPECT_FALSE(has_error(privileged));
+}
+
+TEST(OpsLintTest, BindMustBeDottedQuad) {
+  const auto diags =
+      run_lint(with_ops("enabled = true\nbind = localhost\n"));
+  ASSERT_TRUE(has_rule(diags, "ops.port"));
+  EXPECT_TRUE(has_error(diags));
+}
+
+TEST(OpsLintTest, SseBoundsMisconfigurations) {
+  const auto buffer =
+      run_lint(with_ops("enabled = true\nsse_buffer_events = 0\n"));
+  EXPECT_TRUE(has_rule(buffer, "ops.sse-bounds"));
+  EXPECT_TRUE(has_error(buffer));
+
+  const auto interval =
+      run_lint(with_ops("enabled = true\npublish_interval_ms = 0\n"));
+  EXPECT_TRUE(has_rule(interval, "ops.sse-bounds"));
+  EXPECT_TRUE(has_error(interval));
+
+  // Connections far beyond the worker pool: warning only (the shipped
+  // 16:4 ratio is the accepted ceiling and stays clean).
+  const auto starved = run_lint(
+      with_ops("enabled = true\nworkers = 2\nmax_connections = 32\n"));
+  ASSERT_TRUE(has_rule(starved, "ops.sse-bounds"));
+  EXPECT_FALSE(has_error(starved));
+}
+
+TEST(OpsLintTest, DisabledSectionAndOffLoopbackBindWarn) {
+  const auto disabled = run_lint(with_ops("port = 9180\n"));
+  ASSERT_TRUE(has_rule(disabled, "ops.disabled-by-default"));
+  EXPECT_FALSE(has_error(disabled));
+
+  const auto exposed =
+      run_lint(with_ops("enabled = true\nbind = 0.0.0.0\n"));
+  ASSERT_TRUE(has_rule(exposed, "ops.disabled-by-default"));
+  EXPECT_FALSE(has_error(exposed));
+
+  const auto malformed = run_lint(with_ops("enabled = maybe\n"));
+  ASSERT_TRUE(has_rule(malformed, "ops.disabled-by-default"));
+  EXPECT_TRUE(has_error(malformed));
+}
+
 TEST(RuntimeLintTest, RetryBudgetMisconfigurations) {
   const auto zero = run_lint(with_runtime("retry_budget = 0\n"));
   EXPECT_TRUE(has_rule(zero, "runtime.retry-budget"));

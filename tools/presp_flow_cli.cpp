@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -22,6 +23,7 @@
 #include "core/flow.hpp"
 #include "core/report.hpp"
 #include "lint/cli.hpp"
+#include "ops/server.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
 #include "floorplan/visualize.hpp"
@@ -44,7 +46,7 @@ int usage(const char* argv0) {
                "          [--report <file>] [--out <dir>] [-v]\n"
                "          [--trace <out.json>] [--trace-categories <csv>]\n"
                "          [--cache-dir <dir>] [--cache-max-bytes <N>]\n"
-               "          [--cache-stats] [--threads N]\n",
+               "          [--cache-stats] [--threads N] [--ops-port N]\n",
                argv0);
   return 2;
 }
@@ -76,6 +78,7 @@ int main(int argc, char** argv) {
   std::optional<std::string> cache_dir_flag;
   std::optional<long long> cache_max_bytes_flag;
   std::optional<int> threads_flag;
+  std::optional<int> ops_port_flag;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--no-physical") {
@@ -108,6 +111,8 @@ int main(int argc, char** argv) {
       cache_stats = true;
     } else if (arg == "--threads" && i + 1 < argc) {
       threads_flag = std::atoi(argv[++i]);
+    } else if (arg == "--ops-port" && i + 1 < argc) {
+      ops_port_flag = std::atoi(argv[++i]);
     } else if (!arg.empty() && arg[0] != '-' && config_path.empty()) {
       config_path = arg;
     } else {
@@ -138,6 +143,23 @@ int main(int argc, char** argv) {
     if (threads_flag) options.exec_threads = *threads_flag;
     if (cache_dir_flag) options.cache.dir = *cache_dir_flag;
     if (cache_max_bytes_flag) options.cache.max_bytes = *cache_max_bytes_flag;
+
+    // Live ops plane: [ops] section opts in; --ops-port forces it on.
+    // The flow has no tile runtime, so /health reports null; /metrics,
+    // /trace/summary and /events stream the exec engine's counters and
+    // the live trace session. Stopped by the unique_ptr at scope exit.
+    ops::OpsOptions ops_options = ops::OpsOptions::from_config(raw);
+    if (ops_port_flag) {
+      ops_options.enabled = true;
+      ops_options.port = *ops_port_flag;
+    }
+    std::unique_ptr<ops::OpsServer> ops_server;
+    if (ops_options.enabled) {
+      ops_server = std::make_unique<ops::OpsServer>(ops_options);
+      ops_server->start();
+      std::printf("ops server on %s:%d\n", ops_options.bind.c_str(),
+                  ops_server->port());
+    }
 
     auto lib = netlist::ComponentLibrary::with_builtins();
     hls::register_characterization_kernels(lib);

@@ -21,11 +21,18 @@
 #              race.* rule within 8 seeds, and the clean exec/runtime/
 #              fleet/store workloads must stay silent across a 32-seed
 #              schedule-fuzzer sweep; finding counts land in the summary
+#   ops        live ops plane gate: the ops_test suite (HTTP endpoints,
+#              SSE fan-out, snapshot-under-mutation), a fleet soak with
+#              the embedded server live (8 SSE clients, one deliberately
+#              slow — drops must be counted, the replay must stay
+#              bit-identical) and a presp-lint --watch regression (an
+#              injected config edit must be re-linted within one poll)
 #   asan       AddressSanitizer+UBSan build running the full ctest suite
 #   tsan       ThreadSanitizer build running the Chase-Lev deque stress
 #              tests (owner pop vs concurrent thieves), the exec unit
 #              tests, the serial/parallel determinism test, the trace
-#              tests (concurrent emitters) and the fleet tests
+#              tests (concurrent emitters), the fleet tests and the ops
+#              tests (server + registries under real threads)
 #
 # Usage: tools/run_tier1.sh [--stage <name>]...
 #   No --stage: every stage runs (minus SKIP_ASAN/SKIP_TSAN skips).
@@ -52,7 +59,7 @@ TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 CONFIG_FLAGS=${CONFIG_FLAGS:-}
 TIER1_SUMMARY=${TIER1_SUMMARY:-tier1_summary.json}
 
-ALL_STAGES="build lint trace workflows fleet racecheck asan tsan"
+ALL_STAGES="build lint trace workflows fleet racecheck ops asan tsan"
 
 # ----------------------------------------------------------------- stages
 # Each stage body runs in a `set -e` subshell; any failing command fails
@@ -205,6 +212,70 @@ stage_racecheck() {
   echo "tier-1 racecheck: corpus gate clean ($RC_SUMMARY, $RC_SARIF)"
 }
 
+stage_ops() {
+  cmake --build "$BUILD_DIR" --target ops_test bench_fleet presp-lint -j
+
+  # Unit + endpoint suite: options, SSE ring/hub/framing, snapshot
+  # consistency under writer threads, the server end to end (404/405,
+  # the 503 connection cap, publish round-trips, slow-client drops) and
+  # the lint watcher.
+  "$BUILD_DIR"/tests/ops_test
+
+  # Fleet soak with the ops overlay live: bench_fleet itself fails on
+  # any endpoint error mid-run, on a slow SSE client whose drops never
+  # got counted, and on a replay (no server) that is not bit-identical
+  # to the observed run.
+  OPS_JSON="$BUILD_DIR/tier1_ops_fleet.json"
+  "$BUILD_DIR"/bench/bench_fleet 1 1 120 --ops-port 0 --json "$OPS_JSON"
+  grep -q '"ops_enabled": true' "$OPS_JSON" || {
+    echo "tier-1: $OPS_JSON does not record the ops overlay" >&2
+    return 1
+  }
+
+  # Watch-mode lint regression: start presp-lint --watch on a copy of a
+  # shipped config, inject a broken [ops] section mid-run, and require
+  # the re-lint (with its findings) to land in the watch log before the
+  # bounded poll loop exits.
+  WATCH_DIR="$BUILD_DIR/tier1_ops_watch"
+  rm -rf "$WATCH_DIR"
+  mkdir -p "$WATCH_DIR"
+  cp examples/configs/soc_2.esp_config "$WATCH_DIR/watched.esp_config"
+  "$BUILD_DIR"/tools/presp-lint --watch "$WATCH_DIR/watched.esp_config" \
+      --poll-ms 100 --max-polls 30 --watch-log "$WATCH_DIR/watch.log" &
+  watch_pid=$!
+  sleep 1
+  printf '\n[ops]\nenabled = true\nport = 99999\n' \
+      >> "$WATCH_DIR/watched.esp_config"
+  wait "$watch_pid" || {
+    echo "tier-1: presp-lint --watch exited non-zero" >&2
+    return 1
+  }
+  # One record per report; the embedded findings JSON is multi-line.
+  watch_reports=$(grep -c '^{"path":' "$WATCH_DIR/watch.log")
+  [ "$watch_reports" -ge 2 ] || {
+    echo "tier-1: watch log has $watch_reports report(s); the injected" \
+        "edit was never re-linted" >&2
+    return 1
+  }
+  grep -q '"errors":[1-9]' "$WATCH_DIR/watch.log" || {
+    echo "tier-1: the injected ops.port error never reached the watch" \
+        "log" >&2
+    return 1
+  }
+
+  # Surface the soak's ops counters into tier1_summary.json.
+  sse_dropped=$(sed -n 's/.*"ops_sse_dropped": \([0-9]*\).*/\1/p' \
+      "$OPS_JSON")
+  endpoint_checks=$(sed -n 's/.*"ops_endpoint_checks": \([0-9]*\).*/\1/p' \
+      "$OPS_JSON")
+  printf '"ops_sse_dropped":%s,"ops_endpoint_checks":%s,"watch_reports":%s' \
+      "${sse_dropped:-0}" "${endpoint_checks:-0}" "$watch_reports" \
+      > .tier1_stage_extra
+  echo "tier-1 ops: soak + endpoints + watch-lint clean" \
+      "($endpoint_checks endpoint checks, $sse_dropped slow-client" \
+      "drops, $watch_reports watch reports)"
+}
+
 stage_asan() {
   cmake -B "$ASAN_BUILD_DIR" -S . \
       -DPRESP_SANITIZE=address,undefined >/dev/null
@@ -216,12 +287,13 @@ stage_tsan() {
   cmake -B "$TSAN_BUILD_DIR" -S . -DPRESP_SANITIZE=thread >/dev/null
   cmake --build "$TSAN_BUILD_DIR" \
       --target chase_lev_test exec_test exec_determinism_test trace_test \
-      fleet_test -j
+      fleet_test ops_test -j
   "$TSAN_BUILD_DIR"/tests/chase_lev_test
   "$TSAN_BUILD_DIR"/tests/exec_test
   "$TSAN_BUILD_DIR"/tests/exec_determinism_test
   "$TSAN_BUILD_DIR"/tests/trace_test
   "$TSAN_BUILD_DIR"/tests/fleet_test
+  "$TSAN_BUILD_DIR"/tests/ops_test
 }
 
 # ----------------------------------------------------------------- runner
