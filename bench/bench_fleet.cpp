@@ -79,10 +79,18 @@ soc::AcceleratorRegistry make_registry() {
   return registry;
 }
 
+/// --repack: run the soak with each shard's background repacker live
+/// (DESIGN.md defrag). The determinism replay reuses the same
+/// topology, so the digest equality then also covers migrations.
+bool g_repack = false;
+
 FleetTopology soak_topology() {
   FleetTopology topo;
   topo.shards = 4;
   topo.quantum_cycles = 4'000;
+  topo.repack = g_repack;
+  topo.repack_interval_cycles = 2 * topo.quantum_cycles;
+  topo.repack_frag_threshold = 0.0;
   topo.coalesce_limit = 4;
   topo.service_estimate_cycles = 90'000;
   topo.fallback_latency_cycles = 200'000;
@@ -224,6 +232,7 @@ long long percentile(const std::vector<long long>& sorted, double p) {
 
 int main(int argc, char** argv) {
   // bench_fleet [first_seed [num_seeds [quanta]]] [--json out.json]
+  //             [--repack]         (background defragmentation live)
   //             [--ops-port <n>]   (0 = ephemeral; serves /metrics,
   //                                /health, /trace/summary, /events and
   //                                soaks them with 8 SSE clients)
@@ -236,6 +245,8 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--ops-port" && i + 1 < argc) {
       ops_port = std::atoi(argv[++i]);
+    } else if (arg == "--repack") {
+      g_repack = true;
     } else {
       positional.push_back(arg);
     }

@@ -1,0 +1,96 @@
+#include "bitstream/relocate.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace presp::bitstream {
+
+std::string FootprintSignature::to_string() const {
+  std::ostringstream out;
+  out << "h" << height << ":";
+  for (std::size_t i = 0; i < column_types.size(); ++i) {
+    if (i) out << ".";
+    out << fabric::to_string(column_types[i]);
+  }
+  return out.str();
+}
+
+namespace {
+
+bool in_bounds(const fabric::Device& device, const fabric::Pblock& pblock) {
+  return pblock.valid() && pblock.col_lo >= 0 &&
+         pblock.col_hi < device.num_columns() && pblock.row_lo >= 0 &&
+         pblock.row_hi < device.region_rows();
+}
+
+}  // namespace
+
+FootprintSignature footprint_signature(const fabric::Device& device,
+                                       const fabric::Pblock& pblock) {
+  if (!in_bounds(device, pblock)) {
+    throw InvalidArgument("footprint_signature: pblock " +
+                          pblock.to_string() + " is invalid or outside " +
+                          device.name());
+  }
+  FootprintSignature sig;
+  sig.height = pblock.height();
+  sig.column_types.reserve(static_cast<std::size_t>(pblock.width()));
+  for (int col = pblock.col_lo; col <= pblock.col_hi; ++col) {
+    sig.column_types.push_back(device.column_type(col));
+  }
+  return sig;
+}
+
+bool compatible_footprint(const fabric::Device& device,
+                          const fabric::Pblock& from,
+                          const fabric::Pblock& to) {
+  if (!in_bounds(device, from) || !in_bounds(device, to)) return false;
+  if (from.height() != to.height() || from.width() != to.width()) {
+    return false;
+  }
+  for (int i = 0; i < from.width(); ++i) {
+    if (device.column_type(from.col_lo + i) !=
+        device.column_type(to.col_lo + i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+long long base_frame_address(const fabric::Device& device,
+                             const fabric::Pblock& pblock) {
+  if (!in_bounds(device, pblock)) {
+    throw InvalidArgument("base_frame_address: pblock " + pblock.to_string() +
+                          " is invalid or outside " + device.name());
+  }
+  const fabric::FrameProfile& profile = device.frames();
+  long long frames_per_row = 0;
+  for (int col = 0; col < device.num_columns(); ++col) {
+    frames_per_row += profile.frames_for(device.column_type(col));
+  }
+  long long address = frames_per_row * pblock.row_lo;
+  for (int col = 0; col < pblock.col_lo; ++col) {
+    address += profile.frames_for(device.column_type(col));
+  }
+  return address;
+}
+
+Bitstream rebase(const fabric::Device& device, const Bitstream& bs,
+                 const fabric::Pblock& to) {
+  if (!bs.partial) {
+    throw InvalidArgument("rebase: only partial bitstreams relocate (design " +
+                          bs.design + ")");
+  }
+  if (!compatible_footprint(device, bs.pblock, to)) {
+    throw InvalidArgument(
+        "rebase: incompatible footprint for " + bs.design + "/" + bs.module +
+        ": " + footprint_signature(device, bs.pblock).to_string() + " at " +
+        bs.pblock.to_string() + " cannot move to " + to.to_string());
+  }
+  Bitstream out = bs;
+  out.pblock = to;
+  return out;
+}
+
+}  // namespace presp::bitstream

@@ -1,0 +1,66 @@
+// Relocatable partial bitstreams via frame-address rebasing.
+//
+// A partial bitstream's frame payload is a function of the column types it
+// crosses (frames-per-column) and the module's placement inside the
+// rectangle — not of the absolute fabric position. Two pblocks with the
+// identical column-type sequence and height therefore accept the *same*
+// frame payload; only the base frame address written into the
+// configuration header differs. This is the classic bitstream-relocation
+// trick (and the mechanism behind amorphous DPR with flexible
+// boundaries): check the footprint signature, rewrite the base address,
+// keep payload and CRC untouched.
+//
+// The rebased Bitstream round-trips through artifact_io unchanged: the
+// PBS1 container stores the pblock rectangle explicitly, so a rebase is
+// visible (and verifiable) in the serialized artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bitstream/bitstream.hpp"
+#include "fabric/device.hpp"
+
+namespace presp::bitstream {
+
+/// Column-type footprint of a pblock: the left-to-right column-type
+/// sequence plus the clock-region height. Two pblocks are
+/// relocation-compatible iff their signatures compare equal.
+struct FootprintSignature {
+  int height = 0;
+  std::vector<fabric::ColumnType> column_types;
+
+  bool operator==(const FootprintSignature&) const = default;
+
+  /// Compact "h2:CLB.CLB.BRAM" rendering for diagnostics and lint.
+  std::string to_string() const;
+};
+
+/// Signature of `pblock` on `device`. Throws presp::InvalidArgument if
+/// the rectangle is invalid or out of the device's bounds.
+FootprintSignature footprint_signature(const fabric::Device& device,
+                                       const fabric::Pblock& pblock);
+
+/// True when a partial bitstream generated for `from` may be rebased onto
+/// `to` (identical footprint signatures). Invalid / out-of-bounds
+/// rectangles are simply incompatible, never an error.
+bool compatible_footprint(const fabric::Device& device,
+                          const fabric::Pblock& from,
+                          const fabric::Pblock& to);
+
+/// Linear base frame address of a pblock: the index of the first
+/// configuration frame of its top-left cell in the device's row-major
+/// frame ordering. This is the only field a relocation rewrites.
+long long base_frame_address(const fabric::Device& device,
+                             const fabric::Pblock& pblock);
+
+/// Rebases a partial bitstream onto `to`. The frame payload and CRC are
+/// carried over verbatim — a relocation moves bits, it never rewrites
+/// them — and only the pblock rectangle (hence the base frame address)
+/// changes. Throws presp::InvalidArgument when `bs` is not partial or the
+/// footprints are incompatible.
+Bitstream rebase(const fabric::Device& device, const Bitstream& bs,
+                 const fabric::Pblock& to);
+
+}  // namespace presp::bitstream

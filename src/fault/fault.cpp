@@ -17,6 +17,7 @@ const char* to_string(FaultSite site) {
     case FaultSite::kNocCorrupt: return "noc-corrupt";
     case FaultSite::kShardStall: return "shard-stall";
     case FaultSite::kBurstOverload: return "burst-overload";
+    case FaultSite::kRepackAbort: return "repack-abort";
   }
   return "?";
 }
@@ -71,6 +72,9 @@ bool FaultInjector::on_shard_stall(int shard) {
 bool FaultInjector::on_burst_overload(int shard) {
   return fire(FaultSite::kBurstOverload, shard, -1);
 }
+bool FaultInjector::on_repack_abort(int tile) {
+  return fire(FaultSite::kRepackAbort, tile, -1);
+}
 
 // ---------------------------------------------------------------------------
 
@@ -87,6 +91,7 @@ FaultPlan::FaultPlan(const FaultPlanOptions& options) : seed_(options.seed) {
       options.mix.decoupler_stuck, options.mix.accel_hang,
       options.mix.seu_flip,        options.mix.noc_corrupt,
       options.mix.shard_stall,     options.mix.burst_overload,
+      options.mix.repack_abort,
   };
   double total_weight = 0.0;
   for (const double w : weights) {

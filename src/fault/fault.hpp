@@ -23,6 +23,11 @@
 //                      while (control-plane wedge / host stall)
 //   kBurstOverload   — the open-loop client population bursts far above
 //                      its nominal arrival rate
+//
+// Runtime-level sites (hooked by runtime::Repacker):
+//   kRepackAbort     — the Nth repack migration aborts mid-flight, after
+//                      the rebased image is staged but before the region
+//                      move commits (the repacker must roll back)
 #pragma once
 
 #include <cstdint>
@@ -42,8 +47,9 @@ enum class FaultSite : std::uint8_t {
   kNocCorrupt,
   kShardStall,
   kBurstOverload,
+  kRepackAbort,
 };
-inline constexpr int kNumFaultSites = 8;
+inline constexpr int kNumFaultSites = 9;
 /// Sites hooked by the SoC model itself (the first six). WAMI-scale chaos
 /// soaks assert coverage over these; the fleet-level sites above only
 /// fire when a FleetManager is driving the hooks.
@@ -115,6 +121,10 @@ class FaultInjector {
   /// Synthetic load generator, once per arrival batch. True = the client
   /// population bursts above its nominal open-loop rate.
   bool on_burst_overload(int shard);
+  /// Repacker, once per attempted migration (after the rebased image is
+  /// staged, before the reprogram commits). True = abort this migration;
+  /// the repacker rolls back and the region map is unchanged.
+  bool on_repack_abort(int tile);
 
   const FaultInjectorStats& stats() const { return stats_; }
 
@@ -144,6 +154,8 @@ struct FaultMix {
   /// schedules) are unchanged; fleet soaks opt in explicitly.
   double shard_stall = 0.0;
   double burst_overload = 0.0;
+  /// Repacker site, likewise opt-in: only defrag soaks weight it.
+  double repack_abort = 0.0;
 };
 
 struct FaultPlanOptions {

@@ -17,6 +17,31 @@ constexpr std::size_t kBlankBitstreamBytes = 120'000;
 trace::Counter& counter(const char* name) {
   return trace::MetricsRegistry::global().counter(name);
 }
+
+fabric::Device device_for(const std::string& name) {
+  if (name == "vcu118") return fabric::Device::vcu118();
+  if (name == "vcu128") return fabric::Device::vcu128();
+  return fabric::Device::vc707();
+}
+
+/// Starting columns of every non-overlapping CLB column pair: the
+/// relocation slots the shard floorplans place (and repack) full-height
+/// width-2 regions on. Pair regions keep footprint signatures trivially
+/// compatible across slots.
+std::vector<int> clb_pair_slots(const fabric::Device& device) {
+  std::vector<int> slots;
+  int col = 0;
+  while (col + 1 < device.num_columns()) {
+    if (device.column_type(col) == fabric::ColumnType::kClb &&
+        device.column_type(col + 1) == fabric::ColumnType::kClb) {
+      slots.push_back(col);
+      col += 2;
+    } else {
+      ++col;
+    }
+  }
+  return slots;
+}
 }  // namespace
 
 FleetManager::FleetManager(FleetTopology topology,
@@ -25,7 +50,8 @@ FleetManager::FleetManager(FleetTopology topology,
                            std::uint64_t seed,
                            fault::FaultInjector* injector,
                            runtime::ManagerOptions manager_options)
-    : topology_(std::move(topology)), injector_(injector), rng_(seed) {
+    : topology_(std::move(topology)), device_(device_for(config.device)),
+      injector_(injector), rng_(seed) {
   topology_.validate();
   shards_.reserve(static_cast<std::size_t>(topology_.shards));
   for (int s = 0; s < topology_.shards; ++s) {
@@ -63,6 +89,41 @@ FleetManager::FleetManager(FleetTopology topology,
                              now_, trace::kTrackFleet,
                              static_cast<double>(tile));
         });
+    if (topology_.repack) {
+      // Live region map: each reconfigurable tile holds a full-height
+      // width-2 CLB region, spread across the die the way a static
+      // floorplan scatters pblocks. The repacker compacts them toward
+      // the left edge while the fleet keeps serving.
+      shard->plan = std::make_unique<floorplan::DynamicFloorplan>(device_);
+      const std::vector<int> slots = clb_pair_slots(device_);
+      const int tiles = static_cast<int>(shard->tiles.size());
+      PRESP_REQUIRE(static_cast<int>(slots.size()) > tiles,
+                    "device too small for per-tile relocation slots");
+      for (int k = 0; k < tiles; ++k) {
+        const auto slot = static_cast<std::size_t>(
+            (static_cast<long long>(k + 1) *
+             static_cast<long long>(slots.size())) /
+            (tiles + 1));
+        const int col = slots[std::min(slot, slots.size() - 1)];
+        shard->plan->claim(shard->tiles[static_cast<std::size_t>(k)],
+                           fabric::Pblock{col, col + 1, 0,
+                                          device_.region_rows() - 1});
+      }
+      runtime::RepackerOptions repack_options;
+      repack_options.interval_cycles = topology_.repack_interval_cycles;
+      repack_options.frag_threshold = topology_.repack_frag_threshold;
+      repack_options.max_migrations_per_pass = topology_.repack_max_migrations;
+      repack_options.migration_budget = topology_.repack_migration_budget;
+      repack_options.metrics_prefix =
+          "fleet.shard" + std::to_string(s) + ".floorplan";
+      shard->repacker = std::make_unique<runtime::Repacker>(
+          *shard->soc, *shard->manager, *shard->plan, repack_options);
+      if (injector_ != nullptr) shard->repacker->set_fault_injector(injector_);
+      shard->plan->publish_metrics(repack_options.metrics_prefix);
+      // Detached coroutine on the shard kernel: the lock-step advance in
+      // step() is what wakes it each interval.
+      shard->repacker->process();
+    }
     shards_.push_back(std::move(shard));
   }
 }
@@ -72,7 +133,22 @@ FleetManager::~FleetManager() {
   // drop them before the shard kernels; detach the (caller-owned)
   // injector while we are at it.
   inflight_.clear();
-  for (auto& shard : shards_) shard->soc->set_fault_injector(nullptr);
+  for (auto& shard : shards_) {
+    shard->soc->set_fault_injector(nullptr);
+    if (shard->repacker) {
+      shard->repacker->stop();
+      shard->repacker->set_fault_injector(nullptr);
+    }
+  }
+}
+
+const runtime::Repacker* FleetManager::repacker(int shard) const {
+  return shards_[static_cast<std::size_t>(shard)]->repacker.get();
+}
+
+const floorplan::DynamicFloorplan* FleetManager::dynamic_floorplan(
+    int shard) const {
+  return shards_[static_cast<std::size_t>(shard)]->plan.get();
 }
 
 void FleetManager::wire_breaker_trace(CircuitBreaker& breaker, int shard,
@@ -649,6 +725,22 @@ std::string FleetManager::digest() const {
       << stats_.breaker_reopens << "]"
       << " stalls=" << stats_.stall_quanta
       << " misses=" << stats_.deadline_misses;
+  if (topology_.repack) {
+    std::uint64_t migrations = 0, aborts = 0, failures = 0;
+    out << " frag=[";
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const auto& shard = *shards_[s];
+      migrations += shard.repacker->stats().migrations;
+      aborts += shard.repacker->stats().aborts;
+      failures += shard.repacker->stats().failures;
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.4f",
+                    shard.plan->fragmentation().ratio());
+      out << (s == 0 ? "" : ",") << buf;
+    }
+    out << "] repack=[" << migrations << "," << aborts << "," << failures
+        << "]";
+  }
   return out.str();
 }
 

@@ -46,8 +46,10 @@
 #include "fleet/breaker.hpp"
 #include "fleet/topology.hpp"
 #include "fleet/types.hpp"
+#include "floorplan/dynamic.hpp"
 #include "runtime/api.hpp"
 #include "runtime/health.hpp"
+#include "runtime/repacker.hpp"
 #include "soc/soc.hpp"
 
 namespace presp::fleet {
@@ -127,6 +129,9 @@ class FleetManager {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   runtime::ReconfigurationManager& manager(int shard);
+  /// Per-shard defragmentation state; null while `[fleet] repack` is off.
+  const runtime::Repacker* repacker(int shard) const;
+  const floorplan::DynamicFloorplan* dynamic_floorplan(int shard) const;
   BreakerState shard_breaker(int shard) const;
   BreakerState tile_breaker(int shard, int tile) const;
   /// Requests currently executing on a shard.
@@ -173,6 +178,12 @@ class FleetManager {
     std::uint64_t buffer = 0;
     sim::Time stalled_until = 0;
     int inflight = 0;
+    /// Online-defrag state (only with `[fleet] repack`): a live region
+    /// map of the shard's fabric plus its background repacker. The
+    /// repacker's loop runs inside the shard kernel, so the lock-step
+    /// quanta drive defragmentation deterministically.
+    std::unique_ptr<floorplan::DynamicFloorplan> plan;
+    std::unique_ptr<runtime::Repacker> repacker;
   };
   struct PendingFallback {
     FleetRequest request;
@@ -209,6 +220,9 @@ class FleetManager {
   void wire_breaker_trace(CircuitBreaker& breaker, int shard, int tile);
 
   FleetTopology topology_;
+  /// Device model the per-shard dynamic floorplans are built over
+  /// (resolved from the SoC config's device name).
+  fabric::Device device_;
   fault::FaultInjector* injector_;
   Rng rng_;
   sim::Time now_ = 0;

@@ -80,6 +80,15 @@ FleetTopology FleetTopology::from_config(const Config& config) {
         std::string("class_") + to_string(static_cast<QosClass>(c));
     if (config.has(s, key)) parse_class(config.get(s, key), topo.classes[c]);
   }
+  topo.repack = config.get_int_or(s, "repack", topo.repack ? 1 : 0) != 0;
+  topo.repack_interval_cycles = config.get_int_or(
+      s, "repack_interval_cycles", topo.repack_interval_cycles);
+  if (config.has(s, "repack_frag_threshold"))
+    topo.repack_frag_threshold = config.get_double(s, "repack_frag_threshold");
+  topo.repack_max_migrations = static_cast<int>(config.get_int_or(
+      s, "repack_max_migrations", topo.repack_max_migrations));
+  topo.repack_migration_budget = static_cast<int>(config.get_int_or(
+      s, "repack_migration_budget", topo.repack_migration_budget));
   if (config.has(s, "breaker_failure_threshold"))
     topo.breaker.failure_threshold =
         config.get_double(s, "breaker_failure_threshold");
@@ -120,6 +129,16 @@ void FleetTopology::validate() const {
                 "breaker backoff interval is empty");
   PRESP_REQUIRE(breaker.half_open_probes >= 1,
                 "breaker needs at least one half-open probe");
+  if (repack) {
+    PRESP_REQUIRE(repack_interval_cycles > 0,
+                  "repack interval must be positive");
+    PRESP_REQUIRE(repack_frag_threshold >= 0.0 && repack_frag_threshold < 1.0,
+                  "repack fragmentation threshold must be in [0, 1)");
+    PRESP_REQUIRE(repack_max_migrations >= 1,
+                  "repack needs at least one migration per pass");
+    PRESP_REQUIRE(repack_migration_budget >= 1,
+                  "repack needs a positive migration budget");
+  }
 }
 
 }  // namespace presp::fleet

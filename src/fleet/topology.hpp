@@ -17,6 +17,11 @@
 //   breaker_open_base_cycles = 200000
 //   breaker_open_max_cycles = 3200000
 //   breaker_half_open_probes = 2
+//   repack = 1                        # 0 (default) disables
+//   repack_interval_cycles = 2000000
+//   repack_frag_threshold = 0.05
+//   repack_max_migrations = 4
+//   repack_migration_budget = 2
 //
 // from_config() is deliberately lenient (defaults for every key) — the
 // presp-lint `fleet.*` rule pack is where misconfigurations are reported
@@ -54,6 +59,19 @@ struct FleetTopology {
   double tenant_tokens_per_quantum = 0.0;
   /// Tenant bucket capacity (burst allowance). Ignored while disabled.
   double tenant_burst = 8.0;
+  /// Online defragmentation: when true every shard runs a background
+  /// runtime::Repacker over a dynamic floorplan of its fabric
+  /// (`repack = 1` in the config; presp-lint runtime.repacker-bounds
+  /// checks the knobs below).
+  bool repack = false;
+  /// Cycles between repack passes on each shard. Must stay positive.
+  long long repack_interval_cycles = 2'000'000;
+  /// Fragmentation ratio a pass must exceed before it migrates.
+  double repack_frag_threshold = 0.05;
+  /// Migrations attempted per pass.
+  int repack_max_migrations = 4;
+  /// Consecutive aborted/failed migrations tolerated per pass.
+  int repack_migration_budget = 2;
   /// Indexed by QosClass.
   QosClassParams classes[kNumQosClasses] = {
       {8.0, 4.0, 8.0, 32, 600},     // realtime

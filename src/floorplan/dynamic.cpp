@@ -1,0 +1,292 @@
+#include "floorplan/dynamic.hpp"
+
+#include <algorithm>
+
+#include "trace/metrics.hpp"
+#include "util/error.hpp"
+
+namespace presp::floorplan {
+
+DynamicFloorplan::DynamicFloorplan(const fabric::Device& device)
+    : device_(&device) {}
+
+bool DynamicFloorplan::legal_rect_locked(const fabric::Pblock& p) const {
+  if (!p.valid() || p.col_lo < 0 || p.col_hi >= device_->num_columns() ||
+      p.row_lo < 0 || p.row_hi >= device_->region_rows()) {
+    return false;
+  }
+  for (int col = p.col_lo; col <= p.col_hi; ++col) {
+    if (!fabric::Device::reconfigurable_column(device_->column_type(col))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DynamicFloorplan::free_rect_locked(const fabric::Pblock& p,
+                                        int ignore_id) const {
+  for (const auto& [id, region] : regions_) {
+    if (id == ignore_id) continue;
+    if (region.overlaps(p)) return false;
+  }
+  return true;
+}
+
+bool DynamicFloorplan::compatible_locked(const fabric::Pblock& from,
+                                         const fabric::Pblock& to) const {
+  if (from.width() != to.width() || from.height() != to.height()) {
+    return false;
+  }
+  for (int i = 0; i < from.width(); ++i) {
+    if (device_->column_type(from.col_lo + i) !=
+        device_->column_type(to.col_lo + i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void DynamicFloorplan::claim(int id, const fabric::Pblock& pblock) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (regions_.count(id)) {
+    throw InvalidArgument("claim: region " + std::to_string(id) +
+                          " is already placed");
+  }
+  if (!legal_rect_locked(pblock)) {
+    throw InvalidArgument("claim: illegal rectangle " + pblock.to_string() +
+                          " on " + device_->name());
+  }
+  if (!free_rect_locked(pblock, -1)) {
+    throw InvalidArgument("claim: " + pblock.to_string() +
+                          " overlaps an existing region");
+  }
+  regions_.emplace(id, pblock);
+}
+
+void DynamicFloorplan::release(int id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!regions_.erase(id)) {
+    throw InvalidArgument("release: unknown region " + std::to_string(id));
+  }
+}
+
+void DynamicFloorplan::split(int id, int new_id, char axis, int at) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = regions_.find(id);
+  if (it == regions_.end()) {
+    throw InvalidArgument("split: unknown region " + std::to_string(id));
+  }
+  if (id == new_id || regions_.count(new_id)) {
+    throw InvalidArgument("split: id " + std::to_string(new_id) +
+                          " is already in use");
+  }
+  fabric::Pblock keep = it->second;
+  fabric::Pblock rest = it->second;
+  if (axis == 'c') {
+    if (at < keep.col_lo || at >= keep.col_hi) {
+      throw InvalidArgument("split: column " + std::to_string(at) +
+                            " does not bisect " + keep.to_string());
+    }
+    keep.col_hi = at;
+    rest.col_lo = at + 1;
+  } else if (axis == 'r') {
+    if (at < keep.row_lo || at >= keep.row_hi) {
+      throw InvalidArgument("split: row " + std::to_string(at) +
+                            " does not bisect " + keep.to_string());
+    }
+    keep.row_hi = at;
+    rest.row_lo = at + 1;
+  } else {
+    throw InvalidArgument("split: axis must be 'c' or 'r'");
+  }
+  it->second = keep;
+  regions_.emplace(new_id, rest);
+}
+
+void DynamicFloorplan::merge(int id, int other) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto a = regions_.find(id);
+  auto b = regions_.find(other);
+  if (a == regions_.end() || b == regions_.end() || id == other) {
+    throw InvalidArgument("merge: unknown region pair " + std::to_string(id) +
+                          "," + std::to_string(other));
+  }
+  const fabric::Pblock& ra = a->second;
+  const fabric::Pblock& rb = b->second;
+  fabric::Pblock merged;
+  const bool same_rows = ra.row_lo == rb.row_lo && ra.row_hi == rb.row_hi;
+  const bool same_cols = ra.col_lo == rb.col_lo && ra.col_hi == rb.col_hi;
+  if (same_rows && (ra.col_hi + 1 == rb.col_lo || rb.col_hi + 1 == ra.col_lo)) {
+    merged = ra;
+    merged.col_lo = std::min(ra.col_lo, rb.col_lo);
+    merged.col_hi = std::max(ra.col_hi, rb.col_hi);
+  } else if (same_cols &&
+             (ra.row_hi + 1 == rb.row_lo || rb.row_hi + 1 == ra.row_lo)) {
+    merged = ra;
+    merged.row_lo = std::min(ra.row_lo, rb.row_lo);
+    merged.row_hi = std::max(ra.row_hi, rb.row_hi);
+  } else {
+    throw InvalidArgument("merge: " + ra.to_string() + " and " +
+                          rb.to_string() + " do not form a rectangle");
+  }
+  a->second = merged;
+  regions_.erase(b);
+}
+
+std::optional<fabric::Pblock> DynamicFloorplan::region(int id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = regions_.find(id);
+  if (it == regions_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t DynamicFloorplan::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return regions_.size();
+}
+
+std::optional<fabric::Pblock> DynamicFloorplan::allocate(int id, int width,
+                                                         int height) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (regions_.count(id)) {
+    throw InvalidArgument("allocate: region " + std::to_string(id) +
+                          " is already placed");
+  }
+  if (width < 1 || height < 1) {
+    throw InvalidArgument("allocate: degenerate rectangle");
+  }
+  for (int row = 0; row + height <= device_->region_rows(); ++row) {
+    for (int col = 0; col + width <= device_->num_columns(); ++col) {
+      fabric::Pblock candidate{col, col + width - 1, row, row + height - 1};
+      if (!legal_rect_locked(candidate)) continue;
+      if (!free_rect_locked(candidate, -1)) continue;
+      regions_.emplace(id, candidate);
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<fabric::Pblock> DynamicFloorplan::relocation_target(
+    int id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = regions_.find(id);
+  if (it == regions_.end()) {
+    throw InvalidArgument("relocation_target: unknown region " +
+                          std::to_string(id));
+  }
+  const fabric::Pblock& cur = it->second;
+  const int width = cur.width();
+  const int height = cur.height();
+  // Packing order: leftmost column first, then topmost row — the scan
+  // stops as soon as it reaches the region's own position, so a returned
+  // target is strictly closer to the origin.
+  for (int col = 0; col + width <= device_->num_columns(); ++col) {
+    for (int row = 0; row + height <= device_->region_rows(); ++row) {
+      if (col > cur.col_lo || (col == cur.col_lo && row >= cur.row_lo)) {
+        return std::nullopt;
+      }
+      fabric::Pblock candidate{col, col + width - 1, row, row + height - 1};
+      if (!compatible_locked(cur, candidate)) continue;
+      if (!legal_rect_locked(candidate)) continue;
+      if (!free_rect_locked(candidate, id)) continue;
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+void DynamicFloorplan::relocate(int id, const fabric::Pblock& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = regions_.find(id);
+  if (it == regions_.end()) {
+    throw InvalidArgument("relocate: unknown region " + std::to_string(id));
+  }
+  if (!compatible_locked(it->second, to)) {
+    throw InvalidArgument("relocate: footprint mismatch moving region " +
+                          std::to_string(id) + " to " + to.to_string());
+  }
+  if (!legal_rect_locked(to) || !free_rect_locked(to, id)) {
+    throw InvalidArgument("relocate: target " + to.to_string() +
+                          " is not free");
+  }
+  it->second = to;
+}
+
+FragmentationStats DynamicFloorplan::fragmentation_locked() const {
+  const int rows = device_->region_rows();
+  const int cols = device_->num_columns();
+  FragmentationStats stats;
+  // free[row][col]: cell is allocatable and not covered by any region.
+  std::vector<std::vector<bool>> free_cell(
+      static_cast<std::size_t>(rows),
+      std::vector<bool>(static_cast<std::size_t>(cols), false));
+  for (int col = 0; col < cols; ++col) {
+    if (!fabric::Device::reconfigurable_column(device_->column_type(col))) {
+      continue;
+    }
+    stats.allocatable_cells += rows;
+    for (int row = 0; row < rows; ++row) {
+      free_cell[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          true;
+    }
+  }
+  for (const auto& [id, region] : regions_) {
+    (void)id;
+    for (int row = region.row_lo; row <= region.row_hi; ++row) {
+      for (int col = region.col_lo; col <= region.col_hi; ++col) {
+        free_cell[static_cast<std::size_t>(row)]
+                 [static_cast<std::size_t>(col)] = false;
+      }
+    }
+  }
+  // Largest rectangle of free cells: running histogram of free-run
+  // heights per column, max-rectangle-in-histogram per row (stack scan).
+  std::vector<int> heights(static_cast<std::size_t>(cols), 0);
+  for (int row = 0; row < rows; ++row) {
+    for (int col = 0; col < cols; ++col) {
+      const bool f = free_cell[static_cast<std::size_t>(row)]
+                              [static_cast<std::size_t>(col)];
+      if (f) ++stats.free_cells;
+      heights[static_cast<std::size_t>(col)] =
+          f ? heights[static_cast<std::size_t>(col)] + 1 : 0;
+    }
+    std::vector<int> stack;
+    for (int col = 0; col <= cols; ++col) {
+      const int h = col < cols ? heights[static_cast<std::size_t>(col)] : 0;
+      int left = col;
+      while (!stack.empty() &&
+             heights[static_cast<std::size_t>(stack.back())] >= h) {
+        const int top = stack.back();
+        stack.pop_back();
+        const int top_h = heights[static_cast<std::size_t>(top)];
+        const int width =
+            stack.empty() ? col : col - stack.back() - 1;
+        stats.largest_free_rect =
+            std::max(stats.largest_free_rect,
+                     static_cast<long long>(top_h) * width);
+        left = top;
+      }
+      (void)left;
+      stack.push_back(col);
+    }
+  }
+  return stats;
+}
+
+FragmentationStats DynamicFloorplan::fragmentation() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fragmentation_locked();
+}
+
+void DynamicFloorplan::publish_metrics(const std::string& prefix) const {
+  const FragmentationStats stats = fragmentation();
+  auto& registry = trace::MetricsRegistry::global();
+  registry.gauge(prefix + ".frag_ratio").set(stats.ratio());
+  registry.gauge(prefix + ".free_cells")
+      .set(static_cast<double>(stats.free_cells));
+  registry.gauge(prefix + ".largest_free_rect")
+      .set(static_cast<double>(stats.largest_free_rect));
+}
+
+}  // namespace presp::floorplan

@@ -1,0 +1,111 @@
+// Dynamic floorplan: a live occupancy map of the reconfigurable fabric.
+//
+// The static Floorplanner answers "where do these partitions go" once, at
+// flow time. Under tenant churn that answer rots: partitions come and go
+// at different sizes and the fabric fragments — plenty of free cells, but
+// no rectangle big enough for the next arrival. This module tracks
+// regions as they are claimed, released, split, and merged at runtime,
+// measures fragmentation as 1 - largest_free_rectangle / free_area (the
+// ratio the amorphous-DPR literature optimizes), and proposes compacting
+// relocation targets for the runtime repacker.
+//
+// Thread-safety: all public methods take an internal mutex, so the
+// ops-plane observers may snapshot fragmentation while the (simulated)
+// repacker mutates the map. publish_metrics() pushes the current stats
+// into MetricsRegistry::global(), which the ops `/metrics` endpoint
+// serves verbatim.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fabric/device.hpp"
+
+namespace presp::floorplan {
+
+/// Fragmentation snapshot over the allocatable (CLB/BRAM/DSP-column)
+/// cells of the device.
+struct FragmentationStats {
+  long long allocatable_cells = 0;
+  long long free_cells = 0;
+  /// Cells of the largest axis-aligned all-free rectangle (restricted to
+  /// allocatable columns).
+  long long largest_free_rect = 0;
+
+  /// 0 = perfectly compact (one rectangle holds all free area, or no
+  /// free area at all); approaches 1 as the free area shatters.
+  double ratio() const {
+    if (free_cells <= 0) return 0.0;
+    return 1.0 - static_cast<double>(largest_free_rect) /
+                     static_cast<double>(free_cells);
+  }
+};
+
+class DynamicFloorplan {
+ public:
+  explicit DynamicFloorplan(const fabric::Device& device);
+
+  const fabric::Device& device() const { return *device_; }
+
+  /// Claims `pblock` for region `id`. Throws presp::InvalidArgument if the
+  /// id is already placed, the rectangle is illegal (out of bounds or
+  /// crossing an IO/clock column), or it overlaps an existing region.
+  void claim(int id, const fabric::Pblock& pblock);
+
+  /// Releases region `id` back to free space. Throws if unknown.
+  void release(int id);
+
+  /// Live split: region `id` keeps the cells at or below `at` on `axis`
+  /// ("col" keeps columns <= at, "row" keeps rows <= at) and the
+  /// remainder becomes new region `new_id`. Both halves must be
+  /// non-empty. Throws presp::InvalidArgument otherwise.
+  void split(int id, int new_id, char axis, int at);
+
+  /// Live merge: absorbs `other` into `id`. The two regions must be
+  /// adjacent and form an exact rectangle. Throws otherwise.
+  void merge(int id, int other);
+
+  /// The region currently held by `id`, if any.
+  std::optional<fabric::Pblock> region(int id) const;
+  std::size_t size() const;
+
+  /// First-fit allocation: the topmost-then-leftmost legal free rectangle
+  /// of exactly `width` x `height` cells, claimed for `id`. Returns
+  /// nullopt (and claims nothing) when no such rectangle exists.
+  std::optional<fabric::Pblock> allocate(int id, int width, int height);
+
+  /// Compaction proposal for region `id`: a free rectangle with the
+  /// identical column-type footprint that is strictly closer to the
+  /// packing origin (smaller col_lo, or same col_lo and smaller row_lo).
+  /// The map is not modified. Returns nullopt when `id` is already as
+  /// far left/up as its footprint allows.
+  std::optional<fabric::Pblock> relocation_target(int id) const;
+
+  /// Commits a relocation previously proposed by relocation_target():
+  /// atomically re-claims `id` at `to`. Throws if `to` is not free
+  /// (ignoring `id`'s own cells) or footprint-incompatible.
+  void relocate(int id, const fabric::Pblock& to);
+
+  FragmentationStats fragmentation() const;
+
+  /// Publishes fragmentation gauges `<prefix>.frag_ratio`,
+  /// `<prefix>.free_cells`, `<prefix>.largest_free_rect` into the global
+  /// MetricsRegistry (and thus the ops `/metrics` endpoint).
+  void publish_metrics(const std::string& prefix) const;
+
+ private:
+  bool legal_rect_locked(const fabric::Pblock& pblock) const;
+  bool free_rect_locked(const fabric::Pblock& pblock, int ignore_id) const;
+  bool compatible_locked(const fabric::Pblock& from,
+                         const fabric::Pblock& to) const;
+  FragmentationStats fragmentation_locked() const;
+
+  const fabric::Device* device_;
+  mutable std::mutex mutex_;
+  std::map<int, fabric::Pblock> regions_;
+};
+
+}  // namespace presp::floorplan

@@ -7,6 +7,7 @@
 #include "hls/spec_io.hpp"
 #include "noc/noc.hpp"
 #include "runtime/manager.hpp"
+#include "runtime/repacker.hpp"
 #include "util/string_utils.hpp"
 #include "wami/accelerators.hpp"
 
@@ -195,6 +196,11 @@ ReconfPlan LintContext::parse_plan() {
   plan.max_attempts = defaults.max_attempts;
   plan.backoff_base_cycles = defaults.backoff_base_cycles;
   plan.watchdog_reconf_margin = defaults.watchdog_reconf_margin;
+  const runtime::RepackerOptions repack_defaults;
+  plan.repack_interval_cycles = repack_defaults.interval_cycles;
+  plan.repack_frag_threshold = repack_defaults.frag_threshold;
+  plan.repack_max_migrations = repack_defaults.max_migrations_per_pass;
+  plan.repack_migration_budget = repack_defaults.migration_budget;
 
   const auto keys = cfg.keys("runtime");
   if (keys.empty()) return plan;
@@ -250,6 +256,18 @@ ReconfPlan LintContext::parse_plan() {
         plan.store_cache_slots = static_cast<int>(parse_int(value));
       } else if (key == "store_slot_bytes") {
         plan.store_slot_bytes = parse_int(value);
+      } else if (key == "repack_interval_cycles") {
+        plan.repack_interval_cycles = parse_int(value);
+        plan.repack_declared = true;
+      } else if (key == "repack_frag_threshold") {
+        plan.repack_frag_threshold = parse_double(value);
+        plan.repack_declared = true;
+      } else if (key == "repack_max_migrations") {
+        plan.repack_max_migrations = static_cast<int>(parse_int(value));
+        plan.repack_declared = true;
+      } else if (key == "repack_migration_budget") {
+        plan.repack_migration_budget = static_cast<int>(parse_int(value));
+        plan.repack_declared = true;
       } else {
         throw ConfigError("unknown [runtime] key '" + key + "'");
       }

@@ -25,6 +25,9 @@
 //   max_attempts = 3
 //   backoff_base_cycles = 10000
 //   watchdog_reconf_margin = 8.0
+//   # defragmentation repacker knobs (runtime.repacker-bounds)
+//   repack_interval_cycles = 2000000
+//   repack_migration_budget = 2
 //
 //   [bitstreams]
 //   # explicit BitstreamStore manifest; defaults to every reconfigurable
@@ -100,6 +103,14 @@ struct ReconfPlan {
   int store_cache_slots = 0;
   /// Bytes per cache slot; 0 = sized to the largest registered image.
   long long store_slot_bytes = 0;
+  /// Defragmentation repacker knobs (repack_* keys in [runtime];
+  /// defaulted from runtime::RepackerOptions). repack_declared is set
+  /// when any repack_* key appears.
+  bool repack_declared = false;
+  long long repack_interval_cycles = 0;
+  double repack_frag_threshold = 0.0;
+  int repack_max_migrations = 0;
+  int repack_migration_budget = 0;
   /// True when the config carries a [runtime] section at all.
   bool declared = false;
 };

@@ -11,6 +11,7 @@
 #include <set>
 #include <thread>
 
+#include "bitstream/relocate.hpp"
 #include "fleet/topology.hpp"
 #include "lint/cycle.hpp"
 #include "util/string_utils.hpp"
@@ -359,6 +360,57 @@ void check_icap_unreachable(LintContext& ctx, DiagnosticEngine& engine) {
                     (to_aux ? "from" : "to") +
                     " the ICAP/DFXC (aux) tile " + tile_key(config, aux),
                 "fix the route function or move the tile inside the mesh"});
+  }
+}
+
+void check_relocatable_footprint(LintContext& ctx,
+                                 DiagnosticEngine& engine) {
+  // Footprint compatibility only constrains the *runtime* repacker,
+  // which migrates modules across the static floorplan's regions. A
+  // design that never opted into repacking ([runtime] repack_* keys)
+  // loses nothing from per-region images, and the fleet repacker
+  // allocates its own uniform full-height regions per shard, so the
+  // static partitions don't bind it either.
+  if (!ctx.plan().repack_declared) return;
+  const auto& plan = ctx.floorplan();
+  const auto& device = ctx.device();
+  const auto& partitions = ctx.rtl().partitions();
+  // A module hosted by several partitions gets one partial bitstream per
+  // region — unless the regions share a column footprint, in which case
+  // a single relocatable image (frame-address rebasing) serves them all.
+  std::map<std::string, std::vector<std::size_t>> hosts;
+  for (std::size_t p = 0;
+       p < partitions.size() && p < plan.pblocks.size(); ++p) {
+    if (!on_fabric(device, plan.pblocks[p])) continue;
+    for (const std::string& module : partitions[p].modules)
+      hosts[module].push_back(p);
+  }
+  std::set<std::pair<std::size_t, std::size_t>> reported;
+  for (const auto& [module, where] : hosts) {
+    for (std::size_t i = 1; i < where.size(); ++i) {
+      const std::size_t a = where[0];
+      const std::size_t b = where[i];
+      if (bitstream::compatible_footprint(device, plan.pblocks[a],
+                                          plan.pblocks[b]))
+        continue;
+      if (!reported.insert({a, b}).second) continue;
+      engine.add({"floorplan.relocatable-footprint",
+                  Severity::kWarning,
+                  {ctx.file(), 0, "partition." + partitions[b].name},
+                  "module '" + module + "' is hosted by partitions '" +
+                      partitions[a].name + "' " +
+                      bitstream::footprint_signature(device, plan.pblocks[a])
+                          .to_string() +
+                      " and '" + partitions[b].name + "' " +
+                      bitstream::footprint_signature(device, plan.pblocks[b])
+                          .to_string() +
+                      " whose column footprints differ: its partial "
+                      "bitstream cannot be relocated between them and the "
+                      "repacker cannot migrate it",
+                  "size both pblocks over the same column-type sequence "
+                  "and clock-region height so one relocatable image "
+                  "serves every host region"});
+    }
   }
 }
 
@@ -858,6 +910,94 @@ void check_fleet_breaker(LintContext& ctx, DiagnosticEngine& engine) {
                     std::to_string(topo->quantum_cycles) + " cycles)"});
 }
 
+void check_repacker_bounds(LintContext& ctx, DiagnosticEngine& engine) {
+  const auto& plan = ctx.plan();
+  // [runtime] repack_* knobs (runtime::RepackerOptions).
+  if (plan.declared && plan.repack_declared) {
+    const SourceLoc loc{ctx.file(), ctx.line_of_section("runtime"),
+                        "runtime"};
+    if (plan.repack_interval_cycles <= 0)
+      engine.add({"runtime.repacker-bounds", Severity::kError, loc,
+                  "repack_interval_cycles " +
+                      std::to_string(plan.repack_interval_cycles) +
+                      " makes the repacker spin every cycle, starving the "
+                      "DFXC request path",
+                  "use a positive interval (default 2000000 cycles)"});
+    if (plan.repack_max_migrations < 1)
+      engine.add({"runtime.repacker-bounds", Severity::kError, loc,
+                  "repack_max_migrations " +
+                      std::to_string(plan.repack_max_migrations) +
+                      " means a pass can never migrate anything",
+                  "allow at least one migration per pass"});
+    if (plan.repack_migration_budget < 1)
+      engine.add({"runtime.repacker-bounds", Severity::kError, loc,
+                  "repack_migration_budget " +
+                      std::to_string(plan.repack_migration_budget) +
+                      " aborts every pass before its first migration",
+                  "use a positive migration budget"});
+    else if (plan.repack_migration_budget > plan.retry_budget)
+      engine.add({"runtime.repacker-bounds", Severity::kWarning, loc,
+                  "repack_migration_budget " +
+                      std::to_string(plan.repack_migration_budget) +
+                      " exceeds retry_budget " +
+                      std::to_string(plan.retry_budget) +
+                      ": background compaction out-retries the foreground "
+                      "request path",
+                  "keep the migration budget at or below retry_budget"});
+  }
+  // [fleet] repack knobs (per-shard repackers). Malformed sections are
+  // fleet.topology's diagnostic; stay silent on them here.
+  if (ctx.line_of_section("fleet") == 0) return;
+  std::optional<fleet::FleetTopology> topo;
+  try {
+    topo = fleet::FleetTopology::from_config(ctx.raw());
+  } catch (const ConfigError&) {
+    return;
+  }
+  if (!topo->repack) return;
+  if (topo->repack_interval_cycles <= 0)
+    engine.add({"runtime.repacker-bounds", Severity::kError,
+                fleet_loc(ctx, "repack_interval_cycles"),
+                "repack_interval_cycles " +
+                    std::to_string(topo->repack_interval_cycles) +
+                    " makes every shard's repacker spin, starving its "
+                    "DFXC request path",
+                "use a positive interval (default 2000000 cycles)"});
+  if (topo->repack_frag_threshold < 0.0 ||
+      topo->repack_frag_threshold >= 1.0)
+    engine.add({"runtime.repacker-bounds", Severity::kError,
+                fleet_loc(ctx, "repack_frag_threshold"),
+                "repack_frag_threshold " +
+                    std::to_string(topo->repack_frag_threshold) +
+                    " is outside [0, 1): the fragmentation ratio can "
+                    "never exceed it",
+                "use a threshold in [0, 1) (default 0.05)"});
+  if (topo->repack_max_migrations < 1)
+    engine.add({"runtime.repacker-bounds", Severity::kError,
+                fleet_loc(ctx, "repack_max_migrations"),
+                "repack_max_migrations " +
+                    std::to_string(topo->repack_max_migrations) +
+                    " means a repack pass can never migrate anything",
+                "allow at least one migration per pass"});
+  if (topo->repack_migration_budget < 1)
+    engine.add({"runtime.repacker-bounds", Severity::kError,
+                fleet_loc(ctx, "repack_migration_budget"),
+                "repack_migration_budget " +
+                    std::to_string(topo->repack_migration_budget) +
+                    " aborts every pass before its first migration",
+                "use a positive migration budget"});
+  else if (topo->repack_migration_budget > plan.retry_budget)
+    engine.add({"runtime.repacker-bounds", Severity::kWarning,
+                fleet_loc(ctx, "repack_migration_budget"),
+                "repack_migration_budget " +
+                    std::to_string(topo->repack_migration_budget) +
+                    " exceeds the runtime retry_budget " +
+                    std::to_string(plan.retry_budget) +
+                    ": background compaction out-retries the foreground "
+                    "request path",
+                "keep the migration budget at or below retry_budget"});
+}
+
 // ---------------------------------------------------------- ops rules
 // The [ops] section configures the embedded telemetry server
 // (ops::OpsOptions). The lint layer reads the raw keys directly (the ops
@@ -1334,6 +1474,11 @@ const RuleRegistry& RuleRegistry::builtin() {
            "ICAP/DFXC aux tile",
            Severity::kError},
           check_icap_unreachable);
+    r.add({"floorplan.relocatable-footprint", "floorplan",
+           "partitions sharing a module have footprint-compatible "
+           "pblocks so one relocatable bitstream serves them",
+           Severity::kWarning},
+          check_relocatable_footprint);
     // noc
     r.add({"noc.deadlock", "noc",
            "the route function's channel dependency graph is acyclic "
@@ -1365,6 +1510,11 @@ const RuleRegistry& RuleRegistry::builtin() {
            "enough slots for fetch/program overlap",
            Severity::kWarning},
           check_store_capacity);
+    r.add({"runtime.repacker-bounds", "runtime",
+           "defragmentation repacker interval, migration caps and budget "
+           "are sane and defer to the foreground retry budget",
+           Severity::kWarning},
+          check_repacker_bounds);
     // fleet
     r.add({"fleet.topology", "fleet",
            "the [fleet] section parses and the shard/quantum/coalesce "

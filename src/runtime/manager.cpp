@@ -1016,6 +1016,22 @@ sim::Process ReconfigurationManager::scrub(int tile, Completion& done) {
   done.complete(sub.status(), tile);
 }
 
+sim::Process ReconfigurationManager::repack_tile(int tile, std::string module,
+                                                 Completion& done) {
+  auto& kernel = soc_.kernel();
+  ++stats_.repacks;
+  if (trace::enabled(kTrc))
+    trace::sim_instant(kTrc, "repack", kernel.now(), tile_track(tile));
+  co_await tile_lock(tile).acquire();
+  // Suspend only on `done`, which the repacker owns outside any coroutine
+  // frame: if the shard is torn down mid-reconfigure, ~Completion reaches
+  // and frees this frame (the kernel.hpp single-owner rule). A frame-local
+  // Completion here would form an unreachable self-cycle and leak.
+  reconfigure_locked(tile, module, done);
+  co_await done.wait();
+  tile_lock(tile).release();
+}
+
 sim::Process ReconfigurationManager::run(int tile, std::string module,
                                          soc::AccelTask task,
                                          Completion& done) {

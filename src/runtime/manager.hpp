@@ -173,6 +173,8 @@ struct ManagerStats {
   std::uint64_t quarantines = 0;
   /// Scrub passes (readback verify, rewrite on mismatch).
   std::uint64_t scrubs = 0;
+  /// Forced reprograms issued by the defragmentation repacker.
+  std::uint64_t repacks = 0;
   /// Scrubs/recoveries that repaired an upset partition by rewriting it.
   std::uint64_t seu_repairs = 0;
   /// Software-fallback executions recorded by the application layer.
@@ -223,6 +225,18 @@ class ReconfigurationManager {
   /// upset partition by rewriting it with the golden bitstream. Completes
   /// kOk when the partition is clean (or empty) afterwards.
   sim::Process scrub(int tile, Completion& done);
+
+  /// True when nothing (run or reconfiguration) holds the tile's lock —
+  /// the repacker's idle precondition, so a repack never blocks behind
+  /// in-flight work (it skips the tile instead).
+  bool tile_idle(int tile) { return tile_lock(tile).available() > 0; }
+
+  /// Repack commit path: forced reprogram of `module` on `tile` through
+  /// the regular (pipelined) DFXC flow, under the tile lock. Used by the
+  /// defragmentation repacker after a region relocation is staged; on
+  /// escalation the usual quarantine/re-route machinery applies and the
+  /// caller rolls the region move back.
+  sim::Process repack_tile(int tile, std::string module, Completion& done);
 
   /// Legacy completion-event entry points; identical behavior, but the
   /// final status is dropped (they exist so single-threaded callers that

@@ -1,0 +1,295 @@
+// Live region split/merge and the fragmentation metric behind the
+// defragmentation repacker.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "floorplan/dynamic.hpp"
+#include "trace/metrics.hpp"
+#include "util/error.hpp"
+
+namespace presp::floorplan {
+namespace {
+
+using fabric::ColumnType;
+using fabric::Pblock;
+
+/// 8 uniform CLB columns x 2 region rows: exact fragmentation arithmetic.
+fabric::Device flat_device() {
+  return fabric::Device("flat8", 2,
+                        std::vector<ColumnType>(8, ColumnType::kClb),
+                        {400, 800, 0, 0}, 0, 0, fabric::FrameProfile{});
+}
+
+/// CLB | IO | CLB CLB: the IO column is never allocatable.
+fabric::Device gapped_device() {
+  return fabric::Device("gap4", 1,
+                        {ColumnType::kClb, ColumnType::kIo, ColumnType::kClb,
+                         ColumnType::kClb},
+                        {400, 800, 0, 0}, 0, 0, fabric::FrameProfile{});
+}
+
+TEST(DynamicFloorplanTest, ClaimReleaseAndLookup) {
+  const auto device = flat_device();
+  DynamicFloorplan plan(device);
+  EXPECT_EQ(plan.size(), 0u);
+
+  plan.claim(3, {2, 3, 0, 1});
+  ASSERT_TRUE(plan.region(3).has_value());
+  EXPECT_EQ(plan.region(3)->col_lo, 2);
+  EXPECT_FALSE(plan.region(4).has_value());
+
+  EXPECT_THROW(plan.claim(3, {6, 7, 0, 0}), InvalidArgument);  // dup id
+  EXPECT_THROW(plan.claim(4, {3, 4, 0, 0}), InvalidArgument);  // overlap
+  EXPECT_THROW(plan.claim(4, {7, 8, 0, 0}), InvalidArgument);  // bounds
+  EXPECT_THROW(plan.claim(4, {5, 4, 0, 0}), InvalidArgument);  // degenerate
+
+  plan.release(3);
+  EXPECT_EQ(plan.size(), 0u);
+  EXPECT_THROW(plan.release(3), InvalidArgument);
+}
+
+TEST(DynamicFloorplanTest, ClaimRejectsNonReconfigurableColumns) {
+  const auto device = gapped_device();
+  DynamicFloorplan plan(device);
+  EXPECT_THROW(plan.claim(0, {0, 2, 0, 0}), InvalidArgument);  // crosses IO
+  plan.claim(0, {2, 3, 0, 0});  // pure CLB pair is fine
+}
+
+TEST(DynamicFloorplanTest, SplitByColumnAndRowThenMergeBack) {
+  const auto device = flat_device();
+  DynamicFloorplan plan(device);
+  plan.claim(1, {2, 5, 0, 1});
+
+  plan.split(1, 2, 'c', 3);
+  EXPECT_EQ(plan.region(1)->col_hi, 3);
+  EXPECT_EQ(plan.region(2)->col_lo, 4);
+  EXPECT_EQ(plan.region(2)->col_hi, 5);
+
+  plan.split(1, 3, 'r', 0);
+  EXPECT_EQ(plan.region(1)->row_hi, 0);
+  EXPECT_EQ(plan.region(3)->row_lo, 1);
+  EXPECT_EQ(plan.size(), 3u);
+
+  plan.merge(1, 3);  // rows rejoin
+  EXPECT_EQ(plan.region(1)->row_hi, 1);
+  plan.merge(1, 2);  // columns rejoin
+  EXPECT_EQ(plan.region(1)->col_hi, 5);
+  EXPECT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan.region(1)->cells(), 8);
+}
+
+TEST(DynamicFloorplanTest, SplitAndMergeRejectIllegalCuts) {
+  const auto device = flat_device();
+  DynamicFloorplan plan(device);
+  plan.claim(1, {2, 5, 0, 1});
+  plan.claim(9, {0, 0, 0, 0});
+
+  EXPECT_THROW(plan.split(7, 8, 'c', 3), InvalidArgument);  // unknown id
+  EXPECT_THROW(plan.split(1, 9, 'c', 3), InvalidArgument);  // id in use
+  EXPECT_THROW(plan.split(1, 1, 'c', 3), InvalidArgument);  // self
+  EXPECT_THROW(plan.split(1, 2, 'c', 5), InvalidArgument);  // empty half
+  EXPECT_THROW(plan.split(1, 2, 'c', 1), InvalidArgument);  // outside
+  EXPECT_THROW(plan.split(1, 2, 'x', 3), InvalidArgument);  // bad axis
+
+  plan.claim(2, {7, 7, 0, 1});
+  EXPECT_THROW(plan.merge(1, 2), InvalidArgument);  // not adjacent
+  plan.claim(3, {6, 6, 0, 0});
+  EXPECT_THROW(plan.merge(1, 3), InvalidArgument);  // ragged rectangle
+  EXPECT_THROW(plan.merge(1, 1), InvalidArgument);  // self
+}
+
+TEST(DynamicFloorplanTest, AllocateIsFirstFitTopmostLeftmost) {
+  const auto device = flat_device();
+  DynamicFloorplan plan(device);
+  plan.claim(1, {0, 1, 0, 1});
+
+  const auto a = plan.allocate(2, 2, 1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->col_lo, 2);
+  EXPECT_EQ(a->row_lo, 0);
+
+  const auto b = plan.allocate(3, 2, 2);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->col_lo, 4);
+
+  EXPECT_FALSE(plan.allocate(4, 5, 1).has_value());  // no room left
+  EXPECT_EQ(plan.size(), 3u);
+  EXPECT_THROW(plan.allocate(1, 1, 1), InvalidArgument);  // id taken
+  EXPECT_THROW(plan.allocate(5, 0, 1), InvalidArgument);  // degenerate
+}
+
+TEST(DynamicFloorplanTest, AllocateSkipsNonAllocatableColumns) {
+  const auto device = gapped_device();
+  DynamicFloorplan plan(device);
+  const auto got = plan.allocate(1, 2, 1);
+  ASSERT_TRUE(got.has_value());
+  // Columns {0,1} cross the IO column; first legal pair is {2,3}.
+  EXPECT_EQ(got->col_lo, 2);
+  EXPECT_FALSE(plan.allocate(2, 2, 1).has_value());
+}
+
+TEST(DynamicFloorplanTest, FragmentationExactArithmetic) {
+  const auto device = flat_device();
+  DynamicFloorplan plan(device);
+
+  auto stats = plan.fragmentation();
+  EXPECT_EQ(stats.allocatable_cells, 16);
+  EXPECT_EQ(stats.free_cells, 16);
+  EXPECT_EQ(stats.largest_free_rect, 16);
+  EXPECT_DOUBLE_EQ(stats.ratio(), 0.0);  // empty fabric is compact
+
+  // A full-height wall in the middle: free = 12, split 4 | 8.
+  plan.claim(1, {3, 4, 0, 1});
+  stats = plan.fragmentation();
+  EXPECT_EQ(stats.free_cells, 12);
+  EXPECT_EQ(stats.largest_free_rect, 6);
+  EXPECT_DOUBLE_EQ(stats.ratio(), 0.5);
+
+  // Packed against the left edge: one free rectangle, ratio back to 0.
+  plan.relocate(1, {0, 1, 0, 1});
+  stats = plan.fragmentation();
+  EXPECT_EQ(stats.free_cells, 12);
+  EXPECT_EQ(stats.largest_free_rect, 12);
+  EXPECT_DOUBLE_EQ(stats.ratio(), 0.0);
+
+  // Fully covered fabric: no free area counts as compact, not NaN.
+  plan.claim(2, {2, 7, 0, 1});
+  stats = plan.fragmentation();
+  EXPECT_EQ(stats.free_cells, 0);
+  EXPECT_DOUBLE_EQ(stats.ratio(), 0.0);
+}
+
+TEST(DynamicFloorplanTest, FragmentationIgnoresNonAllocatableColumns) {
+  const auto device = gapped_device();
+  DynamicFloorplan plan(device);
+  const auto stats = plan.fragmentation();
+  // The IO column is excluded from both free area and the rectangle.
+  EXPECT_EQ(stats.allocatable_cells, 3);
+  EXPECT_EQ(stats.free_cells, 3);
+  EXPECT_EQ(stats.largest_free_rect, 2);
+}
+
+TEST(DynamicFloorplanTest, RelocationTargetCompactsTowardOrigin) {
+  const auto device = flat_device();
+  DynamicFloorplan plan(device);
+  plan.claim(1, {6, 7, 0, 1});
+
+  const auto target = plan.relocation_target(1);
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(target->col_lo, 0);
+  EXPECT_EQ(target->row_lo, 0);
+
+  plan.relocate(1, *target);
+  EXPECT_FALSE(plan.relocation_target(1).has_value());  // already packed
+
+  // A second region compacts up against the first, not on top of it.
+  plan.claim(2, {4, 5, 0, 1});
+  const auto second = plan.relocation_target(2);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->col_lo, 2);
+  EXPECT_THROW(plan.relocation_target(9), InvalidArgument);
+}
+
+TEST(DynamicFloorplanTest, RelocationTargetRespectsColumnTypes) {
+  const auto device = gapped_device();
+  DynamicFloorplan plan(device);
+  plan.claim(1, {2, 3, 0, 0});
+  // The only columns left of the region cross the IO gap: no legal
+  // footprint-compatible rectangle exists closer to the origin.
+  EXPECT_FALSE(plan.relocation_target(1).has_value());
+}
+
+TEST(DynamicFloorplanTest, RelocateValidatesTarget) {
+  const auto device = flat_device();
+  DynamicFloorplan plan(device);
+  plan.claim(1, {4, 5, 0, 1});
+  plan.claim(2, {0, 1, 0, 1});
+
+  EXPECT_THROW(plan.relocate(9, {2, 3, 0, 1}), InvalidArgument);
+  EXPECT_THROW(plan.relocate(1, {0, 1, 0, 1}), InvalidArgument);  // occupied
+  EXPECT_THROW(plan.relocate(1, {2, 4, 0, 1}), InvalidArgument);  // footprint
+  // Overlapping its own cells is fine — a one-column slide is legal.
+  plan.relocate(1, {3, 4, 0, 1});
+  EXPECT_EQ(plan.region(1)->col_lo, 3);
+}
+
+TEST(DynamicFloorplanTest, PublishMetricsFeedsGlobalRegistry) {
+  const auto device = flat_device();
+  DynamicFloorplan plan(device);
+  plan.claim(1, {3, 4, 0, 1});
+  plan.publish_metrics("test.dynplan");
+
+  auto& registry = trace::MetricsRegistry::global();
+  EXPECT_DOUBLE_EQ(registry.gauge("test.dynplan.frag_ratio").value(), 0.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("test.dynplan.free_cells").value(), 12.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("test.dynplan.largest_free_rect").value(),
+                   6.0);
+}
+
+// Real threads: a repacker-style mutator compacting regions while
+// request-pool-style workers churn allocations and observers snapshot
+// fragmentation. Run under the tier-1 TSan stage; the invariant checks
+// below catch lost updates in any build.
+TEST(DynamicFloorplanTest, ConcurrentChurnAndCompactionStaysConsistent) {
+  const auto device = fabric::Device::vc707();
+  DynamicFloorplan plan(device);
+
+  constexpr int kWorkers = 3;
+  constexpr int kIters = 400;
+  std::vector<std::thread> threads;
+  // Request pool: each worker churns its own id range (claims overlap
+  // arbitration inside the plan, ids never collide across workers).
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&plan, w] {
+      for (int i = 0; i < kIters; ++i) {
+        const int id = w * kIters + i;
+        if (plan.allocate(id, 1 + (i % 3), 1).has_value()) {
+          if (i % 2 == 0) plan.release(id);
+        }
+      }
+    });
+  }
+  // Repacker: walks the id space proposing and committing compactions.
+  threads.emplace_back([&plan] {
+    for (int pass = 0; pass < 40; ++pass) {
+      for (int id = 0; id < kWorkers * kIters; ++id) {
+        try {
+          const auto target = plan.relocation_target(id);
+          if (target) plan.relocate(id, *target);
+        } catch (const InvalidArgument&) {
+          // Region released (or moved) between proposal and commit —
+          // exactly the window the internal mutex must keep consistent.
+        }
+      }
+    }
+  });
+  // Ops plane: fragmentation snapshots and metric publishes throughout.
+  threads.emplace_back([&plan] {
+    for (int i = 0; i < 200; ++i) {
+      const auto stats = plan.fragmentation();
+      EXPECT_GE(stats.free_cells, 0);
+      EXPECT_LE(stats.largest_free_rect, stats.free_cells);
+      plan.publish_metrics("test.dynplan.tsan");
+    }
+  });
+  for (auto& t : threads) t.join();
+
+  // Post-churn invariant: no two surviving regions overlap.
+  std::vector<Pblock> regions;
+  for (int id = 0; id < kWorkers * kIters; ++id) {
+    if (auto r = plan.region(id)) regions.push_back(*r);
+  }
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    for (std::size_t j = i + 1; j < regions.size(); ++j) {
+      EXPECT_FALSE(regions[i].overlaps(regions[j]))
+          << regions[i].to_string() << " vs " << regions[j].to_string();
+    }
+  }
+  const auto stats = plan.fragmentation();
+  EXPECT_LE(stats.largest_free_rect, stats.free_cells);
+}
+
+}  // namespace
+}  // namespace presp::floorplan

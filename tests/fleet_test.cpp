@@ -661,5 +661,129 @@ tenant_burst = 4
   EXPECT_THROW(bad.validate(), InvalidArgument);
 }
 
+// ---------------------------------------------- online defragmentation
+
+FleetTopology repack_topology() {
+  FleetTopology topo = test_topology();
+  topo.repack = true;
+  // One repack opportunity every other quantum, migrate on any
+  // fragmentation at all.
+  topo.repack_interval_cycles = 2 * topo.quantum_cycles;
+  topo.repack_frag_threshold = 0.0;
+  return topo;
+}
+
+TEST_F(FleetFixture, RepackerIsAbsentUntilEnabled) {
+  auto fleet = make_fleet(test_topology());
+  EXPECT_EQ(fleet->repacker(0), nullptr);
+  EXPECT_EQ(fleet->dynamic_floorplan(0), nullptr);
+  const auto digest = fleet->digest();
+  EXPECT_EQ(digest.find("repack="), std::string::npos);
+}
+
+TEST_F(FleetFixture, RepackerDefragmentsShardsUnderChurn) {
+  auto fleet = make_fleet(repack_topology());
+  ASSERT_NE(fleet->repacker(0), nullptr);
+  ASSERT_NE(fleet->dynamic_floorplan(0), nullptr);
+  const double frag_before = fleet->dynamic_floorplan(0)
+                                 ->fragmentation().ratio();
+  EXPECT_GT(frag_before, 0.0);  // scattered initial placement
+
+  SyntheticLoad load([] {
+    LoadOptions options;
+    options.seed = 5;
+    options.arrivals_per_quantum = 1.0;
+    options.modules = {"acc_a", "acc_b"};
+    return options;
+  }());
+  for (int q = 0; q < 60; ++q) {
+    for (FleetRequest& req : load.generate(fleet->now(),
+                                           fleet->topology().burst_multiplier,
+                                           nullptr))
+      fleet->submit(std::move(req));
+    fleet->step();
+  }
+  ASSERT_TRUE(fleet->drain(2'000));
+
+  std::uint64_t migrations = 0;
+  for (int s = 0; s < fleet->num_shards(); ++s)
+    migrations += fleet->repacker(s)->stats().migrations;
+  EXPECT_GT(migrations, 0u);
+  const double frag_after = fleet->dynamic_floorplan(0)
+                                ->fragmentation().ratio();
+  EXPECT_LT(frag_after, frag_before);
+  // The digest carries the defrag state for determinism diffs.
+  EXPECT_NE(fleet->digest().find("frag=["), std::string::npos);
+  EXPECT_NE(fleet->digest().find("repack=["), std::string::npos);
+  // Serving stayed intact while the fabric compacted underneath it.
+  EXPECT_GT(fleet->stats().completed_ok, 0u);
+}
+
+TEST_F(FleetFixture, RepackRunsReplayBitIdenticallyUnderAbortChaos) {
+  std::string digests[2];
+  for (int round = 0; round < 2; ++round) {
+    fault::FaultInjector injector;
+    injector.arm({fault::FaultSite::kRepackAbort, -1, -1, 1});
+    injector.arm({fault::FaultSite::kRepackAbort, -1, -1, 2});
+    auto fleet = make_fleet(repack_topology(), 7, &injector);
+    SyntheticLoad load([] {
+      LoadOptions options;
+      options.seed = 11;
+      options.arrivals_per_quantum = 1.5;
+      options.modules = {"acc_a", "acc_b"};
+      return options;
+    }());
+    for (int q = 0; q < 50; ++q) {
+      for (FleetRequest& req : load.generate(fleet->now(),
+                                             fleet->topology().burst_multiplier,
+                                             &injector))
+        fleet->submit(std::move(req));
+      fleet->step();
+    }
+    fleet->drain(2'000);
+    std::uint64_t aborts = 0;
+    for (int s = 0; s < fleet->num_shards(); ++s)
+      aborts += fleet->repacker(s)->stats().aborts;
+    EXPECT_GT(aborts, 0u);  // the armed kRepackAbort faults fired
+    digests[round] = fleet->digest();
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
+TEST(FleetTopologyTest, ParsesRepackKeysAndValidates) {
+  const Config config = Config::parse(R"(
+[fleet]
+shards = 2
+repack = 1
+repack_interval_cycles = 500000
+repack_frag_threshold = 0.25
+repack_max_migrations = 2
+repack_migration_budget = 3
+)");
+  const FleetTopology topo = FleetTopology::from_config(config);
+  EXPECT_TRUE(topo.repack);
+  EXPECT_EQ(topo.repack_interval_cycles, 500'000);
+  EXPECT_DOUBLE_EQ(topo.repack_frag_threshold, 0.25);
+  EXPECT_EQ(topo.repack_max_migrations, 2);
+  EXPECT_EQ(topo.repack_migration_budget, 3);
+  topo.validate();
+
+  FleetTopology bad = topo;
+  bad.repack_interval_cycles = 0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = topo;
+  bad.repack_frag_threshold = 1.0;  // must be < 1: never triggers
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = topo;
+  bad.repack_max_migrations = 0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = topo;
+  bad.repack_migration_budget = 0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  // The knobs are ignored (not validated) while repack is off.
+  bad.repack = false;
+  bad.validate();
+}
+
 }  // namespace
 }  // namespace presp::fleet

@@ -354,6 +354,87 @@ TEST(FloorplanLintTest, IcapUnreachableOnBrokenRoutes) {
     }
 }
 
+// Two reconfigurable tiles sharing the conv2d module, with the runtime
+// repacker opted in: relocation compatibility between their regions
+// becomes meaningful (the rule is silent without repack_* keys — a
+// design that never migrates loses nothing from per-region images).
+const char* kSharedModuleSoc = R"([soc]
+name = shared
+device = vc707
+rows = 2
+cols = 3
+
+[tiles]
+r0c0 = cpu
+r0c1 = mem
+r0c2 = aux
+r1c0 = reconf:conv2d,gemm
+r1c1 = reconf:conv2d,fft
+r1c2 = empty
+
+[runtime]
+repack_interval_cycles = 2000000
+repack_frag_threshold = 0.25
+)";
+
+TEST(FloorplanLintTest, RelocatableFootprintWarnsOnIncompatibleHosts) {
+  LintContext context(kSharedModuleSoc);
+  floorplan::Floorplan plan;
+  // Same module, two host regions with different heights: no single
+  // partial bitstream can be rebased between them.
+  plan.pblocks = {{2, 3, 0, 0}, {2, 3, 0, 1}};
+  context.override_floorplan(
+      plan, {{"RT_1", {100, 0, 0, 0}}, {"RT_2", {100, 0, 0, 0}}});
+  const auto diags = run_context(context);
+  ASSERT_TRUE(has_rule(diags, "floorplan.relocatable-footprint"));
+  for (const Diagnostic& d : diags)
+    if (d.rule == "floorplan.relocatable-footprint") {
+      EXPECT_EQ(d.severity, Severity::kWarning);
+      // The message names both footprint signatures.
+      EXPECT_NE(d.message.find("h1:"), std::string::npos);
+      EXPECT_NE(d.message.find("h2:"), std::string::npos);
+    }
+}
+
+TEST(FloorplanLintTest, RelocatableFootprintSilentOnCompatibleHosts) {
+  LintContext context(kSharedModuleSoc);
+  floorplan::Floorplan plan;
+  // Identical column window on different region rows: one relocatable
+  // image serves both hosts.
+  plan.pblocks = {{2, 3, 0, 0}, {2, 3, 1, 1}};
+  context.override_floorplan(
+      plan, {{"RT_1", {100, 0, 0, 0}}, {"RT_2", {100, 0, 0, 0}}});
+  const auto diags = run_context(context);
+  EXPECT_FALSE(has_rule(diags, "floorplan.relocatable-footprint"));
+}
+
+TEST(FloorplanLintTest, RelocatableFootprintNeedsASharedModule) {
+  // kCleanSoc's tiles host disjoint module sets: nothing to relocate.
+  LintContext context(kCleanSoc);
+  floorplan::Floorplan plan;
+  plan.pblocks = {{2, 3, 0, 0}, {2, 3, 0, 1}};
+  context.override_floorplan(
+      plan, {{"RT_1", {100, 0, 0, 0}}, {"RT_2", {100, 0, 0, 0}}});
+  EXPECT_FALSE(
+      has_rule(run_context(context), "floorplan.relocatable-footprint"));
+}
+
+TEST(FloorplanLintTest, RelocatableFootprintNeedsTheRepackerOptIn) {
+  // Same incompatible hosts as the warning case, but no [runtime]
+  // repack_* keys: without a repacker nothing ever relocates, so
+  // per-region images are fine and the rule must stay silent.
+  const std::string no_repack(
+      kSharedModuleSoc,
+      std::string(kSharedModuleSoc).find("\n[runtime]"));
+  LintContext context(no_repack);
+  floorplan::Floorplan plan;
+  plan.pblocks = {{2, 3, 0, 0}, {2, 3, 0, 1}};
+  context.override_floorplan(
+      plan, {{"RT_1", {100, 0, 0, 0}}, {"RT_2", {100, 0, 0, 0}}});
+  EXPECT_FALSE(
+      has_rule(run_context(context), "floorplan.relocatable-footprint"));
+}
+
 // ---------------------------------------------------------- noc rules
 
 TEST(NocLintTest, XyRoutingIsDeadlockFree) {
@@ -456,6 +537,29 @@ TEST(RuntimeLintTest, ConsistentLockOrderIsClean) {
   EXPECT_FALSE(has_rule(diags, "runtime.lock-order"));
 }
 
+TEST(RuntimeLintTest, RepackerBoundsInRuntimeSection) {
+  const auto spin = run_lint(with_runtime(
+      "thread_a = r1c0:conv2d\nrepack_interval_cycles = 0\n"));
+  ASSERT_TRUE(has_rule(spin, "runtime.repacker-bounds"));
+  EXPECT_TRUE(has_error(spin));
+
+  // Budget above the foreground retry budget: warning, not error.
+  const auto budget = run_lint(with_runtime(
+      "thread_a = r1c0:conv2d\nretry_budget = 2\n"
+      "repack_migration_budget = 5\n"));
+  ASSERT_TRUE(has_rule(budget, "runtime.repacker-bounds"));
+  EXPECT_FALSE(has_error(budget));
+
+  const auto clean = run_lint(with_runtime(
+      "thread_a = r1c0:conv2d\nrepack_interval_cycles = 2000000\n"
+      "repack_migration_budget = 2\n"));
+  EXPECT_FALSE(has_rule(clean, "runtime.repacker-bounds"));
+
+  // No repack_* keys at all: the rule stays silent.
+  const auto absent = run_lint(with_runtime("thread_a = r1c0:conv2d\n"));
+  EXPECT_FALSE(has_rule(absent, "runtime.repacker-bounds"));
+}
+
 // ------------------------------------------------------- fleet rules
 
 std::string with_fleet(const std::string& section) {
@@ -548,6 +652,32 @@ TEST(FleetLintTest, DiagnosticsAnchorToTheFleetKeyLine) {
   // kCleanSoc spans 14 lines; "[fleet]" follows the blank separator.
   for (const Diagnostic& d : diags)
     if (d.rule == "fleet.topology") EXPECT_GT(d.loc.line, 0);
+}
+
+TEST(FleetLintTest, RepackerBoundsInFleetSection) {
+  const auto clean = run_lint(with_fleet("shards = 2\nrepack = 1\n"));
+  EXPECT_FALSE(has_rule(clean, "runtime.repacker-bounds"));
+
+  const auto spin = run_lint(with_fleet(
+      "shards = 2\nrepack = 1\nrepack_interval_cycles = 0\n"));
+  ASSERT_TRUE(has_rule(spin, "runtime.repacker-bounds"));
+  EXPECT_TRUE(has_error(spin));
+
+  const auto threshold = run_lint(with_fleet(
+      "shards = 2\nrepack = 1\nrepack_frag_threshold = 1.0\n"));
+  ASSERT_TRUE(has_rule(threshold, "runtime.repacker-bounds"));
+  EXPECT_TRUE(has_error(threshold));
+
+  // Budget above the runtime retry budget (default 3): warning only.
+  const auto budget = run_lint(with_fleet(
+      "shards = 2\nrepack = 1\nrepack_migration_budget = 5\n"));
+  ASSERT_TRUE(has_rule(budget, "runtime.repacker-bounds"));
+  EXPECT_FALSE(has_error(budget));
+
+  // Repack off: the knobs are inert and the rule stays silent.
+  const auto off = run_lint(with_fleet(
+      "shards = 2\nrepack = 0\nrepack_interval_cycles = 0\n"));
+  EXPECT_FALSE(has_rule(off, "runtime.repacker-bounds"));
 }
 
 std::string with_ops(const std::string& section) {

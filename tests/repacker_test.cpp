@@ -1,0 +1,311 @@
+// Background defragmentation repacker: migration commits, the hard
+// safety invariants (pinned and in-flight tiles never move), and the
+// kRepackAbort rollback contract.
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+#include "runtime/api.hpp"
+#include "runtime/repacker.hpp"
+#include "util/error.hpp"
+
+namespace presp::runtime {
+namespace {
+
+const char* kSocText = R"(
+[soc]
+name = repack_sim
+device = vc707
+rows = 2
+cols = 3
+
+[tiles]
+r0c0 = cpu
+r0c1 = mem
+r0c2 = aux
+r1c0 = reconf:acc_a,acc_b
+r1c1 = reconf:acc_a,acc_b
+r1c2 = empty
+)";
+
+soc::AcceleratorRegistry test_registry() {
+  soc::AcceleratorRegistry registry;
+  for (const char* name : {"acc_a", "acc_b"}) {
+    soc::AcceleratorSpec spec;
+    spec.name = name;
+    spec.luts = 15'000;
+    spec.latency.items_per_beat = 1;
+    spec.latency.ii = 3;
+    spec.latency.startup_cycles = 40;
+    spec.latency.words_in_per_item = 1.0;
+    spec.latency.words_out_per_item = 0.5;
+    registry.add(spec);
+  }
+  return registry;
+}
+
+/// Starting columns of non-overlapping full-height CLB column pairs: the
+/// relocation slots the tests scatter regions across.
+std::vector<int> clb_pair_slots(const fabric::Device& device) {
+  std::vector<int> slots;
+  int col = 0;
+  while (col + 1 < device.num_columns()) {
+    if (device.column_type(col) == fabric::ColumnType::kClb &&
+        device.column_type(col + 1) == fabric::ColumnType::kClb) {
+      slots.push_back(col);
+      col += 2;
+    } else {
+      ++col;
+    }
+  }
+  return slots;
+}
+
+class RepackerFixture : public ::testing::Test {
+ protected:
+  RepackerFixture()
+      : registry_(test_registry()),
+        soc_(netlist::SocConfig::parse(kSocText), registry_),
+        store_(soc_.memory()),
+        manager_(soc_, store_),
+        device_(fabric::Device::vc707()),
+        plan_(device_),
+        slots_(clb_pair_slots(device_)) {
+    for (const int tile : {3, 4})
+      for (const char* module : {"acc_a", "acc_b"})
+        store_.add(tile, module, 250'000);
+    buf_ = soc_.memory().allocate("buf", 1 << 16);
+  }
+
+  /// Claims a full-height width-2 region for `tile` at pair slot `i`.
+  fabric::Pblock claim_slot(int tile, std::size_t i) {
+    const int col = slots_.at(i);
+    const fabric::Pblock p{col, col + 1, 0, device_.region_rows() - 1};
+    plan_.claim(tile, p);
+    return p;
+  }
+
+  soc::AccelTask task() const {
+    soc::AccelTask t;
+    t.src = buf_;
+    t.dst = buf_ + 32'768;
+    t.items = 500;
+    return t;
+  }
+
+  /// Loads `module` on `tile` (runs one task) and settles the kernel.
+  void load(int tile, const std::string& module) {
+    Completion done(soc_.kernel());
+    manager_.run(tile, module, task(), done);
+    soc_.kernel().run();
+    ASSERT_TRUE(done.ok());
+  }
+
+  /// One synchronous repack pass.
+  void run_pass(Repacker& repacker) {
+    Completion done(soc_.kernel());
+    repacker.pass(done);
+    soc_.kernel().run();
+    ASSERT_TRUE(done.triggered());
+    EXPECT_TRUE(done.ok());
+  }
+
+  soc::AcceleratorRegistry registry_;
+  soc::Soc soc_;
+  BitstreamStore store_;
+  ReconfigurationManager manager_;
+  fabric::Device device_;
+  floorplan::DynamicFloorplan plan_;
+  std::vector<int> slots_;
+  std::uint64_t buf_ = 0;
+};
+
+TEST_F(RepackerFixture, OptionsAreValidated) {
+  RepackerOptions bad;
+  bad.interval_cycles = 0;
+  EXPECT_THROW(Repacker(soc_, manager_, plan_, bad), InvalidArgument);
+  bad = {};
+  bad.max_migrations_per_pass = 0;
+  EXPECT_THROW(Repacker(soc_, manager_, plan_, bad), InvalidArgument);
+  bad = {};
+  bad.migration_budget = 0;
+  EXPECT_THROW(Repacker(soc_, manager_, plan_, bad), InvalidArgument);
+}
+
+TEST_F(RepackerFixture, MigratesIdleLoadedTileThroughReprogram) {
+  ASSERT_GE(slots_.size(), 4u);
+  const auto home = claim_slot(3, slots_.size() - 1);
+  load(3, "acc_a");
+  const double frag_before = plan_.fragmentation().ratio();
+  const auto repacks_before = manager_.stats().repacks;
+
+  Repacker repacker(soc_, manager_, plan_);
+  run_pass(repacker);
+
+  EXPECT_EQ(repacker.stats().passes, 1u);
+  EXPECT_EQ(repacker.stats().migrations, 1u);
+  ASSERT_TRUE(plan_.region(3).has_value());
+  EXPECT_LT(plan_.region(3)->col_lo, home.col_lo);
+  EXPECT_LE(plan_.fragmentation().ratio(), frag_before);
+  // The commit went through the regular DFXC path as a forced reprogram.
+  EXPECT_EQ(manager_.stats().repacks, repacks_before + 1);
+  EXPECT_EQ(soc_.reconf_tile(3).module(), "acc_a");
+  EXPECT_EQ(manager_.driver(3), "acc_a");
+
+  // Readback equivalence: the reprogrammed partition verifies against
+  // the golden image of the module that was migrated.
+  bool ok = false;
+  Completion verify(soc_.kernel());
+  manager_.verify_partition(3, "acc_a", &ok, verify);
+  soc_.kernel().run();
+  ASSERT_TRUE(verify.triggered());
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(RepackerFixture, EmptyRegionMovesWithoutReprogram) {
+  claim_slot(3, slots_.size() - 1);
+  Repacker repacker(soc_, manager_, plan_);
+  run_pass(repacker);
+  EXPECT_EQ(repacker.stats().migrations, 1u);
+  EXPECT_EQ(manager_.stats().repacks, 0u);  // nothing loaded, no reprogram
+  EXPECT_EQ(plan_.region(3)->col_lo, slots_.front());
+}
+
+TEST_F(RepackerFixture, PinnedTileIsNeverMoved) {
+  const auto home = claim_slot(3, slots_.size() - 1);
+  Repacker repacker(soc_, manager_, plan_);
+  repacker.pin(3);
+  EXPECT_TRUE(repacker.pinned(3));
+  run_pass(repacker);
+
+  EXPECT_EQ(repacker.stats().migrations, 0u);
+  EXPECT_EQ(repacker.stats().skipped_pinned, 1u);
+  EXPECT_EQ(plan_.region(3)->col_lo, home.col_lo);
+
+  repacker.unpin(3);
+  run_pass(repacker);
+  EXPECT_EQ(repacker.stats().migrations, 1u);
+  EXPECT_LT(plan_.region(3)->col_lo, home.col_lo);
+}
+
+TEST_F(RepackerFixture, InFlightTileIsNeverMoved) {
+  const auto home = claim_slot(3, slots_.size() - 1);
+  load(3, "acc_a");
+  Repacker repacker(soc_, manager_, plan_);
+
+  Completion run_done(soc_.kernel());
+  Completion pass_done(soc_.kernel());
+  auto seq = [&]() -> sim::Process {
+    manager_.run(3, "acc_a", task(), run_done);
+    // The request holds the tile lock; a pass in this window must skip.
+    co_await sim::Delay(soc_.kernel(), 50);
+    repacker.pass(pass_done);
+    co_await pass_done.wait();
+    EXPECT_EQ(plan_.region(3)->col_lo, home.col_lo);
+    co_await run_done.wait();
+  };
+  seq();
+  soc_.kernel().run();
+
+  ASSERT_TRUE(run_done.ok());
+  EXPECT_EQ(repacker.stats().skipped_busy, 1u);
+  EXPECT_EQ(repacker.stats().migrations, 0u);
+  EXPECT_EQ(plan_.region(3)->col_lo, home.col_lo);
+
+  // Once the request retires the same tile migrates normally.
+  run_pass(repacker);
+  EXPECT_EQ(repacker.stats().migrations, 1u);
+}
+
+TEST_F(RepackerFixture, RepackAbortRollsBackAndLeavesFloorplanUnchanged) {
+  const auto home = claim_slot(3, slots_.size() - 1);
+  load(3, "acc_a");
+
+  fault::FaultInjector injector;
+  injector.arm({fault::FaultSite::kRepackAbort, -1, -1, 1});
+  Repacker repacker(soc_, manager_, plan_);
+  repacker.set_fault_injector(&injector);
+
+  const auto repacks_before = manager_.stats().repacks;
+  run_pass(repacker);
+
+  // Invariant 3: the abort fires after staging, before commit — the
+  // region map must be exactly as it was.
+  EXPECT_EQ(repacker.stats().aborts, 1u);
+  EXPECT_EQ(repacker.stats().migrations, 0u);
+  EXPECT_EQ(plan_.region(3)->col_lo, home.col_lo);
+  EXPECT_EQ(manager_.stats().repacks, repacks_before);  // never reprogrammed
+  const auto site = static_cast<int>(fault::FaultSite::kRepackAbort);
+  EXPECT_EQ(injector.stats().injected[site], 1u);
+  EXPECT_EQ(injector.stats().observed[site], 1u);
+
+  // The one-shot fault is consumed; the next pass commits the move.
+  run_pass(repacker);
+  EXPECT_EQ(repacker.stats().migrations, 1u);
+  EXPECT_LT(plan_.region(3)->col_lo, home.col_lo);
+}
+
+TEST_F(RepackerFixture, MaxMigrationsPerPassBoundsTheWork) {
+  ASSERT_GE(slots_.size(), 6u);
+  claim_slot(3, slots_.size() - 1);
+  claim_slot(4, slots_.size() - 3);
+  RepackerOptions options;
+  options.max_migrations_per_pass = 1;
+  Repacker repacker(soc_, manager_, plan_, options);
+
+  run_pass(repacker);
+  EXPECT_EQ(repacker.stats().migrations, 1u);
+  run_pass(repacker);
+  EXPECT_EQ(repacker.stats().migrations, 2u);
+}
+
+TEST_F(RepackerFixture, MigrationBudgetStopsAPassAfterRepeatedAborts) {
+  claim_slot(3, slots_.size() - 1);
+  claim_slot(4, slots_.size() - 3);
+
+  fault::FaultInjector injector;
+  injector.arm({fault::FaultSite::kRepackAbort, -1, -1, 1});
+  injector.arm({fault::FaultSite::kRepackAbort, -1, -1, 1});
+  RepackerOptions options;
+  options.migration_budget = 1;
+  Repacker repacker(soc_, manager_, plan_, options);
+  repacker.set_fault_injector(&injector);
+
+  run_pass(repacker);
+  // The first abort exhausts the budget; the second candidate is never
+  // attempted (one armed fault left) and nothing moved.
+  EXPECT_EQ(repacker.stats().aborts, 1u);
+  EXPECT_EQ(repacker.stats().migrations, 0u);
+  EXPECT_EQ(injector.pending(), 1u);
+}
+
+TEST_F(RepackerFixture, BackgroundProcessDefragmentsOnItsInterval) {
+  const auto home = claim_slot(3, slots_.size() - 1);
+  RepackerOptions options;
+  options.interval_cycles = 1'000;
+  options.frag_threshold = 0.0;
+  Repacker background(soc_, manager_, plan_, options);
+
+  background.process();
+  soc_.kernel().run_until(10'000);
+  EXPECT_GE(background.stats().passes, 1u);
+  EXPECT_EQ(background.stats().migrations, 1u);
+  EXPECT_LT(plan_.region(3)->col_lo, home.col_lo);
+  background.stop();
+}
+
+TEST_F(RepackerFixture, ThresholdKeepsACompactFabricUntouched) {
+  claim_slot(3, slots_.size() - 1);
+  RepackerOptions options;
+  options.interval_cycles = 1'000;
+  // Above any reachable ratio: the loop must idle without passing.
+  options.frag_threshold = 1.0;
+  Repacker repacker(soc_, manager_, plan_, options);
+  repacker.process();
+  soc_.kernel().run_until(10'000);
+  EXPECT_EQ(repacker.stats().passes, 0u);
+  EXPECT_EQ(repacker.stats().migrations, 0u);
+  repacker.stop();
+}
+
+}  // namespace
+}  // namespace presp::runtime

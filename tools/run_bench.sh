@@ -19,18 +19,25 @@
 # It also runs the bench_fleet soak (sharded DPR fleet under injected
 # stalls/bursts), which emits BENCH_fleet.json (exact p50/p99/p999
 # latency, shed rate, coalesce rate, breaker transitions) and fails on
-# any lost completion, unexplained shed or determinism mismatch.
+# any lost completion, unexplained shed or determinism mismatch, and the
+# bench_defrag soak (background repacker vs an identical repack-off
+# replay), which emits BENCH_defrag.json (frag before/after, migration
+# count, p99 on/off, bit_identical) and fails unless fragmentation
+# strictly improved with bit-identical workload outcomes.
 #
-# Usage: tools/run_bench.sh [out.json [store_out.json [fleet_out.json]]]
+# Usage: tools/run_bench.sh
+#          [out.json [store_out.json [fleet_out.json [defrag_out.json]]]]
 # Environment:
 #   BUILD_DIR    build directory to (re)use             (default: build)
 #   BENCH        path to bench_micro; skips the build   (default: unset)
 #   FLEET_BENCH  path to bench_fleet; skips the build   (default: unset)
+#   DEFRAG_BENCH path to bench_defrag; skips the build  (default: unset)
 set -eu
 
 OUT=${1:-BENCH_exec.json}
 STORE_OUT=${2:-BENCH_store.json}
 FLEET_OUT=${3:-BENCH_fleet.json}
+DEFRAG_OUT=${4:-BENCH_defrag.json}
 BUILD_DIR=${BUILD_DIR:-build}
 
 if [ -z "${BENCH:-}" ]; then
@@ -43,6 +50,10 @@ if [ -z "${FLEET_BENCH:-}" ]; then
   cmake --build "$BUILD_DIR" --target bench_fleet -j >/dev/null
   FLEET_BENCH=$BUILD_DIR/bench/bench_fleet
 fi
+if [ -z "${DEFRAG_BENCH:-}" ]; then
+  cmake --build "$BUILD_DIR" --target bench_defrag -j >/dev/null
+  DEFRAG_BENCH=$BUILD_DIR/bench/bench_defrag
+fi
 
 if [ ! -x "$BENCH" ]; then
   echo "error: $BENCH not found or not executable" >&2
@@ -52,10 +63,15 @@ if [ ! -x "$FLEET_BENCH" ]; then
   echo "error: $FLEET_BENCH not found or not executable" >&2
   exit 2
 fi
+if [ ! -x "$DEFRAG_BENCH" ]; then
+  echo "error: $DEFRAG_BENCH not found or not executable" >&2
+  exit 2
+fi
 
 "$BENCH" --exec-compare "$OUT"
 "$BENCH" --store-compare "$STORE_OUT"
 "$FLEET_BENCH" --json "$FLEET_OUT"
+"$DEFRAG_BENCH" --json "$DEFRAG_OUT"
 
 # The exec rows must carry the pool's steal/queue-depth observability
 # fields, the store cache hit rate, the aggregated metrics snapshot
@@ -122,7 +138,23 @@ for field in p999_cycles shed_rate coalesce_rate breaker_opens \
   fi
 done
 
-echo "run_bench: results in $OUT, $STORE_OUT and $FLEET_OUT"
+# The defrag soak must carry the fragmentation, migration and
+# latency-impact fields, and the on/off runs must agree bit-for-bit.
+for field in frag_before frag_after migrations p99_cycles_on \
+             p99_cycles_off bit_identical; do
+  if ! grep -q "\"$field\"" "$DEFRAG_OUT"; then
+    echo "run_bench: $DEFRAG_OUT is missing the \"$field\" field" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"bit_identical": true' "$DEFRAG_OUT"; then
+  echo "run_bench: repacker-on workload is not bit-identical to" \
+       "repacker-off" >&2
+  exit 1
+fi
+
+echo "run_bench: results in $OUT, $STORE_OUT, $FLEET_OUT and $DEFRAG_OUT"
 cat "$OUT"
 cat "$STORE_OUT"
 cat "$FLEET_OUT"
+cat "$DEFRAG_OUT"

@@ -16,6 +16,12 @@
 #              injected shard stalls: zero lost completions, zero
 #              unexplained sheds, breaker diversion and a bit-identical
 #              replay are all hard failures
+#   defrag     short defrag chaos soak (bench_defrag): the background
+#              repacker must strictly improve the fragmentation ratio,
+#              workload outcomes must be bit-identical repacker-on vs
+#              repacker-off even with kRepackAbort faults armed, and the
+#              repack-on replay must be deterministic; frag-before/after
+#              and the migration count land in the summary
 #   racecheck  seeded race-detector corpus gate (presp-racecheck): every
 #              intentionally-racy workload must report its expected
 #              race.* rule within 8 seeds, and the clean exec/runtime/
@@ -31,8 +37,10 @@
 #   tsan       ThreadSanitizer build running the Chase-Lev deque stress
 #              tests (owner pop vs concurrent thieves), the exec unit
 #              tests, the serial/parallel determinism test, the trace
-#              tests (concurrent emitters), the fleet tests and the ops
-#              tests (server + registries under real threads)
+#              tests (concurrent emitters), the fleet tests, the ops
+#              tests (server + registries under real threads) and the
+#              dynamic-floorplan + repacker tests (compaction racing a
+#              request-pool of allocator threads)
 #
 # Usage: tools/run_tier1.sh [--stage <name>]...
 #   No --stage: every stage runs (minus SKIP_ASAN/SKIP_TSAN skips).
@@ -59,7 +67,7 @@ TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 CONFIG_FLAGS=${CONFIG_FLAGS:-}
 TIER1_SUMMARY=${TIER1_SUMMARY:-tier1_summary.json}
 
-ALL_STAGES="build lint trace workflows fleet racecheck ops asan tsan"
+ALL_STAGES="build lint trace workflows fleet defrag racecheck ops asan tsan"
 
 # ----------------------------------------------------------------- stages
 # Each stage body runs in a `set -e` subshell; any failing command fails
@@ -184,6 +192,35 @@ stage_fleet() {
   echo "tier-1 fleet: soak clean, report fields present ($FLEET_JSON)"
 }
 
+stage_defrag() {
+  cmake --build "$BUILD_DIR" --target bench_defrag -j
+  DEFRAG_JSON="$BUILD_DIR/tier1_defrag.json"
+  # One seed, a short horizon: bench_defrag itself fails the stage unless
+  # fragmentation strictly improved, workload outcomes were bit-identical
+  # repacker-on vs repacker-off under kRepackAbort chaos, and the
+  # repack-on replay reproduced its digest.
+  "$BUILD_DIR/bench/bench_defrag" 1 1 150 --json "$DEFRAG_JSON"
+  for field in frag_before frag_after migrations p99_cycles_on \
+      p99_cycles_off bit_identical; do
+    grep -q "\"$field\"" "$DEFRAG_JSON" || {
+      echo "tier-1: $DEFRAG_JSON is missing the \"$field\" field" >&2
+      return 1
+    }
+  done
+  # Surface frag-before/after and the migration count into
+  # tier1_summary.json (runner merges this fragment into the stage row).
+  frag_before=$(sed -n 's/.*"frag_before": \([0-9.e+-]*\).*/\1/p' \
+      "$DEFRAG_JSON")
+  frag_after=$(sed -n 's/.*"frag_after": \([0-9.e+-]*\).*/\1/p' \
+      "$DEFRAG_JSON")
+  migrations=$(sed -n 's/.*"migrations": \([0-9]*\).*/\1/p' "$DEFRAG_JSON")
+  printf '"frag_before":%s,"frag_after":%s,"migrations":%s' \
+      "${frag_before:-0}" "${frag_after:-0}" "${migrations:-0}" \
+      > .tier1_stage_extra
+  echo "tier-1 defrag: soak clean, frag $frag_before -> $frag_after," \
+      "$migrations migrations ($DEFRAG_JSON)"
+}
+
 stage_racecheck() {
   cmake --build "$BUILD_DIR" --target presp-racecheck -j
   RC_BIN="$BUILD_DIR/tools/presp-racecheck"
@@ -287,13 +324,15 @@ stage_tsan() {
   cmake -B "$TSAN_BUILD_DIR" -S . -DPRESP_SANITIZE=thread >/dev/null
   cmake --build "$TSAN_BUILD_DIR" \
       --target chase_lev_test exec_test exec_determinism_test trace_test \
-      fleet_test ops_test -j
+      fleet_test ops_test dynamic_floorplan_test repacker_test -j
   "$TSAN_BUILD_DIR"/tests/chase_lev_test
   "$TSAN_BUILD_DIR"/tests/exec_test
   "$TSAN_BUILD_DIR"/tests/exec_determinism_test
   "$TSAN_BUILD_DIR"/tests/trace_test
   "$TSAN_BUILD_DIR"/tests/fleet_test
   "$TSAN_BUILD_DIR"/tests/ops_test
+  "$TSAN_BUILD_DIR"/tests/dynamic_floorplan_test
+  "$TSAN_BUILD_DIR"/tests/repacker_test
 }
 
 # ----------------------------------------------------------------- runner
